@@ -1,0 +1,88 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the per-table/per-figure benchmark binaries:
+/// environment knobs, timing, and table formatting. Every binary prints
+/// the paper row/series it regenerates plus the paper's qualitative
+/// expectation, so `bench_output.txt` reads side-by-side with the paper.
+///
+/// Environment knobs:
+///   GRAPHIT_SCALE          dataset scale multiplier (default 1.0)
+///   GRAPHIT_BENCH_SOURCES  sources/queries averaged per cell (default 2)
+///   GRAPHIT_BENCH_TRIALS   repetitions per measurement (default 1)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_BENCH_BENCHUTIL_H
+#define GRAPHIT_BENCH_BENCHUTIL_H
+
+#include "graph/Datasets.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace graphit {
+namespace bench {
+
+inline int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::max(1, std::atoi(V)) : Default;
+}
+
+inline int numSources() { return envInt("GRAPHIT_BENCH_SOURCES", 2); }
+inline int numTrials() { return envInt("GRAPHIT_BENCH_TRIALS", 1); }
+
+/// Times \p Fn `numTrials()` times; returns the minimum (the conventional
+/// benchmark statistic for wall-clock noise).
+template <typename Fn> double timeBest(Fn &&Body) {
+  double Best = 1e30;
+  for (int T = 0; T < numTrials(); ++T) {
+    Timer Clock;
+    Body();
+    Best = std::min(Best, Clock.seconds());
+  }
+  return Best;
+}
+
+/// Prints the standard benchmark banner.
+inline void banner(const char *Experiment, const char *PaperClaim) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", Experiment);
+  std::printf("paper expectation: %s\n", PaperClaim);
+  std::printf("(synthetic stand-in datasets; shapes, not absolute times, "
+              "are comparable)\n");
+  std::printf("==============================================================="
+              "=\n");
+}
+
+/// Fixed-width cell helpers.
+inline void cellHeader(const char *Name) { std::printf("%-12s", Name); }
+inline void cellTime(double Seconds) {
+  if (Seconds < 0)
+    std::printf("%12s", "--");
+  else
+    std::printf("%12.4f", Seconds);
+}
+inline void cellRatio(double R) {
+  if (R < 0)
+    std::printf("%12s", "--");
+  else
+    std::printf("%12.2f", R);
+}
+inline void endRow() { std::printf("\n"); }
+
+} // namespace bench
+} // namespace graphit
+
+#endif // GRAPHIT_BENCH_BENCHUTIL_H

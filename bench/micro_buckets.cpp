@@ -1,0 +1,133 @@
+//===- bench/micro_buckets.cpp - Bucket-structure microbenchmarks ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the primitive operations whose
+// costs drive the §3 eager/lazy tradeoff analysis: lazy bucket updates,
+// bucket extraction, the two histogram reduction schemes, and
+// deduplication.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dedup.h"
+#include "runtime/Histogram.h"
+#include "runtime/LazyBucketQueue.h"
+#include "runtime/VertexSubset.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace graphit;
+
+namespace {
+
+std::vector<VertexId> randomIds(Count N, Count Universe, uint64_t Seed) {
+  std::vector<VertexId> Ids(static_cast<size_t>(N));
+  for (Count I = 0; I < N; ++I)
+    Ids[I] = static_cast<VertexId>(hash64(Seed ^ I) % Universe);
+  return Ids;
+}
+
+void BM_LazyBucketBulkUpdate(benchmark::State &State) {
+  Count N = State.range(0);
+  std::vector<VertexId> Ids(static_cast<size_t>(N));
+  std::vector<int64_t> Keys(static_cast<size_t>(N));
+  for (Count I = 0; I < N; ++I) {
+    Ids[I] = static_cast<VertexId>(I);
+    Keys[I] = static_cast<int64_t>(hash64(I) % 256);
+  }
+  for (auto _ : State) {
+    LazyBucketQueue Q(N, 128, PriorityOrder::LowerFirst);
+    Q.updateBuckets(Ids.data(), Keys.data(), N);
+    benchmark::DoNotOptimize(Q.pendingEstimate());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_LazyBucketBulkUpdate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LazyBucketDrain(benchmark::State &State) {
+  Count N = State.range(0);
+  std::vector<VertexId> Ids(static_cast<size_t>(N));
+  std::vector<int64_t> Keys(static_cast<size_t>(N));
+  for (Count I = 0; I < N; ++I) {
+    Ids[I] = static_cast<VertexId>(I);
+    Keys[I] = static_cast<int64_t>(hash64(I) % 4096); // exercises overflow
+  }
+  for (auto _ : State) {
+    LazyBucketQueue Q(N, 128, PriorityOrder::LowerFirst);
+    Q.updateBuckets(Ids.data(), Keys.data(), N);
+    Count Seen = 0;
+    while (Q.nextBucket())
+      Seen += static_cast<Count>(Q.currentBucket().size());
+    benchmark::DoNotOptimize(Seen);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_LazyBucketDrain)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HistogramAtomic(benchmark::State &State) {
+  Count M = State.range(0), Universe = 1 << 14;
+  std::vector<VertexId> Targets = randomIds(M, Universe, 3);
+  HistogramBuffer H(Universe);
+  std::vector<VertexId> Unique;
+  std::vector<uint32_t> Counts;
+  for (auto _ : State) {
+    H.reduce(Targets.data(), M, HistogramMethod::AtomicCounts, Unique,
+             Counts);
+    benchmark::DoNotOptimize(Unique.size());
+  }
+  State.SetItemsProcessed(State.iterations() * M);
+}
+BENCHMARK(BM_HistogramAtomic)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HistogramLocalTables(benchmark::State &State) {
+  Count M = State.range(0), Universe = 1 << 14;
+  std::vector<VertexId> Targets = randomIds(M, Universe, 3);
+  HistogramBuffer H(Universe);
+  std::vector<VertexId> Unique;
+  std::vector<uint32_t> Counts;
+  for (auto _ : State) {
+    H.reduce(Targets.data(), M, HistogramMethod::LocalTables, Unique,
+             Counts);
+    benchmark::DoNotOptimize(Unique.size());
+  }
+  State.SetItemsProcessed(State.iterations() * M);
+}
+BENCHMARK(BM_HistogramLocalTables)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DedupClaims(benchmark::State &State) {
+  Count N = 1 << 16;
+  std::vector<VertexId> Targets = randomIds(1 << 18, N, 9);
+  DedupFlags Flags(N);
+  std::vector<VertexId> Won;
+  Won.reserve(static_cast<size_t>(N));
+  for (auto _ : State) {
+    Won.clear();
+    for (VertexId V : Targets)
+      if (Flags.claim(V))
+        Won.push_back(V);
+    Flags.release(Won.data(), static_cast<Count>(Won.size()));
+    benchmark::DoNotOptimize(Won.size());
+  }
+  State.SetItemsProcessed(State.iterations() * (1 << 18));
+}
+BENCHMARK(BM_DedupClaims);
+
+void BM_VertexSubsetSparseToDense(benchmark::State &State) {
+  Count N = 1 << 20;
+  std::vector<VertexId> Ids = randomIds(1 << 16, N, 4);
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  for (auto _ : State) {
+    VertexSubset S = VertexSubset::fromSparse(N, Ids);
+    benchmark::DoNotOptimize(S.dense().data());
+  }
+}
+BENCHMARK(BM_VertexSubsetSparseToDense);
+
+} // namespace
+
+BENCHMARK_MAIN();

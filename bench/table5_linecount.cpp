@@ -1,0 +1,161 @@
+//===- bench/table5_linecount.cpp - Table 5 -------------------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 5: lines-of-code comparison. The GraphIt column counts the
+// shipped .gt programs (non-blank, non-comment). The framework columns
+// count the corresponding hand-written implementations in this
+// repository's baseline proxies (function bodies, extracted by brace
+// matching) — the honest in-repo equivalent of counting each framework's
+// application code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "dsl/Driver.h"
+
+#include <string>
+#include <vector>
+
+using namespace graphit;
+using namespace graphit::bench;
+
+namespace {
+
+/// Non-blank, non-comment lines of a .gt source.
+int countGtLines(const std::string &Path) {
+  std::string Text = dsl::readFileOrDie(Path);
+  int Lines = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First != std::string::npos && Line[First] != '%')
+      ++Lines;
+    Pos = End + 1;
+  }
+  return Lines;
+}
+
+/// Counts the lines of the function whose definition contains
+/// \p Signature, from the signature line through the matching brace.
+/// Returns -1 when the signature is absent.
+int countFunctionLines(const std::string &Path,
+                       const std::string &Signature) {
+  std::string Text = dsl::readFileOrDie(Path);
+  size_t At = Text.find(Signature);
+  if (At == std::string::npos)
+    return -1;
+  size_t Open = Text.find('{', At);
+  if (Open == std::string::npos)
+    return -1;
+  int Depth = 0, Lines = 1;
+  for (size_t I = Open; I < Text.size(); ++I) {
+    if (Text[I] == '{')
+      ++Depth;
+    else if (Text[I] == '}') {
+      if (--Depth == 0)
+        break;
+    } else if (Text[I] == '\n') {
+      ++Lines;
+    }
+  }
+  // Count the signature lines above the brace too.
+  for (size_t I = At; I < Open; ++I)
+    if (Text[I] == '\n')
+      ++Lines;
+  return Lines;
+}
+
+std::string src(const std::string &Rel) {
+  return std::string(GRAPHIT_SRC_DIR) + "/" + Rel;
+}
+std::string app(const std::string &Rel) {
+  return std::string(GRAPHIT_APPS_DIR) + "/" + Rel;
+}
+
+} // namespace
+
+int main() {
+  banner("Table 5: lines of code per algorithm",
+         "the GraphIt DSL programs are 2-4x shorter than hand-written "
+         "framework implementations; A*/SetCover need longer programs "
+         "because of extern functions");
+
+  struct AlgoRow {
+    const char *Name;
+    std::string Gt;
+    std::vector<std::pair<const char *, int>> Impls;
+  };
+
+  const std::string GapbsFile = src("baselines/GAPBSDeltaStepping.cpp");
+  const std::string GaloisFile = src("baselines/GaloisApprox.cpp");
+  const std::string JulienneFile = src("baselines/JulienneEngine.cpp");
+  const std::string AlgoKCore = src("algorithms/KCore.cpp");
+  const std::string AlgoCover = src("algorithms/SetCover.cpp");
+
+  // GAPBS SSSP counts the shared kernel + wrapper, as the paper counts
+  // the whole sssp.cc; others count their per-algorithm functions.
+  int GapbsKernel = countFunctionLines(GapbsFile, "void gapbsKernel");
+
+  std::vector<AlgoRow> Rows = {
+      {"SSSP", app("sssp.gt"),
+       {{"GAPBS", GapbsKernel +
+                      countFunctionLines(GapbsFile, "graphit::gapbsSSSP")},
+        {"Galois", countFunctionLines(GaloisFile, "void galoisKernel") +
+                       countFunctionLines(GaloisFile,
+                                          "graphit::galoisSSSP")},
+        {"Julienne",
+         countFunctionLines(JulienneFile, "OrderedStats julienneDistanceRun") +
+             countFunctionLines(JulienneFile, "graphit::julienneSSSP")}}},
+      {"PPSP", app("ppsp.gt"),
+       {{"GAPBS", GapbsKernel +
+                      countFunctionLines(GapbsFile, "graphit::gapbsPPSP")},
+        {"Galois", countFunctionLines(GaloisFile, "void galoisKernel") +
+                       countFunctionLines(GaloisFile,
+                                          "graphit::galoisPPSP")},
+        {"Julienne",
+         countFunctionLines(JulienneFile, "OrderedStats julienneDistanceRun") +
+             countFunctionLines(JulienneFile, "graphit::juliennePPSP")}}},
+      {"A*", app("astar.gt"),
+       {{"GAPBS", GapbsKernel +
+                      countFunctionLines(GapbsFile, "graphit::gapbsAStar")},
+        {"Galois", countFunctionLines(GaloisFile, "void galoisKernel") +
+                       countFunctionLines(GaloisFile,
+                                          "graphit::galoisAStar")},
+        {"Julienne",
+         countFunctionLines(JulienneFile, "OrderedStats julienneDistanceRun") +
+             countFunctionLines(JulienneFile,
+                                "graphit::julienneAStar")}}},
+      {"k-core", app("kcore.gt"),
+       {{"hand-C++", countFunctionLines(AlgoKCore, "KCoreResult kCoreLazy")},
+        {"Julienne",
+         countFunctionLines(JulienneFile, "graphit::julienneKCore")}}},
+      {"SetCover", app("setcover.gt"),
+       {{"hand-C++",
+         countFunctionLines(AlgoCover, "graphit::approxSetCover")},
+        {"Julienne",
+         countFunctionLines(JulienneFile,
+                            "graphit::julienneSetCover")}}},
+  };
+
+  std::printf("\n%-10s%12s", "algorithm", "GraphIt");
+  std::printf("%24s\n", "hand-written frameworks");
+  for (const AlgoRow &R : Rows) {
+    std::printf("%-10s%12d", R.Name, countGtLines(R.Gt));
+    for (const auto &[Name, Lines] : R.Impls)
+      std::printf("   %s=%d", Name, Lines);
+    std::printf("\n");
+  }
+  std::printf("\n(framework columns are this repository's baseline-proxy "
+              "implementations;\n the paper counted each framework's own "
+              "application code)\n");
+  return 0;
+}

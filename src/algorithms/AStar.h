@@ -1,0 +1,39 @@
+//===- algorithms/AStar.h - A* search on road networks ----------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A* point-to-point search (§6.1): Δ-stepping where a vertex's priority is
+/// the *estimated* total path length dist(v) + h(v), with h a
+/// coordinate-based lower bound on the remaining distance. The paper runs
+/// A* on the road networks, which carry longitude/latitude per vertex.
+///
+/// Our road generator guarantees every edge weight is at least
+/// 100 x the Euclidean length of the edge (graph/Generators.h), so
+/// h(v) = floor(50 x euclidean(v, target)) is both admissible and strictly
+/// consistent (the factor-2 slack absorbs integer rounding; see
+/// DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_ASTAR_H
+#define GRAPHIT_ALGORITHMS_ASTAR_H
+
+#include "algorithms/PPSP.h"
+
+namespace graphit {
+
+/// A* from \p Source to \p Target. Requires `G.hasCoordinates()`.
+PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
+                       const Schedule &S);
+
+/// The heuristic used by `aStarSearch`, exposed for tests:
+/// floor(50 x euclidean distance to target).
+Priority aStarHeuristic(const Graph &G, VertexId V, VertexId Target);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_ASTAR_H

@@ -1,0 +1,32 @@
+//===- algorithms/BellmanFord.h - Unordered SSSP baseline -------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frontier-based Bellman-Ford: the *unordered* SSSP the paper compares
+/// against (Fig. 1, Table 4's "GraphIt (unordered)" and Ligra rows). Every
+/// round relaxes all out-edges of every active vertex regardless of
+/// priority — massive redundant work on high-diameter graphs, which is
+/// precisely the effect Fig. 1 quantifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_BELLMANFORD_H
+#define GRAPHIT_ALGORITHMS_BELLMANFORD_H
+
+#include "algorithms/SSSP.h"
+#include "runtime/Traversal.h"
+
+namespace graphit {
+
+/// Unordered SSSP from \p Source (frontier-based Bellman-Ford).
+/// \p Dir selects the traversal direction, as in the unordered GraphIt.
+SSSPResult bellmanFordSSSP(const Graph &G, VertexId Source,
+                           Direction Dir = Direction::SparsePush);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_BELLMANFORD_H

@@ -1,0 +1,67 @@
+//===- algorithms/Dijkstra.cpp - Serial reference shortest paths ----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/Dijkstra.h"
+
+#include <cstddef>
+#include <queue>
+
+using namespace graphit;
+
+namespace {
+
+using HeapItem = std::pair<Priority, VertexId>;
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+} // namespace
+
+std::vector<Priority> graphit::dijkstraSSSP(const Graph &G,
+                                            VertexId Source) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  Dist[Source] = 0;
+  MinHeap Heap;
+  Heap.push({0, Source});
+  while (!Heap.empty()) {
+    auto [D, U] = Heap.top();
+    Heap.pop();
+    if (D > Dist[U])
+      continue; // stale heap entry
+    for (WNode E : G.outNeighbors(U)) {
+      if (D + E.W < Dist[E.V]) {
+        Dist[E.V] = D + E.W;
+        Heap.push({Dist[E.V], E.V});
+      }
+    }
+  }
+  return Dist;
+}
+
+Priority graphit::dijkstraPPSP(const Graph &G, VertexId Source,
+                               VertexId Target) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  Dist[Source] = 0;
+  MinHeap Heap;
+  Heap.push({0, Source});
+  while (!Heap.empty()) {
+    auto [D, U] = Heap.top();
+    Heap.pop();
+    if (U == Target)
+      return D;
+    if (D > Dist[U])
+      continue;
+    for (WNode E : G.outNeighbors(U)) {
+      if (D + E.W < Dist[E.V]) {
+        Dist[E.V] = D + E.W;
+        Heap.push({Dist[E.V], E.V});
+      }
+    }
+  }
+  return kInfiniteDistance;
+}

@@ -1,0 +1,32 @@
+//===- algorithms/Dijkstra.h - Serial reference shortest paths --*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serial binary-heap Dijkstra, used as the correctness oracle for every
+/// parallel shortest-path variant in the test suite, and as the
+/// work-optimal serial lower bound in benchmark sanity checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_DIJKSTRA_H
+#define GRAPHIT_ALGORITHMS_DIJKSTRA_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Exact single-source distances from \p Source (serial).
+std::vector<Priority> dijkstraSSSP(const Graph &G, VertexId Source);
+
+/// Exact point-to-point distance with early heap exit (serial).
+Priority dijkstraPPSP(const Graph &G, VertexId Source, VertexId Target);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_DIJKSTRA_H

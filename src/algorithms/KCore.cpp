@@ -1,0 +1,393 @@
+//===- algorithms/KCore.cpp - k-core decomposition ------------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/KCore.h"
+
+#include "runtime/Dedup.h"
+#include "runtime/Histogram.h"
+#include "runtime/LazyBucketQueue.h"
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <omp.h>
+
+using namespace graphit;
+
+namespace {
+
+void requireSymmetric(const Graph &G) {
+  if (!G.isSymmetric())
+    fatalError("k-core requires a symmetric graph (Table 3)");
+}
+
+/// Atomically lowers Deg[U] by one, clamping at \p Floor (the current core
+/// k; Table 1's updatePrioritySum min threshold). \returns true iff the
+/// stored value changed.
+bool decrementClamped(Priority *Slot, Priority Floor) {
+  while (true) {
+    Priority Current = atomicLoad(Slot);
+    Priority Next = std::max(Current - 1, Floor);
+    if (Next == Current)
+      return false;
+    if (atomicCAS(Slot, Current, Next))
+      return true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy peeling (with and without the constant-sum histogram)
+//===----------------------------------------------------------------------===//
+
+KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
+                      bool UseHistogram) {
+  Count N = G.numNodes();
+  KCoreResult R;
+  R.Coreness.assign(static_cast<size_t>(N), 0);
+
+  Timer Clock;
+  std::vector<Priority> Deg(static_cast<size_t>(N));
+  std::vector<uint8_t> Done(static_cast<size_t>(N), 0);
+  LazyBucketQueue Queue(N, S.NumOpenBuckets, PriorityOrder::LowerFirst);
+  {
+    std::vector<VertexId> Ids(static_cast<size_t>(N));
+    std::vector<int64_t> Keys(static_cast<size_t>(N));
+    parallelFor(
+        0, N,
+        [&](Count V) {
+          Deg[V] = G.outDegree(static_cast<VertexId>(V));
+          Ids[V] = static_cast<VertexId>(V);
+          Keys[V] = Deg[V];
+        },
+        Parallelization::StaticVertexParallel);
+    Queue.updateBuckets(Ids.data(), Keys.data(), N);
+  }
+
+  HistogramBuffer Hist(N);
+  DedupFlags Changed(N);
+  std::vector<int64_t> Offsets;
+  std::vector<VertexId> Targets, Compact, UniqueIds, ChangedIds;
+  std::vector<uint32_t> Counts;
+  std::vector<int64_t> Keys;
+  std::vector<std::vector<VertexId>> PerThread(
+      static_cast<size_t>(omp_get_max_threads()));
+
+  while (Queue.nextBucket()) {
+    int64_t K = Queue.currentKey();
+    R.MaxCore = std::max<Priority>(R.MaxCore, K);
+    ++R.Stats.Rounds;
+    const std::vector<VertexId> &Bucket = Queue.currentBucket();
+    Count B = static_cast<Count>(Bucket.size());
+    R.Stats.VerticesProcessed += B;
+
+    // Finalize the extracted bucket: coreness = current k.
+    parallelFor(
+        0, B,
+        [&](Count I) {
+          R.Coreness[Bucket[I]] = K;
+          Done[Bucket[I]] = 1;
+        },
+        Parallelization::StaticVertexParallel);
+
+    // Gather the not-yet-finalized neighbors (with duplicates).
+    Offsets.resize(static_cast<size_t>(B) + 1);
+    parallelFor(
+        0, B, [&](Count I) { Offsets[I] = G.outDegree(Bucket[I]); },
+        Parallelization::StaticVertexParallel);
+    Offsets[B] = 0;
+    int64_t Total = exclusivePrefixSum(Offsets.data(), B + 1);
+    Targets.resize(static_cast<size_t>(Total));
+    parallelFor(0, B, [&](Count I) {
+      int64_t Pos = Offsets[I];
+      for (WNode E : G.outNeighbors(Bucket[I]))
+        Targets[static_cast<size_t>(Pos++)] =
+            Done[E.V] ? kInvalidVertex : E.V;
+    });
+    Compact.resize(static_cast<size_t>(Total));
+    Count M = parallelPack(Targets.data(), Total, Compact.data(),
+                           [](VertexId V) { return V != kInvalidVertex; });
+
+    if (UseHistogram) {
+      // One update per distinct neighbor, carrying the count (Fig. 10).
+      Hist.reduce(Compact.data(), M, S.Histogram, UniqueIds, Counts);
+      Count U = static_cast<Count>(UniqueIds.size());
+      Keys.resize(static_cast<size_t>(U));
+      parallelFor(
+          0, U,
+          [&](Count I) {
+            VertexId V = UniqueIds[I];
+            Deg[V] = std::max<Priority>(Deg[V] - Counts[I], K);
+            Keys[I] = Deg[V];
+          },
+          Parallelization::StaticVertexParallel);
+      Queue.updateBuckets(UniqueIds.data(), Keys.data(), U);
+      continue;
+    }
+
+    // Plain lazy: one atomic decrement per edge occurrence.
+    ChangedIds.clear();
+    if (M < 4096) {
+      for (Count I = 0; I < M; ++I) {
+        VertexId V = Compact[I];
+        if (decrementClamped(&Deg[V], K) && Changed.claim(V))
+          ChangedIds.push_back(V);
+      }
+    } else {
+      for (std::vector<VertexId> &L : PerThread)
+        L.clear();
+#pragma omp parallel
+      {
+        std::vector<VertexId> &Mine =
+            PerThread[static_cast<size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+        for (Count I = 0; I < M; ++I) {
+          VertexId V = Compact[I];
+          if (decrementClamped(&Deg[V], K) && Changed.claim(V))
+            Mine.push_back(V);
+        }
+      }
+      for (const std::vector<VertexId> &L : PerThread)
+        ChangedIds.insert(ChangedIds.end(), L.begin(), L.end());
+    }
+    Count U = static_cast<Count>(ChangedIds.size());
+    Changed.release(ChangedIds.data(), U);
+    Keys.resize(static_cast<size_t>(U));
+    parallelFor(
+        0, U, [&](Count I) { Keys[I] = Deg[ChangedIds[I]]; },
+        Parallelization::StaticVertexParallel);
+    Queue.updateBuckets(ChangedIds.data(), Keys.data(), U);
+  }
+
+  R.Stats.OverflowRebuckets = Queue.overflowRebuckets();
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Eager peeling (thread-local degree buckets)
+//===----------------------------------------------------------------------===//
+
+KCoreResult kCoreEager(const Graph &G) {
+  Count N = G.numNodes();
+  KCoreResult R;
+  R.Coreness.assign(static_cast<size_t>(N), 0);
+
+  Timer Clock;
+  std::vector<Priority> Deg(static_cast<size_t>(N));
+  std::vector<uint8_t> Done(static_cast<size_t>(N), 0);
+  parallelFor(
+      0, N,
+      [&](Count V) { Deg[V] = G.outDegree(static_cast<VertexId>(V)); },
+      Parallelization::StaticVertexParallel);
+
+  int64_t SharedMin[2] = {0, kMaxEagerKey};
+  SharedMin[0] = kMaxEagerKey;
+  int64_t Rounds = 0, Processed = 0, MaxCore = 0;
+
+#pragma omp parallel
+  {
+    std::vector<std::vector<VertexId>> Bins;
+    auto Push = [&Bins](VertexId V, int64_t Key) {
+      if (static_cast<size_t>(Key) >= Bins.size())
+        Bins.resize(static_cast<size_t>(Key) + 1);
+      Bins[static_cast<size_t>(Key)].push_back(V);
+    };
+
+    // Initial distribution: each thread buckets a static chunk by degree.
+#pragma omp for schedule(static)
+    for (Count V = 0; V < N; ++V)
+      Push(static_cast<VertexId>(V), Deg[V]);
+
+    int64_t ScanFrom = 0;
+    int64_t LocalProcessed = 0;
+    int64_t LocalMaxCore = 0;
+    int64_t Iter = 0;
+    while (true) {
+      // Propose the smallest non-empty local bin. Degrees only move down
+      // to the current k, so the scan cursor never needs to back up.
+      int64_t &CurrMin = SharedMin[Iter & 1];
+      int64_t &NextMin = SharedMin[(Iter + 1) & 1];
+      int64_t My = kMaxEagerKey;
+      for (int64_t B = ScanFrom;
+           B < static_cast<int64_t>(Bins.size()); ++B) {
+        if (!Bins[static_cast<size_t>(B)].empty()) {
+          My = B;
+          break;
+        }
+      }
+      if (My != kMaxEagerKey) {
+#pragma omp critical
+        CurrMin = std::min(CurrMin, My);
+      }
+#pragma omp barrier
+      int64_t K = CurrMin;
+      if (K == kMaxEagerKey)
+        break;
+#pragma omp single nowait
+      {
+        ++Rounds;
+        NextMin = kMaxEagerKey;
+      }
+      ScanFrom = K;
+
+      // Drain the local bucket for k. Pushes land only in this thread's
+      // bins, so local emptiness is global per-thread completion.
+      while (static_cast<size_t>(K) < Bins.size() &&
+             !Bins[static_cast<size_t>(K)].empty()) {
+        std::vector<VertexId> Drain =
+            std::move(Bins[static_cast<size_t>(K)]);
+        Bins[static_cast<size_t>(K)].clear();
+        for (VertexId V : Drain) {
+          if (Done[V] || atomicLoad(&Deg[V]) != K)
+            continue; // stale entry
+          if (!atomicCAS<uint8_t>(&Done[V], 0, 1))
+            continue; // duplicate claim
+          R.Coreness[V] = K;
+          LocalMaxCore = std::max(LocalMaxCore, K);
+          ++LocalProcessed;
+          for (WNode E : G.outNeighbors(V)) {
+            if (Done[E.V])
+              continue;
+            if (decrementClamped(&Deg[E.V], K))
+              Push(E.V, atomicLoad(&Deg[E.V]));
+          }
+        }
+      }
+      ++Iter;
+#pragma omp barrier
+    }
+    fetchAdd(&Processed, LocalProcessed);
+    atomicWriteMax(&MaxCore, LocalMaxCore);
+  }
+
+  R.MaxCore = MaxCore;
+  R.Stats.Rounds = Rounds;
+  R.Stats.VerticesProcessed = Processed;
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}
+
+} // namespace
+
+KCoreResult graphit::kCoreDecomposition(const Graph &G, const Schedule &S) {
+  requireSymmetric(G);
+  switch (S.Update) {
+  case UpdateStrategy::LazyConstantSum:
+    return kCoreLazy(G, S, /*UseHistogram=*/true);
+  case UpdateStrategy::Lazy:
+    return kCoreLazy(G, S, /*UseHistogram=*/false);
+  case UpdateStrategy::EagerWithFusion:
+  case UpdateStrategy::EagerNoFusion:
+    return kCoreEager(G);
+  }
+  GRAPHIT_UNREACHABLE("bad UpdateStrategy");
+}
+
+KCoreResult graphit::kCoreUnordered(const Graph &G) {
+  requireSymmetric(G);
+  Count N = G.numNodes();
+  KCoreResult R;
+  R.Coreness.assign(static_cast<size_t>(N), 0);
+
+  Timer Clock;
+  std::vector<Priority> Deg(static_cast<size_t>(N));
+  parallelFor(
+      0, N,
+      [&](Count V) { Deg[V] = G.outDegree(static_cast<VertexId>(V)); },
+      Parallelization::StaticVertexParallel);
+
+  // Ligra-style unordered peeling: every wave filters the FULL vertex set
+  // (a vertexFilter over [0, n)), with no bucketing and no compaction —
+  // the redundant scans that Fig. 1 charges to the unordered algorithm.
+  std::vector<VertexId> Wave(static_cast<size_t>(N));
+  std::vector<VertexId> AllVertices(static_cast<size_t>(N));
+  parallelFor(
+      0, N, [&](Count V) { AllVertices[V] = static_cast<VertexId>(V); },
+      Parallelization::StaticVertexParallel);
+
+  Count Remaining = N;
+  Priority K = 0;
+  while (Remaining > 0) {
+    Count WaveSize =
+        parallelPack(AllVertices.data(), N, Wave.data(), [&](VertexId V) {
+          return Deg[V] >= 0 && Deg[V] <= K;
+        });
+    ++R.Stats.Rounds;
+    R.Stats.VerticesProcessed += N; // full rescans every wave
+    if (WaveSize == 0) {
+      ++K;
+      continue;
+    }
+    parallelFor(0, WaveSize, [&](Count I) {
+      VertexId V = Wave[I];
+      R.Coreness[V] = K;
+      Deg[V] = -1; // removed marker
+      for (WNode E : G.outNeighbors(V))
+        if (atomicLoad(&Deg[E.V]) > K)
+          fetchAdd(&Deg[E.V], Priority{-1});
+    });
+    Remaining -= WaveSize;
+    R.MaxCore = std::max(R.MaxCore, K);
+  }
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}
+
+std::vector<Priority> graphit::kCoreSerial(const Graph &G) {
+  requireSymmetric(G);
+  Count N = G.numNodes();
+  std::vector<Priority> Deg(static_cast<size_t>(N));
+  Priority MaxDeg = 0;
+  for (Count V = 0; V < N; ++V) {
+    Deg[V] = G.outDegree(static_cast<VertexId>(V));
+    MaxDeg = std::max(MaxDeg, Deg[V]);
+  }
+
+  // Batagelj-Zaversnik bin-sort peeling.
+  std::vector<Count> Bin(static_cast<size_t>(MaxDeg) + 2, 0);
+  for (Count V = 0; V < N; ++V)
+    ++Bin[Deg[V]];
+  Count Start = 0;
+  for (Priority D = 0; D <= MaxDeg; ++D) {
+    Count C = Bin[D];
+    Bin[D] = Start;
+    Start += C;
+  }
+  std::vector<VertexId> Vert(static_cast<size_t>(N));
+  std::vector<Count> Pos(static_cast<size_t>(N));
+  for (Count V = 0; V < N; ++V) {
+    Pos[V] = Bin[Deg[V]];
+    Vert[Pos[V]] = static_cast<VertexId>(V);
+    ++Bin[Deg[V]];
+  }
+  for (Priority D = MaxDeg; D >= 1; --D)
+    Bin[D] = Bin[D - 1];
+  Bin[0] = 0;
+
+  for (Count I = 0; I < N; ++I) {
+    VertexId V = Vert[I];
+    for (WNode E : G.outNeighbors(V)) {
+      VertexId U = E.V;
+      if (Deg[U] <= Deg[V])
+        continue;
+      // Swap U with the first vertex of its bin, then shrink the bin.
+      Count DU = Deg[U], PU = Pos[U];
+      Count PW = Bin[DU];
+      VertexId W = Vert[PW];
+      if (U != W) {
+        Pos[U] = PW;
+        Pos[W] = PU;
+        Vert[PU] = W;
+        Vert[PW] = U;
+      }
+      ++Bin[DU];
+      --Deg[U];
+    }
+  }
+  return Deg; // degree at removal time == coreness
+}

@@ -1,0 +1,31 @@
+//===- algorithms/PPSP.cpp - Point-to-point shortest path -----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/PPSP.h"
+
+#include "algorithms/DistanceEngine.h"
+
+using namespace graphit;
+
+PPSPResult graphit::pointToPointShortestPath(const Graph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  Dist[Source] = 0;
+  const int64_t Delta = S.Delta;
+  // Stop once the current bucket's lower bound iΔ reaches the tentative
+  // distance of the target: no later bucket can improve it.
+  auto Stop = [&](int64_t CurrKey) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+  };
+  OrderedStats Stats = detail::distanceOrderedRun(
+      G, Source, Dist, S, [](VertexId) { return Priority{0}; }, Stop);
+  return PPSPResult{Dist[Target], Stats};
+}

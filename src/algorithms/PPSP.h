@@ -1,0 +1,37 @@
+//===- algorithms/PPSP.h - Point-to-point shortest path ---------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point-to-point shortest path (§6.1): Δ-stepping with priority
+/// coarsening, terminating early once the algorithm enters iteration i with
+/// iΔ ≥ the best distance already found for the destination — at that point
+/// the destination's distance is final.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_PPSP_H
+#define GRAPHIT_ALGORITHMS_PPSP_H
+
+#include "core/OrderedProcess.h"
+#include "core/Schedule.h"
+#include "graph/Graph.h"
+
+namespace graphit {
+
+/// Result of a point-to-point query.
+struct PPSPResult {
+  Priority Dist = kInfiniteDistance; ///< kInfiniteDistance if unreachable
+  OrderedStats Stats;
+};
+
+/// Shortest-path distance from \p Source to \p Target with early exit.
+PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
+                                    VertexId Target, const Schedule &S);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_PPSP_H

@@ -1,0 +1,20 @@
+//===- algorithms/SSSP.cpp - Δ-stepping shortest paths --------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/SSSP.h"
+
+#include "algorithms/DistanceEngine.h"
+
+using namespace graphit;
+
+SSSPResult graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
+                                      const Schedule &S) {
+  detail::DistanceRun R = detail::runDistanceAlgorithm(
+      G, Source, S, [](VertexId) { return Priority{0}; },
+      [](int64_t) { return false; });
+  return SSSPResult{std::move(R.Dist), R.Stats};
+}

@@ -1,0 +1,41 @@
+//===- algorithms/SSSP.h - Δ-stepping shortest paths ------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-source shortest paths with Δ-stepping (Fig. 3/5/6/7 of the
+/// paper), the running example of the whole paper. The schedule selects
+/// eager (with/without bucket fusion) or lazy bucket updates, the traversal
+/// direction, and the coarsening factor Δ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_SSSP_H
+#define GRAPHIT_ALGORITHMS_SSSP_H
+
+#include "core/OrderedProcess.h"
+#include "core/Schedule.h"
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Result of a single-source distance computation. Unreached vertices hold
+/// kInfiniteDistance.
+struct SSSPResult {
+  std::vector<Priority> Dist;
+  OrderedStats Stats;
+};
+
+/// Δ-stepping SSSP from \p Source under schedule \p S. Requires
+/// non-negative edge weights.
+SSSPResult deltaSteppingSSSP(const Graph &G, VertexId Source,
+                             const Schedule &S);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_SSSP_H

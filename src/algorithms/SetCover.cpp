@@ -1,0 +1,248 @@
+//===- algorithms/SetCover.cpp - Approximate set cover --------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/SetCover.h"
+
+#include "runtime/LazyBucketQueue.h"
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <omp.h>
+#include <queue>
+
+using namespace graphit;
+
+namespace {
+
+constexpr uint64_t kMaxRank = std::numeric_limits<uint64_t>::max();
+
+/// Coverage of set \p V: the uncovered vertices of its closed neighborhood.
+Count countUncovered(const Graph &G, const std::vector<uint8_t> &Uncovered,
+                     VertexId V) {
+  Count C = Uncovered[V] ? 1 : 0;
+  for (WNode E : G.outNeighbors(V))
+    C += Uncovered[E.V] ? 1 : 0;
+  return C;
+}
+
+/// Applies \p Body to each member of V's closed neighborhood.
+template <typename Fn>
+void forClosedNeighborhood(const Graph &G, VertexId V, Fn &&Body) {
+  Body(V);
+  for (WNode E : G.outNeighbors(V))
+    Body(E.V);
+}
+
+} // namespace
+
+bool graphit::isValidCover(const Graph &G,
+                           const std::vector<VertexId> &Chosen) {
+  std::vector<uint8_t> Covered(static_cast<size_t>(G.numNodes()), 0);
+  for (VertexId S : Chosen)
+    forClosedNeighborhood(G, S, [&](VertexId E) { Covered[E] = 1; });
+  for (Count V = 0; V < G.numNodes(); ++V)
+    if (!Covered[V])
+      return false;
+  return true;
+}
+
+SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
+                                       double Epsilon, uint64_t Seed) {
+  if (!G.isSymmetric())
+    fatalError("set cover requires a symmetric graph (Table 3)");
+  if (Epsilon <= 0.0 || Epsilon >= 1.0)
+    fatalError("approxSetCover: epsilon must be in (0, 1)");
+
+  Count N = G.numNodes();
+  SetCoverResult R;
+  if (N == 0)
+    return R;
+
+  Timer Clock;
+  const double LogBase = std::log1p(Epsilon);
+  auto BucketOf = [&](Count Coverage) -> int64_t {
+    // Coverage >= 1; bucket = floor(log_{1+eps}(coverage)).
+    return static_cast<int64_t>(std::floor(
+        std::log(static_cast<double>(Coverage)) / LogBase + 1e-12));
+  };
+  auto BucketFloor = [&](int64_t B) -> Count {
+    return static_cast<Count>(
+        std::ceil(std::pow(1.0 + Epsilon, static_cast<double>(B)) - 1e-9));
+  };
+
+  std::vector<uint8_t> Uncovered(static_cast<size_t>(N), 1);
+  std::vector<uint64_t> Reserver(static_cast<size_t>(N), kMaxRank);
+  std::vector<Count> Coverage(static_cast<size_t>(N), 0);
+  Count NumUncovered = N;
+
+  LazyBucketQueue Queue(N, S.NumOpenBuckets, PriorityOrder::HigherFirst);
+  {
+    std::vector<VertexId> Ids(static_cast<size_t>(N));
+    std::vector<int64_t> Keys(static_cast<size_t>(N));
+    parallelFor(
+        0, N,
+        [&](Count V) {
+          Ids[V] = static_cast<VertexId>(V);
+          Keys[V] = BucketOf(G.outDegree(static_cast<VertexId>(V)) + 1);
+        },
+        Parallelization::StaticVertexParallel);
+    Queue.updateBuckets(Ids.data(), Keys.data(), N);
+  }
+
+  std::vector<uint8_t> Won(static_cast<size_t>(N), 0);
+  std::vector<VertexId> Requeue;
+  std::vector<int64_t> RequeueKeys;
+  std::vector<std::vector<VertexId>> ChosenPerThread(
+      static_cast<size_t>(omp_get_max_threads()));
+  int64_t RoundSalt = 0;
+
+  auto RankOf = [&](VertexId V) {
+    return (hash64(Seed ^ static_cast<uint64_t>(RoundSalt) ^ V)
+            << 32) |
+           V; // unique per vertex; re-randomized every round
+  };
+
+  while (NumUncovered > 0 && Queue.nextBucket()) {
+    ++R.Stats.Rounds;
+    ++RoundSalt;
+    int64_t B = Queue.currentKey();
+    const std::vector<VertexId> &Cands = Queue.currentBucket();
+    Count M = static_cast<Count>(Cands.size());
+    R.Stats.VerticesProcessed += M;
+
+    // Recompute true coverage; classify candidates.
+    parallelFor(0, M, [&](Count I) {
+      Coverage[Cands[I]] = countUncovered(G, Uncovered, Cands[I]);
+    });
+
+    // Reservation: every still-valid candidate stamps its rank on its
+    // uncovered elements (lower rank wins).
+    parallelFor(0, M, [&](Count I) {
+      VertexId V = Cands[I];
+      if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
+        return;
+      uint64_t Rank = RankOf(V);
+      forClosedNeighborhood(G, V, [&](VertexId E) {
+        if (Uncovered[E])
+          atomicWriteMin(&Reserver[E], Rank);
+      });
+    });
+
+    // Commit: a candidate joins the cover if it won nearly its claimed
+    // coverage (the bucket's lower bound, shaved by epsilon).
+    Count NewlyCovered = 0;
+    const Count Threshold = std::max<Count>(
+        1, static_cast<Count>(std::ceil(
+               (1.0 - Epsilon) * static_cast<double>(BucketFloor(B)))));
+#pragma omp parallel reduction(+ : NewlyCovered)
+    {
+      std::vector<VertexId> &Mine =
+          ChosenPerThread[static_cast<size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, kDynamicGrain)
+      for (Count I = 0; I < M; ++I) {
+        VertexId V = Cands[I];
+        if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
+          continue;
+        uint64_t Rank = RankOf(V);
+        Count Wins = 0;
+        forClosedNeighborhood(G, V, [&](VertexId E) {
+          if (Uncovered[E] && Reserver[E] == Rank)
+            ++Wins;
+        });
+        if (Wins < Threshold)
+          continue;
+        Won[V] = 1;
+        Mine.push_back(V);
+        forClosedNeighborhood(G, V, [&](VertexId E) {
+          if (Uncovered[E] && Reserver[E] == Rank) {
+            Uncovered[E] = 0;
+            ++NewlyCovered;
+          }
+        });
+      }
+    }
+    NumUncovered -= NewlyCovered;
+
+    // Reset reservations and requeue losers/demoted candidates.
+    parallelFor(0, M, [&](Count I) {
+      forClosedNeighborhood(G, Cands[I],
+                            [&](VertexId E) { Reserver[E] = kMaxRank; });
+    });
+    Requeue.clear();
+    RequeueKeys.clear();
+    for (Count I = 0; I < M; ++I) {
+      VertexId V = Cands[I];
+      if (Won[V]) {
+        Won[V] = 0;
+        continue;
+      }
+      if (Coverage[V] <= 0)
+        continue; // covers nothing anymore; never needed
+      Requeue.push_back(V);
+      RequeueKeys.push_back(std::min(B, BucketOf(Coverage[V])));
+    }
+    Queue.updateBuckets(Requeue.data(), RequeueKeys.data(),
+                        static_cast<Count>(Requeue.size()));
+  }
+
+  for (const std::vector<VertexId> &L : ChosenPerThread)
+    R.ChosenSets.insert(R.ChosenSets.end(), L.begin(), L.end());
+  R.CoveredElements = N - NumUncovered;
+  R.Stats.OverflowRebuckets = Queue.overflowRebuckets();
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}
+
+SetCoverResult graphit::setCoverSerial(const Graph &G) {
+  if (!G.isSymmetric())
+    fatalError("set cover requires a symmetric graph (Table 3)");
+  Count N = G.numNodes();
+  SetCoverResult R;
+  if (N == 0)
+    return R;
+
+  Timer Clock;
+  std::vector<uint8_t> Uncovered(static_cast<size_t>(N), 1);
+  Count NumUncovered = N;
+
+  // Lazy-evaluation greedy: pop the stalest max, recount, reinsert if the
+  // count dropped; otherwise commit. Exactly the serial greedy order.
+  using Item = std::pair<Count, VertexId>;
+  std::priority_queue<Item> Heap;
+  for (Count V = 0; V < N; ++V)
+    Heap.push({G.outDegree(static_cast<VertexId>(V)) + 1,
+               static_cast<VertexId>(V)});
+
+  while (NumUncovered > 0 && !Heap.empty()) {
+    auto [Claimed, V] = Heap.top();
+    Heap.pop();
+    Count Actual = countUncovered(G, Uncovered, V);
+    if (Actual <= 0)
+      continue;
+    if (Actual < Claimed) {
+      Heap.push({Actual, V});
+      continue;
+    }
+    R.ChosenSets.push_back(V);
+    forClosedNeighborhood(G, V, [&](VertexId E) {
+      if (Uncovered[E]) {
+        Uncovered[E] = 0;
+        --NumUncovered;
+      }
+    });
+    ++R.Stats.Rounds;
+  }
+  R.CoveredElements = N - NumUncovered;
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- algorithms/SetCover.h - Approximate set cover ------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approximate (unweighted) set cover by bucketed parallel greedy
+/// (§6.1, following Blelloch et al. and Julienne): sets are bucketed by
+/// their current coverage (cost per element with unit costs), the highest
+/// bucket is processed first, and a nearly-independent subset of it is
+/// committed each round through randomized reservations on the elements.
+///
+/// Instance encoding, as in Julienne's graph benchmarks: on a symmetric
+/// graph, every vertex is both an element and a set covering its closed
+/// neighborhood {v} ∪ N(v); the returned cover is a dominating set.
+///
+/// Priorities move in one direction only (coverage shrinks), the queue is
+/// HigherFirst, and priority coarsening is not applicable (§2); buckets are
+/// logarithmic in the coverage, with ε controlling both the bucket ratio
+/// and the commit threshold (approximation factor (1+O(ε))·H_n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_SETCOVER_H
+#define GRAPHIT_ALGORITHMS_SETCOVER_H
+
+#include "core/OrderedProcess.h"
+#include "core/Schedule.h"
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Result of a set-cover run.
+struct SetCoverResult {
+  std::vector<VertexId> ChosenSets; ///< the cover (a dominating set)
+  Count CoveredElements = 0;        ///< always numNodes() on success
+  OrderedStats Stats;
+};
+
+/// Parallel bucketed greedy set cover. Requires a symmetric graph.
+/// \p Epsilon controls bucket granularity and the commit threshold.
+SetCoverResult approxSetCover(const Graph &G, const Schedule &S,
+                              double Epsilon = 0.01, uint64_t Seed = 42);
+
+/// Serial lazy-evaluation greedy (the exact H_n-approximation oracle).
+SetCoverResult setCoverSerial(const Graph &G);
+
+/// True iff \p Chosen covers every vertex of \p G (closed neighborhoods).
+bool isValidCover(const Graph &G, const std::vector<VertexId> &Chosen);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_SETCOVER_H

@@ -1,0 +1,16 @@
+//===- algorithms/WBFS.cpp - Weighted breadth-first search ----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/WBFS.h"
+
+using namespace graphit;
+
+SSSPResult graphit::weightedBFS(const Graph &G, VertexId Source,
+                                Schedule S) {
+  S.Delta = 1; // wBFS is Δ-stepping with Δ fixed to 1 (§6.1)
+  return deltaSteppingSSSP(G, Source, S);
+}

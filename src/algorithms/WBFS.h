@@ -1,0 +1,28 @@
+//===- algorithms/WBFS.h - Weighted breadth-first search --------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weighted BFS (§6.1): the special case of Δ-stepping for graphs with
+/// small positive integer weights, with Δ fixed to 1 (following
+/// Julienne). The paper benchmarks it on social/web graphs with weights in
+/// [1, log n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_ALGORITHMS_WBFS_H
+#define GRAPHIT_ALGORITHMS_WBFS_H
+
+#include "algorithms/SSSP.h"
+
+namespace graphit {
+
+/// wBFS from \p Source: Δ-stepping with Δ = 1 regardless of `S.Delta`.
+SSSPResult weightedBFS(const Graph &G, VertexId Source, Schedule S);
+
+} // namespace graphit
+
+#endif // GRAPHIT_ALGORITHMS_WBFS_H

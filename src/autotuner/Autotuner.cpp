@@ -1,0 +1,125 @@
+//===- autotuner/Autotuner.cpp - Schedule autotuning ----------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Autotuner.h"
+
+#include "support/Abort.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace graphit;
+
+int64_t TuningSpace::size() const {
+  return static_cast<int64_t>(Strategies.size()) *
+         static_cast<int64_t>(Deltas.size()) *
+         static_cast<int64_t>(FusionThresholds.size()) *
+         static_cast<int64_t>(Directions.size()) *
+         static_cast<int64_t>(NumBucketsChoices.size());
+}
+
+Schedule TuningSpace::at(int64_t I) const {
+  if (I < 0 || I >= size())
+    fatalError("TuningSpace::at out of range");
+  Schedule S;
+  S.Update = Strategies[I % Strategies.size()];
+  I /= static_cast<int64_t>(Strategies.size());
+  S.Delta = Deltas[I % Deltas.size()];
+  I /= static_cast<int64_t>(Deltas.size());
+  S.FusionThreshold = FusionThresholds[I % FusionThresholds.size()];
+  I /= static_cast<int64_t>(FusionThresholds.size());
+  S.Dir = Directions[I % Directions.size()];
+  I /= static_cast<int64_t>(Directions.size());
+  S.NumOpenBuckets = NumBucketsChoices[I % NumBucketsChoices.size()];
+  return S;
+}
+
+TuningSpace TuningSpace::distanceSpace() {
+  TuningSpace Space;
+  Space.Strategies = {UpdateStrategy::EagerWithFusion,
+                      UpdateStrategy::EagerNoFusion, UpdateStrategy::Lazy};
+  for (int Exp = 0; Exp <= 17; Exp += 1)
+    Space.Deltas.push_back(int64_t{1} << Exp);
+  Space.FusionThresholds = {100, 1000, 10000};
+  Space.Directions = {Direction::SparsePush, Direction::DensePull,
+                      Direction::Hybrid};
+  Space.NumBucketsChoices = {32, 128, 512};
+  return Space;
+}
+
+TuningSpace TuningSpace::peelingSpace() {
+  TuningSpace Space;
+  Space.Strategies = {UpdateStrategy::LazyConstantSum, UpdateStrategy::Lazy,
+                      UpdateStrategy::EagerNoFusion};
+  Space.Deltas = {1}; // no priority coarsening for k-core/SetCover (§2)
+  Space.FusionThresholds = {1000};
+  Space.Directions = {Direction::SparsePush};
+  Space.NumBucketsChoices = {32, 128, 512};
+  return Space;
+}
+
+TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
+                               const TuningOptions &Options) {
+  if (Space.size() <= 0)
+    fatalError("autotune: empty tuning space");
+  Timer Clock;
+  TuningResult R;
+  R.BestSeconds = std::numeric_limits<double>::infinity();
+
+  SplitMix64 Rng(Options.Seed);
+  std::set<int64_t> Tried;
+  int64_t SpaceSize = Space.size();
+  int Trials = std::max(1, Options.MaxTrials);
+
+  auto Measure = [&](const Schedule &S) {
+    double Seconds = Eval(S);
+    ++R.Evaluated;
+    if (!std::isfinite(Seconds))
+      return;
+    R.History.push_back(TuningSample{S, Seconds});
+    if (Seconds < R.BestSeconds) {
+      R.BestSeconds = Seconds;
+      R.Best = S;
+    }
+  };
+
+  // Phase 1: seeded random sampling without replacement.
+  for (int T = 0; T < Trials; ++T) {
+    if (T > 0 && Clock.seconds() > Options.TimeBudgetSeconds)
+      break;
+    if (static_cast<int64_t>(Tried.size()) >= SpaceSize)
+      break;
+    int64_t Pick;
+    do {
+      Pick = Rng.nextInt(0, SpaceSize);
+    } while (!Tried.insert(Pick).second);
+    Measure(Space.at(Pick));
+  }
+
+  // Phase 2: successive-halving style refinement — re-measure the leaders
+  // so the winner is not a fluke of one noisy run.
+  std::vector<TuningSample> Ranked = R.History;
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const TuningSample &A, const TuningSample &B) {
+              return A.Seconds < B.Seconds;
+            });
+  int Leaders = std::min<int>(Options.RefineTop,
+                              static_cast<int>(Ranked.size()));
+  for (int L = 0; L < Leaders; ++L) {
+    for (int Rep = 0; Rep < Options.RefineRepeats; ++Rep) {
+      if (Clock.seconds() > Options.TimeBudgetSeconds)
+        break;
+      Measure(Ranked[L].Sched);
+    }
+  }
+
+  R.ElapsedSeconds = Clock.seconds();
+  return R;
+}

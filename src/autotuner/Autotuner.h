@@ -1,0 +1,87 @@
+//===- autotuner/Autotuner.h - Schedule autotuning --------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autotuner of §5.3: a stochastic search over the scheduling space
+/// (bucket-update strategy x Δ x direction x fusion threshold x open
+/// buckets) under a time budget. The paper builds on OpenTuner; this
+/// reproduction uses seeded random sampling with a successive-halving
+/// refinement of the leaders — the same "try many schedules, spend more
+/// time on promising ones" structure, self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_AUTOTUNER_AUTOTUNER_H
+#define GRAPHIT_AUTOTUNER_AUTOTUNER_H
+
+#include "core/Schedule.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace graphit {
+
+/// The cross-product search space. Empty dimensions are illegal.
+struct TuningSpace {
+  std::vector<UpdateStrategy> Strategies;
+  std::vector<int64_t> Deltas;
+  std::vector<int64_t> FusionThresholds;
+  std::vector<Direction> Directions;
+  std::vector<int> NumBucketsChoices;
+
+  /// Number of distinct schedules in the space.
+  int64_t size() const;
+
+  /// The I-th schedule under mixed-radix enumeration.
+  Schedule at(int64_t I) const;
+
+  /// The space the paper's experiments search for distance algorithms:
+  /// all four strategies, Δ in powers of two up to 2^17, both
+  /// directions, a few thresholds/bucket counts (~10^3-10^6 combinations
+  /// depending on trimming).
+  static TuningSpace distanceSpace();
+
+  /// Space for peeling algorithms (no coarsening: Δ fixed at 1).
+  static TuningSpace peelingSpace();
+};
+
+/// Tuning knobs for the search itself.
+struct TuningOptions {
+  double TimeBudgetSeconds = 60.0; ///< hard wall-clock budget
+  int MaxTrials = 40;              ///< distinct schedules to sample
+  int RefineTop = 3;               ///< leaders re-measured for stability
+  int RefineRepeats = 2;           ///< extra measurements per leader
+  uint64_t Seed = 0x5EED;
+};
+
+/// One measurement: schedule and its (best observed) cost in seconds.
+struct TuningSample {
+  Schedule Sched;
+  double Seconds = 0.0;
+};
+
+/// Search outcome.
+struct TuningResult {
+  Schedule Best;
+  double BestSeconds = 0.0;
+  int Evaluated = 0;
+  double ElapsedSeconds = 0.0;
+  std::vector<TuningSample> History; ///< in evaluation order
+};
+
+/// Cost oracle: runs the algorithm under a schedule, returns seconds.
+/// Infinite/NaN results are treated as failures and skipped.
+using EvalFn = std::function<double(const Schedule &)>;
+
+/// Runs the search. Always evaluates at least one schedule.
+TuningResult autotune(const TuningSpace &Space, const EvalFn &Eval,
+                      const TuningOptions &Options = TuningOptions());
+
+} // namespace graphit
+
+#endif // GRAPHIT_AUTOTUNER_AUTOTUNER_H

@@ -1,0 +1,164 @@
+//===- baselines/GAPBSDeltaStepping.cpp - GAPBS comparison proxy ----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GAPBSDeltaStepping.h"
+
+#include "algorithms/AStar.h"
+#include "support/Atomics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <limits>
+#include <omp.h>
+#include <vector>
+
+using namespace graphit;
+
+namespace {
+
+constexpr int64_t kMaxBin = std::numeric_limits<int64_t>::max() / 2;
+constexpr int64_t kBinSizeThreshold = 1000; // GAPBS's kBinSizeThreshold
+
+/// The GAPBS kernel, generalized only by an f-priority function and a stop
+/// predicate so the PPSP/wBFS/A* rows reuse it. Structure and naming
+/// deliberately mirror gapbs/src/sssp.cc.
+template <typename HeurFn, typename StopFn>
+void gapbsKernel(const Graph &G, VertexId Source,
+                 std::vector<Priority> &Dist, int64_t Delta, HeurFn &&Heur,
+                 StopFn &&Stop, OrderedStats *Stats) {
+  Timer Clock;
+  Dist[Source] = 0;
+  std::vector<VertexId> Frontier(static_cast<size_t>(G.numEdges() + 1));
+  Frontier[0] = Source;
+  // Two-phase rotating indexes/tails, exactly as in GAPBS.
+  int64_t SharedIndexes[2] = {Heur(Source) / Delta, kMaxBin};
+  int64_t FrontierTails[2] = {1, 0};
+  int64_t Rounds = 0, Processed = 0;
+
+#pragma omp parallel
+  {
+    std::vector<std::vector<VertexId>> LocalBins;
+    int64_t Iter = 0;
+    while (SharedIndexes[Iter & 1] != kMaxBin &&
+           !Stop(SharedIndexes[Iter & 1])) {
+      int64_t &CurrBinIndex = SharedIndexes[Iter & 1];
+      int64_t &NextBinIndex = SharedIndexes[(Iter + 1) & 1];
+      int64_t &CurrFrontierTail = FrontierTails[Iter & 1];
+      int64_t &NextFrontierTail = FrontierTails[(Iter + 1) & 1];
+
+#pragma omp for nowait schedule(dynamic, 64)
+      for (int64_t I = 0; I < CurrFrontierTail; ++I) {
+        VertexId U = Frontier[static_cast<size_t>(I)];
+        Priority DU = Dist[U];
+        if ((DU + Heur(U)) / Delta < CurrBinIndex)
+          continue; // settled in an earlier bin
+        for (WNode E : G.outNeighbors(U)) {
+          Priority OldDist = Dist[E.V];
+          Priority NewDist = DU + E.W;
+          while (NewDist < OldDist) { // GAPBS-style CAS retry loop
+            if (atomicCAS(&Dist[E.V], OldDist, NewDist)) {
+              size_t DestBin =
+                  static_cast<size_t>((NewDist + Heur(E.V)) / Delta);
+              if (DestBin >= LocalBins.size())
+                LocalBins.resize(DestBin + 1);
+              LocalBins[DestBin].push_back(E.V);
+              break;
+            }
+            OldDist = Dist[E.V];
+          }
+        }
+      }
+
+      // Propose the next bin, scanning from the current bin (GAPBS).
+      for (size_t B = static_cast<size_t>(std::max<int64_t>(
+               CurrBinIndex, 0));
+           B < LocalBins.size(); ++B) {
+        if (!LocalBins[B].empty()) {
+#pragma omp critical
+          NextBinIndex =
+              std::min(NextBinIndex, static_cast<int64_t>(B));
+          break;
+        }
+      }
+
+#pragma omp barrier
+#pragma omp single nowait
+      {
+        ++Rounds;
+        Processed += CurrFrontierTail;
+        CurrBinIndex = kMaxBin;
+        CurrFrontierTail = 0;
+      }
+
+      if (NextBinIndex != kMaxBin &&
+          static_cast<size_t>(NextBinIndex) < LocalBins.size() &&
+          !LocalBins[static_cast<size_t>(NextBinIndex)].empty()) {
+        std::vector<VertexId> &Bin =
+            LocalBins[static_cast<size_t>(NextBinIndex)];
+        int64_t CopyStart =
+            fetchAdd(&NextFrontierTail, static_cast<int64_t>(Bin.size()));
+        std::copy(Bin.begin(), Bin.end(),
+                  Frontier.begin() + static_cast<size_t>(CopyStart));
+        Bin.resize(0);
+      }
+      ++Iter;
+#pragma omp barrier
+    }
+  }
+
+  if (Stats) {
+    Stats->Rounds = Rounds;
+    Stats->VerticesProcessed = Processed;
+    Stats->Seconds = Clock.seconds();
+  }
+}
+
+Priority zeroHeur(VertexId) { return 0; }
+
+} // namespace
+
+SSSPResult graphit::gapbsSSSP(const Graph &G, VertexId Source,
+                              int64_t Delta) {
+  SSSPResult R;
+  R.Dist.assign(static_cast<size_t>(G.numNodes()), kInfiniteDistance);
+  gapbsKernel(G, Source, R.Dist, Delta, zeroHeur,
+              [](int64_t) { return false; }, &R.Stats);
+  return R;
+}
+
+SSSPResult graphit::gapbsWBFS(const Graph &G, VertexId Source) {
+  return gapbsSSSP(G, Source, /*Delta=*/1);
+}
+
+PPSPResult graphit::gapbsPPSP(const Graph &G, VertexId Source,
+                              VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Stop = [&](int64_t CurrBin) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrBin * Delta >= Best;
+  };
+  gapbsKernel(G, Source, Dist, Delta, zeroHeur, Stop, &R.Stats);
+  R.Dist = Dist[Target];
+  return R;
+}
+
+PPSPResult graphit::gapbsAStar(const Graph &G, VertexId Source,
+                               VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Heur = [&](VertexId V) { return aStarHeuristic(G, V, Target); };
+  auto Stop = [&](int64_t CurrBin) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrBin * Delta >= Best;
+  };
+  gapbsKernel(G, Source, Dist, Delta, Heur, Stop, &R.Stats);
+  R.Dist = Dist[Target];
+  return R;
+}

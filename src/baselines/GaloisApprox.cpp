@@ -1,0 +1,280 @@
+//===- baselines/GaloisApprox.cpp - Galois comparison proxy ---------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GaloisApprox.h"
+
+#include "algorithms/AStar.h"
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Timer.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <omp.h>
+#include <thread>
+#include <vector>
+
+using namespace graphit;
+
+namespace {
+
+/// A lockable bucket of vertices (one priority level of the OBIM bag).
+struct Bin {
+  std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+  std::vector<VertexId> Items;
+
+  void lock() {
+    while (Lock.test_and_set(std::memory_order_acquire))
+      ;
+  }
+  bool tryLock() {
+    return !Lock.test_and_set(std::memory_order_acquire);
+  }
+  void unlock() { Lock.clear(std::memory_order_release); }
+};
+
+/// Growable, pointer-stable table of bins indexed by priority key.
+/// Segments are materialized lazily under a mutex; readers only touch
+/// segments already published through the atomic pointers.
+class BinTable {
+public:
+  static constexpr size_t kSegBits = 10;
+  static constexpr size_t kSegSize = size_t{1} << kSegBits;
+  static constexpr size_t kMaxSegments = size_t{1} << 13; // 8M keys
+
+  BinTable() {
+    for (auto &Slot : Segments)
+      Slot.store(nullptr, std::memory_order_relaxed);
+  }
+  ~BinTable() {
+    for (auto &Slot : Segments)
+      delete Slot.load(std::memory_order_relaxed);
+  }
+
+  Bin &at(size_t Key) {
+    size_t Seg = Key >> kSegBits;
+    if (Seg >= kMaxSegments)
+      fatalError("galois proxy: priority key out of range");
+    std::array<Bin, kSegSize> *P =
+        Segments[Seg].load(std::memory_order_acquire);
+    if (!P) {
+      std::lock_guard<std::mutex> Guard(GrowMutex);
+      P = Segments[Seg].load(std::memory_order_relaxed);
+      if (!P) {
+        P = new std::array<Bin, kSegSize>();
+        Segments[Seg].store(P, std::memory_order_release);
+      }
+    }
+    return (*P)[Key & (kSegSize - 1)];
+  }
+
+  /// Null if the segment holding \p Key was never materialized.
+  Bin *peek(size_t Key) {
+    size_t Seg = Key >> kSegBits;
+    if (Seg >= kMaxSegments)
+      return nullptr;
+    std::array<Bin, kSegSize> *P =
+        Segments[Seg].load(std::memory_order_acquire);
+    return P ? &(*P)[Key & (kSegSize - 1)] : nullptr;
+  }
+
+private:
+  std::array<std::atomic<std::array<Bin, kSegSize> *>, kMaxSegments>
+      Segments;
+  std::mutex GrowMutex;
+};
+
+constexpr size_t kChunk = 64; ///< OBIM-style chunk size
+
+/// Asynchronous approximate-priority engine shared by the three distance
+/// algorithms. `Cutoff(f)` prunes pushes whose estimated total f cannot
+/// improve the query result (PPSP/A*).
+template <typename HeurFn, typename CutoffFn>
+void galoisKernel(const Graph &G, VertexId Source,
+                  std::vector<Priority> &Dist, int64_t Delta, HeurFn &&Heur,
+                  CutoffFn &&Cutoff, OrderedStats *Stats) {
+  Timer Clock;
+  Dist[Source] = 0;
+
+  BinTable Bins;
+  std::atomic<int64_t> Pending{1};
+  std::atomic<int64_t> MinHint{0};
+  std::atomic<int64_t> MaxKeyUsed{0};
+  std::atomic<int64_t> ProcessedTotal{0};
+
+  int64_t SrcKey = Heur(Source) / Delta;
+  Bins.at(static_cast<size_t>(SrcKey)).Items.push_back(Source);
+  MinHint.store(SrcKey, std::memory_order_relaxed);
+  MaxKeyUsed.store(SrcKey, std::memory_order_relaxed);
+
+#pragma omp parallel
+  {
+    std::vector<std::vector<VertexId>> Local; // thread-local staging bins
+    int64_t LocalProcessed = 0;
+    std::vector<VertexId> Chunk;
+
+    auto FlushLocalBin = [&](size_t Key) {
+      std::vector<VertexId> &Mine = Local[Key];
+      if (Mine.empty())
+        return;
+      Bin &B = Bins.at(Key);
+      B.lock();
+      B.Items.insert(B.Items.end(), Mine.begin(), Mine.end());
+      B.unlock();
+      Mine.clear();
+      int64_t K = static_cast<int64_t>(Key);
+      int64_t H = MinHint.load(std::memory_order_relaxed);
+      while (K < H && !MinHint.compare_exchange_weak(H, K))
+        ;
+      int64_t M = MaxKeyUsed.load(std::memory_order_relaxed);
+      while (K > M && !MaxKeyUsed.compare_exchange_weak(M, K))
+        ;
+    };
+
+    auto PushLocal = [&](VertexId V, int64_t Key) {
+      size_t K = static_cast<size_t>(Key);
+      if (K >= Local.size())
+        Local.resize(K + 1);
+      Local[K].push_back(V);
+      Pending.fetch_add(1, std::memory_order_relaxed);
+      if (Local[K].size() >= kChunk)
+        FlushLocalBin(K);
+    };
+
+    auto ProcessChunk = [&](int64_t BinKey) {
+      for (VertexId U : Chunk) {
+        ++LocalProcessed;
+        Priority DU = Dist[U];
+        // Skip entries already settled at a better priority.
+        if ((DU + Heur(U)) / Delta < BinKey)
+          continue;
+        for (WNode E : G.outNeighbors(U)) {
+          Priority ND = DU + E.W;
+          Priority FD = ND + Heur(E.V);
+          if (Cutoff(FD))
+            continue;
+          if (ND < Dist[E.V] && atomicWriteMin(&Dist[E.V], ND))
+            PushLocal(E.V, FD / Delta);
+        }
+      }
+      Pending.fetch_sub(static_cast<int64_t>(Chunk.size()),
+                        std::memory_order_acq_rel);
+      Chunk.clear();
+    };
+
+    while (true) {
+      // Prefer the smallest local staging bin at or below the global
+      // hint; otherwise scan the global table from the hint.
+      int64_t Hint = MinHint.load(std::memory_order_relaxed);
+      int64_t TookKey = -1;
+
+      int64_t LocalMin = -1;
+      for (size_t K = 0; K < Local.size(); ++K) {
+        if (!Local[K].empty()) {
+          LocalMin = static_cast<int64_t>(K);
+          break;
+        }
+      }
+      if (LocalMin >= 0 && LocalMin <= Hint) {
+        size_t Take = std::min(Local[LocalMin].size(), kChunk);
+        Chunk.assign(Local[LocalMin].end() - Take,
+                     Local[LocalMin].end());
+        Local[LocalMin].resize(Local[LocalMin].size() - Take);
+        TookKey = LocalMin;
+      } else {
+        int64_t MaxKey = MaxKeyUsed.load(std::memory_order_relaxed);
+        for (int64_t K = Hint; K <= MaxKey && TookKey < 0; ++K) {
+          Bin *B = Bins.peek(static_cast<size_t>(K));
+          if (!B || B->Items.empty())
+            continue;
+          if (!B->tryLock())
+            continue;
+          if (!B->Items.empty()) {
+            size_t Take = std::min(B->Items.size(), kChunk);
+            Chunk.assign(B->Items.end() - Take, B->Items.end());
+            B->Items.resize(B->Items.size() - Take);
+            TookKey = K;
+            MinHint.store(K, std::memory_order_relaxed);
+          }
+          B->unlock();
+        }
+        if (TookKey < 0 && LocalMin >= 0) {
+          // Global looks empty; fall back to local work.
+          size_t Take = std::min(Local[LocalMin].size(), kChunk);
+          Chunk.assign(Local[LocalMin].end() - Take,
+                       Local[LocalMin].end());
+          Local[LocalMin].resize(Local[LocalMin].size() - Take);
+          TookKey = LocalMin;
+        }
+      }
+
+      if (TookKey >= 0) {
+        ProcessChunk(TookKey);
+        continue;
+      }
+
+      // Nothing to do: publish everything, reset the hint, then either
+      // exit (all quiet) or retry.
+      for (size_t K = 0; K < Local.size(); ++K)
+        FlushLocalBin(K);
+      MinHint.store(0, std::memory_order_relaxed);
+      if (Pending.load(std::memory_order_acquire) == 0)
+        break;
+      std::this_thread::yield();
+    }
+    ProcessedTotal.fetch_add(LocalProcessed, std::memory_order_relaxed);
+  }
+
+  if (Stats) {
+    Stats->Rounds = 0; // asynchronous: no global rounds exist
+    Stats->VerticesProcessed =
+        ProcessedTotal.load(std::memory_order_relaxed);
+    Stats->Seconds = Clock.seconds();
+  }
+}
+
+} // namespace
+
+SSSPResult graphit::galoisSSSP(const Graph &G, VertexId Source,
+                               int64_t Delta) {
+  SSSPResult R;
+  R.Dist.assign(static_cast<size_t>(G.numNodes()), kInfiniteDistance);
+  galoisKernel(G, Source, R.Dist, Delta,
+               [](VertexId) { return Priority{0}; },
+               [](Priority) { return false; }, &R.Stats);
+  return R;
+}
+
+PPSPResult graphit::galoisPPSP(const Graph &G, VertexId Source,
+                               VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Cutoff = [&](Priority F) {
+    return F >= atomicLoad(&Dist[Target]);
+  };
+  galoisKernel(G, Source, Dist, Delta,
+               [](VertexId) { return Priority{0}; }, Cutoff, &R.Stats);
+  R.Dist = Dist[Target];
+  return R;
+}
+
+PPSPResult graphit::galoisAStar(const Graph &G, VertexId Source,
+                                VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Heur = [&](VertexId V) { return aStarHeuristic(G, V, Target); };
+  auto Cutoff = [&](Priority F) {
+    return F >= atomicLoad(&Dist[Target]);
+  };
+  galoisKernel(G, Source, Dist, Delta, Heur, Cutoff, &R.Stats);
+  R.Dist = Dist[Target];
+  return R;
+}

@@ -1,0 +1,48 @@
+//===- baselines/GaloisApprox.h - Galois comparison proxy -------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Galois comparison system of Table 4/Fig. 4/Fig. 11. Galois's
+/// ordered-list abstraction provides *approximate* priority ordering
+/// (§7, "Approximate Priority Ordering"): worker threads drain an
+/// OBIM-style bag-of-bins structure asynchronously, with no global barrier
+/// between priorities. That gains parallelism on high-diameter graphs but
+/// sacrifices work-efficiency — threads may process vertices out of
+/// priority order and redo work (the behavior §6.2 uses to explain
+/// Galois's numbers).
+///
+/// The proxy keeps the essential OBIM mechanics: chunked per-bin bags with
+/// per-bin locks, thread-local chunk buffering, a shared min-bin hint, and
+/// an in-flight counter for termination detection. Only the distance
+/// family is provided — Galois supports neither k-core nor SetCover
+/// (Table 4 marks them "-"), because they need strict ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_BASELINES_GALOISAPPROX_H
+#define GRAPHIT_BASELINES_GALOISAPPROX_H
+
+#include "algorithms/PPSP.h"
+#include "algorithms/SSSP.h"
+
+namespace graphit {
+
+/// Galois-style asynchronous Δ-stepping SSSP.
+SSSPResult galoisSSSP(const Graph &G, VertexId Source, int64_t Delta);
+
+/// Galois-style PPSP (asynchronous, with a best-distance cutoff instead of
+/// a bucket-boundary stop; approximate ordering has no bucket boundaries).
+PPSPResult galoisPPSP(const Graph &G, VertexId Source, VertexId Target,
+                      int64_t Delta);
+
+/// Galois-style A* search. Requires coordinates.
+PPSPResult galoisAStar(const Graph &G, VertexId Source, VertexId Target,
+                       int64_t Delta);
+
+} // namespace graphit
+
+#endif // GRAPHIT_BASELINES_GALOISAPPROX_H

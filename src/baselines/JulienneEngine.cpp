@@ -1,0 +1,338 @@
+//===- baselines/JulienneEngine.cpp - Julienne comparison proxy -----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/JulienneEngine.h"
+
+#include "algorithms/AStar.h"
+#include "runtime/Histogram.h"
+#include "runtime/LazyBucketQueue.h"
+#include "runtime/Traversal.h"
+#include "support/Atomics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <omp.h>
+
+using namespace graphit;
+
+namespace {
+
+/// Shared lazy loop for the distance-style algorithms, always paying the
+/// two Julienne overheads (lambda-keyed buckets, hybrid direction).
+template <typename HeurFn, typename StopFn>
+OrderedStats julienneDistanceRun(const Graph &G, VertexId Source,
+                                 std::vector<Priority> &Dist, int64_t Delta,
+                                 HeurFn &&Heur, StopFn &&Stop) {
+  OrderedStats Stats;
+  Timer Clock;
+  Dist[Source] = 0;
+
+  // Julienne's original interface: bucket ids flow through an indirect
+  // user function per vertex.
+  LambdaBucketQueue Queue(
+      G.numNodes(), 128, PriorityOrder::LowerFirst, [&](VertexId V) {
+        Priority P = Dist[V];
+        if (P == kInfiniteDistance)
+          return LazyBucketQueue::kNoBucket;
+        return (P + Heur(V)) / Delta;
+      });
+  Queue.insertAll(); // O(n) bucket construction over all identifiers
+
+  TraversalBuffers Buffers(G);
+  auto Push = [&](VertexId S, VertexId D, Weight W) {
+    return atomicWriteMin(&Dist[D], Dist[S] + W);
+  };
+  auto Pull = [&](VertexId S, VertexId D, Weight W) {
+    Priority ND = atomicLoad(&Dist[S]) + W;
+    if (ND < Dist[D]) {
+      Dist[D] = ND;
+      return true;
+    }
+    return false;
+  };
+
+  while (Queue.nextBucket()) {
+    if (Stop(Queue.currentKey()))
+      break;
+    ++Stats.Rounds;
+    const std::vector<VertexId> &Bucket = Queue.currentBucket();
+    Stats.VerticesProcessed += static_cast<int64_t>(Bucket.size());
+    // Always-on direction optimization: Hybrid computes the frontier's
+    // out-degree sum every round before traversing.
+    const std::vector<VertexId> &Changed = edgeApplyOut(
+        G, Bucket, Direction::Hybrid,
+        Parallelization::DynamicVertexParallel, Buffers, Push, Pull);
+    Queue.updateBuckets(Changed.data(), static_cast<Count>(Changed.size()));
+  }
+  Stats.Seconds = Clock.seconds();
+  return Stats;
+}
+
+} // namespace
+
+SSSPResult graphit::julienneSSSP(const Graph &G, VertexId Source,
+                                 int64_t Delta) {
+  SSSPResult R;
+  R.Dist.assign(static_cast<size_t>(G.numNodes()), kInfiniteDistance);
+  R.Stats = julienneDistanceRun(
+      G, Source, R.Dist, Delta, [](VertexId) { return Priority{0}; },
+      [](int64_t) { return false; });
+  return R;
+}
+
+SSSPResult graphit::julienneWBFS(const Graph &G, VertexId Source) {
+  return julienneSSSP(G, Source, /*Delta=*/1);
+}
+
+PPSPResult graphit::juliennePPSP(const Graph &G, VertexId Source,
+                                 VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Stop = [&](int64_t CurrKey) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+  };
+  R.Stats = julienneDistanceRun(G, Source, Dist, Delta,
+                                [](VertexId) { return Priority{0}; }, Stop);
+  R.Dist = Dist[Target];
+  return R;
+}
+
+PPSPResult graphit::julienneAStar(const Graph &G, VertexId Source,
+                                  VertexId Target, int64_t Delta) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  PPSPResult R;
+  auto Heur = [&](VertexId V) { return aStarHeuristic(G, V, Target); };
+  auto Stop = [&](int64_t CurrKey) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+  };
+  R.Stats = julienneDistanceRun(G, Source, Dist, Delta, Heur, Stop);
+  R.Dist = Dist[Target];
+  return R;
+}
+
+KCoreResult graphit::julienneKCore(const Graph &G) {
+  Count N = G.numNodes();
+  KCoreResult R;
+  R.Coreness.assign(static_cast<size_t>(N), 0);
+  Timer Clock;
+
+  std::vector<Priority> Deg(static_cast<size_t>(N));
+  std::vector<uint8_t> Done(static_cast<size_t>(N), 0);
+  parallelFor(
+      0, N,
+      [&](Count V) { Deg[V] = G.outDegree(static_cast<VertexId>(V)); },
+      Parallelization::StaticVertexParallel);
+
+  LambdaBucketQueue Queue(N, 128, PriorityOrder::LowerFirst,
+                          [&](VertexId V) {
+                            if (Done[V])
+                              return LazyBucketQueue::kNoBucket;
+                            return Deg[V];
+                          });
+  Queue.insertAll();
+
+  HistogramBuffer Hist(N);
+  std::vector<int64_t> Offsets;
+  std::vector<VertexId> Targets, Compact, UniqueIds;
+  std::vector<uint32_t> Counts;
+
+  while (Queue.nextBucket()) {
+    int64_t K = Queue.currentKey();
+    R.MaxCore = std::max<Priority>(R.MaxCore, K);
+    ++R.Stats.Rounds;
+    const std::vector<VertexId> &Bucket = Queue.currentBucket();
+    Count B = static_cast<Count>(Bucket.size());
+    R.Stats.VerticesProcessed += B;
+
+    parallelFor(
+        0, B,
+        [&](Count I) {
+          R.Coreness[Bucket[I]] = K;
+          Done[Bucket[I]] = 1;
+        },
+        Parallelization::StaticVertexParallel);
+
+    Offsets.resize(static_cast<size_t>(B) + 1);
+    parallelFor(
+        0, B, [&](Count I) { Offsets[I] = G.outDegree(Bucket[I]); },
+        Parallelization::StaticVertexParallel);
+    Offsets[B] = 0;
+    int64_t Total = exclusivePrefixSum(Offsets.data(), B + 1);
+    Targets.resize(static_cast<size_t>(Total));
+    parallelFor(0, B, [&](Count I) {
+      int64_t Pos = Offsets[I];
+      for (WNode E : G.outNeighbors(Bucket[I]))
+        Targets[static_cast<size_t>(Pos++)] =
+            Done[E.V] ? kInvalidVertex : E.V;
+    });
+    Compact.resize(static_cast<size_t>(Total));
+    Count M = parallelPack(Targets.data(), Total, Compact.data(),
+                           [](VertexId V) { return V != kInvalidVertex; });
+
+    Hist.reduce(Compact.data(), M, HistogramMethod::LocalTables, UniqueIds,
+                Counts);
+    Count U = static_cast<Count>(UniqueIds.size());
+    parallelFor(
+        0, U,
+        [&](Count I) {
+          VertexId V = UniqueIds[I];
+          Deg[V] = std::max<Priority>(Deg[V] - Counts[I], K);
+        },
+        Parallelization::StaticVertexParallel);
+    // Lambda interface: the queue re-derives each key via the function.
+    Queue.updateBuckets(UniqueIds.data(), U);
+  }
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}
+
+SetCoverResult graphit::julienneSetCover(const Graph &G, double Epsilon,
+                                         uint64_t Seed) {
+  Count N = G.numNodes();
+  SetCoverResult R;
+  if (N == 0)
+    return R;
+  Timer Clock;
+
+  const double LogBase = std::log1p(Epsilon);
+  auto BucketOf = [&](Count Coverage) -> int64_t {
+    return static_cast<int64_t>(std::floor(
+        std::log(static_cast<double>(Coverage)) / LogBase + 1e-12));
+  };
+  auto BucketFloor = [&](int64_t B) -> Count {
+    return static_cast<Count>(
+        std::ceil(std::pow(1.0 + Epsilon, static_cast<double>(B)) - 1e-9));
+  };
+
+  std::vector<uint8_t> Uncovered(static_cast<size_t>(N), 1);
+  std::vector<uint64_t> Reserver(static_cast<size_t>(N),
+                                 std::numeric_limits<uint64_t>::max());
+  std::vector<Count> Coverage(static_cast<size_t>(N));
+  std::vector<uint8_t> InCover(static_cast<size_t>(N), 0);
+  parallelFor(
+      0, N,
+      [&](Count V) {
+        Coverage[V] = G.outDegree(static_cast<VertexId>(V)) + 1;
+      },
+      Parallelization::StaticVertexParallel);
+  Count NumUncovered = N;
+
+  // Lambda-keyed buckets over cached coverage values.
+  LambdaBucketQueue Queue(N, 128, PriorityOrder::HigherFirst,
+                          [&](VertexId V) {
+                            if (InCover[V] || Coverage[V] <= 0)
+                              return LazyBucketQueue::kNoBucket;
+                            return BucketOf(Coverage[V]);
+                          });
+  Queue.insertAll();
+
+  auto CountUncovered = [&](VertexId V) {
+    Count C = Uncovered[V] ? 1 : 0;
+    for (WNode E : G.outNeighbors(V))
+      C += Uncovered[E.V] ? 1 : 0;
+    return C;
+  };
+
+  std::vector<std::vector<VertexId>> ChosenPerThread(
+      static_cast<size_t>(omp_get_max_threads()));
+  std::vector<VertexId> Requeue;
+  int64_t RoundSalt = 0;
+  auto RankOf = [&](VertexId V) {
+    return (hash64(Seed ^ static_cast<uint64_t>(RoundSalt) ^ V) << 32) | V;
+  };
+
+  while (NumUncovered > 0 && Queue.nextBucket()) {
+    ++R.Stats.Rounds;
+    ++RoundSalt;
+    int64_t B = Queue.currentKey();
+    const std::vector<VertexId> &Cands = Queue.currentBucket();
+    Count M = static_cast<Count>(Cands.size());
+    R.Stats.VerticesProcessed += M;
+
+    parallelFor(0, M, [&](Count I) {
+      Coverage[Cands[I]] = CountUncovered(Cands[I]);
+    });
+    parallelFor(0, M, [&](Count I) {
+      VertexId V = Cands[I];
+      if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
+        return;
+      uint64_t Rank = RankOf(V);
+      if (Uncovered[V])
+        atomicWriteMin(&Reserver[V], Rank);
+      for (WNode E : G.outNeighbors(V))
+        if (Uncovered[E.V])
+          atomicWriteMin(&Reserver[E.V], Rank);
+    });
+
+    Count NewlyCovered = 0;
+    const Count Threshold = std::max<Count>(
+        1, static_cast<Count>(std::ceil(
+               (1.0 - Epsilon) * static_cast<double>(BucketFloor(B)))));
+#pragma omp parallel reduction(+ : NewlyCovered)
+    {
+      std::vector<VertexId> &Mine =
+          ChosenPerThread[static_cast<size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, kDynamicGrain)
+      for (Count I = 0; I < M; ++I) {
+        VertexId V = Cands[I];
+        if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
+          continue;
+        uint64_t Rank = RankOf(V);
+        Count Wins = (Uncovered[V] && Reserver[V] == Rank) ? 1 : 0;
+        for (WNode E : G.outNeighbors(V))
+          if (Uncovered[E.V] && Reserver[E.V] == Rank)
+            ++Wins;
+        if (Wins < Threshold)
+          continue;
+        InCover[V] = 1;
+        Mine.push_back(V);
+        if (Uncovered[V] && Reserver[V] == Rank) {
+          Uncovered[V] = 0;
+          ++NewlyCovered;
+        }
+        for (WNode E : G.outNeighbors(V))
+          if (Uncovered[E.V] && Reserver[E.V] == Rank) {
+            Uncovered[E.V] = 0;
+            ++NewlyCovered;
+          }
+      }
+    }
+    NumUncovered -= NewlyCovered;
+
+    parallelFor(0, M, [&](Count I) {
+      VertexId V = Cands[I];
+      Reserver[V] = std::numeric_limits<uint64_t>::max();
+      for (WNode E : G.outNeighbors(V))
+        Reserver[E.V] = std::numeric_limits<uint64_t>::max();
+    });
+
+    Requeue.clear();
+    for (Count I = 0; I < M; ++I) {
+      VertexId V = Cands[I];
+      if (InCover[V] || Coverage[V] <= 0)
+        continue;
+      // Clamp the cached coverage so the lambda cannot produce a key
+      // above the current bucket (monotonicity).
+      Coverage[V] = std::min(Coverage[V], BucketFloor(B + 1) - 1);
+      Requeue.push_back(V);
+    }
+    Queue.updateBuckets(Requeue.data(), static_cast<Count>(Requeue.size()));
+  }
+
+  for (const std::vector<VertexId> &L : ChosenPerThread)
+    R.ChosenSets.insert(R.ChosenSets.end(), L.begin(), L.end());
+  R.CoveredElements = N - NumUncovered;
+  R.Stats.Seconds = Clock.seconds();
+  return R;
+}

@@ -1,0 +1,13 @@
+//===- core/OrderedProcess.cpp - Eager engine with bucket fusion ----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine is a header template (core/OrderedProcess.h); this translation
+// unit anchors the library and verifies the header is self-contained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OrderedProcess.h"

@@ -1,0 +1,202 @@
+//===- core/OrderedProcess.h - Eager engine with bucket fusion --*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ordered processing operator the compiler substitutes for the user's
+/// `while (pq.finished() == false)` loop under eager schedules (§5.2), plus
+/// the paper's new *bucket fusion* optimization (§3.3, Fig. 7).
+///
+/// Structure (one OpenMP parallel region for the whole run, Fig. 9(c)):
+///
+///   - each thread owns `LocalBins`, a vector of buckets indexed by
+///     coarsened priority key;
+///   - a round relaxes the shared frontier (`omp for nowait`), pushing
+///     improved vertices into thread-local bins — no atomics on buckets;
+///   - bucket fusion: while a thread's bin for the *current* key is
+///     non-empty and below `FusionThreshold`, the thread drains it
+///     immediately, with no global barrier (same-priority rounds fuse;
+///     ordering is preserved because only equal-priority work is executed);
+///   - threads then propose the minimum non-empty bin key; the winning
+///     bucket is copied into the shared frontier with fetch-and-add.
+///
+/// The engine is generic over the relaxation: `Relax(U, CurrKey, Push)`
+/// re-checks staleness and calls `Push(V, Key)` for every improved
+/// neighbor. A `Stop` predicate evaluated at round boundaries supports the
+/// early exits of PPSP and A* (it must read only round-stable state so all
+/// threads decide identically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_CORE_ORDEREDPROCESS_H
+#define GRAPHIT_CORE_ORDEREDPROCESS_H
+
+#include "core/Schedule.h"
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Timer.h"
+#include "support/Types.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <omp.h>
+#include <vector>
+
+namespace graphit {
+
+/// Counters reported by the ordered engines. `Rounds` counts globally
+/// synchronized rounds (each costs two barriers in the eager engine);
+/// `FusedRounds` counts the extra rounds bucket fusion executed locally —
+/// Table 6 reports `Rounds` with and without fusion.
+struct OrderedStats {
+  int64_t Rounds = 0;
+  int64_t FusedRounds = 0;
+  int64_t VerticesProcessed = 0;
+  int64_t OverflowRebuckets = 0;
+  double Seconds = 0.0;
+
+  /// Total rounds the algorithm executed, local or global.
+  int64_t totalRounds() const { return Rounds + FusedRounds; }
+};
+
+/// Sentinel key meaning "no bucket" inside the eager engine.
+inline constexpr int64_t kMaxEagerKey =
+    std::numeric_limits<int64_t>::max() / 2;
+
+/// Runs the eager ordered processing loop (with or without bucket fusion,
+/// per `S.Update`). Keys must be non-negative and monotonically
+/// non-decreasing up to the tolerance handled by clamping in the caller.
+///
+/// \param NumNodes          vertex universe size (bins sanity checks)
+/// \param FrontierCapacity  capacity of the shared frontier array; pushes
+///                          beyond it abort (GAPBS sizes this at numEdges)
+/// \param Source            initial frontier vertex
+/// \param SourceKey         its initial bucket key (0 for SSSP; ⌊h(s)/Δ⌋
+///                          for A*)
+/// \param Relax             `(VertexId U, int64_t CurrKey, Push)`;
+///                          `Push(VertexId V, int64_t Key)`
+/// \param Stop              `(int64_t CurrKey) -> bool`, checked at round
+///                          start on round-stable data
+template <typename RelaxFn, typename StopFn>
+void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
+                         VertexId Source, int64_t SourceKey,
+                         const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
+                         OrderedStats *Stats = nullptr) {
+  assert(static_cast<Count>(Source) < NumNodes && "source out of range");
+  (void)NumNodes;
+  const bool Fuse = S.Update == UpdateStrategy::EagerWithFusion;
+  const int64_t Threshold = S.FusionThreshold;
+
+  Timer Clock;
+  std::vector<VertexId> Frontier(
+      static_cast<size_t>(std::max<Count>(FrontierCapacity, 1024)));
+  Frontier[0] = Source;
+  int64_t SharedKeys[2] = {SourceKey, kMaxEagerKey};
+  int64_t FrontierTails[2] = {1, 0};
+
+  int64_t Rounds = 0, FusedRounds = 0, VerticesProcessed = 0;
+
+#pragma omp parallel
+  {
+    std::vector<std::vector<VertexId>> LocalBins;
+    int64_t LocalFused = 0;
+    int64_t LocalFusedVerts = 0;
+    int64_t Iter = 0;
+
+    auto Push = [&LocalBins](VertexId V, int64_t Key) {
+      assert(Key >= 0 && Key < kMaxEagerKey && "bad bucket key");
+      if (static_cast<size_t>(Key) >= LocalBins.size())
+        LocalBins.resize(static_cast<size_t>(Key) + 1);
+      LocalBins[static_cast<size_t>(Key)].push_back(V);
+    };
+
+    while (SharedKeys[Iter & 1] != kMaxEagerKey &&
+           !Stop(SharedKeys[Iter & 1])) {
+      int64_t &CurrKey = SharedKeys[Iter & 1];
+      int64_t &NextKey = SharedKeys[(Iter + 1) & 1];
+      int64_t &CurrTail = FrontierTails[Iter & 1];
+      int64_t &NextTail = FrontierTails[(Iter + 1) & 1];
+
+#pragma omp for nowait schedule(dynamic, kDynamicGrain)
+      for (int64_t I = 0; I < CurrTail; ++I)
+        Relax(Frontier[static_cast<size_t>(I)], CurrKey, Push);
+
+      // Bucket fusion (Fig. 7 lines 14-21): drain the current local bucket
+      // without synchronizing, as long as it stays below the threshold
+      // (large buckets go to the global frontier for load balance).
+      if (Fuse) {
+        while (static_cast<size_t>(CurrKey) < LocalBins.size() &&
+               !LocalBins[static_cast<size_t>(CurrKey)].empty() &&
+               static_cast<int64_t>(
+                   LocalBins[static_cast<size_t>(CurrKey)].size()) <
+                   Threshold) {
+          std::vector<VertexId> Drain =
+              std::move(LocalBins[static_cast<size_t>(CurrKey)]);
+          LocalBins[static_cast<size_t>(CurrKey)].clear();
+          ++LocalFused;
+          LocalFusedVerts += static_cast<int64_t>(Drain.size());
+          for (VertexId U : Drain)
+            Relax(U, CurrKey, Push);
+        }
+      }
+
+      // Propose the smallest non-empty local bin as the next bucket. The
+      // scan starts at 0 (not CurrKey) so the engine also tolerates
+      // ε-inconsistent heuristics that push a key one bucket back.
+      int64_t MyNext = kMaxEagerKey;
+      for (size_t B = 0; B < LocalBins.size(); ++B) {
+        if (!LocalBins[B].empty()) {
+          MyNext = static_cast<int64_t>(B);
+          break;
+        }
+      }
+      if (MyNext != kMaxEagerKey) {
+#pragma omp critical
+        NextKey = std::min(NextKey, MyNext);
+      }
+
+#pragma omp barrier
+#pragma omp single nowait
+      {
+        ++Rounds;
+        VerticesProcessed += CurrTail;
+        CurrKey = kMaxEagerKey;
+        CurrTail = 0;
+      }
+
+      if (NextKey != kMaxEagerKey &&
+          static_cast<size_t>(NextKey) < LocalBins.size() &&
+          !LocalBins[static_cast<size_t>(NextKey)].empty()) {
+        std::vector<VertexId> &Bin = LocalBins[static_cast<size_t>(NextKey)];
+        int64_t CopyStart =
+            fetchAdd(&NextTail, static_cast<int64_t>(Bin.size()));
+        if (CopyStart + static_cast<int64_t>(Bin.size()) >
+            static_cast<int64_t>(Frontier.size()))
+          fatalError("eager frontier overflow; raise FrontierCapacity");
+        std::copy(Bin.begin(), Bin.end(),
+                  Frontier.begin() + static_cast<size_t>(CopyStart));
+        Bin.clear();
+      }
+      ++Iter;
+#pragma omp barrier
+    }
+
+    fetchAdd(&FusedRounds, LocalFused);
+    fetchAdd(&VerticesProcessed, LocalFusedVerts);
+  }
+
+  if (Stats) {
+    Stats->Rounds = Rounds;
+    Stats->FusedRounds = FusedRounds;
+    Stats->VerticesProcessed = VerticesProcessed;
+    Stats->Seconds = Clock.seconds();
+  }
+}
+
+} // namespace graphit
+
+#endif // GRAPHIT_CORE_ORDEREDPROCESS_H

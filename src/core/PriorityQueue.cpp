@@ -1,0 +1,150 @@
+//===- core/PriorityQueue.cpp - The priority-based programming model ------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PriorityQueue.h"
+
+#include "support/Abort.h"
+#include "support/Atomics.h"
+
+#include <algorithm>
+#include <omp.h>
+
+using namespace graphit;
+
+PriorityQueue::PriorityQueue(bool AllowCoarsening, PriorityOrder Order,
+                             std::vector<Priority> &PriorityVector,
+                             const Schedule &S, VertexId StartVertex)
+    : Prio(PriorityVector),
+      Queue(static_cast<Count>(PriorityVector.size()), S.NumOpenBuckets,
+            Order),
+      Order(Order), Delta(AllowCoarsening ? S.Delta : 1),
+      ChangedFlags(static_cast<Count>(PriorityVector.size())),
+      PendingPerThread(static_cast<size_t>(omp_get_max_threads())) {
+  Count N = static_cast<Count>(Prio.size());
+  if (StartVertex != kInvalidVertex) {
+    if (static_cast<Count>(StartVertex) >= N)
+      fatalError("PriorityQueue: start vertex out of range");
+    if (Prio[StartVertex] == kNullPriority)
+      fatalError("PriorityQueue: start vertex has null priority");
+    Queue.insert(StartVertex, coarsen(Prio[StartVertex]));
+    return;
+  }
+  // No start vertex: enqueue everything with a non-null priority.
+  ScratchIds.clear();
+  ScratchKeys.clear();
+  for (Count V = 0; V < N; ++V) {
+    if (Prio[V] == kNullPriority)
+      continue;
+    ScratchIds.push_back(static_cast<VertexId>(V));
+    ScratchKeys.push_back(coarsen(Prio[V]));
+  }
+  Queue.updateBuckets(ScratchIds.data(), ScratchKeys.data(),
+                      static_cast<Count>(ScratchIds.size()));
+}
+
+void PriorityQueue::notePriorityChange(VertexId V) {
+  if (!ChangedFlags.claim(V))
+    return;
+  PendingPerThread[static_cast<size_t>(omp_get_thread_num())].push_back(V);
+}
+
+void PriorityQueue::updatePriorityMin(VertexId V, Priority NewVal) {
+  Priority Current = Prio[V];
+  // Null priorities behave as +inf for min updates.
+  while (Current == kNullPriority || NewVal < Current) {
+    if (atomicCAS(&Prio[V], Current, NewVal)) {
+      notePriorityChange(V);
+      return;
+    }
+    Current = Prio[V];
+  }
+}
+
+void PriorityQueue::updatePriorityMax(VertexId V, Priority NewVal) {
+  Priority Current = Prio[V];
+  while (Current == kNullPriority || NewVal > Current) {
+    if (atomicCAS(&Prio[V], Current, NewVal)) {
+      notePriorityChange(V);
+      return;
+    }
+    Current = Prio[V];
+  }
+}
+
+void PriorityQueue::updatePrioritySum(VertexId V, Priority SumDiff,
+                                      Priority MinThreshold) {
+  while (true) {
+    Priority Current = Prio[V];
+    if (Current == kNullPriority)
+      fatalError("updatePrioritySum on a null priority");
+    // Values already at or past the threshold are frozen — this is the
+    // `if (priority > k)` guard of the transformed function in Fig. 10,
+    // and it is what keeps finalized k-core vertices finalized.
+    if (Current <= MinThreshold)
+      return;
+    Priority Next = std::max(Current + SumDiff, MinThreshold);
+    if (Next == Current)
+      return;
+    if (atomicCAS(&Prio[V], Current, Next)) {
+      notePriorityChange(V);
+      return;
+    }
+  }
+}
+
+void PriorityQueue::flushPending() {
+  ScratchIds.clear();
+  for (std::vector<VertexId> &List : PendingPerThread) {
+    ScratchIds.insert(ScratchIds.end(), List.begin(), List.end());
+    List.clear();
+  }
+  if (ScratchIds.empty())
+    return;
+  Count M = static_cast<Count>(ScratchIds.size());
+  ChangedFlags.release(ScratchIds.data(), M);
+
+  ScratchKeys.resize(static_cast<size_t>(M));
+  // Clamp keys at the current bucket: a vertex whose priority already
+  // passed the current bucket is re-processed immediately rather than
+  // violating monotonicity (relevant only to ε-inconsistent heuristics).
+  bool HaveCurrent = CurrentPriority != kNullPriority;
+  int64_t CurKey = HaveCurrent ? CurrentPriority / Delta : 0;
+  for (Count I = 0; I < M; ++I) {
+    int64_t Key = coarsen(Prio[ScratchIds[I]]);
+    if (HaveCurrent) {
+      if (Order == PriorityOrder::LowerFirst)
+        Key = std::max(Key, CurKey);
+      else
+        Key = std::min(Key, CurKey);
+    }
+    ScratchKeys[I] = Key;
+  }
+  Queue.updateBuckets(ScratchIds.data(), ScratchKeys.data(), M);
+}
+
+bool PriorityQueue::finished() {
+  flushPending();
+  return Queue.pendingEstimate() == 0;
+}
+
+bool PriorityQueue::finishedVertex(VertexId V) const {
+  Priority P = Prio[V];
+  if (P == kNullPriority || CurrentPriority == kNullPriority)
+    return false;
+  return Order == PriorityOrder::LowerFirst ? CurrentPriority >= P
+                                            : CurrentPriority <= P;
+}
+
+VertexSubset PriorityQueue::dequeueReadySet() {
+  flushPending();
+  Count N = static_cast<Count>(Prio.size());
+  if (!Queue.nextBucket())
+    return VertexSubset::empty(N);
+  ++Rounds;
+  CurrentPriority = Queue.currentKey() * Delta;
+  return VertexSubset::fromSparse(N, Queue.currentBucket());
+}

@@ -1,0 +1,158 @@
+//===- core/Schedule.cpp - The scheduling language -------------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Schedule.h"
+
+#include "support/Abort.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace graphit;
+
+Schedule &Schedule::configApplyPriorityUpdate(const std::string &Option) {
+  if (Option == "eager_with_fusion")
+    Update = UpdateStrategy::EagerWithFusion;
+  else if (Option == "eager_no_fusion" || Option == "eager")
+    Update = UpdateStrategy::EagerNoFusion;
+  else if (Option == "lazy")
+    Update = UpdateStrategy::Lazy;
+  else if (Option == "lazy_constant_sum" || Option == "constant_sum_reduce")
+    Update = UpdateStrategy::LazyConstantSum;
+  else
+    fatalError("configApplyPriorityUpdate: unknown option");
+  return *this;
+}
+
+Schedule &Schedule::configApplyPriorityUpdateDelta(int64_t NewDelta) {
+  if (NewDelta < 1)
+    fatalError("configApplyPriorityUpdateDelta: delta must be >= 1");
+  Delta = NewDelta;
+  return *this;
+}
+
+Schedule &Schedule::configBucketFusionThreshold(int64_t Threshold) {
+  if (Threshold < 1)
+    fatalError("configBucketFusionThreshold: threshold must be >= 1");
+  FusionThreshold = Threshold;
+  return *this;
+}
+
+Schedule &Schedule::configNumBuckets(int Buckets) {
+  if (Buckets < 1)
+    fatalError("configNumBuckets: need at least one bucket");
+  NumOpenBuckets = Buckets;
+  return *this;
+}
+
+Schedule &Schedule::configApplyDirection(const std::string &Option) {
+  if (Option == "SparsePush")
+    Dir = Direction::SparsePush;
+  else if (Option == "DensePull")
+    Dir = Direction::DensePull;
+  else if (Option == "DensePull-SparsePush" || Option == "Hybrid")
+    Dir = Direction::Hybrid;
+  else
+    fatalError("configApplyDirection: unknown option");
+  return *this;
+}
+
+Schedule &Schedule::configApplyParallelization(const std::string &Option) {
+  if (Option == "serial")
+    Par = Parallelization::Serial;
+  else if (Option == "static-vertex-parallel")
+    Par = Parallelization::StaticVertexParallel;
+  else if (Option == "dynamic-vertex-parallel")
+    Par = Parallelization::DynamicVertexParallel;
+  else
+    fatalError("configApplyParallelization: unknown option");
+  return *this;
+}
+
+const char *graphit::updateStrategyName(UpdateStrategy S) {
+  switch (S) {
+  case UpdateStrategy::EagerWithFusion:
+    return "eager_with_fusion";
+  case UpdateStrategy::EagerNoFusion:
+    return "eager_no_fusion";
+  case UpdateStrategy::Lazy:
+    return "lazy";
+  case UpdateStrategy::LazyConstantSum:
+    return "lazy_constant_sum";
+  }
+  GRAPHIT_UNREACHABLE("bad UpdateStrategy");
+}
+
+const char *graphit::directionName(Direction D) {
+  switch (D) {
+  case Direction::SparsePush:
+    return "SparsePush";
+  case Direction::DensePull:
+    return "DensePull";
+  case Direction::Hybrid:
+    return "Hybrid";
+  }
+  GRAPHIT_UNREACHABLE("bad Direction");
+}
+
+const char *graphit::parallelizationName(Parallelization P) {
+  switch (P) {
+  case Parallelization::Serial:
+    return "serial";
+  case Parallelization::StaticVertexParallel:
+    return "static-vertex-parallel";
+  case Parallelization::DynamicVertexParallel:
+    return "dynamic-vertex-parallel";
+  }
+  GRAPHIT_UNREACHABLE("bad Parallelization");
+}
+
+Schedule Schedule::parse(const std::string &Spec) {
+  Schedule S;
+  std::stringstream Stream(Spec);
+  std::string Token;
+  bool First = true;
+  while (std::getline(Stream, Token, ',')) {
+    if (Token.empty())
+      continue;
+    size_t Eq = Token.find('=');
+    if (Eq == std::string::npos) {
+      if (!First)
+        fatalError("Schedule::parse: strategy must be the first token");
+      S.configApplyPriorityUpdate(Token);
+      First = false;
+      continue;
+    }
+    First = false;
+    std::string Key = Token.substr(0, Eq), Value = Token.substr(Eq + 1);
+    if (Key == "delta")
+      S.configApplyPriorityUpdateDelta(std::atoll(Value.c_str()));
+    else if (Key == "threshold")
+      S.configBucketFusionThreshold(std::atoll(Value.c_str()));
+    else if (Key == "buckets")
+      S.configNumBuckets(std::atoi(Value.c_str()));
+    else if (Key == "direction")
+      S.configApplyDirection(Value);
+    else if (Key == "parallel")
+      S.configApplyParallelization(Value);
+    else if (Key == "histogram")
+      S.Histogram = Value == "atomic" ? HistogramMethod::AtomicCounts
+                                      : HistogramMethod::LocalTables;
+    else
+      fatalError("Schedule::parse: unknown key");
+  }
+  return S;
+}
+
+std::string Schedule::toString() const {
+  std::stringstream Out;
+  Out << updateStrategyName(Update) << ",delta=" << Delta
+      << ",threshold=" << FusionThreshold << ",buckets=" << NumOpenBuckets
+      << ",direction=" << directionName(Dir)
+      << ",parallel=" << parallelizationName(Par);
+  return Out.str();
+}

@@ -1,0 +1,106 @@
+//===- dsl/AST.cpp - GraphIt-subset abstract syntax tree ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/AST.h"
+
+using namespace graphit;
+using namespace graphit::dsl;
+
+namespace {
+
+const char *scalarName(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::String:
+    return "string";
+  case TypeKind::Vertex:
+    return "Vertex";
+  case TypeKind::Edge:
+    return "Edge";
+  case TypeKind::Void:
+    return "void";
+  default:
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string TypeRef::toString() const {
+  switch (Kind) {
+  case TypeKind::Invalid:
+    return "<invalid>";
+  case TypeKind::VertexSet:
+    return "vertexset{" + Element + "}";
+  case TypeKind::EdgeSet: {
+    std::string S = "edgeset{" + Element + "}(";
+    for (size_t I = 0; I < Params.size(); ++I) {
+      if (I)
+        S += ",";
+      S += scalarName(Params[I]);
+    }
+    return S + ")";
+  }
+  case TypeKind::Vector:
+    return "vector{" + Element + "}(" +
+           (Params.empty() ? "?" : scalarName(Params[0])) + ")";
+  case TypeKind::PriorityQueue:
+    return "priority_queue{" + Element + "}(" +
+           (Params.empty() ? "?" : scalarName(Params[0])) + ")";
+  default:
+    return scalarName(Kind);
+  }
+}
+
+const char *graphit::dsl::binaryOpSpelling(BinaryExpr::OpKind Op) {
+  switch (Op) {
+  case BinaryExpr::OpKind::Add:
+    return "+";
+  case BinaryExpr::OpKind::Sub:
+    return "-";
+  case BinaryExpr::OpKind::Mul:
+    return "*";
+  case BinaryExpr::OpKind::Div:
+    return "/";
+  case BinaryExpr::OpKind::Eq:
+    return "==";
+  case BinaryExpr::OpKind::Ne:
+    return "!=";
+  case BinaryExpr::OpKind::Lt:
+    return "<";
+  case BinaryExpr::OpKind::Le:
+    return "<=";
+  case BinaryExpr::OpKind::Gt:
+    return ">";
+  case BinaryExpr::OpKind::Ge:
+    return ">=";
+  case BinaryExpr::OpKind::And:
+    return "&&";
+  case BinaryExpr::OpKind::Or:
+    return "||";
+  }
+  return "?";
+}
+
+const FuncDecl *Program::findFunc(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+const ConstDecl *Program::findConst(const std::string &Name) const {
+  for (const auto &C : Consts)
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}

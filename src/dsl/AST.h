@@ -1,0 +1,464 @@
+//===- dsl/AST.h - GraphIt-subset abstract syntax tree ----------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the GraphIt algorithm-language subset with the priority-based
+/// extension. Nodes use LLVM-style RTTI (a NodeKind discriminator plus
+/// `classof`, consumed by `isa<>/cast<>/dyn_cast<>` from
+/// support/Casting.h); ownership is by `std::unique_ptr` down the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_DSL_AST_H
+#define GRAPHIT_DSL_AST_H
+
+#include "dsl/Lexer.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace graphit {
+namespace dsl {
+
+/// Discriminator for the whole node hierarchy. Ranges matter: keep the
+/// First/Last markers in sync when adding kinds.
+enum class NodeKind {
+  // Expressions.
+  IntLiteralExpr,
+  FloatLiteralExpr,
+  BoolLiteralExpr,
+  StringLiteralExpr,
+  VarRefExpr,
+  BinaryExpr,
+  UnaryExpr,
+  CallExpr,
+  MethodCallExpr,
+  IndexExpr,
+  NewPriorityQueueExpr,
+  FirstExpr = IntLiteralExpr,
+  LastExpr = NewPriorityQueueExpr,
+
+  // Statements.
+  VarDeclStmt,
+  AssignStmt,
+  ExprStmt,
+  WhileStmt,
+  IfStmt,
+  DeleteStmt,
+  ReturnStmt,
+  FirstStmt = VarDeclStmt,
+  LastStmt = ReturnStmt,
+
+  // Declarations.
+  ElementDecl,
+  ConstDecl,
+  FuncDecl,
+  FirstDecl = ElementDecl,
+  LastDecl = FuncDecl,
+
+  Program,
+};
+
+/// Structural type descriptor (the language's types are simple enough not
+/// to need an AST of their own).
+enum class TypeKind {
+  Invalid,
+  Int,
+  Float,
+  Bool,
+  String,
+  Vertex,
+  Edge,
+  VertexSet,      ///< vertexset{Element}
+  EdgeSet,        ///< edgeset{Element}(Vertex, Vertex[, int])
+  Vector,         ///< vector{Element}(scalar)
+  PriorityQueue,  ///< priority_queue{Element}(scalar)
+  Void,
+};
+
+/// A (possibly parameterized) type reference.
+struct TypeRef {
+  TypeKind Kind = TypeKind::Invalid;
+  std::string Element;          ///< element name for set/vector/pq types
+  std::vector<TypeKind> Params; ///< endpoint/value scalar kinds
+
+  TypeRef() = default;
+  explicit TypeRef(TypeKind Kind) : Kind(Kind) {}
+
+  bool isNumeric() const {
+    return Kind == TypeKind::Int || Kind == TypeKind::Float;
+  }
+  bool isWeightedEdgeSet() const {
+    return Kind == TypeKind::EdgeSet && Params.size() >= 3;
+  }
+  bool operator==(const TypeRef &O) const {
+    return Kind == O.Kind && Element == O.Element && Params == O.Params;
+  }
+  std::string toString() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Base node
+//===----------------------------------------------------------------------===//
+
+class ASTNode {
+public:
+  NodeKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  ASTNode(NodeKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  ~ASTNode() = default; // no virtual destructor: concrete owners only
+
+private:
+  NodeKind Kind;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr : public ASTNode {
+public:
+  TypeRef Type; ///< filled in by Sema
+
+  static bool classof(const ASTNode *N) {
+    return N->kind() >= NodeKind::FirstExpr &&
+           N->kind() <= NodeKind::LastExpr;
+  }
+
+protected:
+  Expr(NodeKind Kind, SourceLoc Loc) : ASTNode(Kind, Loc) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteralExpr : public Expr {
+public:
+  int64_t Value;
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(NodeKind::IntLiteralExpr, Loc), Value(Value) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::IntLiteralExpr;
+  }
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  double Value;
+  FloatLiteralExpr(double Value, SourceLoc Loc)
+      : Expr(NodeKind::FloatLiteralExpr, Loc), Value(Value) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::FloatLiteralExpr;
+  }
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  bool Value;
+  BoolLiteralExpr(bool Value, SourceLoc Loc)
+      : Expr(NodeKind::BoolLiteralExpr, Loc), Value(Value) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::BoolLiteralExpr;
+  }
+};
+
+class StringLiteralExpr : public Expr {
+public:
+  std::string Value;
+  StringLiteralExpr(std::string Value, SourceLoc Loc)
+      : Expr(NodeKind::StringLiteralExpr, Loc), Value(std::move(Value)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::StringLiteralExpr;
+  }
+};
+
+class VarRefExpr : public Expr {
+public:
+  std::string Name;
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(NodeKind::VarRefExpr, Loc), Name(std::move(Name)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::VarRefExpr;
+  }
+};
+
+class BinaryExpr : public Expr {
+public:
+  enum class OpKind { Add, Sub, Mul, Div, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+  OpKind Op;
+  ExprPtr LHS, RHS;
+  BinaryExpr(OpKind Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(NodeKind::BinaryExpr, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::BinaryExpr;
+  }
+};
+
+/// Spelling of a binary operator ("+", "==", ...).
+const char *binaryOpSpelling(BinaryExpr::OpKind Op);
+
+class UnaryExpr : public Expr {
+public:
+  enum class OpKind { Neg, Not };
+  OpKind Op;
+  ExprPtr Operand;
+  UnaryExpr(OpKind Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(NodeKind::UnaryExpr, Loc), Op(Op),
+        Operand(std::move(Operand)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::UnaryExpr;
+  }
+};
+
+/// Free-function call: user functions and intrinsics (`load`, `atoi`).
+class CallExpr : public Expr {
+public:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(NodeKind::CallExpr, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::CallExpr;
+  }
+};
+
+/// Method call `base.method(args)`, possibly chained
+/// (`edges.from(bucket).applyUpdatePriority(f)`).
+class MethodCallExpr : public Expr {
+public:
+  ExprPtr Base;
+  std::string Method;
+  std::vector<ExprPtr> Args;
+  MethodCallExpr(ExprPtr Base, std::string Method, std::vector<ExprPtr> Args,
+                 SourceLoc Loc)
+      : Expr(NodeKind::MethodCallExpr, Loc), Base(std::move(Base)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::MethodCallExpr;
+  }
+};
+
+/// Indexing `vec[expr]` (also `argv[i]`).
+class IndexExpr : public Expr {
+public:
+  ExprPtr Base;
+  ExprPtr Index;
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(NodeKind::IndexExpr, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::IndexExpr;
+  }
+};
+
+/// `new priority_queue{Vertex}(int)(allow_coarsening, "lower_first",
+/// priority_vector, start_vertex)` — Table 1's constructor.
+class NewPriorityQueueExpr : public Expr {
+public:
+  TypeRef PQType;
+  std::vector<ExprPtr> Args;
+  NewPriorityQueueExpr(TypeRef PQType, std::vector<ExprPtr> Args,
+                       SourceLoc Loc)
+      : Expr(NodeKind::NewPriorityQueueExpr, Loc),
+        PQType(std::move(PQType)), Args(std::move(Args)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::NewPriorityQueueExpr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt : public ASTNode {
+public:
+  std::string Label; ///< #label# attached to this statement, if any
+
+  static bool classof(const ASTNode *N) {
+    return N->kind() >= NodeKind::FirstStmt &&
+           N->kind() <= NodeKind::LastStmt;
+  }
+
+protected:
+  Stmt(NodeKind Kind, SourceLoc Loc) : ASTNode(Kind, Loc) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class VarDeclStmt : public Stmt {
+public:
+  std::string Name;
+  TypeRef DeclType;
+  ExprPtr Init; // may be null
+  VarDeclStmt(std::string Name, TypeRef DeclType, ExprPtr Init,
+              SourceLoc Loc)
+      : Stmt(NodeKind::VarDeclStmt, Loc), Name(std::move(Name)),
+        DeclType(std::move(DeclType)), Init(std::move(Init)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::VarDeclStmt;
+  }
+};
+
+class AssignStmt : public Stmt {
+public:
+  ExprPtr Target; // VarRefExpr or IndexExpr
+  ExprPtr Value;
+  AssignStmt(ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Stmt(NodeKind::AssignStmt, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::AssignStmt;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprPtr E;
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(NodeKind::ExprStmt, Loc), E(std::move(E)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::ExprStmt;
+  }
+};
+
+class WhileStmt : public Stmt {
+public:
+  ExprPtr Cond;
+  std::vector<StmtPtr> Body;
+  WhileStmt(ExprPtr Cond, std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(NodeKind::WhileStmt, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::WhileStmt;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+  IfStmt(ExprPtr Cond, std::vector<StmtPtr> Then, std::vector<StmtPtr> Else,
+         SourceLoc Loc)
+      : Stmt(NodeKind::IfStmt, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::IfStmt;
+  }
+};
+
+class DeleteStmt : public Stmt {
+public:
+  std::string Name;
+  DeleteStmt(std::string Name, SourceLoc Loc)
+      : Stmt(NodeKind::DeleteStmt, Loc), Name(std::move(Name)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::DeleteStmt;
+  }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ExprPtr Value; // may be null
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(NodeKind::ReturnStmt, Loc), Value(std::move(Value)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::ReturnStmt;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class Decl : public ASTNode {
+public:
+  std::string Name;
+
+  static bool classof(const ASTNode *N) {
+    return N->kind() >= NodeKind::FirstDecl &&
+           N->kind() <= NodeKind::LastDecl;
+  }
+
+protected:
+  Decl(NodeKind Kind, std::string Name, SourceLoc Loc)
+      : ASTNode(Kind, Loc), Name(std::move(Name)) {}
+};
+
+class ElementDecl : public Decl {
+public:
+  ElementDecl(std::string Name, SourceLoc Loc)
+      : Decl(NodeKind::ElementDecl, std::move(Name), Loc) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::ElementDecl;
+  }
+};
+
+class ConstDecl : public Decl {
+public:
+  TypeRef DeclType;
+  ExprPtr Init; // may be null
+  ConstDecl(std::string Name, TypeRef DeclType, ExprPtr Init, SourceLoc Loc)
+      : Decl(NodeKind::ConstDecl, std::move(Name), Loc),
+        DeclType(std::move(DeclType)), Init(std::move(Init)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::ConstDecl;
+  }
+};
+
+/// Function parameter.
+struct Param {
+  std::string Name;
+  TypeRef Type;
+};
+
+class FuncDecl : public Decl {
+public:
+  std::vector<Param> Params;
+  TypeRef ReturnType{TypeKind::Void};
+  std::vector<StmtPtr> Body;
+  bool IsExtern = false;
+  FuncDecl(std::string Name, std::vector<Param> Params,
+           std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Decl(NodeKind::FuncDecl, std::move(Name), Loc),
+        Params(std::move(Params)), Body(std::move(Body)) {}
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::FuncDecl;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+class Program : public ASTNode {
+public:
+  Program() : ASTNode(NodeKind::Program, SourceLoc{}) {}
+
+  std::vector<std::unique_ptr<ElementDecl>> Elements;
+  std::vector<std::unique_ptr<ConstDecl>> Consts;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  /// Named lookups; null when absent.
+  const FuncDecl *findFunc(const std::string &Name) const;
+  const ConstDecl *findConst(const std::string &Name) const;
+
+  static bool classof(const ASTNode *N) {
+    return N->kind() == NodeKind::Program;
+  }
+};
+
+} // namespace dsl
+} // namespace graphit
+
+#endif // GRAPHIT_DSL_AST_H

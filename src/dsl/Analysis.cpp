@@ -1,0 +1,342 @@
+//===- dsl/Analysis.cpp - Priority-update program analyses ----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace graphit;
+using namespace graphit::dsl;
+
+namespace {
+
+/// Applies \p Fn to every expression under \p E (pre-order).
+void forEachExpr(const Expr *E, const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  Fn(E);
+  if (auto *B = dyn_cast<BinaryExpr>(E)) {
+    forEachExpr(B->LHS.get(), Fn);
+    forEachExpr(B->RHS.get(), Fn);
+    return;
+  }
+  if (auto *U = dyn_cast<UnaryExpr>(E)) {
+    forEachExpr(U->Operand.get(), Fn);
+    return;
+  }
+  if (auto *C = dyn_cast<CallExpr>(E)) {
+    for (const ExprPtr &A : C->Args)
+      forEachExpr(A.get(), Fn);
+    return;
+  }
+  if (auto *M = dyn_cast<MethodCallExpr>(E)) {
+    forEachExpr(M->Base.get(), Fn);
+    for (const ExprPtr &A : M->Args)
+      forEachExpr(A.get(), Fn);
+    return;
+  }
+  if (auto *I = dyn_cast<IndexExpr>(E)) {
+    forEachExpr(I->Base.get(), Fn);
+    forEachExpr(I->Index.get(), Fn);
+    return;
+  }
+  if (auto *N = dyn_cast<NewPriorityQueueExpr>(E)) {
+    for (const ExprPtr &A : N->Args)
+      forEachExpr(A.get(), Fn);
+    return;
+  }
+}
+
+/// Applies \p Fn to every expression in \p Stmts, recursing into blocks.
+void forEachExprInStmts(const std::vector<StmtPtr> &Stmts,
+                        const std::function<void(const Expr *)> &Fn) {
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt *S = SP.get();
+    if (auto *VD = dyn_cast<VarDeclStmt>(S)) {
+      forEachExpr(VD->Init.get(), Fn);
+    } else if (auto *AS = dyn_cast<AssignStmt>(S)) {
+      forEachExpr(AS->Target.get(), Fn);
+      forEachExpr(AS->Value.get(), Fn);
+    } else if (auto *ES = dyn_cast<ExprStmt>(S)) {
+      forEachExpr(ES->E.get(), Fn);
+    } else if (auto *WS = dyn_cast<WhileStmt>(S)) {
+      forEachExpr(WS->Cond.get(), Fn);
+      forEachExprInStmts(WS->Body, Fn);
+    } else if (auto *IS = dyn_cast<IfStmt>(S)) {
+      forEachExpr(IS->Cond.get(), Fn);
+      forEachExprInStmts(IS->Then, Fn);
+      forEachExprInStmts(IS->Else, Fn);
+    } else if (auto *RS = dyn_cast<ReturnStmt>(S)) {
+      forEachExpr(RS->Value.get(), Fn);
+    }
+  }
+}
+
+/// Matches a compile-time integer constant (literal or negated literal).
+bool matchIntConstant(const Expr *E, int64_t &Out) {
+  if (const auto *I = dyn_cast<IntLiteralExpr>(E)) {
+    Out = I->Value;
+    return true;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->Op == UnaryExpr::OpKind::Neg) {
+      int64_t Inner;
+      if (matchIntConstant(U->Operand.get(), Inner)) {
+        Out = -Inner;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// True if \p E reads `pq.getCurrentPriority()` (possibly through a local
+/// variable is NOT tracked — the k-core pattern passes it directly or via
+/// a var initialized from it; we check both one level deep).
+bool readsCurrentPriority(const Expr *E) {
+  bool Found = false;
+  forEachExpr(E, [&](const Expr *X) {
+    if (const auto *M = dyn_cast<MethodCallExpr>(X))
+      if (M->Method == "getCurrentPriority" ||
+          M->Method == "get_current_priority")
+        Found = true;
+  });
+  return Found;
+}
+
+/// The variables (by name) initialized from pq.getCurrentPriority() in a
+/// UDF body, so `var k = pq.getCurrentPriority(); ... sum(dst, -1, k)` is
+/// recognized.
+std::vector<std::string>
+currentPriorityAliases(const std::vector<StmtPtr> &Body) {
+  std::vector<std::string> Names;
+  for (const StmtPtr &SP : Body)
+    if (const auto *VD = dyn_cast<VarDeclStmt>(SP.get()))
+      if (VD->Init && readsCurrentPriority(VD->Init.get()))
+        Names.push_back(VD->Name);
+  return Names;
+}
+
+/// Name of the base variable if \p E is a plain variable reference.
+std::string baseVarName(const Expr *E) {
+  if (const auto *V = dyn_cast<VarRefExpr>(E))
+    return V->Name;
+  return "";
+}
+
+UDFInfo analyzeUDF(const FuncDecl &F, const SemaResult &Sema) {
+  UDFInfo Info;
+  Info.F = &F;
+  std::vector<std::string> CurPriAliases = currentPriorityAliases(F.Body);
+
+  forEachExprInStmts(F.Body, [&](const Expr *E) {
+    const auto *M = dyn_cast<MethodCallExpr>(E);
+    if (!M)
+      return;
+    PriorityUpdateInfo::UpdateOp Op;
+    if (M->Method == "updatePriorityMin")
+      Op = PriorityUpdateInfo::UpdateOp::Min;
+    else if (M->Method == "updatePriorityMax")
+      Op = PriorityUpdateInfo::UpdateOp::Max;
+    else if (M->Method == "updatePrioritySum")
+      Op = PriorityUpdateInfo::UpdateOp::Sum;
+    else
+      return;
+    std::string PQ = baseVarName(M->Base.get());
+    if (Sema.globalType(PQ).Kind != TypeKind::PriorityQueue)
+      return;
+
+    PriorityUpdateInfo U;
+    U.Op = Op;
+    U.Call = M;
+    U.PQName = PQ;
+    if (!M->Args.empty())
+      U.TargetParam = baseVarName(M->Args[0].get());
+    if (Op == PriorityUpdateInfo::UpdateOp::Sum && M->Args.size() >= 2) {
+      U.IsConstantSum = matchIntConstant(M->Args[1].get(), U.SumConst);
+      if (M->Args.size() >= 3) {
+        const Expr *Threshold = M->Args[2].get();
+        std::string Name = baseVarName(Threshold);
+        U.ThresholdIsCurrentPriority =
+            readsCurrentPriority(Threshold) ||
+            std::find(CurPriAliases.begin(), CurPriAliases.end(), Name) !=
+                CurPriAliases.end();
+      }
+    }
+    Info.Updates.push_back(U);
+  });
+  return Info;
+}
+
+/// Pattern-matches `<expr> == false` / `false == <expr>` / `not <expr>`,
+/// returning the inner expression, or null.
+const Expr *matchNegation(const Expr *Cond) {
+  if (const auto *B = dyn_cast<BinaryExpr>(Cond)) {
+    if (B->Op != BinaryExpr::OpKind::Eq)
+      return nullptr;
+    if (const auto *L = dyn_cast<BoolLiteralExpr>(B->LHS.get()))
+      return !L->Value ? B->RHS.get() : nullptr;
+    if (const auto *R = dyn_cast<BoolLiteralExpr>(B->RHS.get()))
+      return !R->Value ? B->LHS.get() : nullptr;
+    return nullptr;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(Cond))
+    if (U->Op == UnaryExpr::OpKind::Not)
+      return U->Operand.get();
+  return nullptr;
+}
+
+/// Counts references to variable \p Name in the loop body.
+int countVarUses(const WhileStmt &Loop, const std::string &Name) {
+  int Uses = 0;
+  forEachExprInStmts(Loop.Body, [&](const Expr *E) {
+    if (const auto *V = dyn_cast<VarRefExpr>(E))
+      if (V->Name == Name)
+        ++Uses;
+  });
+  return Uses;
+}
+
+/// Collects the pq-condition calls in a loop condition of the form
+/// `pq.finished() == false [and pq.finishedVertex(v) == false]`.
+/// \returns the negated pq method calls, or empty when unrecognized.
+std::vector<const MethodCallExpr *> matchLoopCondition(const Expr *Cond) {
+  std::vector<const MethodCallExpr *> Calls;
+  if (const auto *B = dyn_cast<BinaryExpr>(Cond)) {
+    if (B->Op == BinaryExpr::OpKind::And) {
+      auto L = matchLoopCondition(B->LHS.get());
+      auto R = matchLoopCondition(B->RHS.get());
+      if (L.empty() || R.empty())
+        return {};
+      L.insert(L.end(), R.begin(), R.end());
+      return L;
+    }
+  }
+  if (const Expr *Inner = matchNegation(Cond))
+    if (const auto *Call = dyn_cast<MethodCallExpr>(Inner))
+      return {Call};
+  return {};
+}
+
+void analyzeLoop(const WhileStmt &Loop, const SemaResult &Sema,
+                 ProgramAnalysis &Out) {
+  std::vector<const MethodCallExpr *> Conds =
+      matchLoopCondition(Loop.Cond.get());
+  if (Conds.empty() || Conds.size() > 2)
+    return;
+
+  OrderedLoopInfo Info;
+  Info.Loop = &Loop;
+  for (const MethodCallExpr *CondCall : Conds) {
+    std::string PQ = baseVarName(CondCall->Base.get());
+    if (Sema.globalType(PQ).Kind != TypeKind::PriorityQueue)
+      return;
+    if (!Info.PQName.empty() && Info.PQName != PQ)
+      return; // two different queues: not the pattern
+    Info.PQName = PQ;
+    if (CondCall->Method == "finishedVertex" && CondCall->Args.size() == 1)
+      Info.StopVertexVar = baseVarName(CondCall->Args[0].get());
+    else if (CondCall->Method != "finished")
+      return;
+  }
+
+  // Recognize the body: bucket decl, apply statement, optional delete.
+  int OtherStmts = 0;
+  for (const StmtPtr &SP : Loop.Body) {
+    const Stmt *S = SP.get();
+    if (const auto *VD = dyn_cast<VarDeclStmt>(S)) {
+      const auto *Init =
+          VD->Init ? dyn_cast<MethodCallExpr>(VD->Init.get()) : nullptr;
+      if (Init &&
+          (Init->Method == "dequeueReadySet" ||
+           Init->Method == "dequeue_ready_set") &&
+          baseVarName(Init->Base.get()) == Info.PQName) {
+        Info.BucketVar = VD->Name;
+        continue;
+      }
+      ++OtherStmts;
+      continue;
+    }
+    if (const auto *ES = dyn_cast<ExprStmt>(S)) {
+      const auto *Apply = dyn_cast<MethodCallExpr>(ES->E.get());
+      if (Apply && Apply->Method == "applyUpdatePriority" &&
+          Apply->Args.size() == 1) {
+        // Base should be edges.from(bucket) or a plain edgeset.
+        const Expr *Base = Apply->Base.get();
+        if (const auto *From = dyn_cast<MethodCallExpr>(Base)) {
+          if (From->Method == "from" && From->Args.size() == 1) {
+            Info.EdgesetName = baseVarName(From->Base.get());
+          }
+        } else {
+          Info.EdgesetName = baseVarName(Base);
+        }
+        Info.UDFName = baseVarName(Apply->Args[0].get());
+        Info.Label = ES->Label;
+        continue;
+      }
+      ++OtherStmts;
+      continue;
+    }
+    if (const auto *DS = dyn_cast<DeleteStmt>(S)) {
+      if (DS->Name == Info.BucketVar)
+        continue;
+      ++OtherStmts;
+      continue;
+    }
+    ++OtherStmts;
+  }
+
+  if (Info.UDFName.empty() || Info.EdgesetName.empty())
+    return; // not an ordered edge-apply loop
+
+  // Eager legality (§5.2): the bucket's only uses are the dequeue, the
+  // from(), and the delete, and the loop holds nothing else.
+  bool BucketUsesOk =
+      Info.BucketVar.empty() || countVarUses(Loop, Info.BucketVar) == 1;
+  Info.EagerLegal = OtherStmts == 0 && BucketUsesOk;
+  Out.Loops.push_back(Info);
+  Out.Notes.push_back(
+      "ordered loop over pq '" + Info.PQName + "' applying '" +
+      Info.UDFName + "'" +
+      (Info.EagerLegal ? " [eager transformation legal]"
+                       : " [eager transformation NOT legal]"));
+}
+
+void findLoops(const std::vector<StmtPtr> &Stmts, const SemaResult &Sema,
+               ProgramAnalysis &Out) {
+  for (const StmtPtr &SP : Stmts) {
+    if (const auto *WS = dyn_cast<WhileStmt>(SP.get())) {
+      analyzeLoop(*WS, Sema, Out);
+      findLoops(WS->Body, Sema, Out);
+    } else if (const auto *IS = dyn_cast<IfStmt>(SP.get())) {
+      findLoops(IS->Then, Sema, Out);
+      findLoops(IS->Else, Sema, Out);
+    }
+  }
+}
+
+} // namespace
+
+ProgramAnalysis graphit::dsl::analyzeProgram(const Program &Prog,
+                                             const SemaResult &Sema) {
+  ProgramAnalysis Out;
+  for (const auto &F : Prog.Funcs) {
+    UDFInfo Info = analyzeUDF(*F, Sema);
+    if (!Info.Updates.empty()) {
+      Out.Notes.push_back(
+          "function '" + F->Name + "': " +
+          std::to_string(Info.Updates.size()) + " priority update(s)" +
+          (Info.histogramEligible() ? ", histogram-eligible" : ""));
+      Out.UDFs.push_back(std::move(Info));
+    }
+  }
+  for (const auto &F : Prog.Funcs)
+    if (F->Name == "main")
+      findLoops(F->Body, Sema, Out);
+  return Out;
+}

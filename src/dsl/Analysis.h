@@ -1,0 +1,115 @@
+//===- dsl/Analysis.h - Priority-update program analyses --------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler analyses of §5 that make the scheduling options legal and
+/// efficient:
+///
+///  * **priority-update analysis** (§5.1) — locates the priority-update
+///    operators inside user-defined functions, determines whether atomics
+///    must be inserted (write-write conflicts on the destination under
+///    push-style traversal), and detects the *constant sum* pattern
+///    (`updatePrioritySum(v, c, threshold)` with a literal constant c)
+///    that enables the histogram transformation of Fig. 10;
+///
+///  * **ordered-loop analysis** (§5.2) — recognizes the
+///    `while (pq.finished() == false) { bucket = pq.dequeueReadySet();
+///    edges.from(bucket).applyUpdatePriority(f); delete bucket; }`
+///    pattern and verifies the dequeued bucket has no other uses, which is
+///    the legality condition for replacing the whole loop by the eager
+///    ordered-processing operator. It also recognizes the PPSP-style
+///    early-exit condition `pq.finishedVertex(v) == false`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_DSL_ANALYSIS_H
+#define GRAPHIT_DSL_ANALYSIS_H
+
+#include "dsl/AST.h"
+#include "dsl/Sema.h"
+#include "runtime/Traversal.h"
+
+#include <string>
+#include <vector>
+
+namespace graphit {
+namespace dsl {
+
+/// One priority-update operator occurrence inside a UDF.
+struct PriorityUpdateInfo {
+  enum class UpdateOp { Min, Max, Sum };
+  UpdateOp Op = UpdateOp::Min;
+  const MethodCallExpr *Call = nullptr;
+  std::string PQName;       ///< which global priority queue is updated
+  std::string TargetParam;  ///< UDF parameter naming the updated vertex
+  bool IsConstantSum = false; ///< Sum with a literal-constant delta
+  int64_t SumConst = 0;       ///< the constant, when IsConstantSum
+  /// True when the Sum threshold is `pq.getCurrentPriority()` (the k-core
+  /// clamp pattern of Fig. 10).
+  bool ThresholdIsCurrentPriority = false;
+};
+
+/// Analysis summary for one user-defined function.
+struct UDFInfo {
+  const FuncDecl *F = nullptr;
+  std::vector<PriorityUpdateInfo> Updates;
+
+  /// §5.1 dependence analysis: under push-style traversal many edges write
+  /// the same destination concurrently, so any update targeting a
+  /// parameter requires atomics; pull-style gives each destination a
+  /// single owner (Fig. 9(b) generates no atomics).
+  bool needsAtomics(Direction Dir) const {
+    return Dir != Direction::DensePull && !Updates.empty();
+  }
+
+  /// Legality of the histogram transformation (Fig. 10): exactly one
+  /// update, a sum, by a compile-time constant.
+  bool histogramEligible() const {
+    return Updates.size() == 1 &&
+           Updates[0].Op == PriorityUpdateInfo::UpdateOp::Sum &&
+           Updates[0].IsConstantSum;
+  }
+};
+
+/// One recognized ordered processing loop in `main`.
+struct OrderedLoopInfo {
+  const WhileStmt *Loop = nullptr;
+  std::string PQName;      ///< the priority queue driving the loop
+  std::string EdgesetName; ///< edgeset traversed by applyUpdatePriority
+  std::string BucketVar;   ///< dequeued vertexset variable
+  std::string UDFName;     ///< the function applied to edges
+  std::string Label;       ///< #label# on the apply statement ("" if none)
+  /// Variable naming the early-exit target vertex when the loop condition
+  /// is `pq.finishedVertex(v) == false`; empty for plain `pq.finished()`.
+  std::string StopVertexVar;
+  /// True when the loop may be replaced by the eager ordered-processing
+  /// operator (§5.2): the bucket has no uses besides the edge apply and
+  /// its delete.
+  bool EagerLegal = false;
+};
+
+/// Whole-program analysis results.
+struct ProgramAnalysis {
+  std::vector<UDFInfo> UDFs;
+  std::vector<OrderedLoopInfo> Loops;
+  std::vector<std::string> Notes; ///< human-readable analysis log
+
+  const UDFInfo *udfInfo(const std::string &Name) const {
+    for (const UDFInfo &U : UDFs)
+      if (U.F && U.F->Name == Name)
+        return &U;
+    return nullptr;
+  }
+};
+
+/// Runs both analyses. Requires a Sema-annotated program.
+ProgramAnalysis analyzeProgram(const Program &Prog, const SemaResult &Sema);
+
+} // namespace dsl
+} // namespace graphit
+
+#endif // GRAPHIT_DSL_ANALYSIS_H

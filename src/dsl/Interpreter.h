@@ -1,0 +1,71 @@
+//===- dsl/Interpreter.h - Direct execution of GraphIt programs -*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter that runs priority-extension GraphIt
+/// programs directly against this repository's runtime, so the full
+/// pipeline (parse -> sema -> analysis -> execute) is testable without a
+/// C++ compile step. Execution strategy mirrors the compiler:
+///
+///  * ordered loops that the analysis proves eager-legal run through
+///    `eagerOrderedProcess` (with bucket fusion per the schedule), with
+///    the user-defined function evaluated per edge;
+///  * everything else executes through the PriorityQueue facade — the
+///    lazy bucket-update semantics of §3.1.
+///
+/// The interpreter exists for correctness and tooling, not speed; the
+/// generated C++ (dsl/CodeGen.h) is the performance path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_DSL_INTERPRETER_H
+#define GRAPHIT_DSL_INTERPRETER_H
+
+#include "core/OrderedProcess.h"
+#include "core/Schedule.h"
+#include "dsl/Analysis.h"
+#include "dsl/CodeGen.h"
+#include "dsl/Sema.h"
+#include "graph/Graph.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace graphit {
+namespace dsl {
+
+/// Inputs for one interpreted run.
+struct InterpOptions {
+  /// Per-label schedules ("" is the default label).
+  ScheduleMap Schedules;
+  /// Program arguments; Args[0] stands for argv[1] in the program (the
+  /// graph path is virtual — the Graph is passed directly).
+  std::vector<std::string> Args;
+  /// Data for `load_vertex_data(path)`, keyed by the path string.
+  std::map<std::string, std::vector<Priority>> VertexData;
+};
+
+/// Results: the final contents of every global vector, plus engine stats
+/// from the last ordered loop executed.
+struct InterpResult {
+  bool Ok = false;
+  std::string Error;
+  std::map<std::string, std::vector<Priority>> Vectors;
+  OrderedStats Stats;
+  bool UsedEagerEngine = false;
+};
+
+/// Runs \p Prog (already Sema-annotated and analyzed) against \p G.
+InterpResult interpret(const Program &Prog, const SemaResult &Sema,
+                       const ProgramAnalysis &Analysis, const Graph &G,
+                       const InterpOptions &Options);
+
+} // namespace dsl
+} // namespace graphit
+
+#endif // GRAPHIT_DSL_INTERPRETER_H

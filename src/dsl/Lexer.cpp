@@ -1,0 +1,376 @@
+//===- dsl/Lexer.cpp - GraphIt-subset tokenizer ---------------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace graphit;
+using namespace graphit::dsl;
+
+const char *graphit::dsl::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "<eof>";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::Label:
+    return "label";
+  case TokenKind::KwElement:
+    return "'element'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwFunc:
+    return "'func'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElif:
+    return "'elif'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwDelete:
+    return "'delete'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwEdgeSet:
+    return "'edgeset'";
+  case TokenKind::KwVertexSet:
+    return "'vertexset'";
+  case TokenKind::KwVector:
+    return "'vector'";
+  case TokenKind::KwPriorityQueue:
+    return "'priority_queue'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  }
+  return "<bad token>";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"element", TokenKind::KwElement},
+      {"const", TokenKind::KwConst},
+      {"func", TokenKind::KwFunc},
+      {"extern", TokenKind::KwExtern},
+      {"var", TokenKind::KwVar},
+      {"while", TokenKind::KwWhile},
+      {"if", TokenKind::KwIf},
+      {"elif", TokenKind::KwElif},
+      {"else", TokenKind::KwElse},
+      {"end", TokenKind::KwEnd},
+      {"delete", TokenKind::KwDelete},
+      {"new", TokenKind::KwNew},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},
+      {"not", TokenKind::KwNot},
+      {"return", TokenKind::KwReturn},
+      {"edgeset", TokenKind::KwEdgeSet},
+      {"vertexset", TokenKind::KwVertexSet},
+      {"vector", TokenKind::KwVector},
+      {"priority_queue", TokenKind::KwPriorityQueue},
+      {"int", TokenKind::KwInt},
+      {"float", TokenKind::KwFloat},
+      {"bool", TokenKind::KwBool},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, std::string &ErrorOut)
+      : Src(Source), Error(ErrorOut) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipWhitespaceAndComments();
+      Token T = next();
+      Tokens.push_back(T);
+      if (T.Kind == TokenKind::Eof || !Error.empty())
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  char peek(int Ahead = 0) const {
+    size_t I = Pos + static_cast<size_t>(Ahead);
+    return I < Src.size() ? Src[I] : '\0';
+  }
+
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Loc.Line;
+      Loc.Column = 1;
+    } else {
+      ++Loc.Column;
+    }
+    return C;
+  }
+
+  void skipWhitespaceAndComments() {
+    while (true) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '%') { // GraphIt line comment
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      // C++-style comments are also tolerated in .gt sources.
+      if (C == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind Kind, SourceLoc At, std::string Text = "") {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Loc = At;
+    return T;
+  }
+
+  Token fail(SourceLoc At, const std::string &Message) {
+    Error = "line " + std::to_string(At.Line) + ":" +
+            std::to_string(At.Column) + ": " + Message;
+    return make(TokenKind::Eof, At);
+  }
+
+  Token next() {
+    SourceLoc At = Loc;
+    char C = peek();
+    if (C == '\0')
+      return make(TokenKind::Eof, At);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identifierOrKeyword(At);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number(At);
+
+    advance();
+    switch (C) {
+    case '#':
+      return label(At);
+    case '"':
+      return stringLiteral(At);
+    case '(':
+      return make(TokenKind::LParen, At);
+    case ')':
+      return make(TokenKind::RParen, At);
+    case '{':
+      return make(TokenKind::LBrace, At);
+    case '}':
+      return make(TokenKind::RBrace, At);
+    case '[':
+      return make(TokenKind::LBracket, At);
+    case ']':
+      return make(TokenKind::RBracket, At);
+    case ',':
+      return make(TokenKind::Comma, At);
+    case ';':
+      return make(TokenKind::Semicolon, At);
+    case ':':
+      return make(TokenKind::Colon, At);
+    case '.':
+      return make(TokenKind::Dot, At);
+    case '+':
+      return make(TokenKind::Plus, At);
+    case '-':
+      return make(TokenKind::Minus, At);
+    case '*':
+      return make(TokenKind::Star, At);
+    case '/':
+      return make(TokenKind::Slash, At);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::EqEq, At);
+      }
+      return make(TokenKind::Assign, At);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::NotEq, At);
+      }
+      return fail(At, "expected '=' after '!'");
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::LessEq, At);
+      }
+      return make(TokenKind::Less, At);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::GreaterEq, At);
+      }
+      return make(TokenKind::Greater, At);
+    default:
+      return fail(At, std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  Token identifierOrKeyword(SourceLoc At) {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_')
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end())
+      return make(It->second, At, Text);
+    return make(TokenKind::Identifier, At, Text);
+  }
+
+  Token number(SourceLoc At) {
+    std::string Text;
+    bool IsFloat = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    if (peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+    Token T = make(IsFloat ? TokenKind::FloatLiteral
+                           : TokenKind::IntLiteral,
+                   At, Text);
+    if (IsFloat)
+      T.FloatValue = std::atof(Text.c_str());
+    else
+      T.IntValue = std::atoll(Text.c_str());
+    return T;
+  }
+
+  Token stringLiteral(SourceLoc At) {
+    std::string Text;
+    while (peek() != '"') {
+      if (peek() == '\0' || peek() == '\n')
+        return fail(At, "unterminated string literal");
+      Text += advance();
+    }
+    advance(); // closing quote
+    return make(TokenKind::StringLiteral, At, Text);
+  }
+
+  Token label(SourceLoc At) {
+    std::string Text;
+    while (peek() != '#') {
+      if (peek() == '\0' || peek() == '\n')
+        return fail(At, "unterminated #label#");
+      Text += advance();
+    }
+    advance(); // closing '#'
+    if (Text.empty())
+      return fail(At, "empty #label#");
+    return make(TokenKind::Label, At, Text);
+  }
+
+  const std::string &Src;
+  std::string &Error;
+  size_t Pos = 0;
+  SourceLoc Loc;
+};
+
+} // namespace
+
+std::vector<Token> graphit::dsl::lex(const std::string &Source,
+                                     std::string &ErrorOut) {
+  ErrorOut.clear();
+  return LexerImpl(Source, ErrorOut).run();
+}

@@ -1,0 +1,114 @@
+//===- dsl/Lexer.h - GraphIt-subset tokenizer -------------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the GraphIt algorithm-language subset used by the
+/// priority-based extension (the language of Fig. 3 and the paper's k-core
+/// example). `%` line comments, `#label#` markers, string literals for
+/// priority-queue constructor options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_DSL_LEXER_H
+#define GRAPHIT_DSL_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphit {
+namespace dsl {
+
+/// Token kinds. Keywords carry their own kind; punctuation likewise.
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  Label, // #name#
+
+  // Keywords.
+  KwElement,
+  KwConst,
+  KwFunc,
+  KwExtern,
+  KwVar,
+  KwWhile,
+  KwIf,
+  KwElif,
+  KwElse,
+  KwEnd,
+  KwDelete,
+  KwNew,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwReturn,
+  KwEdgeSet,
+  KwVertexSet,
+  KwVector,
+  KwPriorityQueue,
+  KwInt,
+  KwFloat,
+  KwBool,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+};
+
+/// Human-readable token-kind name (diagnostics, tests).
+const char *tokenKindName(TokenKind Kind);
+
+/// Source position, 1-based.
+struct SourceLoc {
+  int Line = 1;
+  int Column = 1;
+};
+
+/// One lexed token. `Text` holds the identifier/literal spelling.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes \p Source completely. On a lexical error, the token stream ends
+/// with a diagnostic recorded in \p ErrorOut (empty on success).
+std::vector<Token> lex(const std::string &Source, std::string &ErrorOut);
+
+} // namespace dsl
+} // namespace graphit
+
+#endif // GRAPHIT_DSL_LEXER_H

@@ -1,0 +1,503 @@
+//===- dsl/Parser.cpp - GraphIt-subset recursive-descent parser -----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+
+#include <utility>
+
+using namespace graphit;
+using namespace graphit::dsl;
+
+namespace {
+
+/// Thrown-free parser: on the first error it records a message and makes
+/// every subsequent step a no-op, unwinding naturally.
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Tokens, std::string LexError)
+      : Tokens(std::move(Tokens)), Error(std::move(LexError)) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    auto Prog = std::make_unique<Program>();
+    while (Error.empty() && !peek().is(TokenKind::Eof)) {
+      if (peek().is(TokenKind::KwElement)) {
+        parseElement(*Prog);
+      } else if (peek().is(TokenKind::KwConst)) {
+        parseConst(*Prog);
+      } else if (peek().is(TokenKind::KwFunc) ||
+                 peek().is(TokenKind::KwExtern)) {
+        parseFunc(*Prog);
+      } else {
+        fail("expected 'element', 'const', or 'func' at top level");
+      }
+    }
+    Result.Error = Error;
+    if (Error.empty())
+      Result.Prog = std::move(Prog);
+    return Result;
+  }
+
+private:
+  //===--- token plumbing -------------------------------------------------===//
+
+  const Token &peek(int Ahead = 0) const {
+    size_t I = Pos + static_cast<size_t>(Ahead);
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  Token advance() {
+    Token T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool accept(TokenKind Kind) {
+    if (!Error.empty() || !peek().is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  Token expect(TokenKind Kind, const char *Context) {
+    if (!Error.empty())
+      return Token{};
+    if (!peek().is(Kind)) {
+      fail(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+           ", found " + tokenKindName(peek().Kind));
+      return Token{};
+    }
+    return advance();
+  }
+
+  void fail(const std::string &Message) {
+    if (!Error.empty())
+      return;
+    Error = "line " + std::to_string(peek().Loc.Line) + ":" +
+            std::to_string(peek().Loc.Column) + ": " + Message;
+  }
+
+  //===--- declarations ---------------------------------------------------===//
+
+  void parseElement(Program &Prog) {
+    SourceLoc At = peek().Loc;
+    expect(TokenKind::KwElement, "to begin element declaration");
+    Token Name = expect(TokenKind::Identifier, "as element name");
+    expect(TokenKind::KwEnd, "to close element declaration");
+    if (Error.empty())
+      Prog.Elements.push_back(
+          std::make_unique<ElementDecl>(Name.Text, At));
+  }
+
+  void parseConst(Program &Prog) {
+    SourceLoc At = peek().Loc;
+    expect(TokenKind::KwConst, "to begin const declaration");
+    Token Name = expect(TokenKind::Identifier, "as const name");
+    expect(TokenKind::Colon, "after const name");
+    TypeRef Type = parseType();
+    ExprPtr Init;
+    if (accept(TokenKind::Assign))
+      Init = parseExpr();
+    expect(TokenKind::Semicolon, "to end const declaration");
+    if (Error.empty())
+      Prog.Consts.push_back(std::make_unique<ConstDecl>(
+          Name.Text, std::move(Type), std::move(Init), At));
+  }
+
+  void parseFunc(Program &Prog) {
+    SourceLoc At = peek().Loc;
+    bool IsExtern = accept(TokenKind::KwExtern);
+    expect(TokenKind::KwFunc, "to begin function");
+    Token Name = expect(TokenKind::Identifier, "as function name");
+    expect(TokenKind::LParen, "after function name");
+    std::vector<Param> Params;
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        Token PName = expect(TokenKind::Identifier, "as parameter name");
+        expect(TokenKind::Colon, "after parameter name");
+        Params.push_back(Param{PName.Text, parseType()});
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "to close parameter list");
+
+    std::vector<StmtPtr> Body;
+    if (!IsExtern)
+      Body = parseStmtsUntilEnd();
+    else
+      expect(TokenKind::KwEnd, "to close extern function");
+    if (Error.empty()) {
+      auto F = std::make_unique<FuncDecl>(Name.Text, std::move(Params),
+                                          std::move(Body), At);
+      F->IsExtern = IsExtern;
+      Prog.Funcs.push_back(std::move(F));
+    }
+  }
+
+  //===--- types ----------------------------------------------------------===//
+
+  TypeKind parseScalarKind() {
+    if (accept(TokenKind::KwInt))
+      return TypeKind::Int;
+    if (accept(TokenKind::KwFloat))
+      return TypeKind::Float;
+    if (accept(TokenKind::KwBool))
+      return TypeKind::Bool;
+    if (peek().is(TokenKind::Identifier)) {
+      // Element names used as endpoint types (e.g. `Vertex`).
+      std::string Name = advance().Text;
+      if (Name == "Vertex")
+        return TypeKind::Vertex;
+      if (Name == "Edge")
+        return TypeKind::Edge;
+      return TypeKind::Vertex; // user element type: vertex-like
+    }
+    fail("expected a scalar or element type");
+    return TypeKind::Invalid;
+  }
+
+  TypeRef parseType() {
+    TypeRef T;
+    if (accept(TokenKind::KwInt)) {
+      T.Kind = TypeKind::Int;
+      return T;
+    }
+    if (accept(TokenKind::KwFloat)) {
+      T.Kind = TypeKind::Float;
+      return T;
+    }
+    if (accept(TokenKind::KwBool)) {
+      T.Kind = TypeKind::Bool;
+      return T;
+    }
+    if (peek().is(TokenKind::Identifier)) {
+      std::string Name = advance().Text;
+      T.Kind = Name == "Edge" ? TypeKind::Edge : TypeKind::Vertex;
+      T.Element = Name;
+      return T;
+    }
+    if (accept(TokenKind::KwVertexSet)) {
+      T.Kind = TypeKind::VertexSet;
+      expect(TokenKind::LBrace, "after 'vertexset'");
+      T.Element = expect(TokenKind::Identifier, "as element name").Text;
+      expect(TokenKind::RBrace, "to close element name");
+      return T;
+    }
+    if (accept(TokenKind::KwEdgeSet)) {
+      T.Kind = TypeKind::EdgeSet;
+      expect(TokenKind::LBrace, "after 'edgeset'");
+      T.Element = expect(TokenKind::Identifier, "as element name").Text;
+      expect(TokenKind::RBrace, "to close element name");
+      expect(TokenKind::LParen, "to open edgeset endpoint types");
+      do {
+        T.Params.push_back(parseScalarKind());
+      } while (accept(TokenKind::Comma));
+      expect(TokenKind::RParen, "to close edgeset endpoint types");
+      return T;
+    }
+    if (accept(TokenKind::KwVector)) {
+      T.Kind = TypeKind::Vector;
+      expect(TokenKind::LBrace, "after 'vector'");
+      T.Element = expect(TokenKind::Identifier, "as element name").Text;
+      expect(TokenKind::RBrace, "to close element name");
+      expect(TokenKind::LParen, "to open vector value type");
+      T.Params.push_back(parseScalarKind());
+      expect(TokenKind::RParen, "to close vector value type");
+      return T;
+    }
+    if (accept(TokenKind::KwPriorityQueue)) {
+      T.Kind = TypeKind::PriorityQueue;
+      expect(TokenKind::LBrace, "after 'priority_queue'");
+      T.Element = expect(TokenKind::Identifier, "as element name").Text;
+      expect(TokenKind::RBrace, "to close element name");
+      expect(TokenKind::LParen, "to open priority value type");
+      T.Params.push_back(parseScalarKind());
+      expect(TokenKind::RParen, "to close priority value type");
+      return T;
+    }
+    fail("expected a type");
+    return T;
+  }
+
+  //===--- statements -----------------------------------------------------===//
+
+  std::vector<StmtPtr> parseStmtsUntilEnd() {
+    std::vector<StmtPtr> Stmts;
+    while (Error.empty() && !peek().is(TokenKind::KwEnd) &&
+           !peek().is(TokenKind::KwElse) && !peek().is(TokenKind::Eof))
+      Stmts.push_back(parseStmt());
+    if (!peek().is(TokenKind::KwElse))
+      expect(TokenKind::KwEnd, "to close block");
+    return Stmts;
+  }
+
+  StmtPtr parseStmt() {
+    std::string Label;
+    if (peek().is(TokenKind::Label))
+      Label = advance().Text;
+    StmtPtr S = parseStmtNoLabel();
+    if (S)
+      S->Label = Label;
+    return S;
+  }
+
+  StmtPtr parseStmtNoLabel() {
+    SourceLoc At = peek().Loc;
+    if (accept(TokenKind::KwVar)) {
+      Token Name = expect(TokenKind::Identifier, "as variable name");
+      expect(TokenKind::Colon, "after variable name");
+      TypeRef Type = parseType();
+      ExprPtr Init;
+      if (accept(TokenKind::Assign))
+        Init = parseExpr();
+      expect(TokenKind::Semicolon, "to end var declaration");
+      return std::make_unique<VarDeclStmt>(Name.Text, std::move(Type),
+                                           std::move(Init), At);
+    }
+    if (accept(TokenKind::KwWhile)) {
+      ExprPtr Cond = parseExpr();
+      std::vector<StmtPtr> Body = parseStmtsUntilEnd();
+      return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                         At);
+    }
+    if (accept(TokenKind::KwIf)) {
+      ExprPtr Cond = parseExpr();
+      std::vector<StmtPtr> Then;
+      while (Error.empty() && !peek().is(TokenKind::KwEnd) &&
+             !peek().is(TokenKind::KwElse) && !peek().is(TokenKind::Eof))
+        Then.push_back(parseStmt());
+      std::vector<StmtPtr> Else;
+      if (accept(TokenKind::KwElse)) {
+        while (Error.empty() && !peek().is(TokenKind::KwEnd) &&
+               !peek().is(TokenKind::Eof))
+          Else.push_back(parseStmt());
+      }
+      expect(TokenKind::KwEnd, "to close if statement");
+      return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else), At);
+    }
+    if (accept(TokenKind::KwDelete)) {
+      Token Name = expect(TokenKind::Identifier, "after 'delete'");
+      expect(TokenKind::Semicolon, "to end delete statement");
+      return std::make_unique<DeleteStmt>(Name.Text, At);
+    }
+    if (accept(TokenKind::KwReturn)) {
+      ExprPtr Value;
+      if (!peek().is(TokenKind::Semicolon))
+        Value = parseExpr();
+      expect(TokenKind::Semicolon, "to end return statement");
+      return std::make_unique<ReturnStmt>(std::move(Value), At);
+    }
+
+    // Expression or assignment.
+    ExprPtr E = parseExpr();
+    if (accept(TokenKind::Assign)) {
+      if (E && !isa<VarRefExpr>(E.get()) && !isa<IndexExpr>(E.get()))
+        fail("assignment target must be a variable or indexed vector");
+      ExprPtr Value = parseExpr();
+      expect(TokenKind::Semicolon, "to end assignment");
+      return std::make_unique<AssignStmt>(std::move(E), std::move(Value),
+                                          At);
+    }
+    expect(TokenKind::Semicolon, "to end expression statement");
+    return std::make_unique<ExprStmt>(std::move(E), At);
+  }
+
+  //===--- expressions ----------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (peek().is(TokenKind::KwOr)) {
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(BinaryExpr::OpKind::Or, std::move(L),
+                                       parseAnd(), At);
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseEquality();
+    while (peek().is(TokenKind::KwAnd)) {
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(BinaryExpr::OpKind::And,
+                                       std::move(L), parseEquality(), At);
+    }
+    return L;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr L = parseRelational();
+    while (peek().is(TokenKind::EqEq) || peek().is(TokenKind::NotEq)) {
+      BinaryExpr::OpKind Op = peek().is(TokenKind::EqEq)
+                                  ? BinaryExpr::OpKind::Eq
+                                  : BinaryExpr::OpKind::Ne;
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), parseRelational(),
+                                       At);
+    }
+    return L;
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr L = parseAdditive();
+    while (true) {
+      BinaryExpr::OpKind Op;
+      if (peek().is(TokenKind::Less))
+        Op = BinaryExpr::OpKind::Lt;
+      else if (peek().is(TokenKind::LessEq))
+        Op = BinaryExpr::OpKind::Le;
+      else if (peek().is(TokenKind::Greater))
+        Op = BinaryExpr::OpKind::Gt;
+      else if (peek().is(TokenKind::GreaterEq))
+        Op = BinaryExpr::OpKind::Ge;
+      else
+        return L;
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), parseAdditive(),
+                                       At);
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr L = parseMultiplicative();
+    while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+      BinaryExpr::OpKind Op = peek().is(TokenKind::Plus)
+                                  ? BinaryExpr::OpKind::Add
+                                  : BinaryExpr::OpKind::Sub;
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L),
+                                       parseMultiplicative(), At);
+    }
+    return L;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr L = parseUnary();
+    while (peek().is(TokenKind::Star) || peek().is(TokenKind::Slash)) {
+      BinaryExpr::OpKind Op = peek().is(TokenKind::Star)
+                                  ? BinaryExpr::OpKind::Mul
+                                  : BinaryExpr::OpKind::Div;
+      SourceLoc At = advance().Loc;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), parseUnary(), At);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (peek().is(TokenKind::Minus)) {
+      SourceLoc At = advance().Loc;
+      return std::make_unique<UnaryExpr>(UnaryExpr::OpKind::Neg,
+                                         parseUnary(), At);
+    }
+    if (peek().is(TokenKind::KwNot)) {
+      SourceLoc At = advance().Loc;
+      return std::make_unique<UnaryExpr>(UnaryExpr::OpKind::Not,
+                                         parseUnary(), At);
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    while (Error.empty()) {
+      if (peek().is(TokenKind::Dot)) {
+        SourceLoc At = advance().Loc;
+        Token Method = expect(TokenKind::Identifier, "as method name");
+        expect(TokenKind::LParen, "after method name");
+        std::vector<ExprPtr> Args = parseArgs();
+        E = std::make_unique<MethodCallExpr>(std::move(E), Method.Text,
+                                             std::move(Args), At);
+        continue;
+      }
+      if (peek().is(TokenKind::LBracket)) {
+        SourceLoc At = advance().Loc;
+        ExprPtr Index = parseExpr();
+        expect(TokenKind::RBracket, "to close index");
+        E = std::make_unique<IndexExpr>(std::move(E), std::move(Index),
+                                        At);
+        continue;
+      }
+      return E;
+    }
+    return E;
+  }
+
+  std::vector<ExprPtr> parseArgs() {
+    std::vector<ExprPtr> Args;
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        Args.push_back(parseExpr());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "to close argument list");
+    return Args;
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc At = peek().Loc;
+    if (peek().is(TokenKind::IntLiteral)) {
+      Token T = advance();
+      return std::make_unique<IntLiteralExpr>(T.IntValue, At);
+    }
+    if (peek().is(TokenKind::FloatLiteral)) {
+      Token T = advance();
+      return std::make_unique<FloatLiteralExpr>(T.FloatValue, At);
+    }
+    if (peek().is(TokenKind::StringLiteral)) {
+      Token T = advance();
+      return std::make_unique<StringLiteralExpr>(T.Text, At);
+    }
+    if (accept(TokenKind::KwTrue))
+      return std::make_unique<BoolLiteralExpr>(true, At);
+    if (accept(TokenKind::KwFalse))
+      return std::make_unique<BoolLiteralExpr>(false, At);
+    if (accept(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return E;
+    }
+    if (accept(TokenKind::KwNew)) {
+      // new priority_queue{V}(int)(args...)
+      if (!peek().is(TokenKind::KwPriorityQueue)) {
+        fail("only 'new priority_queue{...}' is supported");
+        return nullptr;
+      }
+      TypeRef PQType = parseType();
+      expect(TokenKind::LParen, "to open priority_queue constructor args");
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<NewPriorityQueueExpr>(std::move(PQType),
+                                                    std::move(Args), At);
+    }
+    if (peek().is(TokenKind::Identifier)) {
+      Token Name = advance();
+      if (accept(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args = parseArgs();
+        return std::make_unique<CallExpr>(Name.Text, std::move(Args), At);
+      }
+      return std::make_unique<VarRefExpr>(Name.Text, At);
+    }
+    fail(std::string("expected an expression, found ") +
+         tokenKindName(peek().Kind));
+    return nullptr;
+  }
+
+  std::vector<Token> Tokens;
+  std::string Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ParseResult graphit::dsl::parseProgram(const std::string &Source) {
+  std::string LexError;
+  std::vector<Token> Tokens = lex(Source, LexError);
+  if (Tokens.empty())
+    Tokens.push_back(Token{});
+  return ParserImpl(std::move(Tokens), std::move(LexError)).run();
+}

@@ -1,0 +1,40 @@
+//===- dsl/Parser.h - GraphIt-subset recursive-descent parser ---*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the GraphIt algorithm-language subset (the
+/// language of Fig. 3). Produces a `Program` AST or a positioned
+/// diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_DSL_PARSER_H
+#define GRAPHIT_DSL_PARSER_H
+
+#include "dsl/AST.h"
+
+#include <memory>
+#include <string>
+
+namespace graphit {
+namespace dsl {
+
+/// Outcome of a parse: a program, or an error message ("line L:C: ...").
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog != nullptr && Error.empty(); }
+};
+
+/// Parses a whole source file.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace dsl
+} // namespace graphit
+
+#endif // GRAPHIT_DSL_PARSER_H

@@ -1,0 +1,167 @@
+//===- graph/Builder.cpp - Edge-list to CSR construction ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builder.h"
+
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace graphit;
+
+namespace {
+
+/// Builds one CSR direction (offsets + neighbor/weight arrays) keyed by
+/// `KeyOf(edge)` with value `ValOf(edge)`.
+struct CSRArrays {
+  std::vector<int64_t> Offsets;
+  std::vector<VertexId> Neighbors;
+  std::vector<Weight> Weights;
+};
+
+CSRArrays buildDirection(Count NumNodes, const std::vector<Edge> &Edges,
+                         bool Out, bool Weighted) {
+  CSRArrays R;
+  Count M = static_cast<Count>(Edges.size());
+  R.Offsets.assign(NumNodes + 1, 0);
+  // Count degrees (atomically; edge lists are unsorted).
+  parallelFor(
+      0, M,
+      [&](Count I) {
+        VertexId Key = Out ? Edges[I].Src : Edges[I].Dst;
+        fetchAdd<int64_t>(&R.Offsets[Key], 1);
+      },
+      Parallelization::StaticVertexParallel);
+  exclusivePrefixSum(R.Offsets.data(), NumNodes + 1);
+
+  R.Neighbors.resize(M);
+  if (Weighted)
+    R.Weights.resize(M);
+  std::vector<int64_t> Cursor(R.Offsets.begin(), R.Offsets.end() - 1);
+  parallelFor(
+      0, M,
+      [&](Count I) {
+        VertexId Key = Out ? Edges[I].Src : Edges[I].Dst;
+        VertexId Val = Out ? Edges[I].Dst : Edges[I].Src;
+        int64_t Pos = fetchAdd<int64_t>(&Cursor[Key], 1);
+        R.Neighbors[Pos] = Val;
+        if (Weighted)
+          R.Weights[Pos] = Edges[I].W;
+      },
+      Parallelization::StaticVertexParallel);
+
+  // Sort each adjacency list by neighbor id (stable output independent of
+  // thread interleaving above).
+  parallelFor(0, NumNodes, [&](Count V) {
+    int64_t Lo = R.Offsets[V], Hi = R.Offsets[V + 1];
+    if (Hi - Lo < 2)
+      return;
+    if (!Weighted) {
+      std::sort(R.Neighbors.begin() + Lo, R.Neighbors.begin() + Hi);
+      return;
+    }
+    // Sort ids and weights together via an index permutation.
+    std::vector<std::pair<VertexId, Weight>> Tmp;
+    Tmp.reserve(Hi - Lo);
+    for (int64_t I = Lo; I < Hi; ++I)
+      Tmp.push_back({R.Neighbors[I], R.Weights[I]});
+    std::sort(Tmp.begin(), Tmp.end());
+    for (int64_t I = Lo; I < Hi; ++I) {
+      R.Neighbors[I] = Tmp[I - Lo].first;
+      R.Weights[I] = Tmp[I - Lo].second;
+    }
+  });
+  return R;
+}
+
+} // namespace
+
+void graphit::assignRandomWeights(std::vector<Edge> &Edges, Weight Lo,
+                                  Weight Hi, uint64_t Seed) {
+  if (Lo >= Hi)
+    fatalError("assignRandomWeights: empty weight range");
+  Count M = static_cast<Count>(Edges.size());
+  parallelFor(
+      0, M,
+      [&](Count I) {
+        // Hash of (seed, endpoints) so the weight of an edge does not depend
+        // on its position in the list.
+        uint64_t H = hash64(Seed ^ hash64((static_cast<uint64_t>(
+                                               Edges[I].Src)
+                                           << 32) |
+                                          Edges[I].Dst));
+        Edges[I].W = static_cast<Weight>(Lo + H % (Hi - Lo));
+      },
+      Parallelization::StaticVertexParallel);
+}
+
+Graph GraphBuilder::build(Count NumNodes, std::vector<Edge> Edges,
+                          Coordinates Coords) const {
+  Graph G = build(NumNodes, std::move(Edges));
+  if (!Coords.empty() && Coords.size() != NumNodes)
+    fatalError("GraphBuilder: coordinate count != vertex count");
+  G.Coords = std::move(Coords);
+  return G;
+}
+
+Graph GraphBuilder::build(Count NumNodes, std::vector<Edge> Edges) const {
+  for (const Edge &E : Edges)
+    if (E.Src >= static_cast<VertexId>(NumNodes) ||
+        E.Dst >= static_cast<VertexId>(NumNodes))
+      fatalError("GraphBuilder: edge endpoint out of range");
+
+  if (Options.Symmetrize) {
+    size_t N = Edges.size();
+    Edges.reserve(2 * N);
+    for (size_t I = 0; I < N; ++I)
+      Edges.push_back(Edge{Edges[I].Dst, Edges[I].Src, Edges[I].W});
+  }
+
+  if (Options.RemoveSelfLoops) {
+    Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                               [](const Edge &E) { return E.Src == E.Dst; }),
+                Edges.end());
+  }
+
+  if (Options.RemoveDuplicates) {
+    std::sort(Edges.begin(), Edges.end(), [](const Edge &A, const Edge &B) {
+      if (A.Src != B.Src)
+        return A.Src < B.Src;
+      if (A.Dst != B.Dst)
+        return A.Dst < B.Dst;
+      return A.W < B.W; // keep the minimum weight among parallel edges
+    });
+    Edges.erase(std::unique(Edges.begin(), Edges.end(),
+                            [](const Edge &A, const Edge &B) {
+                              return A.Src == B.Src && A.Dst == B.Dst;
+                            }),
+                Edges.end());
+  }
+
+  Graph G;
+  G.NumNodes = NumNodes;
+  G.NumEdges = static_cast<Count>(Edges.size());
+  G.Symmetric = Options.Symmetrize;
+
+  CSRArrays OutDir =
+      buildDirection(NumNodes, Edges, /*Out=*/true, Options.Weighted);
+  G.OutOffsets = std::move(OutDir.Offsets);
+  G.OutNeighbors_ = std::move(OutDir.Neighbors);
+  G.OutWeights = std::move(OutDir.Weights);
+
+  if (!Options.Symmetrize && Options.BuildInEdges) {
+    CSRArrays InDir =
+        buildDirection(NumNodes, Edges, /*Out=*/false, Options.Weighted);
+    G.InOffsets = std::move(InDir.Offsets);
+    G.InNeighbors_ = std::move(InDir.Neighbors);
+    G.InWeights = std::move(InDir.Weights);
+  }
+  return G;
+}

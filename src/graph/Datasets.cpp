@@ -1,0 +1,146 @@
+//===- graph/Datasets.cpp - Paper dataset stand-ins -----------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Datasets.h"
+
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "support/Abort.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace graphit;
+
+namespace {
+
+/// Generation recipe for one dataset.
+struct Recipe {
+  const char *Name;
+  bool Road;
+  // Social/web parameters.
+  int Scale;     ///< log2(#vertices) at ScaleFactor 1
+  int AvgDegree; ///< directed edges per vertex
+  double SkewA;  ///< R-MAT `a` parameter (larger = more skew)
+  // Road parameters.
+  Count Rows, Cols;
+  uint64_t Seed;
+};
+
+const Recipe &recipeFor(DatasetId Id) {
+  // Vertex counts follow the relative ordering of Table 3 at ~1/64 the
+  // paper's scale; degree targets keep the edge/vertex ratios of Table 3.
+  static const Recipe Recipes[] = {
+      {"LJ'", false, 18, 16, 0.57, 0, 0, 0xA001},
+      {"OK'", false, 17, 32, 0.57, 0, 0, 0xA002},
+      {"TW'", false, 19, 24, 0.65, 0, 0, 0xA003},
+      {"FT'", false, 20, 28, 0.57, 0, 0, 0xA004},
+      {"WB'", false, 19, 20, 0.70, 0, 0, 0xA005},
+      {"MA'", true, 0, 0, 0.0, 448, 448, 0xB001},
+      {"GE'", true, 0, 0, 0.0, 1448, 1448, 0xB002},
+      {"RD'", true, 0, 0, 0.0, 2048, 2048, 0xB003},
+  };
+  return Recipes[static_cast<int>(Id)];
+}
+
+} // namespace
+
+const char *graphit::datasetName(DatasetId Id) { return recipeFor(Id).Name; }
+
+bool graphit::isRoadNetwork(DatasetId Id) { return recipeFor(Id).Road; }
+
+double graphit::datasetScaleFromEnv() {
+  const char *Env = std::getenv("GRAPHIT_SCALE");
+  if (!Env)
+    return 1.0;
+  double S = std::atof(Env);
+  if (S <= 0.0)
+    return 1.0;
+  return std::clamp(S, 0.01, 64.0);
+}
+
+std::vector<DatasetId> graphit::allDatasets() {
+  return {DatasetId::LJ, DatasetId::OK, DatasetId::TW, DatasetId::FT,
+          DatasetId::WB, DatasetId::MA, DatasetId::GE, DatasetId::RD};
+}
+
+std::vector<DatasetId> graphit::socialDatasets() {
+  return {DatasetId::LJ, DatasetId::OK, DatasetId::TW, DatasetId::FT,
+          DatasetId::WB};
+}
+
+std::vector<DatasetId> graphit::roadDatasets() {
+  return {DatasetId::MA, DatasetId::GE, DatasetId::RD};
+}
+
+Graph graphit::makeDataset(DatasetId Id, DatasetVariant Variant,
+                           double ScaleFactor) {
+  if (ScaleFactor <= 0.0)
+    ScaleFactor = datasetScaleFromEnv();
+  const Recipe &R = recipeFor(Id);
+
+  if (R.Road) {
+    double Side = std::sqrt(ScaleFactor);
+    Count Rows = std::max<Count>(8, static_cast<Count>(R.Rows * Side));
+    Count Cols = std::max<Count>(8, static_cast<Count>(R.Cols * Side));
+    RoadNetwork Net = roadGrid(Rows, Cols, R.Seed);
+    BuildOptions Options;
+    Options.Symmetrize = true; // road arcs exist in both directions
+    Options.Weighted = Variant != DatasetVariant::Symmetric;
+    return GraphBuilder(Options).build(Net.NumNodes, std::move(Net.Edges),
+                                       std::move(Net.Coords));
+  }
+
+  // Social/web graph: adjust the R-MAT scale by log2(ScaleFactor).
+  int ScaleAdjust =
+      static_cast<int>(std::lround(std::log2(std::max(0.01, ScaleFactor))));
+  int Scale = std::clamp(R.Scale + ScaleAdjust, 10, 26);
+  std::vector<Edge> Edges = rmatEdges(Scale, R.AvgDegree, R.Seed, R.SkewA,
+                                      (1.0 - R.SkewA) / 2.3,
+                                      (1.0 - R.SkewA) / 2.3);
+  Count NumNodes = Count{1} << Scale;
+
+  BuildOptions Options;
+  switch (Variant) {
+  case DatasetVariant::Directed:
+    assignRandomWeights(Edges, 1, 1000, R.Seed ^ 0xFEED);
+    break;
+  case DatasetVariant::DirectedLogWeights: {
+    Weight Hi = std::max<Weight>(2, static_cast<Weight>(std::log2(
+                                        static_cast<double>(NumNodes))));
+    assignRandomWeights(Edges, 1, Hi, R.Seed ^ 0xFEED);
+    break;
+  }
+  case DatasetVariant::Symmetric:
+    Options.Symmetrize = true;
+    Options.Weighted = false;
+    break;
+  }
+  return GraphBuilder(Options).build(NumNodes, std::move(Edges));
+}
+
+std::vector<VertexId> graphit::pickSources(const Graph &G, int HowMany,
+                                           uint64_t Seed) {
+  if (G.numNodes() == 0)
+    fatalError("pickSources: empty graph");
+  std::vector<VertexId> Sources;
+  SplitMix64 Rng(Seed);
+  int Attempts = 0;
+  while (static_cast<int>(Sources.size()) < HowMany &&
+         Attempts < 100000) {
+    ++Attempts;
+    auto V = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    if (G.outDegree(V) == 0)
+      continue;
+    Sources.push_back(V);
+  }
+  while (static_cast<int>(Sources.size()) < HowMany)
+    Sources.push_back(Sources.empty() ? 0 : Sources.back());
+  return Sources;
+}

@@ -1,0 +1,76 @@
+//===- graph/Generators.h - Synthetic graph generators ----------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic graph generators. These stand in for the paper's
+/// datasets (Table 3), which are multi-gigabyte downloads unavailable here:
+///
+///  * `rmat` reproduces the skewed-degree, low-diameter regime of the social
+///    and web graphs (LiveJournal/Orkut/Twitter/Friendster/WebGraph);
+///  * `roadGrid` reproduces the bounded-degree, high-diameter regime of the
+///    road networks (Massachusetts/Germany/RoadUSA), including per-vertex
+///    coordinates (for A*) and Euclidean-lower-bounded weights so the A*
+///    heuristic remains admissible;
+///  * the small fixtures (`path`, `cycle`, `star`, `completeGraph`,
+///    `binaryTree`) are for unit tests.
+///
+/// All generators take an explicit seed and are reproducible across runs
+/// and thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_GRAPH_GENERATORS_H
+#define GRAPHIT_GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Kronecker/R-MAT edge list: 2^Scale vertices, AvgDegree * 2^Scale edges.
+/// (A, B, C) are the standard R-MAT quadrant probabilities (D = 1-A-B-C).
+/// Vertex ids are randomly permuted so degree does not correlate with id.
+std::vector<Edge> rmatEdges(int Scale, int AvgDegree, uint64_t Seed,
+                            double A = 0.57, double B = 0.19,
+                            double C = 0.19);
+
+/// Uniformly random directed edge list (Erdos-Renyi G(n, m) flavor).
+std::vector<Edge> erdosRenyiEdges(Count NumNodes, int AvgDegree,
+                                  uint64_t Seed);
+
+/// Result of the road-network generator: an undirected edge list with
+/// Euclidean-derived weights plus planar coordinates.
+struct RoadNetwork {
+  Count NumNodes = 0;
+  std::vector<Edge> Edges; ///< one record per undirected edge
+  Coordinates Coords;
+};
+
+/// Perturbed-lattice road network on Rows x Cols intersections. Grid edges
+/// are kept with probability 1-DropFraction; DiagonalFraction of vertices
+/// gain one diagonal shortcut. Edge weight = ceil(100 * euclidean * U[1,1.2])
+/// >= 100 * euclidean, so h(v) = floor(100 * euclidean(v, target)) is an
+/// admissible A* heuristic.
+RoadNetwork roadGrid(Count Rows, Count Cols, uint64_t Seed,
+                     double DropFraction = 0.03,
+                     double DiagonalFraction = 0.05);
+
+/// Path 0 - 1 - ... - (n-1), unit weights, directed forward.
+std::vector<Edge> pathEdges(Count NumNodes);
+/// Cycle over n vertices, unit weights, directed forward.
+std::vector<Edge> cycleEdges(Count NumNodes);
+/// Star: center 0 points at all other vertices.
+std::vector<Edge> starEdges(Count NumNodes);
+/// Complete directed graph (every ordered pair), unit weights.
+std::vector<Edge> completeGraphEdges(Count NumNodes);
+/// Complete binary tree rooted at 0, edges parent->child, unit weights.
+std::vector<Edge> binaryTreeEdges(Count NumNodes);
+
+} // namespace graphit
+
+#endif // GRAPHIT_GRAPH_GENERATORS_H

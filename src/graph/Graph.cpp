@@ -1,0 +1,39 @@
+//===- graph/Graph.cpp - Compressed sparse row graphs ---------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "graph/Builder.h"
+#include "support/Parallel.h"
+
+using namespace graphit;
+
+int64_t Graph::outDegreeSum(const VertexId *Vs, Count N) const {
+  if (N < 2048) {
+    int64_t Sum = 0;
+    for (Count I = 0; I < N; ++I)
+      Sum += outDegree(Vs[I]);
+    return Sum;
+  }
+  return parallelSum(0, N, [&](Count I) { return outDegree(Vs[I]); });
+}
+
+Graph Graph::symmetrized() const {
+  if (Symmetric)
+    return *this;
+  std::vector<Edge> Edges;
+  Edges.reserve(static_cast<size_t>(NumEdges));
+  for (VertexId U = 0; U < static_cast<VertexId>(NumNodes); ++U)
+    for (WNode E : outNeighbors(U))
+      Edges.push_back(Edge{U, E.V, E.W});
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = isWeighted();
+  Graph Result = GraphBuilder(Options).build(NumNodes, std::move(Edges));
+  Result.Coords = Coords;
+  return Result;
+}

@@ -1,0 +1,163 @@
+//===- graph/Graph.h - Compressed sparse row graphs -------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory graph representation shared by every algorithm: a CSR
+/// (compressed sparse row) adjacency structure with optional integer edge
+/// weights, optional incoming adjacency (needed by pull-direction
+/// traversals, Fig. 9(b)), and optional per-vertex coordinates (needed by
+/// the A* heuristic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_GRAPH_GRAPH_H
+#define GRAPHIT_GRAPH_GRAPH_H
+
+#include "support/Types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace graphit {
+
+/// A directed edge with weight, used by builders and generators.
+struct Edge {
+  VertexId Src = 0;
+  VertexId Dst = 0;
+  Weight W = 1;
+};
+
+/// Destination/weight pair stored in adjacency arrays; `WNode` in the
+/// paper's generated code.
+struct WNode {
+  VertexId V;
+  Weight W;
+};
+
+/// Planar vertex coordinates (longitude/latitude or synthetic x/y), consumed
+/// by the A* distance heuristic.
+struct Coordinates {
+  std::vector<double> X;
+  std::vector<double> Y;
+
+  bool empty() const { return X.empty(); }
+  Count size() const { return static_cast<Count>(X.size()); }
+};
+
+/// Immutable CSR graph. Construct through `GraphBuilder` (graph/Builder.h).
+///
+/// For symmetric graphs the incoming adjacency aliases the outgoing one and
+/// costs no extra memory.
+class Graph {
+public:
+  Graph() = default;
+
+  /// Number of vertices.
+  Count numNodes() const { return NumNodes; }
+  /// Number of directed edges.
+  Count numEdges() const { return NumEdges; }
+  /// True if built as a symmetric (undirected) graph.
+  bool isSymmetric() const { return Symmetric; }
+  /// True if the graph carries per-edge weights (otherwise weight()==1).
+  bool isWeighted() const { return !OutWeights.empty(); }
+  /// True if incoming adjacency is available (always true for symmetric).
+  bool hasInEdges() const { return Symmetric || !InOffsets.empty(); }
+  /// True if per-vertex coordinates are attached.
+  bool hasCoordinates() const { return !Coords.empty(); }
+
+  Count outDegree(VertexId V) const {
+    assert(V < NumNodes && "vertex out of range");
+    return OutOffsets[V + 1] - OutOffsets[V];
+  }
+
+  Count inDegree(VertexId V) const {
+    assert(hasInEdges() && "graph built without incoming adjacency");
+    if (Symmetric)
+      return outDegree(V);
+    return InOffsets[V + 1] - InOffsets[V];
+  }
+
+  /// Lightweight range of WNode for range-for iteration.
+  struct NeighborRange {
+    const VertexId *Ids;
+    const Weight *Weights; // null for unweighted graphs
+    Count N;
+
+    struct Iterator {
+      const VertexId *Ids;
+      const Weight *Weights;
+      Count I;
+      WNode operator*() const {
+        return WNode{Ids[I], Weights ? Weights[I] : Weight{1}};
+      }
+      Iterator &operator++() {
+        ++I;
+        return *this;
+      }
+      bool operator!=(const Iterator &O) const { return I != O.I; }
+    };
+    Iterator begin() const { return Iterator{Ids, Weights, 0}; }
+    Iterator end() const { return Iterator{Ids, Weights, N}; }
+    Count size() const { return N; }
+  };
+
+  /// Outgoing neighbors of \p V with weights.
+  NeighborRange outNeighbors(VertexId V) const {
+    assert(V < NumNodes && "vertex out of range");
+    Count Lo = OutOffsets[V];
+    return NeighborRange{OutNeighbors_.data() + Lo,
+                         OutWeights.empty() ? nullptr
+                                            : OutWeights.data() + Lo,
+                         OutOffsets[V + 1] - Lo};
+  }
+
+  /// Incoming neighbors of \p V with weights. For symmetric graphs this is
+  /// the same adjacency as outNeighbors().
+  NeighborRange inNeighbors(VertexId V) const {
+    if (Symmetric)
+      return outNeighbors(V);
+    assert(hasInEdges() && "graph built without incoming adjacency");
+    Count Lo = InOffsets[V];
+    return NeighborRange{InNeighbors_.data() + Lo,
+                         InWeights.empty() ? nullptr : InWeights.data() + Lo,
+                         InOffsets[V + 1] - Lo};
+  }
+
+  /// Per-vertex coordinates; empty() unless the generator/loader attached
+  /// them.
+  const Coordinates &coordinates() const { return Coords; }
+
+  /// Sum of out-degrees over a set of vertices; used by the direction
+  /// optimization to estimate frontier work.
+  int64_t outDegreeSum(const VertexId *Vs, Count N) const;
+
+  /// \returns a symmetrized copy of this graph (used for k-core/SetCover on
+  /// directed inputs, per Table 3's caption).
+  Graph symmetrized() const;
+
+private:
+  friend class GraphBuilder;
+  friend Graph loadBinaryGraph(const char *Path);
+
+  Count NumNodes = 0;
+  Count NumEdges = 0;
+  bool Symmetric = false;
+
+  std::vector<int64_t> OutOffsets{0};
+  std::vector<VertexId> OutNeighbors_;
+  std::vector<Weight> OutWeights;
+
+  std::vector<int64_t> InOffsets;
+  std::vector<VertexId> InNeighbors_;
+  std::vector<Weight> InWeights;
+
+  Coordinates Coords;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_GRAPH_GRAPH_H

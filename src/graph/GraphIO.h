@@ -1,0 +1,71 @@
+//===- graph/GraphIO.h - Graph loading and saving ---------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File formats for graph exchange:
+///
+///  * plain edge lists: `.el` (src dst) and `.wel` (src dst weight), one
+///    edge per line, `#` comments;
+///  * DIMACS shortest-path format: `.gr` arcs and `.co` coordinates (the
+///    format RoadUSA ships in);
+///  * a fast binary CSR snapshot for benchmark reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_GRAPH_GRAPHIO_H
+#define GRAPHIT_GRAPH_GRAPHIO_H
+
+#include "graph/Graph.h"
+
+#include <string>
+#include <vector>
+
+namespace graphit {
+
+/// Parsed edge-list file: edges plus the implied vertex count
+/// (1 + max endpoint id).
+struct EdgeListFile {
+  Count NumNodes = 0;
+  std::vector<Edge> Edges;
+  bool Weighted = false;
+};
+
+/// Reads a `.el`/`.wel` edge list. Aborts the process on malformed input
+/// (these are trusted local files in this repository).
+EdgeListFile readEdgeList(const std::string &Path);
+
+/// Writes \p Edges as `.wel` when \p Weighted, else `.el`.
+void writeEdgeList(const std::string &Path, const std::vector<Edge> &Edges,
+                   bool Weighted);
+
+/// Reads a DIMACS `.gr` file (`p sp N M` header, `a u v w` arcs,
+/// 1-indexed vertices).
+EdgeListFile readDimacsGraph(const std::string &Path);
+
+/// Writes DIMACS `.gr`.
+void writeDimacsGraph(const std::string &Path, Count NumNodes,
+                      const std::vector<Edge> &Edges);
+
+/// Reads a DIMACS `.co` coordinate file (`v id x y`, 1-indexed).
+Coordinates readDimacsCoordinates(const std::string &Path, Count NumNodes);
+
+/// Writes DIMACS `.co`.
+void writeDimacsCoordinates(const std::string &Path,
+                            const Coordinates &Coords);
+
+/// Saves the full CSR image (fast reload for benchmarks).
+void saveBinaryGraph(const Graph &G, const std::string &Path);
+
+/// Loads a CSR image produced by `saveBinaryGraph`.
+Graph loadBinaryGraph(const char *Path);
+inline Graph loadBinaryGraph(const std::string &Path) {
+  return loadBinaryGraph(Path.c_str());
+}
+
+} // namespace graphit
+
+#endif // GRAPHIT_GRAPH_GRAPHIO_H

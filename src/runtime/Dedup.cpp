@@ -1,0 +1,32 @@
+//===- runtime/Dedup.cpp - Per-vertex deduplication flags -----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dedup.h"
+
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace graphit;
+
+DedupFlags::DedupFlags(Count NumNodes)
+    : Flags(static_cast<size_t>(NumNodes), 0) {}
+
+bool DedupFlags::claim(VertexId V) {
+  if (Flags[V])
+    return false;
+  return atomicCAS<uint8_t>(&Flags[V], 0, 1);
+}
+
+void DedupFlags::release(const VertexId *Ids, Count N) {
+  parallelFor(
+      0, N, [&](Count I) { Flags[Ids[I]] = 0; },
+      Parallelization::StaticVertexParallel);
+}
+
+void DedupFlags::releaseAll() { std::fill(Flags.begin(), Flags.end(), 0); }

@@ -1,0 +1,50 @@
+//===- runtime/Dedup.h - Per-vertex deduplication flags ---------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deduplication mechanism of the generated lazy code (Fig. 9(a) line
+/// 21): a compare-and-swap on per-vertex flags guarantees each destination
+/// enters the output buffer at most once per round. Deduplication is
+/// required for correctness in k-core (§5.1) and an optimization elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_RUNTIME_DEDUP_H
+#define GRAPHIT_RUNTIME_DEDUP_H
+
+#include "support/Types.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Reusable per-vertex claim flags. `claim` is atomic; `release` clears the
+/// listed vertices so the structure can be reused across rounds in O(round
+/// size) rather than O(n).
+class DedupFlags {
+public:
+  explicit DedupFlags(Count NumNodes);
+
+  /// Atomically claims \p V. \returns true iff this caller won the claim.
+  bool claim(VertexId V);
+
+  /// True if \p V is currently claimed.
+  bool isClaimed(VertexId V) const { return Flags[V] != 0; }
+
+  /// Clears the claims for \p Ids (parallel).
+  void release(const VertexId *Ids, Count N);
+
+  /// Clears all claims (O(n), for error recovery/tests).
+  void releaseAll();
+
+private:
+  std::vector<uint8_t> Flags;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_RUNTIME_DEDUP_H

@@ -1,0 +1,150 @@
+//===- runtime/Histogram.cpp - Constant-sum update reduction --------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Histogram.h"
+
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+#include "support/Random.h"
+
+#include <omp.h>
+
+using namespace graphit;
+
+HistogramBuffer::HistogramBuffer(Count NumNodes)
+    : Counts(static_cast<size_t>(NumNodes), 0),
+      Touched(static_cast<size_t>(NumNodes), 0) {}
+
+void HistogramBuffer::reduce(const VertexId *Targets, Count M,
+                             HistogramMethod Method,
+                             std::vector<VertexId> &UniqueOut,
+                             std::vector<uint32_t> &CountsOut) {
+  UniqueOut.clear();
+  CountsOut.clear();
+  if (M == 0)
+    return;
+  if (M < 4096) {
+    // Small rounds: serial counting beats any parallel scheme.
+    for (Count I = 0; I < M; ++I) {
+      VertexId V = Targets[I];
+      if (!Touched[V]) {
+        Touched[V] = 1;
+        UniqueOut.push_back(V);
+      }
+      ++Counts[V];
+    }
+    CountsOut.resize(UniqueOut.size());
+    for (size_t I = 0; I < UniqueOut.size(); ++I) {
+      CountsOut[I] = Counts[UniqueOut[I]];
+      Counts[UniqueOut[I]] = 0;
+      Touched[UniqueOut[I]] = 0;
+    }
+    return;
+  }
+  if (Method == HistogramMethod::AtomicCounts)
+    reduceAtomic(Targets, M, UniqueOut, CountsOut);
+  else
+    reduceLocalTables(Targets, M, UniqueOut, CountsOut);
+
+  // Reset the touched counters for the next round (O(distinct)).
+  parallelFor(
+      0, static_cast<Count>(UniqueOut.size()),
+      [&](Count I) {
+        Counts[UniqueOut[I]] = 0;
+        Touched[UniqueOut[I]] = 0;
+      },
+      Parallelization::StaticVertexParallel);
+}
+
+void HistogramBuffer::reduceAtomic(const VertexId *Targets, Count M,
+                                   std::vector<VertexId> &UniqueOut,
+                                   std::vector<uint32_t> &CountsOut) {
+  int MaxThreads = omp_get_max_threads();
+  std::vector<std::vector<VertexId>> LocalUnique(MaxThreads);
+#pragma omp parallel
+  {
+    std::vector<VertexId> &Mine = LocalUnique[omp_get_thread_num()];
+#pragma omp for schedule(static)
+    for (Count I = 0; I < M; ++I) {
+      VertexId V = Targets[I];
+      fetchAdd(&Counts[V], 1u);
+      if (!Touched[V] && atomicCAS<uint8_t>(&Touched[V], 0, 1))
+        Mine.push_back(V);
+    }
+  }
+  for (const std::vector<VertexId> &L : LocalUnique)
+    UniqueOut.insert(UniqueOut.end(), L.begin(), L.end());
+  CountsOut.resize(UniqueOut.size());
+  parallelFor(
+      0, static_cast<Count>(UniqueOut.size()),
+      [&](Count I) { CountsOut[I] = Counts[UniqueOut[I]]; },
+      Parallelization::StaticVertexParallel);
+}
+
+void HistogramBuffer::reduceLocalTables(const VertexId *Targets, Count M,
+                                        std::vector<VertexId> &UniqueOut,
+                                        std::vector<uint32_t> &CountsOut) {
+  int MaxThreads = omp_get_max_threads();
+  std::vector<std::vector<VertexId>> LocalUnique(MaxThreads);
+
+#pragma omp parallel
+  {
+    std::vector<VertexId> &Mine = LocalUnique[omp_get_thread_num()];
+    // Per-thread open-addressing table sized for this thread's chunk.
+    Count ChunkGuess = M / MaxThreads + 64;
+    size_t TableSize = 64;
+    while (TableSize < static_cast<size_t>(ChunkGuess) * 2)
+      TableSize <<= 1;
+    std::vector<VertexId> Keys(TableSize, kInvalidVertex);
+    std::vector<uint32_t> Vals(TableSize, 0);
+    size_t Mask = TableSize - 1;
+    size_t Used = 0;
+
+    auto FlushTable = [&]() {
+      for (size_t S = 0; S < TableSize; ++S) {
+        if (Keys[S] == kInvalidVertex)
+          continue;
+        VertexId V = Keys[S];
+        fetchAdd(&Counts[V], Vals[S]);
+        if (!Touched[V] && atomicCAS<uint8_t>(&Touched[V], 0, 1))
+          Mine.push_back(V);
+        Keys[S] = kInvalidVertex;
+        Vals[S] = 0;
+      }
+      Used = 0;
+    };
+
+#pragma omp for schedule(static)
+    for (Count I = 0; I < M; ++I) {
+      VertexId V = Targets[I];
+      size_t Slot = hash64(V) & Mask;
+      while (true) {
+        if (Keys[Slot] == V) {
+          ++Vals[Slot];
+          break;
+        }
+        if (Keys[Slot] == kInvalidVertex) {
+          Keys[Slot] = V;
+          Vals[Slot] = 1;
+          if (++Used * 2 > TableSize)
+            FlushTable(); // table saturated: merge early and start fresh
+          break;
+        }
+        Slot = (Slot + 1) & Mask;
+      }
+    }
+    FlushTable();
+  }
+
+  for (const std::vector<VertexId> &L : LocalUnique)
+    UniqueOut.insert(UniqueOut.end(), L.begin(), L.end());
+  CountsOut.resize(UniqueOut.size());
+  parallelFor(
+      0, static_cast<Count>(UniqueOut.size()),
+      [&](Count I) { CountsOut[I] = Counts[UniqueOut[I]]; },
+      Parallelization::StaticVertexParallel);
+}

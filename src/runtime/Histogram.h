@@ -1,0 +1,66 @@
+//===- runtime/Histogram.h - Constant-sum update reduction ------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The histogram-based reduction behind the `lazy_constant_sum` schedule
+/// (§5.1, Fig. 10). When a user-defined function always changes a priority
+/// by the same constant, the per-edge updates can be replaced by *counting*
+/// the updates per destination and applying the transformed function once
+/// per destination with the count. This avoids atomic contention on
+/// high-degree vertices (the k-core bottleneck).
+///
+/// Two implementations are provided and compared in `bench/micro_buckets`:
+///
+///  * `AtomicCounts`  - one fetch_add per occurrence on a shared count
+///    array; distinct targets are discovered with a claim flag.
+///  * `LocalTables`   - per-thread open-addressing tables pre-aggregate
+///    counts, then one atomic merge per (thread, distinct target) pair —
+///    the semisort-flavored scheme Julienne's histogram approximates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_RUNTIME_HISTOGRAM_H
+#define GRAPHIT_RUNTIME_HISTOGRAM_H
+
+#include "support/Types.h"
+
+#include <vector>
+
+namespace graphit {
+
+/// Which reduction scheme `HistogramBuffer::reduce` uses.
+enum class HistogramMethod { AtomicCounts, LocalTables };
+
+/// Reusable buffers for counting duplicate targets. One instance per
+/// algorithm run; `reduce` may be called once per round.
+class HistogramBuffer {
+public:
+  explicit HistogramBuffer(Count NumNodes);
+
+  /// Counts occurrences of each vertex in `Targets[0..M)` (duplicates
+  /// expected). Produces the distinct ids in \p UniqueOut and their counts
+  /// in \p CountsOut (parallel-unordered). Internal state is reset before
+  /// returning, so back-to-back calls are safe.
+  void reduce(const VertexId *Targets, Count M, HistogramMethod Method,
+              std::vector<VertexId> &UniqueOut,
+              std::vector<uint32_t> &CountsOut);
+
+private:
+  void reduceAtomic(const VertexId *Targets, Count M,
+                    std::vector<VertexId> &UniqueOut,
+                    std::vector<uint32_t> &CountsOut);
+  void reduceLocalTables(const VertexId *Targets, Count M,
+                         std::vector<VertexId> &UniqueOut,
+                         std::vector<uint32_t> &CountsOut);
+
+  std::vector<uint32_t> Counts; ///< per-vertex occurrence counters
+  std::vector<uint8_t> Touched; ///< claim flags for distinct discovery
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_RUNTIME_HISTOGRAM_H

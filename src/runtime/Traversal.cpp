@@ -1,0 +1,14 @@
+//===- runtime/Traversal.cpp - Direction-optimized edge apply -------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The traversal engine is a header template (runtime/Traversal.h); this
+// translation unit exists to give the library an anchor and to verify the
+// header is self-contained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Traversal.h"

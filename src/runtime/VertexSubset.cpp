@@ -1,0 +1,86 @@
+//===- runtime/VertexSubset.cpp - Sparse/dense vertex sets ----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/VertexSubset.h"
+
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace graphit;
+
+VertexSubset VertexSubset::empty(Count NumNodes) {
+  VertexSubset S(NumNodes, 0);
+  S.SparseValid = true;
+  return S;
+}
+
+VertexSubset VertexSubset::single(Count NumNodes, VertexId V) {
+  assert(static_cast<Count>(V) < NumNodes && "vertex out of range");
+  VertexSubset S(NumNodes, 1);
+  S.SparseValid = true;
+  S.Sparse = {V};
+  return S;
+}
+
+VertexSubset VertexSubset::fromSparse(Count NumNodes,
+                                      std::vector<VertexId> Ids) {
+  VertexSubset S(NumNodes, static_cast<Count>(Ids.size()));
+  S.SparseValid = true;
+  S.Sparse = std::move(Ids);
+  return S;
+}
+
+VertexSubset VertexSubset::fromDense(Count NumNodes,
+                                     std::vector<uint8_t> Flags) {
+  if (static_cast<Count>(Flags.size()) != NumNodes)
+    fatalError("VertexSubset::fromDense: flag size mismatch");
+  Count Size = parallelSum(0, NumNodes,
+                           [&](Count I) { return Flags[I] ? 1 : 0; });
+  VertexSubset S(NumNodes, Size);
+  S.DenseValid = true;
+  S.Dense = std::move(Flags);
+  return S;
+}
+
+const std::vector<VertexId> &VertexSubset::sparse() {
+  if (SparseValid)
+    return Sparse;
+  assert(DenseValid && "subset has no representation");
+  Sparse.resize(static_cast<size_t>(Size));
+  // Stable parallel pack of set bits, in index order.
+  std::vector<VertexId> All(static_cast<size_t>(Size));
+  Count Pos = 0;
+  for (Count I = 0; I < NumNodes; ++I)
+    if (Dense[I])
+      All[Pos++] = static_cast<VertexId>(I);
+  Sparse = std::move(All);
+  SparseValid = true;
+  return Sparse;
+}
+
+const std::vector<uint8_t> &VertexSubset::dense() {
+  if (DenseValid)
+    return Dense;
+  assert(SparseValid && "subset has no representation");
+  Dense.assign(static_cast<size_t>(NumNodes), 0);
+  parallelFor(
+      0, static_cast<Count>(Sparse.size()),
+      [&](Count I) { Dense[Sparse[I]] = 1; },
+      Parallelization::StaticVertexParallel);
+  DenseValid = true;
+  return Dense;
+}
+
+bool VertexSubset::contains(VertexId V) const {
+  assert(static_cast<Count>(V) < NumNodes && "vertex out of range");
+  if (DenseValid)
+    return Dense[V] != 0;
+  return std::find(Sparse.begin(), Sparse.end(), V) != Sparse.end();
+}

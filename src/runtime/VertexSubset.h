@@ -1,0 +1,82 @@
+//===- runtime/VertexSubset.h - Sparse/dense vertex sets --------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ligra-style vertex subsets with dual sparse (id array) and dense (boolean
+/// map) representations. Frontiers and dequeued buckets are `VertexSubset`s;
+/// the direction optimization (Fig. 9(a) vs 9(b)) chooses which
+/// representation a traversal consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_RUNTIME_VERTEXSUBSET_H
+#define GRAPHIT_RUNTIME_VERTEXSUBSET_H
+
+#include "support/Types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace graphit {
+
+/// A subset of the vertices [0, NumNodes). Immutable size; representation
+/// can be materialized in either or both forms.
+class VertexSubset {
+public:
+  /// Empty subset over \p NumNodes vertices.
+  static VertexSubset empty(Count NumNodes);
+
+  /// Singleton subset {V}.
+  static VertexSubset single(Count NumNodes, VertexId V);
+
+  /// Subset from an id array (need not be sorted; must not contain
+  /// duplicates).
+  static VertexSubset fromSparse(Count NumNodes, std::vector<VertexId> Ids);
+
+  /// Subset from a boolean map (nonzero = member).
+  static VertexSubset fromDense(Count NumNodes, std::vector<uint8_t> Flags);
+
+  /// Number of vertices in the universe.
+  Count numNodes() const { return NumNodes; }
+  /// Number of members.
+  Count size() const { return Size; }
+  bool isEmpty() const { return Size == 0; }
+
+  /// True if the sparse (dense) representation is materialized.
+  bool hasSparse() const { return SparseValid; }
+  bool hasDense() const { return DenseValid; }
+
+  /// Materializes the sparse representation if needed and returns it.
+  const std::vector<VertexId> &sparse();
+  /// Materializes the dense representation if needed and returns it.
+  const std::vector<uint8_t> &dense();
+
+  /// Membership test (uses whichever representation exists; may scan the
+  /// sparse array — intended for tests and small sets).
+  bool contains(VertexId V) const;
+
+  /// Applies \p Body to every member (parallel when sparse is available).
+  template <typename Fn> void forEach(Fn &&Body) {
+    const std::vector<VertexId> &Ids = sparse();
+    for (VertexId V : Ids)
+      Body(V);
+  }
+
+private:
+  VertexSubset(Count NumNodes, Count Size) : NumNodes(NumNodes), Size(Size) {}
+
+  Count NumNodes;
+  Count Size;
+  bool SparseValid = false;
+  bool DenseValid = false;
+  std::vector<VertexId> Sparse;
+  std::vector<uint8_t> Dense;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_RUNTIME_VERTEXSUBSET_H

@@ -1,0 +1,34 @@
+//===- support/Abort.h - Fatal errors and unreachable marks -----*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-terminating error reporting for programmatic errors, in the
+/// spirit of `report_fatal_error` / `llvm_unreachable`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_ABORT_H
+#define GRAPHIT_SUPPORT_ABORT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace graphit {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in release builds.
+[[noreturn]] inline void fatalError(const char *Message) {
+  std::fprintf(stderr, "graphit fatal error: %s\n", Message);
+  std::abort();
+}
+
+} // namespace graphit
+
+/// Marks a point in control flow that must never execute.
+#define GRAPHIT_UNREACHABLE(MSG) ::graphit::fatalError("unreachable: " MSG)
+
+#endif // GRAPHIT_SUPPORT_ABORT_H

@@ -1,0 +1,68 @@
+//===- support/Bitmap.h - Concurrent bitmap ---------------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size bitmap with an atomic test-and-set, used for visited flags
+/// and deduplication in parallel traversals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_BITMAP_H
+#define GRAPHIT_SUPPORT_BITMAP_H
+
+#include "support/Atomics.h"
+#include "support/Types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace graphit {
+
+/// Fixed-size bitmap. `set`/`get` are plain accesses; `testAndSet` is atomic
+/// and safe to race.
+class Bitmap {
+public:
+  explicit Bitmap(Count NumBits)
+      : NumBits(NumBits), Words((NumBits + kBits - 1) / kBits, 0) {}
+
+  /// Number of bits the map holds.
+  Count size() const { return NumBits; }
+
+  /// Non-atomic read of bit \p I.
+  bool get(Count I) const {
+    assert(I >= 0 && I < NumBits && "bit index out of range");
+    return (Words[I / kBits] >> (I % kBits)) & 1ULL;
+  }
+
+  /// Non-atomic set of bit \p I.
+  void set(Count I) {
+    assert(I >= 0 && I < NumBits && "bit index out of range");
+    Words[I / kBits] |= 1ULL << (I % kBits);
+  }
+
+  /// Atomically sets bit \p I. \returns true iff this call flipped it from
+  /// 0 to 1 (i.e. the caller "won" the bit).
+  bool testAndSet(Count I) {
+    assert(I >= 0 && I < NumBits && "bit index out of range");
+    uint64_t Mask = 1ULL << (I % kBits);
+    uint64_t Prev = detail::asAtomic(Words[I / kBits])
+                        .fetch_or(Mask, std::memory_order_acq_rel);
+    return (Prev & Mask) == 0;
+  }
+
+  /// Clears all bits (not thread-safe).
+  void clear() { std::fill(Words.begin(), Words.end(), 0); }
+
+private:
+  static constexpr Count kBits = 64;
+  Count NumBits;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_BITMAP_H

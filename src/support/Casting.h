@@ -1,0 +1,53 @@
+//===- support/Casting.h - LLVM-style RTTI helpers --------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled `isa<> / cast<> / dyn_cast<>` in the style of LLVM's
+/// Support/Casting.h, driven by a static `classof(const Base *)` on each
+/// derived class. Used by the DSL's AST hierarchy; no vtables or
+/// `dynamic_cast` required.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_CASTING_H
+#define GRAPHIT_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace graphit {
+
+/// True if \p Node is an instance of To (or a subclass), per To::classof.
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa<> on a null pointer");
+  return To::classof(Node);
+}
+
+/// Checked downcast; asserts on mismatch.
+template <typename To, typename From> To *cast(From *Node) {
+  assert(isa<To>(Node) && "cast<> type mismatch");
+  return static_cast<To *>(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast<> type mismatch");
+  return static_cast<const To *>(Node);
+}
+
+/// Checking downcast; returns null on mismatch.
+template <typename To, typename From> To *dyn_cast(From *Node) {
+  return Node && To::classof(Node) ? static_cast<To *>(Node) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const From *Node) {
+  return Node && To::classof(Node) ? static_cast<const To *>(Node)
+                                   : nullptr;
+}
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_CASTING_H

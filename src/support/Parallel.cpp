@@ -1,0 +1,61 @@
+//===- support/Parallel.cpp - OpenMP parallel primitives ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <omp.h>
+
+using namespace graphit;
+
+int graphit::getNumWorkers() { return omp_get_max_threads(); }
+
+void graphit::setNumWorkers(int NumWorkers) {
+  omp_set_num_threads(NumWorkers);
+}
+
+int64_t graphit::exclusivePrefixSum(int64_t *Values, Count N) {
+  if (N == 0)
+    return 0;
+  if (N < 4096) {
+    int64_t Running = 0;
+    for (Count I = 0; I < N; ++I) {
+      int64_t V = Values[I];
+      Values[I] = Running;
+      Running += V;
+    }
+    return Running;
+  }
+
+  int NumBlocks = std::max(1, getNumWorkers() * 4);
+  Count BlockSize = (N + NumBlocks - 1) / NumBlocks;
+  std::vector<int64_t> BlockTotals(NumBlocks, 0);
+#pragma omp parallel for schedule(static, 1)
+  for (int B = 0; B < NumBlocks; ++B) {
+    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+    int64_t Sum = 0;
+    for (Count I = Lo; I < Hi; ++I)
+      Sum += Values[I];
+    BlockTotals[B] = Sum;
+  }
+  int64_t Running = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    int64_t V = BlockTotals[B];
+    BlockTotals[B] = Running;
+    Running += V;
+  }
+#pragma omp parallel for schedule(static, 1)
+  for (int B = 0; B < NumBlocks; ++B) {
+    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+    int64_t Prefix = BlockTotals[B];
+    for (Count I = Lo; I < Hi; ++I) {
+      int64_t V = Values[I];
+      Values[I] = Prefix;
+      Prefix += V;
+    }
+  }
+  return Running;
+}

@@ -1,0 +1,147 @@
+//===- support/Parallel.h - OpenMP parallel primitives ----------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin OpenMP wrappers used throughout the runtime: parallel loops with the
+/// paper's load-balance strategies, parallel prefix sums, reductions, and
+/// filter/pack. Keeping them here lets the generated code (and the hand
+/// written algorithms that stand in for generated code) stay terse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_PARALLEL_H
+#define GRAPHIT_SUPPORT_PARALLEL_H
+
+#include "support/Types.h"
+
+#include <algorithm>
+#include <cassert>
+#include <omp.h>
+#include <vector>
+
+namespace graphit {
+
+/// Load-balance strategy for parallel vertex loops, mirroring the
+/// `configApplyParallelization` options of the scheduling language.
+enum class Parallelization {
+  Serial,                ///< Run on the calling thread.
+  StaticVertexParallel,  ///< `schedule(static)`.
+  DynamicVertexParallel, ///< `schedule(dynamic, 64)` (the paper's default).
+};
+
+/// \returns the number of threads parallel regions will use.
+int getNumWorkers();
+
+/// Caps the number of threads used by subsequent parallel regions.
+/// Used by the scalability benchmarks (Fig. 11).
+void setNumWorkers(int NumWorkers);
+
+/// Grain size under dynamic scheduling; matches `schedule(dynamic, 64)` in
+/// the paper's generated code (Fig. 9(c), line 15).
+inline constexpr int kDynamicGrain = 64;
+
+/// Below this trip count a parallel region costs more than it saves; the
+/// loop runs inline on the calling thread. Ordered algorithms hit this
+/// constantly (road-network buckets hold a handful of vertices).
+inline constexpr Count kSerialGrain = 512;
+
+/// Runs `Fn(I)` for every I in [Begin, End) using the requested strategy.
+template <typename Fn>
+void parallelFor(Count Begin, Count End, Fn &&Body,
+                 Parallelization Strategy =
+                     Parallelization::DynamicVertexParallel) {
+  assert(Begin <= End && "parallelFor got an inverted range");
+  if (End - Begin < kSerialGrain)
+    Strategy = Parallelization::Serial;
+  switch (Strategy) {
+  case Parallelization::Serial:
+    for (Count I = Begin; I < End; ++I)
+      Body(I);
+    return;
+  case Parallelization::StaticVertexParallel:
+#pragma omp parallel for schedule(static)
+    for (Count I = Begin; I < End; ++I)
+      Body(I);
+    return;
+  case Parallelization::DynamicVertexParallel:
+#pragma omp parallel for schedule(dynamic, kDynamicGrain)
+    for (Count I = Begin; I < End; ++I)
+      Body(I);
+    return;
+  }
+}
+
+/// Sums `Fn(I)` over [Begin, End) in parallel.
+template <typename Fn>
+int64_t parallelSum(Count Begin, Count End, Fn &&Body) {
+  int64_t Total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : Total)
+  for (Count I = Begin; I < End; ++I)
+    Total += Body(I);
+  return Total;
+}
+
+/// Minimum of `Fn(I)` over [Begin, End) in parallel; \p Identity is returned
+/// for an empty range.
+template <typename Fn>
+int64_t parallelMin(Count Begin, Count End, int64_t Identity, Fn &&Body) {
+  int64_t Result = Identity;
+#pragma omp parallel for schedule(static) reduction(min : Result)
+  for (Count I = Begin; I < End; ++I)
+    Result = std::min(Result, static_cast<int64_t>(Body(I)));
+  return Result;
+}
+
+/// Exclusive prefix sum of \p Values in place; \returns the grand total.
+/// Two-pass blocked algorithm, O(n) work.
+int64_t exclusivePrefixSum(int64_t *Values, Count N);
+
+/// Exclusive prefix sum over a vector, returning the total.
+inline int64_t exclusivePrefixSum(std::vector<int64_t> &Values) {
+  return exclusivePrefixSum(Values.data(),
+                            static_cast<Count>(Values.size()));
+}
+
+/// Parallel filter: copies every element of [In, In+N) for which
+/// `Keep(Element)` holds into \p Out (preserving order) and returns the
+/// number of kept elements. \p Out must have room for N elements.
+template <typename T, typename KeepFn>
+Count parallelPack(const T *In, Count N, T *Out, KeepFn &&Keep) {
+  int NumBlocks = std::max(1, getNumWorkers() * 4);
+  Count BlockSize = (N + NumBlocks - 1) / NumBlocks;
+  if (BlockSize < 2048) {
+    // Small inputs: sequential pack is faster than two parallel passes.
+    Count M = 0;
+    for (Count I = 0; I < N; ++I)
+      if (Keep(In[I]))
+        Out[M++] = In[I];
+    return M;
+  }
+  std::vector<int64_t> BlockCounts(NumBlocks + 1, 0);
+#pragma omp parallel for schedule(static, 1)
+  for (int B = 0; B < NumBlocks; ++B) {
+    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+    int64_t Kept = 0;
+    for (Count I = Lo; I < Hi; ++I)
+      Kept += Keep(In[I]) ? 1 : 0;
+    BlockCounts[B] = Kept;
+  }
+  int64_t Total = exclusivePrefixSum(BlockCounts.data(), NumBlocks + 1);
+#pragma omp parallel for schedule(static, 1)
+  for (int B = 0; B < NumBlocks; ++B) {
+    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+    Count Pos = BlockCounts[B];
+    for (Count I = Lo; I < Hi; ++I)
+      if (Keep(In[I]))
+        Out[Pos++] = In[I];
+  }
+  return Total;
+}
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_PARALLEL_H

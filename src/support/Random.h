@@ -1,0 +1,59 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic PRNG. Every generator in the repository is
+/// seeded explicitly so that datasets, weights, and experiments are exactly
+/// reproducible across runs and thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_RANDOM_H
+#define GRAPHIT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace graphit {
+
+/// SplitMix64: tiny, fast, and statistically solid enough for workload
+/// generation. Also usable as a stateless hash via `hash64`.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniform integer in [Lo, Hi). Requires Lo < Hi.
+  int64_t nextInt(int64_t Lo, int64_t Hi) {
+    assert(Lo < Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo);
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Stateless 64-bit mix of \p X (one SplitMix64 step). Handy for building
+/// per-index random values that are independent of iteration order.
+uint64_t hash64(uint64_t X);
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_RANDOM_H

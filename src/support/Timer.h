@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal monotonic wall-clock timer used by the benchmark harness and by
+/// per-run statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_TIMER_H
+#define GRAPHIT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace graphit {
+
+/// Monotonic stopwatch. Construction starts the clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the clock.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_TIMER_H

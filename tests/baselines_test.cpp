@@ -1,0 +1,187 @@
+//===- tests/baselines_test.cpp - Framework proxy tests -------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The GAPBS / Julienne / Galois comparison proxies must be *correct*
+// implementations of their frameworks' strategies — Table 4 compares their
+// performance, so their outputs must agree with the oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GAPBSDeltaStepping.h"
+#include "baselines/GaloisApprox.h"
+#include "baselines/JulienneEngine.h"
+
+#include "algorithms/Dijkstra.h"
+#include "algorithms/KCore.h"
+#include "algorithms/SetCover.h"
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace graphit;
+
+namespace {
+
+Graph rmatWeighted(int Scale, int Deg, uint64_t Seed, Weight Hi) {
+  std::vector<Edge> Edges = rmatEdges(Scale, Deg, Seed);
+  assignRandomWeights(Edges, 1, Hi, Seed ^ 0x321);
+  return GraphBuilder().build(Count{1} << Scale, Edges);
+}
+
+Graph roadWithCoords(Count Side, uint64_t Seed) {
+  RoadNetwork Net = roadGrid(Side, Side, Seed);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  return GraphBuilder(Options).build(Net.NumNodes, Net.Edges,
+                                     std::move(Net.Coords));
+}
+
+Graph symmetricRmat(int Scale, int Deg, uint64_t Seed) {
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = false;
+  return GraphBuilder(Options).build(Count{1} << Scale,
+                                     rmatEdges(Scale, Deg, Seed));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GAPBS proxy
+//===----------------------------------------------------------------------===//
+
+TEST(GAPBSProxy, SSSPMatchesDijkstraAcrossDeltas) {
+  Graph G = rmatWeighted(11, 8, 3, 600);
+  std::vector<Priority> Expected = dijkstraSSSP(G, 7);
+  for (int64_t Delta : {1, 8, 2048})
+    EXPECT_EQ(gapbsSSSP(G, 7, Delta).Dist, Expected) << "delta " << Delta;
+}
+
+TEST(GAPBSProxy, SSSPOnRoadGrid) {
+  Graph G = roadWithCoords(35, 5);
+  EXPECT_EQ(gapbsSSSP(G, 3, 8192).Dist, dijkstraSSSP(G, 3));
+}
+
+TEST(GAPBSProxy, WBFSMatches) {
+  std::vector<Edge> Edges = rmatEdges(10, 8, 6);
+  assignRandomWeights(Edges, 1, 10, 1);
+  Graph G = GraphBuilder().build(Count{1} << 10, Edges);
+  EXPECT_EQ(gapbsWBFS(G, 0).Dist, dijkstraSSSP(G, 0));
+}
+
+TEST(GAPBSProxy, PPSPAndAStarMatchOracle) {
+  Graph G = roadWithCoords(30, 8);
+  SplitMix64 Rng(11);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    auto S = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    auto T = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Priority Want = dijkstraPPSP(G, S, T);
+    EXPECT_EQ(gapbsPPSP(G, S, T, 2048).Dist, Want);
+    EXPECT_EQ(gapbsAStar(G, S, T, 2048).Dist, Want);
+  }
+}
+
+TEST(GAPBSProxy, HasNoFusedRounds) {
+  Graph G = roadWithCoords(40, 2);
+  SSSPResult R = gapbsSSSP(G, 0, 8192);
+  EXPECT_EQ(R.Stats.FusedRounds, 0);
+  EXPECT_GT(R.Stats.Rounds, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Julienne proxy
+//===----------------------------------------------------------------------===//
+
+TEST(JulienneProxy, SSSPMatchesDijkstra) {
+  Graph G = rmatWeighted(11, 8, 13, 900);
+  EXPECT_EQ(julienneSSSP(G, 2, 16).Dist, dijkstraSSSP(G, 2));
+}
+
+TEST(JulienneProxy, SSSPOnRoadGrid) {
+  Graph G = roadWithCoords(30, 14);
+  EXPECT_EQ(julienneSSSP(G, 1, 8192).Dist, dijkstraSSSP(G, 1));
+}
+
+TEST(JulienneProxy, WBFSMatches) {
+  std::vector<Edge> Edges = rmatEdges(10, 8, 15);
+  assignRandomWeights(Edges, 1, 10, 2);
+  Graph G = GraphBuilder().build(Count{1} << 10, Edges);
+  EXPECT_EQ(julienneWBFS(G, 5).Dist, dijkstraSSSP(G, 5));
+}
+
+TEST(JulienneProxy, PPSPAndAStarMatchOracle) {
+  Graph G = roadWithCoords(25, 16);
+  SplitMix64 Rng(17);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    auto S = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    auto T = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Priority Want = dijkstraPPSP(G, S, T);
+    EXPECT_EQ(juliennePPSP(G, S, T, 2048).Dist, Want);
+    EXPECT_EQ(julienneAStar(G, S, T, 2048).Dist, Want);
+  }
+}
+
+TEST(JulienneProxy, KCoreMatchesSerial) {
+  Graph G = symmetricRmat(11, 8, 18);
+  EXPECT_EQ(julienneKCore(G).Coreness, kCoreSerial(G));
+}
+
+TEST(JulienneProxy, SetCoverIsValidAndNearGreedy) {
+  Graph G = symmetricRmat(10, 8, 19);
+  SetCoverResult Par = julienneSetCover(G);
+  SetCoverResult Ser = setCoverSerial(G);
+  EXPECT_TRUE(isValidCover(G, Par.ChosenSets));
+  EXPECT_LE(Par.ChosenSets.size(), Ser.ChosenSets.size() * 14 / 10 + 5);
+}
+
+//===----------------------------------------------------------------------===//
+// Galois proxy
+//===----------------------------------------------------------------------===//
+
+TEST(GaloisProxy, SSSPMatchesDijkstra) {
+  Graph G = rmatWeighted(11, 8, 23, 700);
+  EXPECT_EQ(galoisSSSP(G, 9, 16).Dist, dijkstraSSSP(G, 9));
+}
+
+TEST(GaloisProxy, SSSPOnRoadGrid) {
+  Graph G = roadWithCoords(30, 24);
+  EXPECT_EQ(galoisSSSP(G, 0, 8192).Dist, dijkstraSSSP(G, 0));
+}
+
+TEST(GaloisProxy, SSSPWithTinyDeltaStillExact) {
+  // Approximate ordering must still converge to exact distances.
+  Graph G = rmatWeighted(9, 6, 25, 100);
+  EXPECT_EQ(galoisSSSP(G, 1, 1).Dist, dijkstraSSSP(G, 1));
+}
+
+TEST(GaloisProxy, PPSPAndAStarMatchOracle) {
+  Graph G = roadWithCoords(25, 26);
+  SplitMix64 Rng(27);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    auto S = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    auto T = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Priority Want = dijkstraPPSP(G, S, T);
+    EXPECT_EQ(galoisPPSP(G, S, T, 2048).Dist, Want);
+    EXPECT_EQ(galoisAStar(G, S, T, 2048).Dist, Want);
+  }
+}
+
+TEST(GaloisProxy, ReportsAsyncExecution) {
+  Graph G = rmatWeighted(10, 8, 28, 100);
+  SSSPResult R = galoisSSSP(G, 0, 8);
+  EXPECT_EQ(R.Stats.Rounds, 0) << "async engine has no global rounds";
+  EXPECT_GT(R.Stats.VerticesProcessed, 0);
+}
+
+TEST(GaloisProxy, RepeatedRunsAreConsistent) {
+  Graph G = rmatWeighted(10, 8, 29, 300);
+  std::vector<Priority> First = galoisSSSP(G, 4, 32).Dist;
+  for (int Trial = 0; Trial < 3; ++Trial)
+    EXPECT_EQ(galoisSSSP(G, 4, 32).Dist, First);
+}

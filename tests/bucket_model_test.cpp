@@ -1,0 +1,150 @@
+//===- tests/bucket_model_test.cpp - Model-based bucket queue tests -------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property test: LazyBucketQueue against a trivially correct reference
+// model (a map from vertex to key), under random monotone operation
+// sequences of the kind ordered algorithms produce — interleaved bulk
+// updates, same-bucket re-insertions, and extractions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LazyBucketQueue.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace graphit;
+
+namespace {
+
+/// Reference model: exact key per queued vertex.
+class ModelQueue {
+public:
+  explicit ModelQueue(PriorityOrder Order) : Order(Order) {}
+
+  void update(VertexId V, int64_t Key) { Keys[V] = Key; }
+
+  /// Extracts the next bucket: (key, sorted members); empty when done.
+  std::pair<int64_t, std::vector<VertexId>> next() {
+    if (Keys.empty())
+      return {0, {}};
+    int64_t Best = Keys.begin()->second;
+    for (const auto &[V, K] : Keys)
+      if (Order == PriorityOrder::LowerFirst ? K < Best : K > Best)
+        Best = K;
+    std::vector<VertexId> Members;
+    for (const auto &[V, K] : Keys)
+      if (K == Best)
+        Members.push_back(V);
+    for (VertexId V : Members)
+      Keys.erase(V);
+    std::sort(Members.begin(), Members.end());
+    return {Best, Members};
+  }
+
+  bool empty() const { return Keys.empty(); }
+
+private:
+  PriorityOrder Order;
+  std::map<VertexId, int64_t> Keys;
+};
+
+struct ModelCase {
+  const char *Name;
+  PriorityOrder Order;
+  int NumOpenBuckets;
+  int64_t KeyRange;
+};
+
+class BucketModelTest : public ::testing::TestWithParam<ModelCase> {};
+
+} // namespace
+
+TEST_P(BucketModelTest, RandomMonotoneWorkloadMatchesModel) {
+  const ModelCase &C = GetParam();
+  constexpr Count N = 512;
+  SplitMix64 Rng(hash64(C.KeyRange) ^ C.NumOpenBuckets);
+
+  LazyBucketQueue Q(N, C.NumOpenBuckets, C.Order);
+  ModelQueue Model(C.Order);
+
+  // Monotone key generator: HigherFirst keys shrink, LowerFirst grow,
+  // relative to the current frontier key (like real priority updates).
+  int64_t Frontier = C.Order == PriorityOrder::LowerFirst ? 0 : C.KeyRange;
+  auto FreshKey = [&]() {
+    int64_t Offset = Rng.nextInt(0, C.KeyRange / 4 + 2);
+    return C.Order == PriorityOrder::LowerFirst ? Frontier + Offset
+                                                : Frontier - Offset;
+  };
+
+  // Seed.
+  for (VertexId V = 0; V < 64; ++V) {
+    int64_t Key = FreshKey();
+    Q.insert(V, Key);
+    Model.update(V, Key);
+  }
+
+  int Extractions = 0;
+  while (true) {
+    bool QHas = Q.nextBucket();
+    auto [MKey, MMembers] = Model.next();
+    if (!QHas) {
+      EXPECT_TRUE(MMembers.empty()) << "model still has work";
+      break;
+    }
+    ASSERT_FALSE(MMembers.empty()) << "queue has phantom work";
+    EXPECT_EQ(Q.currentKey(), MKey);
+    std::vector<VertexId> QMembers = Q.currentBucket();
+    std::sort(QMembers.begin(), QMembers.end());
+    ASSERT_EQ(QMembers, MMembers) << "bucket " << MKey;
+    Frontier = MKey;
+    ++Extractions;
+
+    // Random follow-up updates at-or-after the current bucket, hitting
+    // both extracted vertices (re-insertion) and queued ones (moves).
+    // Injection stops after 60 extractions so the workload drains.
+    if (Extractions % 3 == 0 && Extractions <= 60) {
+      std::vector<VertexId> Ids;
+      std::vector<int64_t> Keys;
+      int Updates = static_cast<int>(Rng.nextInt(1, 40));
+      std::vector<uint8_t> Seen(N, 0);
+      for (int U = 0; U < Updates; ++U) {
+        auto V = static_cast<VertexId>(Rng.nextInt(0, N));
+        if (Seen[V])
+          continue; // one final update per vertex per round
+        Seen[V] = 1;
+        int64_t Key = FreshKey();
+        Ids.push_back(V);
+        Keys.push_back(Key);
+        Model.update(V, Key);
+      }
+      Q.updateBuckets(Ids.data(), Keys.data(),
+                      static_cast<Count>(Ids.size()));
+    }
+    ASSERT_LT(Extractions, 100000) << "runaway test";
+  }
+  EXPECT_GT(Extractions, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, BucketModelTest,
+    ::testing::Values(
+        ModelCase{"LowerSmallWindow", PriorityOrder::LowerFirst, 2, 100},
+        ModelCase{"LowerMediumWindow", PriorityOrder::LowerFirst, 16,
+                  1000},
+        ModelCase{"LowerWideKeys", PriorityOrder::LowerFirst, 8, 100000},
+        ModelCase{"HigherSmallWindow", PriorityOrder::HigherFirst, 2,
+                  100},
+        ModelCase{"HigherMediumWindow", PriorityOrder::HigherFirst, 16,
+                  1000},
+        ModelCase{"HigherWideKeys", PriorityOrder::HigherFirst, 8,
+                  100000}),
+    [](const auto &Info) { return Info.param.Name; });

@@ -1,0 +1,89 @@
+//===- tests/datasets_test.cpp - Unit tests for dataset stand-ins ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Datasets.h"
+
+#include <gtest/gtest.h>
+
+using namespace graphit;
+
+TEST(Datasets, NamesAndClassification) {
+  EXPECT_STREQ(datasetName(DatasetId::LJ), "LJ'");
+  EXPECT_STREQ(datasetName(DatasetId::RD), "RD'");
+  EXPECT_FALSE(isRoadNetwork(DatasetId::TW));
+  EXPECT_TRUE(isRoadNetwork(DatasetId::MA));
+  EXPECT_EQ(allDatasets().size(), 8u);
+  EXPECT_EQ(socialDatasets().size(), 5u);
+  EXPECT_EQ(roadDatasets().size(), 3u);
+}
+
+TEST(Datasets, SmallSocialDirectedHasWeightsInRange) {
+  Graph G = makeDataset(DatasetId::LJ, DatasetVariant::Directed,
+                        /*ScaleFactor=*/0.02);
+  EXPECT_GT(G.numNodes(), 0);
+  EXPECT_GT(G.numEdges(), 0);
+  EXPECT_FALSE(G.isSymmetric());
+  ASSERT_TRUE(G.isWeighted());
+  for (VertexId V = 0; V < std::min<Count>(G.numNodes(), 512); ++V)
+    for (WNode E : G.outNeighbors(V)) {
+      ASSERT_GE(E.W, 1);
+      ASSERT_LT(E.W, 1000);
+    }
+}
+
+TEST(Datasets, LogWeightVariantUsesSmallWeights) {
+  Graph G = makeDataset(DatasetId::LJ, DatasetVariant::DirectedLogWeights,
+                        0.02);
+  // log2(2^13) = 13; all weights in [1, ~scale).
+  for (VertexId V = 0; V < std::min<Count>(G.numNodes(), 512); ++V)
+    for (WNode E : G.outNeighbors(V)) {
+      ASSERT_GE(E.W, 1);
+      ASSERT_LT(E.W, 32);
+    }
+}
+
+TEST(Datasets, SymmetricVariantIsSymmetricUnweighted) {
+  Graph G = makeDataset(DatasetId::OK, DatasetVariant::Symmetric, 0.02);
+  EXPECT_TRUE(G.isSymmetric());
+  EXPECT_FALSE(G.isWeighted());
+}
+
+TEST(Datasets, RoadNetworksCarryCoordinatesAndOriginalWeights) {
+  Graph G = makeDataset(DatasetId::MA, DatasetVariant::Directed, 0.05);
+  EXPECT_TRUE(G.isSymmetric()); // road arcs in both directions
+  EXPECT_TRUE(G.isWeighted());
+  EXPECT_TRUE(G.hasCoordinates());
+  EXPECT_EQ(G.coordinates().size(), G.numNodes());
+}
+
+TEST(Datasets, ScaleFactorShrinksGraphs) {
+  Graph Small = makeDataset(DatasetId::LJ, DatasetVariant::Directed, 0.02);
+  Graph Larger = makeDataset(DatasetId::LJ, DatasetVariant::Directed, 0.08);
+  EXPECT_LT(Small.numNodes(), Larger.numNodes());
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  Graph A = makeDataset(DatasetId::WB, DatasetVariant::Directed, 0.02);
+  Graph B = makeDataset(DatasetId::WB, DatasetVariant::Directed, 0.02);
+  ASSERT_EQ(A.numNodes(), B.numNodes());
+  ASSERT_EQ(A.numEdges(), B.numEdges());
+  for (VertexId V = 0; V < A.numNodes(); V += 97) {
+    ASSERT_EQ(A.outDegree(V), B.outDegree(V));
+  }
+}
+
+TEST(Datasets, PickSourcesReturnsValidStartVertices) {
+  Graph G = makeDataset(DatasetId::LJ, DatasetVariant::Directed, 0.02);
+  std::vector<VertexId> Sources = pickSources(G, 10, 42);
+  ASSERT_EQ(Sources.size(), 10u);
+  for (VertexId S : Sources) {
+    ASSERT_LT(S, static_cast<VertexId>(G.numNodes()));
+    ASSERT_GT(G.outDegree(S), 0);
+  }
+  // Deterministic.
+  EXPECT_EQ(Sources, pickSources(G, 10, 42));
+}

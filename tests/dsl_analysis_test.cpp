@@ -1,0 +1,137 @@
+//===- tests/dsl_analysis_test.cpp - Compiler analysis tests --------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace graphit;
+using namespace graphit::dsl;
+
+namespace {
+
+FrontendBundle frontendForApp(const std::string &App) {
+  return runFrontend(readFileOrDie(std::string(GRAPHIT_APPS_DIR) + "/" +
+                                   App));
+}
+
+} // namespace
+
+TEST(PriorityUpdateAnalysis, SSSPHasOneMinUpdate) {
+  FrontendBundle B = frontendForApp("sssp.gt");
+  ASSERT_TRUE(B.ok());
+  const UDFInfo *Info = B.Analysis.udfInfo("updateEdge");
+  ASSERT_NE(Info, nullptr);
+  ASSERT_EQ(Info->Updates.size(), 1u);
+  EXPECT_EQ(Info->Updates[0].Op, PriorityUpdateInfo::UpdateOp::Min);
+  EXPECT_EQ(Info->Updates[0].PQName, "pq");
+  EXPECT_EQ(Info->Updates[0].TargetParam, "dst");
+  EXPECT_FALSE(Info->histogramEligible());
+}
+
+TEST(PriorityUpdateAnalysis, KCoreIsHistogramEligible) {
+  FrontendBundle B = frontendForApp("kcore.gt");
+  ASSERT_TRUE(B.ok());
+  const UDFInfo *Info = B.Analysis.udfInfo("apply_f");
+  ASSERT_NE(Info, nullptr);
+  ASSERT_EQ(Info->Updates.size(), 1u);
+  const PriorityUpdateInfo &U = Info->Updates[0];
+  EXPECT_EQ(U.Op, PriorityUpdateInfo::UpdateOp::Sum);
+  EXPECT_TRUE(U.IsConstantSum);
+  EXPECT_EQ(U.SumConst, -1);
+  EXPECT_TRUE(U.ThresholdIsCurrentPriority)
+      << "threshold k comes from pq.getCurrentPriority()";
+  EXPECT_TRUE(Info->histogramEligible());
+}
+
+TEST(PriorityUpdateAnalysis, NonConstantSumIsNotEligible) {
+  FrontendBundle B = runFrontend(
+      "const pq : priority_queue{Vertex}(int);"
+      "func f(src : Vertex, dst : Vertex, w : int) "
+      "  pq.updatePrioritySum(dst, 0 - w, 0); "
+      "end func main() end");
+  ASSERT_TRUE(B.ok()) << B.Error;
+  const UDFInfo *Info = B.Analysis.udfInfo("f");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_FALSE(Info->Updates[0].IsConstantSum);
+  EXPECT_FALSE(Info->histogramEligible());
+}
+
+TEST(PriorityUpdateAnalysis, AtomicsRequiredUnderPushOnly) {
+  FrontendBundle B = frontendForApp("sssp.gt");
+  ASSERT_TRUE(B.ok());
+  const UDFInfo *Info = B.Analysis.udfInfo("updateEdge");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_TRUE(Info->needsAtomics(Direction::SparsePush));
+  EXPECT_TRUE(Info->needsAtomics(Direction::Hybrid));
+  EXPECT_FALSE(Info->needsAtomics(Direction::DensePull))
+      << "Fig. 9(b): pull direction generates no destination atomics";
+}
+
+TEST(OrderedLoopAnalysis, RecognizesSSSPLoop) {
+  FrontendBundle B = frontendForApp("sssp.gt");
+  ASSERT_TRUE(B.ok());
+  ASSERT_EQ(B.Analysis.Loops.size(), 1u);
+  const OrderedLoopInfo &L = B.Analysis.Loops[0];
+  EXPECT_EQ(L.PQName, "pq");
+  EXPECT_EQ(L.EdgesetName, "edges");
+  EXPECT_EQ(L.BucketVar, "bucket");
+  EXPECT_EQ(L.UDFName, "updateEdge");
+  EXPECT_EQ(L.Label, "s1");
+  EXPECT_TRUE(L.StopVertexVar.empty());
+  EXPECT_TRUE(L.EagerLegal);
+}
+
+TEST(OrderedLoopAnalysis, RecognizesPPSPEarlyExit) {
+  FrontendBundle B = frontendForApp("ppsp.gt");
+  ASSERT_TRUE(B.ok());
+  ASSERT_EQ(B.Analysis.Loops.size(), 1u);
+  EXPECT_EQ(B.Analysis.Loops[0].StopVertexVar, "end_vertex");
+  EXPECT_TRUE(B.Analysis.Loops[0].EagerLegal);
+}
+
+TEST(OrderedLoopAnalysis, RecognizesAllShippedAppLoops) {
+  for (const char *App : {"sssp.gt", "wbfs.gt", "ppsp.gt", "astar.gt",
+                          "kcore.gt", "setcover.gt"}) {
+    FrontendBundle B = frontendForApp(App);
+    ASSERT_TRUE(B.ok()) << App;
+    EXPECT_EQ(B.Analysis.Loops.size(), 1u) << App;
+  }
+}
+
+TEST(OrderedLoopAnalysis, ExtraBucketUseBlocksEagerTransform) {
+  // The bucket escapes into another statement: §5.2's legality check must
+  // reject the eager transformation.
+  FrontendBundle B = runFrontend(
+      "const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);"
+      "const dist : vector{Vertex}(int) = 0;"
+      "const pq : priority_queue{Vertex}(int);"
+      "func f(a : Vertex, b : Vertex, w : int) "
+      "  pq.updatePriorityMin(b, dist[a] + w); end "
+      "func main()"
+      "  pq = new priority_queue{Vertex}(int)(true, \"lower_first\","
+      "       dist, 0);"
+      "  while (pq.finished() == false)"
+      "    var bucket : vertexset{Vertex} = pq.dequeueReadySet();"
+      "    edges.from(bucket).applyUpdatePriority(f);"
+      "    var n : int = bucket.getVertexSetSize();"
+      "    delete bucket;"
+      "  end "
+      "end");
+  ASSERT_TRUE(B.ok()) << B.Error;
+  ASSERT_EQ(B.Analysis.Loops.size(), 1u);
+  EXPECT_FALSE(B.Analysis.Loops[0].EagerLegal);
+}
+
+TEST(OrderedLoopAnalysis, UnrelatedWhileLoopIgnored) {
+  FrontendBundle B = runFrontend(
+      "func main() var x : int = 0;"
+      "  while (x < 3) x = x + 1; end "
+      "end");
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_TRUE(B.Analysis.Loops.empty());
+}

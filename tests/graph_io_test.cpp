@@ -1,0 +1,148 @@
+//===- tests/graph_io_test.cpp - Unit tests for graph IO ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "graph/GraphIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace graphit;
+
+namespace {
+
+/// Creates a per-test temp path and removes it on destruction.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Suffix) {
+    const ::testing::TestInfo *Info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    Path = std::filesystem::temp_directory_path() /
+           (std::string("graphit_") + Info->test_suite_name() + "_" +
+            Info->name() + Suffix);
+  }
+  ~TempFile() { std::filesystem::remove(Path); }
+  std::string str() const { return Path.string(); }
+
+private:
+  std::filesystem::path Path;
+};
+
+} // namespace
+
+TEST(GraphIO, EdgeListRoundTripWeighted) {
+  TempFile File(".wel");
+  std::vector<Edge> Edges = {{0, 1, 5}, {1, 2, 7}, {4, 0, 2}};
+  writeEdgeList(File.str(), Edges, /*Weighted=*/true);
+  EdgeListFile Loaded = readEdgeList(File.str());
+  EXPECT_TRUE(Loaded.Weighted);
+  EXPECT_EQ(Loaded.NumNodes, 5);
+  ASSERT_EQ(Loaded.Edges.size(), 3u);
+  EXPECT_EQ(Loaded.Edges[1].Src, 1u);
+  EXPECT_EQ(Loaded.Edges[1].Dst, 2u);
+  EXPECT_EQ(Loaded.Edges[1].W, 7);
+}
+
+TEST(GraphIO, EdgeListRoundTripUnweighted) {
+  TempFile File(".el");
+  std::vector<Edge> Edges = {{0, 1, 1}, {1, 2, 1}};
+  writeEdgeList(File.str(), Edges, /*Weighted=*/false);
+  EdgeListFile Loaded = readEdgeList(File.str());
+  EXPECT_FALSE(Loaded.Weighted);
+  ASSERT_EQ(Loaded.Edges.size(), 2u);
+  EXPECT_EQ(Loaded.Edges[0].W, 1);
+}
+
+TEST(GraphIO, EdgeListSkipsCommentsAndBlankLines) {
+  TempFile File(".el");
+  {
+    std::ofstream Out(File.str());
+    Out << "# a comment\n\n0 1\n# another\n1 2\n";
+  }
+  EdgeListFile Loaded = readEdgeList(File.str());
+  EXPECT_EQ(Loaded.Edges.size(), 2u);
+}
+
+TEST(GraphIO, DimacsRoundTrip) {
+  TempFile File(".gr");
+  std::vector<Edge> Edges = {{0, 1, 10}, {2, 0, 3}};
+  writeDimacsGraph(File.str(), 3, Edges);
+  EdgeListFile Loaded = readDimacsGraph(File.str());
+  EXPECT_EQ(Loaded.NumNodes, 3);
+  ASSERT_EQ(Loaded.Edges.size(), 2u);
+  EXPECT_EQ(Loaded.Edges[0].Src, 0u);
+  EXPECT_EQ(Loaded.Edges[0].Dst, 1u);
+  EXPECT_EQ(Loaded.Edges[0].W, 10);
+  EXPECT_EQ(Loaded.Edges[1].Src, 2u);
+}
+
+TEST(GraphIO, DimacsIgnoresComments) {
+  TempFile File(".gr");
+  {
+    std::ofstream Out(File.str());
+    Out << "c generated\np sp 2 1\nc arc next\na 1 2 4\n";
+  }
+  EdgeListFile Loaded = readDimacsGraph(File.str());
+  EXPECT_EQ(Loaded.NumNodes, 2);
+  ASSERT_EQ(Loaded.Edges.size(), 1u);
+  EXPECT_EQ(Loaded.Edges[0].W, 4);
+}
+
+TEST(GraphIO, DimacsCoordinatesRoundTrip) {
+  TempFile File(".co");
+  Coordinates Coords;
+  Coords.X = {1.5, -2.25};
+  Coords.Y = {0.0, 99.5};
+  writeDimacsCoordinates(File.str(), Coords);
+  Coordinates Loaded = readDimacsCoordinates(File.str(), 2);
+  ASSERT_EQ(Loaded.size(), 2);
+  EXPECT_DOUBLE_EQ(Loaded.X[1], -2.25);
+  EXPECT_DOUBLE_EQ(Loaded.Y[1], 99.5);
+}
+
+TEST(GraphIO, BinaryRoundTripDirectedWeighted) {
+  TempFile File(".bin");
+  std::vector<Edge> Edges = rmatEdges(8, 4, 3);
+  assignRandomWeights(Edges, 1, 100, 5);
+  Graph G = GraphBuilder().build(Count{1} << 8, Edges);
+  saveBinaryGraph(G, File.str());
+  Graph Loaded = loadBinaryGraph(File.str());
+
+  ASSERT_EQ(Loaded.numNodes(), G.numNodes());
+  ASSERT_EQ(Loaded.numEdges(), G.numEdges());
+  ASSERT_EQ(Loaded.isSymmetric(), G.isSymmetric());
+  ASSERT_TRUE(Loaded.hasInEdges());
+  for (VertexId V = 0; V < G.numNodes(); ++V) {
+    ASSERT_EQ(Loaded.outDegree(V), G.outDegree(V));
+    auto A = Loaded.outNeighbors(V).begin();
+    for (WNode E : G.outNeighbors(V)) {
+      WNode L = *A;
+      ASSERT_EQ(L.V, E.V);
+      ASSERT_EQ(L.W, E.W);
+      ++A;
+    }
+  }
+}
+
+TEST(GraphIO, BinaryRoundTripSymmetricWithCoordinates) {
+  TempFile File(".bin");
+  RoadNetwork Net = roadGrid(10, 10, 17);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Graph G = GraphBuilder(Options).build(Net.NumNodes, Net.Edges,
+                                        std::move(Net.Coords));
+  saveBinaryGraph(G, File.str());
+  Graph Loaded = loadBinaryGraph(File.str());
+  EXPECT_TRUE(Loaded.isSymmetric());
+  EXPECT_EQ(Loaded.numEdges(), G.numEdges());
+  ASSERT_TRUE(Loaded.hasCoordinates());
+  EXPECT_DOUBLE_EQ(Loaded.coordinates().X[5], G.coordinates().X[5]);
+}

@@ -1,0 +1,231 @@
+//===- tests/lazy_bucket_queue_test.cpp - LazyBucketQueue unit tests ------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LazyBucketQueue.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace graphit;
+
+namespace {
+
+std::vector<VertexId> sorted(std::vector<VertexId> V) {
+  std::sort(V.begin(), V.end());
+  return V;
+}
+
+} // namespace
+
+TEST(LazyBucketQueue, EmptyQueueIsFinished) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  EXPECT_FALSE(Q.nextBucket());
+  EXPECT_EQ(Q.pendingEstimate(), 0);
+}
+
+TEST(LazyBucketQueue, SingleInsertExtract) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(3, 7);
+  EXPECT_EQ(Q.keyOf(3), 7);
+  EXPECT_EQ(Q.pendingEstimate(), 1);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 7);
+  EXPECT_EQ(Q.currentBucket(), (std::vector<VertexId>{3}));
+  EXPECT_EQ(Q.keyOf(3), LazyBucketQueue::kNoBucket);
+  EXPECT_FALSE(Q.nextBucket());
+}
+
+TEST(LazyBucketQueue, ExtractsInAscendingKeyOrder) {
+  LazyBucketQueue Q(100, 8, PriorityOrder::LowerFirst);
+  Q.insert(0, 5);
+  Q.insert(1, 2);
+  Q.insert(2, 9);
+  Q.insert(3, 2);
+  std::vector<int64_t> Keys;
+  while (Q.nextBucket())
+    Keys.push_back(Q.currentKey());
+  EXPECT_EQ(Keys, (std::vector<int64_t>{2, 5, 9}));
+}
+
+TEST(LazyBucketQueue, HigherFirstExtractsDescending) {
+  LazyBucketQueue Q(100, 8, PriorityOrder::HigherFirst);
+  Q.insert(0, 5);
+  Q.insert(1, 2);
+  Q.insert(2, 9);
+  std::vector<int64_t> Keys;
+  while (Q.nextBucket())
+    Keys.push_back(Q.currentKey());
+  EXPECT_EQ(Keys, (std::vector<int64_t>{9, 5, 2}));
+}
+
+TEST(LazyBucketQueue, GroupsEqualKeys) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(1, 3);
+  Q.insert(4, 3);
+  Q.insert(7, 3);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(sorted(Q.currentBucket()), (std::vector<VertexId>{1, 4, 7}));
+  EXPECT_FALSE(Q.nextBucket());
+}
+
+TEST(LazyBucketQueue, OverflowBucketRebucketsBeyondWindow) {
+  // Window of 2 open buckets; keys far apart force overflow handling.
+  LazyBucketQueue Q(10, 2, PriorityOrder::LowerFirst);
+  Q.insert(0, 100);
+  Q.insert(1, 5);
+  Q.insert(2, 1000);
+  std::vector<int64_t> Keys;
+  while (Q.nextBucket())
+    Keys.push_back(Q.currentKey());
+  EXPECT_EQ(Keys, (std::vector<int64_t>{5, 100, 1000}));
+  EXPECT_GE(Q.overflowRebuckets(), 2);
+}
+
+TEST(LazyBucketQueue, UpdateMovesVertexToNewBucket) {
+  LazyBucketQueue Q(10, 8, PriorityOrder::LowerFirst);
+  Q.insert(1, 6);
+  Q.insert(2, 4);
+  // Lower vertex 1's key before anything is extracted.
+  VertexId Ids[] = {1};
+  int64_t Keys[] = {4};
+  Q.updateBuckets(Ids, Keys, 1);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 4);
+  EXPECT_EQ(sorted(Q.currentBucket()), (std::vector<VertexId>{1, 2}));
+  // The stale entry for vertex 1 at key 6 must not resurface.
+  EXPECT_FALSE(Q.nextBucket());
+}
+
+TEST(LazyBucketQueue, ReinsertionIntoCurrentBucketIsProcessedAgain) {
+  // The delta-stepping pattern: processing bucket k re-inserts a vertex
+  // into bucket k, which must be processed in a following round.
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(1, 2);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 2);
+  Q.insert(5, 2); // same bucket as current
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 2);
+  EXPECT_EQ(Q.currentBucket(), (std::vector<VertexId>{5}));
+}
+
+TEST(LazyBucketQueue, PendingEstimateTracksContents) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(1, 1);
+  Q.insert(2, 2);
+  EXPECT_EQ(Q.pendingEstimate(), 2);
+  // Moving vertex 1 does not change the count.
+  VertexId Ids[] = {1};
+  int64_t Keys[] = {3};
+  Q.updateBuckets(Ids, Keys, 1);
+  EXPECT_EQ(Q.pendingEstimate(), 2);
+  ASSERT_TRUE(Q.nextBucket()); // extracts {2} at key 2
+  EXPECT_EQ(Q.pendingEstimate(), 1);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.pendingEstimate(), 0);
+}
+
+TEST(LazyBucketQueue, BulkParallelUpdateMatchesSerialSemantics) {
+  constexpr Count N = 1 << 16;
+  LazyBucketQueue Q(N, 128, PriorityOrder::LowerFirst);
+  std::vector<VertexId> Ids(N);
+  std::vector<int64_t> Keys(N);
+  std::map<int64_t, std::set<VertexId>> Expected;
+  for (Count I = 0; I < N; ++I) {
+    Ids[I] = static_cast<VertexId>(I);
+    Keys[I] = static_cast<int64_t>(hash64(I) % 300); // spans > window
+    Expected[Keys[I]].insert(Ids[I]);
+  }
+  Q.updateBuckets(Ids.data(), Keys.data(), N);
+  EXPECT_EQ(Q.pendingEstimate(), N);
+
+  auto It = Expected.begin();
+  while (Q.nextBucket()) {
+    ASSERT_NE(It, Expected.end());
+    EXPECT_EQ(Q.currentKey(), It->first);
+    std::vector<VertexId> Got = sorted(Q.currentBucket());
+    std::vector<VertexId> Want(It->second.begin(), It->second.end());
+    EXPECT_EQ(Got, Want);
+    ++It;
+  }
+  EXPECT_EQ(It, Expected.end());
+}
+
+TEST(LazyBucketQueue, DuplicateUpdatesAcrossCallsExtractOnce) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(1, 3);
+  // Re-insert the same vertex at a new key twice (two rounds' worth of
+  // stale entries), then at its final key.
+  VertexId Ids[] = {1};
+  int64_t K5[] = {5};
+  int64_t K4[] = {4};
+  Q.updateBuckets(Ids, K5, 1);
+  Q.updateBuckets(Ids, K4, 1);
+  int Extractions = 0;
+  while (Q.nextBucket())
+    Extractions += static_cast<int>(Q.currentBucket().size());
+  EXPECT_EQ(Extractions, 1);
+}
+
+TEST(LazyBucketQueue, NegativeKeysSupported) {
+  LazyBucketQueue Q(10, 4, PriorityOrder::LowerFirst);
+  Q.insert(1, -5);
+  Q.insert(2, -1);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), -5);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), -1);
+}
+
+TEST(LazyBucketQueue, ManySparseKeysStressOverflow) {
+  // Keys spaced wider than the window exercise repeated re-bucketing.
+  LazyBucketQueue Q(1000, 4, PriorityOrder::LowerFirst);
+  for (VertexId V = 0; V < 100; ++V)
+    Q.insert(V, static_cast<int64_t>(V) * 1000);
+  int64_t Prev = -1;
+  Count Seen = 0;
+  while (Q.nextBucket()) {
+    EXPECT_GT(Q.currentKey(), Prev);
+    Prev = Q.currentKey();
+    Seen += static_cast<Count>(Q.currentBucket().size());
+  }
+  EXPECT_EQ(Seen, 100);
+}
+
+//===----------------------------------------------------------------------===//
+// LambdaBucketQueue (Julienne's original interface)
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaBucketQueue, InsertAllUsesKeyFunction) {
+  std::vector<int64_t> Priorities = {4, LazyBucketQueue::kNoBucket, 2, 4};
+  LambdaBucketQueue Q(4, 8, PriorityOrder::LowerFirst,
+                      [&](VertexId V) { return Priorities[V]; });
+  Q.insertAll();
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 2);
+  EXPECT_EQ(Q.currentBucket(), (std::vector<VertexId>{2}));
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 4);
+  EXPECT_EQ(sorted(Q.currentBucket()), (std::vector<VertexId>{0, 3}));
+}
+
+TEST(LambdaBucketQueue, UpdateRecomputesThroughLambda) {
+  std::vector<int64_t> Priorities = {5, 6};
+  LambdaBucketQueue Q(2, 8, PriorityOrder::LowerFirst,
+                      [&](VertexId V) { return Priorities[V]; });
+  Q.insertAll();
+  Priorities[1] = 5;
+  VertexId Ids[] = {1};
+  Q.updateBuckets(Ids, 1);
+  ASSERT_TRUE(Q.nextBucket());
+  EXPECT_EQ(Q.currentKey(), 5);
+  EXPECT_EQ(sorted(Q.currentBucket()), (std::vector<VertexId>{0, 1}));
+}

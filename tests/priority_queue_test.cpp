@@ -1,0 +1,210 @@
+//===- tests/priority_queue_test.cpp - PriorityQueue facade tests ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the Table 1 programming model exactly as the paper's Fig. 3 SSSP
+// does, and checks the operators' semantics in isolation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PriorityQueue.h"
+
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+using namespace graphit;
+
+namespace {
+
+std::vector<Priority> dijkstraRef(const Graph &G, VertexId Src) {
+  std::vector<Priority> Dist(G.numNodes(), kInfiniteDistance);
+  Dist[Src] = 0;
+  using Item = std::pair<Priority, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> PQ;
+  PQ.push({0, Src});
+  while (!PQ.empty()) {
+    auto [D, U] = PQ.top();
+    PQ.pop();
+    if (D > Dist[U])
+      continue;
+    for (WNode E : G.outNeighbors(U))
+      if (D + E.W < Dist[E.V]) {
+        Dist[E.V] = D + E.W;
+        PQ.push({Dist[E.V], E.V});
+      }
+  }
+  return Dist;
+}
+
+/// Fig. 3, line for line: the while/dequeue/applyUpdatePriority pattern.
+std::vector<Priority> fig3SSSP(const Graph &G, VertexId Start,
+                               const Schedule &S) {
+  std::vector<Priority> Dist(G.numNodes(), kInfiniteDistance);
+  Dist[Start] = 0;
+  PriorityQueue PQ(/*AllowCoarsening=*/true, PriorityOrder::LowerFirst,
+                   Dist, S, Start);
+  while (!PQ.finished()) {
+    VertexSubset Bucket = PQ.dequeueReadySet();
+    applyUpdatePriority(G, Bucket,
+                        [&](VertexId Src, VertexId Dst, Weight W) {
+                          Priority NewDist = Dist[Src] + W;
+                          PQ.updatePriorityMin(Dst, NewDist);
+                        });
+  }
+  return Dist;
+}
+
+} // namespace
+
+TEST(PriorityQueueOps, UpdatePriorityMinOnlyLowers) {
+  std::vector<Priority> Prio = {10, 20};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::LowerFirst, Prio, S, 0);
+  PQ.updatePriorityMin(1, 25);
+  EXPECT_EQ(Prio[1], 20);
+  PQ.updatePriorityMin(1, 5);
+  EXPECT_EQ(Prio[1], 5);
+}
+
+TEST(PriorityQueueOps, UpdatePriorityMinFromNull) {
+  std::vector<Priority> Prio = {0, kNullPriority};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::LowerFirst, Prio, S, 0);
+  PQ.updatePriorityMin(1, 42);
+  EXPECT_EQ(Prio[1], 42);
+}
+
+TEST(PriorityQueueOps, UpdatePriorityMaxOnlyRaises) {
+  std::vector<Priority> Prio = {5, 7};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::HigherFirst, Prio, S);
+  PQ.updatePriorityMax(0, 3);
+  EXPECT_EQ(Prio[0], 5);
+  PQ.updatePriorityMax(0, 9);
+  EXPECT_EQ(Prio[0], 9);
+}
+
+TEST(PriorityQueueOps, UpdatePrioritySumClampsAtThreshold) {
+  std::vector<Priority> Prio = {10};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::LowerFirst, Prio, S);
+  PQ.updatePrioritySum(0, -3, 0);
+  EXPECT_EQ(Prio[0], 7);
+  PQ.updatePrioritySum(0, -100, 5); // k-core style clamp at k=5
+  EXPECT_EQ(Prio[0], 5);
+}
+
+TEST(PriorityQueueOps, CoarseningDividesPriorities) {
+  std::vector<Priority> Prio = {0};
+  Schedule S;
+  S.Delta = 8;
+  PriorityQueue Coarse(true, PriorityOrder::LowerFirst, Prio, S, 0);
+  EXPECT_EQ(Coarse.delta(), 8);
+  EXPECT_EQ(Coarse.coarsen(17), 2);
+  PriorityQueue Fine(false, PriorityOrder::LowerFirst, Prio, S, 0);
+  EXPECT_EQ(Fine.delta(), 1) << "coarsening disallowed ignores Delta";
+}
+
+TEST(PriorityQueueOps, DequeueGroupsByCoarsenedBucket) {
+  std::vector<Priority> Prio = {0, 3, 9, 11, kNullPriority};
+  Schedule S;
+  S.Delta = 4; // buckets: [0,4) -> {0,1}, [8,12) -> {2,3}
+  PriorityQueue PQ(true, PriorityOrder::LowerFirst, Prio, S);
+  ASSERT_FALSE(PQ.finished());
+
+  VertexSubset B1 = PQ.dequeueReadySet();
+  EXPECT_EQ(B1.size(), 2);
+  EXPECT_TRUE(B1.contains(0));
+  EXPECT_TRUE(B1.contains(1));
+  EXPECT_EQ(PQ.getCurrentPriority(), 0);
+
+  VertexSubset B2 = PQ.dequeueReadySet();
+  EXPECT_EQ(B2.size(), 2);
+  EXPECT_TRUE(B2.contains(2));
+  EXPECT_TRUE(B2.contains(3));
+  EXPECT_EQ(PQ.getCurrentPriority(), 8);
+
+  EXPECT_TRUE(PQ.finished());
+}
+
+TEST(PriorityQueueOps, NullPriorityVerticesAreNotEnqueued) {
+  std::vector<Priority> Prio = {kNullPriority, 1, kNullPriority};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::LowerFirst, Prio, S);
+  VertexSubset B = PQ.dequeueReadySet();
+  EXPECT_EQ(B.size(), 1);
+  EXPECT_TRUE(B.contains(1));
+  EXPECT_TRUE(PQ.finished());
+}
+
+TEST(PriorityQueueOps, FinishedVertexTracksCurrentBucket) {
+  std::vector<Priority> Prio = {0, 5, 100};
+  Schedule S;
+  S.Delta = 1;
+  PriorityQueue PQ(true, PriorityOrder::LowerFirst, Prio, S);
+  PQ.dequeueReadySet(); // bucket 0
+  EXPECT_TRUE(PQ.finishedVertex(0));
+  EXPECT_FALSE(PQ.finishedVertex(1));
+  PQ.dequeueReadySet(); // bucket 5
+  EXPECT_TRUE(PQ.finishedVertex(1));
+  EXPECT_FALSE(PQ.finishedVertex(2));
+}
+
+TEST(PriorityQueueOps, HigherFirstDequeuesDescending) {
+  std::vector<Priority> Prio = {2, 9, 5};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::HigherFirst, Prio, S);
+  EXPECT_TRUE(PQ.dequeueReadySet().contains(1));
+  EXPECT_EQ(PQ.getCurrentPriority(), 9);
+  EXPECT_TRUE(PQ.dequeueReadySet().contains(2));
+  EXPECT_TRUE(PQ.dequeueReadySet().contains(0));
+  EXPECT_TRUE(PQ.finished());
+}
+
+TEST(PriorityQueueOps, RoundsCountDequeues) {
+  std::vector<Priority> Prio = {1, 2};
+  Schedule S;
+  PriorityQueue PQ(false, PriorityOrder::LowerFirst, Prio, S);
+  EXPECT_EQ(PQ.rounds(), 0);
+  PQ.dequeueReadySet();
+  PQ.dequeueReadySet();
+  EXPECT_EQ(PQ.rounds(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: the Fig. 3 programming pattern
+//===----------------------------------------------------------------------===//
+
+class Fig3Test : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(Fig3Test, SSSPMatchesDijkstraOnRmat) {
+  std::vector<Edge> Edges = rmatEdges(11, 8, 13);
+  assignRandomWeights(Edges, 1, 50, 4);
+  Graph G = GraphBuilder().build(Count{1} << 11, Edges);
+  Schedule S;
+  S.Delta = GetParam();
+  EXPECT_EQ(fig3SSSP(G, 9, S), dijkstraRef(G, 9));
+}
+
+TEST_P(Fig3Test, SSSPMatchesDijkstraOnRoadGrid) {
+  RoadNetwork Net = roadGrid(25, 25, 3);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Graph G = GraphBuilder(Options).build(Net.NumNodes, Net.Edges);
+  Schedule S;
+  S.Delta = GetParam();
+  EXPECT_EQ(fig3SSSP(G, 7, S), dijkstraRef(G, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, Fig3Test,
+                         ::testing::Values(1, 2, 16, 4096),
+                         [](const auto &Info) {
+                           return "Delta" + std::to_string(Info.param);
+                         });

@@ -1,0 +1,145 @@
+//===- tests/runtime_util_test.cpp - Dedup and histogram unit tests -------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dedup.h"
+#include "runtime/Histogram.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace graphit;
+
+//===----------------------------------------------------------------------===//
+// DedupFlags
+//===----------------------------------------------------------------------===//
+
+TEST(Dedup, ClaimWinsExactlyOnce) {
+  DedupFlags Flags(10);
+  EXPECT_TRUE(Flags.claim(4));
+  EXPECT_FALSE(Flags.claim(4));
+  EXPECT_TRUE(Flags.isClaimed(4));
+  EXPECT_FALSE(Flags.isClaimed(5));
+}
+
+TEST(Dedup, ReleaseReopensOnlyListed) {
+  DedupFlags Flags(10);
+  Flags.claim(1);
+  Flags.claim(2);
+  VertexId Ids[] = {1};
+  Flags.release(Ids, 1);
+  EXPECT_TRUE(Flags.claim(1));
+  EXPECT_FALSE(Flags.claim(2));
+}
+
+TEST(Dedup, ReleaseAll) {
+  DedupFlags Flags(5);
+  for (VertexId V = 0; V < 5; ++V)
+    Flags.claim(V);
+  Flags.releaseAll();
+  for (VertexId V = 0; V < 5; ++V)
+    EXPECT_TRUE(Flags.claim(V));
+}
+
+TEST(Dedup, ConcurrentClaimHasOneWinnerPerVertex) {
+  constexpr Count N = 64;
+  DedupFlags Flags(N);
+  int64_t Wins = 0;
+#pragma omp parallel for reduction(+ : Wins)
+  for (Count I = 0; I < N * 1000; ++I)
+    Wins += Flags.claim(static_cast<VertexId>(I % N)) ? 1 : 0;
+  EXPECT_EQ(Wins, N);
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramBuffer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class HistogramMethodTest
+    : public ::testing::TestWithParam<HistogramMethod> {};
+
+std::map<VertexId, uint32_t> toMap(const std::vector<VertexId> &Ids,
+                                   const std::vector<uint32_t> &Counts) {
+  std::map<VertexId, uint32_t> M;
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    EXPECT_EQ(M.count(Ids[I]), 0u) << "duplicate id in histogram output";
+    M[Ids[I]] = Counts[I];
+  }
+  return M;
+}
+
+} // namespace
+
+TEST_P(HistogramMethodTest, CountsSmallInput) {
+  HistogramBuffer H(10);
+  std::vector<VertexId> Targets = {3, 1, 3, 3, 7, 1};
+  std::vector<VertexId> Ids;
+  std::vector<uint32_t> Counts;
+  H.reduce(Targets.data(), static_cast<Count>(Targets.size()), GetParam(),
+           Ids, Counts);
+  auto M = toMap(Ids, Counts);
+  EXPECT_EQ(M, (std::map<VertexId, uint32_t>{{1, 2}, {3, 3}, {7, 1}}));
+}
+
+TEST_P(HistogramMethodTest, EmptyInputProducesNothing) {
+  HistogramBuffer H(4);
+  std::vector<VertexId> Ids = {9};
+  std::vector<uint32_t> Counts = {9};
+  H.reduce(nullptr, 0, GetParam(), Ids, Counts);
+  EXPECT_TRUE(Ids.empty());
+  EXPECT_TRUE(Counts.empty());
+}
+
+TEST_P(HistogramMethodTest, LargeSkewedInputMatchesSerialCounts) {
+  constexpr Count N = 1 << 14;
+  constexpr Count M = 1 << 18;
+  HistogramBuffer H(N);
+  std::vector<VertexId> Targets(M);
+  std::map<VertexId, uint32_t> Expected;
+  SplitMix64 Rng(99);
+  for (Count I = 0; I < M; ++I) {
+    // Skewed: half the stream hits 64 hot vertices (the k-core situation).
+    VertexId V = (Rng.next() & 1)
+                     ? static_cast<VertexId>(Rng.nextInt(0, 64))
+                     : static_cast<VertexId>(Rng.nextInt(0, N));
+    Targets[I] = V;
+    ++Expected[V];
+  }
+  std::vector<VertexId> Ids;
+  std::vector<uint32_t> Counts;
+  H.reduce(Targets.data(), M, GetParam(), Ids, Counts);
+  EXPECT_EQ(toMap(Ids, Counts), Expected);
+}
+
+TEST_P(HistogramMethodTest, BackToBackRoundsAreIndependent) {
+  HistogramBuffer H(8);
+  std::vector<VertexId> Ids;
+  std::vector<uint32_t> Counts;
+
+  std::vector<VertexId> First = {1, 1, 2};
+  H.reduce(First.data(), 3, GetParam(), Ids, Counts);
+  auto M1 = toMap(Ids, Counts);
+  EXPECT_EQ(M1, (std::map<VertexId, uint32_t>{{1, 2}, {2, 1}}));
+
+  std::vector<VertexId> Second = {1, 5};
+  H.reduce(Second.data(), 2, GetParam(), Ids, Counts);
+  auto M2 = toMap(Ids, Counts);
+  EXPECT_EQ(M2, (std::map<VertexId, uint32_t>{{1, 1}, {5, 1}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, HistogramMethodTest,
+                         ::testing::Values(HistogramMethod::AtomicCounts,
+                                           HistogramMethod::LocalTables),
+                         [](const auto &Info) {
+                           return Info.param ==
+                                          HistogramMethod::AtomicCounts
+                                      ? "AtomicCounts"
+                                      : "LocalTables";
+                         });

@@ -1,0 +1,97 @@
+//===- tests/schedule_test.cpp - Scheduling language unit tests -----------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace graphit;
+
+TEST(Schedule, DefaultsMatchPaperDefaults) {
+  Schedule S;
+  // Table 2 defaults: eager_with_fusion is the paper's bolded default.
+  EXPECT_EQ(S.Update, UpdateStrategy::EagerWithFusion);
+  EXPECT_EQ(S.Dir, Direction::SparsePush);
+  EXPECT_EQ(S.Par, Parallelization::DynamicVertexParallel);
+  EXPECT_EQ(S.Delta, 1);
+  EXPECT_TRUE(S.isEager());
+}
+
+TEST(Schedule, FluentConfigMirrorsFig8) {
+  // program->configApplyPriorityUpdate("s1", "lazy")
+  //        ->configApplyPriorityUpdateDelta("s1", "4")
+  //        ->configApplyDirection("s1", "SparsePush")
+  //        ->configApplyParallelization("s1", "dynamic-vertex-parallel");
+  Schedule S;
+  S.configApplyPriorityUpdate("lazy")
+      .configApplyPriorityUpdateDelta(4)
+      .configApplyDirection("SparsePush")
+      .configApplyParallelization("dynamic-vertex-parallel");
+  EXPECT_EQ(S.Update, UpdateStrategy::Lazy);
+  EXPECT_EQ(S.Delta, 4);
+  EXPECT_EQ(S.Dir, Direction::SparsePush);
+  EXPECT_FALSE(S.isEager());
+}
+
+TEST(Schedule, AllUpdateStrategySpellings) {
+  EXPECT_EQ(Schedule().configApplyPriorityUpdate("eager_with_fusion").Update,
+            UpdateStrategy::EagerWithFusion);
+  EXPECT_EQ(Schedule().configApplyPriorityUpdate("eager_no_fusion").Update,
+            UpdateStrategy::EagerNoFusion);
+  EXPECT_EQ(Schedule().configApplyPriorityUpdate("eager").Update,
+            UpdateStrategy::EagerNoFusion);
+  EXPECT_EQ(Schedule().configApplyPriorityUpdate("lazy").Update,
+            UpdateStrategy::Lazy);
+  EXPECT_EQ(
+      Schedule().configApplyPriorityUpdate("lazy_constant_sum").Update,
+      UpdateStrategy::LazyConstantSum);
+}
+
+TEST(Schedule, DirectionAndBucketKnobs) {
+  Schedule S;
+  S.configApplyDirection("DensePull")
+      .configNumBuckets(64)
+      .configBucketFusionThreshold(512);
+  EXPECT_EQ(S.Dir, Direction::DensePull);
+  EXPECT_EQ(S.NumOpenBuckets, 64);
+  EXPECT_EQ(S.FusionThreshold, 512);
+  S.configApplyDirection("DensePull-SparsePush");
+  EXPECT_EQ(S.Dir, Direction::Hybrid);
+}
+
+TEST(Schedule, ParseRoundTrip) {
+  Schedule S;
+  S.configApplyPriorityUpdate("lazy_constant_sum")
+      .configApplyPriorityUpdateDelta(16)
+      .configBucketFusionThreshold(777)
+      .configNumBuckets(32)
+      .configApplyDirection("Hybrid")
+      .configApplyParallelization("static-vertex-parallel");
+  Schedule Parsed = Schedule::parse(S.toString());
+  EXPECT_EQ(Parsed.Update, S.Update);
+  EXPECT_EQ(Parsed.Delta, S.Delta);
+  EXPECT_EQ(Parsed.FusionThreshold, S.FusionThreshold);
+  EXPECT_EQ(Parsed.NumOpenBuckets, S.NumOpenBuckets);
+  EXPECT_EQ(Parsed.Dir, S.Dir);
+  EXPECT_EQ(Parsed.Par, S.Par);
+  EXPECT_EQ(Parsed.toString(), S.toString());
+}
+
+TEST(Schedule, ParseCompactForms) {
+  Schedule S = Schedule::parse("eager_with_fusion,delta=8192");
+  EXPECT_EQ(S.Update, UpdateStrategy::EagerWithFusion);
+  EXPECT_EQ(S.Delta, 8192);
+  Schedule T = Schedule::parse("lazy,direction=DensePull");
+  EXPECT_EQ(T.Update, UpdateStrategy::Lazy);
+  EXPECT_EQ(T.Dir, Direction::DensePull);
+}
+
+TEST(Schedule, SpellingHelpers) {
+  EXPECT_STREQ(updateStrategyName(UpdateStrategy::Lazy), "lazy");
+  EXPECT_STREQ(directionName(Direction::Hybrid), "Hybrid");
+  EXPECT_STREQ(parallelizationName(Parallelization::Serial), "serial");
+}

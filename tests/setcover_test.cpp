@@ -1,0 +1,126 @@
+//===- tests/setcover_test.cpp - Approximate set cover tests --------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/SetCover.h"
+
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace graphit;
+
+namespace {
+
+Graph symmetric(std::vector<Edge> Edges, Count N) {
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = false;
+  return GraphBuilder(Options).build(N, std::move(Edges));
+}
+
+} // namespace
+
+TEST(SetCoverSerial, StarNeedsOnlyTheCenter) {
+  Graph G = symmetric(starEdges(10), 10);
+  SetCoverResult R = setCoverSerial(G);
+  ASSERT_EQ(R.ChosenSets.size(), 1u);
+  EXPECT_EQ(R.ChosenSets[0], 0u);
+  EXPECT_EQ(R.CoveredElements, 10);
+}
+
+TEST(SetCoverSerial, IsolatedVerticesChooseThemselves) {
+  Graph G = symmetric({{0, 1, 1}}, 4);
+  SetCoverResult R = setCoverSerial(G);
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+  EXPECT_EQ(R.CoveredElements, 4);
+  // 2 and 3 are isolated, so they must be in the cover.
+  EXPECT_NE(std::find(R.ChosenSets.begin(), R.ChosenSets.end(), 2u),
+            R.ChosenSets.end());
+  EXPECT_NE(std::find(R.ChosenSets.begin(), R.ChosenSets.end(), 3u),
+            R.ChosenSets.end());
+}
+
+TEST(SetCover, CoversStar) {
+  Graph G = symmetric(starEdges(16), 16);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+  EXPECT_EQ(R.CoveredElements, 16);
+  EXPECT_LE(R.ChosenSets.size(), 2u);
+}
+
+TEST(SetCover, CoversPath) {
+  Graph G = symmetric(pathEdges(30), 30);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+  // Optimal dominating set of a 30-path is 10; greedy stays close.
+  EXPECT_LE(R.ChosenSets.size(), 16u);
+}
+
+TEST(SetCover, CoversRmatWithinGreedyFactor) {
+  Graph G = symmetric(rmatEdges(11, 8, 64), Count{1} << 11);
+  SetCoverResult Par = approxSetCover(G, Schedule());
+  SetCoverResult Ser = setCoverSerial(G);
+  EXPECT_TRUE(isValidCover(G, Par.ChosenSets));
+  EXPECT_EQ(Par.CoveredElements, G.numNodes());
+  // Both are ~H_n-approximations; the parallel one may pay a (1+O(eps))
+  // factor plus tie-breaking noise.
+  EXPECT_LE(Par.ChosenSets.size(),
+            Ser.ChosenSets.size() * 14 / 10 + 5);
+}
+
+TEST(SetCover, CoversRoadGrid) {
+  RoadNetwork Net = roadGrid(25, 25, 31);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = false;
+  Graph G = GraphBuilder(Options).build(Net.NumNodes, Net.Edges);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+  SetCoverResult Ser = setCoverSerial(G);
+  EXPECT_LE(R.ChosenSets.size(), Ser.ChosenSets.size() * 14 / 10 + 5);
+}
+
+TEST(SetCover, DeterministicForFixedSeed) {
+  Graph G = symmetric(rmatEdges(9, 6, 65), Count{1} << 9);
+  SetCoverResult A = approxSetCover(G, Schedule(), 0.01, 7);
+  SetCoverResult B = approxSetCover(G, Schedule(), 0.01, 7);
+  std::sort(A.ChosenSets.begin(), A.ChosenSets.end());
+  std::sort(B.ChosenSets.begin(), B.ChosenSets.end());
+  EXPECT_EQ(A.ChosenSets, B.ChosenSets);
+}
+
+TEST(SetCover, ChosenSetsAreUnique) {
+  Graph G = symmetric(rmatEdges(10, 6, 66), Count{1} << 10);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  std::vector<VertexId> Sorted = R.ChosenSets;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(std::adjacent_find(Sorted.begin(), Sorted.end()),
+            Sorted.end());
+}
+
+TEST(SetCover, LargerEpsilonStillCovers) {
+  Graph G = symmetric(rmatEdges(10, 8, 67), Count{1} << 10);
+  SetCoverResult R = approxSetCover(G, Schedule(), 0.2, 3);
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+}
+
+TEST(SetCover, EmptyGraphProducesEmptyCover) {
+  Graph G = symmetric({}, 0);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  EXPECT_TRUE(R.ChosenSets.empty());
+  EXPECT_EQ(R.CoveredElements, 0);
+}
+
+TEST(SetCover, EdgelessGraphChoosesEveryVertex) {
+  Graph G = symmetric({}, 5);
+  SetCoverResult R = approxSetCover(G, Schedule());
+  EXPECT_TRUE(isValidCover(G, R.ChosenSets));
+  EXPECT_EQ(R.ChosenSets.size(), 5u);
+}

@@ -1,0 +1,296 @@
+//===- tests/support_test.cpp - Unit tests for src/support ----------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Atomics.h"
+#include "support/Bitmap.h"
+#include "support/Parallel.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+using namespace graphit;
+
+//===----------------------------------------------------------------------===//
+// Atomics
+//===----------------------------------------------------------------------===//
+
+TEST(Atomics, WriteMinLowersValue) {
+  int64_t X = 100;
+  EXPECT_TRUE(atomicWriteMin(&X, int64_t{42}));
+  EXPECT_EQ(X, 42);
+}
+
+TEST(Atomics, WriteMinRejectsLargerValue) {
+  int64_t X = 10;
+  EXPECT_FALSE(atomicWriteMin(&X, int64_t{42}));
+  EXPECT_EQ(X, 10);
+}
+
+TEST(Atomics, WriteMinRejectsEqualValue) {
+  int64_t X = 42;
+  EXPECT_FALSE(atomicWriteMin(&X, int64_t{42}));
+  EXPECT_EQ(X, 42);
+}
+
+TEST(Atomics, WriteMaxRaisesValue) {
+  int32_t X = 5;
+  EXPECT_TRUE(atomicWriteMax(&X, 9));
+  EXPECT_EQ(X, 9);
+  EXPECT_FALSE(atomicWriteMax(&X, 3));
+  EXPECT_EQ(X, 9);
+}
+
+TEST(Atomics, CASSucceedsOnlyOnExpected) {
+  uint32_t X = 7;
+  EXPECT_FALSE(atomicCAS(&X, 8u, 9u));
+  EXPECT_EQ(X, 7u);
+  EXPECT_TRUE(atomicCAS(&X, 7u, 9u));
+  EXPECT_EQ(X, 9u);
+}
+
+TEST(Atomics, FetchAddReturnsPrevious) {
+  int64_t X = 3;
+  EXPECT_EQ(fetchAdd(&X, int64_t{4}), 3);
+  EXPECT_EQ(X, 7);
+}
+
+TEST(Atomics, ConcurrentWriteMinFindsGlobalMin) {
+  // Many threads racing writeMin must end at the global minimum, and the
+  // number of "true" returns must be at least 1 (the winner) and at most
+  // the number of distinct improvements.
+  int64_t X = 1 << 30;
+  constexpr Count N = 100000;
+  int64_t Wins = 0;
+#pragma omp parallel for reduction(+ : Wins)
+  for (Count I = 0; I < N; ++I)
+    Wins += atomicWriteMin(&X, static_cast<int64_t>(hash64(I) % 1000000))
+                ? 1
+                : 0;
+  int64_t Expected = 1 << 30;
+  for (Count I = 0; I < N; ++I)
+    Expected = std::min(Expected, static_cast<int64_t>(hash64(I) % 1000000));
+  EXPECT_EQ(X, Expected);
+  EXPECT_GE(Wins, 1);
+}
+
+TEST(Atomics, ConcurrentFetchAddCountsExactly) {
+  int64_t X = 0;
+#pragma omp parallel for
+  for (int I = 0; I < 100000; ++I)
+    fetchAdd(&X, int64_t{1});
+  EXPECT_EQ(X, 100000);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  constexpr Count N = 10000;
+  std::vector<int> Hits(N, 0);
+  parallelFor(0, N, [&](Count I) { fetchAdd(&Hits[I], 1); });
+  for (Count I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I], 1) << "index " << I;
+}
+
+TEST(Parallel, ForSerialStrategyWorks) {
+  int64_t Sum = 0;
+  parallelFor(
+      0, 100, [&](Count I) { Sum += I; }, Parallelization::Serial);
+  EXPECT_EQ(Sum, 4950);
+}
+
+TEST(Parallel, ForStaticStrategyWorks) {
+  constexpr Count N = 5000;
+  std::vector<int> Hits(N, 0);
+  parallelFor(
+      0, N, [&](Count I) { Hits[I]++; },
+      Parallelization::StaticVertexParallel);
+  EXPECT_EQ(std::accumulate(Hits.begin(), Hits.end(), 0), N);
+}
+
+TEST(Parallel, ForEmptyRangeIsNoop) {
+  parallelFor(5, 5, [&](Count) { FAIL() << "body must not run"; });
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  EXPECT_EQ(parallelSum(0, 1000, [](Count I) { return I * I; }),
+            332833500);
+}
+
+TEST(Parallel, MinFindsMinimum) {
+  EXPECT_EQ(parallelMin(0, 1000, INT64_MAX,
+                        [](Count I) { return 500 + (I - 700) * (I - 700); }),
+            500);
+}
+
+TEST(Parallel, MinOfEmptyRangeIsIdentity) {
+  EXPECT_EQ(parallelMin(3, 3, int64_t{77}, [](Count) { return 0; }), 77);
+}
+
+TEST(Parallel, PrefixSumSmall) {
+  std::vector<int64_t> V = {3, 1, 4, 1, 5};
+  EXPECT_EQ(exclusivePrefixSum(V), 14);
+  EXPECT_EQ(V, (std::vector<int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Parallel, PrefixSumEmpty) {
+  std::vector<int64_t> V;
+  EXPECT_EQ(exclusivePrefixSum(V.data(), 0), 0);
+}
+
+TEST(Parallel, PrefixSumLargeMatchesSerial) {
+  constexpr Count N = 1 << 17;
+  std::vector<int64_t> V(N), Expected(N);
+  for (Count I = 0; I < N; ++I)
+    V[I] = static_cast<int64_t>(hash64(I) % 17);
+  int64_t Running = 0;
+  for (Count I = 0; I < N; ++I) {
+    Expected[I] = Running;
+    Running += V[I];
+  }
+  EXPECT_EQ(exclusivePrefixSum(V), Running);
+  EXPECT_EQ(V, Expected);
+}
+
+TEST(Parallel, PackKeepsOrderAndFilter) {
+  constexpr Count N = 100000;
+  std::vector<uint32_t> In(N), Out(N);
+  for (Count I = 0; I < N; ++I)
+    In[I] = static_cast<uint32_t>(I);
+  Count M = parallelPack(In.data(), N, Out.data(),
+                         [](uint32_t X) { return X % 3 == 0; });
+  ASSERT_EQ(M, (N + 2) / 3);
+  for (Count I = 0; I < M; ++I)
+    ASSERT_EQ(Out[I], static_cast<uint32_t>(3 * I));
+}
+
+TEST(Parallel, PackAllAndNone) {
+  std::vector<uint32_t> In = {1, 2, 3}, Out(3);
+  EXPECT_EQ(parallelPack(In.data(), 3, Out.data(),
+                         [](uint32_t) { return true; }),
+            3);
+  EXPECT_EQ(parallelPack(In.data(), 3, Out.data(),
+                         [](uint32_t) { return false; }),
+            0);
+}
+
+TEST(Parallel, WorkerCountIsPositiveAndSettable) {
+  int Original = getNumWorkers();
+  EXPECT_GE(Original, 1);
+  setNumWorkers(2);
+  EXPECT_EQ(getNumWorkers(), 2);
+  setNumWorkers(Original);
+  EXPECT_EQ(getNumWorkers(), Original);
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, DeterministicForSameSeed) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Random, NextIntStaysInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t X = Rng.nextInt(10, 20);
+    ASSERT_GE(X, 10);
+    ASSERT_LT(X, 20);
+  }
+}
+
+TEST(Random, NextDoubleStaysInUnitInterval) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    double X = Rng.nextDouble();
+    ASSERT_GE(X, 0.0);
+    ASSERT_LT(X, 1.0);
+  }
+}
+
+TEST(Random, Hash64IsStable) {
+  EXPECT_EQ(hash64(0), hash64(0));
+  EXPECT_NE(hash64(0), hash64(1));
+}
+
+TEST(Random, NextIntCoversRange) {
+  SplitMix64 Rng(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(Rng.nextInt(0, 8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bitmap
+//===----------------------------------------------------------------------===//
+
+TEST(Bitmap, SetAndGet) {
+  Bitmap Map(130);
+  EXPECT_FALSE(Map.get(0));
+  Map.set(0);
+  Map.set(64);
+  Map.set(129);
+  EXPECT_TRUE(Map.get(0));
+  EXPECT_TRUE(Map.get(64));
+  EXPECT_TRUE(Map.get(129));
+  EXPECT_FALSE(Map.get(1));
+}
+
+TEST(Bitmap, TestAndSetWinsOnce) {
+  Bitmap Map(100);
+  EXPECT_TRUE(Map.testAndSet(37));
+  EXPECT_FALSE(Map.testAndSet(37));
+  EXPECT_TRUE(Map.get(37));
+}
+
+TEST(Bitmap, ConcurrentTestAndSetHasUniqueWinners) {
+  constexpr Count N = 1000;
+  Bitmap Map(N);
+  int64_t Wins = 0;
+#pragma omp parallel for reduction(+ : Wins)
+  for (Count I = 0; I < N * 64; ++I)
+    Wins += Map.testAndSet(I % N) ? 1 : 0;
+  EXPECT_EQ(Wins, N);
+}
+
+TEST(Bitmap, ClearResetsAllBits) {
+  Bitmap Map(64);
+  Map.set(3);
+  Map.set(63);
+  Map.clear();
+  EXPECT_FALSE(Map.get(3));
+  EXPECT_FALSE(Map.get(63));
+}
+
+//===----------------------------------------------------------------------===//
+// Timer
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}

@@ -1,0 +1,67 @@
+//===- tests/vertex_subset_test.cpp - VertexSubset unit tests -------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/VertexSubset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace graphit;
+
+TEST(VertexSubset, EmptyHasNoMembers) {
+  VertexSubset S = VertexSubset::empty(10);
+  EXPECT_EQ(S.numNodes(), 10);
+  EXPECT_EQ(S.size(), 0);
+  EXPECT_TRUE(S.isEmpty());
+  EXPECT_FALSE(S.contains(3));
+}
+
+TEST(VertexSubset, SingleContainsOnlyItsMember) {
+  VertexSubset S = VertexSubset::single(10, 7);
+  EXPECT_EQ(S.size(), 1);
+  EXPECT_TRUE(S.contains(7));
+  EXPECT_FALSE(S.contains(6));
+}
+
+TEST(VertexSubset, SparseToDenseConversion) {
+  VertexSubset S = VertexSubset::fromSparse(8, {1, 3, 5});
+  const std::vector<uint8_t> &D = S.dense();
+  EXPECT_EQ(D, (std::vector<uint8_t>{0, 1, 0, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(S.size(), 3);
+}
+
+TEST(VertexSubset, DenseToSparseConversion) {
+  VertexSubset S = VertexSubset::fromDense(6, {1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(S.size(), 3);
+  std::vector<VertexId> Ids = S.sparse();
+  std::sort(Ids.begin(), Ids.end());
+  EXPECT_EQ(Ids, (std::vector<VertexId>{0, 3, 4}));
+}
+
+TEST(VertexSubset, DenseSparseRoundTripPreservesMembers) {
+  VertexSubset S = VertexSubset::fromSparse(100, {99, 0, 42});
+  EXPECT_TRUE(S.dense()[99]);
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_TRUE(S.contains(42));
+  EXPECT_FALSE(S.contains(41));
+}
+
+TEST(VertexSubset, ForEachVisitsAllMembers) {
+  VertexSubset S = VertexSubset::fromSparse(10, {2, 4, 6});
+  int64_t Sum = 0;
+  S.forEach([&](VertexId V) { Sum += V; });
+  EXPECT_EQ(Sum, 12);
+}
+
+TEST(VertexSubset, FromDenseCountsSize) {
+  std::vector<uint8_t> Flags(1000, 0);
+  for (int I = 0; I < 1000; I += 7)
+    Flags[I] = 1;
+  VertexSubset S = VertexSubset::fromDense(1000, std::move(Flags));
+  EXPECT_EQ(S.size(), 143);
+}

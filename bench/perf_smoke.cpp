@@ -1,0 +1,110 @@
+//===- bench/perf_smoke.cpp - Machine-readable perf trajectory ------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs a fixed set of small, generated workloads and emits one line of
+// JSON per workload:
+//
+//   {"bench": "<name>", "seconds": <best wall-clock>, "check": <int64>}
+//
+// The output is the repository's perf trajectory: each PR appends a run to
+// BENCH_<host>.json so regressions in the ordered engines show up as a
+// diff, not an anecdote. Workloads are sized to finish in seconds; the
+// `check` field is a result checksum so a "speedup" that breaks answers is
+// caught immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "algorithms/KCore.h"
+#include "algorithms/SSSP.h"
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace graphit;
+using namespace graphit::bench;
+
+namespace {
+
+int64_t checksum(const std::vector<Priority> &V) {
+  int64_t Sum = 0;
+  for (Priority P : V)
+    if (P < kInfiniteDistance)
+      Sum += P;
+  return Sum;
+}
+
+void emit(const std::string &Name, double Seconds, int64_t Check) {
+  std::printf("{\"bench\": \"%s\", \"seconds\": %.6f, \"check\": %lld}\n",
+              Name.c_str(), Seconds, (long long)Check);
+}
+
+Graph rmatGraph() {
+  std::vector<Edge> Edges = rmatEdges(16, 16, 12345);
+  assignRandomWeights(Edges, 1, 256, 999);
+  return GraphBuilder().build(Count{1} << 16, Edges);
+}
+
+Graph roadGraph() {
+  RoadNetwork Net = roadGrid(600, 600, 4242);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  return GraphBuilder(Options).build(Net.NumNodes, Net.Edges);
+}
+
+Graph socialGraph() {
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = false;
+  return GraphBuilder(Options).build(Count{1} << 15, rmatEdges(15, 16, 777));
+}
+
+} // namespace
+
+int main() {
+  // SSSP on an RMAT graph: small delta, fused eager engine.
+  {
+    Graph G = rmatGraph();
+    Schedule S;
+    S.configApplyPriorityUpdateDelta(2);
+    int64_t Check = 0;
+    double T = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 3, S).Dist); });
+    emit("sssp_rmat_eager", T, Check);
+  }
+
+  // SSSP on a road-like grid: large delta, where bucket fusion and cheap
+  // next-bucket selection dominate (many near-empty rounds).
+  {
+    Graph G = roadGraph();
+    Schedule S;
+    S.configApplyPriorityUpdateDelta(8192);
+    int64_t Check = 0;
+    double T = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 0, S).Dist); });
+    emit("sssp_road_eager", T, Check);
+
+    Schedule Lazy;
+    Lazy.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(8192);
+    double TL = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 0, Lazy).Dist); });
+    emit("sssp_road_lazy", TL, Check);
+  }
+
+  // k-core on a symmetrized RMAT graph: lazy and histogram strategies.
+  {
+    Graph G = socialGraph();
+    for (const char *Spec : {"lazy", "lazy_constant_sum"}) {
+      Schedule S = Schedule::parse(Spec);
+      int64_t Check = 0;
+      double T =
+          timeBest([&] { Check = checksum(kCoreDecomposition(G, S).Coreness); });
+      emit(std::string("kcore_") + Spec, T, Check);
+    }
+  }
+  return 0;
+}

@@ -80,7 +80,6 @@ OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
                         PriorityOrder::LowerFirst);
   Queue.insert(Source, Heur(Source) / Delta);
   TraversalBuffers Buffers(G);
-  std::vector<int64_t> Keys;
 
   auto Push = [&](VertexId Sv, VertexId Dv, Weight W) {
     return atomicWriteMin(&Dist[Dv], Dist[Sv] + W);
@@ -102,18 +101,16 @@ OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
     const std::vector<VertexId> &Bucket = Queue.currentBucket();
     Stats.VerticesProcessed += static_cast<int64_t>(Bucket.size());
 
+    // Fused handoff (§5.1): the changed destinations scatter straight into
+    // buckets, computing each key inline from the priority vector — no
+    // second (vertices, keys) array pair and no separate key-fill pass.
     const std::vector<VertexId> &Changed =
         edgeApplyOut(G, Bucket, S.Dir, S.Par, Buffers, Push, Pull);
-    Count M = static_cast<Count>(Changed.size());
-    Keys.resize(static_cast<size_t>(M));
-    parallelFor(
-        0, M,
-        [&](Count I) {
-          VertexId V = Changed[I];
-          Keys[I] = std::max((Dist[V] + Heur(V)) / Delta, CurrKey);
-        },
-        Parallelization::StaticVertexParallel);
-    Queue.updateBuckets(Changed.data(), Keys.data(), M);
+    Queue.updateBucketsWith(
+        Changed.data(), static_cast<Count>(Changed.size()),
+        [&](Count, VertexId V) {
+          return std::max((Dist[V] + Heur(V)) / Delta, CurrKey);
+        });
   }
   Stats.OverflowRebuckets = Queue.overflowRebuckets();
   Stats.Seconds = Clock.seconds();

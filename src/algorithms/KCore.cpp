@@ -56,16 +56,15 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
   LazyBucketQueue Queue(N, S.NumOpenBuckets, PriorityOrder::LowerFirst);
   {
     std::vector<VertexId> Ids(static_cast<size_t>(N));
-    std::vector<int64_t> Keys(static_cast<size_t>(N));
     parallelFor(
         0, N,
         [&](Count V) {
           Deg[V] = G.outDegree(static_cast<VertexId>(V));
           Ids[V] = static_cast<VertexId>(V);
-          Keys[V] = Deg[V];
         },
         Parallelization::StaticVertexParallel);
-    Queue.updateBuckets(Ids.data(), Keys.data(), N);
+    Queue.updateBucketsWith(Ids.data(), N,
+                            [&](Count, VertexId V) { return Deg[V]; });
   }
 
   HistogramBuffer Hist(N);
@@ -73,7 +72,6 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
   std::vector<int64_t> Offsets;
   std::vector<VertexId> Targets, Compact, UniqueIds, ChangedIds;
   std::vector<uint32_t> Counts;
-  std::vector<int64_t> Keys;
   std::vector<std::vector<VertexId>> PerThread(
       static_cast<size_t>(omp_get_max_threads()));
 
@@ -113,19 +111,19 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
                            [](VertexId V) { return V != kInvalidVertex; });
 
     if (UseHistogram) {
-      // One update per distinct neighbor, carrying the count (Fig. 10).
+      // One update per distinct neighbor, carrying the count (Fig. 10);
+      // the bucket move reads the freshly written degree inline.
       Hist.reduce(Compact.data(), M, S.Histogram, UniqueIds, Counts);
       Count U = static_cast<Count>(UniqueIds.size());
-      Keys.resize(static_cast<size_t>(U));
       parallelFor(
           0, U,
           [&](Count I) {
             VertexId V = UniqueIds[I];
             Deg[V] = std::max<Priority>(Deg[V] - Counts[I], K);
-            Keys[I] = Deg[V];
           },
           Parallelization::StaticVertexParallel);
-      Queue.updateBuckets(UniqueIds.data(), Keys.data(), U);
+      Queue.updateBucketsWith(UniqueIds.data(), U,
+                              [&](Count, VertexId V) { return Deg[V]; });
       continue;
     }
 
@@ -156,11 +154,8 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
     }
     Count U = static_cast<Count>(ChangedIds.size());
     Changed.release(ChangedIds.data(), U);
-    Keys.resize(static_cast<size_t>(U));
-    parallelFor(
-        0, U, [&](Count I) { Keys[I] = Deg[ChangedIds[I]]; },
-        Parallelization::StaticVertexParallel);
-    Queue.updateBuckets(ChangedIds.data(), Keys.data(), U);
+    Queue.updateBucketsWith(ChangedIds.data(), U,
+                            [&](Count, VertexId V) { return Deg[V]; });
   }
 
   R.Stats.OverflowRebuckets = Queue.overflowRebuckets();

@@ -88,20 +88,16 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
   LazyBucketQueue Queue(N, S.NumOpenBuckets, PriorityOrder::HigherFirst);
   {
     std::vector<VertexId> Ids(static_cast<size_t>(N));
-    std::vector<int64_t> Keys(static_cast<size_t>(N));
     parallelFor(
-        0, N,
-        [&](Count V) {
-          Ids[V] = static_cast<VertexId>(V);
-          Keys[V] = BucketOf(G.outDegree(static_cast<VertexId>(V)) + 1);
-        },
+        0, N, [&](Count V) { Ids[V] = static_cast<VertexId>(V); },
         Parallelization::StaticVertexParallel);
-    Queue.updateBuckets(Ids.data(), Keys.data(), N);
+    Queue.updateBucketsWith(Ids.data(), N, [&](Count, VertexId V) {
+      return BucketOf(G.outDegree(V) + 1);
+    });
   }
 
   std::vector<uint8_t> Won(static_cast<size_t>(N), 0);
   std::vector<VertexId> Requeue;
-  std::vector<int64_t> RequeueKeys;
   std::vector<std::vector<VertexId>> ChosenPerThread(
       static_cast<size_t>(omp_get_max_threads()));
   int64_t RoundSalt = 0;
@@ -179,7 +175,6 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
                             [&](VertexId E) { Reserver[E] = kMaxRank; });
     });
     Requeue.clear();
-    RequeueKeys.clear();
     for (Count I = 0; I < M; ++I) {
       VertexId V = Cands[I];
       if (Won[V]) {
@@ -189,10 +184,10 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
       if (Coverage[V] <= 0)
         continue; // covers nothing anymore; never needed
       Requeue.push_back(V);
-      RequeueKeys.push_back(std::min(B, BucketOf(Coverage[V])));
     }
-    Queue.updateBuckets(Requeue.data(), RequeueKeys.data(),
-                        static_cast<Count>(Requeue.size()));
+    Queue.updateBucketsWith(
+        Requeue.data(), static_cast<Count>(Requeue.size()),
+        [&](Count, VertexId V) { return std::min(B, BucketOf(Coverage[V])); });
   }
 
   for (const std::vector<VertexId> &L : ChosenPerThread)

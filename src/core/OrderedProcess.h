@@ -12,16 +12,22 @@
 ///
 /// Structure (one OpenMP parallel region for the whole run, Fig. 9(c)):
 ///
-///   - each thread owns `LocalBins`, a vector of buckets indexed by
-///     coarsened priority key;
+///   - each thread owns a `LocalBinWindow`, a sliding circular window of
+///     buckets keyed by coarsened priority (keys beyond the window go to a
+///     per-thread overflow list that is migrated as the window slides);
 ///   - a round relaxes the shared frontier (`omp for nowait`), pushing
 ///     improved vertices into thread-local bins — no atomics on buckets;
 ///   - bucket fusion: while a thread's bin for the *current* key is
 ///     non-empty and below `FusionThreshold`, the thread drains it
 ///     immediately, with no global barrier (same-priority rounds fuse;
 ///     ordering is preserved because only equal-priority work is executed);
-///   - threads then propose the minimum non-empty bin key; the winning
-///     bucket is copied into the shared frontier with fetch-and-add.
+///   - threads then propose the minimum non-empty bin key — an O(1)
+///     amortized resume from a tracked per-thread minimum, folded into the
+///     shared next key with an atomic min (no critical section) — and the
+///     winning bucket is copied into the shared frontier with
+///     fetch-and-add. Drained bin storage is recycled in place: the window
+///     is circular, so a slot whose key has passed is reused (still warm)
+///     for the keys that slide into it.
 ///
 /// The engine is generic over the relaxation: `Relax(U, CurrKey, Push)`
 /// re-checks staleness and calls `Push(V, Key)` for every improved
@@ -67,6 +73,111 @@ struct OrderedStats {
 inline constexpr int64_t kMaxEagerKey =
     std::numeric_limits<int64_t>::max() / 2;
 
+namespace detail {
+
+/// Per-thread bucket store of the eager engine: a sliding circular window
+/// of `WindowSize` bins over coarsened keys plus an overflow list for keys
+/// beyond it.
+///
+/// Invariants:
+///  - all bins with keys below `Base` are empty (the global round key is
+///    monotonically non-decreasing, and `advanceTo` only moves `Base` to a
+///    key every thread agreed no earlier work exists for);
+///  - `MinKey` is a lower bound on the smallest non-empty in-window key,
+///    so `proposeMin` resumes where the previous scan stopped instead of
+///    rescanning from key 0 — O(1) amortized per round;
+///  - `OverflowMin` is the exact minimum valid key in `Overflow`.
+///
+/// Storage recycling: the window is circular (`slot = key % WindowSize`),
+/// so bins for passed keys are reused, capacity intact, for the keys that
+/// slide into their slot; the engine's memory is O(WindowSize + overflow)
+/// instead of O(max key ever seen).
+class LocalBinWindow {
+public:
+  explicit LocalBinWindow(int64_t WindowSize)
+      : Slots(static_cast<size_t>(std::max<int64_t>(WindowSize, 2))),
+        Window(static_cast<int64_t>(Slots.size())) {}
+
+  /// Files \p V under \p Key. Keys below the window base (possible only
+  /// with ε-inconsistent A* heuristics) are clamped up to it, which
+  /// re-processes the vertex in the current bucket — the same behavior the
+  /// engine's callers implement by clamping pushed keys at `CurrKey`.
+  void push(VertexId V, int64_t Key) {
+    assert(Key >= 0 && Key < kMaxEagerKey && "bad bucket key");
+    if (Key < Base)
+      Key = Base;
+    if (Key >= Base + Window) {
+      Overflow.push_back({Key, V});
+      OverflowMin = std::min(OverflowMin, Key);
+      return;
+    }
+    Slots[slotOf(Key)].push_back(V);
+    MinKey = std::min(MinKey, Key);
+  }
+
+  /// The bin for in-window key \p Key.
+  std::vector<VertexId> &bin(int64_t Key) { return Slots[slotOf(Key)]; }
+
+  /// True when \p Key is in-window and its bin is non-empty.
+  bool nonEmptyAt(int64_t Key) const {
+    return Key >= Base && Key < Base + Window && !Slots[slotOf(Key)].empty();
+  }
+
+  /// Smallest key with pending work, or kMaxEagerKey. Resumes the scan at
+  /// `MinKey`; every empty slot is skipped at most once per window pass.
+  int64_t proposeMin() {
+    const int64_t End = Base + Window;
+    while (MinKey < End && Slots[slotOf(MinKey)].empty())
+      ++MinKey;
+    return std::min(MinKey < End ? MinKey : kMaxEagerKey, OverflowMin);
+  }
+
+  /// Slides the window so it starts at \p NewBase (the key the round
+  /// agreed to process next) and migrates overflow entries that now fall
+  /// inside it.
+  void advanceTo(int64_t NewBase) {
+    if (NewBase >= kMaxEagerKey || NewBase <= Base)
+      return;
+    Base = NewBase;
+    MinKey = std::max(MinKey, Base);
+    if (OverflowMin < Base + Window)
+      migrateOverflow();
+  }
+
+private:
+  size_t slotOf(int64_t Key) const {
+    return static_cast<size_t>(Key % Window);
+  }
+
+  void migrateOverflow() {
+    size_t Keep = 0;
+    int64_t NewMin = kMaxEagerKey;
+    for (const auto &[Key, V] : Overflow) {
+      // Keys below the new base cannot occur: the base is the global
+      // minimum over every thread's bins *and* overflow.
+      assert(Key >= Base && "overflow entry precedes the window");
+      if (Key < Base + Window) {
+        Slots[slotOf(Key)].push_back(V);
+        MinKey = std::min(MinKey, Key);
+      } else {
+        Overflow[Keep++] = {Key, V};
+        NewMin = std::min(NewMin, Key);
+      }
+    }
+    Overflow.resize(Keep);
+    OverflowMin = NewMin;
+  }
+
+  std::vector<std::vector<VertexId>> Slots;
+  std::vector<std::pair<int64_t, VertexId>> Overflow;
+  int64_t Window;
+  int64_t Base = 0;
+  int64_t MinKey = kMaxEagerKey;
+  int64_t OverflowMin = kMaxEagerKey;
+};
+
+} // namespace detail
+
 /// Runs the eager ordered processing loop (with or without bucket fusion,
 /// per `S.Update`). Keys must be non-negative and monotonically
 /// non-decreasing up to the tolerance handled by clamping in the caller.
@@ -102,17 +213,15 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
 
 #pragma omp parallel
   {
-    std::vector<std::vector<VertexId>> LocalBins;
+    // The window size rides on the lazy engine's bucket-count knob: both
+    // answer "how many coarsened keys ahead do we materialize?".
+    detail::LocalBinWindow Bins(S.NumOpenBuckets);
+    std::vector<VertexId> DrainBuf;
     int64_t LocalFused = 0;
     int64_t LocalFusedVerts = 0;
     int64_t Iter = 0;
 
-    auto Push = [&LocalBins](VertexId V, int64_t Key) {
-      assert(Key >= 0 && Key < kMaxEagerKey && "bad bucket key");
-      if (static_cast<size_t>(Key) >= LocalBins.size())
-        LocalBins.resize(static_cast<size_t>(Key) + 1);
-      LocalBins[static_cast<size_t>(Key)].push_back(V);
-    };
+    auto Push = [&Bins](VertexId V, int64_t Key) { Bins.push(V, Key); };
 
     while (SharedKeys[Iter & 1] != kMaxEagerKey &&
            !Stop(SharedKeys[Iter & 1])) {
@@ -121,43 +230,38 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
       int64_t &CurrTail = FrontierTails[Iter & 1];
       int64_t &NextTail = FrontierTails[(Iter + 1) & 1];
 
+      // All bins below CurrKey are globally empty (CurrKey won the round's
+      // min-reduction): slide the window forward, migrating overflow.
+      Bins.advanceTo(CurrKey);
+
 #pragma omp for nowait schedule(dynamic, kDynamicGrain)
       for (int64_t I = 0; I < CurrTail; ++I)
         Relax(Frontier[static_cast<size_t>(I)], CurrKey, Push);
 
       // Bucket fusion (Fig. 7 lines 14-21): drain the current local bucket
       // without synchronizing, as long as it stays below the threshold
-      // (large buckets go to the global frontier for load balance).
+      // (large buckets go to the global frontier for load balance). The
+      // swap recycles storage both ways: the slot inherits DrainBuf's
+      // cleared capacity, DrainBuf inherits the slot's elements.
       if (Fuse) {
-        while (static_cast<size_t>(CurrKey) < LocalBins.size() &&
-               !LocalBins[static_cast<size_t>(CurrKey)].empty() &&
-               static_cast<int64_t>(
-                   LocalBins[static_cast<size_t>(CurrKey)].size()) <
-                   Threshold) {
-          std::vector<VertexId> Drain =
-              std::move(LocalBins[static_cast<size_t>(CurrKey)]);
-          LocalBins[static_cast<size_t>(CurrKey)].clear();
+        while (Bins.nonEmptyAt(CurrKey) &&
+               static_cast<int64_t>(Bins.bin(CurrKey).size()) < Threshold) {
+          DrainBuf.clear();
+          std::swap(DrainBuf, Bins.bin(CurrKey));
           ++LocalFused;
-          LocalFusedVerts += static_cast<int64_t>(Drain.size());
-          for (VertexId U : Drain)
+          LocalFusedVerts += static_cast<int64_t>(DrainBuf.size());
+          for (VertexId U : DrainBuf)
             Relax(U, CurrKey, Push);
         }
       }
 
-      // Propose the smallest non-empty local bin as the next bucket. The
-      // scan starts at 0 (not CurrKey) so the engine also tolerates
-      // ε-inconsistent heuristics that push a key one bucket back.
-      int64_t MyNext = kMaxEagerKey;
-      for (size_t B = 0; B < LocalBins.size(); ++B) {
-        if (!LocalBins[B].empty()) {
-          MyNext = static_cast<int64_t>(B);
-          break;
-        }
-      }
-      if (MyNext != kMaxEagerKey) {
-#pragma omp critical
-        NextKey = std::min(NextKey, MyNext);
-      }
+      // Propose the smallest pending local key. The scan resumes from the
+      // tracked per-thread minimum (O(1) amortized, not O(max key)), and
+      // the reduction is a lock-free atomic min instead of a critical
+      // section.
+      int64_t MyNext = Bins.proposeMin();
+      if (MyNext != kMaxEagerKey)
+        atomicMin(&NextKey, MyNext);
 
 #pragma omp barrier
 #pragma omp single nowait
@@ -168,10 +272,8 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
         CurrTail = 0;
       }
 
-      if (NextKey != kMaxEagerKey &&
-          static_cast<size_t>(NextKey) < LocalBins.size() &&
-          !LocalBins[static_cast<size_t>(NextKey)].empty()) {
-        std::vector<VertexId> &Bin = LocalBins[static_cast<size_t>(NextKey)];
+      if (Bins.nonEmptyAt(NextKey)) {
+        std::vector<VertexId> &Bin = Bins.bin(NextKey);
         int64_t CopyStart =
             fetchAdd(&NextTail, static_cast<int64_t>(Bin.size()));
         if (CopyStart + static_cast<int64_t>(Bin.size()) >

@@ -35,15 +35,14 @@ PriorityQueue::PriorityQueue(bool AllowCoarsening, PriorityOrder Order,
   }
   // No start vertex: enqueue everything with a non-null priority.
   ScratchIds.clear();
-  ScratchKeys.clear();
   for (Count V = 0; V < N; ++V) {
     if (Prio[V] == kNullPriority)
       continue;
     ScratchIds.push_back(static_cast<VertexId>(V));
-    ScratchKeys.push_back(coarsen(Prio[V]));
   }
-  Queue.updateBuckets(ScratchIds.data(), ScratchKeys.data(),
-                      static_cast<Count>(ScratchIds.size()));
+  Queue.updateBucketsWith(ScratchIds.data(),
+                          static_cast<Count>(ScratchIds.size()),
+                          [&](Count, VertexId V) { return coarsen(Prio[V]); });
 }
 
 void PriorityQueue::notePriorityChange(VertexId V) {
@@ -107,23 +106,20 @@ void PriorityQueue::flushPending() {
   Count M = static_cast<Count>(ScratchIds.size());
   ChangedFlags.release(ScratchIds.data(), M);
 
-  ScratchKeys.resize(static_cast<size_t>(M));
-  // Clamp keys at the current bucket: a vertex whose priority already
-  // passed the current bucket is re-processed immediately rather than
+  // Fused handoff: keys are computed inline from the priority vector as
+  // the queue scatters, clamped at the current bucket so a vertex whose
+  // priority already passed it is re-processed immediately rather than
   // violating monotonicity (relevant only to ε-inconsistent heuristics).
   bool HaveCurrent = CurrentPriority != kNullPriority;
   int64_t CurKey = HaveCurrent ? CurrentPriority / Delta : 0;
-  for (Count I = 0; I < M; ++I) {
-    int64_t Key = coarsen(Prio[ScratchIds[I]]);
-    if (HaveCurrent) {
-      if (Order == PriorityOrder::LowerFirst)
-        Key = std::max(Key, CurKey);
-      else
-        Key = std::min(Key, CurKey);
-    }
-    ScratchKeys[I] = Key;
-  }
-  Queue.updateBuckets(ScratchIds.data(), ScratchKeys.data(), M);
+  Queue.updateBucketsWith(
+      ScratchIds.data(), M, [&](Count, VertexId V) {
+        int64_t Key = coarsen(Prio[V]);
+        if (HaveCurrent)
+          Key = Order == PriorityOrder::LowerFirst ? std::max(Key, CurKey)
+                                                   : std::min(Key, CurKey);
+        return Key;
+      });
 }
 
 bool PriorityQueue::finished() {

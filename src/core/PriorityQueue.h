@@ -104,7 +104,6 @@ private:
 
   DedupFlags ChangedFlags;
   std::vector<std::vector<VertexId>> PendingPerThread;
-  std::vector<int64_t> ScratchKeys;
   std::vector<VertexId> ScratchIds;
 };
 

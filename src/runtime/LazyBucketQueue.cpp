@@ -17,15 +17,6 @@
 
 using namespace graphit;
 
-namespace {
-
-/// Threshold below which bulk operations run serially; lazy bucketing's
-/// per-round overhead on tiny rounds is part of what Table 7 measures, but
-/// a parallel scatter on a 4-element round would overstate it absurdly.
-constexpr Count kSerialCutoff = 4096;
-
-} // namespace
-
 LazyBucketQueue::LazyBucketQueue(Count NumNodes, int NumOpenBuckets,
                                  PriorityOrder Order)
     : NumNodes(NumNodes), NumOpen(std::max(1, NumOpenBuckets)), Order(Order),
@@ -60,37 +51,24 @@ void LazyBucketQueue::place(VertexId V, int64_t Key) {
     Overflow.push_back(V);
 }
 
-void LazyBucketQueue::updateBuckets(const VertexId *Vs, const int64_t *Keys,
-                                    Count M) {
-  if (M == 0)
-    return;
-
-  if (M < kSerialCutoff) {
-    for (Count I = 0; I < M; ++I)
-      insert(Vs[I], Keys[I]);
-    return;
-  }
-
-  // Update authoritative keys and count fresh insertions.
-  int64_t Fresh = 0;
-#pragma omp parallel for schedule(static) reduction(+ : Fresh)
-  for (Count I = 0; I < M; ++I) {
-    VertexId V = Vs[I];
-    if (KeyOf_[V] == kNoBucket)
-      ++Fresh;
-    KeyOf_[V] = toInternal(Keys[I]);
-  }
-  Pending += Fresh;
-
-  // Scatter into bucket arrays: two-pass per-thread counting so each
-  // destination vector is resized exactly once.
-  int NumSlots = NumOpen + 1; // +1 = overflow
+void LazyBucketQueue::scatterByStoredKey(const VertexId *Vs, Count M) {
+  // Two-pass per-thread counting scatter so each destination vector is
+  // resized exactly once. Slots are read back from the authoritative key
+  // array, which lets every bulk path — explicit key arrays, fused key
+  // functions, and overflow re-bucketing — share this one parallel
+  // kernel. Every entry must carry a live key: updateBucketsWith writes
+  // one for each vertex right before scattering, and rebucketOverflow
+  // filters stale entries first.
+  const int NumSlots = NumOpen + 1; // +1 = overflow
+  const int OverflowSlot = NumOpen;
   auto SlotOf = [&](Count I) -> int {
+    int64_t K = KeyOf_[Vs[I]];
+    assert(K != kNoBucket && "stale entry reached the bulk scatter");
     if (!WindowInitialized)
-      return NumOpen;
-    int64_t Slot = toInternal(Keys[I]) - WindowStart;
+      return OverflowSlot;
+    int64_t Slot = K - WindowStart;
     assert(Slot >= CurSlot && "priority inversion in bulk update");
-    return Slot < NumOpen ? static_cast<int>(Slot) : NumOpen;
+    return Slot < NumOpen ? static_cast<int>(Slot) : OverflowSlot;
   };
 
   int NumThreads = omp_get_max_threads();
@@ -108,7 +86,6 @@ void LazyBucketQueue::updateBuckets(const VertexId *Vs, const int64_t *Keys,
   }
 
   // Base write offset for (thread, slot), and final size per slot.
-  std::vector<int64_t> SlotBase(NumSlots, 0);
   for (int S = 0; S < NumSlots; ++S) {
     std::vector<VertexId> &Dest = S < NumOpen ? Open[S] : Overflow;
     int64_t Base = static_cast<int64_t>(Dest.size());
@@ -117,7 +94,6 @@ void LazyBucketQueue::updateBuckets(const VertexId *Vs, const int64_t *Keys,
       SlotCounts[static_cast<size_t>(T) * NumSlots + S] = Base;
       Base += C;
     }
-    SlotBase[S] = Base; // final size
     Dest.resize(static_cast<size_t>(Base));
   }
 
@@ -175,27 +151,30 @@ void LazyBucketQueue::extractValid(std::vector<VertexId> &Arr,
            atomicCAS(&KeyOf_[V], K, kNoBucket);
   };
 
-  if (N < kSerialCutoff) {
+  if (N < kBulkParallelCutoff) {
     for (VertexId V : Arr)
       if (TryClaim(V))
         CurrentBucket.push_back(V);
     return;
   }
 
-  // Parallel: claim in one pass (side-effecting), then pack by the
-  // recorded outcome.
-  std::vector<uint8_t> Won(static_cast<size_t>(N));
+  // Parallel: claim in one pass, marking losers in place (the caller
+  // clears Arr afterwards, so it doubles as the mark buffer), then pack
+  // the winners — order-preserving and deterministic, with no extra count
+  // pass or per-entry flag array.
   parallelFor(
-      0, N, [&](Count I) { Won[I] = TryClaim(Arr[I]) ? 1 : 0; },
+      0, N,
+      [&](Count I) {
+        if (!TryClaim(Arr[I]))
+          Arr[I] = kInvalidVertex;
+      },
       Parallelization::StaticVertexParallel);
   Count Base = static_cast<Count>(CurrentBucket.size());
-  Count Total = parallelSum(0, N, [&](Count I) { return Won[I] ? 1 : 0; });
-  CurrentBucket.resize(static_cast<size_t>(Base + Total));
-  // Sequential placement of winners preserves order deterministically.
-  Count Pos = Base;
-  for (Count I = 0; I < N; ++I)
-    if (Won[I])
-      CurrentBucket[static_cast<size_t>(Pos++)] = Arr[I];
+  CurrentBucket.resize(static_cast<size_t>(Base + N));
+  Count Kept =
+      parallelPack(Arr.data(), N, CurrentBucket.data() + Base,
+                   [](VertexId V) { return V != kInvalidVertex; });
+  CurrentBucket.resize(static_cast<size_t>(Base + Kept));
 }
 
 bool LazyBucketQueue::rebucketOverflow() {
@@ -203,31 +182,34 @@ bool LazyBucketQueue::rebucketOverflow() {
     return false;
   ++OverflowRebuckets;
 
+  // Drop stale entries with a parallel pack into recycled scratch storage,
+  // then find the new window start over the survivors only.
   Count N = static_cast<Count>(Overflow.size());
-  int64_t MinKey = parallelMin(0, N, kNoValidKey, [&](Count I) {
-    int64_t K = KeyOf_[Overflow[I]];
-    return K == kNoBucket ? kNoValidKey : K;
-  });
-  if (MinKey == kNoValidKey) {
-    Overflow.clear();
+  Scratch.resize(static_cast<size_t>(N));
+  Count Valid =
+      parallelPack(Overflow.data(), N, Scratch.data(),
+                   [this](VertexId V) { return KeyOf_[V] != kNoBucket; });
+  Overflow.clear();
+  if (Valid == 0)
     return false;
-  }
+
+  int64_t MinKey = parallelMin(0, Valid, kNoValidKey, [&](Count I) {
+    return KeyOf_[Scratch[I]];
+  });
 
   WindowStart = MinKey;
   CurSlot = 0;
   WindowInitialized = true;
 
-  std::vector<VertexId> Old = std::move(Overflow);
-  Overflow.clear();
-  for (VertexId V : Old) {
-    int64_t K = KeyOf_[V];
-    if (K == kNoBucket)
-      continue; // stale
-    int64_t Slot = K - WindowStart;
-    if (Slot < NumOpen)
-      Open[static_cast<size_t>(Slot)].push_back(V);
-    else
-      Overflow.push_back(V);
+  // The survivors' keys are authoritative, so the shared parallel scatter
+  // re-buckets them (the old serial loop over the whole overflow array was
+  // the last single-threaded pass on this path). Small survivor sets skip
+  // the fork/join like every other bulk path.
+  if (Valid < kBulkParallelCutoff) {
+    for (Count I = 0; I < Valid; ++I)
+      place(Scratch[I], KeyOf_[Scratch[I]]);
+  } else {
+    scatterByStoredKey(Scratch.data(), Valid);
   }
   return true;
 }

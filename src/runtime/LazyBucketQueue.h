@@ -29,6 +29,7 @@
 #ifndef GRAPHIT_RUNTIME_LAZYBUCKETQUEUE_H
 #define GRAPHIT_RUNTIME_LAZYBUCKETQUEUE_H
 
+#include "support/Atomics.h"
 #include "support/Types.h"
 
 #include <functional>
@@ -57,14 +58,46 @@ public:
   void insert(VertexId V, int64_t Key);
 
   /// Bulk parallel insert/move: sets the key of `Vs[i]` to `Keys[i]` and
-  /// moves it to the corresponding bucket. A vertex may be updated at most
-  /// once per call. Keys must not precede the current bucket.
-  void updateBuckets(const VertexId *Vs, const int64_t *Keys, Count M);
+  /// moves it to the corresponding bucket. A vertex SHOULD appear at most
+  /// once per call (traversal-level dedup guarantees this for generated
+  /// code); if duplicates slip through, the last write to the key wins
+  /// nondeterministically, but `pendingEstimate` stays exact — fresh
+  /// insertions are counted by atomically exchanging the old key, so a
+  /// vertex can never be counted twice. Keys must not precede the current
+  /// bucket.
+  void updateBuckets(const VertexId *Vs, const int64_t *Keys, Count M) {
+    updateBucketsWith(Vs, M, [Keys](Count I, VertexId) { return Keys[I]; });
+  }
 
   /// Convenience overload.
   void updateBuckets(const std::vector<VertexId> &Vs,
                      const std::vector<int64_t> &Keys) {
     updateBuckets(Vs.data(), Keys.data(), static_cast<Count>(Vs.size()));
+  }
+
+  /// The fused form of `updateBuckets` (§5.1, the redesigned lazy
+  /// interface): keys are computed inline by `Key(I, Vs[I])` during the
+  /// authoritative-key pass, so callers scatter straight from a changed-
+  /// vertex list into buckets without materializing a parallel key array.
+  template <typename KeyFn>
+  void updateBucketsWith(const VertexId *Vs, Count M, KeyFn &&Key) {
+    if (M == 0)
+      return;
+    if (M < kBulkParallelCutoff) {
+      for (Count I = 0; I < M; ++I)
+        insert(Vs[I], Key(I, Vs[I]));
+      return;
+    }
+    int64_t Fresh = 0;
+#pragma omp parallel for schedule(static) reduction(+ : Fresh)
+    for (Count I = 0; I < M; ++I) {
+      int64_t Old = atomicExchange(&KeyOf_[Vs[I]],
+                                   toInternal(Key(I, Vs[I])));
+      if (Old == kNoBucket)
+        ++Fresh;
+    }
+    Pending += Fresh;
+    scatterByStoredKey(Vs, M);
   }
 
   /// Advances to the next non-empty bucket, extracting its members (they
@@ -104,12 +137,23 @@ private:
   /// Internal sentinel used while reducing over overflow keys.
   static constexpr int64_t kNoValidKey = std::numeric_limits<int64_t>::max();
 
+  /// Bulk operations below this size run serially; lazy bucketing's
+  /// per-round overhead on tiny rounds is part of what Table 7 measures,
+  /// and a parallel scatter on a 4-element round would overstate it.
+  static constexpr Count kBulkParallelCutoff = 4096;
+
   /// Places \p V (with internal key \p Key) into an open slot or overflow.
   /// Caller must have set KeyOf_[V].
   void place(VertexId V, int64_t Key);
 
+  /// Parallel two-pass scatter of \p Vs into the open window / overflow by
+  /// each vertex's authoritative `KeyOf_` entry (set by the caller). Stale
+  /// entries (kNoBucket) are dropped.
+  void scatterByStoredKey(const VertexId *Vs, Count M);
+
   /// Moves the still-valid members of \p Arr (a bucket array for internal
-  /// key \p SlotKey) into CurrentBucket, claiming each exactly once.
+  /// key \p SlotKey) into CurrentBucket, claiming each exactly once. May
+  /// overwrite \p Arr's contents (the caller clears it afterwards).
   void extractValid(std::vector<VertexId> &Arr, int64_t SlotKey);
 
   /// Moves valid overflow entries into the new window starting at the
@@ -129,6 +173,7 @@ private:
   bool WindowInitialized = false;
 
   std::vector<VertexId> CurrentBucket;
+  std::vector<VertexId> Scratch; ///< recycled bulk-op staging storage
   int64_t CurrentKeyUser = 0;
   Count Pending = 0;
   int64_t OverflowRebuckets = 0;

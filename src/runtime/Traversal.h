@@ -57,7 +57,16 @@ public:
   std::vector<VertexId> OutEdges;
   std::vector<uint8_t> FrontierDense;
   std::vector<uint8_t> NextDense;
+  std::vector<VertexId> PackBuf; ///< grow-only pack target, never shrunk
   std::vector<VertexId> Packed;
+
+  /// The pack scratch sized for \p Needed elements. Grow-only, so rounds
+  /// after the high-water mark pay no per-round value-initialization.
+  VertexId *packScratch(int64_t Needed) {
+    if (PackBuf.size() < static_cast<size_t>(Needed))
+      PackBuf.resize(static_cast<size_t>(Needed));
+    return PackBuf.data();
+  }
 };
 
 /// Applies an update function over the out-edges of \p Frontier and returns
@@ -107,11 +116,12 @@ edgeApplyOut(const Graph &G, const std::vector<VertexId> &Frontier,
             Buffers.NextDense[D] = 1;
         },
         Par);
-    // Pack set bits into the sparse output.
-    Buffers.Packed.clear();
-    for (Count D = 0; D < N; ++D)
-      if (Buffers.NextDense[D])
-        Buffers.Packed.push_back(static_cast<VertexId>(D));
+    // Pack set bits into the sparse output in parallel (the serial scan
+    // here was an O(n)-per-round tax on every dense round).
+    VertexId *Scratch = Buffers.packScratch(N);
+    Count Kept = parallelPackIndex(
+        N, Scratch, [&](Count D) { return Buffers.NextDense[D] != 0; });
+    Buffers.Packed.assign(Scratch, Scratch + Kept);
     return Buffers.Packed;
   }
 
@@ -149,11 +159,10 @@ edgeApplyOut(const Graph &G, const std::vector<VertexId> &Frontier,
       },
       Par);
 
-  Buffers.Packed.resize(static_cast<size_t>(TotalEdges));
-  Count Kept = parallelPack(Buffers.OutEdges.data(), TotalEdges,
-                            Buffers.Packed.data(),
+  VertexId *Scratch = Buffers.packScratch(TotalEdges);
+  Count Kept = parallelPack(Buffers.OutEdges.data(), TotalEdges, Scratch,
                             [](VertexId V) { return V != kInvalidVertex; });
-  Buffers.Packed.resize(static_cast<size_t>(Kept));
+  Buffers.Packed.assign(Scratch, Scratch + Kept);
   Buffers.Dedup.release(Buffers.Packed.data(), Kept);
   return Buffers.Packed;
 }

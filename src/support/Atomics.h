@@ -66,6 +66,21 @@ template <typename T> bool atomicWriteMax(T *Target, T Value) {
   return false;
 }
 
+/// Atomically lowers `*Target` to \p Value if `Value < *Target`, without
+/// reporting whether it did. This is the reduction primitive of the eager
+/// engine's next-bucket proposal (it replaces the former `omp critical`
+/// section): every thread publishes its candidate and nobody needs the
+/// outcome.
+template <typename T> void atomicMin(T *Target, T Value) {
+  (void)atomicWriteMin(Target, Value);
+}
+
+/// Atomically stores \p Value and \returns the previous value.
+template <typename T> T atomicExchange(T *Target, T Value) {
+  return detail::asAtomic(*Target).exchange(Value,
+                                            std::memory_order_acq_rel);
+}
+
 /// Atomically adds \p Delta to `*Target`. \returns the previous value.
 template <typename T> T fetchAdd(T *Target, T Delta) {
   return detail::asAtomic(*Target).fetch_add(Delta,

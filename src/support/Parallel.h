@@ -106,19 +106,24 @@ inline int64_t exclusivePrefixSum(std::vector<int64_t> &Values) {
                             static_cast<Count>(Values.size()));
 }
 
-/// Parallel filter: copies every element of [In, In+N) for which
-/// `Keep(Element)` holds into \p Out (preserving order) and returns the
-/// number of kept elements. \p Out must have room for N elements.
-template <typename T, typename KeepFn>
-Count parallelPack(const T *In, Count N, T *Out, KeepFn &&Keep) {
+/// Per-block trip count below which the blocked pack kernel falls back to
+/// one sequential pass (two parallel passes cost more than they save).
+inline constexpr Count kPackSerialBlockFloor = 2048;
+
+namespace detail {
+
+/// Shared kernel of `parallelPack` / `parallelPackIndex`: writes
+/// `Get(I)` for every index I in [0, N) with `Keep(I)`, order-preserving,
+/// using a blocked count / prefix-sum / scatter scheme.
+template <typename OutT, typename KeepIdxFn, typename GetFn>
+Count packImpl(Count N, OutT *Out, KeepIdxFn &&Keep, GetFn &&Get) {
   int NumBlocks = std::max(1, getNumWorkers() * 4);
   Count BlockSize = (N + NumBlocks - 1) / NumBlocks;
-  if (BlockSize < 2048) {
-    // Small inputs: sequential pack is faster than two parallel passes.
+  if (BlockSize < kPackSerialBlockFloor) {
     Count M = 0;
     for (Count I = 0; I < N; ++I)
-      if (Keep(In[I]))
-        Out[M++] = In[I];
+      if (Keep(I))
+        Out[M++] = Get(I);
     return M;
   }
   std::vector<int64_t> BlockCounts(NumBlocks + 1, 0);
@@ -127,7 +132,7 @@ Count parallelPack(const T *In, Count N, T *Out, KeepFn &&Keep) {
     Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
     int64_t Kept = 0;
     for (Count I = Lo; I < Hi; ++I)
-      Kept += Keep(In[I]) ? 1 : 0;
+      Kept += Keep(I) ? 1 : 0;
     BlockCounts[B] = Kept;
   }
   int64_t Total = exclusivePrefixSum(BlockCounts.data(), NumBlocks + 1);
@@ -136,10 +141,32 @@ Count parallelPack(const T *In, Count N, T *Out, KeepFn &&Keep) {
     Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
     Count Pos = BlockCounts[B];
     for (Count I = Lo; I < Hi; ++I)
-      if (Keep(In[I]))
-        Out[Pos++] = In[I];
+      if (Keep(I))
+        Out[Pos++] = Get(I);
   }
   return Total;
+}
+
+} // namespace detail
+
+/// Parallel filter: copies every element of [In, In+N) for which
+/// `Keep(Element)` holds into \p Out (preserving order) and returns the
+/// number of kept elements. \p Out must have room for N elements.
+template <typename T, typename KeepFn>
+Count parallelPack(const T *In, Count N, T *Out, KeepFn &&Keep) {
+  return detail::packImpl(
+      N, Out, [&](Count I) { return Keep(In[I]); },
+      [&](Count I) { return In[I]; });
+}
+
+/// Parallel index filter: writes every index I in [0, N) for which
+/// `Keep(I)` holds into \p Out (ascending) and returns how many were
+/// written. \p Out must have room for N elements. The index-based twin of
+/// `parallelPack`, for packing positions of set bits out of a dense map.
+template <typename OutT, typename KeepFn>
+Count parallelPackIndex(Count N, OutT *Out, KeepFn &&Keep) {
+  return detail::packImpl(N, Out, Keep,
+                          [](Count I) { return static_cast<OutT>(I); });
 }
 
 } // namespace graphit

@@ -14,6 +14,7 @@
 
 #include "graph/Builder.h"
 #include "graph/Generators.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -176,6 +177,64 @@ TEST(EagerEngine, StopPredicateCutsExecution) {
   EXPECT_EQ(Dist[4], 4);
   EXPECT_EQ(Dist[10], kInfiniteDistance);
   EXPECT_LE(Stats.Rounds, 7);
+}
+
+TEST(EagerEngine, TinyWindowSlidesAcrossWideKeyRange) {
+  // A 4-bin window with delta=1 and weights up to 64 forces constant
+  // overflow filing and migration while the window slides across tens of
+  // thousands of distinct keys; results must match the default window.
+  Count N = 2000;
+  std::vector<Edge> Edges = pathEdges(N);
+  for (size_t I = 0; I < Edges.size(); ++I)
+    Edges[I].W = 1 + static_cast<Weight>(hash64(I) % 64);
+  Graph G = GraphBuilder().build(N, Edges);
+  std::vector<Priority> Expected = dijkstraRef(G, 0);
+
+  for (UpdateStrategy U :
+       {UpdateStrategy::EagerWithFusion, UpdateStrategy::EagerNoFusion}) {
+    Schedule Tiny;
+    Tiny.Update = U;
+    Tiny.Delta = 1;
+    Tiny.NumOpenBuckets = 4;
+    OrderedStats Stats;
+    EXPECT_EQ(runEager(G, 0, Tiny, &Stats), Expected);
+    // Stats invariants: every vertex settles through a global or fused
+    // round, and the totals add up.
+    EXPECT_EQ(Stats.totalRounds(), Stats.Rounds + Stats.FusedRounds);
+    EXPECT_GE(Stats.VerticesProcessed, N - 1);
+    if (U == UpdateStrategy::EagerNoFusion)
+      EXPECT_EQ(Stats.FusedRounds, 0);
+  }
+}
+
+TEST(EagerEngine, WindowSizeDoesNotChangeResultsOrFusionAccounting) {
+  // Bin recycling must be invisible: a window of 2 (minimum), the default
+  // 128, and one larger than the whole key range produce identical
+  // distances, and fusion still collapses same-bucket rounds under each.
+  Graph G = GraphBuilder().build(3000, pathEdges(3000));
+  std::vector<Priority> Expected = dijkstraRef(G, 0);
+  for (int Buckets : {2, 128, 100000}) {
+    Schedule S;
+    S.Update = UpdateStrategy::EagerWithFusion;
+    S.Delta = 64;
+    S.NumOpenBuckets = Buckets;
+    OrderedStats Stats;
+    EXPECT_EQ(runEager(G, 0, S, &Stats), Expected) << Buckets;
+    EXPECT_GT(Stats.FusedRounds, 0) << Buckets;
+    EXPECT_LT(Stats.Rounds, 3000 / 64 + 4)
+        << "fusion must keep global rounds near the bucket count";
+  }
+}
+
+TEST(EagerEngine, RmatWithTinyWindowMatchesDijkstra) {
+  std::vector<Edge> Edges = rmatEdges(11, 8, 99);
+  assignRandomWeights(Edges, 1, 1000, 3);
+  Graph G = GraphBuilder().build(Count{1} << 11, Edges);
+  Schedule S;
+  S.Update = UpdateStrategy::EagerWithFusion;
+  S.Delta = 4;
+  S.NumOpenBuckets = 3;
+  EXPECT_EQ(runEager(G, 7, S), dijkstraRef(G, 7));
 }
 
 TEST(EagerEngine, VertexCountsAccumulate) {

@@ -184,6 +184,69 @@ TEST(Parallel, PackAllAndNone) {
             0);
 }
 
+TEST(Parallel, PackBlockBoundarySizes) {
+  // The blocked pack splits N into getNumWorkers()*4 blocks and falls back
+  // to a serial pass below a block-size floor; sizes straddling both the
+  // serial/parallel switch and exact block multiples are where off-by-one
+  // bugs in the two-pass offsets would hide.
+  const Count NumBlocks = std::max(1, getNumWorkers() * 4);
+  const Count Boundary = kPackSerialBlockFloor * NumBlocks;
+  for (Count N : {Boundary - 1, Boundary, Boundary + 1, Boundary + NumBlocks,
+                  2 * Boundary - 1, 2 * Boundary + 1}) {
+    std::vector<uint32_t> In(static_cast<size_t>(N)),
+        Out(static_cast<size_t>(N));
+    std::vector<uint32_t> Expected;
+    for (Count I = 0; I < N; ++I) {
+      In[I] = static_cast<uint32_t>(hash64(static_cast<uint64_t>(I)));
+      if (In[I] % 7 == 0)
+        Expected.push_back(In[I]);
+    }
+    Count M = parallelPack(In.data(), N, Out.data(),
+                           [](uint32_t X) { return X % 7 == 0; });
+    ASSERT_EQ(M, static_cast<Count>(Expected.size())) << "N=" << N;
+    Out.resize(static_cast<size_t>(M));
+    EXPECT_EQ(Out, Expected) << "N=" << N;
+  }
+}
+
+TEST(Parallel, PackIndexMatchesSerialAtBoundaries) {
+  const Count NumBlocks = std::max(1, getNumWorkers() * 4);
+  const Count Boundary = kPackSerialBlockFloor * NumBlocks;
+  for (Count N : {Count{0}, Count{5}, Boundary - 1, Boundary, Boundary + 1}) {
+    std::vector<uint8_t> Bits(static_cast<size_t>(std::max<Count>(N, 1)));
+    std::vector<uint32_t> Expected;
+    for (Count I = 0; I < N; ++I) {
+      Bits[I] = hash64(static_cast<uint64_t>(I) * 31) % 5 == 0 ? 1 : 0;
+      if (Bits[I])
+        Expected.push_back(static_cast<uint32_t>(I));
+    }
+    std::vector<uint32_t> Out(static_cast<size_t>(std::max<Count>(N, 1)));
+    Count M = parallelPackIndex(N, Out.data(),
+                                [&](Count I) { return Bits[I] != 0; });
+    ASSERT_EQ(M, static_cast<Count>(Expected.size())) << "N=" << N;
+    Out.resize(static_cast<size_t>(M));
+    EXPECT_EQ(Out, Expected) << "N=" << N;
+  }
+}
+
+TEST(Atomics, AtomicMinLowersConcurrently) {
+  int64_t Target = std::numeric_limits<int64_t>::max();
+#pragma omp parallel for
+  for (int I = 0; I < 10000; ++I)
+    atomicMin(&Target, static_cast<int64_t>(hash64(I) % 1000000) + 17);
+  int64_t Expected = std::numeric_limits<int64_t>::max();
+  for (int I = 0; I < 10000; ++I)
+    Expected =
+        std::min(Expected, static_cast<int64_t>(hash64(I) % 1000000) + 17);
+  EXPECT_EQ(Target, Expected);
+}
+
+TEST(Atomics, ExchangeReturnsPrevious) {
+  int64_t X = 5;
+  EXPECT_EQ(atomicExchange(&X, int64_t{9}), 5);
+  EXPECT_EQ(X, 9);
+}
+
 TEST(Parallel, WorkerCountIsPositiveAndSettable) {
   int Original = getNumWorkers();
   EXPECT_GE(Original, 1);

@@ -8,11 +8,36 @@
 #include "algorithms/AStar.h"
 
 #include "algorithms/DistanceEngine.h"
+#include "algorithms/QueryState.h"
 #include "support/Abort.h"
 
 #include <cmath>
 
 using namespace graphit;
+
+namespace {
+
+/// Shared A* core over a caller-provided distance array. \p Heur is any
+/// admissible, consistent remaining-distance bound with h(target) = 0.
+template <typename HeurFn, typename TouchFn>
+PPSPResult aStarRun(const Graph &G, VertexId Source, VertexId Target,
+                    const Schedule &S, std::vector<Priority> &Dist,
+                    HeurFn &&Heur, TouchFn &&Touch,
+                    std::vector<VertexId> *FrontierScratch = nullptr) {
+  const int64_t Delta = S.Delta;
+  // h(target) = 0, so the PPSP stop condition transfers to f-space
+  // unchanged: buckets at key i hold f >= iΔ >= dist(target) = f(target).
+  auto Stop = [&](int64_t CurrKey) {
+    Priority Best = atomicLoad(&Dist[Target]);
+    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+  };
+  OrderedStats Stats = detail::distanceOrderedRun(
+      G, Source, Dist, S, std::forward<HeurFn>(Heur), Stop,
+      std::forward<TouchFn>(Touch), FrontierScratch);
+  return PPSPResult{Dist[Target], Stats};
+}
+
+} // namespace
 
 Priority graphit::aStarHeuristic(const Graph &G, VertexId V,
                                  VertexId Target) {
@@ -34,15 +59,27 @@ PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
   std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
                              kInfiniteDistance);
   Dist[Source] = 0;
-  const int64_t Delta = S.Delta;
   auto Heur = [&](VertexId V) { return aStarHeuristic(G, V, Target); };
-  // h(target) = 0, so the PPSP stop condition transfers to f-space
-  // unchanged: buckets at key i hold f >= iΔ >= dist(target) = f(target).
-  auto Stop = [&](int64_t CurrKey) {
-    Priority Best = atomicLoad(&Dist[Target]);
-    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+  return aStarRun(G, Source, Target, S, Dist, Heur, detail::NoTouchFn{});
+}
+
+PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
+                                VertexId Target, const Schedule &S,
+                                DistanceState &State,
+                                const AStarHeuristic *Heur) {
+  if (!Heur && !G.hasCoordinates())
+    fatalError("aStarSearch: graph has no coordinates and no heuristic");
+  State.beginQuery(Source);
+  auto Touch = [&State](VertexId V, VertexId From) {
+    State.recordImprovement(V, From);
   };
-  OrderedStats Stats =
-      detail::distanceOrderedRun(G, Source, Dist, S, Heur, Stop);
-  return PPSPResult{Dist[Target], Stats};
+  if (Heur)
+    return aStarRun(
+        G, Source, Target, S, State.distances(),
+        [&](VertexId V) { return Heur->estimate(V, Target); }, Touch,
+        &State.frontierScratch());
+  return aStarRun(
+      G, Source, Target, S, State.distances(),
+      [&](VertexId V) { return aStarHeuristic(G, V, Target); }, Touch,
+      &State.frontierScratch());
 }

@@ -26,11 +26,31 @@
 
 namespace graphit {
 
+class DistanceState;
+
+/// Pluggable admissible-heuristic hook for A*. Implementations must return
+/// a lower bound on the remaining distance to \p Target that is also
+/// consistent (h(u) <= w(u,v) + h(v) along every edge); the service
+/// layer's ALT landmark cache plugs in through this interface.
+class AStarHeuristic {
+public:
+  virtual ~AStarHeuristic() = default;
+  virtual Priority estimate(VertexId V, VertexId Target) const = 0;
+};
+
 /// A* from \p Source to \p Target. Requires `G.hasCoordinates()`.
 PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
                        const Schedule &S);
 
-/// The heuristic used by `aStarSearch`, exposed for tests:
+/// Pooled-state variant (O(touched) setup; see algorithms/QueryState.h).
+/// Calls `State.beginQuery(Source)` itself. With a null \p Heur the
+/// coordinate heuristic is used (requires `G.hasCoordinates()`); otherwise
+/// \p Heur supplies the bound and coordinates are not required.
+PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
+                       const Schedule &S, DistanceState &State,
+                       const AStarHeuristic *Heur = nullptr);
+
+/// The coordinate heuristic used by `aStarSearch`, exposed for tests:
 /// floor(50 x euclidean distance to target).
 Priority aStarHeuristic(const Graph &G, VertexId V, VertexId Target);
 

@@ -24,12 +24,14 @@ SSSPResult graphit::bellmanFordSSSP(const Graph &G, VertexId Source,
   std::vector<VertexId> Frontier = {Source};
 
   auto Push = [&](VertexId S, VertexId D, Weight W) {
-    return atomicWriteMin(&Dist[D], Dist[S] + W);
+    return atomicWriteMin(&Dist[D], atomicLoadRelaxed(&Dist[S]) + W);
   };
   auto Pull = [&](VertexId S, VertexId D, Weight W) {
     Priority ND = atomicLoad(&Dist[S]) + W;
     if (ND < Dist[D]) {
-      Dist[D] = ND;
+      // D is thread-owned in a pull round but read concurrently as a
+      // source by other threads.
+      atomicStoreRelaxed(&Dist[D], ND);
       return true;
     }
     return false;

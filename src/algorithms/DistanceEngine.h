@@ -41,16 +41,29 @@
 namespace graphit {
 namespace detail {
 
+/// Default (no-op) improvement observer for `distanceOrderedRun`.
+struct NoTouchFn {
+  void operator()(VertexId, VertexId) const {}
+};
+
 /// Runs the ordered distance computation. \p Dist must be initialized
 /// (kInfiniteDistance everywhere except the source). \p Heur maps a vertex
 /// to an admissible, consistent lower bound on its remaining distance
 /// (return 0 for plain SSSP). \p Stop is evaluated on round-stable state at
-/// bucket boundaries with the current bucket key.
-template <typename HeurFn, typename StopFn>
+/// bucket boundaries with the current bucket key. \p Touch is invoked as
+/// `Touch(V, U)` after every successful relaxation that lowered `Dist[V]`
+/// via the edge (U, V); it may run concurrently from many threads and must
+/// synchronize internally (the QueryEngine's pooled state uses it to log
+/// touched vertices and parents; the default is a no-op).
+/// \p FrontierScratch optionally reuses the eager engine's O(E) frontier
+/// buffer across runs (see eagerOrderedProcess).
+template <typename HeurFn, typename StopFn, typename TouchFn = NoTouchFn>
 OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
                                 std::vector<Priority> &Dist,
                                 const Schedule &S, HeurFn &&Heur,
-                                StopFn &&Stop) {
+                                StopFn &&Stop, TouchFn &&Touch = TouchFn{},
+                                std::vector<VertexId> *FrontierScratch =
+                                    nullptr) {
   OrderedStats Stats;
   const int64_t Delta = S.Delta;
   if (Dist[Source] != 0)
@@ -58,19 +71,25 @@ OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
 
   if (S.isEager()) {
     auto Relax = [&](VertexId U, int64_t CurrKey, auto &&Push) {
-      Priority DU = Dist[U];
+      // Relaxed atomic loads: other threads CAS these slots concurrently;
+      // the pre-check needs no ordering (atomicWriteMin re-validates) but
+      // a plain load would be a data race.
+      Priority DU = atomicLoadRelaxed(&Dist[U]);
       if ((DU + Heur(U)) / Delta < CurrKey)
         return; // stale: settled in an earlier bucket
       for (WNode E : G.outNeighbors(U)) {
         Priority ND = DU + E.W;
-        if (ND < Dist[E.V] && atomicWriteMin(&Dist[E.V], ND)) {
+        if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
+            atomicWriteMin(&Dist[E.V], ND)) {
+          Touch(E.V, U);
           int64_t Key = (ND + Heur(E.V)) / Delta;
           Push(E.V, std::max(Key, CurrKey));
         }
       }
     };
     eagerOrderedProcess(G.numNodes(), G.numEdges() + 1, Source,
-                        Heur(Source) / Delta, S, Relax, Stop, &Stats);
+                        Heur(Source) / Delta, S, Relax, Stop, &Stats,
+                        FrontierScratch);
     return Stats;
   }
 
@@ -82,12 +101,20 @@ OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
   TraversalBuffers Buffers(G);
 
   auto Push = [&](VertexId Sv, VertexId Dv, Weight W) {
-    return atomicWriteMin(&Dist[Dv], Dist[Sv] + W);
+    Priority ND = atomicLoadRelaxed(&Dist[Sv]) + W;
+    if (ND < atomicLoadRelaxed(&Dist[Dv]) && atomicWriteMin(&Dist[Dv], ND)) {
+      Touch(Dv, Sv);
+      return true;
+    }
+    return false;
   };
   auto Pull = [&](VertexId Sv, VertexId Dv, Weight W) {
     Priority ND = atomicLoad(&Dist[Sv]) + W;
     if (ND < Dist[Dv]) {
-      Dist[Dv] = ND;
+      // Dv is owned by this thread during a pull round, but other threads
+      // read it concurrently as a source — store atomically (relaxed).
+      atomicStoreRelaxed(&Dist[Dv], ND);
+      Touch(Dv, Sv);
       return true;
     }
     return false;

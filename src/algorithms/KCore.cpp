@@ -12,6 +12,7 @@
 #include "runtime/LazyBucketQueue.h"
 #include "support/Abort.h"
 #include "support/Atomics.h"
+#include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -138,17 +139,22 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
     } else {
       for (std::vector<VertexId> &L : PerThread)
         L.clear();
+      int Tag = 0;
+      GRAPHIT_OMP_REGION_ENTER(&Tag);
 #pragma omp parallel
       {
+        GRAPHIT_OMP_REGION_BEGIN(&Tag);
         std::vector<VertexId> &Mine =
             PerThread[static_cast<size_t>(omp_get_thread_num())];
-#pragma omp for schedule(static)
+#pragma omp for schedule(static) nowait
         for (Count I = 0; I < M; ++I) {
           VertexId V = Compact[I];
           if (decrementClamped(&Deg[V], K) && Changed.claim(V))
             Mine.push_back(V);
         }
+        GRAPHIT_OMP_REGION_END(&Tag);
       }
+      GRAPHIT_OMP_REGION_EXIT(&Tag);
       for (const std::vector<VertexId> &L : PerThread)
         ChangedIds.insert(ChangedIds.end(), L.begin(), L.end());
     }
@@ -184,8 +190,11 @@ KCoreResult kCoreEager(const Graph &G) {
   SharedMin[0] = kMaxEagerKey;
   int64_t Rounds = 0, Processed = 0, MaxCore = 0;
 
+  int SyncTag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&SyncTag);
 #pragma omp parallel
   {
+    GRAPHIT_OMP_REGION_BEGIN(&SyncTag);
     std::vector<std::vector<VertexId>> Bins;
     auto Push = [&Bins](VertexId V, int64_t Key) {
       if (static_cast<size_t>(Key) >= Bins.size())
@@ -215,11 +224,12 @@ KCoreResult kCoreEager(const Graph &G) {
           break;
         }
       }
-      if (My != kMaxEagerKey) {
-#pragma omp critical
-        CurrMin = std::min(CurrMin, My);
-      }
-#pragma omp barrier
+      if (My != kMaxEagerKey)
+        // Lock-free fold of the proposals (was an `omp critical`, whose
+        // libgomp lock both serializes the threads and is invisible to
+        // ThreadSanitizer).
+        atomicMin(&CurrMin, My);
+      GRAPHIT_OMP_BARRIER(&SyncTag);
       int64_t K = CurrMin;
       if (K == kMaxEagerKey)
         break;
@@ -238,7 +248,7 @@ KCoreResult kCoreEager(const Graph &G) {
             std::move(Bins[static_cast<size_t>(K)]);
         Bins[static_cast<size_t>(K)].clear();
         for (VertexId V : Drain) {
-          if (Done[V] || atomicLoad(&Deg[V]) != K)
+          if (atomicLoadRelaxed(&Done[V]) || atomicLoad(&Deg[V]) != K)
             continue; // stale entry
           if (!atomicCAS<uint8_t>(&Done[V], 0, 1))
             continue; // duplicate claim
@@ -246,7 +256,7 @@ KCoreResult kCoreEager(const Graph &G) {
           LocalMaxCore = std::max(LocalMaxCore, K);
           ++LocalProcessed;
           for (WNode E : G.outNeighbors(V)) {
-            if (Done[E.V])
+            if (atomicLoadRelaxed(&Done[E.V]))
               continue;
             if (decrementClamped(&Deg[E.V], K))
               Push(E.V, atomicLoad(&Deg[E.V]));
@@ -254,11 +264,13 @@ KCoreResult kCoreEager(const Graph &G) {
         }
       }
       ++Iter;
-#pragma omp barrier
+      GRAPHIT_OMP_BARRIER(&SyncTag);
     }
     fetchAdd(&Processed, LocalProcessed);
     atomicWriteMax(&MaxCore, LocalMaxCore);
+    GRAPHIT_OMP_REGION_END(&SyncTag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&SyncTag);
 
   R.MaxCore = MaxCore;
   R.Stats.Rounds = Rounds;
@@ -321,7 +333,9 @@ KCoreResult graphit::kCoreUnordered(const Graph &G) {
     parallelFor(0, WaveSize, [&](Count I) {
       VertexId V = Wave[I];
       R.Coreness[V] = K;
-      Deg[V] = -1; // removed marker
+      // Removed marker; atomic because a neighbor in the same wave may be
+      // concurrently reading/decrementing this slot.
+      atomicStoreRelaxed(&Deg[V], Priority{-1});
       for (WNode E : G.outNeighbors(V))
         if (atomicLoad(&Deg[E.V]) > K)
           fetchAdd(&Deg[E.V], Priority{-1});

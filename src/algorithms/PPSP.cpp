@@ -8,16 +8,18 @@
 #include "algorithms/PPSP.h"
 
 #include "algorithms/DistanceEngine.h"
+#include "algorithms/QueryState.h"
 
 using namespace graphit;
 
-PPSPResult graphit::pointToPointShortestPath(const Graph &G,
-                                             VertexId Source,
-                                             VertexId Target,
-                                             const Schedule &S) {
-  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
-                             kInfiniteDistance);
-  Dist[Source] = 0;
+namespace {
+
+/// Shared PPSP core over a caller-provided distance array.
+template <typename TouchFn>
+PPSPResult ppspRun(const Graph &G, VertexId Source, VertexId Target,
+                   const Schedule &S, std::vector<Priority> &Dist,
+                   TouchFn &&Touch,
+                   std::vector<VertexId> *FrontierScratch = nullptr) {
   const int64_t Delta = S.Delta;
   // Stop once the current bucket's lower bound iΔ reaches the tentative
   // distance of the target: no later bucket can improve it.
@@ -26,6 +28,33 @@ PPSPResult graphit::pointToPointShortestPath(const Graph &G,
     return Best != kInfiniteDistance && CurrKey * Delta >= Best;
   };
   OrderedStats Stats = detail::distanceOrderedRun(
-      G, Source, Dist, S, [](VertexId) { return Priority{0}; }, Stop);
+      G, Source, Dist, S, [](VertexId) { return Priority{0}; }, Stop,
+      std::forward<TouchFn>(Touch), FrontierScratch);
   return PPSPResult{Dist[Target], Stats};
+}
+
+} // namespace
+
+PPSPResult graphit::pointToPointShortestPath(const Graph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S) {
+  std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
+                             kInfiniteDistance);
+  Dist[Source] = 0;
+  return ppspRun(G, Source, Target, S, Dist, detail::NoTouchFn{});
+}
+
+PPSPResult graphit::pointToPointShortestPath(const Graph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S,
+                                             DistanceState &State) {
+  State.beginQuery(Source);
+  return ppspRun(
+      G, Source, Target, S, State.distances(),
+      [&State](VertexId V, VertexId From) {
+        State.recordImprovement(V, From);
+      },
+      &State.frontierScratch());
 }

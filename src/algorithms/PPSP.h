@@ -32,6 +32,14 @@ struct PPSPResult {
 PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
                                     VertexId Target, const Schedule &S);
 
+class DistanceState;
+
+/// Pooled-state variant (O(touched) setup; see algorithms/QueryState.h).
+/// Calls `State.beginQuery(Source)` itself.
+PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
+                                    VertexId Target, const Schedule &S,
+                                    DistanceState &State);
+
 } // namespace graphit
 
 #endif // GRAPHIT_ALGORITHMS_PPSP_H

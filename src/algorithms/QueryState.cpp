@@ -1,0 +1,48 @@
+//===- algorithms/QueryState.cpp - Reusable per-query state ---------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/QueryState.h"
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace graphit;
+
+DistanceState::DistanceState(Count NumNodes, bool TrackParents)
+    : Dist(static_cast<size_t>(NumNodes), kInfiniteDistance),
+      Parent(TrackParents ? static_cast<size_t>(NumNodes) : 0,
+             kInvalidVertex),
+      Stamp(static_cast<size_t>(NumNodes), 0),
+      Touched(static_cast<size_t>(NumNodes)), TrackParents(TrackParents) {}
+
+void DistanceState::beginQuery(VertexId Source) {
+  // O(touched): only the slots the previous query dirtied are reset.
+  parallelFor(
+      0, NumTouched,
+      [&](Count I) {
+        VertexId V = Touched[static_cast<size_t>(I)];
+        Dist[V] = kInfiniteDistance;
+        if (TrackParents)
+          Parent[V] = kInvalidVertex;
+      },
+      Parallelization::StaticVertexParallel);
+  NumTouched = 0;
+
+  ++Epoch;
+  if (Epoch == 0) {
+    // The 32-bit epoch wrapped (once per ~4 billion queries): a vertex
+    // last stamped exactly 2^32 queries ago would alias the new epoch and
+    // silently skip the touched log, so clear all stamps once.
+    std::fill(Stamp.begin(), Stamp.end(), 0u);
+    Epoch = 1;
+  }
+  ++QueriesBegun;
+
+  Dist[Source] = 0;
+  recordImprovement(Source, Source);
+}

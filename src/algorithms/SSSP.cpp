@@ -8,6 +8,7 @@
 #include "algorithms/SSSP.h"
 
 #include "algorithms/DistanceEngine.h"
+#include "algorithms/QueryState.h"
 
 using namespace graphit;
 
@@ -17,4 +18,17 @@ SSSPResult graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
       G, Source, S, [](VertexId) { return Priority{0}; },
       [](int64_t) { return false; });
   return SSSPResult{std::move(R.Dist), R.Stats};
+}
+
+OrderedStats graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
+                                        const Schedule &S,
+                                        DistanceState &State) {
+  State.beginQuery(Source);
+  return detail::distanceOrderedRun(
+      G, Source, State.distances(), S, [](VertexId) { return Priority{0}; },
+      [](int64_t) { return false; },
+      [&State](VertexId V, VertexId From) {
+        State.recordImprovement(V, From);
+      },
+      &State.frontierScratch());
 }

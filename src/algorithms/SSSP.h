@@ -36,6 +36,15 @@ struct SSSPResult {
 SSSPResult deltaSteppingSSSP(const Graph &G, VertexId Source,
                              const Schedule &S);
 
+class DistanceState;
+
+/// Pooled-state variant: runs over caller-owned, reusable state instead of
+/// allocating a fresh distance array (O(touched) setup instead of O(V);
+/// see algorithms/QueryState.h). Calls `State.beginQuery(Source)` itself;
+/// distances live in \p State afterwards.
+OrderedStats deltaSteppingSSSP(const Graph &G, VertexId Source,
+                               const Schedule &S, DistanceState &State);
+
 } // namespace graphit
 
 #endif // GRAPHIT_ALGORITHMS_SSSP_H

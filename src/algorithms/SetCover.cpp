@@ -12,6 +12,7 @@
 #include "support/Atomics.h"
 #include "support/Parallel.h"
 #include "support/Random.h"
+#include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -129,7 +130,7 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
         return;
       uint64_t Rank = RankOf(V);
       forClosedNeighborhood(G, V, [&](VertexId E) {
-        if (Uncovered[E])
+        if (atomicLoadRelaxed(&Uncovered[E]))
           atomicWriteMin(&Reserver[E], Rank);
       });
     });
@@ -140,19 +141,26 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
     const Count Threshold = std::max<Count>(
         1, static_cast<Count>(std::ceil(
                (1.0 - Epsilon) * static_cast<double>(BucketFloor(B)))));
-#pragma omp parallel reduction(+ : NewlyCovered)
+    int Tag = 0;
+    GRAPHIT_OMP_REGION_ENTER(&Tag);
+#pragma omp parallel
     {
+      GRAPHIT_OMP_REGION_BEGIN(&Tag);
       std::vector<VertexId> &Mine =
           ChosenPerThread[static_cast<size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, kDynamicGrain)
+      Count MyCovered = 0;
+#pragma omp for schedule(dynamic, kDynamicGrain) nowait
       for (Count I = 0; I < M; ++I) {
         VertexId V = Cands[I];
         if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
           continue;
         uint64_t Rank = RankOf(V);
         Count Wins = 0;
+        // Elements are claimed exclusively through Reserver (one winning
+        // rank per element), but neighbors' claims interleave — all
+        // Uncovered traffic in this region must be atomic.
         forClosedNeighborhood(G, V, [&](VertexId E) {
-          if (Uncovered[E] && Reserver[E] == Rank)
+          if (atomicLoadRelaxed(&Uncovered[E]) && Reserver[E] == Rank)
             ++Wins;
         });
         if (Wins < Threshold)
@@ -160,19 +168,24 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
         Won[V] = 1;
         Mine.push_back(V);
         forClosedNeighborhood(G, V, [&](VertexId E) {
-          if (Uncovered[E] && Reserver[E] == Rank) {
-            Uncovered[E] = 0;
-            ++NewlyCovered;
+          if (atomicLoadRelaxed(&Uncovered[E]) && Reserver[E] == Rank) {
+            atomicStoreRelaxed(&Uncovered[E], uint8_t{0});
+            ++MyCovered;
           }
         });
       }
+      fetchAdd(&NewlyCovered, MyCovered);
+      GRAPHIT_OMP_REGION_END(&Tag);
     }
+    GRAPHIT_OMP_REGION_EXIT(&Tag);
     NumUncovered -= NewlyCovered;
 
-    // Reset reservations and requeue losers/demoted candidates.
+    // Reset reservations and requeue losers/demoted candidates. Elements
+    // shared by two candidates are written concurrently (same value).
     parallelFor(0, M, [&](Count I) {
-      forClosedNeighborhood(G, Cands[I],
-                            [&](VertexId E) { Reserver[E] = kMaxRank; });
+      forClosedNeighborhood(G, Cands[I], [&](VertexId E) {
+        atomicStoreRelaxed(&Reserver[E], kMaxRank);
+      });
     });
     Requeue.clear();
     for (Count I = 0; I < M; ++I) {

@@ -10,6 +10,7 @@
 #include "algorithms/AStar.h"
 #include "support/Abort.h"
 #include "support/Atomics.h"
+#include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 
 #include <array>
@@ -25,8 +26,12 @@ using namespace graphit;
 namespace {
 
 /// A lockable bucket of vertices (one priority level of the OBIM bag).
+/// `SizeHint` mirrors `Items.size()` (updated under the lock, read
+/// without it) so the work-stealing scan can skip empty bins with a
+/// relaxed load instead of a tryLock per bin or a racy vector read.
 struct Bin {
   std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+  std::atomic<size_t> SizeHint{0};
   std::vector<VertexId> Items;
 
   void lock() {
@@ -36,7 +41,10 @@ struct Bin {
   bool tryLock() {
     return !Lock.test_and_set(std::memory_order_acquire);
   }
-  void unlock() { Lock.clear(std::memory_order_release); }
+  void unlock() {
+    SizeHint.store(Items.size(), std::memory_order_relaxed);
+    Lock.clear(std::memory_order_release);
+  }
 };
 
 /// Growable, pointer-stable table of bins indexed by priority key.
@@ -109,12 +117,19 @@ void galoisKernel(const Graph &G, VertexId Source,
   std::atomic<int64_t> ProcessedTotal{0};
 
   int64_t SrcKey = Heur(Source) / Delta;
-  Bins.at(static_cast<size_t>(SrcKey)).Items.push_back(Source);
+  Bin &SourceBin = Bins.at(static_cast<size_t>(SrcKey));
+  SourceBin.Items.push_back(Source);
+  // Seeded before the region, outside the lock/unlock path that normally
+  // maintains the hint.
+  SourceBin.SizeHint.store(1, std::memory_order_relaxed);
   MinHint.store(SrcKey, std::memory_order_relaxed);
   MaxKeyUsed.store(SrcKey, std::memory_order_relaxed);
 
+  int SyncTag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&SyncTag);
 #pragma omp parallel
   {
+    GRAPHIT_OMP_REGION_BEGIN(&SyncTag);
     std::vector<std::vector<VertexId>> Local; // thread-local staging bins
     int64_t LocalProcessed = 0;
     std::vector<VertexId> Chunk;
@@ -150,7 +165,7 @@ void galoisKernel(const Graph &G, VertexId Source,
     auto ProcessChunk = [&](int64_t BinKey) {
       for (VertexId U : Chunk) {
         ++LocalProcessed;
-        Priority DU = Dist[U];
+        Priority DU = atomicLoadRelaxed(&Dist[U]);
         // Skip entries already settled at a better priority.
         if ((DU + Heur(U)) / Delta < BinKey)
           continue;
@@ -159,7 +174,8 @@ void galoisKernel(const Graph &G, VertexId Source,
           Priority FD = ND + Heur(E.V);
           if (Cutoff(FD))
             continue;
-          if (ND < Dist[E.V] && atomicWriteMin(&Dist[E.V], ND))
+          if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
+              atomicWriteMin(&Dist[E.V], ND))
             PushLocal(E.V, FD / Delta);
         }
       }
@@ -191,9 +207,11 @@ void galoisKernel(const Graph &G, VertexId Source,
         int64_t MaxKey = MaxKeyUsed.load(std::memory_order_relaxed);
         for (int64_t K = Hint; K <= MaxKey && TookKey < 0; ++K) {
           Bin *B = Bins.peek(static_cast<size_t>(K));
-          if (!B || B->Items.empty())
-            continue;
-          if (!B->tryLock())
+          // The unlocked skip reads the atomic size hint, not the vector
+          // (whose internals another thread may be resizing); emptiness
+          // is re-verified under the lock before taking.
+          if (!B || B->SizeHint.load(std::memory_order_relaxed) == 0 ||
+              !B->tryLock())
             continue;
           if (!B->Items.empty()) {
             size_t Take = std::min(B->Items.size(), kChunk);
@@ -229,7 +247,9 @@ void galoisKernel(const Graph &G, VertexId Source,
       std::this_thread::yield();
     }
     ProcessedTotal.fetch_add(LocalProcessed, std::memory_order_relaxed);
+    GRAPHIT_OMP_REGION_END(&SyncTag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&SyncTag);
 
   if (Stats) {
     Stats->Rounds = 0; // asynchronous: no global rounds exist

@@ -13,6 +13,7 @@
 #include "runtime/Traversal.h"
 #include "support/Atomics.h"
 #include "support/Random.h"
+#include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -47,12 +48,14 @@ OrderedStats julienneDistanceRun(const Graph &G, VertexId Source,
 
   TraversalBuffers Buffers(G);
   auto Push = [&](VertexId S, VertexId D, Weight W) {
-    return atomicWriteMin(&Dist[D], Dist[S] + W);
+    return atomicWriteMin(&Dist[D], atomicLoadRelaxed(&Dist[S]) + W);
   };
   auto Pull = [&](VertexId S, VertexId D, Weight W) {
     Priority ND = atomicLoad(&Dist[S]) + W;
     if (ND < Dist[D]) {
-      Dist[D] = ND;
+      // D is thread-owned in a pull round but read concurrently as a
+      // source by other threads.
+      atomicStoreRelaxed(&Dist[D], ND);
       return true;
     }
     return false;
@@ -268,10 +271,10 @@ SetCoverResult graphit::julienneSetCover(const Graph &G, double Epsilon,
       if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
         return;
       uint64_t Rank = RankOf(V);
-      if (Uncovered[V])
+      if (atomicLoadRelaxed(&Uncovered[V]))
         atomicWriteMin(&Reserver[V], Rank);
       for (WNode E : G.outNeighbors(V))
-        if (Uncovered[E.V])
+        if (atomicLoadRelaxed(&Uncovered[E.V]))
           atomicWriteMin(&Reserver[E.V], Rank);
     });
 
@@ -279,42 +282,53 @@ SetCoverResult graphit::julienneSetCover(const Graph &G, double Epsilon,
     const Count Threshold = std::max<Count>(
         1, static_cast<Count>(std::ceil(
                (1.0 - Epsilon) * static_cast<double>(BucketFloor(B)))));
-#pragma omp parallel reduction(+ : NewlyCovered)
+    int Tag = 0;
+    GRAPHIT_OMP_REGION_ENTER(&Tag);
+#pragma omp parallel
     {
+      GRAPHIT_OMP_REGION_BEGIN(&Tag);
       std::vector<VertexId> &Mine =
           ChosenPerThread[static_cast<size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, kDynamicGrain)
+      Count MyCovered = 0;
+#pragma omp for schedule(dynamic, kDynamicGrain) nowait
       for (Count I = 0; I < M; ++I) {
         VertexId V = Cands[I];
         if (Coverage[V] <= 0 || BucketOf(Coverage[V]) != B)
           continue;
         uint64_t Rank = RankOf(V);
-        Count Wins = (Uncovered[V] && Reserver[V] == Rank) ? 1 : 0;
+        Count Wins =
+            (atomicLoadRelaxed(&Uncovered[V]) && Reserver[V] == Rank) ? 1
+                                                                      : 0;
         for (WNode E : G.outNeighbors(V))
-          if (Uncovered[E.V] && Reserver[E.V] == Rank)
+          if (atomicLoadRelaxed(&Uncovered[E.V]) && Reserver[E.V] == Rank)
             ++Wins;
         if (Wins < Threshold)
           continue;
         InCover[V] = 1;
         Mine.push_back(V);
-        if (Uncovered[V] && Reserver[V] == Rank) {
-          Uncovered[V] = 0;
-          ++NewlyCovered;
+        if (atomicLoadRelaxed(&Uncovered[V]) && Reserver[V] == Rank) {
+          atomicStoreRelaxed(&Uncovered[V], uint8_t{0});
+          ++MyCovered;
         }
         for (WNode E : G.outNeighbors(V))
-          if (Uncovered[E.V] && Reserver[E.V] == Rank) {
-            Uncovered[E.V] = 0;
-            ++NewlyCovered;
+          if (atomicLoadRelaxed(&Uncovered[E.V]) && Reserver[E.V] == Rank) {
+            atomicStoreRelaxed(&Uncovered[E.V], uint8_t{0});
+            ++MyCovered;
           }
       }
+      fetchAdd(&NewlyCovered, MyCovered);
+      GRAPHIT_OMP_REGION_END(&Tag);
     }
+    GRAPHIT_OMP_REGION_EXIT(&Tag);
     NumUncovered -= NewlyCovered;
 
     parallelFor(0, M, [&](Count I) {
       VertexId V = Cands[I];
-      Reserver[V] = std::numeric_limits<uint64_t>::max();
+      atomicStoreRelaxed(&Reserver[V],
+                         std::numeric_limits<uint64_t>::max());
       for (WNode E : G.outNeighbors(V))
-        Reserver[E.V] = std::numeric_limits<uint64_t>::max();
+        atomicStoreRelaxed(&Reserver[E.V],
+                           std::numeric_limits<uint64_t>::max());
     });
 
     Requeue.clear();

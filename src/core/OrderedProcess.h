@@ -43,6 +43,7 @@
 #include "core/Schedule.h"
 #include "support/Abort.h"
 #include "support/Atomics.h"
+#include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 #include "support/Types.h"
 
@@ -67,6 +68,17 @@ struct OrderedStats {
 
   /// Total rounds the algorithm executed, local or global.
   int64_t totalRounds() const { return Rounds + FusedRounds; }
+
+  /// Accumulates \p Other into this (used by the query service to report
+  /// aggregate work across many per-query runs; Seconds adds up to total
+  /// engine time, not wall clock).
+  void merge(const OrderedStats &Other) {
+    Rounds += Other.Rounds;
+    FusedRounds += Other.FusedRounds;
+    VerticesProcessed += Other.VerticesProcessed;
+    OverflowRebuckets += Other.OverflowRebuckets;
+    Seconds += Other.Seconds;
+  }
 };
 
 /// Sentinel key meaning "no bucket" inside the eager engine.
@@ -192,27 +204,43 @@ private:
 ///                          `Push(VertexId V, int64_t Key)`
 /// \param Stop              `(int64_t CurrKey) -> bool`, checked at round
 ///                          start on round-stable data
+/// \param FrontierScratch   optional caller-owned storage for the shared
+///                          frontier. A fresh run value-initializes O(E)
+///                          elements — a real cost at query-serving rates —
+///                          so pooled callers pass a buffer that is grown
+///                          once and reused across runs (stale contents are
+///                          harmless: only indices below the round tails
+///                          are ever read).
 template <typename RelaxFn, typename StopFn>
 void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
                          VertexId Source, int64_t SourceKey,
                          const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
-                         OrderedStats *Stats = nullptr) {
+                         OrderedStats *Stats = nullptr,
+                         std::vector<VertexId> *FrontierScratch = nullptr) {
   assert(static_cast<Count>(Source) < NumNodes && "source out of range");
   (void)NumNodes;
   const bool Fuse = S.Update == UpdateStrategy::EagerWithFusion;
   const int64_t Threshold = S.FusionThreshold;
 
   Timer Clock;
-  std::vector<VertexId> Frontier(
-      static_cast<size_t>(std::max<Count>(FrontierCapacity, 1024)));
+  std::vector<VertexId> OwnFrontier;
+  std::vector<VertexId> &Frontier =
+      FrontierScratch ? *FrontierScratch : OwnFrontier;
+  const size_t NeededCapacity =
+      static_cast<size_t>(std::max<Count>(FrontierCapacity, 1024));
+  if (Frontier.size() < NeededCapacity)
+    Frontier.resize(NeededCapacity);
   Frontier[0] = Source;
   int64_t SharedKeys[2] = {SourceKey, kMaxEagerKey};
   int64_t FrontierTails[2] = {1, 0};
 
   int64_t Rounds = 0, FusedRounds = 0, VerticesProcessed = 0;
 
+  int SyncTag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&SyncTag);
 #pragma omp parallel
   {
+    GRAPHIT_OMP_REGION_BEGIN(&SyncTag);
     // The window size rides on the lazy engine's bucket-count knob: both
     // answer "how many coarsened keys ahead do we materialize?".
     detail::LocalBinWindow Bins(S.NumOpenBuckets);
@@ -263,7 +291,7 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
       if (MyNext != kMaxEagerKey)
         atomicMin(&NextKey, MyNext);
 
-#pragma omp barrier
+      GRAPHIT_OMP_BARRIER(&SyncTag);
 #pragma omp single nowait
       {
         ++Rounds;
@@ -284,12 +312,14 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
         Bin.clear();
       }
       ++Iter;
-#pragma omp barrier
+      GRAPHIT_OMP_BARRIER(&SyncTag);
     }
 
     fetchAdd(&FusedRounds, LocalFused);
     fetchAdd(&VerticesProcessed, LocalFusedVerts);
+    GRAPHIT_OMP_REGION_END(&SyncTag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&SyncTag);
 
   if (Stats) {
     Stats->Rounds = Rounds;

@@ -52,32 +52,35 @@ void PriorityQueue::notePriorityChange(VertexId V) {
 }
 
 void PriorityQueue::updatePriorityMin(VertexId V, Priority NewVal) {
-  Priority Current = Prio[V];
+  // Relaxed atomic reads in the CAS retry loops: update methods run
+  // concurrently from parallel UDFs, and a plain read beside another
+  // thread's CAS is a data race.
+  Priority Current = atomicLoadRelaxed(&Prio[V]);
   // Null priorities behave as +inf for min updates.
   while (Current == kNullPriority || NewVal < Current) {
     if (atomicCAS(&Prio[V], Current, NewVal)) {
       notePriorityChange(V);
       return;
     }
-    Current = Prio[V];
+    Current = atomicLoadRelaxed(&Prio[V]);
   }
 }
 
 void PriorityQueue::updatePriorityMax(VertexId V, Priority NewVal) {
-  Priority Current = Prio[V];
+  Priority Current = atomicLoadRelaxed(&Prio[V]);
   while (Current == kNullPriority || NewVal > Current) {
     if (atomicCAS(&Prio[V], Current, NewVal)) {
       notePriorityChange(V);
       return;
     }
-    Current = Prio[V];
+    Current = atomicLoadRelaxed(&Prio[V]);
   }
 }
 
 void PriorityQueue::updatePrioritySum(VertexId V, Priority SumDiff,
                                       Priority MinThreshold) {
   while (true) {
-    Priority Current = Prio[V];
+    Priority Current = atomicLoadRelaxed(&Prio[V]);
     if (Current == kNullPriority)
       fatalError("updatePrioritySum on a null priority");
     // Values already at or past the threshold are frozen — this is the

@@ -342,11 +342,13 @@ private:
 
     OrderedStats Stats;
     auto Relax = [&](VertexId U, int64_t CurrKey, auto &&Push) {
-      if (Prio[U] / Delta < CurrKey)
+      // Relaxed atomic pre-checks: concurrent relaxations CAS these slots.
+      if (atomicLoadRelaxed(&Prio[U]) / Delta < CurrKey)
         return;
       PQSink Sink;
       Sink.Min = [&](VertexId V, Priority NewVal) {
-        if (NewVal < Prio[V] && atomicWriteMin(&Prio[V], NewVal))
+        if (NewVal < atomicLoadRelaxed(&Prio[V]) &&
+            atomicWriteMin(&Prio[V], NewVal))
           Push(V, std::max(NewVal / Delta, CurrKey));
       };
       Sink.CurrentPriority = [&]() { return CurrKey * Delta; };
@@ -526,7 +528,9 @@ private:
       int64_t I = eval(*Ix->Index, E, Sink).asInt();
       if (I < 0 || static_cast<size_t>(I) >= Vec.size())
         interpFail("vector index out of range");
-      return Value::ofInt(Vec[static_cast<size_t>(I)]);
+      // Relaxed atomic read: UDFs run inside parallel relaxations, so
+      // another thread may be CAS-ing this slot (pq.min re-validates).
+      return Value::ofInt(atomicLoadRelaxed(&Vec[static_cast<size_t>(I)]));
     }
     interpFail("unsupported expression");
   }

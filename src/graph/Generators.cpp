@@ -138,6 +138,27 @@ RoadNetwork graphit::roadGrid(Count Rows, Count Cols, uint64_t Seed,
   return Net;
 }
 
+std::vector<std::pair<VertexId, VertexId>>
+graphit::localGridQueryPairs(Count Rows, Count Cols, Count Window,
+                             Count HowMany, uint64_t Seed) {
+  assert(Rows > 0 && Cols > 0 && Window > 0 && "degenerate grid");
+  SplitMix64 Rng(Seed);
+  std::vector<std::pair<VertexId, VertexId>> Pairs;
+  Pairs.reserve(static_cast<size_t>(HowMany));
+  for (Count I = 0; I < HowMany; ++I) {
+    Count SR = Rng.nextInt(0, Rows), SC = Rng.nextInt(0, Cols);
+    Count TR = std::min(
+        Rows - 1,
+        std::max<Count>(0, SR + Rng.nextInt(-Window, Window + 1)));
+    Count TC = std::min(
+        Cols - 1,
+        std::max<Count>(0, SC + Rng.nextInt(-Window, Window + 1)));
+    Pairs.emplace_back(static_cast<VertexId>(SR * Cols + SC),
+                       static_cast<VertexId>(TR * Cols + TC));
+  }
+  return Pairs;
+}
+
 std::vector<Edge> graphit::pathEdges(Count NumNodes) {
   std::vector<Edge> Edges;
   for (Count I = 0; I + 1 < NumNodes; ++I)

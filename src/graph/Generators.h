@@ -28,6 +28,7 @@
 
 #include "graph/Graph.h"
 
+#include <utility>
 #include <vector>
 
 namespace graphit {
@@ -59,6 +60,15 @@ struct RoadNetwork {
 RoadNetwork roadGrid(Count Rows, Count Cols, uint64_t Seed,
                      double DropFraction = 0.03,
                      double DiagonalFraction = 0.05);
+
+/// Samples \p HowMany (source, target) intersection pairs on a
+/// Rows x Cols `roadGrid`: sources uniform, targets clamped to a
+/// `Window`-cell box around the source. This is the locally-distributed
+/// query mix a routing service sees; shared by the query-serving bench
+/// and example so the workload shape cannot drift between them.
+std::vector<std::pair<VertexId, VertexId>>
+localGridQueryPairs(Count Rows, Count Cols, Count Window, Count HowMany,
+                    uint64_t Seed);
 
 /// Path 0 - 1 - ... - (n-1), unit weights, directed forward.
 std::vector<Edge> pathEdges(Count NumNodes);

@@ -18,7 +18,10 @@ DedupFlags::DedupFlags(Count NumNodes)
     : Flags(static_cast<size_t>(NumNodes), 0) {}
 
 bool DedupFlags::claim(VertexId V) {
-  if (Flags[V])
+  // The cheap pre-check must be an atomic (relaxed) load: another thread
+  // may CAS the same byte concurrently, and a plain load there is a data
+  // race (TSan) with no upside — relaxed compiles to the same plain mov.
+  if (atomicLoadRelaxed(&Flags[V]))
     return false;
   return atomicCAS<uint8_t>(&Flags[V], 0, 1);
 }

@@ -10,6 +10,7 @@
 #include "support/Atomics.h"
 #include "support/Parallel.h"
 #include "support/Random.h"
+#include "support/TSanAnnotate.h"
 
 #include <omp.h>
 
@@ -65,17 +66,25 @@ void HistogramBuffer::reduceAtomic(const VertexId *Targets, Count M,
                                    std::vector<uint32_t> &CountsOut) {
   int MaxThreads = omp_get_max_threads();
   std::vector<std::vector<VertexId>> LocalUnique(MaxThreads);
+  int Tag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
 #pragma omp parallel
   {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
     std::vector<VertexId> &Mine = LocalUnique[omp_get_thread_num()];
-#pragma omp for schedule(static)
+#pragma omp for schedule(static) nowait
     for (Count I = 0; I < M; ++I) {
       VertexId V = Targets[I];
       fetchAdd(&Counts[V], 1u);
-      if (!Touched[V] && atomicCAS<uint8_t>(&Touched[V], 0, 1))
+      // Relaxed atomic pre-check: a plain `Touched[V]` read here races
+      // with the CAS another thread may be performing on the same byte.
+      if (!atomicLoadRelaxed(&Touched[V]) &&
+          atomicCAS<uint8_t>(&Touched[V], 0, 1))
         Mine.push_back(V);
     }
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
   for (const std::vector<VertexId> &L : LocalUnique)
     UniqueOut.insert(UniqueOut.end(), L.begin(), L.end());
   CountsOut.resize(UniqueOut.size());
@@ -90,9 +99,11 @@ void HistogramBuffer::reduceLocalTables(const VertexId *Targets, Count M,
                                         std::vector<uint32_t> &CountsOut) {
   int MaxThreads = omp_get_max_threads();
   std::vector<std::vector<VertexId>> LocalUnique(MaxThreads);
-
+  int Tag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
 #pragma omp parallel
   {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
     std::vector<VertexId> &Mine = LocalUnique[omp_get_thread_num()];
     // Per-thread open-addressing table sized for this thread's chunk.
     Count ChunkGuess = M / MaxThreads + 64;
@@ -110,7 +121,10 @@ void HistogramBuffer::reduceLocalTables(const VertexId *Targets, Count M,
           continue;
         VertexId V = Keys[S];
         fetchAdd(&Counts[V], Vals[S]);
-        if (!Touched[V] && atomicCAS<uint8_t>(&Touched[V], 0, 1))
+        // Same relaxed pre-check as reduceAtomic: plain reads race with
+        // concurrent CAS claims on the shared Touched bytes.
+        if (!atomicLoadRelaxed(&Touched[V]) &&
+            atomicCAS<uint8_t>(&Touched[V], 0, 1))
           Mine.push_back(V);
         Keys[S] = kInvalidVertex;
         Vals[S] = 0;
@@ -138,7 +152,9 @@ void HistogramBuffer::reduceLocalTables(const VertexId *Targets, Count M,
       }
     }
     FlushTable();
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
 
   for (const std::vector<VertexId> &L : LocalUnique)
     UniqueOut.insert(UniqueOut.end(), L.begin(), L.end());

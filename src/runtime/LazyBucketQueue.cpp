@@ -10,6 +10,7 @@
 #include "support/Abort.h"
 #include "support/Atomics.h"
 #include "support/Parallel.h"
+#include "support/TSanAnnotate.h"
 
 #include <algorithm>
 #include <cassert>
@@ -76,14 +77,19 @@ void LazyBucketQueue::scatterByStoredKey(const VertexId *Vs, Count M) {
       static_cast<size_t>(NumThreads) * NumSlots, 0);
   Count ChunkSize = (M + NumThreads - 1) / NumThreads;
 
+  int Tag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
 #pragma omp parallel num_threads(NumThreads)
   {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
     int T = omp_get_thread_num();
     Count Lo = T * ChunkSize, Hi = std::min(M, Lo + ChunkSize);
     int64_t *Mine = &SlotCounts[static_cast<size_t>(T) * NumSlots];
     for (Count I = Lo; I < Hi; ++I)
       ++Mine[SlotOf(I)];
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
 
   // Base write offset for (thread, slot), and final size per slot.
   for (int S = 0; S < NumSlots; ++S) {
@@ -97,8 +103,10 @@ void LazyBucketQueue::scatterByStoredKey(const VertexId *Vs, Count M) {
     Dest.resize(static_cast<size_t>(Base));
   }
 
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
 #pragma omp parallel num_threads(NumThreads)
   {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
     int T = omp_get_thread_num();
     Count Lo = T * ChunkSize, Hi = std::min(M, Lo + ChunkSize);
     int64_t *Mine = &SlotCounts[static_cast<size_t>(T) * NumSlots];
@@ -107,7 +115,9 @@ void LazyBucketQueue::scatterByStoredKey(const VertexId *Vs, Count M) {
       std::vector<VertexId> &Dest = S < NumOpen ? Open[S] : Overflow;
       Dest[static_cast<size_t>(Mine[S]++)] = Vs[I];
     }
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
 }
 
 bool LazyBucketQueue::nextBucket() {
@@ -143,7 +153,10 @@ void LazyBucketQueue::extractValid(std::vector<VertexId> &Arr,
                                    int64_t SlotKey) {
   Count N = static_cast<Count>(Arr.size());
   auto TryClaim = [&](VertexId V) {
-    int64_t K = KeyOf_[V];
+    // Relaxed atomic read: duplicate entries in Arr make concurrent
+    // TryClaim calls on the same vertex possible, and the pre-check would
+    // otherwise race with the winning thread's CAS.
+    int64_t K = atomicLoadRelaxed(&KeyOf_[V]);
     // `<=` instead of `==` is defensive: with monotone priority updates
     // (asserted in place()) stale entries always have K==kNoBucket or a
     // *later* key, never an earlier one.

@@ -30,6 +30,7 @@
 #define GRAPHIT_RUNTIME_LAZYBUCKETQUEUE_H
 
 #include "support/Atomics.h"
+#include "support/TSanAnnotate.h"
 #include "support/Types.h"
 
 #include <functional>
@@ -89,13 +90,22 @@ public:
       return;
     }
     int64_t Fresh = 0;
-#pragma omp parallel for schedule(static) reduction(+ : Fresh)
-    for (Count I = 0; I < M; ++I) {
-      int64_t Old = atomicExchange(&KeyOf_[Vs[I]],
-                                   toInternal(Key(I, Vs[I])));
-      if (Old == kNoBucket)
-        ++Fresh;
+    GRAPHIT_OMP_REGION_ENTER(&Fresh);
+#pragma omp parallel
+    {
+      GRAPHIT_OMP_REGION_BEGIN(&Fresh);
+      int64_t Mine = 0;
+#pragma omp for schedule(static) nowait
+      for (Count I = 0; I < M; ++I) {
+        int64_t Old = atomicExchange(&KeyOf_[Vs[I]],
+                                     toInternal(Key(I, Vs[I])));
+        if (Old == kNoBucket)
+          ++Mine;
+      }
+      fetchAdd(&Fresh, Mine);
+      GRAPHIT_OMP_REGION_END(&Fresh);
     }
+    GRAPHIT_OMP_REGION_EXIT(&Fresh);
     Pending += Fresh;
     scatterByStoredKey(Vs, M);
   }

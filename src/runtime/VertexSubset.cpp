@@ -53,14 +53,13 @@ const std::vector<VertexId> &VertexSubset::sparse() {
   if (SparseValid)
     return Sparse;
   assert(DenseValid && "subset has no representation");
+  // Stable parallel pack of set bits, in index order (the counted size is
+  // exact, so the pack fills the allocation completely).
   Sparse.resize(static_cast<size_t>(Size));
-  // Stable parallel pack of set bits, in index order.
-  std::vector<VertexId> All(static_cast<size_t>(Size));
-  Count Pos = 0;
-  for (Count I = 0; I < NumNodes; ++I)
-    if (Dense[I])
-      All[Pos++] = static_cast<VertexId>(I);
-  Sparse = std::move(All);
+  Count Packed = parallelPackIndex(
+      NumNodes, Sparse.data(), [this](Count I) { return Dense[I] != 0; });
+  (void)Packed;
+  assert(Packed == Size && "dense flag count drifted from Size");
   SparseValid = true;
   return Sparse;
 }
@@ -78,9 +77,14 @@ const std::vector<uint8_t> &VertexSubset::dense() {
   return Dense;
 }
 
-bool VertexSubset::contains(VertexId V) const {
+bool VertexSubset::contains(VertexId V) {
   assert(static_cast<Count>(V) < NumNodes && "vertex out of range");
   if (DenseValid)
     return Dense[V] != 0;
-  return std::find(Sparse.begin(), Sparse.end(), V) != Sparse.end();
+  // Tiny sparse sets: a scan beats materializing the dense map. Anything
+  // larger materializes dense() once and answers every later query in
+  // O(1) instead of O(n) per call.
+  if (Size <= kContainsScanCutoff)
+    return std::find(Sparse.begin(), Sparse.end(), V) != Sparse.end();
+  return dense()[V] != 0;
 }

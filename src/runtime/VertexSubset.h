@@ -25,6 +25,11 @@ namespace graphit {
 
 /// A subset of the vertices [0, NumNodes). Immutable size; representation
 /// can be materialized in either or both forms.
+///
+/// Materialization is lazy, so the accessors (`sparse`, `dense`,
+/// `contains`) mutate internal state and are NOT safe to call concurrently
+/// on the same subset — materialize once before handing a subset to
+/// parallel readers.
 class VertexSubset {
 public:
   /// Empty subset over \p NumNodes vertices.
@@ -55,9 +60,15 @@ public:
   /// Materializes the dense representation if needed and returns it.
   const std::vector<uint8_t> &dense();
 
-  /// Membership test (uses whichever representation exists; may scan the
-  /// sparse array — intended for tests and small sets).
-  bool contains(VertexId V) const;
+  /// Membership test. Answers from the dense map when it exists; for
+  /// sparse-only subsets above `kContainsScanCutoff` members it
+  /// materializes the dense map once (hence non-const) so repeated queries
+  /// are O(1) rather than an O(n) scan each.
+  bool contains(VertexId V);
+
+  /// Largest sparse-only subset `contains` scans linearly instead of
+  /// materializing the dense map.
+  static constexpr Count kContainsScanCutoff = 64;
 
   /// Applies \p Body to every member (parallel when sparse is available).
   template <typename Fn> void forEach(Fn &&Body) {

@@ -1,0 +1,234 @@
+//===- service/QueryEngine.cpp - Concurrent batched query serving ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/QueryEngine.h"
+
+#include "algorithms/AStar.h"
+#include "algorithms/SSSP.h"
+#include "support/Abort.h"
+
+#include <algorithm>
+#include <omp.h>
+
+using namespace graphit;
+using namespace graphit::service;
+
+QueryEngine::QueryEngine(const Graph &G, Options Opts)
+    : G(G), Opts(Opts), Pool(G.numNodes(), Opts.TrackParents) {
+  if (Opts.NumLandmarks > 0)
+    Landmarks = std::make_unique<LandmarkCache>(G, Opts.NumLandmarks,
+                                                Opts.DefaultSchedule);
+  int N = Opts.NumWorkers > 0
+              ? Opts.NumWorkers
+              : static_cast<int>(std::thread::hardware_concurrency());
+  N = std::max(N, 1);
+  Workers.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+uint64_t QueryEngine::submit(Query Q) {
+  // Malformed requests must not abort a serving process: reject them as
+  // an immediately-collectible failed result. SSSP may omit the target
+  // (kInvalidVertex); any *present* target must be in range, and A* needs
+  // a heuristic to exist (landmarks or coordinates).
+  bool TargetOk = Q.Kind == QueryKind::SSSP && Q.Target == kInvalidVertex
+                      ? true
+                      : static_cast<Count>(Q.Target) < G.numNodes();
+  bool HeurOk = Q.Kind != QueryKind::AStar || Landmarks != nullptr ||
+                G.hasCoordinates();
+  bool Valid =
+      static_cast<Count>(Q.Source) < G.numNodes() && TargetOk && HeurOk;
+  uint64_t Ticket;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Ticket = NextTicket++;
+    Outstanding.insert(Ticket);
+    if (Valid) {
+      Pending.push_back(Task{Ticket, std::move(Q)});
+    } else {
+      QueryResult R;
+      R.Failed = true;
+      Finished.emplace(Ticket, std::move(R));
+    }
+  }
+  if (Valid)
+    WorkCv.notify_one();
+  else
+    DoneCv.notify_all();
+  return Ticket;
+}
+
+QueryResult QueryEngine::collect(uint64_t Ticket) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  // An unknown or already-collected ticket would block forever below —
+  // that is a caller bug, so fail fast instead of wedging the thread. The
+  // ticket is claimed (erased) before waiting so a concurrent second
+  // collect of the same ticket trips this guard instead of deadlocking.
+  if (Outstanding.erase(Ticket) == 0)
+    fatalError("QueryEngine::collect: unknown or already-collected ticket");
+  DoneCv.wait(Lock, [&] { return Finished.count(Ticket) != 0; });
+  auto It = Finished.find(Ticket);
+  QueryResult R = std::move(It->second);
+  Finished.erase(It);
+  return R;
+}
+
+std::vector<QueryResult>
+QueryEngine::runBatch(const std::vector<Query> &Batch) {
+  std::vector<uint64_t> Tickets;
+  Tickets.reserve(Batch.size());
+  for (const Query &Q : Batch)
+    Tickets.push_back(submit(Q));
+  std::vector<QueryResult> Results;
+  Results.reserve(Batch.size());
+  for (uint64_t T : Tickets)
+    Results.push_back(collect(T));
+  return Results;
+}
+
+OrderedStats QueryEngine::aggregateStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Aggregate;
+}
+
+uint64_t QueryEngine::queriesServed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Served;
+}
+
+void QueryEngine::workerLoop() {
+  // Per-thread OpenMP ICV: each query's engine run forks this many
+  // threads. Serving throughput wants 1 (queries are the parallelism);
+  // the knob exists for few-but-huge query mixes.
+  omp_set_num_threads(std::max(1, Opts.OmpThreadsPerQuery));
+  StatePool::Lease State = Pool.acquire();
+
+  while (true) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkCv.wait(Lock, [&] { return ShuttingDown || !Pending.empty(); });
+      if (Pending.empty())
+        return; // shutting down, queue drained
+      T = std::move(Pending.front());
+      Pending.pop_front();
+    }
+    QueryResult R = runOne(T.Q, State.get());
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Aggregate.merge(R.Stats);
+      ++Served;
+      Finished.emplace(T.Ticket, std::move(R));
+    }
+    DoneCv.notify_all();
+  }
+}
+
+namespace {
+
+/// Walks the parent chain target → source, verifying each hop against the
+/// final distances (under concurrent relaxation a stored parent can lag
+/// the final distance) and repairing bad hops by scanning the vertex's
+/// in-neighbors for a predecessor on a true shortest path.
+std::vector<VertexId> extractPath(const Graph &G, DistanceState &State,
+                                  VertexId Source, VertexId Target) {
+  auto HopIsTight = [&](VertexId P, VertexId V) {
+    if (P == kInvalidVertex)
+      return false;
+    for (WNode E : G.outNeighbors(P))
+      if (E.V == V && State.dist(P) + E.W == State.dist(V))
+        return true;
+    return false;
+  };
+  auto FindPredecessor = [&](VertexId V) -> VertexId {
+    if (!G.hasInEdges())
+      return kInvalidVertex;
+    for (WNode E : G.inNeighbors(V))
+      if (State.dist(E.V) + E.W == State.dist(V))
+        return E.V;
+    return kInvalidVertex;
+  };
+
+  std::vector<VertexId> Path;
+  VertexId V = Target;
+  Path.push_back(V);
+  Count Guard = 0;
+  while (V != Source) {
+    VertexId P = State.parent(V);
+    if (!HopIsTight(P, V))
+      P = FindPredecessor(V);
+    if (P == kInvalidVertex || ++Guard > G.numNodes())
+      return {}; // no verifiable path (or a cycle — corrupt state)
+    Path.push_back(P);
+    V = P;
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+} // namespace
+
+QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
+  const Schedule &S = Q.Sched ? *Q.Sched : Opts.DefaultSchedule;
+  QueryResult R;
+
+  switch (Q.Kind) {
+  case QueryKind::SSSP:
+    R.Stats = deltaSteppingSSSP(G, Q.Source, S, State);
+    break;
+  case QueryKind::PPSP: {
+    PPSPResult P = pointToPointShortestPath(G, Q.Source, Q.Target, S, State);
+    R.Dist = P.Dist;
+    R.Stats = P.Stats;
+    break;
+  }
+  case QueryKind::AStar: {
+    PPSPResult P;
+    if (Landmarks) {
+      // Snapshot the target-side landmark distances once per query; the
+      // per-relaxation estimate then avoids K scattered |V|-vector reads.
+      LandmarkCache::TargetBound Bound = Landmarks->boundFor(Q.Target);
+      P = aStarSearch(G, Q.Source, Q.Target, S, State, &Bound);
+    } else {
+      P = aStarSearch(G, Q.Source, Q.Target, S, State, nullptr);
+    }
+    R.Dist = P.Dist;
+    R.Stats = P.Stats;
+    break;
+  }
+  }
+
+  R.Touched = State.numTouched();
+  if (Q.Kind == QueryKind::SSSP && Q.Target != kInvalidVertex)
+    R.Dist = State.dist(Q.Target); // submit() range-checked the target
+
+  if (Q.CollectReached) {
+    R.Reached.reserve(static_cast<size_t>(R.Touched));
+    for (Count I = 0; I < R.Touched; ++I) {
+      VertexId V = State.touched(I);
+      R.Reached.emplace_back(V, State.dist(V));
+    }
+    std::sort(R.Reached.begin(), R.Reached.end());
+  }
+
+  if (Q.CollectPath && State.tracksParents() &&
+      Q.Target != kInvalidVertex && State.dist(Q.Target) < kInfiniteDistance)
+    R.Path = extractPath(G, State, Q.Source, Q.Target);
+
+  return R;
+}

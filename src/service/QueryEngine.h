@@ -1,0 +1,183 @@
+//===- service/QueryEngine.h - Concurrent batched query serving -*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query-serving layer over the ordered engines: a pool of worker
+/// threads executes batches of concurrent SSSP/PPSP/A* queries against a
+/// shared immutable graph snapshot.
+///
+/// What makes serving different from the paper's single-run setting:
+///
+///  * every worker owns a pooled `DistanceState` (epoch-versioned
+///    distance/parent arrays), so a query pays O(touched) setup instead of
+///    the O(V) infinity-fill a fresh run pays;
+///  * an optional `LandmarkCache` (ALT) sharpens the A* bound beyond the
+///    coordinate heuristic, shared read-only by all workers;
+///  * each query runs through the ordinary ordered engine — eager with
+///    fusion, eager, or lazy, selectable per query — one engine run per
+///    query, many queries in flight.
+///
+/// The O(touched) setup applies to the eager engines (distance array and
+/// the O(E) frontier buffer are pooled). Lazy-schedule queries reuse the
+/// pooled distance array but still construct their bucket queue and
+/// traversal buffers per run (O(V)); serve latency-sensitive point
+/// queries with an eager schedule.
+///
+/// The API is submit/collect (tickets) with a `runBatch` convenience;
+/// results are bit-identical to sequential per-query runs (shortest-path
+/// distances are unique, and the early-exit predicates are exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SERVICE_QUERYENGINE_H
+#define GRAPHIT_SERVICE_QUERYENGINE_H
+
+#include "algorithms/PPSP.h"
+#include "core/OrderedProcess.h"
+#include "core/Schedule.h"
+#include "graph/Graph.h"
+#include "service/LandmarkCache.h"
+#include "service/StatePool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace graphit {
+namespace service {
+
+/// Which algorithm a query runs.
+enum class QueryKind { SSSP, PPSP, AStar };
+
+/// One point(-to-point) query against the engine's graph snapshot.
+struct Query {
+  QueryKind Kind = QueryKind::PPSP;
+  VertexId Source = 0;
+  /// Required for PPSP/A*; ignored for SSSP.
+  VertexId Target = kInvalidVertex;
+  /// Per-query schedule override; the engine default applies when absent.
+  std::optional<Schedule> Sched;
+  /// SSSP only: return the (vertex, distance) pairs of every reached
+  /// vertex, sorted by vertex id (O(touched log touched) extra work).
+  bool CollectReached = false;
+  /// PPSP/A* with parent tracking enabled: return the shortest path.
+  bool CollectPath = false;
+};
+
+/// Result of one query.
+struct QueryResult {
+  /// True when the query was rejected without running (out-of-range
+  /// source/target); every other field is then default-valued. A malformed
+  /// request must not take down a serving process.
+  bool Failed = false;
+  /// PPSP/A*: the target distance (kInfiniteDistance if unreachable).
+  /// SSSP: kInfiniteDistance (per-vertex distances via Reached).
+  Priority Dist = kInfiniteDistance;
+  OrderedStats Stats;
+  /// Vertices the query improved (== vertices at finite distance).
+  Count Touched = 0;
+  /// See Query::CollectReached.
+  std::vector<std::pair<VertexId, Priority>> Reached;
+  /// See Query::CollectPath: source → target vertex chain. Empty if the
+  /// target is unreachable, the path was not requested, or no hop-by-hop
+  /// verifiable path could be reconstructed (possible on directed graphs
+  /// without incoming adjacency, where a concurrency-stale parent pointer
+  /// cannot be repaired by a predecessor scan).
+  std::vector<VertexId> Path;
+};
+
+/// Thread-pool query engine over one immutable graph snapshot. The graph
+/// (and any landmark cache built from it) must outlive the engine.
+class QueryEngine {
+public:
+  struct Options {
+    Options() {} // usable as a `{}` default argument under GCC 12
+    /// Worker threads; 0 = hardware concurrency.
+    int NumWorkers = 0;
+    /// Schedule for queries that don't carry their own.
+    Schedule DefaultSchedule;
+    /// Landmarks to precompute for the ALT A* bound; 0 disables the cache
+    /// (A* then uses the coordinate heuristic).
+    int NumLandmarks = 0;
+    /// Maintain parent arrays so queries can return paths.
+    bool TrackParents = false;
+    /// OpenMP threads *inside* each query's engine run. Serving many
+    /// concurrent queries usually wants 1 (parallelism across queries,
+    /// not within them); large single queries may want more.
+    int OmpThreadsPerQuery = 1;
+  };
+
+  QueryEngine(const Graph &G, Options Opts = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine &) = delete;
+  QueryEngine &operator=(const QueryEngine &) = delete;
+
+  /// Enqueues \p Q; returns a ticket for collect(). Thread-safe. A query
+  /// with an out-of-range source/target is not enqueued: its ticket
+  /// resolves immediately to a result with `Failed == true`.
+  uint64_t submit(Query Q);
+
+  /// Blocks until the query behind \p Ticket finishes and returns its
+  /// result. Each ticket may be collected exactly once; collecting an
+  /// unknown or already-collected ticket is a fatal error (it would
+  /// otherwise block forever). Thread-safe.
+  QueryResult collect(uint64_t Ticket);
+
+  /// Submits the whole batch and collects the results in input order.
+  std::vector<QueryResult> runBatch(const std::vector<Query> &Batch);
+
+  /// The ALT cache (null when Options::NumLandmarks == 0).
+  const LandmarkCache *landmarks() const { return Landmarks.get(); }
+
+  /// Aggregate engine counters over all completed queries.
+  OrderedStats aggregateStats() const;
+  /// Queries completed so far.
+  uint64_t queriesServed() const;
+  /// Worker threads in the pool.
+  int numWorkers() const { return static_cast<int>(Workers.size()); }
+
+private:
+  struct Task {
+    uint64_t Ticket;
+    Query Q;
+  };
+
+  void workerLoop();
+  QueryResult runOne(const Query &Q, DistanceState &State) const;
+
+  const Graph &G;
+  Options Opts;
+  std::unique_ptr<LandmarkCache> Landmarks;
+  StatePool Pool;
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::deque<Task> Pending;
+  std::unordered_map<uint64_t, QueryResult> Finished;
+  std::unordered_set<uint64_t> Outstanding; ///< issued, not yet collected
+  uint64_t NextTicket = 1;
+  uint64_t Served = 0;
+  OrderedStats Aggregate;
+  bool ShuttingDown = false;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace service
+} // namespace graphit
+
+#endif // GRAPHIT_SERVICE_QUERYENGINE_H

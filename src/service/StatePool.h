@@ -1,0 +1,119 @@
+//===- service/StatePool.h - Reusable query-state pool ----------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe pool of `DistanceState` objects (algorithms/QueryState.h).
+/// Each state is a few arrays of length |V|; allocating and
+/// infinity-filling them per query is exactly the O(V) setup cost the
+/// pooled algorithm variants eliminate, so states are built once and
+/// leased out. The QueryEngine leases one state per worker thread for the
+/// worker's lifetime; standalone callers (examples, tests) can lease
+/// ad hoc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SERVICE_STATEPOOL_H
+#define GRAPHIT_SERVICE_STATEPOOL_H
+
+#include "algorithms/QueryState.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace graphit {
+namespace service {
+
+/// Mutex-guarded free list of `DistanceState`s for one graph size.
+/// `acquire` pops a pooled state (or builds one on first use); the
+/// returned Lease gives it back on destruction. States come back dirty —
+/// the next `beginQuery` on them is what pays the O(touched) reset.
+class StatePool {
+public:
+  StatePool(Count NumNodes, bool TrackParents = false)
+      : NumNodes(NumNodes), TrackParents(TrackParents) {}
+
+  StatePool(const StatePool &) = delete;
+  StatePool &operator=(const StatePool &) = delete;
+
+  /// RAII lease: owns a DistanceState until destruction, then returns it
+  /// to the pool. Movable, not copyable.
+  class Lease {
+  public:
+    Lease() = default;
+    Lease(StatePool *Owner, std::unique_ptr<DistanceState> State)
+        : Owner(Owner), State(std::move(State)) {}
+    Lease(Lease &&O) noexcept = default;
+    Lease &operator=(Lease &&O) noexcept {
+      release();
+      Owner = O.Owner;
+      State = std::move(O.State);
+      O.Owner = nullptr;
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    explicit operator bool() const { return State != nullptr; }
+    DistanceState &get() { return *State; }
+    DistanceState *operator->() { return State.get(); }
+
+  private:
+    void release() {
+      if (Owner && State)
+        Owner->giveBack(std::move(State));
+      Owner = nullptr;
+    }
+    StatePool *Owner = nullptr;
+    std::unique_ptr<DistanceState> State;
+  };
+
+  /// Leases a state, building one if the free list is empty.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> Guard(Mu);
+      if (!Free.empty()) {
+        std::unique_ptr<DistanceState> S = std::move(Free.back());
+        Free.pop_back();
+        return Lease(this, std::move(S));
+      }
+      ++Created;
+    }
+    // Construction happens outside the lock: the arrays are |V|-sized.
+    return Lease(this,
+                 std::make_unique<DistanceState>(NumNodes, TrackParents));
+  }
+
+  /// States currently sitting in the free list.
+  size_t idle() const {
+    std::lock_guard<std::mutex> Guard(Mu);
+    return Free.size();
+  }
+
+  /// Total states ever built (allocation high-water mark).
+  size_t created() const {
+    std::lock_guard<std::mutex> Guard(Mu);
+    return Created;
+  }
+
+private:
+  friend class Lease;
+  void giveBack(std::unique_ptr<DistanceState> S) {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Free.push_back(std::move(S));
+  }
+
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<DistanceState>> Free;
+  size_t Created = 0;
+  Count NumNodes;
+  bool TrackParents;
+};
+
+} // namespace service
+} // namespace graphit
+
+#endif // GRAPHIT_SERVICE_STATEPOOL_H

@@ -93,6 +93,22 @@ template <typename T> T atomicLoad(const T *Target) {
       .load(std::memory_order_acquire);
 }
 
+/// Atomic load with relaxed ordering: the data-race-free form of the "read
+/// then maybe CAS" pre-check pattern. Compiles to a plain load on x86, so
+/// hot-path pre-checks (`if (Dist[v] <= nd) skip`) cost nothing extra while
+/// remaining well-defined (and TSan-clean) against a concurrent CAS.
+template <typename T> T atomicLoadRelaxed(const T *Target) {
+  return detail::asAtomic(*const_cast<T *>(Target))
+      .load(std::memory_order_relaxed);
+}
+
+/// Atomic store with relaxed ordering, for single-writer slots that other
+/// threads may concurrently read atomically (publication happens at the
+/// next barrier, not through this store).
+template <typename T> void atomicStoreRelaxed(T *Target, T Value) {
+  detail::asAtomic(*Target).store(Value, std::memory_order_relaxed);
+}
+
 /// Atomic store with release semantics.
 template <typename T> void atomicStore(T *Target, T Value) {
   detail::asAtomic(*Target).store(Value, std::memory_order_release);

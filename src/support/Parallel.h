@@ -16,6 +16,8 @@
 #ifndef GRAPHIT_SUPPORT_PARALLEL_H
 #define GRAPHIT_SUPPORT_PARALLEL_H
 
+#include "support/Atomics.h"
+#include "support/TSanAnnotate.h"
 #include "support/Types.h"
 
 #include <algorithm>
@@ -57,31 +59,48 @@ void parallelFor(Count Begin, Count End, Fn &&Body,
   assert(Begin <= End && "parallelFor got an inverted range");
   if (End - Begin < kSerialGrain)
     Strategy = Parallelization::Serial;
-  switch (Strategy) {
-  case Parallelization::Serial:
-    for (Count I = Begin; I < End; ++I)
-      Body(I);
-    return;
-  case Parallelization::StaticVertexParallel:
-#pragma omp parallel for schedule(static)
-    for (Count I = Begin; I < End; ++I)
-      Body(I);
-    return;
-  case Parallelization::DynamicVertexParallel:
-#pragma omp parallel for schedule(dynamic, kDynamicGrain)
+  if (Strategy == Parallelization::Serial) {
     for (Count I = Begin; I < End; ++I)
       Body(I);
     return;
   }
+  int Tag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
+#pragma omp parallel
+  {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
+    if (Strategy == Parallelization::StaticVertexParallel) {
+#pragma omp for schedule(static) nowait
+      for (Count I = Begin; I < End; ++I)
+        Body(I);
+    } else {
+#pragma omp for schedule(dynamic, kDynamicGrain) nowait
+      for (Count I = Begin; I < End; ++I)
+        Body(I);
+    }
+    GRAPHIT_OMP_REGION_END(&Tag);
+  }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
 }
 
-/// Sums `Fn(I)` over [Begin, End) in parallel.
+/// Sums `Fn(I)` over [Begin, End) in parallel. Merged with one atomic add
+/// per thread rather than an OpenMP `reduction` clause, whose libgomp-side
+/// combine is invisible to ThreadSanitizer.
 template <typename Fn>
 int64_t parallelSum(Count Begin, Count End, Fn &&Body) {
   int64_t Total = 0;
-#pragma omp parallel for schedule(static) reduction(+ : Total)
-  for (Count I = Begin; I < End; ++I)
-    Total += Body(I);
+  GRAPHIT_OMP_REGION_ENTER(&Total);
+#pragma omp parallel
+  {
+    GRAPHIT_OMP_REGION_BEGIN(&Total);
+    int64_t Mine = 0;
+#pragma omp for schedule(static) nowait
+    for (Count I = Begin; I < End; ++I)
+      Mine += Body(I);
+    fetchAdd(&Total, Mine);
+    GRAPHIT_OMP_REGION_END(&Total);
+  }
+  GRAPHIT_OMP_REGION_EXIT(&Total);
   return Total;
 }
 
@@ -90,9 +109,18 @@ int64_t parallelSum(Count Begin, Count End, Fn &&Body) {
 template <typename Fn>
 int64_t parallelMin(Count Begin, Count End, int64_t Identity, Fn &&Body) {
   int64_t Result = Identity;
-#pragma omp parallel for schedule(static) reduction(min : Result)
-  for (Count I = Begin; I < End; ++I)
-    Result = std::min(Result, static_cast<int64_t>(Body(I)));
+  GRAPHIT_OMP_REGION_ENTER(&Result);
+#pragma omp parallel
+  {
+    GRAPHIT_OMP_REGION_BEGIN(&Result);
+    int64_t Mine = Identity;
+#pragma omp for schedule(static) nowait
+    for (Count I = Begin; I < End; ++I)
+      Mine = std::min(Mine, static_cast<int64_t>(Body(I)));
+    atomicMin(&Result, Mine);
+    GRAPHIT_OMP_REGION_END(&Result);
+  }
+  GRAPHIT_OMP_REGION_EXIT(&Result);
   return Result;
 }
 
@@ -127,23 +155,38 @@ Count packImpl(Count N, OutT *Out, KeepIdxFn &&Keep, GetFn &&Get) {
     return M;
   }
   std::vector<int64_t> BlockCounts(NumBlocks + 1, 0);
-#pragma omp parallel for schedule(static, 1)
-  for (int B = 0; B < NumBlocks; ++B) {
-    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
-    int64_t Kept = 0;
-    for (Count I = Lo; I < Hi; ++I)
-      Kept += Keep(I) ? 1 : 0;
-    BlockCounts[B] = Kept;
+  int Tag = 0;
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
+#pragma omp parallel
+  {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
+#pragma omp for schedule(static, 1) nowait
+    for (int B = 0; B < NumBlocks; ++B) {
+      Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+      int64_t Kept = 0;
+      for (Count I = Lo; I < Hi; ++I)
+        Kept += Keep(I) ? 1 : 0;
+      BlockCounts[B] = Kept;
+    }
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
   int64_t Total = exclusivePrefixSum(BlockCounts.data(), NumBlocks + 1);
-#pragma omp parallel for schedule(static, 1)
-  for (int B = 0; B < NumBlocks; ++B) {
-    Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
-    Count Pos = BlockCounts[B];
-    for (Count I = Lo; I < Hi; ++I)
-      if (Keep(I))
-        Out[Pos++] = Get(I);
+  GRAPHIT_OMP_REGION_ENTER(&Tag);
+#pragma omp parallel
+  {
+    GRAPHIT_OMP_REGION_BEGIN(&Tag);
+#pragma omp for schedule(static, 1) nowait
+    for (int B = 0; B < NumBlocks; ++B) {
+      Count Lo = B * BlockSize, Hi = std::min(N, Lo + BlockSize);
+      Count Pos = BlockCounts[B];
+      for (Count I = Lo; I < Hi; ++I)
+        if (Keep(I))
+          Out[Pos++] = Get(I);
+    }
+    GRAPHIT_OMP_REGION_END(&Tag);
   }
+  GRAPHIT_OMP_REGION_EXIT(&Tag);
   return Total;
 }
 

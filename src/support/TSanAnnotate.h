@@ -1,0 +1,130 @@
+//===- support/TSanAnnotate.h - ThreadSanitizer HB annotations --*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Happens-before annotations that make OpenMP fork/join and barrier
+/// synchronization visible to ThreadSanitizer.
+///
+/// GCC's libgomp is not TSan-instrumented: its barriers and join points
+/// synchronize through futexes TSan cannot see, so every value handed
+/// across a barrier — including the results of a plain `omp parallel for`
+/// — is reported as a race. Blanket-suppressing libgomp frames would also
+/// hide *real* races inside parallel regions, so instead each parallel
+/// primitive in this codebase publishes the edges itself:
+///
+///   GRAPHIT_TSAN_RELEASE(tag)  before a synchronization point (worker
+///                              done, pre-barrier)
+///   GRAPHIT_TSAN_ACQUIRE(tag)  after it (caller resumes, post-barrier)
+///   GRAPHIT_OMP_BARRIER(tag)   an `omp barrier` with edges on both sides
+///
+/// The annotations pair by address; a stack variable scoped to the region
+/// is the usual tag. They expand to nothing outside TSan builds, and they
+/// never *hide* a race between concurrently running iterations — edges are
+/// only added where libgomp really synchronizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_TSANANNOTATE_H
+#define GRAPHIT_SUPPORT_TSANANNOTATE_H
+
+#if defined(__SANITIZE_THREAD__)
+#define GRAPHIT_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GRAPHIT_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef GRAPHIT_TSAN_ENABLED
+
+#include <cstddef>
+#include <omp.h>
+
+extern "C" {
+void AnnotateHappensBefore(const char *File, int Line,
+                           const volatile void *Addr);
+void AnnotateHappensAfter(const char *File, int Line,
+                          const volatile void *Addr);
+void AnnotateIgnoreWritesBegin(const char *File, int Line);
+void AnnotateIgnoreWritesEnd(const char *File, int Line);
+
+/// Global gate tag for the pre-region sync round (defined in Parallel.cpp).
+extern char GraphitTsanRegionGate;
+}
+
+#define GRAPHIT_TSAN_RELEASE(Addr)                                            \
+  AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void *)(Addr))
+#define GRAPHIT_TSAN_ACQUIRE(Addr)                                            \
+  AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void *)(Addr))
+
+// Immediately before `#pragma omp parallel`. Closes the two TSan blind
+// spots of the closure handoff:
+//
+//  1. The compiler stores the region's closure struct (shared-variable
+//     addresses, loop bounds) into the caller's frame *at the pragma*, and
+//     each worker's prologue loads it through a restrict pointer *before*
+//     any statement of ours runs — libgomp's team wake-up is invisible to
+//     TSan, so those loads would pair with whatever unrelated write last
+//     landed on the recycled stack slots. A preliminary *capture-free*
+//     parallel round gives every pool thread an acquire on a global gate
+//     (no closure, so nothing in it can race); the caller's release before
+//     it covers all of the caller's — and transitively all previous
+//     workers' — earlier writes.
+//  2. The closure stores themselves still follow that release, so the
+//     caller ignores its own writes across the handoff; the master ends
+//     the ignore as its first in-region statement (REGION_BEGIN), leaving
+//     only the closure stores in the window.
+#define GRAPHIT_OMP_REGION_ENTER(Addr)                                        \
+  do {                                                                        \
+    GRAPHIT_TSAN_RELEASE(Addr);                                               \
+    GRAPHIT_TSAN_RELEASE(&GraphitTsanRegionGate);                             \
+    _Pragma("omp parallel")                                                   \
+    { GRAPHIT_TSAN_ACQUIRE(&GraphitTsanRegionGate); }                         \
+    AnnotateIgnoreWritesBegin(__FILE__, __LINE__);                            \
+  } while (0)
+
+// First statement inside the region body. The master (the encountering
+// thread) stops ignoring writes — only the closure stores fall inside the
+// ignore window — and every thread acquires the caller's published state.
+#define GRAPHIT_OMP_REGION_BEGIN(Addr)                                        \
+  do {                                                                        \
+    if (omp_get_thread_num() == 0)                                            \
+      AnnotateIgnoreWritesEnd(__FILE__, __LINE__);                            \
+    GRAPHIT_TSAN_ACQUIRE(Addr);                                               \
+  } while (0)
+
+// Last statement inside the region body: publish this thread's writes for
+// the caller to acquire after the (TSan-invisible) join barrier.
+#define GRAPHIT_OMP_REGION_END(Addr) GRAPHIT_TSAN_RELEASE(Addr)
+
+// Immediately after the region: acquire every worker's published writes.
+#define GRAPHIT_OMP_REGION_EXIT(Addr) GRAPHIT_TSAN_ACQUIRE(Addr)
+
+#else
+
+// Consume the tag expression so tag variables don't trip -Wunused in
+// regular builds; no code is generated.
+#define GRAPHIT_TSAN_RELEASE(Addr) ((void)(Addr))
+#define GRAPHIT_TSAN_ACQUIRE(Addr) ((void)(Addr))
+#define GRAPHIT_OMP_REGION_ENTER(Addr) ((void)(Addr))
+#define GRAPHIT_OMP_REGION_BEGIN(Addr) ((void)(Addr))
+#define GRAPHIT_OMP_REGION_END(Addr) ((void)(Addr))
+#define GRAPHIT_OMP_REGION_EXIT(Addr) ((void)(Addr))
+
+#endif
+
+/// An `omp barrier` every thread passes, with the happens-before edges TSan
+/// needs on both sides (all pre-barrier writes visible to all threads after
+/// it).
+#define GRAPHIT_OMP_BARRIER(Addr)                                             \
+  do {                                                                        \
+    GRAPHIT_TSAN_RELEASE(Addr);                                               \
+    _Pragma("omp barrier");                                                   \
+    GRAPHIT_TSAN_ACQUIRE(Addr);                                               \
+  } while (0)
+
+#endif // GRAPHIT_SUPPORT_TSANANNOTATE_H

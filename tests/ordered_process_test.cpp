@@ -53,12 +53,14 @@ std::vector<Priority> runEager(const Graph &G, VertexId Src,
   Dist[Src] = 0;
   int64_t Delta = S.Delta;
   auto Relax = [&](VertexId U, int64_t CurrKey, auto &&Push) {
-    if (Dist[U] / Delta < CurrKey)
+    // Relaxed atomic pre-checks: concurrent relaxations CAS these slots.
+    Priority DU = atomicLoadRelaxed(&Dist[U]);
+    if (DU / Delta < CurrKey)
       return; // stale entry, already settled in an earlier bucket
-    Priority DU = Dist[U];
     for (WNode E : G.outNeighbors(U)) {
       Priority ND = DU + E.W;
-      if (ND < Dist[E.V] && atomicWriteMin(&Dist[E.V], ND))
+      if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
+          atomicWriteMin(&Dist[E.V], ND))
         Push(E.V, ND / Delta);
     }
   };

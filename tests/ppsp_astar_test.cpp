@@ -80,6 +80,84 @@ INSTANTIATE_TEST_SUITE_P(
         StrategyCase{"Lazy", UpdateStrategy::Lazy}),
     [](const auto &Info) { return Info.param.Name; });
 
+//===----------------------------------------------------------------------===//
+// Early exit at Δ-boundaries
+//
+// The stop predicate is `CurrKey * Delta >= Dist[Target]`. When the
+// target's true distance lands *exactly* on a bucket boundary (dist = kΔ),
+// an off-by-one in either direction would terminate one bucket early
+// (wrong, possibly non-final distance) or one bucket late (missed exit).
+// These are regressions for that edge, for Δ ∈ {1, 4, 17}, eager and lazy.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BoundaryCase {
+  const char *Name;
+  UpdateStrategy Update;
+  int64_t Delta;
+};
+
+class DeltaBoundaryTest : public ::testing::TestWithParam<BoundaryCase> {};
+
+} // namespace
+
+TEST_P(DeltaBoundaryTest, UnitPathTargetsOnExactBucketBoundaries) {
+  // Unit-weight path 0 → 1 → ... → n-1: dist(k) = k, so targets at
+  // multiples of Δ sit exactly on bucket boundaries. The long tail after
+  // each target would be explored by a late exit and is how we know the
+  // distance is final rather than tentative.
+  const int64_t Delta = GetParam().Delta;
+  constexpr Count N = 120;
+  Graph G = GraphBuilder().build(N, pathEdges(N));
+  Schedule S;
+  S.Update = GetParam().Update;
+  S.Delta = Delta;
+  for (int64_t Mult = 1; Mult * Delta < N; ++Mult) {
+    auto Target = static_cast<VertexId>(Mult * Delta);
+    PPSPResult R = pointToPointShortestPath(G, 0, Target, S);
+    EXPECT_EQ(R.Dist, Mult * Delta) << "delta " << Delta << " target "
+                                    << Target;
+  }
+}
+
+TEST_P(DeltaBoundaryTest, RoadTargetsWhoseDistanceIsAMultipleOfDelta) {
+  // On a generated road network, scan for vertices whose exact distance is
+  // ≡ 0 (mod Δ) and require PPSP and A* to agree with Dijkstra on each.
+  Graph G = roadWithCoords(30, 99);
+  VertexId Src = 5;
+  std::vector<Priority> Exact = dijkstraSSSP(G, Src);
+  Schedule S;
+  S.Update = GetParam().Update;
+  S.Delta = GetParam().Delta;
+  int Checked = 0;
+  for (Count V = 0; V < G.numNodes() && Checked < 12; ++V) {
+    if (Exact[V] == kInfiniteDistance || Exact[V] == 0 ||
+        Exact[V] % S.Delta != 0)
+      continue;
+    ++Checked;
+    auto Target = static_cast<VertexId>(V);
+    EXPECT_EQ(pointToPointShortestPath(G, Src, Target, S).Dist, Exact[V])
+        << "PPSP delta " << S.Delta << " target " << Target;
+    EXPECT_EQ(aStarSearch(G, Src, Target, S).Dist, Exact[V])
+        << "A* delta " << S.Delta << " target " << Target;
+  }
+  EXPECT_GT(Checked, 0) << "no boundary-distance targets found";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, DeltaBoundaryTest,
+    ::testing::Values(
+        BoundaryCase{"EagerD1", UpdateStrategy::EagerWithFusion, 1},
+        BoundaryCase{"EagerD4", UpdateStrategy::EagerWithFusion, 4},
+        BoundaryCase{"EagerD17", UpdateStrategy::EagerWithFusion, 17},
+        BoundaryCase{"EagerNoFusionD4", UpdateStrategy::EagerNoFusion, 4},
+        BoundaryCase{"EagerNoFusionD17", UpdateStrategy::EagerNoFusion, 17},
+        BoundaryCase{"LazyD1", UpdateStrategy::Lazy, 1},
+        BoundaryCase{"LazyD4", UpdateStrategy::Lazy, 4},
+        BoundaryCase{"LazyD17", UpdateStrategy::Lazy, 17}),
+    [](const auto &Info) { return Info.param.Name; });
+
 TEST(PPSP, EarlyExitDoesLessWorkThanFullSSSP) {
   Graph G = roadWithCoords(50, 3);
   Schedule S;

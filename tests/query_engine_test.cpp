@@ -1,0 +1,398 @@
+//===- tests/query_engine_test.cpp - Query service tests ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/QueryEngine.h"
+
+#include "algorithms/AStar.h"
+#include "algorithms/Dijkstra.h"
+#include "algorithms/PPSP.h"
+#include "algorithms/QueryState.h"
+#include "algorithms/SSSP.h"
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "service/LandmarkCache.h"
+#include "service/StatePool.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace graphit;
+using namespace graphit::service;
+
+namespace {
+
+Graph roadWithCoords(Count Side, uint64_t Seed) {
+  RoadNetwork Net = roadGrid(Side, Side, Seed);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  return GraphBuilder(Options).build(Net.NumNodes, Net.Edges,
+                                     std::move(Net.Coords));
+}
+
+Schedule scheduleFor(int Which) {
+  Schedule S;
+  switch (Which % 3) {
+  case 0:
+    S.Update = UpdateStrategy::EagerWithFusion;
+    break;
+  case 1:
+    S.Update = UpdateStrategy::EagerNoFusion;
+    break;
+  default:
+    S.Update = UpdateStrategy::Lazy;
+    break;
+  }
+  const int64_t Deltas[] = {1024, 2048, 8192};
+  S.Delta = Deltas[(Which / 3) % 3];
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DistanceState (pooled algorithm variants)
+//===----------------------------------------------------------------------===//
+
+TEST(DistanceState, PooledSSSPMatchesFreshAcrossReuse) {
+  Graph G = roadWithCoords(30, 7);
+  Schedule S;
+  S.Delta = 2048;
+  DistanceState State(G.numNodes());
+  // Reuse the same state for several sources; each run must match a fresh
+  // run exactly, proving the O(touched) reset leaves no residue.
+  for (VertexId Src : {VertexId{0}, VertexId{451}, VertexId{0},
+                       static_cast<VertexId>(G.numNodes() - 1)}) {
+    deltaSteppingSSSP(G, Src, S, State);
+    SSSPResult Fresh = deltaSteppingSSSP(G, Src, S);
+    for (Count V = 0; V < G.numNodes(); ++V)
+      ASSERT_EQ(State.dist(static_cast<VertexId>(V)), Fresh.Dist[V])
+          << "src " << Src << " vertex " << V;
+  }
+}
+
+TEST(DistanceState, TouchedListIsExactlyTheReachedSet) {
+  Graph G = roadWithCoords(20, 3);
+  Schedule S;
+  S.Delta = 4096;
+  DistanceState State(G.numNodes());
+  deltaSteppingSSSP(G, 17, S, State);
+  std::vector<uint8_t> InTouched(static_cast<size_t>(G.numNodes()), 0);
+  for (Count I = 0; I < State.numTouched(); ++I) {
+    VertexId V = State.touched(I);
+    EXPECT_FALSE(InTouched[V]) << "duplicate touched entry " << V;
+    InTouched[V] = 1;
+  }
+  for (Count V = 0; V < G.numNodes(); ++V)
+    EXPECT_EQ(InTouched[V] != 0,
+              State.dist(static_cast<VertexId>(V)) < kInfiniteDistance)
+        << "vertex " << V;
+}
+
+TEST(DistanceState, PooledPPSPAndAStarMatchDijkstra) {
+  Graph G = roadWithCoords(30, 11);
+  DistanceState State(G.numNodes());
+  SplitMix64 Rng(23);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    Schedule S = scheduleFor(Trial);
+    auto Src = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    auto Dst = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Priority Exact = dijkstraPPSP(G, Src, Dst);
+    EXPECT_EQ(pointToPointShortestPath(G, Src, Dst, S, State).Dist, Exact);
+    EXPECT_EQ(aStarSearch(G, Src, Dst, S, State).Dist, Exact);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// StatePool
+//===----------------------------------------------------------------------===//
+
+TEST(StatePool, LeasesAreReused) {
+  StatePool Pool(100);
+  {
+    StatePool::Lease A = Pool.acquire();
+    StatePool::Lease B = Pool.acquire();
+    EXPECT_TRUE(A);
+    EXPECT_TRUE(B);
+    EXPECT_EQ(Pool.created(), 2u);
+  }
+  EXPECT_EQ(Pool.idle(), 2u);
+  StatePool::Lease C = Pool.acquire();
+  EXPECT_EQ(Pool.created(), 2u) << "lease should come from the free list";
+  EXPECT_EQ(Pool.idle(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// LandmarkCache (ALT)
+//===----------------------------------------------------------------------===//
+
+TEST(LandmarkCache, BoundIsAdmissibleAndConsistent) {
+  Graph G = roadWithCoords(25, 31);
+  Schedule S;
+  S.Delta = 4096;
+  LandmarkCache Cache(G, 4, S);
+  ASSERT_EQ(Cache.numLandmarks(), 4);
+
+  VertexId Target = static_cast<VertexId>(G.numNodes() / 2);
+  std::vector<Priority> Exact = dijkstraSSSP(G, Target); // symmetric graph
+  EXPECT_EQ(Cache.estimate(Target, Target), 0);
+  for (VertexId V = 0; V < G.numNodes(); V += 7) {
+    Priority H = Cache.estimate(V, Target);
+    if (Exact[V] != kInfiniteDistance)
+      EXPECT_LE(H, Exact[V]) << "inadmissible at " << V;
+    for (WNode E : G.outNeighbors(V))
+      EXPECT_LE(H, E.W + Cache.estimate(E.V, Target))
+          << "inconsistent edge " << V << " -> " << E.V;
+  }
+}
+
+TEST(LandmarkCache, NoDuplicateLandmarksOnDisconnectedGraphs) {
+  // Two components {0,1,2} and {3,4,5}; a budget above the probe
+  // component's size must stop at distinct landmarks, not re-select one
+  // (each duplicate would cost a full redundant SSSP).
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Graph G = GraphBuilder(Options).build(
+      6, {{0, 1, 5}, {1, 2, 5}, {3, 4, 5}, {4, 5, 5}});
+  LandmarkCache Cache(G, 6, Schedule{});
+  EXPECT_LE(Cache.numLandmarks(), 3);
+  std::vector<VertexId> L = Cache.landmarks();
+  std::sort(L.begin(), L.end());
+  EXPECT_TRUE(std::adjacent_find(L.begin(), L.end()) == L.end())
+      << "duplicate landmark selected";
+}
+
+TEST(LandmarkCache, TightensTheCoordinateBound) {
+  Graph G = roadWithCoords(30, 5);
+  Schedule S;
+  S.Delta = 4096;
+  LandmarkCache Cache(G, 8, S);
+  // The ALT bound dominates the coordinate bound by construction (max of
+  // the two); verify it is strictly tighter somewhere.
+  VertexId Target = 0;
+  bool StrictlyTighter = false;
+  for (VertexId V = 0; V < G.numNodes(); V += 13) {
+    Priority HC = aStarHeuristic(G, V, Target);
+    Priority HL = Cache.estimate(V, Target);
+    ASSERT_GE(HL, HC);
+    StrictlyTighter |= HL > HC;
+  }
+  EXPECT_TRUE(StrictlyTighter);
+}
+
+//===----------------------------------------------------------------------===//
+// QueryEngine
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, MixedBatchIsBitIdenticalToSequentialRuns) {
+  Graph G = roadWithCoords(40, 77);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 4;
+  Opts.NumLandmarks = 4;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(G, Opts);
+
+  // >= 256 randomized queries mixing all three kinds, schedules, and
+  // deltas. Every result must equal the sequential fresh-state run.
+  constexpr int kNumQueries = 260;
+  SplitMix64 Rng(2020);
+  std::vector<Query> Batch;
+  for (int I = 0; I < kNumQueries; ++I) {
+    Query Q;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Sched = scheduleFor(static_cast<int>(Rng.nextInt(0, 9)));
+    switch (Rng.nextInt(0, 3)) {
+    case 0:
+      Q.Kind = QueryKind::SSSP;
+      Q.CollectReached = true;
+      break;
+    case 1:
+      Q.Kind = QueryKind::PPSP;
+      break;
+    default:
+      Q.Kind = QueryKind::AStar;
+      break;
+    }
+    Batch.push_back(Q);
+  }
+
+  std::vector<QueryResult> Results = Engine.runBatch(Batch);
+  ASSERT_EQ(Results.size(), Batch.size());
+  EXPECT_EQ(Engine.queriesServed(), static_cast<uint64_t>(kNumQueries));
+
+  for (int I = 0; I < kNumQueries; ++I) {
+    const Query &Q = Batch[I];
+    const Schedule &S = *Q.Sched;
+    if (Q.Kind == QueryKind::SSSP) {
+      SSSPResult Ref = deltaSteppingSSSP(G, Q.Source, S);
+      Count Finite = 0;
+      for (Count V = 0; V < G.numNodes(); ++V)
+        Finite += Ref.Dist[V] < kInfiniteDistance ? 1 : 0;
+      ASSERT_EQ(static_cast<Count>(Results[I].Reached.size()), Finite)
+          << "query " << I;
+      for (const auto &[V, D] : Results[I].Reached)
+        ASSERT_EQ(D, Ref.Dist[V]) << "query " << I << " vertex " << V;
+    } else if (Q.Kind == QueryKind::PPSP) {
+      PPSPResult Ref =
+          pointToPointShortestPath(G, Q.Source, Q.Target, S);
+      ASSERT_EQ(Results[I].Dist, Ref.Dist) << "query " << I;
+    } else {
+      PPSPResult Ref = aStarSearch(G, Q.Source, Q.Target, S);
+      ASSERT_EQ(Results[I].Dist, Ref.Dist) << "query " << I;
+    }
+  }
+}
+
+TEST(QueryEngine, SubmitCollectOutOfOrder) {
+  Graph G = roadWithCoords(20, 9);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 2;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(G, Opts);
+
+  Query A;
+  A.Kind = QueryKind::PPSP;
+  A.Source = 0;
+  A.Target = static_cast<VertexId>(G.numNodes() - 1);
+  Query B = A;
+  B.Source = static_cast<VertexId>(G.numNodes() / 2);
+
+  uint64_t TA = Engine.submit(A);
+  uint64_t TB = Engine.submit(B);
+  // Collect in reverse submission order.
+  QueryResult RB = Engine.collect(TB);
+  QueryResult RA = Engine.collect(TA);
+  EXPECT_EQ(RA.Dist, dijkstraPPSP(G, A.Source, A.Target));
+  EXPECT_EQ(RB.Dist, dijkstraPPSP(G, B.Source, B.Target));
+}
+
+TEST(QueryEngine, LandmarkAStarPrunesAtLeastAsWellAsCoordinates) {
+  Graph G = roadWithCoords(50, 13);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  Opts.NumLandmarks = 8;
+  Opts.DefaultSchedule.Delta = 4096;
+  QueryEngine Engine(G, Opts);
+  ASSERT_NE(Engine.landmarks(), nullptr);
+
+  SplitMix64 Rng(3);
+  int64_t LandmarkTouched = 0, CoordTouched = 0;
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    Query Q;
+    Q.Kind = QueryKind::AStar;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    QueryResult R = Engine.runBatch({Q})[0];
+    PPSPResult Coord =
+        aStarSearch(G, Q.Source, Q.Target, Opts.DefaultSchedule);
+    ASSERT_EQ(R.Dist, Coord.Dist);
+    LandmarkTouched += R.Touched;
+    CoordTouched += Coord.Stats.VerticesProcessed;
+  }
+  // ALT dominates the coordinate bound, so its searches must not expand
+  // meaningfully more (touched counts things once; VerticesProcessed can
+  // double-count re-relaxations, so allow slack).
+  EXPECT_LE(LandmarkTouched, CoordTouched * 3 / 2)
+      << "landmark A* expanded more than coordinate A*";
+}
+
+TEST(QueryEngine, PathExtractionReturnsTightPaths) {
+  Graph G = roadWithCoords(25, 41);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 2;
+  Opts.TrackParents = true;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(G, Opts);
+
+  SplitMix64 Rng(8);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Query Q;
+    Q.Kind = QueryKind::PPSP;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.CollectPath = true;
+    QueryResult R = Engine.runBatch({Q})[0];
+    if (R.Dist == kInfiniteDistance) {
+      EXPECT_TRUE(R.Path.empty());
+      continue;
+    }
+    ASSERT_FALSE(R.Path.empty());
+    EXPECT_EQ(R.Path.front(), Q.Source);
+    EXPECT_EQ(R.Path.back(), Q.Target);
+    // Every hop must be a real edge and the weights must sum to the
+    // reported distance.
+    Priority Sum = 0;
+    for (size_t I = 0; I + 1 < R.Path.size(); ++I) {
+      Weight Best = -1;
+      for (WNode E : G.outNeighbors(R.Path[I]))
+        if (E.V == R.Path[I + 1] && (Best < 0 || E.W < Best))
+          Best = E.W;
+      ASSERT_GE(Best, 0) << "missing edge on path, hop " << I;
+      Sum += Best;
+    }
+    EXPECT_EQ(Sum, R.Dist);
+  }
+}
+
+TEST(QueryEngine, MalformedQueryFailsWithoutCrashing) {
+  Graph G = roadWithCoords(10, 1);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  QueryEngine Engine(G, Opts);
+
+  Query Bad;
+  Bad.Kind = QueryKind::PPSP;
+  Bad.Source = 0;
+  Bad.Target = static_cast<VertexId>(G.numNodes() + 5); // out of range
+  uint64_t T = Engine.submit(Bad);
+  QueryResult R = Engine.collect(T);
+  EXPECT_TRUE(R.Failed);
+  EXPECT_EQ(R.Dist, kInfiniteDistance);
+
+  // The engine keeps serving after a rejected request.
+  Query Good;
+  Good.Kind = QueryKind::PPSP;
+  Good.Source = 0;
+  Good.Target = static_cast<VertexId>(G.numNodes() - 1);
+  EXPECT_EQ(Engine.runBatch({Good})[0].Dist,
+            dijkstraPPSP(G, Good.Source, Good.Target));
+
+  // An A* query is rejected (not aborted on) when the engine has neither
+  // landmarks nor coordinates to build a heuristic from.
+  Graph Plain = GraphBuilder().build(4, {{0, 1, 1}, {1, 2, 1}});
+  QueryEngine::Options PlainOpts;
+  PlainOpts.NumWorkers = 1;
+  QueryEngine PlainEngine(Plain, PlainOpts);
+  Query NoHeur;
+  NoHeur.Kind = QueryKind::AStar;
+  NoHeur.Source = 0;
+  NoHeur.Target = 2;
+  EXPECT_TRUE(PlainEngine.runBatch({NoHeur})[0].Failed);
+}
+
+TEST(QueryEngine, AggregateStatsAccumulate) {
+  Graph G = roadWithCoords(15, 2);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 2;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(G, Opts);
+  std::vector<Query> Batch;
+  for (int I = 0; I < 8; ++I) {
+    Query Q;
+    Q.Kind = QueryKind::PPSP;
+    Q.Source = static_cast<VertexId>(I * 13 % G.numNodes());
+    Q.Target = static_cast<VertexId>((I * 29 + 7) % G.numNodes());
+    Batch.push_back(Q);
+  }
+  Engine.runBatch(Batch);
+  OrderedStats Agg = Engine.aggregateStats();
+  EXPECT_GT(Agg.Rounds, 0);
+  EXPECT_GT(Agg.VerticesProcessed, 0);
+  EXPECT_EQ(Engine.queriesServed(), 8u);
+}

@@ -7,6 +7,7 @@
 
 #include "runtime/Dedup.h"
 #include "runtime/Histogram.h"
+#include "support/Parallel.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -49,10 +50,9 @@ TEST(Dedup, ReleaseAll) {
 TEST(Dedup, ConcurrentClaimHasOneWinnerPerVertex) {
   constexpr Count N = 64;
   DedupFlags Flags(N);
-  int64_t Wins = 0;
-#pragma omp parallel for reduction(+ : Wins)
-  for (Count I = 0; I < N * 1000; ++I)
-    Wins += Flags.claim(static_cast<VertexId>(I % N)) ? 1 : 0;
+  int64_t Wins = parallelSum(0, N * 1000, [&](Count I) {
+    return Flags.claim(static_cast<VertexId>(I % N)) ? 1 : 0;
+  });
   EXPECT_EQ(Wins, N);
 }
 

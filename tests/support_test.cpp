@@ -69,12 +69,11 @@ TEST(Atomics, ConcurrentWriteMinFindsGlobalMin) {
   // the number of distinct improvements.
   int64_t X = 1 << 30;
   constexpr Count N = 100000;
-  int64_t Wins = 0;
-#pragma omp parallel for reduction(+ : Wins)
-  for (Count I = 0; I < N; ++I)
-    Wins += atomicWriteMin(&X, static_cast<int64_t>(hash64(I) % 1000000))
-                ? 1
-                : 0;
+  int64_t Wins = parallelSum(0, N, [&](Count I) {
+    return atomicWriteMin(&X, static_cast<int64_t>(hash64(I) % 1000000))
+               ? 1
+               : 0;
+  });
   int64_t Expected = 1 << 30;
   for (Count I = 0; I < N; ++I)
     Expected = std::min(Expected, static_cast<int64_t>(hash64(I) % 1000000));
@@ -84,9 +83,9 @@ TEST(Atomics, ConcurrentWriteMinFindsGlobalMin) {
 
 TEST(Atomics, ConcurrentFetchAddCountsExactly) {
   int64_t X = 0;
-#pragma omp parallel for
-  for (int I = 0; I < 100000; ++I)
-    fetchAdd(&X, int64_t{1});
+  parallelFor(
+      0, 100000, [&](Count) { fetchAdd(&X, int64_t{1}); },
+      Parallelization::StaticVertexParallel);
   EXPECT_EQ(X, 100000);
 }
 
@@ -231,9 +230,12 @@ TEST(Parallel, PackIndexMatchesSerialAtBoundaries) {
 
 TEST(Atomics, AtomicMinLowersConcurrently) {
   int64_t Target = std::numeric_limits<int64_t>::max();
-#pragma omp parallel for
-  for (int I = 0; I < 10000; ++I)
-    atomicMin(&Target, static_cast<int64_t>(hash64(I) % 1000000) + 17);
+  parallelFor(
+      0, 10000,
+      [&](Count I) {
+        atomicMin(&Target, static_cast<int64_t>(hash64(I) % 1000000) + 17);
+      },
+      Parallelization::StaticVertexParallel);
   int64_t Expected = std::numeric_limits<int64_t>::max();
   for (int I = 0; I < 10000; ++I)
     Expected =
@@ -328,10 +330,8 @@ TEST(Bitmap, TestAndSetWinsOnce) {
 TEST(Bitmap, ConcurrentTestAndSetHasUniqueWinners) {
   constexpr Count N = 1000;
   Bitmap Map(N);
-  int64_t Wins = 0;
-#pragma omp parallel for reduction(+ : Wins)
-  for (Count I = 0; I < N * 64; ++I)
-    Wins += Map.testAndSet(I % N) ? 1 : 0;
+  int64_t Wins = parallelSum(
+      0, N * 64, [&](Count I) { return Map.testAndSet(I % N) ? 1 : 0; });
   EXPECT_EQ(Wins, N);
 }
 

@@ -54,6 +54,16 @@ template <typename Fn> double timeBest(Fn &&Body) {
   return Best;
 }
 
+/// Sum of finite entries of a distance/coreness vector — the standard
+/// result checksum the JSON benches emit (engine- and thread-invariant).
+inline int64_t resultChecksum(const std::vector<Priority> &V) {
+  int64_t Sum = 0;
+  for (Priority P : V)
+    if (P < kInfiniteDistance)
+      Sum += P;
+  return Sum;
+}
+
 /// Prints the standard benchmark banner.
 inline void banner(const char *Experiment, const char *PaperClaim) {
   std::printf("==============================================================="

@@ -33,14 +33,6 @@ using namespace graphit::bench;
 
 namespace {
 
-int64_t checksum(const std::vector<Priority> &V) {
-  int64_t Sum = 0;
-  for (Priority P : V)
-    if (P < kInfiniteDistance)
-      Sum += P;
-  return Sum;
-}
-
 void emit(const std::string &Name, double Seconds, int64_t Check) {
   std::printf("{\"bench\": \"%s\", \"seconds\": %.6f, \"check\": %lld}\n",
               Name.c_str(), Seconds, (long long)Check);
@@ -75,7 +67,7 @@ int main() {
     Schedule S;
     S.configApplyPriorityUpdateDelta(2);
     int64_t Check = 0;
-    double T = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 3, S).Dist); });
+    double T = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 3, S).Dist); });
     emit("sssp_rmat_eager", T, Check);
   }
 
@@ -86,12 +78,12 @@ int main() {
     Schedule S;
     S.configApplyPriorityUpdateDelta(8192);
     int64_t Check = 0;
-    double T = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 0, S).Dist); });
+    double T = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, S).Dist); });
     emit("sssp_road_eager", T, Check);
 
     Schedule Lazy;
     Lazy.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(8192);
-    double TL = timeBest([&] { Check = checksum(deltaSteppingSSSP(G, 0, Lazy).Dist); });
+    double TL = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, Lazy).Dist); });
     emit("sssp_road_lazy", TL, Check);
   }
 
@@ -102,7 +94,7 @@ int main() {
       Schedule S = Schedule::parse(Spec);
       int64_t Check = 0;
       double T =
-          timeBest([&] { Check = checksum(kCoreDecomposition(G, S).Coreness); });
+          timeBest([&] { Check = resultChecksum(kCoreDecomposition(G, S).Coreness); });
       emit(std::string("kcore_") + Spec, T, Check);
     }
   }

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the JSON-lines benchmarks.
+
+Compares a freshly produced bench output (one JSON object per line, as
+emitted by bench_perf_smoke / bench_query_throughput /
+bench_update_throughput) against a committed baseline and fails on
+regressions beyond a threshold.
+
+Design choices, tuned for noisy CI boxes:
+
+  * every line is reduced to ONE canonical metric (seconds-style: lower is
+    better; qps/speedup-style: higher is better — see METRIC_PRIORITY);
+  * duplicate keys within a file (e.g. the same bench run N times and the
+    outputs concatenated) are collapsed to the best observation, so the
+    comparison is best-of-N on both sides;
+  * benches present on only one side warn instead of failing (adding or
+    retiring a workload must not break the gate);
+  * the comparison table is written to $GITHUB_STEP_SUMMARY when set.
+
+Exit status: 0 = no regression (or --warn-only), 1 = regression, 2 = usage.
+
+Usage:
+  check_bench.py --baseline BENCH_smoke.json --current perf_smoke.json \
+                 [--threshold 0.15] [--name perf-smoke] [--warn-only]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# First matching field wins; direction 'lower' or 'higher' is what counts
+# as better.
+METRIC_PRIORITY = [
+    ("seconds", "lower"),
+    ("repair_s", "lower"),
+    ("speedup", "higher"),
+    ("pooled_qps", "higher"),
+    ("naive_qps", "higher"),
+]
+
+# Integer-valued fields that identify a workload variant within one bench.
+KEY_FIELDS = ["bench", "batch", "updates", "threads", "scale"]
+
+
+def parse_lines(path):
+    """Returns {key: (metric_name, direction, best_value)}."""
+    out = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"{path}:{lineno}: skipping unparsable line",
+                      file=sys.stderr)
+                continue
+            metric = next(((m, d) for m, d in METRIC_PRIORITY if m in rec),
+                          None)
+            if metric is None:
+                continue
+            name, direction = metric
+            key = tuple((k, rec[k]) for k in KEY_FIELDS if k in rec)
+            value = float(rec[name])
+            if key in out:
+                _, _, prev = out[key]
+                value = min(prev, value) if direction == "lower" \
+                    else max(prev, value)
+            out[key] = (name, direction, value)
+    return out
+
+
+def fmt_key(key):
+    return " ".join(f"{v}" if k == "bench" else f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float,
+                    default=float(os.environ.get(
+                        "GRAPHIT_PERF_GATE_THRESHOLD", "0.15")),
+                    help="max allowed relative regression (default 0.15)")
+    ap.add_argument("--name", default=None,
+                    help="label for the summary table")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions without failing")
+    args = ap.parse_args()
+
+    try:
+        base = parse_lines(args.baseline)
+        cur = parse_lines(args.current)
+    except OSError as e:
+        print(f"check_bench: {e}", file=sys.stderr)
+        return 2
+
+    label = args.name or os.path.basename(args.current)
+    rows = []
+    regressions = []
+    for key, (metric, direction, b) in sorted(base.items()):
+        if key not in cur:
+            rows.append((fmt_key(key), metric, b, None, None, "missing"))
+            continue
+        _, _, c = cur[key]
+        # Relative regression: how much worse is current than baseline.
+        if b <= 0 or c <= 0:
+            change = 0.0
+        elif direction == "lower":
+            change = c / b - 1.0
+        else:
+            change = b / c - 1.0
+        status = "ok"
+        if change > args.threshold:
+            status = "REGRESSION"
+            regressions.append(fmt_key(key))
+        rows.append((fmt_key(key), metric, b, c, change, status))
+    for key in sorted(set(cur) - set(base)):
+        metric, _, c = cur[key]
+        rows.append((fmt_key(key), metric, None, c, None, "new"))
+
+    header = (f"### Perf gate: {label} "
+              f"(threshold {args.threshold:.0%})")
+    lines = [header, "",
+             "| workload | metric | baseline | current | worse by | status |",
+             "|---|---|---|---|---|---|"]
+    for key, metric, b, c, change, status in rows:
+        bs = f"{b:.4f}" if b is not None else "—"
+        cs = f"{c:.4f}" if c is not None else "—"
+        ch = f"{change:+.1%}" if change is not None else "—"
+        mark = {"ok": "✅", "REGRESSION": "❌",
+                "missing": "⚠️ missing", "new": "🆕"}[status]
+        lines.append(f"| {key} | {metric} | {bs} | {cs} | {ch} | {mark} |")
+    if regressions and args.warn_only:
+        lines.append("")
+        lines.append("_warn-only: regressions reported but not failing._")
+    table = "\n".join(lines)
+
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(table + "\n\n")
+
+    if regressions and not args.warn_only:
+        print(f"\ncheck_bench: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 
 #include "algorithms/DistanceEngine.h"
 #include "algorithms/QueryState.h"
+#include "graph/DeltaGraph.h"
 #include "support/Abort.h"
 
 #include <cmath>
@@ -19,8 +20,8 @@ namespace {
 
 /// Shared A* core over a caller-provided distance array. \p Heur is any
 /// admissible, consistent remaining-distance bound with h(target) = 0.
-template <typename HeurFn, typename TouchFn>
-PPSPResult aStarRun(const Graph &G, VertexId Source, VertexId Target,
+template <typename GraphT, typename HeurFn, typename TouchFn>
+PPSPResult aStarRun(const GraphT &G, VertexId Source, VertexId Target,
                     const Schedule &S, std::vector<Priority> &Dist,
                     HeurFn &&Heur, TouchFn &&Touch,
                     std::vector<VertexId> *FrontierScratch = nullptr) {
@@ -37,19 +38,24 @@ PPSPResult aStarRun(const Graph &G, VertexId Source, VertexId Target,
   return PPSPResult{Dist[Target], Stats};
 }
 
+/// The one definition of the coordinate bound, shared by every entry
+/// point (Graph, DeltaGraph, pooled, fresh). Edge weights are >= 100 x
+/// Euclidean length; the factor 50 leaves slack so the floor-rounded
+/// heuristic stays consistent:
+///   h(u) - h(v) <= 50 e(u,v) + 1 <= 100 e(u,v) <= w(u,v)
+/// (edge lengths are >= 0.02 units by construction).
+Priority coordinateBound(const Coordinates &C, VertexId V, VertexId Target) {
+  double DX = C.X[V] - C.X[Target];
+  double DY = C.Y[V] - C.Y[Target];
+  return static_cast<Priority>(std::floor(50.0 * std::sqrt(DX * DX +
+                                                           DY * DY)));
+}
+
 } // namespace
 
 Priority graphit::aStarHeuristic(const Graph &G, VertexId V,
                                  VertexId Target) {
-  const Coordinates &C = G.coordinates();
-  double DX = C.X[V] - C.X[Target];
-  double DY = C.Y[V] - C.Y[Target];
-  // Edge weights are >= 100 x Euclidean length; the factor 50 leaves slack
-  // so the floor-rounded heuristic stays consistent:
-  //   h(u) - h(v) <= 50 e(u,v) + 1 <= 100 e(u,v) <= w(u,v)
-  // (edge lengths are >= 0.02 units by construction).
-  return static_cast<Priority>(std::floor(50.0 * std::sqrt(DX * DX +
-                                                           DY * DY)));
+  return coordinateBound(G.coordinates(), V, Target);
 }
 
 PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
@@ -63,10 +69,12 @@ PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
   return aStarRun(G, Source, Target, S, Dist, Heur, detail::NoTouchFn{});
 }
 
-PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
-                                VertexId Target, const Schedule &S,
-                                DistanceState &State,
-                                const AStarHeuristic *Heur) {
+namespace {
+
+template <typename GraphT>
+PPSPResult aStarPooled(const GraphT &G, VertexId Source, VertexId Target,
+                       const Schedule &S, DistanceState &State,
+                       const AStarHeuristic *Heur) {
   if (!Heur && !G.hasCoordinates())
     fatalError("aStarSearch: graph has no coordinates and no heuristic");
   State.beginQuery(Source);
@@ -78,8 +86,25 @@ PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
         G, Source, Target, S, State.distances(),
         [&](VertexId V) { return Heur->estimate(V, Target); }, Touch,
         &State.frontierScratch());
+  const Coordinates &C = G.coordinates();
   return aStarRun(
       G, Source, Target, S, State.distances(),
-      [&](VertexId V) { return aStarHeuristic(G, V, Target); }, Touch,
+      [&](VertexId V) { return coordinateBound(C, V, Target); }, Touch,
       &State.frontierScratch());
+}
+
+} // namespace
+
+PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
+                                VertexId Target, const Schedule &S,
+                                DistanceState &State,
+                                const AStarHeuristic *Heur) {
+  return aStarPooled(G, Source, Target, S, State, Heur);
+}
+
+PPSPResult graphit::aStarSearch(const DeltaGraph &G, VertexId Source,
+                                VertexId Target, const Schedule &S,
+                                DistanceState &State,
+                                const AStarHeuristic *Heur) {
+  return aStarPooled(G, Source, Target, S, State, Heur);
 }

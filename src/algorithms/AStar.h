@@ -50,6 +50,16 @@ PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
                        const Schedule &S, DistanceState &State,
                        const AStarHeuristic *Heur = nullptr);
 
+/// Live-graph variant over a delta-overlay snapshot view
+/// (graph/DeltaGraph.h). The coordinate heuristic reads the base graph's
+/// coordinates; it stays admissible as long as every live insert/decrease
+/// respects the generator's weight ≥ 100 × Euclidean-length invariant
+/// (deletions and weight increases can never break admissibility).
+PPSPResult aStarSearch(const DeltaGraph &G, VertexId Source,
+                       VertexId Target, const Schedule &S,
+                       DistanceState &State,
+                       const AStarHeuristic *Heur = nullptr);
+
 /// The coordinate heuristic used by `aStarSearch`, exposed for tests:
 /// floor(50 x euclidean distance to target).
 Priority aStarHeuristic(const Graph &G, VertexId V, VertexId Target);

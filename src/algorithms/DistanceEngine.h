@@ -20,6 +20,12 @@
 /// eager engine (with or without bucket fusion, §5.2) or to the lazy
 /// bucket-update loop with direction-optimized traversal (§5.1).
 ///
+/// Everything is generic over the graph type: `Graph` (immutable CSR) and
+/// `DeltaGraph` (delta-overlay snapshot view, graph/DeltaGraph.h) run
+/// through the same code. `distanceOrderedSeededRun` is the multi-source
+/// variant incremental repair uses to settle an affected region from its
+/// boundary instead of re-running from the original source.
+///
 /// It is an internal header of the algorithms library, not public API.
 ///
 //===----------------------------------------------------------------------===//
@@ -36,6 +42,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace graphit {
@@ -46,58 +53,42 @@ struct NoTouchFn {
   void operator()(VertexId, VertexId) const {}
 };
 
-/// Runs the ordered distance computation. \p Dist must be initialized
-/// (kInfiniteDistance everywhere except the source). \p Heur maps a vertex
-/// to an admissible, consistent lower bound on its remaining distance
-/// (return 0 for plain SSSP). \p Stop is evaluated on round-stable state at
-/// bucket boundaries with the current bucket key. \p Touch is invoked as
-/// `Touch(V, U)` after every successful relaxation that lowered `Dist[V]`
-/// via the edge (U, V); it may run concurrently from many threads and must
-/// synchronize internally (the QueryEngine's pooled state uses it to log
-/// touched vertices and parents; the default is a no-op).
-/// \p FrontierScratch optionally reuses the eager engine's O(E) frontier
-/// buffer across runs (see eagerOrderedProcess).
-template <typename HeurFn, typename StopFn, typename TouchFn = NoTouchFn>
-OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
-                                std::vector<Priority> &Dist,
-                                const Schedule &S, HeurFn &&Heur,
-                                StopFn &&Stop, TouchFn &&Touch = TouchFn{},
-                                std::vector<VertexId> *FrontierScratch =
-                                    nullptr) {
-  OrderedStats Stats;
-  const int64_t Delta = S.Delta;
-  if (Dist[Source] != 0)
-    fatalError("distanceOrderedRun: source distance must start at 0");
-
-  if (S.isEager()) {
-    auto Relax = [&](VertexId U, int64_t CurrKey, auto &&Push) {
-      // Relaxed atomic loads: other threads CAS these slots concurrently;
-      // the pre-check needs no ordering (atomicWriteMin re-validates) but
-      // a plain load would be a data race.
-      Priority DU = atomicLoadRelaxed(&Dist[U]);
-      if ((DU + Heur(U)) / Delta < CurrKey)
-        return; // stale: settled in an earlier bucket
-      for (WNode E : G.outNeighbors(U)) {
-        Priority ND = DU + E.W;
-        if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
-            atomicWriteMin(&Dist[E.V], ND)) {
-          Touch(E.V, U);
-          int64_t Key = (ND + Heur(E.V)) / Delta;
-          Push(E.V, std::max(Key, CurrKey));
-        }
+/// The eager engine's relaxation closure over a distance array: re-checks
+/// staleness against the current bucket key, CASes improvements in, and
+/// pushes improved neighbors at their coarsened key.
+template <typename GraphT, typename HeurFn, typename TouchFn>
+auto makeEagerRelax(const GraphT &G, std::vector<Priority> &Dist,
+                    const int64_t Delta, HeurFn &Heur, TouchFn &Touch) {
+  return [&G, &Dist, Delta, &Heur, &Touch](VertexId U, int64_t CurrKey,
+                                           auto &&Push) {
+    // Relaxed atomic loads: other threads CAS these slots concurrently;
+    // the pre-check needs no ordering (atomicWriteMin re-validates) but
+    // a plain load would be a data race.
+    Priority DU = atomicLoadRelaxed(&Dist[U]);
+    if ((DU + Heur(U)) / Delta < CurrKey)
+      return; // stale: settled in an earlier bucket
+    for (WNode E : G.outNeighbors(U)) {
+      Priority ND = DU + E.W;
+      if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
+          atomicWriteMin(&Dist[E.V], ND)) {
+        Touch(E.V, U);
+        int64_t Key = (ND + Heur(E.V)) / Delta;
+        Push(E.V, std::max(Key, CurrKey));
       }
-    };
-    eagerOrderedProcess(G.numNodes(), G.numEdges() + 1, Source,
-                        Heur(Source) / Delta, S, Relax, Stop, &Stats,
-                        FrontierScratch);
-    return Stats;
-  }
+    }
+  };
+}
 
-  // Lazy bucket update (Fig. 5 / Fig. 9(a)-(b)).
+/// The lazy bucket-update drain loop (Fig. 5 / Fig. 9(a)-(b)) over an
+/// already-seeded queue.
+template <typename GraphT, typename HeurFn, typename StopFn,
+          typename TouchFn>
+void lazyDistanceLoop(const GraphT &G, LazyBucketQueue &Queue,
+                      std::vector<Priority> &Dist, const Schedule &S,
+                      HeurFn &Heur, StopFn &Stop, TouchFn &Touch,
+                      OrderedStats &Stats) {
+  const int64_t Delta = S.Delta;
   Timer Clock;
-  LazyBucketQueue Queue(G.numNodes(), S.NumOpenBuckets,
-                        PriorityOrder::LowerFirst);
-  Queue.insert(Source, Heur(Source) / Delta);
   TraversalBuffers Buffers(G);
 
   auto Push = [&](VertexId Sv, VertexId Dv, Weight W) {
@@ -141,6 +132,87 @@ OrderedStats distanceOrderedRun(const Graph &G, VertexId Source,
   }
   Stats.OverflowRebuckets = Queue.overflowRebuckets();
   Stats.Seconds = Clock.seconds();
+}
+
+/// Runs the ordered distance computation. \p Dist must be initialized
+/// (kInfiniteDistance everywhere except the source). \p Heur maps a vertex
+/// to an admissible, consistent lower bound on its remaining distance
+/// (return 0 for plain SSSP). \p Stop is evaluated on round-stable state at
+/// bucket boundaries with the current bucket key. \p Touch is invoked as
+/// `Touch(V, U)` after every successful relaxation that lowered `Dist[V]`
+/// via the edge (U, V); it may run concurrently from many threads and must
+/// synchronize internally (the QueryEngine's pooled state uses it to log
+/// touched vertices and parents; the default is a no-op).
+/// \p FrontierScratch optionally reuses the eager engine's O(E) frontier
+/// buffer across runs (see eagerOrderedProcess).
+template <typename GraphT, typename HeurFn, typename StopFn,
+          typename TouchFn = NoTouchFn>
+OrderedStats distanceOrderedRun(const GraphT &G, VertexId Source,
+                                std::vector<Priority> &Dist,
+                                const Schedule &S, HeurFn &&Heur,
+                                StopFn &&Stop, TouchFn &&Touch = TouchFn{},
+                                std::vector<VertexId> *FrontierScratch =
+                                    nullptr) {
+  OrderedStats Stats;
+  const int64_t Delta = S.Delta;
+  if (Dist[Source] != 0)
+    fatalError("distanceOrderedRun: source distance must start at 0");
+
+  if (S.isEager()) {
+    auto Relax = makeEagerRelax(G, Dist, Delta, Heur, Touch);
+    eagerOrderedProcess(G.numNodes(), G.numEdges() + 1, Source,
+                        Heur(Source) / Delta, S, Relax, Stop, &Stats,
+                        FrontierScratch);
+    return Stats;
+  }
+
+  // Lazy bucket update (Fig. 5 / Fig. 9(a)-(b)).
+  LazyBucketQueue Queue(G.numNodes(), S.NumOpenBuckets,
+                        PriorityOrder::LowerFirst);
+  Queue.insert(Source, Heur(Source) / Delta);
+  lazyDistanceLoop(G, Queue, Dist, S, Heur, Stop, Touch, Stats);
+  return Stats;
+}
+
+/// Multi-source variant for incremental repair: \p Seeds are vertices
+/// whose tentative distance in \p Dist was just lowered (by a boundary
+/// re-relaxation or a decreased edge); the engine settles everything
+/// reachable from them, leaving exact distances. No heuristic, no early
+/// stop — repair serves SSSP-complete states. Runs to quiescence in
+/// O(affected region), not O(V + E).
+template <typename GraphT, typename TouchFn = NoTouchFn>
+OrderedStats distanceOrderedSeededRun(const GraphT &G,
+                                      const std::vector<VertexId> &Seeds,
+                                      std::vector<Priority> &Dist,
+                                      const Schedule &S,
+                                      TouchFn &&Touch = TouchFn{},
+                                      std::vector<VertexId> *FrontierScratch =
+                                          nullptr) {
+  OrderedStats Stats;
+  const int64_t Delta = S.Delta;
+  auto Heur = [](VertexId) { return Priority{0}; };
+  auto Stop = [](int64_t) { return false; };
+  if (Seeds.empty())
+    return Stats;
+
+  if (S.isEager()) {
+    auto Relax = makeEagerRelax(G, Dist, Delta, Heur, Touch);
+    std::vector<std::pair<VertexId, int64_t>> SeedKeys;
+    SeedKeys.reserve(Seeds.size());
+    for (VertexId V : Seeds)
+      SeedKeys.push_back({V, Dist[V] / Delta});
+    eagerOrderedProcessSeeds(
+        G.numNodes(), G.numEdges() + static_cast<Count>(Seeds.size()) + 1,
+        SeedKeys.data(), static_cast<Count>(SeedKeys.size()), S, Relax,
+        Stop, &Stats, FrontierScratch);
+    return Stats;
+  }
+
+  LazyBucketQueue Queue(G.numNodes(), S.NumOpenBuckets,
+                        PriorityOrder::LowerFirst);
+  for (VertexId V : Seeds)
+    Queue.insert(V, Dist[V] / Delta);
+  lazyDistanceLoop(G, Queue, Dist, S, Heur, Stop, Touch, Stats);
   return Stats;
 }
 
@@ -151,8 +223,8 @@ struct DistanceRun {
 };
 
 /// Convenience wrapper: allocate/initialize distances and run.
-template <typename HeurFn, typename StopFn>
-DistanceRun runDistanceAlgorithm(const Graph &G, VertexId Source,
+template <typename GraphT, typename HeurFn, typename StopFn>
+DistanceRun runDistanceAlgorithm(const GraphT &G, VertexId Source,
                                  const Schedule &S, HeurFn &&Heur,
                                  StopFn &&Stop) {
   DistanceRun R;

@@ -1,0 +1,14 @@
+//===- algorithms/IncrementalSSSP.cpp - Incremental distance repair -------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Repair is a header template (algorithms/IncrementalSSSP.h) so it runs
+// over both `Graph` and the `DeltaGraph` snapshot view; this translation
+// unit anchors the library and verifies the header is self-contained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/IncrementalSSSP.h"

@@ -9,14 +9,15 @@
 
 #include "algorithms/DistanceEngine.h"
 #include "algorithms/QueryState.h"
+#include "graph/DeltaGraph.h"
 
 using namespace graphit;
 
 namespace {
 
 /// Shared PPSP core over a caller-provided distance array.
-template <typename TouchFn>
-PPSPResult ppspRun(const Graph &G, VertexId Source, VertexId Target,
+template <typename GraphT, typename TouchFn>
+PPSPResult ppspRun(const GraphT &G, VertexId Source, VertexId Target,
                    const Schedule &S, std::vector<Priority> &Dist,
                    TouchFn &&Touch,
                    std::vector<VertexId> *FrontierScratch = nullptr) {
@@ -33,23 +34,18 @@ PPSPResult ppspRun(const Graph &G, VertexId Source, VertexId Target,
   return PPSPResult{Dist[Target], Stats};
 }
 
-} // namespace
-
-PPSPResult graphit::pointToPointShortestPath(const Graph &G,
-                                             VertexId Source,
-                                             VertexId Target,
-                                             const Schedule &S) {
+template <typename GraphT>
+PPSPResult ppspFresh(const GraphT &G, VertexId Source, VertexId Target,
+                     const Schedule &S) {
   std::vector<Priority> Dist(static_cast<size_t>(G.numNodes()),
                              kInfiniteDistance);
   Dist[Source] = 0;
   return ppspRun(G, Source, Target, S, Dist, detail::NoTouchFn{});
 }
 
-PPSPResult graphit::pointToPointShortestPath(const Graph &G,
-                                             VertexId Source,
-                                             VertexId Target,
-                                             const Schedule &S,
-                                             DistanceState &State) {
+template <typename GraphT>
+PPSPResult ppspPooled(const GraphT &G, VertexId Source, VertexId Target,
+                      const Schedule &S, DistanceState &State) {
   State.beginQuery(Source);
   return ppspRun(
       G, Source, Target, S, State.distances(),
@@ -57,4 +53,36 @@ PPSPResult graphit::pointToPointShortestPath(const Graph &G,
         State.recordImprovement(V, From);
       },
       &State.frontierScratch());
+}
+
+} // namespace
+
+PPSPResult graphit::pointToPointShortestPath(const Graph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S) {
+  return ppspFresh(G, Source, Target, S);
+}
+
+PPSPResult graphit::pointToPointShortestPath(const Graph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S,
+                                             DistanceState &State) {
+  return ppspPooled(G, Source, Target, S, State);
+}
+
+PPSPResult graphit::pointToPointShortestPath(const DeltaGraph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S) {
+  return ppspFresh(G, Source, Target, S);
+}
+
+PPSPResult graphit::pointToPointShortestPath(const DeltaGraph &G,
+                                             VertexId Source,
+                                             VertexId Target,
+                                             const Schedule &S,
+                                             DistanceState &State) {
+  return ppspPooled(G, Source, Target, S, State);
 }

@@ -33,10 +33,19 @@ PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
                                     VertexId Target, const Schedule &S);
 
 class DistanceState;
+class DeltaGraph;
 
 /// Pooled-state variant (O(touched) setup; see algorithms/QueryState.h).
 /// Calls `State.beginQuery(Source)` itself.
 PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
+                                    VertexId Target, const Schedule &S,
+                                    DistanceState &State);
+
+/// Live-graph variants over a delta-overlay snapshot view
+/// (graph/DeltaGraph.h).
+PPSPResult pointToPointShortestPath(const DeltaGraph &G, VertexId Source,
+                                    VertexId Target, const Schedule &S);
+PPSPResult pointToPointShortestPath(const DeltaGraph &G, VertexId Source,
                                     VertexId Target, const Schedule &S,
                                     DistanceState &State);
 

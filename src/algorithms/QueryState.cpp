@@ -43,6 +43,7 @@ void DistanceState::beginQuery(VertexId Source) {
   }
   ++QueriesBegun;
 
+  Source_ = Source;
   Dist[Source] = 0;
   recordImprovement(Source, Source);
 }

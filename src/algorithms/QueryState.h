@@ -94,6 +94,10 @@ public:
   /// Queries served by this state so far (epoch counter).
   uint64_t queriesBegun() const { return QueriesBegun; }
 
+  /// Source vertex of the current query (kInvalidVertex before the first
+  /// beginQuery). Incremental repair re-anchors on it.
+  VertexId source() const { return Source_; }
+
   /// Caller-owned scratch for the eager engine's shared frontier (grown
   /// once to O(E) and reused, instead of value-initialized per run).
   std::vector<VertexId> &frontierScratch() { return FrontierScratch; }
@@ -107,6 +111,7 @@ private:
   Count NumTouched = 0;
   uint32_t Epoch = 0;
   uint64_t QueriesBegun = 0;
+  VertexId Source_ = kInvalidVertex;
   bool TrackParents;
 };
 

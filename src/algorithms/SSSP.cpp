@@ -9,20 +9,23 @@
 
 #include "algorithms/DistanceEngine.h"
 #include "algorithms/QueryState.h"
+#include "graph/DeltaGraph.h"
 
 using namespace graphit;
 
-SSSPResult graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
-                                      const Schedule &S) {
+namespace {
+
+template <typename GraphT>
+SSSPResult ssspFresh(const GraphT &G, VertexId Source, const Schedule &S) {
   detail::DistanceRun R = detail::runDistanceAlgorithm(
       G, Source, S, [](VertexId) { return Priority{0}; },
       [](int64_t) { return false; });
   return SSSPResult{std::move(R.Dist), R.Stats};
 }
 
-OrderedStats graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
-                                        const Schedule &S,
-                                        DistanceState &State) {
+template <typename GraphT>
+OrderedStats ssspPooled(const GraphT &G, VertexId Source, const Schedule &S,
+                        DistanceState &State) {
   State.beginQuery(Source);
   return detail::distanceOrderedRun(
       G, Source, State.distances(), S, [](VertexId) { return Priority{0}; },
@@ -31,4 +34,28 @@ OrderedStats graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
         State.recordImprovement(V, From);
       },
       &State.frontierScratch());
+}
+
+} // namespace
+
+SSSPResult graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
+                                      const Schedule &S) {
+  return ssspFresh(G, Source, S);
+}
+
+OrderedStats graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
+                                        const Schedule &S,
+                                        DistanceState &State) {
+  return ssspPooled(G, Source, S, State);
+}
+
+SSSPResult graphit::deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
+                                      const Schedule &S) {
+  return ssspFresh(G, Source, S);
+}
+
+OrderedStats graphit::deltaSteppingSSSP(const DeltaGraph &G,
+                                        VertexId Source, const Schedule &S,
+                                        DistanceState &State) {
+  return ssspPooled(G, Source, S, State);
 }

@@ -37,12 +37,21 @@ SSSPResult deltaSteppingSSSP(const Graph &G, VertexId Source,
                              const Schedule &S);
 
 class DistanceState;
+class DeltaGraph;
 
 /// Pooled-state variant: runs over caller-owned, reusable state instead of
 /// allocating a fresh distance array (O(touched) setup instead of O(V);
 /// see algorithms/QueryState.h). Calls `State.beginQuery(Source)` itself;
 /// distances live in \p State afterwards.
 OrderedStats deltaSteppingSSSP(const Graph &G, VertexId Source,
+                               const Schedule &S, DistanceState &State);
+
+/// Live-graph variants over a delta-overlay snapshot view
+/// (graph/DeltaGraph.h): identical semantics, unified neighbor iteration
+/// through the overlay.
+SSSPResult deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
+                             const Schedule &S);
+OrderedStats deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
                                const Schedule &S, DistanceState &State);
 
 } // namespace graphit

@@ -191,15 +191,18 @@ private:
 } // namespace detail
 
 /// Runs the eager ordered processing loop (with or without bucket fusion,
-/// per `S.Update`). Keys must be non-negative and monotonically
-/// non-decreasing up to the tolerance handled by clamping in the caller.
+/// per `S.Update`) from an arbitrary set of (vertex, key) seeds — the
+/// multi-source entry incremental distance repair uses to resume from an
+/// affected boundary instead of the single original source. Keys must be
+/// non-negative and monotonically non-decreasing up to the tolerance
+/// handled by clamping in the caller.
 ///
 /// \param NumNodes          vertex universe size (bins sanity checks)
 /// \param FrontierCapacity  capacity of the shared frontier array; pushes
 ///                          beyond it abort (GAPBS sizes this at numEdges)
-/// \param Source            initial frontier vertex
-/// \param SourceKey         its initial bucket key (0 for SSSP; ⌊h(s)/Δ⌋
-///                          for A*)
+/// \param Seeds             initial (vertex, bucket key) pairs; processing
+///                          starts at the minimum seeded key
+/// \param NumSeeds          number of seeds (0 is a no-op)
 /// \param Relax             `(VertexId U, int64_t CurrKey, Push)`;
 ///                          `Push(VertexId V, int64_t Key)`
 /// \param Stop              `(int64_t CurrKey) -> bool`, checked at round
@@ -212,13 +215,19 @@ private:
 ///                          harmless: only indices below the round tails
 ///                          are ever read).
 template <typename RelaxFn, typename StopFn>
-void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
-                         VertexId Source, int64_t SourceKey,
-                         const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
-                         OrderedStats *Stats = nullptr,
-                         std::vector<VertexId> *FrontierScratch = nullptr) {
-  assert(static_cast<Count>(Source) < NumNodes && "source out of range");
+void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
+                              const std::pair<VertexId, int64_t> *Seeds,
+                              Count NumSeeds, const Schedule &S,
+                              RelaxFn &&Relax, StopFn &&Stop,
+                              OrderedStats *Stats = nullptr,
+                              std::vector<VertexId> *FrontierScratch =
+                                  nullptr) {
   (void)NumNodes;
+  if (NumSeeds == 0) {
+    if (Stats)
+      *Stats = OrderedStats{};
+    return;
+  }
   const bool Fuse = S.Update == UpdateStrategy::EagerWithFusion;
   const int64_t Threshold = S.FusionThreshold;
 
@@ -226,13 +235,25 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
   std::vector<VertexId> OwnFrontier;
   std::vector<VertexId> &Frontier =
       FrontierScratch ? *FrontierScratch : OwnFrontier;
-  const size_t NeededCapacity =
-      static_cast<size_t>(std::max<Count>(FrontierCapacity, 1024));
+  const size_t NeededCapacity = static_cast<size_t>(
+      std::max<Count>(std::max(FrontierCapacity, NumSeeds), 1024));
   if (Frontier.size() < NeededCapacity)
     Frontier.resize(NeededCapacity);
-  Frontier[0] = Source;
-  int64_t SharedKeys[2] = {SourceKey, kMaxEagerKey};
-  int64_t FrontierTails[2] = {1, 0};
+  // The round frontier holds the minimum seed key's vertices; later-keyed
+  // seeds are filed into one thread's local bins inside the region (they
+  // surface through the ordinary min-key proposal).
+  int64_t MinSeedKey = kMaxEagerKey;
+  for (Count I = 0; I < NumSeeds; ++I) {
+    assert(static_cast<Count>(Seeds[I].first) < NumNodes &&
+           "seed out of range");
+    MinSeedKey = std::min(MinSeedKey, Seeds[I].second);
+  }
+  int64_t SeedTail = 0;
+  for (Count I = 0; I < NumSeeds; ++I)
+    if (Seeds[I].second == MinSeedKey)
+      Frontier[static_cast<size_t>(SeedTail++)] = Seeds[I].first;
+  int64_t SharedKeys[2] = {MinSeedKey, kMaxEagerKey};
+  int64_t FrontierTails[2] = {SeedTail, 0};
 
   int64_t Rounds = 0, FusedRounds = 0, VerticesProcessed = 0;
 
@@ -250,6 +271,13 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
     int64_t Iter = 0;
 
     auto Push = [&Bins](VertexId V, int64_t Key) { Bins.push(V, Key); };
+
+    // One thread files the seeds beyond the first round's key; they are
+    // few (a repair's affected boundary), so load balance is unaffected.
+    if (omp_get_thread_num() == 0)
+      for (Count I = 0; I < NumSeeds; ++I)
+        if (Seeds[I].second != MinSeedKey)
+          Bins.push(Seeds[I].first, Seeds[I].second);
 
     while (SharedKeys[Iter & 1] != kMaxEagerKey &&
            !Stop(SharedKeys[Iter & 1])) {
@@ -327,6 +355,21 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
     Stats->VerticesProcessed = VerticesProcessed;
     Stats->Seconds = Clock.seconds();
   }
+}
+
+/// Single-source form: the classical entry point (SSSP and friends seed
+/// one vertex — the source at key 0, or ⌊h(s)/Δ⌋ for A*).
+template <typename RelaxFn, typename StopFn>
+void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
+                         VertexId Source, int64_t SourceKey,
+                         const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
+                         OrderedStats *Stats = nullptr,
+                         std::vector<VertexId> *FrontierScratch = nullptr) {
+  const std::pair<VertexId, int64_t> Seed{Source, SourceKey};
+  eagerOrderedProcessSeeds(NumNodes, FrontierCapacity, &Seed, 1, S,
+                           std::forward<RelaxFn>(Relax),
+                           std::forward<StopFn>(Stop), Stats,
+                           FrontierScratch);
 }
 
 } // namespace graphit

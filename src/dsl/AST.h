@@ -114,7 +114,9 @@ public:
 
 protected:
   ASTNode(NodeKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
-  ~ASTNode() = default; // no virtual destructor: concrete owners only
+  // Non-virtual and protected: nothing deletes through ASTNode*. The
+  // polymorphic owner roots (Expr, Stmt) carry the virtual destructors.
+  ~ASTNode() = default;
 
 private:
   NodeKind Kind;
@@ -128,6 +130,12 @@ private:
 class Expr : public ASTNode {
 public:
   TypeRef Type; ///< filled in by Sema
+
+  /// Virtual: expression nodes are owned and deleted as `ExprPtr`
+  /// (unique_ptr<Expr>), so destruction must dispatch to the derived
+  /// class — members like operand vectors and strings leak (and ASan's
+  /// new-delete-type-mismatch fires) otherwise.
+  virtual ~Expr() = default;
 
   static bool classof(const ASTNode *N) {
     return N->kind() >= NodeKind::FirstExpr &&
@@ -283,6 +291,9 @@ public:
 class Stmt : public ASTNode {
 public:
   std::string Label; ///< #label# attached to this statement, if any
+
+  /// Virtual for the same reason as ~Expr: owned and deleted as StmtPtr.
+  virtual ~Stmt() = default;
 
   static bool classof(const ASTNode *N) {
     return N->kind() >= NodeKind::FirstStmt &&

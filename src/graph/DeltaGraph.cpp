@@ -1,0 +1,172 @@
+//===- graph/DeltaGraph.cpp - Delta-CSR overlay over a base graph ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DeltaGraph.h"
+
+#include "graph/Builder.h"
+#include "support/Abort.h"
+
+#include <algorithm>
+
+using namespace graphit;
+
+DeltaGraph::DeltaGraph(std::shared_ptr<const Graph> Base)
+    : BasePtr(std::move(Base)) {
+  if (!BasePtr)
+    fatalError("DeltaGraph: null base graph");
+  NumEdges = BasePtr->numEdges();
+  OutSlot.assign(static_cast<size_t>(BasePtr->numNodes()), kNoSlot);
+  if (!BasePtr->isSymmetric() && BasePtr->hasInEdges())
+    InSlot.assign(static_cast<size_t>(BasePtr->numNodes()), kNoSlot);
+}
+
+int64_t DeltaGraph::outDegreeSum(const VertexId *Vs, Count N) const {
+  int64_t Sum = 0;
+  for (Count I = 0; I < N; ++I)
+    Sum += outDegree(Vs[I]);
+  return Sum;
+}
+
+DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
+  std::vector<uint32_t> &Slots = Out ? OutSlot : InSlot;
+  std::vector<Patch> &Patches = Out ? OutPatches : InPatches;
+  if (Slots[V] != kNoSlot)
+    return Patches[Slots[V]];
+  Slots[V] = static_cast<uint32_t>(Patches.size());
+  Patches.emplace_back();
+  Patch &P = Patches.back();
+  Graph::NeighborRange Range =
+      Out ? BasePtr->outNeighbors(V) : BasePtr->inNeighbors(V);
+  P.Ids.reserve(static_cast<size_t>(Range.size()) + 1);
+  if (isWeighted())
+    P.Ws.reserve(static_cast<size_t>(Range.size()) + 1);
+  for (WNode E : Range) {
+    P.Ids.push_back(E.V);
+    if (isWeighted())
+      P.Ws.push_back(E.W);
+  }
+  if (Out)
+    OverlayEdges += static_cast<Count>(P.Ids.size());
+  return P;
+}
+
+AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
+                                        UpdateKind Kind) {
+  AppliedUpdate Nothing{Src, Dst, kAbsentEdge, kAbsentEdge};
+  Patch &P = patchFor(Src, /*Out=*/true);
+  auto It = std::lower_bound(P.Ids.begin(), P.Ids.end(), Dst);
+  size_t Idx = static_cast<size_t>(It - P.Ids.begin());
+  bool Present = It != P.Ids.end() && *It == Dst;
+  Weight OldW =
+      Present ? (isWeighted() ? P.Ws[Idx] : Weight{1}) : kAbsentEdge;
+
+  if (Kind == UpdateKind::Delete) {
+    if (!Present)
+      return Nothing; // deleting a missing edge is a no-op
+    P.Ids.erase(It);
+    if (isWeighted())
+      P.Ws.erase(P.Ws.begin() + static_cast<ptrdiff_t>(Idx));
+    --NumEdges;
+    --OverlayEdges;
+    mirrorIn(Src, Dst, W, Kind);
+    return AppliedUpdate{Src, Dst, OldW, kAbsentEdge};
+  }
+
+  Weight NewW = isWeighted() ? W : Weight{1};
+  if (Present) {
+    if (OldW == NewW)
+      return Nothing; // same weight: no transition
+    if (isWeighted())
+      P.Ws[Idx] = NewW;
+    mirrorIn(Src, Dst, W, Kind);
+    return AppliedUpdate{Src, Dst, OldW, NewW};
+  }
+  P.Ids.insert(It, Dst);
+  if (isWeighted())
+    P.Ws.insert(P.Ws.begin() + static_cast<ptrdiff_t>(Idx), NewW);
+  ++NumEdges;
+  ++OverlayEdges;
+  mirrorIn(Src, Dst, W, Kind);
+  return AppliedUpdate{Src, Dst, kAbsentEdge, NewW};
+}
+
+void DeltaGraph::mirrorIn(VertexId Src, VertexId Dst, Weight W,
+                          UpdateKind Kind) {
+  // Directed graphs carrying incoming adjacency keep it in sync so
+  // DensePull traversal and repair's boundary scan see the same edges.
+  if (InSlot.empty())
+    return;
+  Patch &P = patchFor(Dst, /*Out=*/false);
+  auto It = std::lower_bound(P.Ids.begin(), P.Ids.end(), Src);
+  size_t Idx = static_cast<size_t>(It - P.Ids.begin());
+  bool Present = It != P.Ids.end() && *It == Src;
+  if (Kind == UpdateKind::Delete) {
+    if (!Present)
+      return;
+    P.Ids.erase(It);
+    if (isWeighted())
+      P.Ws.erase(P.Ws.begin() + static_cast<ptrdiff_t>(Idx));
+    return;
+  }
+  Weight NewW = isWeighted() ? W : Weight{1};
+  if (Present) {
+    if (isWeighted())
+      P.Ws[Idx] = NewW;
+    return;
+  }
+  P.Ids.insert(It, Src);
+  if (isWeighted())
+    P.Ws.insert(P.Ws.begin() + static_cast<ptrdiff_t>(Idx), NewW);
+}
+
+std::vector<AppliedUpdate>
+DeltaGraph::apply(const std::vector<EdgeUpdate> &Batch) {
+  std::vector<AppliedUpdate> Applied;
+  Applied.reserve(Batch.size() * (isSymmetric() ? 2 : 1));
+  const Count N = numNodes();
+  for (const EdgeUpdate &U : Batch) {
+    if (static_cast<Count>(U.Src) >= N || static_cast<Count>(U.Dst) >= N ||
+        U.Src == U.Dst)
+      continue; // malformed write: skip, don't take the store down
+    if (U.Kind == UpdateKind::Upsert && U.W < 0)
+      continue; // ordered algorithms require non-negative weights
+    AppliedUpdate A = applyDirected(U.Src, U.Dst, U.W, U.Kind);
+    if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge)
+      Applied.push_back(A);
+    if (isSymmetric()) {
+      AppliedUpdate B = applyDirected(U.Dst, U.Src, U.W, U.Kind);
+      if (B.OldW != kAbsentEdge || B.NewW != kAbsentEdge)
+        Applied.push_back(B);
+    }
+  }
+  return Applied;
+}
+
+Graph DeltaGraph::compact() const {
+  std::vector<Edge> Edges;
+  Edges.reserve(static_cast<size_t>(isSymmetric() ? NumEdges / 2
+                                                  : NumEdges));
+  const Count N = numNodes();
+  for (Count V = 0; V < N; ++V)
+    for (WNode E : outNeighbors(static_cast<VertexId>(V))) {
+      // Symmetric views store both directions; emit each undirected edge
+      // once and let the builder re-symmetrize.
+      if (isSymmetric() && E.V < static_cast<VertexId>(V))
+        continue;
+      Edges.push_back(Edge{static_cast<VertexId>(V), E.V, E.W});
+    }
+  BuildOptions Options;
+  Options.Symmetrize = isSymmetric();
+  Options.RemoveSelfLoops = false;
+  Options.RemoveDuplicates = false;
+  Options.Weighted = isWeighted();
+  Options.BuildInEdges = hasInEdges();
+  GraphBuilder Builder(Options);
+  if (hasCoordinates())
+    return Builder.build(N, std::move(Edges), coordinates());
+  return Builder.build(N, std::move(Edges));
+}

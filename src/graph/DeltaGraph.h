@@ -1,0 +1,183 @@
+//===- graph/DeltaGraph.h - Delta-CSR overlay over a base graph -*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mutable view over an immutable CSR base: edge insertions, deletions and
+/// weight changes are absorbed into per-vertex *patch lists* (a vertex whose
+/// adjacency changed owns a private, sorted replacement list; every other
+/// vertex reads straight from the base CSR). Iteration is unified —
+/// `outNeighbors`/`inNeighbors` return the same `Graph::NeighborRange` the
+/// base graph returns, so every engine templated over the graph type runs
+/// unmodified against a delta view.
+///
+/// This is the representation behind live-graph serving
+/// (service/SnapshotStore.h): writers mutate a private `DeltaGraph`,
+/// publish immutable copies of it as refcounted snapshot versions, and
+/// compact the overlay back into a fresh CSR (`compact()`) once it exceeds
+/// a threshold. The overlay's read cost is one array lookup per vertex on
+/// top of CSR, so queries on a lightly-patched view run at base speed.
+///
+/// The vertex universe is fixed at construction (no vertex insertion —
+/// ids are dense and sized into every pooled query state); self-loops and
+/// out-of-range endpoints are rejected per update, not fatally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_GRAPH_DELTAGRAPH_H
+#define GRAPHIT_GRAPH_DELTAGRAPH_H
+
+#include "graph/Graph.h"
+
+#include <memory>
+#include <vector>
+
+namespace graphit {
+
+/// Sentinel weight meaning "edge absent" in `AppliedUpdate`. Real weights
+/// are non-negative (the ordered algorithms require it).
+inline constexpr Weight kAbsentEdge = -1;
+
+/// One requested edge mutation. `Upsert` inserts the edge if absent and
+/// overwrites its weight if present; `Delete` removes it if present (and is
+/// a no-op otherwise). On symmetric graphs each update is applied to both
+/// directions.
+enum class UpdateKind { Upsert, Delete };
+struct EdgeUpdate {
+  VertexId Src = 0;
+  VertexId Dst = 0;
+  Weight W = 1;
+  UpdateKind Kind = UpdateKind::Upsert;
+};
+
+/// One *directed* edge transition that actually happened, in terms the
+/// incremental-repair algorithms consume: `OldW == kAbsentEdge` means the
+/// edge was inserted, `NewW == kAbsentEdge` means it was deleted, and
+/// otherwise its weight changed from OldW to NewW. Symmetric updates yield
+/// two records (one per direction); no-ops (delete of a missing edge,
+/// upsert to the same weight) yield none.
+struct AppliedUpdate {
+  VertexId Src = 0;
+  VertexId Dst = 0;
+  Weight OldW = kAbsentEdge;
+  Weight NewW = kAbsentEdge;
+};
+
+/// Base CSR + per-vertex patch lists with unified neighbor iteration.
+/// Copyable: a copy shares the (immutable) base and deep-copies the
+/// overlay, which is exactly what publishing a snapshot version needs.
+class DeltaGraph {
+public:
+  DeltaGraph() = default;
+  explicit DeltaGraph(std::shared_ptr<const Graph> Base);
+
+  /// --- Graph-compatible read interface (see graph/Graph.h) -------------
+  Count numNodes() const { return BasePtr->numNodes(); }
+  Count numEdges() const { return NumEdges; }
+  bool isSymmetric() const { return BasePtr->isSymmetric(); }
+  bool isWeighted() const { return BasePtr->isWeighted(); }
+  bool hasInEdges() const { return BasePtr->hasInEdges(); }
+  bool hasCoordinates() const { return BasePtr->hasCoordinates(); }
+  const Coordinates &coordinates() const { return BasePtr->coordinates(); }
+
+  Count outDegree(VertexId V) const {
+    uint32_t Slot = OutSlot[V];
+    if (Slot == kNoSlot)
+      return BasePtr->outDegree(V);
+    return static_cast<Count>(OutPatches[Slot].Ids.size());
+  }
+
+  Count inDegree(VertexId V) const {
+    if (isSymmetric())
+      return outDegree(V);
+    uint32_t Slot = InSlot[V];
+    if (Slot == kNoSlot)
+      return BasePtr->inDegree(V);
+    return static_cast<Count>(InPatches[Slot].Ids.size());
+  }
+
+  Graph::NeighborRange outNeighbors(VertexId V) const {
+    uint32_t Slot = OutSlot[V];
+    if (Slot == kNoSlot)
+      return BasePtr->outNeighbors(V);
+    return rangeOf(OutPatches[Slot]);
+  }
+
+  Graph::NeighborRange inNeighbors(VertexId V) const {
+    if (isSymmetric())
+      return outNeighbors(V);
+    uint32_t Slot = InSlot[V];
+    if (Slot == kNoSlot)
+      return BasePtr->inNeighbors(V);
+    return rangeOf(InPatches[Slot]);
+  }
+
+  /// Sum of out-degrees over a vertex set (direction optimization).
+  int64_t outDegreeSum(const VertexId *Vs, Count N) const;
+
+  /// --- Delta interface --------------------------------------------------
+
+  /// Applies \p Batch in order and returns the directed transitions that
+  /// took effect (see AppliedUpdate). Invalid requests — out-of-range
+  /// endpoints, self loops, negative upsert weights — are skipped: a
+  /// serving system must survive malformed writes. Writer-side only; not
+  /// thread-safe against readers of the *same* object (publish a copy).
+  std::vector<AppliedUpdate> apply(const std::vector<EdgeUpdate> &Batch);
+
+  /// Edges currently resident in patch lists (the overlay size the
+  /// compaction threshold is measured against).
+  Count overlayEdges() const { return OverlayEdges; }
+  /// Vertices owning a patch list.
+  Count patchedVertices() const {
+    return static_cast<Count>(OutPatches.size());
+  }
+
+  const Graph &base() const { return *BasePtr; }
+  std::shared_ptr<const Graph> basePtr() const { return BasePtr; }
+
+  /// Merges base + overlay into a fresh immutable CSR (same adjacency,
+  /// deterministically sorted like GraphBuilder output). O(V + E).
+  Graph compact() const;
+
+private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  struct Patch {
+    std::vector<VertexId> Ids; ///< sorted by neighbor id
+    std::vector<Weight> Ws;    ///< parallel to Ids; empty when unweighted
+  };
+
+  Graph::NeighborRange rangeOf(const Patch &P) const {
+    return Graph::NeighborRange{P.Ids.data(),
+                                isWeighted() ? P.Ws.data() : nullptr,
+                                static_cast<Count>(P.Ids.size())};
+  }
+
+  /// The patch list for \p V in the given direction, created by copying
+  /// the current adjacency on first touch.
+  Patch &patchFor(VertexId V, bool Out);
+
+  /// Applies one directed mutation to the out-adjacency (bumping NumEdges
+  /// and the overlay counter) and mirrors it into the in-adjacency via
+  /// mirrorIn(), which deliberately does not count — one logical directed
+  /// edge, one count. \returns the transition, or kAbsentEdge/kAbsentEdge
+  /// when nothing changed.
+  AppliedUpdate applyDirected(VertexId Src, VertexId Dst, Weight W,
+                              UpdateKind Kind);
+  void mirrorIn(VertexId Src, VertexId Dst, Weight W, UpdateKind Kind);
+
+  std::shared_ptr<const Graph> BasePtr;
+  std::vector<uint32_t> OutSlot; ///< per-vertex patch index or kNoSlot
+  std::vector<uint32_t> InSlot;  ///< directed graphs with in-edges only
+  std::vector<Patch> OutPatches;
+  std::vector<Patch> InPatches;
+  Count NumEdges = 0;
+  Count OverlayEdges = 0;
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_GRAPH_DELTAGRAPH_H

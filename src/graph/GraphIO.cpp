@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
 using namespace graphit;
 
@@ -41,19 +42,41 @@ void noteEndpoint(EdgeListFile &File, VertexId V) {
     File.NumNodes = static_cast<Count>(V) + 1;
 }
 
+/// Reads one whole line of arbitrary length into \p Line (no fixed-buffer
+/// truncation: a long DIMACS comment used to split at 255 bytes and the
+/// tail then parsed as a bogus record). Strips the trailing newline and
+/// any carriage return (CRLF files are common for downloaded datasets).
+/// \returns false at end of file with nothing read.
+bool readLine(std::FILE *F, std::string &Line) {
+  Line.clear();
+  char Buf[4096];
+  bool ReadAny = false;
+  while (std::fgets(Buf, sizeof(Buf), F)) {
+    ReadAny = true;
+    Line += Buf;
+    if (!Line.empty() && Line.back() == '\n')
+      break;
+  }
+  if (!ReadAny)
+    return false;
+  while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+    Line.pop_back();
+  return true;
+}
+
 } // namespace
 
 EdgeListFile graphit::readEdgeList(const std::string &Path) {
   FileHandle F = openOrDie(Path, "r");
   EdgeListFile Result;
-  char Line[256];
-  while (std::fgets(Line, sizeof(Line), F.get())) {
-    if (Line[0] == '#' || Line[0] == '\n' || Line[0] == '\0')
+  std::string Line;
+  while (readLine(F.get(), Line)) {
+    if (Line.empty() || Line[0] == '#')
       continue;
     uint64_t Src, Dst;
     long long W;
-    int Fields = std::sscanf(Line, "%" SCNu64 " %" SCNu64 " %lld", &Src,
-                             &Dst, &W);
+    int Fields = std::sscanf(Line.c_str(), "%" SCNu64 " %" SCNu64 " %lld",
+                             &Src, &Dst, &W);
     if (Fields < 2)
       fatalError("malformed edge list line");
     Edge E;
@@ -84,13 +107,13 @@ EdgeListFile graphit::readDimacsGraph(const std::string &Path) {
   FileHandle F = openOrDie(Path, "r");
   EdgeListFile Result;
   Result.Weighted = true;
-  char Line[256];
-  while (std::fgets(Line, sizeof(Line), F.get())) {
-    if (Line[0] == 'c' || Line[0] == '\n')
+  std::string Line;
+  while (readLine(F.get(), Line)) {
+    if (Line.empty() || Line[0] == 'c')
       continue;
     if (Line[0] == 'p') {
       long long N = 0, M = 0;
-      if (std::sscanf(Line, "p sp %lld %lld", &N, &M) != 2)
+      if (std::sscanf(Line.c_str(), "p sp %lld %lld", &N, &M) != 2)
         fatalError("malformed DIMACS problem line");
       Result.NumNodes = N;
       Result.Edges.reserve(static_cast<size_t>(M));
@@ -99,8 +122,8 @@ EdgeListFile graphit::readDimacsGraph(const std::string &Path) {
     if (Line[0] == 'a') {
       uint64_t Src, Dst;
       long long W;
-      if (std::sscanf(Line, "a %" SCNu64 " %" SCNu64 " %lld", &Src, &Dst,
-                      &W) != 3)
+      if (std::sscanf(Line.c_str(), "a %" SCNu64 " %" SCNu64 " %lld", &Src,
+                      &Dst, &W) != 3)
         fatalError("malformed DIMACS arc line");
       if (Src == 0 || Dst == 0)
         fatalError("DIMACS vertices are 1-indexed");
@@ -132,13 +155,13 @@ Coordinates graphit::readDimacsCoordinates(const std::string &Path,
   Coordinates Coords;
   Coords.X.assign(static_cast<size_t>(NumNodes), 0.0);
   Coords.Y.assign(static_cast<size_t>(NumNodes), 0.0);
-  char Line[256];
-  while (std::fgets(Line, sizeof(Line), F.get())) {
-    if (Line[0] != 'v')
+  std::string Line;
+  while (readLine(F.get(), Line)) {
+    if (Line.empty() || Line[0] != 'v')
       continue;
     uint64_t Id;
     double X, Y;
-    if (std::sscanf(Line, "v %" SCNu64 " %lf %lf", &Id, &X, &Y) != 3)
+    if (std::sscanf(Line.c_str(), "v %" SCNu64 " %lf %lf", &Id, &X, &Y) != 3)
       fatalError("malformed DIMACS coordinate line");
     if (Id == 0 || static_cast<Count>(Id) > NumNodes)
       fatalError("DIMACS coordinate vertex out of range");

@@ -45,9 +45,12 @@ struct TraversalStats {
 };
 
 /// Reusable scratch space for `edgeApplyOut`. Construct once per run.
+/// Generic over the graph type (CSR `Graph` or the delta-overlay
+/// `DeltaGraph` view) — only the vertex count is consulted.
 class TraversalBuffers {
 public:
-  explicit TraversalBuffers(const Graph &G)
+  template <typename GraphT>
+  explicit TraversalBuffers(const GraphT &G)
       : Dedup(G.numNodes()),
         FrontierDense(static_cast<size_t>(G.numNodes()), 0),
         NextDense(static_cast<size_t>(G.numNodes()), 0) {}
@@ -76,9 +79,11 @@ public:
 /// \p Push is `(src, dst, w) -> bool` and must perform its update
 /// atomically; \p Pull is the non-atomic variant used under DensePull,
 /// where each destination is owned by one thread.
-template <typename PushFn, typename PullFn>
+/// \p GraphT is any type with the `Graph` read interface (`Graph` itself
+/// or the live-serving `DeltaGraph` overlay).
+template <typename GraphT, typename PushFn, typename PullFn>
 const std::vector<VertexId> &
-edgeApplyOut(const Graph &G, const std::vector<VertexId> &Frontier,
+edgeApplyOut(const GraphT &G, const std::vector<VertexId> &Frontier,
              Direction Dir, Parallelization Par, TraversalBuffers &Buffers,
              PushFn &&Push, PullFn &&Pull, TraversalStats *Stats = nullptr) {
   Count FrontierSize = static_cast<Count>(Frontier.size());

@@ -17,11 +17,7 @@
 using namespace graphit;
 using namespace graphit::service;
 
-QueryEngine::QueryEngine(const Graph &G, Options Opts)
-    : G(G), Opts(Opts), Pool(G.numNodes(), Opts.TrackParents) {
-  if (Opts.NumLandmarks > 0)
-    Landmarks = std::make_unique<LandmarkCache>(G, Opts.NumLandmarks,
-                                                Opts.DefaultSchedule);
+void QueryEngine::startWorkers() {
   int N = Opts.NumWorkers > 0
               ? Opts.NumWorkers
               : static_cast<int>(std::thread::hardware_concurrency());
@@ -29,6 +25,32 @@ QueryEngine::QueryEngine(const Graph &G, Options Opts)
   Workers.reserve(static_cast<size_t>(N));
   for (int I = 0; I < N; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+}
+
+QueryEngine::QueryEngine(const Graph &G, Options Opts)
+    : StaticG(&G), NumNodes(G.numNodes()),
+      HasCoordinates(G.hasCoordinates()), Opts(Opts),
+      Pool(G.numNodes(), Opts.TrackParents) {
+  if (Opts.NumLandmarks > 0)
+    Landmarks = std::make_unique<LandmarkCache>(G, Opts.NumLandmarks,
+                                                Opts.DefaultSchedule);
+  startWorkers();
+}
+
+QueryEngine::QueryEngine(SnapshotStore &Store, Options Opts)
+    : Store(&Store), NumNodes(Store.current()->numNodes()),
+      HasCoordinates(Store.current()->hasCoordinates()), Opts(Opts),
+      Pool(NumNodes, Opts.TrackParents) {
+  // No landmark cache in live mode: ALT bounds are only admissible for
+  // the version they were computed on (deletions/increases break them).
+  startWorkers();
+}
+
+SnapshotStore::ApplyResult
+QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
+  if (!Store)
+    fatalError("QueryEngine::applyUpdates: engine serves a fixed graph");
+  return Store->applyUpdates(Batch);
 }
 
 QueryEngine::~QueryEngine() {
@@ -48,11 +70,11 @@ uint64_t QueryEngine::submit(Query Q) {
   // a heuristic to exist (landmarks or coordinates).
   bool TargetOk = Q.Kind == QueryKind::SSSP && Q.Target == kInvalidVertex
                       ? true
-                      : static_cast<Count>(Q.Target) < G.numNodes();
+                      : static_cast<Count>(Q.Target) < NumNodes;
   bool HeurOk = Q.Kind != QueryKind::AStar || Landmarks != nullptr ||
-                G.hasCoordinates();
+                HasCoordinates;
   bool Valid =
-      static_cast<Count>(Q.Source) < G.numNodes() && TargetOk && HeurOk;
+      static_cast<Count>(Q.Source) < NumNodes && TargetOk && HeurOk;
   uint64_t Ticket;
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -145,7 +167,8 @@ namespace {
 /// final distances (under concurrent relaxation a stored parent can lag
 /// the final distance) and repairing bad hops by scanning the vertex's
 /// in-neighbors for a predecessor on a true shortest path.
-std::vector<VertexId> extractPath(const Graph &G, DistanceState &State,
+template <typename GraphT>
+std::vector<VertexId> extractPath(const GraphT &G, DistanceState &State,
                                   VertexId Source, VertexId Target) {
   auto HopIsTight = [&](VertexId P, VertexId V) {
     if (P == kInvalidVertex)
@@ -184,6 +207,18 @@ std::vector<VertexId> extractPath(const Graph &G, DistanceState &State,
 } // namespace
 
 QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
+  if (Store) {
+    // Pin the latest version for this query's whole lifetime: concurrent
+    // applyUpdates() publishes the next version, it never mutates ours.
+    SnapshotStore::Snapshot Snap = Store->current();
+    return runOneOn(*Snap, Q, State);
+  }
+  return runOneOn(*StaticG, Q, State);
+}
+
+template <typename GraphT>
+QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
+                                  DistanceState &State) const {
   const Schedule &S = Q.Sched ? *Q.Sched : Opts.DefaultSchedule;
   QueryResult R;
 

@@ -41,6 +41,7 @@
 #include "core/Schedule.h"
 #include "graph/Graph.h"
 #include "service/LandmarkCache.h"
+#include "service/SnapshotStore.h"
 #include "service/StatePool.h"
 
 #include <condition_variable>
@@ -98,8 +99,12 @@ struct QueryResult {
   std::vector<VertexId> Path;
 };
 
-/// Thread-pool query engine over one immutable graph snapshot. The graph
-/// (and any landmark cache built from it) must outlive the engine.
+/// Thread-pool query engine over one immutable graph snapshot — or, in
+/// *live mode*, over a `SnapshotStore`: each query pins the latest
+/// published version for its lifetime, and `applyUpdates()` publishes the
+/// next version without blocking in-flight queries (they finish on the
+/// version they pinned). The graph / store (and any landmark cache) must
+/// outlive the engine.
 class QueryEngine {
 public:
   struct Options {
@@ -120,6 +125,14 @@ public:
   };
 
   QueryEngine(const Graph &G, Options Opts = {});
+
+  /// Live mode: queries run against `Store.current()`, pinned per query.
+  /// `Options::NumLandmarks` is ignored — landmark bounds computed on one
+  /// version can become inadmissible after edge deletions or weight
+  /// increases, so live A* uses the coordinate heuristic (see
+  /// algorithms/AStar.h for the invariant updates must respect).
+  QueryEngine(SnapshotStore &Store, Options Opts = {});
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine &) = delete;
@@ -139,6 +152,15 @@ public:
   /// Submits the whole batch and collects the results in input order.
   std::vector<QueryResult> runBatch(const std::vector<Query> &Batch);
 
+  /// Live mode only: applies \p Batch through the snapshot store and
+  /// publishes the next version. In-flight queries keep the versions they
+  /// pinned; queries submitted after this call see the new one.
+  SnapshotStore::ApplyResult
+  applyUpdates(const std::vector<EdgeUpdate> &Batch);
+
+  /// True when serving a SnapshotStore rather than a fixed graph.
+  bool isLive() const { return Store != nullptr; }
+
   /// The ALT cache (null when Options::NumLandmarks == 0).
   const LandmarkCache *landmarks() const { return Landmarks.get(); }
 
@@ -155,10 +177,17 @@ private:
     Query Q;
   };
 
+  void startWorkers();
   void workerLoop();
   QueryResult runOne(const Query &Q, DistanceState &State) const;
+  template <typename GraphT>
+  QueryResult runOneOn(const GraphT &G, const Query &Q,
+                       DistanceState &State) const;
 
-  const Graph &G;
+  const Graph *StaticG = nullptr;   ///< fixed-graph mode
+  SnapshotStore *Store = nullptr;   ///< live mode
+  Count NumNodes;                   ///< constant across versions
+  bool HasCoordinates;              ///< A* feasibility (base coordinates)
   Options Opts;
   std::unique_ptr<LandmarkCache> Landmarks;
   StatePool Pool;

@@ -1,0 +1,155 @@
+//===- service/SnapshotStore.cpp - Versioned live-graph snapshots ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SnapshotStore.h"
+
+#include <unordered_map>
+#include <utility>
+
+using namespace graphit;
+using namespace graphit::service;
+
+SnapshotStore::SnapshotStore(Graph Base, Options Opts)
+    : Writer(std::make_shared<const Graph>(std::move(Base))), Opts(Opts) {
+  Current = std::make_shared<const DeltaGraph>(Writer);
+}
+
+SnapshotStore::~SnapshotStore() {
+  waitForCompaction();
+  if (Compactor.joinable())
+    Compactor.join();
+}
+
+SnapshotStore::Snapshot SnapshotStore::current() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Current;
+}
+
+uint64_t SnapshotStore::version() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Version;
+}
+
+uint64_t SnapshotStore::compactions() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Compactions;
+}
+
+void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
+  // Caller holds WriteMu (asserted by the parameter): Writer is stable, so
+  // copying it into an immutable snapshot and swapping the publish pointer
+  // is the entire read-side critical section.
+  auto Snap = std::make_shared<const DeltaGraph>(Writer);
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  Current = std::move(Snap);
+  ++Version;
+}
+
+namespace {
+
+/// Coalesces the raw per-application transition records of one batch into
+/// at most one record per directed edge: first old weight → last new
+/// weight. Multiple updates of one edge inside a batch would otherwise
+/// hand repair an intermediate "old" weight and break its tightness test.
+std::vector<AppliedUpdate>
+coalesce(std::vector<AppliedUpdate> Raw) {
+  std::unordered_map<uint64_t, size_t> Index;
+  std::vector<AppliedUpdate> Out;
+  Out.reserve(Raw.size());
+  for (const AppliedUpdate &A : Raw) {
+    uint64_t Key = (static_cast<uint64_t>(A.Src) << 32) | A.Dst;
+    auto [It, Fresh] = Index.emplace(Key, Out.size());
+    if (Fresh) {
+      Out.push_back(A);
+      continue;
+    }
+    Out[It->second].NewW = A.NewW; // keep the first OldW, take the last NewW
+  }
+  // Drop net no-ops (e.g. delete then re-insert at the old weight).
+  size_t Keep = 0;
+  for (const AppliedUpdate &A : Out)
+    if (A.OldW != A.NewW)
+      Out[Keep++] = A;
+  Out.resize(Keep);
+  return Out;
+}
+
+} // namespace
+
+SnapshotStore::ApplyResult
+SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
+  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  ApplyResult R;
+  R.Applied = coalesce(Writer.apply(Batch));
+
+  if (CompactionRunning)
+    Replay.push_back(Batch);
+
+  // Compaction bookkeeping before publishing, so a synchronous compaction
+  // is part of the same published version.
+  const Count Overlay = Writer.overlayEdges();
+  const bool OverThreshold =
+      Overlay >= Opts.MinOverlayEdges &&
+      static_cast<double>(Overlay) >
+          Opts.CompactionThreshold *
+              static_cast<double>(Writer.base().numEdges());
+  if (OverThreshold && !CompactionRunning) {
+    R.CompactionTriggered = true;
+    if (!Opts.BackgroundCompaction) {
+      Writer = DeltaGraph(std::make_shared<const Graph>(Writer.compact()));
+      std::lock_guard<std::mutex> Lock(ReadMu);
+      ++Compactions;
+    } else {
+      if (Compactor.joinable())
+        Compactor.join(); // previous compactor already finished
+      CompactionRunning = true;
+      Replay.clear();
+      // Pin the writer's exact content for the compactor; readers are
+      // unaffected (they pin published versions).
+      Snapshot Pinned = std::make_shared<const DeltaGraph>(Writer);
+      Compactor = std::thread([this, Pinned = std::move(Pinned)]() mutable {
+        compactorBody(std::move(Pinned));
+      });
+    }
+  }
+
+  publish(WriterLock);
+  {
+    std::lock_guard<std::mutex> Lock(ReadMu);
+    R.Version = Version;
+    R.Snap = Current;
+  }
+  return R;
+}
+
+void SnapshotStore::compactorBody(Snapshot Pinned) {
+  // The expensive O(V + E) rebuild happens with no lock held.
+  auto NewBase = std::make_shared<const Graph>(Pinned->compact());
+  Pinned.reset();
+
+  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  DeltaGraph Rebuilt(std::move(NewBase));
+  // Batches accepted while we were compacting: replay them onto the new
+  // base. Upsert/delete semantics are deterministic, so the result equals
+  // the writer's current adjacency with an (almost) empty overlay.
+  for (const std::vector<EdgeUpdate> &B : Replay)
+    Rebuilt.apply(B);
+  Replay.clear();
+  Writer = std::move(Rebuilt);
+  CompactionRunning = false;
+  {
+    std::lock_guard<std::mutex> Lock(ReadMu);
+    ++Compactions;
+  }
+  publish(WriterLock);
+  CompactionCv.notify_all();
+}
+
+void SnapshotStore::waitForCompaction() {
+  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  CompactionCv.wait(WriterLock, [&] { return !CompactionRunning; });
+}

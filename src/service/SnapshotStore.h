@@ -1,0 +1,127 @@
+//===- service/SnapshotStore.h - Versioned live-graph snapshots -*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned snapshot store behind live-graph serving: readers pin
+/// immutable, refcounted graph versions while writers apply batched edge
+/// updates and publish new ones — queries never block on writes and writes
+/// never block on queries.
+///
+///  * A *snapshot* is a `shared_ptr<const DeltaGraph>` (base CSR + patch
+///    overlay, graph/DeltaGraph.h). Pinning is one refcount; a query holds
+///    its snapshot for its lifetime and is immune to later publishes.
+///  * `applyUpdates` mutates the writer's private overlay, coalesces the
+///    per-edge transitions (old → new weight across the whole batch, the
+///    form incremental repair consumes), and publishes a copy as the next
+///    version. Writers are serialized; readers only ever touch published
+///    copies.
+///  * Once the overlay exceeds `CompactionThreshold × base edges`, it is
+///    compacted into a fresh base CSR — synchronously by default, or on a
+///    background thread (`Options::BackgroundCompaction`) that rebuilds
+///    from a pinned snapshot while the writer keeps accepting batches;
+///    the intervening batches are replayed onto the new base before it is
+///    published. Old versions stay alive until their last reader unpins.
+///
+/// The vertex universe is fixed (pooled query states are sized once);
+/// updates are edge-level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SERVICE_SNAPSHOTSTORE_H
+#define GRAPHIT_SERVICE_SNAPSHOTSTORE_H
+
+#include "graph/DeltaGraph.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphit {
+namespace service {
+
+/// Versioned publisher of `DeltaGraph` snapshots over one base graph.
+class SnapshotStore {
+public:
+  /// A pinned, immutable graph version. Holding it keeps the version (and
+  /// its base CSR) alive regardless of later publishes or compactions.
+  using Snapshot = std::shared_ptr<const DeltaGraph>;
+
+  struct Options {
+    Options() {} // usable as a `{}` default argument under GCC 12
+    /// Compact once overlayEdges() exceeds this fraction of the base
+    /// graph's edges ...
+    double CompactionThreshold = 0.10;
+    /// ... and at least this many edges (tiny graphs aren't worth it).
+    Count MinOverlayEdges = 1 << 12;
+    /// Compact on a background thread instead of inside applyUpdates.
+    bool BackgroundCompaction = false;
+  };
+
+  struct ApplyResult {
+    /// Version published for this batch.
+    uint64_t Version = 0;
+    /// Directed, batch-coalesced transitions (at most one per directed
+    /// edge: the first old weight to the last new weight), ready for
+    /// `repairAfterUpdates`. Empty records (no net change) are dropped.
+    std::vector<AppliedUpdate> Applied;
+    /// The published snapshot, pre-pinned for the caller.
+    Snapshot Snap;
+    /// True if this batch tripped the compaction threshold (with
+    /// background compaction the rebuilt base publishes later).
+    bool CompactionTriggered = false;
+  };
+
+  explicit SnapshotStore(Graph Base, Options Opts = {});
+  ~SnapshotStore();
+
+  SnapshotStore(const SnapshotStore &) = delete;
+  SnapshotStore &operator=(const SnapshotStore &) = delete;
+
+  /// The latest published version. Thread-safe, never blocks on writers
+  /// beyond the publish pointer swap.
+  Snapshot current() const;
+
+  /// Monotonic version counter (0 = the seed base graph).
+  uint64_t version() const;
+
+  /// Applies \p Batch and publishes the next version. Serialized across
+  /// callers; concurrent readers keep their pinned versions.
+  ApplyResult applyUpdates(const std::vector<EdgeUpdate> &Batch);
+
+  /// Compactions performed so far.
+  uint64_t compactions() const;
+
+  /// Blocks until no background compaction is in flight (its rebuilt base
+  /// is published). No-op in synchronous mode.
+  void waitForCompaction();
+
+private:
+  void publish(std::unique_lock<std::mutex> &WriterLock);
+  void compactorBody(Snapshot Pinned);
+
+  mutable std::mutex ReadMu; ///< guards Current + Version
+  Snapshot Current;
+  uint64_t Version = 0;
+
+  std::mutex WriteMu; ///< serializes writers and compaction hand-off
+  std::condition_variable CompactionCv;
+  DeltaGraph Writer;
+  Options Opts;
+  uint64_t Compactions = 0;
+  bool CompactionRunning = false;
+  std::thread Compactor;
+  /// Batches applied while a background compaction runs; replayed onto
+  /// the rebuilt base before it replaces the writer overlay.
+  std::vector<std::vector<EdgeUpdate>> Replay;
+};
+
+} // namespace service
+} // namespace graphit
+
+#endif // GRAPHIT_SERVICE_SNAPSHOTSTORE_H

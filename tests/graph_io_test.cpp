@@ -96,6 +96,69 @@ TEST(GraphIO, DimacsIgnoresComments) {
   EXPECT_EQ(Loaded.Edges[0].W, 4);
 }
 
+TEST(GraphIO, DimacsLongCommentLine) {
+  // A comment longer than any internal read buffer used to split, with the
+  // tail tripping fatalError("unrecognized DIMACS line").
+  TempFile File(".gr");
+  {
+    std::ofstream Out(File.str());
+    Out << "c " << std::string(10000, 'x') << "\n";
+    Out << "p sp 3 2\n";
+    Out << "c " << std::string(5000, 'a') << " 1 2 3\n";
+    Out << "a 1 2 4\n";
+    Out << "a 2 3 7\n";
+  }
+  EdgeListFile Loaded = readDimacsGraph(File.str());
+  EXPECT_EQ(Loaded.NumNodes, 3);
+  ASSERT_EQ(Loaded.Edges.size(), 2u);
+  EXPECT_EQ(Loaded.Edges[1].Src, 1u);
+  EXPECT_EQ(Loaded.Edges[1].Dst, 2u);
+  EXPECT_EQ(Loaded.Edges[1].W, 7);
+}
+
+TEST(GraphIO, DimacsCarriageReturns) {
+  TempFile File(".gr");
+  {
+    std::ofstream Out(File.str());
+    Out << "c exported from a Windows tool\r\n"
+        << "p sp 2 1\r\n"
+        << "a 1 2 9\r\n"
+        << "\r\n";
+  }
+  EdgeListFile Loaded = readDimacsGraph(File.str());
+  EXPECT_EQ(Loaded.NumNodes, 2);
+  ASSERT_EQ(Loaded.Edges.size(), 1u);
+  EXPECT_EQ(Loaded.Edges[0].W, 9);
+}
+
+TEST(GraphIO, EdgeListLongCommentAndCrLf) {
+  TempFile File(".el");
+  {
+    std::ofstream Out(File.str());
+    Out << "# " << std::string(8192, 'c') << "\r\n0 1 5\r\n1 2 6\r\n";
+  }
+  EdgeListFile Loaded = readEdgeList(File.str());
+  EXPECT_TRUE(Loaded.Weighted);
+  ASSERT_EQ(Loaded.Edges.size(), 2u);
+  EXPECT_EQ(Loaded.Edges[0].W, 5);
+  EXPECT_EQ(Loaded.Edges[1].W, 6);
+}
+
+TEST(GraphIO, DimacsCoordinatesLongCommentAndCr) {
+  TempFile File(".co");
+  {
+    std::ofstream Out(File.str());
+    Out << "c " << std::string(9000, 'y') << "\n"
+        << "v 1 1.25 -3.5\r\n"
+        << "v 2 0.5 2.0\n";
+  }
+  Coordinates Loaded = readDimacsCoordinates(File.str(), 2);
+  ASSERT_EQ(Loaded.size(), 2);
+  EXPECT_DOUBLE_EQ(Loaded.X[0], 1.25);
+  EXPECT_DOUBLE_EQ(Loaded.Y[0], -3.5);
+  EXPECT_DOUBLE_EQ(Loaded.Y[1], 2.0);
+}
+
 TEST(GraphIO, DimacsCoordinatesRoundTrip) {
   TempFile File(".co");
   Coordinates Coords;

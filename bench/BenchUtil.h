@@ -64,6 +64,25 @@ inline int64_t resultChecksum(const std::vector<Priority> &V) {
   return Sum;
 }
 
+/// Emits the standard JSON-lines bench record consumed by
+/// scripts/check_bench.py. \p SolveSeconds is steady-state solve time only;
+/// \p BuildSeconds (emitted when >= 0) is the one-time graph build/reorder
+/// cost, kept in a separate field so the perf gate never conflates layout
+/// cost with query speed. \p Ordering (emitted when non-null) names the
+/// vertex layout and is surfaced as its own column in the gate's summary
+/// table.
+inline void emitBench(const std::string &Name, double SolveSeconds,
+                      int64_t Check, double BuildSeconds = -1.0,
+                      const char *Ordering = nullptr) {
+  std::printf("{\"bench\": \"%s\"", Name.c_str());
+  if (Ordering)
+    std::printf(", \"ordering\": \"%s\"", Ordering);
+  if (BuildSeconds >= 0)
+    std::printf(", \"build_s\": %.6f", BuildSeconds);
+  std::printf(", \"seconds\": %.6f, \"check\": %lld}\n", SolveSeconds,
+              static_cast<long long>(Check));
+}
+
 /// Prints the standard benchmark banner.
 inline void banner(const char *Experiment, const char *PaperClaim) {
   std::printf("==============================================================="

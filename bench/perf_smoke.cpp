@@ -8,13 +8,21 @@
 // Runs a fixed set of small, generated workloads and emits one line of
 // JSON per workload:
 //
-//   {"bench": "<name>", "seconds": <best wall-clock>, "check": <int64>}
+//   {"bench": "<name>"[, "ordering": "<layout>"], "build_s": <one-time
+//    graph build/reorder cost>, "seconds": <best solve wall-clock>,
+//    "check": <int64>}
 //
 // The output is the repository's perf trajectory: each PR appends a run to
 // BENCH_<host>.json so regressions in the ordered engines show up as a
 // diff, not an anecdote. Workloads are sized to finish in seconds; the
 // `check` field is a result checksum so a "speedup" that breaks answers is
-// caught immediately.
+// caught immediately. `build_s` is kept out of `seconds` so the perf gate
+// never conflates one-time layout cost with steady-state solve speed.
+//
+// The reordered variants (`ordering` field) run the same workload on a
+// cache-conscious vertex layout (graph/Reorder.h); their checksums must
+// equal the identity-layout value (the checksum is a sum over vertices,
+// so it is permutation-invariant) or the bench aborts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +32,9 @@
 #include "algorithms/SSSP.h"
 #include "graph/Builder.h"
 #include "graph/Generators.h"
+#include "graph/Reorder.h"
+#include "support/Abort.h"
+#include "support/Timer.h"
 
 #include <cstdio>
 #include <string>
@@ -32,11 +43,6 @@ using namespace graphit;
 using namespace graphit::bench;
 
 namespace {
-
-void emit(const std::string &Name, double Seconds, int64_t Check) {
-  std::printf("{\"bench\": \"%s\", \"seconds\": %.6f, \"check\": %lld}\n",
-              Name.c_str(), Seconds, (long long)Check);
-}
 
 Graph rmatGraph() {
   std::vector<Edge> Edges = rmatEdges(16, 16, 12345);
@@ -51,51 +57,81 @@ Graph roadGraph() {
   return GraphBuilder(Options).build(Net.NumNodes, Net.Edges);
 }
 
-Graph socialGraph() {
-  BuildOptions Options;
-  Options.Symmetrize = true;
-  Options.Weighted = false;
-  return GraphBuilder(Options).build(Count{1} << 15, rmatEdges(15, 16, 777));
+/// Runs SSSP on a reordered copy of \p G and emits the line; aborts if the
+/// checksum diverges from \p ReferenceCheck.
+void reorderedVariant(const char *Name, const Graph &G, VertexId Source,
+                      const Schedule &S, ReorderKind Kind,
+                      int64_t ReferenceCheck) {
+  Timer BuildClock;
+  VertexMapping Map;
+  Graph P = reorderGraph(G, Kind, &Map, /*Seed=*/0x0EDE5,
+                         /*SourceHint=*/Source);
+  double BuildSeconds = BuildClock.seconds();
+  int64_t Check = 0;
+  double T = timeBest([&] {
+    Check = resultChecksum(deltaSteppingSSSP(P, Map.toInternal(Source), S).Dist);
+  });
+  if (Check != ReferenceCheck)
+    fatalError("perf_smoke: reordered checksum diverged");
+  emitBench(Name, T, Check, BuildSeconds, reorderKindName(Kind));
 }
 
 } // namespace
 
 int main() {
-  // SSSP on an RMAT graph: small delta, fused eager engine.
+  // SSSP on an RMAT graph: small delta, fused eager engine. The degree
+  // layout packs the hubs — the classic skewed-graph win.
   {
+    Timer BuildClock;
     Graph G = rmatGraph();
+    double BuildSeconds = BuildClock.seconds();
     Schedule S;
     S.configApplyPriorityUpdateDelta(2);
     int64_t Check = 0;
-    double T = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 3, S).Dist); });
-    emit("sssp_rmat_eager", T, Check);
+    double T = timeBest(
+        [&] { Check = resultChecksum(deltaSteppingSSSP(G, 3, S).Dist); });
+    emitBench("sssp_rmat_eager", T, Check, BuildSeconds);
+    reorderedVariant("sssp_rmat_eager", G, 3, S, ReorderKind::Degree, Check);
   }
 
   // SSSP on a road-like grid: large delta, where bucket fusion and cheap
-  // next-bucket selection dominate (many near-empty rounds).
+  // next-bucket selection dominate (many near-empty rounds). The BFS
+  // layout makes each Δ-bucket's wavefront a contiguous id band.
   {
+    Timer BuildClock;
     Graph G = roadGraph();
+    double BuildSeconds = BuildClock.seconds();
     Schedule S;
     S.configApplyPriorityUpdateDelta(8192);
     int64_t Check = 0;
-    double T = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, S).Dist); });
-    emit("sssp_road_eager", T, Check);
+    double T = timeBest(
+        [&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, S).Dist); });
+    emitBench("sssp_road_eager", T, Check, BuildSeconds);
+    reorderedVariant("sssp_road_eager", G, 0, S, ReorderKind::Bfs, Check);
 
     Schedule Lazy;
-    Lazy.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(8192);
-    double TL = timeBest([&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, Lazy).Dist); });
-    emit("sssp_road_lazy", TL, Check);
+    Lazy.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(
+        8192);
+    double TL = timeBest(
+        [&] { Check = resultChecksum(deltaSteppingSSSP(G, 0, Lazy).Dist); });
+    emitBench("sssp_road_lazy", TL, Check, BuildSeconds);
   }
 
   // k-core on a symmetrized RMAT graph: lazy and histogram strategies.
   {
-    Graph G = socialGraph();
+    Timer BuildClock;
+    BuildOptions Options;
+    Options.Symmetrize = true;
+    Options.Weighted = false;
+    Graph G =
+        GraphBuilder(Options).build(Count{1} << 15, rmatEdges(15, 16, 777));
+    double BuildSeconds = BuildClock.seconds();
     for (const char *Spec : {"lazy", "lazy_constant_sum"}) {
       Schedule S = Schedule::parse(Spec);
       int64_t Check = 0;
-      double T =
-          timeBest([&] { Check = resultChecksum(kCoreDecomposition(G, S).Coreness); });
-      emit(std::string("kcore_") + Spec, T, Check);
+      double T = timeBest(
+          [&] { Check = resultChecksum(kCoreDecomposition(G, S).Coreness); });
+      emitBench(std::string("kcore_") + Spec, T, Check, BuildSeconds);
     }
   }
   return 0;

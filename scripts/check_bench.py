@@ -15,6 +15,15 @@ Design choices, tuned for noisy CI boxes:
     comparison is best-of-N on both sides;
   * benches present on only one side warn instead of failing (adding or
     retiring a workload must not break the gate);
+  * a baseline line may carry "tolerance": <float> — a per-bench override
+    of the global threshold (the larger of the two wins). Layout/reorder
+    benches are noisier than micro benches and gate at a looser bound
+    without loosening everything else;
+  * the "ordering" field (vertex layout of reordered workload variants) is
+    part of the workload key and surfaced as its own summary column; the
+    "chosen" field (an autotuner's winning layout) shows in the same
+    column but is NOT part of the key — the winner may flip between runs
+    without breaking the comparison;
   * the comparison table is written to $GITHUB_STEP_SUMMARY when set.
 
 Exit status: 0 = no regression (or --warn-only), 1 = regression, 2 = usage.
@@ -39,13 +48,17 @@ METRIC_PRIORITY = [
     ("naive_qps", "higher"),
 ]
 
-# Integer-valued fields that identify a workload variant within one bench.
-KEY_FIELDS = ["bench", "batch", "updates", "threads", "scale"]
+# Fields that identify a workload variant within one bench ("ordering" is
+# the vertex layout of reordered variants).
+KEY_FIELDS = ["bench", "ordering", "batch", "updates", "threads", "scale"]
 
 
 def parse_lines(path):
-    """Returns {key: (metric_name, direction, best_value)}."""
+    """Returns ({key: (metric_name, direction, best_value)},
+                {key: max_tolerance}, {key: display_ordering})."""
     out = {}
+    tolerances = {}
+    display = {}
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -69,11 +82,25 @@ def parse_lines(path):
                 value = min(prev, value) if direction == "lower" \
                     else max(prev, value)
             out[key] = (name, direction, value)
-    return out
+            if "tolerance" in rec:
+                tolerances[key] = max(tolerances.get(key, 0.0),
+                                      float(rec["tolerance"]))
+            if "ordering" in rec or "chosen" in rec:
+                display[key] = rec.get("ordering", rec.get("chosen"))
+    return out, tolerances, display
 
 
 def fmt_key(key):
-    return " ".join(f"{v}" if k == "bench" else f"{k}={v}" for k, v in key)
+    """Table label; the layout has its own column."""
+    return " ".join(f"{v}" if k == "bench" else f"{k}={v}"
+                    for k, v in key if k != "ordering")
+
+
+def fail_label(key, threshold):
+    """Failure-message label: the FULL key (a reordered variant must be
+    distinguishable from its identity bench) plus the effective gate."""
+    full = " ".join(f"{v}" if k == "bench" else f"{k}={v}" for k, v in key)
+    return f"{full} (>{threshold:.0%})"
 
 
 def main():
@@ -91,18 +118,22 @@ def main():
     args = ap.parse_args()
 
     try:
-        base = parse_lines(args.baseline)
-        cur = parse_lines(args.current)
+        base, base_tol, base_disp = parse_lines(args.baseline)
+        cur, _, cur_disp = parse_lines(args.current)
     except OSError as e:
         print(f"check_bench: {e}", file=sys.stderr)
         return 2
+
+    def ordering_of(key):
+        return cur_disp.get(key, base_disp.get(key, "—"))
 
     label = args.name or os.path.basename(args.current)
     rows = []
     regressions = []
     for key, (metric, direction, b) in sorted(base.items()):
         if key not in cur:
-            rows.append((fmt_key(key), metric, b, None, None, "missing"))
+            rows.append((fmt_key(key), ordering_of(key), metric, b, None,
+                         None, "missing"))
             continue
         _, _, c = cur[key]
         # Relative regression: how much worse is current than baseline.
@@ -113,26 +144,31 @@ def main():
         else:
             change = b / c - 1.0
         status = "ok"
-        if change > args.threshold:
+        threshold = max(args.threshold, base_tol.get(key, 0.0))
+        if change > threshold:
             status = "REGRESSION"
-            regressions.append(fmt_key(key))
-        rows.append((fmt_key(key), metric, b, c, change, status))
+            regressions.append(fail_label(key, threshold))
+        rows.append((fmt_key(key), ordering_of(key), metric, b, c, change,
+                     status))
     for key in sorted(set(cur) - set(base)):
         metric, _, c = cur[key]
-        rows.append((fmt_key(key), metric, None, c, None, "new"))
+        rows.append((fmt_key(key), ordering_of(key), metric, None, c, None,
+                     "new"))
 
     header = (f"### Perf gate: {label} "
               f"(threshold {args.threshold:.0%})")
     lines = [header, "",
-             "| workload | metric | baseline | current | worse by | status |",
-             "|---|---|---|---|---|---|"]
-    for key, metric, b, c, change, status in rows:
+             "| workload | ordering | metric | baseline | current "
+             "| worse by | status |",
+             "|---|---|---|---|---|---|---|"]
+    for key, ordering, metric, b, c, change, status in rows:
         bs = f"{b:.4f}" if b is not None else "—"
         cs = f"{c:.4f}" if c is not None else "—"
         ch = f"{change:+.1%}" if change is not None else "—"
         mark = {"ok": "✅", "REGRESSION": "❌",
                 "missing": "⚠️ missing", "new": "🆕"}[status]
-        lines.append(f"| {key} | {metric} | {bs} | {cs} | {ch} | {mark} |")
+        lines.append(f"| {key} | {ordering} | {metric} | {bs} | {cs} "
+                     f"| {ch} | {mark} |")
     if regressions and args.warn_only:
         lines.append("")
         lines.append("_warn-only: regressions reported but not failing._")

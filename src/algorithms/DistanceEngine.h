@@ -39,6 +39,7 @@
 #include "runtime/LazyBucketQueue.h"
 #include "runtime/Traversal.h"
 #include "support/Atomics.h"
+#include "support/Prefetch.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -53,27 +54,74 @@ struct NoTouchFn {
   void operator()(VertexId, VertexId) const {}
 };
 
+/// Priority -> bucket-key coarsening. Δ is a power of two in practically
+/// every schedule (the autotuner space is all powers of two), and the
+/// coarsening runs once per relaxation *and* once per push on the hottest
+/// path — a runtime integer division there costs tens of cycles per edge
+/// that a shift does not. Priorities are non-negative, so the shift is
+/// exact.
+struct PriorityCoarsener {
+  int64_t Delta;
+  int Shift; ///< log2(Delta) when Delta is a power of two, else -1
+
+  static PriorityCoarsener of(int64_t Delta) {
+    const bool Pow2 = Delta > 0 && (Delta & (Delta - 1)) == 0;
+    return PriorityCoarsener{Delta,
+                             Pow2 ? __builtin_ctzll(
+                                        static_cast<uint64_t>(Delta))
+                                  : -1};
+  }
+
+  int64_t key(Priority P) const {
+    return Shift >= 0 ? (P >> Shift) : (P / Delta);
+  }
+};
+
 /// The eager engine's relaxation closure over a distance array: re-checks
 /// staleness against the current bucket key, CASes improvements in, and
 /// pushes improved neighbors at their coarsened key.
 template <typename GraphT, typename HeurFn, typename TouchFn>
 auto makeEagerRelax(const GraphT &G, std::vector<Priority> &Dist,
                     const int64_t Delta, HeurFn &Heur, TouchFn &Touch) {
-  return [&G, &Dist, Delta, &Heur, &Touch](VertexId U, int64_t CurrKey,
-                                           auto &&Push) {
+  const PriorityCoarsener C = PriorityCoarsener::of(Delta);
+  // Single-threaded runs (serving mode pins OmpThreadsPerQuery=1; small
+  // machines) take a non-atomic fast path: an uncontended lock-prefixed
+  // CAS still costs ~20 cycles per successful relaxation, which is a
+  // double-digit share of a road SSSP. The flag is fixed at closure
+  // creation — the engine's parallel region uses the same ICV.
+  const bool Concurrent = omp_get_max_threads() > 1;
+  return [&G, &Dist, C, &Heur, &Touch, Concurrent](VertexId U,
+                                                   int64_t CurrKey,
+                                                   auto &&Push) {
     // Relaxed atomic loads: other threads CAS these slots concurrently;
     // the pre-check needs no ordering (atomicWriteMin re-validates) but
     // a plain load would be a data race.
-    Priority DU = atomicLoadRelaxed(&Dist[U]);
-    if ((DU + Heur(U)) / Delta < CurrKey)
+    Priority DU = Concurrent ? atomicLoadRelaxed(&Dist[U]) : Dist[U];
+    if (C.key(DU + Heur(U)) < CurrKey)
       return; // stale: settled in an earlier bucket
-    for (WNode E : G.outNeighbors(U)) {
-      Priority ND = DU + E.W;
-      if (ND < atomicLoadRelaxed(&Dist[E.V]) &&
-          atomicWriteMin(&Dist[E.V], ND)) {
-        Touch(E.V, U);
-        int64_t Key = (ND + Heur(E.V)) / Delta;
-        Push(E.V, std::max(Key, CurrKey));
+    auto R = G.outNeighbors(U);
+    const Count Deg = R.size();
+    for (Count I = 0; I < Deg; ++I) {
+      // The adjacency row streams; the destination's distance word is the
+      // scattered load. Prefetch it a few edges ahead so the miss overlaps
+      // the CAS/push work of the current edge.
+      if (I + kPrefetchDistance < Deg)
+        prefetchWrite(&Dist[R.id(I + kPrefetchDistance)]);
+      VertexId V = R.id(I);
+      Priority ND = DU + R.weight(I);
+      bool Improved;
+      if (Concurrent) {
+        Improved =
+            ND < atomicLoadRelaxed(&Dist[V]) && atomicWriteMin(&Dist[V], ND);
+      } else {
+        Improved = ND < Dist[V];
+        if (Improved)
+          Dist[V] = ND;
+      }
+      if (Improved) {
+        Touch(V, U);
+        int64_t Key = C.key(ND + Heur(V));
+        Push(V, std::max(Key, CurrKey));
       }
     }
   };
@@ -87,11 +135,22 @@ void lazyDistanceLoop(const GraphT &G, LazyBucketQueue &Queue,
                       std::vector<Priority> &Dist, const Schedule &S,
                       HeurFn &Heur, StopFn &Stop, TouchFn &Touch,
                       OrderedStats &Stats) {
-  const int64_t Delta = S.Delta;
+  const PriorityCoarsener C = PriorityCoarsener::of(S.Delta);
   Timer Clock;
   TraversalBuffers Buffers(G);
 
+  // See makeEagerRelax: single-threaded runs skip the atomic RMW cost.
+  const bool Concurrent = omp_get_max_threads() > 1;
   auto Push = [&](VertexId Sv, VertexId Dv, Weight W) {
+    if (!Concurrent) {
+      Priority ND = Dist[Sv] + W;
+      if (ND < Dist[Dv]) {
+        Dist[Dv] = ND;
+        Touch(Dv, Sv);
+        return true;
+      }
+      return false;
+    }
     Priority ND = atomicLoadRelaxed(&Dist[Sv]) + W;
     if (ND < atomicLoadRelaxed(&Dist[Dv]) && atomicWriteMin(&Dist[Dv], ND)) {
       Touch(Dv, Sv);
@@ -122,12 +181,22 @@ void lazyDistanceLoop(const GraphT &G, LazyBucketQueue &Queue,
     // Fused handoff (§5.1): the changed destinations scatter straight into
     // buckets, computing each key inline from the priority vector — no
     // second (vertices, keys) array pair and no separate key-fill pass.
-    const std::vector<VertexId> &Changed =
-        edgeApplyOut(G, Bucket, S.Dir, S.Par, Buffers, Push, Pull);
+    // The prefetch hook pulls the distance word of the edge a block ahead
+    // (the only scattered load in Push/Pull) into cache early — exclusive
+    // for push destinations (about to be CAS-ed), shared for pull sources
+    // (read by many destination owners in the same round).
+    const std::vector<VertexId> &Changed = edgeApplyOut(
+        G, Bucket, S.Dir, S.Par, Buffers, Push, Pull, /*Stats=*/nullptr,
+        [&](VertexId V, bool IsPull) {
+          if (IsPull)
+            prefetchRead(&Dist[V]);
+          else
+            prefetchWrite(&Dist[V]);
+        });
     Queue.updateBucketsWith(
         Changed.data(), static_cast<Count>(Changed.size()),
         [&](Count, VertexId V) {
-          return std::max((Dist[V] + Heur(V)) / Delta, CurrKey);
+          return std::max(C.key(Dist[V] + Heur(V)), CurrKey);
         });
   }
   Stats.OverflowRebuckets = Queue.overflowRebuckets();
@@ -162,7 +231,10 @@ OrderedStats distanceOrderedRun(const GraphT &G, VertexId Source,
     auto Relax = makeEagerRelax(G, Dist, Delta, Heur, Touch);
     eagerOrderedProcess(G.numNodes(), G.numEdges() + 1, Source,
                         Heur(Source) / Delta, S, Relax, Stop, &Stats,
-                        FrontierScratch);
+                        FrontierScratch, [&G, &Dist](VertexId V) {
+                          prefetchWrite(&Dist[V]);
+                          G.prefetchOutRow(V);
+                        });
     return Stats;
   }
 
@@ -204,7 +276,10 @@ OrderedStats distanceOrderedSeededRun(const GraphT &G,
     eagerOrderedProcessSeeds(
         G.numNodes(), G.numEdges() + static_cast<Count>(Seeds.size()) + 1,
         SeedKeys.data(), static_cast<Count>(SeedKeys.size()), S, Relax,
-        Stop, &Stats, FrontierScratch);
+        Stop, &Stats, FrontierScratch, [&G, &Dist](VertexId V) {
+          prefetchWrite(&Dist[V]);
+          G.prefetchOutRow(V);
+        });
     return Stats;
   }
 

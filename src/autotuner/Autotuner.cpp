@@ -22,7 +22,8 @@ int64_t TuningSpace::size() const {
          static_cast<int64_t>(Deltas.size()) *
          static_cast<int64_t>(FusionThresholds.size()) *
          static_cast<int64_t>(Directions.size()) *
-         static_cast<int64_t>(NumBucketsChoices.size());
+         static_cast<int64_t>(NumBucketsChoices.size()) *
+         static_cast<int64_t>(std::max<size_t>(Orderings.size(), 1));
 }
 
 Schedule TuningSpace::at(int64_t I) const {
@@ -41,6 +42,18 @@ Schedule TuningSpace::at(int64_t I) const {
   return S;
 }
 
+ReorderKind TuningSpace::orderingAt(int64_t I) const {
+  if (I < 0 || I >= size())
+    fatalError("TuningSpace::orderingAt out of range");
+  if (Orderings.empty())
+    return ReorderKind::None;
+  // The ordering is the outermost mixed-radix digit, above every
+  // schedule dimension.
+  int64_t ScheduleCombos =
+      size() / static_cast<int64_t>(Orderings.size());
+  return Orderings[static_cast<size_t>(I / ScheduleCombos)];
+}
+
 TuningSpace TuningSpace::distanceSpace() {
   TuningSpace Space;
   Space.Strategies = {UpdateStrategy::EagerWithFusion,
@@ -51,6 +64,14 @@ TuningSpace TuningSpace::distanceSpace() {
   Space.Directions = {Direction::SparsePush, Direction::DensePull,
                       Direction::Hybrid};
   Space.NumBucketsChoices = {32, 128, 512};
+  return Space;
+}
+
+TuningSpace TuningSpace::distanceLayoutSpace() {
+  TuningSpace Space = distanceSpace();
+  // Random is the adversarial baseline, not a candidate layout.
+  Space.Orderings = {ReorderKind::None, ReorderKind::Degree,
+                     ReorderKind::Bfs, ReorderKind::Push};
   return Space;
 }
 
@@ -65,8 +86,9 @@ TuningSpace TuningSpace::peelingSpace() {
   return Space;
 }
 
-TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
-                               const TuningOptions &Options) {
+TuningResult graphit::autotuneLayout(const TuningSpace &Space,
+                                     const LayoutEvalFn &Eval,
+                                     const TuningOptions &Options) {
   if (Space.size() <= 0)
     fatalError("autotune: empty tuning space");
   Timer Clock;
@@ -78,15 +100,16 @@ TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
   int64_t SpaceSize = Space.size();
   int Trials = std::max(1, Options.MaxTrials);
 
-  auto Measure = [&](const Schedule &S) {
-    double Seconds = Eval(S);
+  auto Measure = [&](ReorderKind Ordering, const Schedule &S) {
+    double Seconds = Eval(Ordering, S);
     ++R.Evaluated;
     if (!std::isfinite(Seconds))
       return;
-    R.History.push_back(TuningSample{S, Seconds});
+    R.History.push_back(TuningSample{S, Ordering, Seconds});
     if (Seconds < R.BestSeconds) {
       R.BestSeconds = Seconds;
       R.Best = S;
+      R.BestOrdering = Ordering;
     }
   };
 
@@ -100,7 +123,7 @@ TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
     do {
       Pick = Rng.nextInt(0, SpaceSize);
     } while (!Tried.insert(Pick).second);
-    Measure(Space.at(Pick));
+    Measure(Space.orderingAt(Pick), Space.at(Pick));
   }
 
   // Phase 2: successive-halving style refinement — re-measure the leaders
@@ -116,10 +139,22 @@ TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
     for (int Rep = 0; Rep < Options.RefineRepeats; ++Rep) {
       if (Clock.seconds() > Options.TimeBudgetSeconds)
         break;
-      Measure(Ranked[L].Sched);
+      Measure(Ranked[L].Ordering, Ranked[L].Sched);
     }
   }
 
   R.ElapsedSeconds = Clock.seconds();
   return R;
+}
+
+TuningResult graphit::autotune(const TuningSpace &Space, const EvalFn &Eval,
+                               const TuningOptions &Options) {
+  // Schedule-only search: collapse the layout dimension so samples are
+  // never spent distinguishing configurations the oracle cannot tell
+  // apart.
+  TuningSpace ScheduleOnly = Space;
+  ScheduleOnly.Orderings = {ReorderKind::None};
+  return autotuneLayout(
+      ScheduleOnly,
+      [&Eval](ReorderKind, const Schedule &S) { return Eval(S); }, Options);
 }

@@ -19,6 +19,7 @@
 #define GRAPHIT_AUTOTUNER_AUTOTUNER_H
 
 #include "core/Schedule.h"
+#include "graph/Reorder.h"
 
 #include <functional>
 #include <string>
@@ -27,24 +28,40 @@
 namespace graphit {
 
 /// The cross-product search space. Empty dimensions are illegal.
+///
+/// GraphIt's thesis is that data layout is a tuning dimension like any
+/// other: `Orderings` adds the vertex layout (graph/Reorder.h) to the
+/// cross product. It defaults to {None} so schedule-only searches are
+/// unchanged; `autotuneLayout` searches the full {ordering × schedule}
+/// space.
 struct TuningSpace {
   std::vector<UpdateStrategy> Strategies;
   std::vector<int64_t> Deltas;
   std::vector<int64_t> FusionThresholds;
   std::vector<Direction> Directions;
   std::vector<int> NumBucketsChoices;
+  std::vector<ReorderKind> Orderings{ReorderKind::None};
 
-  /// Number of distinct schedules in the space.
+  /// Number of distinct configurations in the space (schedules ×
+  /// orderings).
   int64_t size() const;
 
-  /// The I-th schedule under mixed-radix enumeration.
+  /// The I-th schedule under mixed-radix enumeration (the ordering is the
+  /// outermost digit; see orderingAt).
   Schedule at(int64_t I) const;
+
+  /// The I-th configuration's vertex ordering.
+  ReorderKind orderingAt(int64_t I) const;
 
   /// The space the paper's experiments search for distance algorithms:
   /// all four strategies, Δ in powers of two up to 2^17, both
   /// directions, a few thresholds/bucket counts (~10^3-10^6 combinations
   /// depending on trimming).
   static TuningSpace distanceSpace();
+
+  /// distanceSpace() with every lightweight ordering (minus the
+  /// adversarial Random) as a layout dimension.
+  static TuningSpace distanceLayoutSpace();
 
   /// Space for peeling algorithms (no coarsening: Δ fixed at 1).
   static TuningSpace peelingSpace();
@@ -59,15 +76,17 @@ struct TuningOptions {
   uint64_t Seed = 0x5EED;
 };
 
-/// One measurement: schedule and its (best observed) cost in seconds.
+/// One measurement: configuration and its (best observed) cost in seconds.
 struct TuningSample {
   Schedule Sched;
+  ReorderKind Ordering = ReorderKind::None;
   double Seconds = 0.0;
 };
 
 /// Search outcome.
 struct TuningResult {
   Schedule Best;
+  ReorderKind BestOrdering = ReorderKind::None;
   double BestSeconds = 0.0;
   int Evaluated = 0;
   double ElapsedSeconds = 0.0;
@@ -78,9 +97,21 @@ struct TuningResult {
 /// Infinite/NaN results are treated as failures and skipped.
 using EvalFn = std::function<double(const Schedule &)>;
 
-/// Runs the search. Always evaluates at least one schedule.
+/// Layout-aware cost oracle: runs the algorithm under (ordering,
+/// schedule). The oracle owns the reordered graphs — typically built once
+/// per ordering and cached, since many schedules share each layout.
+using LayoutEvalFn =
+    std::function<double(ReorderKind, const Schedule &)>;
+
+/// Runs the search over schedules only (Orderings in \p Space are
+/// ignored). Always evaluates at least one schedule.
 TuningResult autotune(const TuningSpace &Space, const EvalFn &Eval,
                       const TuningOptions &Options = TuningOptions());
+
+/// Runs the search over the full {ordering × schedule} cross product.
+TuningResult autotuneLayout(const TuningSpace &Space,
+                            const LayoutEvalFn &Eval,
+                            const TuningOptions &Options = TuningOptions());
 
 } // namespace graphit
 

@@ -43,6 +43,7 @@
 #include "core/Schedule.h"
 #include "support/Abort.h"
 #include "support/Atomics.h"
+#include "support/Prefetch.h"
 #include "support/TSanAnnotate.h"
 #include "support/Timer.h"
 #include "support/Types.h"
@@ -85,6 +86,14 @@ struct OrderedStats {
 inline constexpr int64_t kMaxEagerKey =
     std::numeric_limits<int64_t>::max() / 2;
 
+/// Default (no-op) per-vertex prefetch hook for the eager engine's frontier
+/// loops. Distance algorithms pass a hook that prefetches `Dist[V]` for the
+/// frontier vertex a few slots ahead — the first scattered load `Relax`
+/// performs — so the miss overlaps the current vertex's relaxation.
+struct NoVertexPrefetch {
+  void operator()(VertexId) const {}
+};
+
 namespace detail {
 
 /// Per-thread bucket store of the eager engine: a sliding circular window
@@ -107,7 +116,8 @@ namespace detail {
 class LocalBinWindow {
 public:
   explicit LocalBinWindow(int64_t WindowSize)
-      : Slots(static_cast<size_t>(std::max<int64_t>(WindowSize, 2))),
+      : Slots(static_cast<size_t>(roundUpPow2(std::max<int64_t>(WindowSize,
+                                                                2)))),
         Window(static_cast<int64_t>(Slots.size())) {}
 
   /// Files \p V under \p Key. Keys below the window base (possible only
@@ -157,8 +167,17 @@ public:
   }
 
 private:
+  /// The window is sized to a power of two so the hot-path slot lookup
+  /// (every push, every proposeMin scan step) is a mask, not a division.
+  static int64_t roundUpPow2(int64_t X) {
+    int64_t P = 1;
+    while (P < X)
+      P <<= 1;
+    return P;
+  }
+
   size_t slotOf(int64_t Key) const {
-    return static_cast<size_t>(Key % Window);
+    return static_cast<size_t>(Key & (Window - 1));
   }
 
   void migrateOverflow() {
@@ -214,14 +233,16 @@ private:
 ///                          once and reused across runs (stale contents are
 ///                          harmless: only indices below the round tails
 ///                          are ever read).
-template <typename RelaxFn, typename StopFn>
+template <typename RelaxFn, typename StopFn,
+          typename VPrefetchFn = NoVertexPrefetch>
 void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
                               const std::pair<VertexId, int64_t> *Seeds,
                               Count NumSeeds, const Schedule &S,
                               RelaxFn &&Relax, StopFn &&Stop,
                               OrderedStats *Stats = nullptr,
                               std::vector<VertexId> *FrontierScratch =
-                                  nullptr) {
+                                  nullptr,
+                              VPrefetchFn &&VPrefetch = VPrefetchFn{}) {
   (void)NumNodes;
   if (NumSeeds == 0) {
     if (Stats)
@@ -291,8 +312,13 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
       Bins.advanceTo(CurrKey);
 
 #pragma omp for nowait schedule(dynamic, kDynamicGrain)
-      for (int64_t I = 0; I < CurrTail; ++I)
+      for (int64_t I = 0; I < CurrTail; ++I) {
+        // Look ahead in this round's frontier: the next vertices' distance
+        // words are the first scattered loads their relaxation performs.
+        if (I + kPrefetchDistance < CurrTail)
+          VPrefetch(Frontier[static_cast<size_t>(I + kPrefetchDistance)]);
         Relax(Frontier[static_cast<size_t>(I)], CurrKey, Push);
+      }
 
       // Bucket fusion (Fig. 7 lines 14-21): drain the current local bucket
       // without synchronizing, as long as it stays below the threshold
@@ -305,9 +331,13 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
           DrainBuf.clear();
           std::swap(DrainBuf, Bins.bin(CurrKey));
           ++LocalFused;
-          LocalFusedVerts += static_cast<int64_t>(DrainBuf.size());
-          for (VertexId U : DrainBuf)
-            Relax(U, CurrKey, Push);
+          const int64_t DrainSize = static_cast<int64_t>(DrainBuf.size());
+          LocalFusedVerts += DrainSize;
+          for (int64_t K = 0; K < DrainSize; ++K) {
+            if (K + kPrefetchDistance < DrainSize)
+              VPrefetch(DrainBuf[static_cast<size_t>(K + kPrefetchDistance)]);
+            Relax(DrainBuf[static_cast<size_t>(K)], CurrKey, Push);
+          }
         }
       }
 
@@ -359,17 +389,20 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
 
 /// Single-source form: the classical entry point (SSSP and friends seed
 /// one vertex — the source at key 0, or ⌊h(s)/Δ⌋ for A*).
-template <typename RelaxFn, typename StopFn>
+template <typename RelaxFn, typename StopFn,
+          typename VPrefetchFn = NoVertexPrefetch>
 void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
                          VertexId Source, int64_t SourceKey,
                          const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
                          OrderedStats *Stats = nullptr,
-                         std::vector<VertexId> *FrontierScratch = nullptr) {
+                         std::vector<VertexId> *FrontierScratch = nullptr,
+                         VPrefetchFn &&VPrefetch = VPrefetchFn{}) {
   const std::pair<VertexId, int64_t> Seed{Source, SourceKey};
   eagerOrderedProcessSeeds(NumNodes, FrontierCapacity, &Seed, 1, S,
                            std::forward<RelaxFn>(Relax),
                            std::forward<StopFn>(Stop), Stats,
-                           FrontierScratch);
+                           FrontierScratch,
+                           std::forward<VPrefetchFn>(VPrefetch));
 }
 
 } // namespace graphit

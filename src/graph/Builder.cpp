@@ -18,12 +18,13 @@ using namespace graphit;
 
 namespace {
 
-/// Builds one CSR direction (offsets + neighbor/weight arrays) keyed by
-/// `KeyOf(edge)` with value `ValOf(edge)`.
+/// Builds one CSR direction: offsets plus either a packed id array
+/// (unweighted) or an interleaved (id, weight) array (weighted — one
+/// stream per adjacency row instead of two).
 struct CSRArrays {
   std::vector<int64_t> Offsets;
-  std::vector<VertexId> Neighbors;
-  std::vector<Weight> Weights;
+  std::vector<VertexId> Ids; ///< unweighted layout
+  std::vector<WNode> Adj;    ///< weighted (interleaved) layout
 };
 
 CSRArrays buildDirection(Count NumNodes, const std::vector<Edge> &Edges,
@@ -41,9 +42,10 @@ CSRArrays buildDirection(Count NumNodes, const std::vector<Edge> &Edges,
       Parallelization::StaticVertexParallel);
   exclusivePrefixSum(R.Offsets.data(), NumNodes + 1);
 
-  R.Neighbors.resize(M);
   if (Weighted)
-    R.Weights.resize(M);
+    R.Adj.resize(M);
+  else
+    R.Ids.resize(M);
   std::vector<int64_t> Cursor(R.Offsets.begin(), R.Offsets.end() - 1);
   parallelFor(
       0, M,
@@ -51,9 +53,10 @@ CSRArrays buildDirection(Count NumNodes, const std::vector<Edge> &Edges,
         VertexId Key = Out ? Edges[I].Src : Edges[I].Dst;
         VertexId Val = Out ? Edges[I].Dst : Edges[I].Src;
         int64_t Pos = fetchAdd<int64_t>(&Cursor[Key], 1);
-        R.Neighbors[Pos] = Val;
         if (Weighted)
-          R.Weights[Pos] = Edges[I].W;
+          R.Adj[Pos] = WNode{Val, Edges[I].W};
+        else
+          R.Ids[Pos] = Val;
       },
       Parallelization::StaticVertexParallel);
 
@@ -64,19 +67,10 @@ CSRArrays buildDirection(Count NumNodes, const std::vector<Edge> &Edges,
     if (Hi - Lo < 2)
       return;
     if (!Weighted) {
-      std::sort(R.Neighbors.begin() + Lo, R.Neighbors.begin() + Hi);
+      std::sort(R.Ids.begin() + Lo, R.Ids.begin() + Hi);
       return;
     }
-    // Sort ids and weights together via an index permutation.
-    std::vector<std::pair<VertexId, Weight>> Tmp;
-    Tmp.reserve(Hi - Lo);
-    for (int64_t I = Lo; I < Hi; ++I)
-      Tmp.push_back({R.Neighbors[I], R.Weights[I]});
-    std::sort(Tmp.begin(), Tmp.end());
-    for (int64_t I = Lo; I < Hi; ++I) {
-      R.Neighbors[I] = Tmp[I - Lo].first;
-      R.Weights[I] = Tmp[I - Lo].second;
-    }
+    std::sort(R.Adj.begin() + Lo, R.Adj.begin() + Hi, adjacencyRowLess);
   });
   return R;
 }
@@ -149,19 +143,20 @@ Graph GraphBuilder::build(Count NumNodes, std::vector<Edge> Edges) const {
   G.NumNodes = NumNodes;
   G.NumEdges = static_cast<Count>(Edges.size());
   G.Symmetric = Options.Symmetrize;
+  G.Weighted = Options.Weighted && !Edges.empty();
 
   CSRArrays OutDir =
-      buildDirection(NumNodes, Edges, /*Out=*/true, Options.Weighted);
+      buildDirection(NumNodes, Edges, /*Out=*/true, G.Weighted);
   G.OutOffsets = std::move(OutDir.Offsets);
-  G.OutNeighbors_ = std::move(OutDir.Neighbors);
-  G.OutWeights = std::move(OutDir.Weights);
+  G.OutIds = std::move(OutDir.Ids);
+  G.OutAdj = std::move(OutDir.Adj);
 
   if (!Options.Symmetrize && Options.BuildInEdges) {
     CSRArrays InDir =
-        buildDirection(NumNodes, Edges, /*Out=*/false, Options.Weighted);
+        buildDirection(NumNodes, Edges, /*Out=*/false, G.Weighted);
     G.InOffsets = std::move(InDir.Offsets);
-    G.InNeighbors_ = std::move(InDir.Neighbors);
-    G.InWeights = std::move(InDir.Weights);
+    G.InIds = std::move(InDir.Ids);
+    G.InAdj = std::move(InDir.Adj);
   }
   return G;
 }

@@ -125,6 +125,13 @@ Graph graphit::makeDataset(DatasetId Id, DatasetVariant Variant,
   return GraphBuilder(Options).build(NumNodes, std::move(Edges));
 }
 
+Graph graphit::makeDataset(DatasetId Id, DatasetVariant Variant,
+                           ReorderKind Reorder, VertexMapping *MapOut,
+                           double ScaleFactor, VertexId SourceHint) {
+  return reorderLoadedGraph(makeDataset(Id, Variant, ScaleFactor), Reorder,
+                            MapOut, /*Seed=*/0x0EDE5, SourceHint);
+}
+
 std::vector<VertexId> graphit::pickSources(const Graph &G, int HowMany,
                                            uint64_t Seed) {
   if (G.numNodes() == 0)

@@ -22,6 +22,7 @@
 #define GRAPHIT_GRAPH_DATASETS_H
 
 #include "graph/Graph.h"
+#include "graph/Reorder.h"
 
 #include <string>
 #include <vector>
@@ -54,6 +55,16 @@ bool isRoadNetwork(DatasetId Id);
 /// (default 1.0).
 Graph makeDataset(DatasetId Id, DatasetVariant Variant,
                   double ScaleFactor = 0.0);
+
+/// Reorder-on-load variant: generates the dataset and rebuilds it in the
+/// \p Reorder layout (graph/Reorder.h). \p MapOut, when non-null, receives
+/// the external<->internal mapping so callers can translate ids. Road
+/// datasets pay off under Bfs — root it at the dominant query source via
+/// \p SourceHint (original-id space; see makeOrdering) — RMAT stand-ins
+/// under Degree/Push; see the README's "Memory layout & reordering" table.
+Graph makeDataset(DatasetId Id, DatasetVariant Variant, ReorderKind Reorder,
+                  VertexMapping *MapOut, double ScaleFactor = 0.0,
+                  VertexId SourceHint = 0);
 
 /// All datasets, in Table 3 order.
 std::vector<DatasetId> allDatasets();

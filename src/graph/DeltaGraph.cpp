@@ -19,9 +19,9 @@ DeltaGraph::DeltaGraph(std::shared_ptr<const Graph> Base)
   if (!BasePtr)
     fatalError("DeltaGraph: null base graph");
   NumEdges = BasePtr->numEdges();
-  OutSlot.assign(static_cast<size_t>(BasePtr->numNodes()), kNoSlot);
+  OutSlot.init(BasePtr->numNodes());
   if (!BasePtr->isSymmetric() && BasePtr->hasInEdges())
-    InSlot.assign(static_cast<size_t>(BasePtr->numNodes()), kNoSlot);
+    InSlot.init(BasePtr->numNodes());
 }
 
 int64_t DeltaGraph::outDegreeSum(const VertexId *Vs, Count N) const {
@@ -32,13 +32,21 @@ int64_t DeltaGraph::outDegreeSum(const VertexId *Vs, Count N) const {
 }
 
 DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
-  std::vector<uint32_t> &Slots = Out ? OutSlot : InSlot;
-  std::vector<Patch> &Patches = Out ? OutPatches : InPatches;
-  if (Slots[V] != kNoSlot)
-    return Patches[Slots[V]];
-  Slots[V] = static_cast<uint32_t>(Patches.size());
-  Patches.emplace_back();
-  Patch &P = Patches.back();
+  PagedSlots &Slots = Out ? OutSlot : InSlot;
+  std::vector<std::shared_ptr<Patch>> &Patches = Out ? OutPatches : InPatches;
+  uint32_t Slot = Slots.get(V);
+  if (Slot != kNoSlot) {
+    std::shared_ptr<Patch> &P = Patches[Slot];
+    // Copy-on-write: a published snapshot still references this list, so
+    // the first mutation after a publish clones it. Only lists actually
+    // dirtied between publishes are ever deep-copied.
+    if (P.use_count() > 1)
+      P = std::make_shared<Patch>(*P);
+    return *P;
+  }
+  Slots.set(V, static_cast<uint32_t>(Patches.size()));
+  Patches.push_back(std::make_shared<Patch>());
+  Patch &P = *Patches.back();
   Graph::NeighborRange Range =
       Out ? BasePtr->outNeighbors(V) : BasePtr->inNeighbors(V);
   P.Ids.reserve(static_cast<size_t>(Range.size()) + 1);

@@ -32,6 +32,7 @@
 
 #include "graph/Graph.h"
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -67,8 +68,21 @@ struct AppliedUpdate {
 };
 
 /// Base CSR + per-vertex patch lists with unified neighbor iteration.
-/// Copyable: a copy shares the (immutable) base and deep-copies the
-/// overlay, which is exactly what publishing a snapshot version needs.
+///
+/// Copyable with copy-on-write sharing: a copy shares the (immutable)
+/// base, the patch lists, and the paged slot index, so publishing a
+/// snapshot version costs O(patched-vertex pointers + V/pageSize page
+/// pointers) — not O(V + overlay) deep data. The writer clones a patch
+/// list (or a slot page) only when it is about to mutate one that a live
+/// snapshot still references, so per publish window only the
+/// dirty-since-last-publish lists are ever deep-copied.
+///
+/// Concurrency contract: all copies of a given writer and all mutations of
+/// it are serialized by the owner (SnapshotStore holds its writer mutex
+/// across both). Snapshots may be *read and released* from any thread —
+/// releasing only decrements refcounts, which can make a `use_count()`
+/// observed by the serialized writer stale-high, never stale-low, so the
+/// worst case is one unnecessary clone.
 class DeltaGraph {
 public:
   DeltaGraph() = default;
@@ -84,39 +98,47 @@ public:
   const Coordinates &coordinates() const { return BasePtr->coordinates(); }
 
   Count outDegree(VertexId V) const {
-    uint32_t Slot = OutSlot[V];
+    uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
       return BasePtr->outDegree(V);
-    return static_cast<Count>(OutPatches[Slot].Ids.size());
+    return static_cast<Count>(OutPatches[Slot]->Ids.size());
   }
 
   Count inDegree(VertexId V) const {
     if (isSymmetric())
       return outDegree(V);
-    uint32_t Slot = InSlot[V];
+    uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
       return BasePtr->inDegree(V);
-    return static_cast<Count>(InPatches[Slot].Ids.size());
+    return static_cast<Count>(InPatches[Slot]->Ids.size());
   }
 
   Graph::NeighborRange outNeighbors(VertexId V) const {
-    uint32_t Slot = OutSlot[V];
+    uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
       return BasePtr->outNeighbors(V);
-    return rangeOf(OutPatches[Slot]);
+    return rangeOf(*OutPatches[Slot]);
   }
 
   Graph::NeighborRange inNeighbors(VertexId V) const {
     if (isSymmetric())
       return outNeighbors(V);
-    uint32_t Slot = InSlot[V];
+    uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
       return BasePtr->inNeighbors(V);
-    return rangeOf(InPatches[Slot]);
+    return rangeOf(*InPatches[Slot]);
   }
 
   /// Sum of out-degrees over a vertex set (direction optimization).
   int64_t outDegreeSum(const VertexId *Vs, Count N) const;
+
+  /// Frontier-lookahead prefetch (see Graph::prefetchOutRow). Patched
+  /// vertices live in small per-vertex lists; only the base-CSR path is
+  /// worth hinting.
+  void prefetchOutRow(VertexId V) const {
+    if (OutSlot.get(V) == kNoSlot)
+      BasePtr->prefetchOutRow(V);
+  }
 
   /// --- Delta interface --------------------------------------------------
 
@@ -150,14 +172,55 @@ private:
     std::vector<Weight> Ws;    ///< parallel to Ids; empty when unweighted
   };
 
+  /// Paged per-vertex slot index with copy-on-write pages. A copy shares
+  /// every page (O(V / kPageSize) pointer copies); the serialized writer
+  /// clones a page before the first write that would be visible to a
+  /// sharing snapshot. Unmapped pages read as all-kNoSlot, so untouched
+  /// regions of a lightly-patched graph cost one pointer load + branch on
+  /// the read path and no memory at all.
+  class PagedSlots {
+  public:
+    static constexpr int kPageBits = 12;
+    static constexpr size_t kPageSize = size_t{1} << kPageBits;
+
+    void init(Count NumNodes) {
+      Pages.assign((static_cast<size_t>(NumNodes) + kPageSize - 1) /
+                       kPageSize,
+                   nullptr);
+    }
+    bool empty() const { return Pages.empty(); }
+
+    uint32_t get(VertexId V) const {
+      const PagePtr &P = Pages[V >> kPageBits];
+      return P ? (*P)[V & (kPageSize - 1)] : kNoSlot;
+    }
+
+    void set(VertexId V, uint32_t S) {
+      PagePtr &P = Pages[V >> kPageBits];
+      if (!P) {
+        P = std::make_shared<Page>();
+        P->fill(kNoSlot);
+      } else if (P.use_count() > 1) {
+        P = std::make_shared<Page>(*P); // shared with a snapshot: clone
+      }
+      (*P)[V & (kPageSize - 1)] = S;
+    }
+
+  private:
+    using Page = std::array<uint32_t, kPageSize>;
+    using PagePtr = std::shared_ptr<Page>;
+    std::vector<PagePtr> Pages;
+  };
+
   Graph::NeighborRange rangeOf(const Patch &P) const {
     return Graph::NeighborRange{P.Ids.data(),
                                 isWeighted() ? P.Ws.data() : nullptr,
                                 static_cast<Count>(P.Ids.size())};
   }
 
-  /// The patch list for \p V in the given direction, created by copying
-  /// the current adjacency on first touch.
+  /// The *writable* patch list for \p V in the given direction: created by
+  /// copying the current adjacency on first touch, cloned from the shared
+  /// list on the first touch after a publish (copy-on-write).
   Patch &patchFor(VertexId V, bool Out);
 
   /// Applies one directed mutation to the out-adjacency (bumping NumEdges
@@ -170,10 +233,10 @@ private:
   void mirrorIn(VertexId Src, VertexId Dst, Weight W, UpdateKind Kind);
 
   std::shared_ptr<const Graph> BasePtr;
-  std::vector<uint32_t> OutSlot; ///< per-vertex patch index or kNoSlot
-  std::vector<uint32_t> InSlot;  ///< directed graphs with in-edges only
-  std::vector<Patch> OutPatches;
-  std::vector<Patch> InPatches;
+  PagedSlots OutSlot; ///< per-vertex patch index or kNoSlot
+  PagedSlots InSlot;  ///< directed graphs with in-edges only
+  std::vector<std::shared_ptr<Patch>> OutPatches;
+  std::vector<std::shared_ptr<Patch>> InPatches;
   Count NumEdges = 0;
   Count OverlayEdges = 0;
 };

@@ -8,7 +8,11 @@
 #include "graph/Graph.h"
 
 #include "graph/Builder.h"
+#include "graph/Reorder.h"
+#include "support/Abort.h"
 #include "support/Parallel.h"
+
+#include <algorithm>
 
 using namespace graphit;
 
@@ -36,4 +40,73 @@ Graph Graph::symmetrized() const {
   Graph Result = GraphBuilder(Options).build(NumNodes, std::move(Edges));
   Result.Coords = Coords;
   return Result;
+}
+
+Graph Graph::permuted(const VertexMapping &Map) const {
+  if (Map.size() != NumNodes)
+    fatalError("Graph::permuted: mapping sized for a different graph");
+  if (Map.isIdentity())
+    return *this;
+
+  Graph R;
+  R.NumNodes = NumNodes;
+  R.NumEdges = NumEdges;
+  R.Symmetric = Symmetric;
+  R.Weighted = Weighted;
+
+  auto BuildDirection = [&](bool Out, std::vector<int64_t> &NewOff,
+                            std::vector<VertexId> &NewIds,
+                            std::vector<WNode> &NewAdj) {
+    NewOff.assign(static_cast<size_t>(NumNodes) + 1, 0);
+    parallelFor(
+        0, NumNodes,
+        [&](Count I) {
+          VertexId Old = Map.toExternal(static_cast<VertexId>(I));
+          NewOff[I] = Out ? outDegree(Old) : inDegree(Old);
+        },
+        Parallelization::StaticVertexParallel);
+    NewOff[NumNodes] = 0;
+    int64_t M = exclusivePrefixSum(NewOff.data(), NumNodes + 1);
+    if (Weighted)
+      NewAdj.resize(static_cast<size_t>(M));
+    else
+      NewIds.resize(static_cast<size_t>(M));
+    parallelFor(0, NumNodes, [&](Count I) {
+      VertexId Old = Map.toExternal(static_cast<VertexId>(I));
+      NeighborRange Rg = Out ? outNeighbors(Old) : inNeighbors(Old);
+      int64_t Base = NewOff[I];
+      for (Count J = 0; J < Rg.size(); ++J) {
+        VertexId NewNbr = Map.toInternal(Rg.id(J));
+        if (Weighted)
+          NewAdj[static_cast<size_t>(Base + J)] = WNode{NewNbr, Rg.weight(J)};
+        else
+          NewIds[static_cast<size_t>(Base + J)] = NewNbr;
+      }
+      // Re-sort each row by new neighbor id: the same deterministic layout
+      // GraphBuilder produces, independent of the permutation applied.
+      if (Weighted)
+        std::sort(NewAdj.begin() + Base, NewAdj.begin() + Base + Rg.size(),
+                  adjacencyRowLess);
+      else
+        std::sort(NewIds.begin() + Base, NewIds.begin() + Base + Rg.size());
+    });
+  };
+
+  BuildDirection(true, R.OutOffsets, R.OutIds, R.OutAdj);
+  if (!Symmetric && hasInEdges())
+    BuildDirection(false, R.InOffsets, R.InIds, R.InAdj);
+
+  if (hasCoordinates()) {
+    R.Coords.X.resize(static_cast<size_t>(NumNodes));
+    R.Coords.Y.resize(static_cast<size_t>(NumNodes));
+    parallelFor(
+        0, NumNodes,
+        [&](Count I) {
+          VertexId Old = Map.toExternal(static_cast<VertexId>(I));
+          R.Coords.X[I] = Coords.X[Old];
+          R.Coords.Y[I] = Coords.Y[Old];
+        },
+        Parallelization::StaticVertexParallel);
+  }
+  return R;
 }

@@ -12,11 +12,19 @@
 /// traversals, Fig. 9(b)), and optional per-vertex coordinates (needed by
 /// the A* heuristic).
 ///
+/// Weighted adjacency is stored *interleaved* — one contiguous array of
+/// (neighbor, weight) pairs per direction — so a relax loop walks a single
+/// stream instead of two parallel arrays (one hardware prefetch stream and
+/// half the cache lines per scattered row). Unweighted adjacency stays a
+/// packed id array. `NeighborRange` abstracts over both layouts (and over
+/// `DeltaGraph`'s split patch lists) with a stride.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRAPHIT_GRAPH_GRAPH_H
 #define GRAPHIT_GRAPH_GRAPH_H
 
+#include "support/Prefetch.h"
 #include "support/Types.h"
 
 #include <cassert>
@@ -32,11 +40,23 @@ struct Edge {
 };
 
 /// Destination/weight pair stored in adjacency arrays; `WNode` in the
-/// paper's generated code.
+/// paper's generated code. For weighted graphs this is also the in-memory
+/// adjacency element (interleaved layout), so it must stay exactly two
+/// 32-bit words with the id first.
 struct WNode {
   VertexId V;
   Weight W;
 };
+
+static_assert(sizeof(WNode) == sizeof(VertexId) + sizeof(Weight),
+              "WNode must be packed: NeighborRange strides across it");
+
+/// Deterministic adjacency-row order: by neighbor id, then weight.
+/// `GraphBuilder` and `Graph::permuted` must both sort rows with exactly
+/// this comparator so built and permuted graphs share one layout.
+inline bool adjacencyRowLess(const WNode &A, const WNode &B) {
+  return A.V != B.V ? A.V < B.V : A.W < B.W;
+}
 
 /// Planar vertex coordinates (longitude/latitude or synthetic x/y), consumed
 /// by the A* distance heuristic.
@@ -47,6 +67,8 @@ struct Coordinates {
   bool empty() const { return X.empty(); }
   Count size() const { return static_cast<Count>(X.size()); }
 };
+
+class VertexMapping; // graph/Reorder.h
 
 /// Immutable CSR graph. Construct through `GraphBuilder` (graph/Builder.h).
 ///
@@ -63,7 +85,7 @@ public:
   /// True if built as a symmetric (undirected) graph.
   bool isSymmetric() const { return Symmetric; }
   /// True if the graph carries per-edge weights (otherwise weight()==1).
-  bool isWeighted() const { return !OutWeights.empty(); }
+  bool isWeighted() const { return Weighted; }
   /// True if incoming adjacency is available (always true for symmetric).
   bool hasInEdges() const { return Symmetric || !InOffsets.empty(); }
   /// True if per-vertex coordinates are attached.
@@ -81,17 +103,40 @@ public:
     return InOffsets[V + 1] - InOffsets[V];
   }
 
-  /// Lightweight range of WNode for range-for iteration.
+  /// Lightweight range of WNode for range-for iteration, generic over the
+  /// two physical layouts:
+  ///
+  ///  * split — `Ids` (and optionally `Weights`) are packed arrays, the
+  ///    layout of unweighted graphs and `DeltaGraph` patch lists;
+  ///  * packed — `Packed` points at interleaved (id, weight) pairs, the
+  ///    layout of weighted CSR adjacency.
+  ///
+  /// The layout test is a pointer null-check — one perfectly-predicted
+  /// branch per access with constant-scale indexing on both sides (a
+  /// runtime stride would put an integer multiply in every hot loop).
+  /// `id(I)`/`weight(I)` give indexed access for loops that look ahead
+  /// (software prefetch of the I+k-th neighbor's distance word).
   struct NeighborRange {
-    const VertexId *Ids;
-    const Weight *Weights; // null for unweighted graphs
+    const VertexId *Ids;   ///< split layout ids (null when packed)
+    const Weight *Weights; ///< split layout weights; null -> weight 1
     Count N;
+    const WNode *Packed = nullptr; ///< interleaved layout
+
+    VertexId id(Count I) const { return Packed ? Packed[I].V : Ids[I]; }
+    Weight weight(Count I) const {
+      if (Packed)
+        return Packed[I].W;
+      return Weights ? Weights[I] : Weight{1};
+    }
 
     struct Iterator {
       const VertexId *Ids;
       const Weight *Weights;
+      const WNode *Packed;
       Count I;
       WNode operator*() const {
+        if (Packed)
+          return Packed[I];
         return WNode{Ids[I], Weights ? Weights[I] : Weight{1}};
       }
       Iterator &operator++() {
@@ -100,19 +145,19 @@ public:
       }
       bool operator!=(const Iterator &O) const { return I != O.I; }
     };
-    Iterator begin() const { return Iterator{Ids, Weights, 0}; }
-    Iterator end() const { return Iterator{Ids, Weights, N}; }
+    Iterator begin() const { return Iterator{Ids, Weights, Packed, 0}; }
+    Iterator end() const { return Iterator{Ids, Weights, Packed, N}; }
     Count size() const { return N; }
   };
 
   /// Outgoing neighbors of \p V with weights.
   NeighborRange outNeighbors(VertexId V) const {
     assert(V < NumNodes && "vertex out of range");
-    Count Lo = OutOffsets[V];
-    return NeighborRange{OutNeighbors_.data() + Lo,
-                         OutWeights.empty() ? nullptr
-                                            : OutWeights.data() + Lo,
-                         OutOffsets[V + 1] - Lo};
+    int64_t Lo = OutOffsets[V];
+    Count Deg = OutOffsets[V + 1] - Lo;
+    if (Weighted)
+      return NeighborRange{nullptr, nullptr, Deg, OutAdj.data() + Lo};
+    return NeighborRange{OutIds.data() + Lo, nullptr, Deg};
   }
 
   /// Incoming neighbors of \p V with weights. For symmetric graphs this is
@@ -121,15 +166,30 @@ public:
     if (Symmetric)
       return outNeighbors(V);
     assert(hasInEdges() && "graph built without incoming adjacency");
-    Count Lo = InOffsets[V];
-    return NeighborRange{InNeighbors_.data() + Lo,
-                         InWeights.empty() ? nullptr : InWeights.data() + Lo,
-                         InOffsets[V + 1] - Lo};
+    int64_t Lo = InOffsets[V];
+    Count Deg = InOffsets[V + 1] - Lo;
+    if (Weighted)
+      return NeighborRange{nullptr, nullptr, Deg, InAdj.data() + Lo};
+    return NeighborRange{InIds.data() + Lo, nullptr, Deg};
   }
 
   /// Per-vertex coordinates; empty() unless the generator/loader attached
   /// them.
   const Coordinates &coordinates() const { return Coords; }
+
+  /// Prefetches the out-adjacency row of \p V: the offsets word, and —
+  /// reading the offset, which a longer-lookahead caller has usually
+  /// already pulled in — the head of the row itself. Used by the eager
+  /// engine's frontier lookahead so a vertex's row is in flight before its
+  /// relaxation starts.
+  void prefetchOutRow(VertexId V) const {
+    prefetchRead(&OutOffsets[V]);
+    int64_t Lo = OutOffsets[V];
+    if (Weighted)
+      prefetchRead(OutAdj.data() + Lo);
+    else if (!OutIds.empty())
+      prefetchRead(OutIds.data() + Lo);
+  }
 
   /// Sum of out-degrees over a set of vertices; used by the direction
   /// optimization to estimate frontier work.
@@ -139,6 +199,13 @@ public:
   /// directed inputs, per Table 3's caption).
   Graph symmetrized() const;
 
+  /// \returns this graph rebuilt under \p Map (graph/Reorder.h): vertex
+  /// `Map.toExternal(n)` of this graph becomes vertex `n` of the result,
+  /// with out-/in-adjacency, weights, and coordinates carried over and each
+  /// adjacency row re-sorted by new neighbor id (the same deterministic
+  /// layout GraphBuilder produces). O(V + E) parallel.
+  Graph permuted(const VertexMapping &Map) const;
+
 private:
   friend class GraphBuilder;
   friend Graph loadBinaryGraph(const char *Path);
@@ -146,14 +213,15 @@ private:
   Count NumNodes = 0;
   Count NumEdges = 0;
   bool Symmetric = false;
+  bool Weighted = false;
 
   std::vector<int64_t> OutOffsets{0};
-  std::vector<VertexId> OutNeighbors_;
-  std::vector<Weight> OutWeights;
+  std::vector<VertexId> OutIds; ///< unweighted layout
+  std::vector<WNode> OutAdj;    ///< weighted (interleaved) layout
 
   std::vector<int64_t> InOffsets;
-  std::vector<VertexId> InNeighbors_;
-  std::vector<Weight> InWeights;
+  std::vector<VertexId> InIds;
+  std::vector<WNode> InAdj;
 
   Coordinates Coords;
 };

@@ -248,14 +248,24 @@ Graph graphit::loadBinaryGraph(const char *Path) {
   Coords.X = readVec<double>(F.get());
   Coords.Y = readVec<double>(F.get());
 
-  // Rebuild through the CSR fields directly (friend access).
+  // Rebuild through the CSR fields directly (friend access). The on-disk
+  // format keeps split id/weight arrays for compatibility; weighted graphs
+  // are interleaved into the in-memory (id, weight) layout here.
   Graph G;
   G.NumNodes = static_cast<Count>(Header[0]);
   G.NumEdges = static_cast<Count>(Header[1]);
   G.Symmetric = Header[2] != 0;
+  G.Weighted = !OutWeights.empty();
   G.OutOffsets = std::move(OutOffsets);
-  G.OutNeighbors_ = std::move(OutNeighbors);
-  G.OutWeights = std::move(OutWeights);
+  if (G.Weighted) {
+    if (OutWeights.size() != OutNeighbors.size())
+      fatalError("binary graph: weight count != neighbor count");
+    G.OutAdj.resize(OutNeighbors.size());
+    for (size_t I = 0; I < OutNeighbors.size(); ++I)
+      G.OutAdj[I] = WNode{OutNeighbors[I], OutWeights[I]};
+  } else {
+    G.OutIds = std::move(OutNeighbors);
+  }
   G.Coords = std::move(Coords);
   if (!G.Symmetric) {
     // Rebuild incoming adjacency from the edge list.
@@ -267,11 +277,19 @@ Graph graphit::loadBinaryGraph(const char *Path) {
     BuildOptions Options;
     Options.RemoveSelfLoops = false;
     Options.RemoveDuplicates = false;
-    Options.Weighted = !G.OutWeights.empty();
+    Options.Weighted = G.Weighted;
     Graph Rebuilt = GraphBuilder(Options).build(G.NumNodes, std::move(Edges));
     G.InOffsets = std::move(Rebuilt.InOffsets);
-    G.InNeighbors_ = std::move(Rebuilt.InNeighbors_);
-    G.InWeights = std::move(Rebuilt.InWeights);
+    G.InIds = std::move(Rebuilt.InIds);
+    G.InAdj = std::move(Rebuilt.InAdj);
   }
   return G;
+}
+
+Graph graphit::loadBinaryGraphReordered(const std::string &Path,
+                                        ReorderKind Reorder,
+                                        VertexMapping *MapOut,
+                                        VertexId SourceHint) {
+  return reorderLoadedGraph(loadBinaryGraph(Path), Reorder, MapOut,
+                            /*Seed=*/0x0EDE5, SourceHint);
 }

@@ -20,6 +20,7 @@
 #define GRAPHIT_GRAPH_GRAPHIO_H
 
 #include "graph/Graph.h"
+#include "graph/Reorder.h"
 
 #include <string>
 #include <vector>
@@ -65,6 +66,14 @@ Graph loadBinaryGraph(const char *Path);
 inline Graph loadBinaryGraph(const std::string &Path) {
   return loadBinaryGraph(Path.c_str());
 }
+
+/// Reorder-on-load: loads the CSR image and rebuilds it in the \p Reorder
+/// layout (graph/Reorder.h); \p MapOut, when non-null, receives the
+/// external<->internal mapping. Binary images keep their original ids on
+/// disk — the layout is a load-time decision, not a file property.
+Graph loadBinaryGraphReordered(const std::string &Path, ReorderKind Reorder,
+                               VertexMapping *MapOut = nullptr,
+                               VertexId SourceHint = 0);
 
 } // namespace graphit
 

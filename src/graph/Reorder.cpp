@@ -1,0 +1,295 @@
+//===- graph/Reorder.cpp - Lightweight vertex reordering ------------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Reorder.h"
+
+#include "support/Abort.h"
+#include "support/Atomics.h"
+#include "support/Parallel.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace graphit;
+
+const char *graphit::reorderKindName(ReorderKind Kind) {
+  switch (Kind) {
+  case ReorderKind::None:
+    return "none";
+  case ReorderKind::Degree:
+    return "degree";
+  case ReorderKind::Bfs:
+    return "bfs";
+  case ReorderKind::Push:
+    return "push";
+  case ReorderKind::Random:
+    return "random";
+  }
+  return "none";
+}
+
+ReorderKind graphit::parseReorderKind(const std::string &Name) {
+  for (ReorderKind K : allReorderKinds())
+    if (Name == reorderKindName(K))
+      return K;
+  fatalError(("parseReorderKind: unknown ordering '" + Name + "'").c_str());
+}
+
+std::vector<ReorderKind> graphit::allReorderKinds() {
+  return {ReorderKind::None, ReorderKind::Degree, ReorderKind::Bfs,
+          ReorderKind::Push, ReorderKind::Random};
+}
+
+VertexMapping
+VertexMapping::fromInternalToExternal(std::vector<VertexId> NewToOld) {
+  const Count N = static_cast<Count>(NewToOld.size());
+  VertexMapping M(N);
+  M.ToInternal_.assign(static_cast<size_t>(N), kInvalidVertex);
+  for (Count I = 0; I < N; ++I) {
+    VertexId Old = NewToOld[I];
+    if (static_cast<Count>(Old) >= N ||
+        M.ToInternal_[Old] != kInvalidVertex)
+      fatalError("VertexMapping: table is not a permutation");
+    M.ToInternal_[Old] = static_cast<VertexId>(I);
+  }
+  M.ToExternal_ = std::move(NewToOld);
+  return M;
+}
+
+void VertexMapping::mapToInternal(std::vector<VertexId> &Vs) const {
+  if (isIdentity())
+    return;
+  for (VertexId &V : Vs)
+    V = ToInternal_[V];
+}
+
+void VertexMapping::mapToExternal(std::vector<VertexId> &Vs) const {
+  if (isIdentity())
+    return;
+  for (VertexId &V : Vs)
+    V = ToExternal_[V];
+}
+
+namespace {
+
+/// Degree-descending stable counting sort, blocked for parallelism.
+/// Degrees are clamped at kDegreeCap — every hub above the cap lands in the
+/// front bucket (ordered by old id), which is all hub-packing needs.
+std::vector<VertexId> degreeOrder(const Graph &G) {
+  const Count N = G.numNodes();
+  constexpr Count kDegreeCap = 4096;
+  const Count K = kDegreeCap + 1;
+  auto BucketOf = [&](Count V) {
+    return kDegreeCap -
+           std::min<Count>(G.outDegree(static_cast<VertexId>(V)), kDegreeCap);
+  };
+
+  const int NumBlocks = std::max(1, getNumWorkers() * 4);
+  const Count BlockSize = (N + NumBlocks - 1) / NumBlocks;
+  // Counts[Blk * K + B]: how many vertices of block Blk fall in bucket B.
+  std::vector<int64_t> Counts(static_cast<size_t>(NumBlocks) * K, 0);
+  parallelFor(
+      0, NumBlocks,
+      [&](Count Blk) {
+        Count Lo = Blk * BlockSize, Hi = std::min(N, Lo + BlockSize);
+        int64_t *C = Counts.data() + Blk * K;
+        for (Count V = Lo; V < Hi; ++V)
+          ++C[BucketOf(V)];
+      },
+      Parallelization::StaticVertexParallel);
+
+  // Bucket-major exclusive prefix: bucket B of block Blk starts after every
+  // lower bucket (all blocks) and bucket B of lower blocks — that order is
+  // what makes the scatter stable by old id within a bucket.
+  int64_t Running = 0;
+  for (Count B = 0; B < K; ++B)
+    for (int Blk = 0; Blk < NumBlocks; ++Blk) {
+      int64_t C = Counts[static_cast<size_t>(Blk) * K + B];
+      Counts[static_cast<size_t>(Blk) * K + B] = Running;
+      Running += C;
+    }
+
+  std::vector<VertexId> NewToOld(static_cast<size_t>(N));
+  parallelFor(
+      0, NumBlocks,
+      [&](Count Blk) {
+        Count Lo = Blk * BlockSize, Hi = std::min(N, Lo + BlockSize);
+        int64_t *C = Counts.data() + Blk * K;
+        for (Count V = Lo; V < Hi; ++V)
+          NewToOld[static_cast<size_t>(C[BucketOf(V)]++)] =
+              static_cast<VertexId>(V);
+      },
+      Parallelization::StaticVertexParallel);
+  return NewToOld;
+}
+
+/// One level-synchronous BFS from \p Source. Level membership is
+/// deterministic (it is the hop distance), so sorting each level by id
+/// yields a thread-count-independent order. \returns the visit order;
+/// unreached vertices are *not* included.
+std::vector<VertexId> bfsVisitOrder(const Graph &G, VertexId Source,
+                                    std::vector<uint32_t> &Visited) {
+  const Count N = G.numNodes();
+  std::vector<VertexId> Order;
+  Order.reserve(static_cast<size_t>(N));
+  std::vector<VertexId> Frontier{Source}, Next;
+  std::vector<VertexId> Scratch(static_cast<size_t>(N));
+  Visited.assign(static_cast<size_t>(N), 0);
+  Visited[Source] = 1;
+  Order.push_back(Source);
+
+  while (!Frontier.empty()) {
+    Count Cursor = 0;
+    parallelFor(0, static_cast<Count>(Frontier.size()), [&](Count I) {
+      for (WNode E : G.outNeighbors(Frontier[I]))
+        if (atomicLoadRelaxed(&Visited[E.V]) == 0 &&
+            atomicExchange(&Visited[E.V], 1u) == 0)
+          Scratch[static_cast<size_t>(fetchAdd(&Cursor, Count{1}))] = E.V;
+    });
+    Next.assign(Scratch.begin(), Scratch.begin() + Cursor);
+    std::sort(Next.begin(), Next.end());
+    Order.insert(Order.end(), Next.begin(), Next.end());
+    std::swap(Frontier, Next);
+  }
+  return Order;
+}
+
+/// BFS/frontier order rooted at \p Source; every vertex the BFS missed
+/// (other components, or unreachable under directed edges) is appended in
+/// ascending old-id order. Root alignment matters: bands are contiguous
+/// for wavefronts *from the root*, so an ordering rooted far from the
+/// query source can be slower than the input layout.
+std::vector<VertexId> bfsOrder(const Graph &G, VertexId Source) {
+  const Count N = G.numNodes();
+  std::vector<uint32_t> Visited;
+  std::vector<VertexId> NewToOld = bfsVisitOrder(G, Source, Visited);
+  NewToOld.reserve(static_cast<size_t>(N));
+  for (Count V = 0; V < N; ++V)
+    if (!Visited[V])
+      NewToOld.push_back(static_cast<VertexId>(V));
+  return NewToOld;
+}
+
+/// BOBA-style push order: vertices keyed by the position of their first
+/// appearance as a *destination* in the CSR edge stream. Two O(E) parallel
+/// passes (atomic-min the first position, then a blocked in-order collect);
+/// no traversal, no sort over V.
+std::vector<VertexId> pushOrder(const Graph &G) {
+  const Count N = G.numNodes();
+  constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+  // Reconstruct the out-offsets (global edge index = Off[u] + j).
+  std::vector<int64_t> Off(static_cast<size_t>(N) + 1, 0);
+  parallelFor(
+      0, N,
+      [&](Count V) { Off[V] = G.outDegree(static_cast<VertexId>(V)); },
+      Parallelization::StaticVertexParallel);
+  Off[N] = 0;
+  exclusivePrefixSum(Off.data(), N + 1);
+
+  std::vector<int64_t> FirstPos(static_cast<size_t>(N), kNever);
+  parallelFor(0, N, [&](Count V) {
+    Graph::NeighborRange R = G.outNeighbors(static_cast<VertexId>(V));
+    int64_t Base = Off[V];
+    for (Count J = 0; J < R.size(); ++J)
+      atomicMin(&FirstPos[R.id(J)], Base + J);
+  });
+
+  // Blocked in-order collect: block boundaries are vertex ranges, so block
+  // order == edge-stream order and the concatenation is sorted by first
+  // position without ever sorting.
+  const int NumBlocks = std::max(1, getNumWorkers() * 4);
+  const Count BlockSize = (N + NumBlocks - 1) / NumBlocks;
+  std::vector<std::vector<VertexId>> Lists(static_cast<size_t>(NumBlocks));
+  parallelFor(
+      0, NumBlocks,
+      [&](Count Blk) {
+        Count Lo = Blk * BlockSize, Hi = std::min(N, Lo + BlockSize);
+        std::vector<VertexId> &L = Lists[static_cast<size_t>(Blk)];
+        for (Count V = Lo; V < Hi; ++V) {
+          Graph::NeighborRange R = G.outNeighbors(static_cast<VertexId>(V));
+          int64_t Base = Off[V];
+          for (Count J = 0; J < R.size(); ++J)
+            if (FirstPos[R.id(J)] == Base + J)
+              L.push_back(R.id(J));
+        }
+      },
+      Parallelization::StaticVertexParallel);
+
+  std::vector<VertexId> NewToOld;
+  NewToOld.reserve(static_cast<size_t>(N));
+  for (const std::vector<VertexId> &L : Lists)
+    NewToOld.insert(NewToOld.end(), L.begin(), L.end());
+  // Vertices that never appear as a destination (pure sources, isolated)
+  // follow in ascending old-id order.
+  for (Count V = 0; V < N; ++V)
+    if (FirstPos[V] == kNever)
+      NewToOld.push_back(static_cast<VertexId>(V));
+  return NewToOld;
+}
+
+/// Seeded Fisher-Yates shuffle: the adversarial layout.
+std::vector<VertexId> randomOrder(Count N, uint64_t Seed) {
+  std::vector<VertexId> NewToOld(static_cast<size_t>(N));
+  for (Count I = 0; I < N; ++I)
+    NewToOld[I] = static_cast<VertexId>(I);
+  SplitMix64 Rng(Seed);
+  for (Count I = N - 1; I > 0; --I)
+    std::swap(NewToOld[I], NewToOld[Rng.nextInt(0, I + 1)]);
+  return NewToOld;
+}
+
+} // namespace
+
+VertexMapping graphit::makeOrdering(const Graph &G, ReorderKind Kind,
+                                    uint64_t Seed, VertexId SourceHint) {
+  const Count N = G.numNodes();
+  if (Kind == ReorderKind::None || N == 0)
+    return VertexMapping(N);
+  if (static_cast<Count>(SourceHint) >= N)
+    SourceHint = 0;
+  std::vector<VertexId> NewToOld;
+  switch (Kind) {
+  case ReorderKind::Degree:
+    NewToOld = degreeOrder(G);
+    break;
+  case ReorderKind::Bfs:
+    NewToOld = bfsOrder(G, SourceHint);
+    break;
+  case ReorderKind::Push:
+    NewToOld = pushOrder(G);
+    break;
+  case ReorderKind::Random:
+    NewToOld = randomOrder(N, Seed);
+    break;
+  case ReorderKind::None:
+    break; // unreachable
+  }
+  return VertexMapping::fromInternalToExternal(std::move(NewToOld));
+}
+
+Graph graphit::reorderGraph(const Graph &G, ReorderKind Kind,
+                            VertexMapping *MapOut, uint64_t Seed,
+                            VertexId SourceHint) {
+  VertexMapping Map = makeOrdering(G, Kind, Seed, SourceHint);
+  Graph Result = G.permuted(Map);
+  if (MapOut)
+    *MapOut = std::move(Map);
+  return Result;
+}
+
+Graph graphit::reorderLoadedGraph(Graph G, ReorderKind Kind,
+                                  VertexMapping *MapOut, uint64_t Seed,
+                                  VertexId SourceHint) {
+  if (Kind == ReorderKind::None) {
+    if (MapOut)
+      *MapOut = VertexMapping(G.numNodes());
+    return G;
+  }
+  return reorderGraph(G, Kind, MapOut, Seed, SourceHint);
+}

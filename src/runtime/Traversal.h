@@ -28,6 +28,7 @@
 #include "graph/Graph.h"
 #include "runtime/Dedup.h"
 #include "support/Parallel.h"
+#include "support/Prefetch.h"
 
 #include <algorithm>
 #include <vector>
@@ -72,6 +73,15 @@ public:
   }
 };
 
+/// Default (no-op) prefetch hook for `edgeApplyOut`. The bool argument is
+/// true when the hinted vertex is a pull *source* (its word will only be
+/// read) and false for a push destination (its word will be RMW-ed) — a
+/// read-for-ownership hint on a shared pull source would ping-pong the
+/// line between the destination-owning threads.
+struct NoPrefetchFn {
+  void operator()(VertexId, bool) const {}
+};
+
 /// Applies an update function over the out-edges of \p Frontier and returns
 /// the deduplicated list of destinations whose priority changed (stored in
 /// `Buffers.Packed`).
@@ -79,13 +89,21 @@ public:
 /// \p Push is `(src, dst, w) -> bool` and must perform its update
 /// atomically; \p Pull is the non-atomic variant used under DensePull,
 /// where each destination is owned by one thread.
+/// \p Prefetch, when provided, is invoked with the vertex on the *other*
+/// end of the edge `kPrefetchDistance` slots ahead of the one being
+/// applied (the push destination / pull source); callers whose update
+/// reads a per-vertex word (a distance array) use it to issue a software
+/// prefetch of that word so the scattered miss overlaps the current
+/// edge's work.
 /// \p GraphT is any type with the `Graph` read interface (`Graph` itself
 /// or the live-serving `DeltaGraph` overlay).
-template <typename GraphT, typename PushFn, typename PullFn>
+template <typename GraphT, typename PushFn, typename PullFn,
+          typename PrefetchFn = NoPrefetchFn>
 const std::vector<VertexId> &
 edgeApplyOut(const GraphT &G, const std::vector<VertexId> &Frontier,
              Direction Dir, Parallelization Par, TraversalBuffers &Buffers,
-             PushFn &&Push, PullFn &&Pull, TraversalStats *Stats = nullptr) {
+             PushFn &&Push, PullFn &&Pull, TraversalStats *Stats = nullptr,
+             PrefetchFn &&Prefetch = PrefetchFn{}) {
   Count FrontierSize = static_cast<Count>(Frontier.size());
 
   if (Dir == Direction::Hybrid) {
@@ -113,10 +131,16 @@ edgeApplyOut(const GraphT &G, const std::vector<VertexId> &Frontier,
         0, N,
         [&](Count D) {
           bool Changed = false;
-          for (WNode E : G.inNeighbors(static_cast<VertexId>(D)))
-            if (Buffers.FrontierDense[E.V] &&
-                Pull(E.V, static_cast<VertexId>(D), E.W))
+          auto R = G.inNeighbors(static_cast<VertexId>(D));
+          const Count Deg = R.size();
+          for (Count J = 0; J < Deg; ++J) {
+            if (J + kPrefetchDistance < Deg)
+              Prefetch(R.id(J + kPrefetchDistance), /*IsPull=*/true);
+            VertexId S = R.id(J);
+            if (Buffers.FrontierDense[S] &&
+                Pull(S, static_cast<VertexId>(D), R.weight(J)))
               Changed = true;
+          }
           if (Changed)
             Buffers.NextDense[D] = 1;
         },
@@ -152,14 +176,17 @@ edgeApplyOut(const GraphT &G, const std::vector<VertexId> &Frontier,
       [&](Count I) {
         VertexId S = Frontier[I];
         int64_t Offset = Buffers.Offsets[I];
-        int64_t J = 0;
-        for (WNode E : G.outNeighbors(S)) {
-          bool TrackingVar = Push(S, E.V, E.W);
-          if (TrackingVar && Buffers.Dedup.claim(E.V))
-            Buffers.OutEdges[Offset + J] = E.V;
+        auto R = G.outNeighbors(S);
+        const Count Deg = R.size();
+        for (Count J = 0; J < Deg; ++J) {
+          if (J + kPrefetchDistance < Deg)
+            Prefetch(R.id(J + kPrefetchDistance), /*IsPull=*/false);
+          VertexId D = R.id(J);
+          bool TrackingVar = Push(S, D, R.weight(J));
+          if (TrackingVar && Buffers.Dedup.claim(D))
+            Buffers.OutEdges[Offset + J] = D;
           else
             Buffers.OutEdges[Offset + J] = kInvalidVertex;
-          ++J;
         }
       },
       Par);

@@ -16,6 +16,13 @@
 using namespace graphit;
 using namespace graphit::service;
 
+LandmarkCache::LandmarkCache(std::shared_ptr<const Graph> GPtr,
+                             int NumLandmarks, const Schedule &S,
+                             VertexId ProbeStart)
+    : LandmarkCache(*GPtr, NumLandmarks, S, ProbeStart) {
+  Owned = std::move(GPtr);
+}
+
 LandmarkCache::LandmarkCache(const Graph &G, int NumLandmarks,
                              const Schedule &S, VertexId ProbeStart)
     : G(G), UseCoordinates(G.hasCoordinates()) {

@@ -32,6 +32,7 @@
 #include "core/Schedule.h"
 #include "graph/Graph.h"
 
+#include <memory>
 #include <vector>
 
 namespace graphit {
@@ -46,6 +47,12 @@ public:
   /// per landmark under schedule \p S.
   LandmarkCache(const Graph &G, int NumLandmarks, const Schedule &S,
                 VertexId ProbeStart = 0);
+
+  /// Owning variant for caches whose graph has no other holder — the live
+  /// QueryEngine builds one from a compacted snapshot and keeps the
+  /// compacted CSR alive exactly as long as the cache.
+  LandmarkCache(std::shared_ptr<const Graph> GPtr, int NumLandmarks,
+                const Schedule &S, VertexId ProbeStart = 0);
 
   /// The ALT bound, combined with the coordinate bound when available.
   /// h(Target, Target) == 0; pairs unreachable from some landmark are
@@ -95,6 +102,7 @@ private:
                         VertexId Target) const;
 
   const Graph &G;
+  std::shared_ptr<const Graph> Owned; ///< set by the owning constructor
   bool UseCoordinates;
   std::vector<VertexId> Landmarks;
   std::vector<std::vector<Priority>> DistFrom; ///< [landmark][vertex]

@@ -30,27 +30,113 @@ void QueryEngine::startWorkers() {
 QueryEngine::QueryEngine(const Graph &G, Options Opts)
     : StaticG(&G), NumNodes(G.numNodes()),
       HasCoordinates(G.hasCoordinates()), Opts(Opts),
+      OwnMap(G.numNodes()), Map(&OwnMap),
       Pool(G.numNodes(), Opts.TrackParents) {
-  if (Opts.NumLandmarks > 0)
-    Landmarks = std::make_unique<LandmarkCache>(G, Opts.NumLandmarks,
-                                                Opts.DefaultSchedule);
+  if (Opts.Reorder != ReorderKind::None) {
+    // Serve a cache-conscious layout internally; the boundary translation
+    // in runOne keeps callers in original-id space.
+    OwnedG = std::make_unique<Graph>(reorderGraph(
+        G, Opts.Reorder, &OwnMap, /*Seed=*/0x0EDE5, Opts.ReorderSourceHint));
+    StaticG = OwnedG.get();
+  }
+  if (Opts.NumLandmarks > 0) {
+    Landmarks = std::make_shared<LandmarkCache>(
+        *StaticG, Opts.NumLandmarks, Opts.DefaultSchedule);
+    LandmarksAdmissible = true;
+  }
   startWorkers();
 }
 
 QueryEngine::QueryEngine(SnapshotStore &Store, Options Opts)
     : Store(&Store), NumNodes(Store.current()->numNodes()),
       HasCoordinates(Store.current()->hasCoordinates()), Opts(Opts),
-      Pool(NumNodes, Opts.TrackParents) {
-  // No landmark cache in live mode: ALT bounds are only admissible for
-  // the version they were computed on (deletions/increases break them).
+      Map(&Store.mapping()), Pool(NumNodes, Opts.TrackParents) {
+  if (Opts.NumLandmarks > 0) {
+    // Build the ALT cache from a compacted copy of the current version.
+    // It keeps serving through increase-only batches (admissibility is
+    // preserved when true distances can only grow) and is rebuilt on
+    // compaction; see the constructor contract in the header.
+    auto [Snap, Ver] = Store.currentVersioned();
+    Landmarks = std::make_shared<LandmarkCache>(
+        std::make_shared<const Graph>(Snap->compact()), Opts.NumLandmarks,
+        Opts.DefaultSchedule);
+    LandmarksAdmissible = true;
+    LandmarkVersion = Ver;
+    SeenCompactions = Store.compactions();
+  }
   startWorkers();
+}
+
+void QueryEngine::noteAppliedBatch(const SnapshotStore::ApplyResult &R,
+                                   bool WasAdmissible) {
+  // Exact admissibility test on the coalesced transitions: an insert
+  // (OldW absent) or a strict decrease shrinks some true distance, which
+  // can push it below a landmark bound. Deletes and increases only grow
+  // distances — every previously-computed lower bound still holds.
+  bool Breaking = false;
+  for (const AppliedUpdate &A : R.Applied) {
+    if (A.OldW == kAbsentEdge ||
+        (A.NewW != kAbsentEdge && A.NewW < A.OldW)) {
+      Breaking = true;
+      break;
+    }
+  }
+
+  // Rebuild on compaction: the freshly compacted base *is* the current
+  // adjacency, so a cache built from it is admissible from this version
+  // forward regardless of the history that triggered the compaction. The
+  // K-SSSP build runs with only LandmarkWriterMu held (no other writer
+  // can publish meanwhile) — queries keep serving on the old flag/cache.
+  std::shared_ptr<const LandmarkCache> Rebuilt;
+  uint64_t RebuiltVersion = 0;
+  if (Store->compactions() != SeenCompactions) {
+    SeenCompactions = Store->compactions();
+    auto [Snap, Ver] = Store->currentVersioned();
+    Rebuilt = std::make_shared<LandmarkCache>(
+        std::make_shared<const Graph>(Snap->compact()), Opts.NumLandmarks,
+        Opts.DefaultSchedule);
+    RebuiltVersion = Ver;
+  }
+
+  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  LandmarksAdmissible = WasAdmissible && !Breaking;
+  if (Rebuilt) {
+    Landmarks = std::move(Rebuilt);
+    LandmarkVersion = RebuiltVersion;
+    LandmarksAdmissible = true;
+  }
 }
 
 SnapshotStore::ApplyResult
 QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   if (!Store)
     fatalError("QueryEngine::applyUpdates: engine serves a fixed graph");
-  return Store->applyUpdates(Batch);
+  if (Opts.NumLandmarks <= 0)
+    return Store->applyUpdates(Batch);
+
+  // LandmarkWriterMu serializes writers end to end so admissibility
+  // tracking observes batches in order; queries never touch it. The
+  // conservative pre-invalidation (under the cheap LandmarkMu) closes the
+  // window in which a query could pin the just-published (possibly
+  // bound-breaking) version while still reading "admissible" — a batch
+  // that proves to be increase-only restores the flag afterwards.
+  std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
+  bool MaybeBreaking = false;
+  for (const EdgeUpdate &U : Batch)
+    if (U.Kind == UpdateKind::Upsert) {
+      MaybeBreaking = true; // maybe an insert/decrease: assume so
+      break;
+    }
+  bool WasAdmissible;
+  {
+    std::lock_guard<std::mutex> Guard(LandmarkMu);
+    WasAdmissible = LandmarksAdmissible;
+    if (MaybeBreaking)
+      LandmarksAdmissible = false;
+  }
+  SnapshotStore::ApplyResult R = Store->applyUpdates(Batch);
+  noteAppliedBatch(R, WasAdmissible);
+  return R;
 }
 
 QueryEngine::~QueryEngine() {
@@ -71,7 +157,10 @@ uint64_t QueryEngine::submit(Query Q) {
   bool TargetOk = Q.Kind == QueryKind::SSSP && Q.Target == kInvalidVertex
                       ? true
                       : static_cast<Count>(Q.Target) < NumNodes;
-  bool HeurOk = Q.Kind != QueryKind::AStar || Landmarks != nullptr ||
+  // A* needs some heuristic configured. A live engine whose landmark cache
+  // has lapsed (and that lacks coordinates) still accepts the query and
+  // degrades to plain PPSP in runOneOn — same answers, no pruning.
+  bool HeurOk = Q.Kind != QueryKind::AStar || Opts.NumLandmarks > 0 ||
                 HasCoordinates;
   bool Valid =
       static_cast<Count>(Q.Source) < NumNodes && TargetOk && HeurOk;
@@ -206,19 +295,67 @@ std::vector<VertexId> extractPath(const GraphT &G, DistanceState &State,
 
 } // namespace
 
+std::shared_ptr<const LandmarkCache> QueryEngine::landmarks() const {
+  if (!Store)
+    return Landmarks; // immutable after construction
+  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  return Landmarks;
+}
+
+bool QueryEngine::landmarksUsable() const {
+  if (!Store)
+    return Landmarks != nullptr;
+  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  return Landmarks != nullptr && LandmarksAdmissible;
+}
+
+std::shared_ptr<const LandmarkCache>
+QueryEngine::landmarksFor(uint64_t SnapVersion) const {
+  if (!Store)
+    return Landmarks;
+  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  // Admissible means "for every version from the cache's build through
+  // the latest published". The query's pinned version is at most the
+  // latest; requiring it to be at least the build version rules out a
+  // long-pinned older snapshot meeting a cache rebuilt after decreases.
+  if (Landmarks && LandmarksAdmissible && SnapVersion >= LandmarkVersion)
+    return Landmarks;
+  return nullptr;
+}
+
 QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
+  // Translate endpoints into the internal layout; results are translated
+  // back below, so callers only ever see original ids.
+  Query QI = Q;
+  if (!Map->isIdentity()) {
+    QI.Source = Map->toInternal(Q.Source);
+    if (QI.Target != kInvalidVertex)
+      QI.Target = Map->toInternal(Q.Target);
+  }
+
+  QueryResult R;
   if (Store) {
     // Pin the latest version for this query's whole lifetime: concurrent
     // applyUpdates() publishes the next version, it never mutates ours.
-    SnapshotStore::Snapshot Snap = Store->current();
-    return runOneOn(*Snap, Q, State);
+    auto [Snap, Ver] = Store->currentVersioned();
+    R = runOneOn(*Snap, QI, State, Ver);
+  } else {
+    R = runOneOn(*StaticG, QI, State, 0);
   }
-  return runOneOn(*StaticG, Q, State);
+
+  if (!Map->isIdentity()) {
+    for (std::pair<VertexId, Priority> &P : R.Reached)
+      P.first = Map->toExternal(P.first);
+    std::sort(R.Reached.begin(), R.Reached.end()); // keep the sorted contract
+    Map->mapToExternal(R.Path);
+  }
+  return R;
 }
 
 template <typename GraphT>
 QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
-                                  DistanceState &State) const {
+                                  DistanceState &State,
+                                  uint64_t SnapVersion) const {
   const Schedule &S = Q.Sched ? *Q.Sched : Opts.DefaultSchedule;
   QueryResult R;
 
@@ -234,13 +371,17 @@ QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
   }
   case QueryKind::AStar: {
     PPSPResult P;
-    if (Landmarks) {
+    if (std::shared_ptr<const LandmarkCache> L = landmarksFor(SnapVersion)) {
       // Snapshot the target-side landmark distances once per query; the
       // per-relaxation estimate then avoids K scattered |V|-vector reads.
-      LandmarkCache::TargetBound Bound = Landmarks->boundFor(Q.Target);
+      LandmarkCache::TargetBound Bound = L->boundFor(Q.Target);
       P = aStarSearch(G, Q.Source, Q.Target, S, State, &Bound);
-    } else {
+    } else if (HasCoordinates) {
       P = aStarSearch(G, Q.Source, Q.Target, S, State, nullptr);
+    } else {
+      // Landmarks lapsed and there is no coordinate bound: degrade to
+      // plain PPSP (identical answers, no pruning) rather than fail.
+      P = pointToPointShortestPath(G, Q.Source, Q.Target, S, State);
     }
     R.Dist = P.Dist;
     R.Stats = P.Stats;

@@ -122,15 +122,30 @@ public:
     /// concurrent queries usually wants 1 (parallelism across queries,
     /// not within them); large single queries may want more.
     int OmpThreadsPerQuery = 1;
+    /// Fixed-graph mode only: permute the served graph into this
+    /// cache-conscious layout at construction (graph/Reorder.h). Queries,
+    /// paths, and reached lists keep speaking the caller's original ids —
+    /// the engine translates at its boundary. Live mode inherits the
+    /// layout (and mapping) of the SnapshotStore instead.
+    ReorderKind Reorder = ReorderKind::None;
+    /// Root hint for the Bfs ordering, in original ids (see makeOrdering).
+    VertexId ReorderSourceHint = 0;
   };
 
   QueryEngine(const Graph &G, Options Opts = {});
 
   /// Live mode: queries run against `Store.current()`, pinned per query.
-  /// `Options::NumLandmarks` is ignored — landmark bounds computed on one
-  /// version can become inadmissible after edge deletions or weight
-  /// increases, so live A* uses the coordinate heuristic (see
-  /// algorithms/AStar.h for the invariant updates must respect).
+  /// With `Options::NumLandmarks > 0` the engine builds an ALT cache from
+  /// a compacted copy of the construction-time version and *keeps serving
+  /// it through increase-only batches* — weight increases and deletions
+  /// only grow true distances, so bounds computed on an older version stay
+  /// admissible (and consistent) on newer ones. The first batch containing
+  /// an insert or a weight decrease retires the cache (A* falls back to
+  /// the coordinate heuristic, or plain PPSP without coordinates), and
+  /// every compaction rebuilds it from the freshly compacted base. The
+  /// policy tracks batches applied through `applyUpdates` on this engine —
+  /// route updates through the engine, not the store, when landmarks are
+  /// enabled.
   QueryEngine(SnapshotStore &Store, Options Opts = {});
 
   ~QueryEngine();
@@ -161,8 +176,19 @@ public:
   /// True when serving a SnapshotStore rather than a fixed graph.
   bool isLive() const { return Store != nullptr; }
 
-  /// The ALT cache (null when Options::NumLandmarks == 0).
-  const LandmarkCache *landmarks() const { return Landmarks.get(); }
+  /// The ALT cache (null when Options::NumLandmarks == 0). In live mode
+  /// the returned snapshot is the *current* cache — it stays valid after a
+  /// rebuild retires it from serving.
+  std::shared_ptr<const LandmarkCache> landmarks() const;
+
+  /// Live mode: true while the landmark cache is admissible for new
+  /// queries (no insert/decrease since its build). Fixed-graph caches are
+  /// always usable.
+  bool landmarksUsable() const;
+
+  /// The external-to-internal id mapping in effect (identity unless the
+  /// engine or its store reorders).
+  const VertexMapping &mapping() const { return *Map; }
 
   /// Aggregate engine counters over all completed queries.
   OrderedStats aggregateStats() const;
@@ -181,16 +207,44 @@ private:
   void workerLoop();
   QueryResult runOne(const Query &Q, DistanceState &State) const;
   template <typename GraphT>
-  QueryResult runOneOn(const GraphT &G, const Query &Q,
-                       DistanceState &State) const;
+  QueryResult runOneOn(const GraphT &G, const Query &Q, DistanceState &State,
+                       uint64_t SnapVersion) const;
+
+  /// The landmark cache to use for a query pinned at \p SnapVersion, or
+  /// null when none is admissible for that version.
+  std::shared_ptr<const LandmarkCache>
+  landmarksFor(uint64_t SnapVersion) const;
+
+  /// Live mode: refreshes landmark bookkeeping for one applied batch
+  /// (invalidate on insert/decrease, rebuild after compaction). Caller
+  /// holds LandmarkWriterMu; takes LandmarkMu only for the final flag and
+  /// pointer swaps — the expensive cache rebuild runs with no lock that a
+  /// query ever touches.
+  void noteAppliedBatch(const SnapshotStore::ApplyResult &R,
+                        bool WasAdmissible);
 
   const Graph *StaticG = nullptr;   ///< fixed-graph mode
   SnapshotStore *Store = nullptr;   ///< live mode
   Count NumNodes;                   ///< constant across versions
   bool HasCoordinates;              ///< A* feasibility (base coordinates)
   Options Opts;
-  std::unique_ptr<LandmarkCache> Landmarks;
+  std::unique_ptr<Graph> OwnedG;    ///< fixed-graph mode, reordered layout
+  VertexMapping OwnMap;             ///< fixed-graph mode mapping storage
+  const VertexMapping *Map;         ///< mapping in effect (never null)
   StatePool Pool;
+
+  /// Landmark state. Fixed-graph mode: set once at construction, immutable
+  /// (read without locking). Live mode: the cheap flag/pointer fields are
+  /// guarded by LandmarkMu (queries take it for a few loads per A* run);
+  /// LandmarkWriterMu serializes applyUpdates end to end so admissibility
+  /// tracking observes batches in order and cache rebuilds (K full SSSPs)
+  /// never run under a lock a query waits on.
+  mutable std::mutex LandmarkMu;
+  std::mutex LandmarkWriterMu;
+  std::shared_ptr<const LandmarkCache> Landmarks;
+  bool LandmarksAdmissible = false;
+  uint64_t LandmarkVersion = 0;  ///< version the cache was built on
+  uint64_t SeenCompactions = 0;  ///< guarded by LandmarkWriterMu
 
   mutable std::mutex Mu;
   std::condition_variable WorkCv;

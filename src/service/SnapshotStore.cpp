@@ -13,8 +13,11 @@
 using namespace graphit;
 using namespace graphit::service;
 
-SnapshotStore::SnapshotStore(Graph Base, Options Opts)
-    : Writer(std::make_shared<const Graph>(std::move(Base))), Opts(Opts) {
+SnapshotStore::SnapshotStore(Graph Base, Options Opts) : Opts(Opts) {
+  // Reorder-on-load before the base CSR is frozen (no-op move for None).
+  Writer = DeltaGraph(std::make_shared<const Graph>(
+      reorderLoadedGraph(std::move(Base), Opts.Reorder, &Map,
+                         /*Seed=*/0x0EDE5, Opts.ReorderSourceHint)));
   Current = std::make_shared<const DeltaGraph>(Writer);
 }
 
@@ -27,6 +30,12 @@ SnapshotStore::~SnapshotStore() {
 SnapshotStore::Snapshot SnapshotStore::current() const {
   std::lock_guard<std::mutex> Lock(ReadMu);
   return Current;
+}
+
+std::pair<SnapshotStore::Snapshot, uint64_t>
+SnapshotStore::currentVersioned() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return {Current, Version};
 }
 
 uint64_t SnapshotStore::version() const {
@@ -84,10 +93,28 @@ SnapshotStore::ApplyResult
 SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   std::unique_lock<std::mutex> WriterLock(WriteMu);
   ApplyResult R;
-  R.Applied = coalesce(Writer.apply(Batch));
+
+  // Reordered stores translate the batch into internal (layout) ids; the
+  // snapshots, applied transitions, and any repaired distance states all
+  // live in that space. Out-of-range endpoints pass through untranslated —
+  // DeltaGraph::apply skips them like any other malformed write.
+  const std::vector<EdgeUpdate> *Apply = &Batch;
+  std::vector<EdgeUpdate> Translated;
+  if (!Map.isIdentity()) {
+    Translated = Batch;
+    const Count N = Map.size();
+    for (EdgeUpdate &U : Translated) {
+      if (static_cast<Count>(U.Src) < N)
+        U.Src = Map.toInternal(U.Src);
+      if (static_cast<Count>(U.Dst) < N)
+        U.Dst = Map.toInternal(U.Dst);
+    }
+    Apply = &Translated;
+  }
+  R.Applied = coalesce(Writer.apply(*Apply));
 
   if (CompactionRunning)
-    Replay.push_back(Batch);
+    Replay.push_back(*Apply);
 
   // Compaction bookkeeping before publishing, so a synchronous compaction
   // is part of the same published version.

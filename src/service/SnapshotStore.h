@@ -35,11 +35,13 @@
 #define GRAPHIT_SERVICE_SNAPSHOTSTORE_H
 
 #include "graph/DeltaGraph.h"
+#include "graph/Reorder.h"
 
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace graphit {
@@ -61,6 +63,14 @@ public:
     Count MinOverlayEdges = 1 << 12;
     /// Compact on a background thread instead of inside applyUpdates.
     bool BackgroundCompaction = false;
+    /// Cache-conscious layout: permute the base graph on construction
+    /// (graph/Reorder.h) and serve the permuted CSR internally. Callers
+    /// keep speaking original ids: update batches are translated on the
+    /// way in (`mapping()` translates results on the way out).
+    ReorderKind Reorder = ReorderKind::None;
+    /// Root hint for the Bfs ordering (see makeOrdering) in *original* id
+    /// space — align with the dominant query source when known.
+    VertexId ReorderSourceHint = 0;
   };
 
   struct ApplyResult {
@@ -69,6 +79,9 @@ public:
     /// Directed, batch-coalesced transitions (at most one per directed
     /// edge: the first old weight to the last new weight), ready for
     /// `repairAfterUpdates`. Empty records (no net change) are dropped.
+    /// In *internal* (layout) id space when the store reorders — the same
+    /// space the snapshots and any pooled distance states live in;
+    /// translate through `mapping()` for display.
     std::vector<AppliedUpdate> Applied;
     /// The published snapshot, pre-pinned for the caller.
     Snapshot Snap;
@@ -87,8 +100,20 @@ public:
   /// beyond the publish pointer swap.
   Snapshot current() const;
 
+  /// The latest published version together with its version number, read
+  /// atomically (a separate current() + version() pair can tear across a
+  /// concurrent publish). Consumers that cache auxiliary structures per
+  /// version (the QueryEngine's live landmark cache) need the pair.
+  std::pair<Snapshot, uint64_t> currentVersioned() const;
+
   /// Monotonic version counter (0 = the seed base graph).
   uint64_t version() const;
+
+  /// External-to-internal vertex-id mapping (identity unless
+  /// `Options::Reorder` was set). Queries and update batches arrive in
+  /// external ids; snapshots, applied transitions, and distance states
+  /// live in internal ids.
+  const VertexMapping &mapping() const { return Map; }
 
   /// Applies \p Batch and publishes the next version. Serialized across
   /// callers; concurrent readers keep their pinned versions.
@@ -108,6 +133,7 @@ private:
   mutable std::mutex ReadMu; ///< guards Current + Version
   Snapshot Current;
   uint64_t Version = 0;
+  VertexMapping Map; ///< immutable after construction
 
   std::mutex WriteMu; ///< serializes writers and compaction hand-off
   std::condition_variable CompactionCv;

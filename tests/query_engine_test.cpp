@@ -396,3 +396,287 @@ TEST(QueryEngine, AggregateStatsAccumulate) {
   EXPECT_GT(Agg.VerticesProcessed, 0);
   EXPECT_EQ(Engine.queriesServed(), 8u);
 }
+
+//===----------------------------------------------------------------------===//
+// Cache-conscious layout: external-id round-trips (graph/Reorder.h)
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, ReorderedEngineRoundTripsExternalIds) {
+  Graph G = roadWithCoords(30, 51);
+  QueryEngine::Options Plain;
+  Plain.NumWorkers = 1;
+  Plain.TrackParents = true;
+  Plain.DefaultSchedule.Delta = 2048;
+  QueryEngine Reference(G, Plain);
+
+  QueryEngine::Options Reordered = Plain;
+  Reordered.NumWorkers = 2;
+  Reordered.Reorder = ReorderKind::Bfs;
+  QueryEngine Engine(G, Reordered);
+  EXPECT_FALSE(Engine.mapping().isIdentity());
+
+  SplitMix64 Rng(707);
+  std::vector<Query> Batch;
+  for (int I = 0; I < 60; ++I) {
+    Query Q;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    switch (Rng.nextInt(0, 3)) {
+    case 0:
+      Q.Kind = QueryKind::SSSP;
+      Q.CollectReached = true;
+      break;
+    case 1:
+      Q.Kind = QueryKind::PPSP;
+      Q.CollectPath = true;
+      break;
+    default:
+      Q.Kind = QueryKind::AStar;
+      Q.CollectPath = true;
+      break;
+    }
+    Batch.push_back(Q);
+  }
+
+  std::vector<QueryResult> Got = Engine.runBatch(Batch);
+  std::vector<QueryResult> Want = Reference.runBatch(Batch);
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const Query &Q = Batch[I];
+    EXPECT_EQ(Got[I].Dist, Want[I].Dist) << "query " << I;
+    // Reached lists come back in external ids, sorted, bit-identical.
+    ASSERT_EQ(Got[I].Reached, Want[I].Reached) << "query " << I;
+    if (Q.CollectPath && Got[I].Dist < kInfiniteDistance) {
+      // Paths are verified hop-by-hop on the *original* graph: every
+      // consecutive pair must be a real edge whose weights sum to the
+      // reported distance (tie-broken paths may differ from Reference's).
+      const std::vector<VertexId> &P = Got[I].Path;
+      ASSERT_FALSE(P.empty()) << "query " << I;
+      ASSERT_EQ(P.front(), Q.Source);
+      ASSERT_EQ(P.back(), Q.Target);
+      Priority Total = 0;
+      for (size_t H = 0; H + 1 < P.size(); ++H) {
+        bool Found = false;
+        for (WNode E : G.outNeighbors(P[H]))
+          if (E.V == P[H + 1]) {
+            Total += E.W;
+            Found = true;
+            break;
+          }
+        ASSERT_TRUE(Found) << "query " << I << " hop " << H
+                           << " is not an edge of the original graph";
+      }
+      EXPECT_EQ(Total, Got[I].Dist) << "query " << I;
+    }
+  }
+}
+
+TEST(QueryEngineLive, PermutedStoreMixedBatchRoundTrips) {
+  // The acceptance scenario: a *live* engine over a BFS-permuted
+  // SnapshotStore must round-trip external ids end to end — queries,
+  // paths, and update batches — matching an identity-layout store fed the
+  // same external-id traffic.
+  Graph G = roadWithCoords(24, 33);
+  SnapshotStore PlainStore(G);
+  SnapshotStore::Options PermutedOpts;
+  PermutedOpts.Reorder = ReorderKind::Bfs;
+  SnapshotStore PermutedStore(G, PermutedOpts);
+  EXPECT_FALSE(PermutedStore.mapping().isIdentity());
+
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 2;
+  Opts.TrackParents = true;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Reference(PlainStore, Opts);
+  QueryEngine Engine(PermutedStore, Opts);
+
+  SplitMix64 Rng(4242);
+  for (int Round = 0; Round < 4; ++Round) {
+    // External-id update batch applied to both stores.
+    std::vector<EdgeUpdate> Batch;
+    for (int U = 0; U < 20; ++U) {
+      VertexId A = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      VertexId B = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      if (A == B)
+        continue;
+      Batch.push_back(EdgeUpdate{
+          A, B, static_cast<Weight>(Rng.nextInt(50, 500)),
+          Rng.nextInt(0, 4) == 0 ? UpdateKind::Delete : UpdateKind::Upsert});
+    }
+    Reference.applyUpdates(Batch);
+    Engine.applyUpdates(Batch);
+
+    std::vector<Query> Queries;
+    for (int I = 0; I < 30; ++I) {
+      Query Q;
+      Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      Q.Kind = I % 3 == 0 ? QueryKind::SSSP
+                          : (I % 3 == 1 ? QueryKind::PPSP : QueryKind::AStar);
+      if (Q.Kind == QueryKind::SSSP)
+        Q.CollectReached = true;
+      else
+        Q.CollectPath = true;
+      Queries.push_back(Q);
+    }
+    std::vector<QueryResult> Got = Engine.runBatch(Queries);
+    std::vector<QueryResult> Want = Reference.runBatch(Queries);
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      EXPECT_EQ(Got[I].Dist, Want[I].Dist)
+          << "round " << Round << " query " << I;
+      ASSERT_EQ(Got[I].Reached, Want[I].Reached)
+          << "round " << Round << " query " << I;
+      if (Queries[I].CollectPath && Got[I].Dist < kInfiniteDistance &&
+          !Got[I].Path.empty()) {
+        // Verify the external-id path hop-by-hop on the *plain* store's
+        // current view.
+        SnapshotStore::Snapshot Snap = PlainStore.current();
+        Priority Total = 0;
+        for (size_t H = 0; H + 1 < Got[I].Path.size(); ++H) {
+          bool Found = false;
+          for (WNode E : Snap->outNeighbors(Got[I].Path[H]))
+            if (E.V == Got[I].Path[H + 1]) {
+              Total += E.W;
+              Found = true;
+              break;
+            }
+          ASSERT_TRUE(Found) << "round " << Round << " query " << I;
+        }
+        EXPECT_EQ(Total, Got[I].Dist) << "round " << Round << " query " << I;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Live landmark refresh policy
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngineLive, LandmarksServeThroughIncreaseOnlyBatches) {
+  Graph G = roadWithCoords(24, 61);
+  SnapshotStore Store(G);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 2;
+  Opts.NumLandmarks = 4;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(Store, Opts);
+  ASSERT_NE(Engine.landmarks(), nullptr);
+  EXPECT_TRUE(Engine.landmarksUsable());
+
+  auto checkAStarAgainstPPSP = [&](int Tag) {
+    SplitMix64 Rng(100 + Tag);
+    for (int I = 0; I < 12; ++I) {
+      Query A;
+      A.Kind = QueryKind::AStar;
+      A.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      A.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      Query P = A;
+      P.Kind = QueryKind::PPSP;
+      std::vector<QueryResult> R = Engine.runBatch({A, P});
+      ASSERT_EQ(R[0].Dist, R[1].Dist) << "tag " << Tag << " query " << I;
+    }
+  };
+
+  // Increase-only batch (weight increases + deletions): the cache keeps
+  // serving — admissible bounds only get slacker when distances grow.
+  std::vector<EdgeUpdate> IncreaseOnly;
+  {
+    SnapshotStore::Snapshot Snap = Store.current();
+    SplitMix64 Rng(9);
+    for (int I = 0; I < 20; ++I) {
+      VertexId U = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      auto R = Snap->outNeighbors(U);
+      if (R.size() == 0)
+        continue;
+      WNode E = *R.begin();
+      if (I % 5 == 0)
+        IncreaseOnly.push_back(EdgeUpdate{U, E.V, 0, UpdateKind::Delete});
+      else
+        IncreaseOnly.push_back(EdgeUpdate{
+            U, E.V, static_cast<Weight>(E.W + 100), UpdateKind::Upsert});
+    }
+  }
+  Engine.applyUpdates(IncreaseOnly);
+  EXPECT_TRUE(Engine.landmarksUsable())
+      << "increase-only batch must not retire the landmark cache";
+  checkAStarAgainstPPSP(1);
+
+  // A weight decrease breaks admissibility: the cache is retired and A*
+  // falls back to the coordinate heuristic — results stay correct.
+  {
+    SnapshotStore::Snapshot Snap = Store.current();
+    VertexId U = 0;
+    while (Snap->outDegree(U) == 0)
+      ++U;
+    WNode E = *Snap->outNeighbors(U).begin();
+    Engine.applyUpdates({EdgeUpdate{
+        U, E.V, static_cast<Weight>(std::max<Weight>(1, E.W - 1)),
+        UpdateKind::Upsert}});
+  }
+  EXPECT_FALSE(Engine.landmarksUsable())
+      << "a decrease must retire the landmark cache";
+  checkAStarAgainstPPSP(2);
+}
+
+TEST(QueryEngineLive, LandmarksRebuildOnCompaction) {
+  Graph G = roadWithCoords(24, 62);
+  SnapshotStore::Options StoreOpts;
+  // Low enough that the filler batches below trip compaction, high enough
+  // that the single decrease (two mirrored patch lists) does not.
+  StoreOpts.CompactionThreshold = 0.01;
+  StoreOpts.MinOverlayEdges = 64;
+  SnapshotStore Store(G, StoreOpts);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  Opts.NumLandmarks = 3;
+  Opts.DefaultSchedule.Delta = 2048;
+  QueryEngine Engine(Store, Opts);
+
+  // Retire the cache with a decrease...
+  SnapshotStore::Snapshot Snap = Store.current();
+  VertexId U = 0;
+  while (Snap->outDegree(U) == 0)
+    ++U;
+  WNode E = *Snap->outNeighbors(U).begin();
+  Engine.applyUpdates({EdgeUpdate{
+      U, E.V, static_cast<Weight>(std::max<Weight>(1, E.W / 2)),
+      UpdateKind::Upsert}});
+  EXPECT_FALSE(Engine.landmarksUsable());
+
+  // ... then grow the overlay past the (tiny) threshold: the triggered
+  // compaction rebuilds the cache from the fresh base, re-arming ALT.
+  SplitMix64 Rng(5150);
+  uint64_t Before = Store.compactions();
+  for (int Round = 0; Round < 50 && Store.compactions() == Before;
+       ++Round) {
+    std::vector<EdgeUpdate> Batch;
+    for (int I = 0; I < 64; ++I) {
+      VertexId A = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      VertexId B = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      // Inserted weights must respect the generator's w >= 100 x Euclidean
+      // invariant (algorithms/AStar.h) or the coordinate heuristic itself
+      // becomes inadmissible: 100 x the grid diagonal is a safe floor.
+      if (A != B)
+        Batch.push_back(EdgeUpdate{
+            A, B, static_cast<Weight>(Rng.nextInt(4000, 5000)),
+            UpdateKind::Upsert});
+    }
+    Engine.applyUpdates(Batch);
+  }
+  ASSERT_GT(Store.compactions(), Before);
+  // The engine notices the compaction on the next batch through it.
+  Engine.applyUpdates({});
+  EXPECT_TRUE(Engine.landmarksUsable())
+      << "compaction must rebuild and re-arm the landmark cache";
+
+  SplitMix64 Rng2(717);
+  for (int I = 0; I < 8; ++I) {
+    Query A;
+    A.Kind = QueryKind::AStar;
+    A.Source = static_cast<VertexId>(Rng2.nextInt(0, G.numNodes()));
+    A.Target = static_cast<VertexId>(Rng2.nextInt(0, G.numNodes()));
+    Query P = A;
+    P.Kind = QueryKind::PPSP;
+    std::vector<QueryResult> R = Engine.runBatch({A, P});
+    ASSERT_EQ(R[0].Dist, R[1].Dist) << "query " << I;
+  }
+}

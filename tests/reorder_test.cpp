@@ -1,0 +1,285 @@
+//===- tests/reorder_test.cpp - Layout/permutation property tests ---------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reordering contract: a vertex permutation is *invisible* in
+// original-id space. Every mapping is a bijection, `Graph::permuted`
+// preserves the adjacency structure exactly, and every algorithm —
+// SSSP/wBFS/PPSP/A* (eager and lazy) and k-core — produces identical
+// original-id-space results on identity, degree, BFS, push, and random
+// layouts of directed and symmetric graphs. Set cover's greedy choices are
+// tie-break-dependent (the cover is not a unique mathematical object), so
+// it asserts validity of the mapped-back cover instead of equality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Reorder.h"
+
+#include "algorithms/AStar.h"
+#include "algorithms/KCore.h"
+#include "algorithms/PPSP.h"
+#include "algorithms/SSSP.h"
+#include "algorithms/SetCover.h"
+#include "algorithms/WBFS.h"
+#include "graph/Builder.h"
+#include "graph/Datasets.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace graphit;
+
+namespace {
+
+Graph directedGraph() {
+  std::vector<Edge> Edges = rmatEdges(10, 8, 77);
+  assignRandomWeights(Edges, 1, 64, 5);
+  return GraphBuilder().build(Count{1} << 10, Edges);
+}
+
+Graph symmetricRoad() {
+  RoadNetwork Net = roadGrid(40, 40, 99);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  return GraphBuilder(Options).build(Net.NumNodes, std::move(Net.Edges),
+                                     std::move(Net.Coords));
+}
+
+Graph symmetricSocial() {
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Options.Weighted = false;
+  return GraphBuilder(Options).build(Count{1} << 10, rmatEdges(10, 10, 31));
+}
+
+std::vector<ReorderKind> testedKinds() {
+  return {ReorderKind::None, ReorderKind::Degree, ReorderKind::Bfs,
+          ReorderKind::Push, ReorderKind::Random};
+}
+
+/// Canonical edge map src -> dst -> weight in original-id space.
+std::map<std::pair<VertexId, VertexId>, Weight>
+edgeMap(const Graph &G, const VertexMapping &Map) {
+  std::map<std::pair<VertexId, VertexId>, Weight> Edges;
+  for (Count V = 0; V < G.numNodes(); ++V) {
+    VertexId Ext = Map.toExternal(static_cast<VertexId>(V));
+    for (WNode E : G.outNeighbors(static_cast<VertexId>(V)))
+      Edges[{Ext, Map.toExternal(E.V)}] = E.W;
+  }
+  return Edges;
+}
+
+} // namespace
+
+TEST(VertexMappingTest, IdentityRoundTrips) {
+  VertexMapping M(100);
+  EXPECT_TRUE(M.isIdentity());
+  EXPECT_EQ(M.size(), 100);
+  EXPECT_EQ(M.toInternal(42u), 42u);
+  EXPECT_EQ(M.toExternal(7u), 7u);
+}
+
+TEST(VertexMappingTest, PermutationRoundTrips) {
+  VertexMapping M =
+      VertexMapping::fromInternalToExternal({3u, 1u, 0u, 2u});
+  EXPECT_FALSE(M.isIdentity());
+  for (VertexId V = 0; V < 4; ++V) {
+    EXPECT_EQ(M.toInternal(M.toExternal(V)), V);
+    EXPECT_EQ(M.toExternal(M.toInternal(V)), V);
+  }
+  std::vector<VertexId> Path{0u, 2u, 3u};
+  std::vector<VertexId> Expected{2u, 3u, 0u};
+  M.mapToInternal(Path);
+  EXPECT_EQ(Path, Expected);
+  M.mapToExternal(Path);
+  std::vector<VertexId> Back{0u, 2u, 3u};
+  EXPECT_EQ(Path, Back);
+}
+
+TEST(VertexMappingTest, EveryOrderingIsABijection) {
+  for (const Graph &G :
+       {directedGraph(), symmetricRoad(), symmetricSocial()}) {
+    for (ReorderKind Kind : testedKinds()) {
+      VertexMapping M = makeOrdering(G, Kind);
+      ASSERT_EQ(M.size(), G.numNodes());
+      // fromInternalToExternal aborts on non-permutations; spot-check the
+      // round trip across the whole universe anyway.
+      for (Count V = 0; V < G.numNodes(); ++V)
+        ASSERT_EQ(M.toExternal(M.toInternal(static_cast<VertexId>(V))),
+                  static_cast<VertexId>(V));
+    }
+  }
+}
+
+TEST(PermutedGraphTest, PreservesStructure) {
+  for (const Graph &G :
+       {directedGraph(), symmetricRoad(), symmetricSocial()}) {
+    VertexMapping Identity(G.numNodes());
+    std::map<std::pair<VertexId, VertexId>, Weight> Reference =
+        edgeMap(G, Identity);
+    for (ReorderKind Kind : testedKinds()) {
+      VertexMapping M = makeOrdering(G, Kind);
+      Graph P = G.permuted(M);
+      ASSERT_EQ(P.numNodes(), G.numNodes());
+      ASSERT_EQ(P.numEdges(), G.numEdges());
+      ASSERT_EQ(P.isSymmetric(), G.isSymmetric());
+      ASSERT_EQ(P.isWeighted(), G.isWeighted());
+      ASSERT_EQ(P.hasInEdges(), G.hasInEdges());
+      ASSERT_EQ(P.hasCoordinates(), G.hasCoordinates());
+      ASSERT_EQ(edgeMap(P, M), Reference);
+      // Degrees carry over per vertex, both directions.
+      for (Count V = 0; V < G.numNodes(); ++V) {
+        VertexId Int = M.toInternal(static_cast<VertexId>(V));
+        ASSERT_EQ(P.outDegree(Int),
+                  G.outDegree(static_cast<VertexId>(V)));
+        if (G.hasInEdges())
+          ASSERT_EQ(P.inDegree(Int), G.inDegree(static_cast<VertexId>(V)));
+      }
+      if (G.hasCoordinates()) {
+        for (Count V = 0; V < G.numNodes(); ++V) {
+          VertexId Int = M.toInternal(static_cast<VertexId>(V));
+          ASSERT_EQ(P.coordinates().X[Int], G.coordinates().X[V]);
+          ASSERT_EQ(P.coordinates().Y[Int], G.coordinates().Y[V]);
+        }
+      }
+    }
+  }
+}
+
+TEST(PermutedGraphTest, DegreeOrderingIsDegreeDescending) {
+  Graph G = directedGraph();
+  VertexMapping M = makeOrdering(G, ReorderKind::Degree);
+  Graph P = G.permuted(M);
+  for (Count V = 0; V + 1 < P.numNodes(); ++V)
+    ASSERT_GE(P.outDegree(static_cast<VertexId>(V)),
+              P.outDegree(static_cast<VertexId>(V + 1)));
+}
+
+namespace {
+
+/// Runs Fn on the graph under every ordering and checks the returned
+/// per-vertex vector is identical in original-id space.
+template <typename RunFn>
+void expectLayoutInvariant(const Graph &G, VertexId Source, RunFn &&Run) {
+  VertexMapping Identity(G.numNodes());
+  std::vector<Priority> Reference = Run(G, Identity, Source);
+  for (ReorderKind Kind : testedKinds()) {
+    if (Kind == ReorderKind::None)
+      continue;
+    VertexMapping M;
+    Graph P = reorderGraph(G, Kind, &M);
+    std::vector<Priority> Got = Run(P, M, Source);
+    ASSERT_EQ(Got.size(), Reference.size());
+    for (Count V = 0; V < G.numNodes(); ++V)
+      ASSERT_EQ(Got[M.toInternal(static_cast<VertexId>(V))], Reference[V])
+          << "ordering " << reorderKindName(Kind) << " vertex " << V;
+  }
+}
+
+Schedule eagerSchedule() {
+  Schedule S;
+  S.configApplyPriorityUpdateDelta(16);
+  return S;
+}
+
+Schedule lazySchedule() {
+  Schedule S;
+  S.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(16);
+  return S;
+}
+
+} // namespace
+
+TEST(LayoutInvarianceTest, SSSPEagerAndLazy) {
+  for (const Graph &G : {directedGraph(), symmetricRoad()}) {
+    for (const Schedule &S : {eagerSchedule(), lazySchedule()}) {
+      expectLayoutInvariant(
+          G, 1, [&](const Graph &GG, const VertexMapping &M, VertexId Src) {
+            SSSPResult R = deltaSteppingSSSP(GG, M.toInternal(Src), S);
+            return R.Dist;
+          });
+    }
+  }
+}
+
+TEST(LayoutInvarianceTest, WeightedBFS) {
+  Graph G = directedGraph();
+  expectLayoutInvariant(
+      G, 3, [&](const Graph &GG, const VertexMapping &M, VertexId Src) {
+        return weightedBFS(GG, M.toInternal(Src), eagerSchedule()).Dist;
+      });
+}
+
+TEST(LayoutInvarianceTest, PPSPAndAStar) {
+  Graph G = symmetricRoad();
+  const VertexId Source = 5, Target = static_cast<VertexId>(
+                                          G.numNodes() - 3);
+  Schedule Eager = eagerSchedule();
+  Schedule Lazy = lazySchedule();
+
+  Priority RefPPSP =
+      pointToPointShortestPath(G, Source, Target, Eager).Dist;
+  Priority RefAStar = aStarSearch(G, Source, Target, Eager).Dist;
+  ASSERT_EQ(RefPPSP, RefAStar);
+
+  for (ReorderKind Kind : testedKinds()) {
+    VertexMapping M;
+    Graph P = reorderGraph(G, Kind, &M);
+    VertexId S = M.toInternal(Source), T = M.toInternal(Target);
+    EXPECT_EQ(pointToPointShortestPath(P, S, T, Eager).Dist, RefPPSP)
+        << reorderKindName(Kind);
+    EXPECT_EQ(pointToPointShortestPath(P, S, T, Lazy).Dist, RefPPSP)
+        << reorderKindName(Kind);
+    EXPECT_EQ(aStarSearch(P, S, T, Eager).Dist, RefAStar)
+        << reorderKindName(Kind);
+  }
+}
+
+TEST(LayoutInvarianceTest, KCoreEagerAndLazy) {
+  Graph G = symmetricSocial();
+  for (const char *Spec : {"lazy", "eager_no_fusion"}) {
+    Schedule S = Schedule::parse(Spec);
+    expectLayoutInvariant(
+        G, 0, [&](const Graph &GG, const VertexMapping &, VertexId) {
+          return kCoreDecomposition(GG, S).Coreness;
+        });
+  }
+}
+
+TEST(LayoutInvarianceTest, SetCoverStaysValid) {
+  // Greedy set cover's chosen sets depend on id tie-breaking, so the cover
+  // itself is not layout-invariant — but the mapped-back cover must still
+  // be a valid cover of the original graph, for every layout and both the
+  // lazy and eager engines.
+  Graph G = symmetricSocial();
+  for (const char *Spec : {"lazy", "eager_no_fusion"}) {
+    Schedule S = Schedule::parse(Spec);
+    for (ReorderKind Kind : testedKinds()) {
+      VertexMapping M;
+      Graph P = reorderGraph(G, Kind, &M);
+      SetCoverResult R = approxSetCover(P, S);
+      EXPECT_EQ(R.CoveredElements, G.numNodes());
+      std::vector<VertexId> Chosen = R.ChosenSets;
+      M.mapToExternal(Chosen);
+      EXPECT_TRUE(isValidCover(G, Chosen)) << reorderKindName(Kind);
+    }
+  }
+}
+
+TEST(ReorderOnLoadTest, DatasetAndBinaryRoundTrip) {
+  // Reorder-on-load through the Datasets front door matches reordering by
+  // hand.
+  VertexMapping M;
+  Graph R = makeDataset(DatasetId::MA, DatasetVariant::Directed,
+                        ReorderKind::Bfs, &M, /*ScaleFactor=*/0.05);
+  Graph Plain =
+      makeDataset(DatasetId::MA, DatasetVariant::Directed, 0.05);
+  ASSERT_EQ(R.numNodes(), Plain.numNodes());
+  ASSERT_EQ(R.numEdges(), Plain.numEdges());
+  ASSERT_EQ(edgeMap(R, M), edgeMap(Plain, VertexMapping(Plain.numNodes())));
+}

@@ -517,3 +517,49 @@ TEST(QueryEngineLive, InFlightQueriesSurviveConcurrentPublishes) {
   Writer.join();
   EXPECT_GT(Store.version(), 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Copy-on-write publish
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotStore, PublishSharesUntouchedPatchLists) {
+  // publish() must copy O(dirty-since-last-publish), not O(V + overlay):
+  // a snapshot and the writer share patch-list storage until the writer
+  // dirties a list again, observable through adjacency pointer identity.
+  Graph Base = roadGraph(20);
+  const VertexId Far = static_cast<VertexId>(Base.numNodes() - 1);
+  SnapshotStore Store(std::move(Base));
+
+  WNode E0 = *Store.current()->outNeighbors(0).begin();
+  Store.applyUpdates({EdgeUpdate{0, E0.V, static_cast<Weight>(E0.W + 10),
+                                 UpdateKind::Upsert}});
+  SnapshotStore::Snapshot SnapA = Store.current();
+  const VertexId *ListOfZero = SnapA->outNeighbors(0).Ids;
+  ASSERT_NE(ListOfZero, nullptr); // patched: served from a patch list
+
+  // A batch touching a distant vertex publishes without copying 0's list.
+  WNode EF = *Store.current()->outNeighbors(Far).begin();
+  Store.applyUpdates({EdgeUpdate{Far, EF.V, static_cast<Weight>(EF.W + 10),
+                                 UpdateKind::Upsert}});
+  SnapshotStore::Snapshot SnapB = Store.current();
+  EXPECT_EQ(SnapB->outNeighbors(0).Ids, ListOfZero)
+      << "untouched patch list must be shared across publishes";
+
+  // Re-touching vertex 0 clones its list (copy-on-write); the pinned
+  // snapshots keep the exact adjacency they were published with.
+  Store.applyUpdates({EdgeUpdate{0, E0.V, static_cast<Weight>(E0.W + 20),
+                                 UpdateKind::Upsert}});
+  SnapshotStore::Snapshot SnapC = Store.current();
+  EXPECT_NE(SnapC->outNeighbors(0).Ids, ListOfZero)
+      << "dirtied patch list must be cloned, not mutated in place";
+  auto WeightTo = [](const SnapshotStore::Snapshot &S, VertexId U,
+                     VertexId V) -> Weight {
+    for (WNode E : S->outNeighbors(U))
+      if (E.V == V)
+        return E.W;
+    return -1;
+  };
+  EXPECT_EQ(WeightTo(SnapA, 0, E0.V), static_cast<Weight>(E0.W + 10));
+  EXPECT_EQ(WeightTo(SnapB, 0, E0.V), static_cast<Weight>(E0.W + 10));
+  EXPECT_EQ(WeightTo(SnapC, 0, E0.V), static_cast<Weight>(E0.W + 20));
+}

@@ -28,6 +28,20 @@
 // edges — the paper-relevant regime is the small end (≤ 0.1%), where
 // repair should win by an order of magnitude or more.
 //
+// Two scale-out variants ride along:
+//
+//   update_throughput_hot — the QueryEngine's hot-source cache: per
+//     version, applyUpdates (which repairs the cached depot state in
+//     O(affected)) + a depot SSSP query, against the same engine with the
+//     cache off (pooled recompute per query). Metric: "speedup" of the
+//     end-to-end apply+query round; checksums must match exactly.
+//
+//   update_throughput_sharded — T writer threads on distinct vertex-range
+//     shards pushing batches through a ShardedSnapshotStore vs the same
+//     batches through the single-writer-mutex SnapshotStore. Metric:
+//     "speedup" of wall-clock apply time; final adjacency checksums must
+//     match exactly.
+//
 // Knobs: GRAPHIT_SCALE (graph side multiplier), GRAPHIT_BENCH_TRIALS.
 //
 //===----------------------------------------------------------------------===//
@@ -38,10 +52,12 @@
 #include "algorithms/SSSP.h"
 #include "graph/Builder.h"
 #include "graph/Generators.h"
+#include "service/QueryEngine.h"
 #include "service/SnapshotStore.h"
 #include "support/Random.h"
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 using namespace graphit;
@@ -150,6 +166,72 @@ Measurement runExperiment(const Graph &Base, Count Side,
   return M;
 }
 
+/// Hot-source serving experiment: `Batches` rounds of applyUpdates + one
+/// depot SSSP query through a live QueryEngine, with the hot cache on or
+/// off. Deterministic per (UpdatesPerBatch, Hot-independent) seed so both
+/// flavors see the same version history. Returns total seconds; *Check
+/// receives the final depot distance checksum.
+double runHotExperiment(const Graph &Base, Count Side,
+                        Count UpdatesPerBatch, int Batches,
+                        const Schedule &S, VertexId Depot, bool Hot,
+                        int64_t *Check) {
+  SnapshotStore::Options SO;
+  SO.CompactionThreshold = 1e9;
+  SnapshotStore Store(Base, SO);
+  QueryEngine::Options QO;
+  QO.NumWorkers = 1;
+  QO.DefaultSchedule = S;
+  QO.HotSourceCapacity = Hot ? 2 : 0;
+  QueryEngine Engine(Store, QO);
+
+  Query Q;
+  Q.Kind = QueryKind::SSSP;
+  Q.Source = Depot;
+  Engine.runBatch({Q}); // warm: installs the hot state / pooled arrays
+
+  SplitMix64 Rng(0xC0FFEE ^ static_cast<uint64_t>(UpdatesPerBatch));
+  double Total = 0;
+  for (int B = 0; B < Batches; ++B) {
+    std::vector<EdgeUpdate> Batch =
+        incidentBatch(*Store.current(), Side, UpdatesPerBatch, Rng);
+    Timer Clock;
+    Engine.applyUpdates(Batch); // hot flavor repairs the depot state here
+    Engine.runBatch({Q});
+    Total += Clock.seconds();
+  }
+
+  // Checksum outside the timed loop: same batches => same final version,
+  // so hot and cold flavors must agree exactly.
+  Query C = Q;
+  C.CollectReached = true;
+  QueryResult R = Engine.runBatch({C})[0];
+  int64_t Sum = 0;
+  for (const std::pair<VertexId, Priority> &P : R.Reached)
+    Sum += P.second;
+  *Check = Sum;
+  return Total;
+}
+
+/// Sharded write-path experiment: \p Writers threads each apply their own
+/// pre-generated shard-local batch stream; returns wall seconds. The same
+/// per-writer streams go through both store flavors.
+template <typename StoreT>
+double runApplyThreads(StoreT &Store,
+                       const std::vector<std::vector<std::vector<EdgeUpdate>>>
+                           &PerWriter) {
+  Timer Clock;
+  std::vector<std::thread> Threads;
+  Threads.reserve(PerWriter.size());
+  for (const std::vector<std::vector<EdgeUpdate>> &Stream : PerWriter)
+    Threads.emplace_back([&Store, &Stream] {
+      for (const std::vector<EdgeUpdate> &B : Stream)
+        Store.applyUpdates(B);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  return Clock.seconds();
+}
+
 } // namespace
 
 int main() {
@@ -198,6 +280,117 @@ int main() {
                 Best.RecomputeSeconds / Best.RepairSeconds,
                 (long long)(Best.Affected / Batches),
                 (long long)Best.Check);
+    std::fflush(stdout);
+  }
+
+  // --- Hot-source serving: repaired repeat-source queries vs pooled
+  // recompute through the live QueryEngine (acceptance: repair wins at
+  // the low-churn end).
+  for (Count Updates : {Count{8}, Count{64}}) {
+    double BestHot = 1e30, BestCold = 1e30;
+    int64_t Check = 0;
+    for (int T = 0; T < numTrials(); ++T) {
+      int64_t HotCheck = 0, ColdCheck = 0;
+      double Hot = runHotExperiment(Base, Side, Updates, Batches, S, Depot,
+                                    /*Hot=*/true, &HotCheck);
+      double Cold = runHotExperiment(Base, Side, Updates, Batches, S, Depot,
+                                     /*Hot=*/false, &ColdCheck);
+      if (HotCheck != ColdCheck) {
+        std::fprintf(stderr,
+                     "!! hot/recompute checksum mismatch at %lld updates: "
+                     "%lld vs %lld\n",
+                     (long long)Updates, (long long)HotCheck,
+                     (long long)ColdCheck);
+        return 1;
+      }
+      BestHot = std::min(BestHot, Hot);
+      BestCold = std::min(BestCold, Cold);
+      Check = HotCheck;
+    }
+    double Frac = static_cast<double>(2 * Updates) /
+                  static_cast<double>(Base.numEdges());
+    std::printf("{\"bench\": \"update_throughput_hot\", \"updates\": %lld, "
+                "\"edge_frac\": %.6f, \"hot_s\": %.6f, "
+                "\"recompute_s\": %.6f, \"speedup\": %.2f, "
+                "\"check\": %lld, \"tolerance\": 0.35}\n",
+                (long long)Updates, Frac, BestHot, BestCold,
+                BestCold / BestHot, (long long)Check);
+    std::fflush(stdout);
+  }
+
+  // --- Sharded write path: T writers on distinct vertex-range shards vs
+  // the single-writer-mutex store, same per-writer batch streams.
+  {
+    const int Writers = 4;
+    const Count UpdatesPerBatch = 64;
+    const int BatchesPerWriter = 48;
+    ShardedSnapshotStore::Options ShOpts;
+    ShOpts.NumShards = 8;
+    ShOpts.CompactionThreshold = 1e9; // apply cost only, like the repair runs
+    SnapshotStore::Options PlOpts;
+    PlOpts.CompactionThreshold = 1e9;
+
+    // Per-writer shard-local streams (writer w owns shard w's vertex
+    // range — the power-of-two span over-covers the universe, so only
+    // the low shards are guaranteed non-empty), generated once and
+    // replayed into both stores — disjoint ranges make the final
+    // adjacency interleaving-independent.
+    Count Span;
+    {
+      ShardedSnapshotStore Probe(Base, ShOpts);
+      Span = Probe.shardSpan();
+    }
+    std::vector<std::vector<std::vector<EdgeUpdate>>> PerWriter(
+        static_cast<size_t>(Writers));
+    for (int W = 0; W < Writers; ++W) {
+      SplitMix64 Rng(0x5A4D ^ static_cast<uint64_t>(W));
+      Count Lo = static_cast<Count>(W) * Span;
+      Count Hi = std::min<Count>(Base.numNodes(), Lo + Span);
+      if (Hi - Lo < 2) {
+        std::fprintf(stderr, "!! empty writer range %d [%lld, %lld)\n", W,
+                     (long long)Lo, (long long)Hi);
+        return 1;
+      }
+      for (int B = 0; B < BatchesPerWriter; ++B) {
+        std::vector<EdgeUpdate> Batch;
+        while (static_cast<Count>(Batch.size()) < UpdatesPerBatch) {
+          VertexId A = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
+          VertexId D = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
+          if (A == D)
+            continue;
+          Batch.push_back(EdgeUpdate{
+              A, D, static_cast<Weight>(Rng.nextInt(100, 400)),
+              Rng.nextInt(0, 6) == 0 ? UpdateKind::Delete
+                                     : UpdateKind::Upsert});
+        }
+        PerWriter[static_cast<size_t>(W)].push_back(std::move(Batch));
+      }
+    }
+
+    double BestSharded = 1e30, BestPlain = 1e30;
+    for (int T = 0; T < numTrials(); ++T) {
+      ShardedSnapshotStore Sharded(Base, ShOpts);
+      SnapshotStore Plain(Base, PlOpts);
+      BestSharded = std::min(BestSharded, runApplyThreads(Sharded, PerWriter));
+      BestPlain = std::min(BestPlain, runApplyThreads(Plain, PerWriter));
+      int64_t CS = resultChecksum(
+          deltaSteppingSSSP(*Sharded.current(), Depot, S).Dist);
+      int64_t CP = resultChecksum(
+          deltaSteppingSSSP(*Plain.current(), Depot, S).Dist);
+      if (CS != CP) {
+        std::fprintf(stderr,
+                     "!! sharded/unsharded adjacency checksum mismatch: "
+                     "%lld vs %lld\n",
+                     (long long)CS, (long long)CP);
+        return 1;
+      }
+    }
+    std::printf("{\"bench\": \"update_throughput_sharded\", "
+                "\"updates\": %lld, \"threads\": %d, \"sharded_s\": %.6f, "
+                "\"unsharded_s\": %.6f, \"speedup\": %.2f, "
+                "\"tolerance\": 0.50}\n",
+                (long long)UpdatesPerBatch, Writers, BestSharded, BestPlain,
+                BestPlain / BestSharded);
     std::fflush(stdout);
   }
   return 0;

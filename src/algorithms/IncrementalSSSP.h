@@ -111,8 +111,12 @@ RepairStats repairAfterUpdates(const GraphT &G,
                                RepairScratch &Scratch) {
   RepairStats R;
   const Count N = G.numNodes();
-  if (State.numNodes() != N)
-    fatalError("repairAfterUpdates: state sized for a different graph");
+  // A state larger than the graph is fine (it was grown for a newer
+  // universe while this repair targets an older pinned view; the extra
+  // slots stay at infinity). Smaller would index out of bounds.
+  if (State.numNodes() < N)
+    fatalError("repairAfterUpdates: state sized for a smaller graph "
+               "(resize it after vertex insertion)");
   const VertexId Source = State.source();
   if (Source == kInvalidVertex)
     fatalError("repairAfterUpdates: state holds no query");

@@ -20,6 +20,20 @@ DistanceState::DistanceState(Count NumNodes, bool TrackParents)
       Stamp(static_cast<size_t>(NumNodes), 0),
       Touched(static_cast<size_t>(NumNodes)), TrackParents(TrackParents) {}
 
+void DistanceState::resize(Count NewNumNodes) {
+  if (NewNumNodes <= numNodes())
+    return;
+  size_t N = static_cast<size_t>(NewNumNodes);
+  Dist.resize(N, kInfiniteDistance);
+  if (TrackParents)
+    Parent.resize(N, kInvalidVertex);
+  // Stamp 0 can never alias the live epoch: beginQuery keeps Epoch >= 1
+  // once any query ran, and with Epoch == 0 no improvement has been
+  // recorded yet.
+  Stamp.resize(N, 0);
+  Touched.resize(N);
+}
+
 void DistanceState::beginQuery(VertexId Source) {
   // O(touched): only the slots the previous query dirtied are reset.
   parallelFor(

@@ -59,6 +59,13 @@ public:
   /// `Dist[Source] = 0` (logging the source as touched).
   void beginQuery(VertexId Source);
 
+  /// Grows the state to \p NewNumNodes vertices (live-graph vertex
+  /// insertion). Appended slots start untouched at infinity, so a held
+  /// solution stays valid — an inserted vertex is unreachable until an
+  /// edge batch seeds it (incremental repair then picks it up like any
+  /// other improved vertex). Shrinking is not supported (no-op).
+  void resize(Count NewNumNodes);
+
   /// Records that `Dist[V]` was lowered via the edge (\p From, V). Called
   /// concurrently from the relaxation inner loop: the first improvement of
   /// V this epoch appends V to the touched log (exactly once, via an

@@ -59,3 +59,14 @@ OrderedStats graphit::deltaSteppingSSSP(const DeltaGraph &G,
                                         DistanceState &State) {
   return ssspPooled(G, Source, S, State);
 }
+
+SSSPResult graphit::deltaSteppingSSSP(const ShardedDeltaView &G,
+                                      VertexId Source, const Schedule &S) {
+  return ssspFresh(G, Source, S);
+}
+
+OrderedStats graphit::deltaSteppingSSSP(const ShardedDeltaView &G,
+                                        VertexId Source, const Schedule &S,
+                                        DistanceState &State) {
+  return ssspPooled(G, Source, S, State);
+}

@@ -54,6 +54,17 @@ SSSPResult deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
 OrderedStats deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
                                const Schedule &S, DistanceState &State);
 
+class ShardedDeltaView;
+
+/// Scale-out variants over a sharded store's published composite view
+/// (graph/DeltaGraph.h ShardedDeltaView): per-vertex reads route to the
+/// owning shard's overlay; results are bit-identical to running over an
+/// equivalent single overlay (the stress harness asserts exactly that).
+SSSPResult deltaSteppingSSSP(const ShardedDeltaView &G, VertexId Source,
+                             const Schedule &S);
+OrderedStats deltaSteppingSSSP(const ShardedDeltaView &G, VertexId Source,
+                               const Schedule &S, DistanceState &State);
+
 } // namespace graphit
 
 #endif // GRAPHIT_ALGORITHMS_SSSP_H

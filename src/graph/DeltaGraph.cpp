@@ -11,6 +11,7 @@
 #include "support/Abort.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace graphit;
 
@@ -19,9 +20,54 @@ DeltaGraph::DeltaGraph(std::shared_ptr<const Graph> Base)
   if (!BasePtr)
     fatalError("DeltaGraph: null base graph");
   NumEdges = BasePtr->numEdges();
-  OutSlot.init(BasePtr->numNodes());
-  if (!BasePtr->isSymmetric() && BasePtr->hasInEdges())
-    InSlot.init(BasePtr->numNodes());
+  BaseNodes = BasePtr->numNodes();
+  OutSlot.init(BaseNodes);
+  MirrorsIn = !BasePtr->isSymmetric() && BasePtr->hasInEdges();
+  if (MirrorsIn)
+    InSlot.init(BaseNodes);
+}
+
+void DeltaGraph::growUniverse(Count NewNumNodes,
+                              const Coordinates *TailCoords) {
+  const Count Old = numNodes();
+  if (NewNumNodes <= Old)
+    return;
+  TailNodes = NewNumNodes - BaseNodes;
+  OutSlot.grow(NewNumNodes);
+  if (MirrorsIn)
+    InSlot.grow(NewNumNodes);
+  if (hasCoordinates()) {
+    // Copy-on-grow keeps published snapshots untouched; insertion is rare
+    // enough that the O(V) copy beats shared-page bookkeeping here.
+    auto Grown = std::make_shared<Coordinates>(coordinates());
+    Grown->X.resize(static_cast<size_t>(NewNumNodes), 0.0);
+    Grown->Y.resize(static_cast<size_t>(NewNumNodes), 0.0);
+    if (TailCoords)
+      for (Count I = 0; I < NewNumNodes - Old &&
+                        I < static_cast<Count>(TailCoords->X.size());
+           ++I) {
+        Grown->X[static_cast<size_t>(Old + I)] =
+            TailCoords->X[static_cast<size_t>(I)];
+        Grown->Y[static_cast<size_t>(Old + I)] =
+            TailCoords->Y[static_cast<size_t>(I)];
+      }
+    ExtCoords = std::move(Grown);
+  }
+}
+
+VertexId DeltaGraph::addVertex() {
+  VertexId Id = static_cast<VertexId>(numNodes());
+  growUniverse(numNodes() + 1);
+  return Id;
+}
+
+VertexId DeltaGraph::addVertex(double X, double Y) {
+  VertexId Id = static_cast<VertexId>(numNodes());
+  Coordinates C;
+  C.X.push_back(X);
+  C.Y.push_back(Y);
+  growUniverse(numNodes() + 1, &C);
+  return Id;
 }
 
 int64_t DeltaGraph::outDegreeSum(const VertexId *Vs, Count N) const {
@@ -47,6 +93,8 @@ DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
   Slots.set(V, static_cast<uint32_t>(Patches.size()));
   Patches.push_back(std::make_shared<Patch>());
   Patch &P = *Patches.back();
+  if (V >= static_cast<VertexId>(BaseNodes))
+    return P; // tail vertex: starts with empty adjacency
   Graph::NeighborRange Range =
       Out ? BasePtr->outNeighbors(V) : BasePtr->inNeighbors(V);
   P.Ids.reserve(static_cast<size_t>(Range.size()) + 1);
@@ -62,8 +110,8 @@ DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
   return P;
 }
 
-AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
-                                        UpdateKind Kind) {
+AppliedUpdate DeltaGraph::applyDirectedOut(VertexId Src, VertexId Dst,
+                                           Weight W, UpdateKind Kind) {
   AppliedUpdate Nothing{Src, Dst, kAbsentEdge, kAbsentEdge};
   Patch &P = patchFor(Src, /*Out=*/true);
   auto It = std::lower_bound(P.Ids.begin(), P.Ids.end(), Dst);
@@ -80,7 +128,6 @@ AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
       P.Ws.erase(P.Ws.begin() + static_cast<ptrdiff_t>(Idx));
     --NumEdges;
     --OverlayEdges;
-    mirrorIn(Src, Dst, W, Kind);
     return AppliedUpdate{Src, Dst, OldW, kAbsentEdge};
   }
 
@@ -90,7 +137,6 @@ AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
       return Nothing; // same weight: no transition
     if (isWeighted())
       P.Ws[Idx] = NewW;
-    mirrorIn(Src, Dst, W, Kind);
     return AppliedUpdate{Src, Dst, OldW, NewW};
   }
   P.Ids.insert(It, Dst);
@@ -98,15 +144,22 @@ AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
     P.Ws.insert(P.Ws.begin() + static_cast<ptrdiff_t>(Idx), NewW);
   ++NumEdges;
   ++OverlayEdges;
-  mirrorIn(Src, Dst, W, Kind);
   return AppliedUpdate{Src, Dst, kAbsentEdge, NewW};
+}
+
+AppliedUpdate DeltaGraph::applyDirected(VertexId Src, VertexId Dst, Weight W,
+                                        UpdateKind Kind) {
+  AppliedUpdate A = applyDirectedOut(Src, Dst, W, Kind);
+  if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge)
+    mirrorIn(Src, Dst, W, Kind);
+  return A;
 }
 
 void DeltaGraph::mirrorIn(VertexId Src, VertexId Dst, Weight W,
                           UpdateKind Kind) {
   // Directed graphs carrying incoming adjacency keep it in sync so
   // DensePull traversal and repair's boundary scan see the same edges.
-  if (InSlot.empty())
+  if (!MirrorsIn)
     return;
   Patch &P = patchFor(Dst, /*Out=*/false);
   auto It = std::lower_bound(P.Ids.begin(), P.Ids.end(), Src);
@@ -137,11 +190,8 @@ DeltaGraph::apply(const std::vector<EdgeUpdate> &Batch) {
   Applied.reserve(Batch.size() * (isSymmetric() ? 2 : 1));
   const Count N = numNodes();
   for (const EdgeUpdate &U : Batch) {
-    if (static_cast<Count>(U.Src) >= N || static_cast<Count>(U.Dst) >= N ||
-        U.Src == U.Dst)
+    if (!validUpdate(U, N))
       continue; // malformed write: skip, don't take the store down
-    if (U.Kind == UpdateKind::Upsert && U.W < 0)
-      continue; // ordered algorithms require non-negative weights
     AppliedUpdate A = applyDirected(U.Src, U.Dst, U.W, U.Kind);
     if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge)
       Applied.push_back(A);
@@ -154,27 +204,60 @@ DeltaGraph::apply(const std::vector<EdgeUpdate> &Batch) {
   return Applied;
 }
 
-Graph DeltaGraph::compact() const {
+namespace {
+
+/// Shared compaction core: folds any graph-view's adjacency into a fresh
+/// immutable CSR (same deterministic layout as GraphBuilder output).
+template <typename ViewT> Graph compactView(const ViewT &G) {
   std::vector<Edge> Edges;
-  Edges.reserve(static_cast<size_t>(isSymmetric() ? NumEdges / 2
-                                                  : NumEdges));
-  const Count N = numNodes();
+  Edges.reserve(static_cast<size_t>(G.isSymmetric() ? G.numEdges() / 2
+                                                    : G.numEdges()));
+  const Count N = G.numNodes();
   for (Count V = 0; V < N; ++V)
-    for (WNode E : outNeighbors(static_cast<VertexId>(V))) {
+    for (WNode E : G.outNeighbors(static_cast<VertexId>(V))) {
       // Symmetric views store both directions; emit each undirected edge
       // once and let the builder re-symmetrize.
-      if (isSymmetric() && E.V < static_cast<VertexId>(V))
+      if (G.isSymmetric() && E.V < static_cast<VertexId>(V))
         continue;
       Edges.push_back(Edge{static_cast<VertexId>(V), E.V, E.W});
     }
   BuildOptions Options;
-  Options.Symmetrize = isSymmetric();
+  Options.Symmetrize = G.isSymmetric();
   Options.RemoveSelfLoops = false;
   Options.RemoveDuplicates = false;
-  Options.Weighted = isWeighted();
-  Options.BuildInEdges = hasInEdges();
+  Options.Weighted = G.isWeighted();
+  Options.BuildInEdges = G.hasInEdges();
   GraphBuilder Builder(Options);
-  if (hasCoordinates())
-    return Builder.build(N, std::move(Edges), coordinates());
+  if (G.hasCoordinates())
+    return Builder.build(N, std::move(Edges), G.coordinates());
   return Builder.build(N, std::move(Edges));
+}
+
+} // namespace
+
+Graph DeltaGraph::compact() const { return compactView(*this); }
+
+Graph ShardedDeltaView::compact() const { return compactView(*this); }
+
+std::vector<AppliedUpdate>
+graphit::coalesceApplied(std::vector<AppliedUpdate> Raw) {
+  std::unordered_map<uint64_t, size_t> Index;
+  std::vector<AppliedUpdate> Out;
+  Out.reserve(Raw.size());
+  for (const AppliedUpdate &A : Raw) {
+    uint64_t Key = (static_cast<uint64_t>(A.Src) << 32) | A.Dst;
+    auto [It, Fresh] = Index.emplace(Key, Out.size());
+    if (Fresh) {
+      Out.push_back(A);
+      continue;
+    }
+    Out[It->second].NewW = A.NewW; // keep the first OldW, take the last NewW
+  }
+  // Drop net no-ops (e.g. delete then re-insert at the old weight).
+  size_t Keep = 0;
+  for (const AppliedUpdate &A : Out)
+    if (A.OldW != A.NewW)
+      Out[Keep++] = A;
+  Out.resize(Keep);
+  return Out;
 }

@@ -21,9 +21,12 @@
 /// a threshold. The overlay's read cost is one array lookup per vertex on
 /// top of CSR, so queries on a lightly-patched view run at base speed.
 ///
-/// The vertex universe is fixed at construction (no vertex insertion —
-/// ids are dense and sized into every pooled query state); self-loops and
-/// out-of-range endpoints are rejected per update, not fatally.
+/// The vertex universe *grows at the tail*: `growUniverse`/`addVertex`
+/// append fresh vertices with ids >= the base graph's node count. Tail
+/// vertices start with empty adjacency (they read from a patch list or
+/// nowhere, never from the base CSR) and fold into the base like any other
+/// patch on `compact()`. Self-loops and out-of-range endpoints are still
+/// rejected per update, not fatally.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +35,7 @@
 
 #include "graph/Graph.h"
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <vector>
@@ -89,18 +93,21 @@ public:
   explicit DeltaGraph(std::shared_ptr<const Graph> Base);
 
   /// --- Graph-compatible read interface (see graph/Graph.h) -------------
-  Count numNodes() const { return BasePtr->numNodes(); }
+  Count numNodes() const { return BaseNodes + TailNodes; }
   Count numEdges() const { return NumEdges; }
   bool isSymmetric() const { return BasePtr->isSymmetric(); }
   bool isWeighted() const { return BasePtr->isWeighted(); }
   bool hasInEdges() const { return BasePtr->hasInEdges(); }
   bool hasCoordinates() const { return BasePtr->hasCoordinates(); }
-  const Coordinates &coordinates() const { return BasePtr->coordinates(); }
+  const Coordinates &coordinates() const {
+    return ExtCoords ? *ExtCoords : BasePtr->coordinates();
+  }
 
   Count outDegree(VertexId V) const {
     uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
-      return BasePtr->outDegree(V);
+      return V < static_cast<VertexId>(BaseNodes) ? BasePtr->outDegree(V)
+                                                  : Count{0};
     return static_cast<Count>(OutPatches[Slot]->Ids.size());
   }
 
@@ -109,14 +116,17 @@ public:
       return outDegree(V);
     uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
-      return BasePtr->inDegree(V);
+      return V < static_cast<VertexId>(BaseNodes) ? BasePtr->inDegree(V)
+                                                  : Count{0};
     return static_cast<Count>(InPatches[Slot]->Ids.size());
   }
 
   Graph::NeighborRange outNeighbors(VertexId V) const {
     uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
-      return BasePtr->outNeighbors(V);
+      return V < static_cast<VertexId>(BaseNodes)
+                 ? BasePtr->outNeighbors(V)
+                 : Graph::NeighborRange{nullptr, nullptr, 0};
     return rangeOf(*OutPatches[Slot]);
   }
 
@@ -125,7 +135,9 @@ public:
       return outNeighbors(V);
     uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
-      return BasePtr->inNeighbors(V);
+      return V < static_cast<VertexId>(BaseNodes)
+                 ? BasePtr->inNeighbors(V)
+                 : Graph::NeighborRange{nullptr, nullptr, 0};
     return rangeOf(*InPatches[Slot]);
   }
 
@@ -136,7 +148,7 @@ public:
   /// vertices live in small per-vertex lists; only the base-CSR path is
   /// worth hinting.
   void prefetchOutRow(VertexId V) const {
-    if (OutSlot.get(V) == kNoSlot)
+    if (OutSlot.get(V) == kNoSlot && V < static_cast<VertexId>(BaseNodes))
       BasePtr->prefetchOutRow(V);
   }
 
@@ -148,6 +160,61 @@ public:
   /// serving system must survive malformed writes. Writer-side only; not
   /// thread-safe against readers of the *same* object (publish a copy).
   std::vector<AppliedUpdate> apply(const std::vector<EdgeUpdate> &Batch);
+
+  /// True when \p U would be applied (in-range endpoints, no self loop,
+  /// non-negative upsert weight) against a universe of \p NumNodes
+  /// vertices. The per-update skip test `apply` uses, exposed so sharded
+  /// callers routing directed halves to different overlays apply exactly
+  /// the same policy.
+  static bool validUpdate(const EdgeUpdate &U, Count NumNodes) {
+    if (static_cast<Count>(U.Src) >= NumNodes ||
+        static_cast<Count>(U.Dst) >= NumNodes || U.Src == U.Dst)
+      return false;
+    return U.Kind != UpdateKind::Upsert || U.W >= 0;
+  }
+
+  /// --- Shard-local application (service/SnapshotStore.h sharding) -------
+  ///
+  /// A sharded store partitions vertices across overlays: the directed
+  /// edge (Src, Dst) lives in shard(Src)'s out-adjacency and shard(Dst)'s
+  /// in-adjacency. These entry points apply exactly one side, so each
+  /// shard's overlay only ever patches its own vertices. Callers are
+  /// responsible for validity checks (`validUpdate`) and for routing both
+  /// sides; `apply` remains the single-overlay equivalent.
+
+  /// Out-adjacency side only (no in-mirror). Bumps the edge and overlay
+  /// counters exactly like `apply` does for the directed edge.
+  AppliedUpdate applyShardOut(VertexId Src, VertexId Dst, Weight W,
+                              UpdateKind Kind) {
+    return applyDirectedOut(Src, Dst, W, Kind);
+  }
+
+  /// In-adjacency mirror side only. No-op on symmetric graphs (the
+  /// reverse direction is routed as its own out-edge) and on graphs
+  /// without incoming adjacency.
+  void applyShardInMirror(VertexId Src, VertexId Dst, Weight W,
+                          UpdateKind Kind) {
+    mirrorIn(Src, Dst, W, Kind);
+  }
+
+  /// --- Vertex insertion -------------------------------------------------
+
+  /// Grows the vertex universe to \p NewNumNodes; the fresh ids are
+  /// `[numNodes(), NewNumNodes)`, appended at the tail with empty
+  /// adjacency. On coordinate-bearing graphs, \p TailCoords may supply
+  /// one (X, Y) per appended vertex (in append order); absent entries
+  /// default to (0, 0) — callers relying on the A* coordinate bound must
+  /// supply coordinates that keep the weight >= 100 x Euclidean contract
+  /// (graph/Generators.h), exactly as they must for live edge inserts.
+  void growUniverse(Count NewNumNodes, const Coordinates *TailCoords = nullptr);
+
+  /// Appends one vertex (see growUniverse) and returns its id.
+  VertexId addVertex();
+  /// Appends one vertex with coordinates (coordinate-bearing graphs).
+  VertexId addVertex(double X, double Y);
+
+  /// Vertices appended past the base graph (ids >= base().numNodes()).
+  Count tailNodes() const { return TailNodes; }
 
   /// Edges currently resident in patch lists (the overlay size the
   /// compaction threshold is measured against).
@@ -188,6 +255,15 @@ private:
                        kPageSize,
                    nullptr);
     }
+    /// Universe growth: appends unmapped (all-kNoSlot) pages. The page
+    /// vector itself is per-copy (only the pages are shared), so growing
+    /// the writer never perturbs a published snapshot.
+    void grow(Count NumNodes) {
+      size_t Want =
+          (static_cast<size_t>(NumNodes) + kPageSize - 1) / kPageSize;
+      if (Want > Pages.size())
+        Pages.resize(Want, nullptr);
+    }
     bool empty() const { return Pages.empty(); }
 
     uint32_t get(VertexId V) const {
@@ -224,10 +300,14 @@ private:
   Patch &patchFor(VertexId V, bool Out);
 
   /// Applies one directed mutation to the out-adjacency (bumping NumEdges
-  /// and the overlay counter) and mirrors it into the in-adjacency via
-  /// mirrorIn(), which deliberately does not count — one logical directed
-  /// edge, one count. \returns the transition, or kAbsentEdge/kAbsentEdge
-  /// when nothing changed.
+  /// and the overlay counter). In-adjacency mirroring is the caller's job:
+  /// `applyDirected` pairs it with mirrorIn() on this overlay, sharded
+  /// stores route the mirror to the destination's shard. \returns the
+  /// transition, or kAbsentEdge/kAbsentEdge when nothing changed.
+  AppliedUpdate applyDirectedOut(VertexId Src, VertexId Dst, Weight W,
+                                 UpdateKind Kind);
+  /// applyDirectedOut + in-mirror on this same overlay (the single-overlay
+  /// composition `apply` uses).
   AppliedUpdate applyDirected(VertexId Src, VertexId Dst, Weight W,
                               UpdateKind Kind);
   void mirrorIn(VertexId Src, VertexId Dst, Weight W, UpdateKind Kind);
@@ -237,8 +317,129 @@ private:
   PagedSlots InSlot;  ///< directed graphs with in-edges only
   std::vector<std::shared_ptr<Patch>> OutPatches;
   std::vector<std::shared_ptr<Patch>> InPatches;
+  /// Tail coordinates (copy-on-grow): set once a vertex is appended to a
+  /// coordinate-bearing graph; shared by snapshot copies.
+  std::shared_ptr<const Coordinates> ExtCoords;
+  Count BaseNodes = 0;   ///< base().numNodes(), cached off the hot path
+  Count TailNodes = 0;   ///< vertices appended past the base
+  bool MirrorsIn = false; ///< maintain in-adjacency patches (directed+in)
   Count NumEdges = 0;
   Count OverlayEdges = 0;
+};
+
+/// Coalesces raw per-application transition records of one batch into at
+/// most one record per directed edge: first old weight -> last new weight,
+/// with net no-ops dropped. Multiple updates of one edge inside a batch
+/// would otherwise hand incremental repair an intermediate "old" weight
+/// and break its tightness test. Shared by the snapshot stores.
+std::vector<AppliedUpdate> coalesceApplied(std::vector<AppliedUpdate> Raw);
+
+/// A read-only composite over per-shard `DeltaGraph` overlays: vertex V's
+/// adjacency is served by shard `shardOf(V)`, so engines templated over
+/// the graph type run unmodified against a sharded store's published
+/// version. All shard overlays share one base CSR and one universe size
+/// (the sharded store grows / compacts them in lockstep); the view just
+/// routes per-vertex reads.
+///
+/// Vertex-range sharding: shard(V) = min(V >> Shift, S-1) with
+/// 2^Shift >= ceil(baseNodes / S). Vertices inserted after construction
+/// (ids past the base range) clamp into the last shard.
+class ShardedDeltaView {
+public:
+  ShardedDeltaView() = default;
+  ShardedDeltaView(std::vector<std::shared_ptr<const DeltaGraph>> Shards,
+                   int Shift)
+      : Shards(std::move(Shards)), Shift(Shift) {
+    const DeltaGraph &S0 = *this->Shards.front();
+    NumNodes = S0.numNodes();
+    const Count BaseEdges = S0.base().numEdges();
+    NumEdges = 0;
+    for (const std::shared_ptr<const DeltaGraph> &S : this->Shards)
+      NumEdges += S->numEdges() - BaseEdges;
+    NumEdges += BaseEdges;
+  }
+
+  int numShards() const { return static_cast<int>(Shards.size()); }
+  int shardOf(VertexId V) const {
+    Count S = static_cast<Count>(V) >> Shift;
+    return static_cast<int>(
+        std::min<Count>(S, static_cast<Count>(Shards.size()) - 1));
+  }
+  const DeltaGraph &shard(int S) const { return *Shards[S]; }
+  const std::vector<std::shared_ptr<const DeltaGraph>> &shards() const {
+    return Shards;
+  }
+  int shardShift() const { return Shift; }
+
+  /// --- Version metadata (filled by the owning sharded store) -----------
+  ///
+  /// The cross-shard version vector this composite was published with:
+  /// `shardVersions()[s]` bumps exactly when shard s's overlay changed,
+  /// `version()` on every publish. A pinned view is immutable, so two
+  /// pins compare component-wise — monotone, never torn.
+  void setVersions(uint64_t GlobalVersion,
+                   std::vector<uint64_t> PerShardVersions) {
+    Version_ = GlobalVersion;
+    ShardVersions_ = std::move(PerShardVersions);
+  }
+  uint64_t version() const { return Version_; }
+  const std::vector<uint64_t> &shardVersions() const {
+    return ShardVersions_;
+  }
+
+  /// Shift such that ceil(NumNodes / NumShards) vertices fit per shard
+  /// (power-of-two span, so shardOf is a shift + clamp).
+  static int shiftFor(Count NumNodes, int NumShards) {
+    Count Span = (NumNodes + NumShards - 1) / NumShards;
+    int Shift = 0;
+    while ((Count{1} << Shift) < std::max<Count>(Span, 1))
+      ++Shift;
+    return Shift;
+  }
+
+  /// --- Graph-compatible read interface ---------------------------------
+  Count numNodes() const { return NumNodes; }
+  Count numEdges() const { return NumEdges; }
+  bool isSymmetric() const { return Shards.front()->isSymmetric(); }
+  bool isWeighted() const { return Shards.front()->isWeighted(); }
+  bool hasInEdges() const { return Shards.front()->hasInEdges(); }
+  bool hasCoordinates() const { return Shards.front()->hasCoordinates(); }
+  /// Coordinates are shared store-wide state, not per-shard (every shard
+  /// extends its copy in lockstep on vertex insertion); shard 0's are
+  /// authoritative.
+  const Coordinates &coordinates() const {
+    return Shards.front()->coordinates();
+  }
+
+  Count outDegree(VertexId V) const { return at(V).outDegree(V); }
+  Count inDegree(VertexId V) const { return at(V).inDegree(V); }
+  Graph::NeighborRange outNeighbors(VertexId V) const {
+    return at(V).outNeighbors(V);
+  }
+  Graph::NeighborRange inNeighbors(VertexId V) const {
+    return at(V).inNeighbors(V);
+  }
+  int64_t outDegreeSum(const VertexId *Vs, Count N) const {
+    int64_t Sum = 0;
+    for (Count I = 0; I < N; ++I)
+      Sum += outDegree(Vs[I]);
+    return Sum;
+  }
+  void prefetchOutRow(VertexId V) const { at(V).prefetchOutRow(V); }
+
+  /// Merges every shard's overlay + the shared base into one fresh CSR
+  /// (same deterministic layout as DeltaGraph::compact). O(V + E).
+  Graph compact() const;
+
+private:
+  const DeltaGraph &at(VertexId V) const { return *Shards[shardOf(V)]; }
+
+  std::vector<std::shared_ptr<const DeltaGraph>> Shards;
+  int Shift = 0;
+  Count NumNodes = 0;
+  Count NumEdges = 0;
+  uint64_t Version_ = 0;
+  std::vector<uint64_t> ShardVersions_;
 };
 
 } // namespace graphit

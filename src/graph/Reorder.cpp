@@ -65,14 +65,14 @@ void VertexMapping::mapToInternal(std::vector<VertexId> &Vs) const {
   if (isIdentity())
     return;
   for (VertexId &V : Vs)
-    V = ToInternal_[V];
+    V = toInternal(V);
 }
 
 void VertexMapping::mapToExternal(std::vector<VertexId> &Vs) const {
   if (isIdentity())
     return;
   for (VertexId &V : Vs)
-    V = ToExternal_[V];
+    V = toExternal(V);
 }
 
 namespace {

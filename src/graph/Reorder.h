@@ -57,7 +57,11 @@ ReorderKind parseReorderKind(const std::string &Name);
 /// Every kind, in enum order (bench sweeps).
 std::vector<ReorderKind> allReorderKinds();
 
-/// A bijection external-id <-> internal-id over a fixed vertex universe.
+/// A bijection external-id <-> internal-id over the vertex universe the
+/// mapping was built from, extended by an *identity tail*: ids at or past
+/// `size()` (vertices inserted into a live store after the layout was
+/// fixed) translate to themselves in both directions. Tail vertices are
+/// appended at the end of both id spaces, so the passthrough is exact.
 ///
 /// "External" ids are the caller's original vertex names; "internal" ids
 /// index the reordered CSR the engines run on. An identity mapping is
@@ -72,16 +76,22 @@ public:
   /// id that becomes internal id n). Aborts unless it is a permutation.
   static VertexMapping fromInternalToExternal(std::vector<VertexId> NewToOld);
 
+  /// Vertices covered by the materialized permutation (the universe at
+  /// layout time); ids >= size() are identity-tail vertices.
   Count size() const { return NumNodes; }
   bool isIdentity() const { return ToExternal_.empty(); }
 
   /// External (original) id -> internal (layout) id.
   VertexId toInternal(VertexId External) const {
-    return isIdentity() ? External : ToInternal_[External];
+    return isIdentity() || static_cast<Count>(External) >= NumNodes
+               ? External
+               : ToInternal_[External];
   }
   /// Internal (layout) id -> external (original) id.
   VertexId toExternal(VertexId Internal) const {
-    return isIdentity() ? Internal : ToExternal_[Internal];
+    return isIdentity() || static_cast<Count>(Internal) >= NumNodes
+               ? Internal
+               : ToExternal_[Internal];
   }
 
   /// In-place translation helpers for id vectors (paths, frontiers).

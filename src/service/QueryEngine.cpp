@@ -111,32 +111,182 @@ SnapshotStore::ApplyResult
 QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   if (!Store)
     fatalError("QueryEngine::applyUpdates: engine serves a fixed graph");
-  if (Opts.NumLandmarks <= 0)
-    return Store->applyUpdates(Batch);
-
-  // LandmarkWriterMu serializes writers end to end so admissibility
-  // tracking observes batches in order; queries never touch it. The
-  // conservative pre-invalidation (under the cheap LandmarkMu) closes the
-  // window in which a query could pin the just-published (possibly
-  // bound-breaking) version while still reading "admissible" — a batch
-  // that proves to be increase-only restores the flag afterwards.
-  std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
-  bool MaybeBreaking = false;
-  for (const EdgeUpdate &U : Batch)
-    if (U.Kind == UpdateKind::Upsert) {
-      MaybeBreaking = true; // maybe an insert/decrease: assume so
-      break;
+  SnapshotStore::ApplyResult R;
+  if (Opts.NumLandmarks <= 0) {
+    R = Store->applyUpdates(Batch);
+  } else {
+    // LandmarkWriterMu serializes writers end to end so admissibility
+    // tracking observes batches in order; queries never touch it. The
+    // conservative pre-invalidation (under the cheap LandmarkMu) closes
+    // the window in which a query could pin the just-published (possibly
+    // bound-breaking) version while still reading "admissible" — a batch
+    // that proves to be increase-only restores the flag afterwards.
+    std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
+    bool MaybeBreaking = false;
+    for (const EdgeUpdate &U : Batch)
+      if (U.Kind == UpdateKind::Upsert) {
+        MaybeBreaking = true; // maybe an insert/decrease: assume so
+        break;
+      }
+    bool WasAdmissible;
+    {
+      std::lock_guard<std::mutex> Guard(LandmarkMu);
+      WasAdmissible = LandmarksAdmissible;
+      if (MaybeBreaking)
+        LandmarksAdmissible = false;
     }
-  bool WasAdmissible;
-  {
-    std::lock_guard<std::mutex> Guard(LandmarkMu);
-    WasAdmissible = LandmarksAdmissible;
-    if (MaybeBreaking)
-      LandmarksAdmissible = false;
+    R = Store->applyUpdates(Batch);
+    noteAppliedBatch(R, WasAdmissible);
   }
-  SnapshotStore::ApplyResult R = Store->applyUpdates(Batch);
-  noteAppliedBatch(R, WasAdmissible);
+  if (Opts.HotSourceCapacity > 0)
+    repairHotStates(R);
   return R;
+}
+
+VertexId QueryEngine::addVertices(Count HowMany,
+                                  const Coordinates *TailCoords) {
+  if (!Store)
+    fatalError("QueryEngine::addVertices: engine serves a fixed graph");
+  // Serialize with landmark-tracked update batches so the retirement
+  // below observes a consistent order (uncontended when landmarks are
+  // off).
+  std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
+  VertexId First = Store->addVertices(HowMany, TailCoords);
+  if (HowMany <= 0)
+    return First;
+  const uint64_t NewVersion = Store->version();
+  const Count NewNodes = Store->numNodes();
+
+  if (Opts.NumLandmarks > 0) {
+    // Landmark arrays are sized to the old universe: an estimate() for a
+    // tail vertex would index out of bounds, so retire the cache. The
+    // next compaction rebuilds it over the grown universe (the usual
+    // rebuild path re-arms serving).
+    std::lock_guard<std::mutex> Guard(LandmarkMu);
+    LandmarksAdmissible = false;
+  }
+
+  NumNodes.store(NewNodes, std::memory_order_relaxed);
+  Pool.grow(NewNodes);
+
+  if (Opts.HotSourceCapacity > 0) {
+    // Pure growth publishes a version whose distances are unchanged (new
+    // vertices are unreachable until an edge batch seeds them): resize
+    // and re-tag in place instead of repairing.
+    std::lock_guard<std::mutex> Guard(HotMu);
+    for (auto It = Hot.begin(); It != Hot.end();) {
+      HotEntry &E = It->second;
+      if (E.Version + 1 != NewVersion) {
+        It = Hot.erase(It); // missed a version (direct store writer)
+        continue;
+      }
+      E.State->resize(NewNodes);
+      E.Version = NewVersion;
+      ++It;
+    }
+  }
+  return First;
+}
+
+bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
+                               QueryResult &R) const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  auto It = Hot.find(QI.Source);
+  if (It == Hot.end() || !It->second.State || It->second.Version != Ver)
+    return false;
+  DistanceState &St = *It->second.State;
+  It->second.LastUsed = ++HotTick;
+  ++HotHits_;
+
+  if (QI.Target != kInvalidVertex)
+    R.Dist = St.dist(QI.Target);
+  // After repairs the touched log is a superset of the finite vertices
+  // (a vertex cut off by deletions stays logged): filter on finiteness so
+  // Touched/Reached match what a fresh run reports.
+  Count Finite = 0;
+  const Count Logged = St.numTouched();
+  if (QI.CollectReached)
+    R.Reached.reserve(static_cast<size_t>(Logged));
+  for (Count I = 0; I < Logged; ++I) {
+    VertexId V = St.touched(I);
+    Priority D = St.dist(V);
+    if (D >= kInfiniteDistance)
+      continue;
+    ++Finite;
+    if (QI.CollectReached)
+      R.Reached.emplace_back(V, D);
+  }
+  R.Touched = Finite;
+  if (QI.CollectReached)
+    std::sort(R.Reached.begin(), R.Reached.end());
+  return true;
+}
+
+std::unique_ptr<DistanceState> QueryEngine::takeHotSlot() const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  if (Hot.size() < static_cast<size_t>(Opts.HotSourceCapacity))
+    return nullptr;
+  auto Victim = Hot.begin();
+  for (auto Scan = Hot.begin(); Scan != Hot.end(); ++Scan)
+    if (Scan->second.LastUsed < Victim->second.LastUsed)
+      Victim = Scan;
+  std::unique_ptr<DistanceState> Recycled = std::move(Victim->second.State);
+  Hot.erase(Victim);
+  return Recycled;
+}
+
+void QueryEngine::installHot(VertexId Source, uint64_t Ver,
+                             std::unique_ptr<DistanceState> St) const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  HotEntry &E = Hot[Source];
+  if (E.State && E.Version >= Ver)
+    return; // a newer state for this source raced in; keep it
+  E.State = std::move(St);
+  E.Version = Ver;
+  E.LastUsed = ++HotTick;
+  while (Hot.size() > static_cast<size_t>(Opts.HotSourceCapacity)) {
+    auto Victim = Hot.begin();
+    for (auto Scan = Hot.begin(); Scan != Hot.end(); ++Scan)
+      if (Scan->second.LastUsed < Victim->second.LastUsed)
+        Victim = Scan;
+    Hot.erase(Victim); // O(capacity) scan: capacities are small by design
+  }
+}
+
+void QueryEngine::repairHotStates(const SnapshotStore::ApplyResult &R) {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  const Count N = R.Snap->numNodes();
+  for (auto It = Hot.begin(); It != Hot.end();) {
+    HotEntry &E = It->second;
+    // Exactly one version behind is repairable with this batch's applied
+    // transitions; anything else missed a publish (a writer bypassed the
+    // engine) and must be dropped rather than served or mis-repaired.
+    if (!E.State || E.Version + 1 != R.Version) {
+      It = Hot.erase(It);
+      continue;
+    }
+    E.State->resize(N);
+    repairAfterUpdates(*R.Snap, R.Applied, *E.State, Opts.DefaultSchedule,
+                       HotScratch);
+    E.Version = R.Version;
+    ++HotRepairs_;
+    ++It;
+  }
+}
+
+uint64_t QueryEngine::hotHits() const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  return HotHits_;
+}
+
+uint64_t QueryEngine::hotRepairs() const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  return HotRepairs_;
+}
+
+size_t QueryEngine::hotStatesCached() const {
+  std::lock_guard<std::mutex> Guard(HotMu);
+  return Hot.size();
 }
 
 QueryEngine::~QueryEngine() {
@@ -338,7 +488,34 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
     // Pin the latest version for this query's whole lifetime: concurrent
     // applyUpdates() publishes the next version, it never mutates ours.
     auto [Snap, Ver] = Store->currentVersioned();
-    R = runOneOn(*Snap, QI, State, Ver);
+    // Path extraction wants a private parent array, so CollectPath
+    // queries bypass the shared hot states; a PPSP/A* with
+    // CollectReached does too (its fresh-run reach is the early-exited
+    // search, not the full solution a hot state holds).
+    const bool HotEligible =
+        Opts.HotSourceCapacity > 0 && !QI.CollectPath &&
+        (QI.Kind == QueryKind::SSSP || !QI.CollectReached);
+    if (HotEligible && serveFromHot(QI, Ver, R)) {
+      // Served from the repaired hot state: bit-identical distances, no
+      // engine run.
+    } else if (HotEligible && QI.Kind == QueryKind::SSSP) {
+      // Cold SSSP source: warm the cache by running into a cache-owned
+      // state (full solution, repairable on the next applyUpdates). The
+      // state storage is recycled from the LRU victim when the cache is
+      // full, so steady-state misses allocate nothing.
+      std::unique_ptr<DistanceState> HotState = takeHotSlot();
+      if (HotState)
+        HotState->resize(Snap->numNodes());
+      else
+        HotState = std::make_unique<DistanceState>(Snap->numNodes(),
+                                                   Opts.TrackParents);
+      R = runOneOn(*Snap, QI, *HotState, Ver);
+      installHot(QI.Source, Ver, std::move(HotState));
+    } else {
+      // Vertex insertion may have outgrown a pooled worker state.
+      State.resize(Snap->numNodes());
+      R = runOneOn(*Snap, QI, State, Ver);
+    }
   } else {
     R = runOneOn(*StaticG, QI, State, 0);
   }

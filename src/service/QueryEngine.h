@@ -36,6 +36,7 @@
 #ifndef GRAPHIT_SERVICE_QUERYENGINE_H
 #define GRAPHIT_SERVICE_QUERYENGINE_H
 
+#include "algorithms/IncrementalSSSP.h"
 #include "algorithms/PPSP.h"
 #include "core/OrderedProcess.h"
 #include "core/Schedule.h"
@@ -44,6 +45,7 @@
 #include "service/SnapshotStore.h"
 #include "service/StatePool.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -130,6 +132,20 @@ public:
     ReorderKind Reorder = ReorderKind::None;
     /// Root hint for the Bfs ordering, in original ids (see makeOrdering).
     VertexId ReorderSourceHint = 0;
+    /// Live mode: keep up to this many *hot source states* — complete
+    /// SSSP solutions keyed by (source, version) in an LRU — and, on
+    /// `applyUpdates`, repair them in place via incremental SSSP
+    /// (O(affected)) instead of discarding. Queries from a hot source
+    /// (the serving common case: the same depots asked again every
+    /// version) are answered straight from the repaired state; an SSSP
+    /// query from a cold source warms it. 0 disables the cache.
+    ///
+    /// The repair protocol tracks versions one publish at a time, so a
+    /// *background* compaction (whose rebuilt base publishes its own
+    /// version outside applyUpdates) invalidates the cache until the
+    /// sources are re-warmed — pair the hot cache with synchronous
+    /// compaction (the store default) for uninterrupted repair.
+    int HotSourceCapacity = 0;
   };
 
   QueryEngine(const Graph &G, Options Opts = {});
@@ -169,12 +185,29 @@ public:
 
   /// Live mode only: applies \p Batch through the snapshot store and
   /// publishes the next version. In-flight queries keep the versions they
-  /// pinned; queries submitted after this call see the new one.
+  /// pinned; queries submitted after this call see the new one. With a
+  /// hot-source cache (`Options::HotSourceCapacity`), every cached state
+  /// is repaired to the new version before this returns — repeat-source
+  /// queries pay O(affected) per version instead of a fresh run.
   SnapshotStore::ApplyResult
   applyUpdates(const std::vector<EdgeUpdate> &Batch);
 
+  /// Live mode only: grows the vertex universe through the store (see
+  /// SnapshotStore::addVertices) and threads the growth through the
+  /// engine — pooled states and hot states resize, submit() accepts the
+  /// new ids, and the landmark cache (sized to the old universe) is
+  /// retired until the next compaction rebuilds it. Route insertions
+  /// through the engine, not the store, exactly like update batches.
+  VertexId addVertices(Count HowMany,
+                       const Coordinates *TailCoords = nullptr);
+
   /// True when serving a SnapshotStore rather than a fixed graph.
   bool isLive() const { return Store != nullptr; }
+
+  /// Hot-source cache counters (live mode; all 0 when disabled).
+  uint64_t hotHits() const;
+  uint64_t hotRepairs() const;
+  size_t hotStatesCached() const;
 
   /// The ALT cache (null when Options::NumLandmarks == 0). In live mode
   /// the returned snapshot is the *current* cache — it stays valid after a
@@ -210,6 +243,26 @@ private:
   QueryResult runOneOn(const GraphT &G, const Query &Q, DistanceState &State,
                        uint64_t SnapVersion) const;
 
+  /// Serves \p QI from a hot source state if one exists at exactly the
+  /// pinned version \p Ver (distances are unique, so a repaired state
+  /// answers SSSP/PPSP/A* queries bit-identically to a fresh run; the
+  /// `Touched` counter reports the full solution's reach, which for
+  /// PPSP/A* differs from an early-exited fresh run's engine counter).
+  /// \returns false on miss; results are in internal id space.
+  bool serveFromHot(const Query &QI, uint64_t Ver, QueryResult &R) const;
+  /// Recycles the LRU victim's state storage when the cache is at
+  /// capacity (null when there is still room): cold-miss installs then
+  /// allocate nothing in steady state.
+  std::unique_ptr<DistanceState> takeHotSlot() const;
+  /// Installs a freshly computed full-SSSP state for \p Source at \p Ver
+  /// (LRU-evicting past capacity); keeps a newer entry if one raced in.
+  void installHot(VertexId Source, uint64_t Ver,
+                  std::unique_ptr<DistanceState> St) const;
+  /// Repairs every cached state onto \p R's version (applyUpdates path);
+  /// entries that missed a version (concurrent direct store writers) are
+  /// dropped, never served stale.
+  void repairHotStates(const SnapshotStore::ApplyResult &R);
+
   /// The landmark cache to use for a query pinned at \p SnapVersion, or
   /// null when none is admissible for that version.
   std::shared_ptr<const LandmarkCache>
@@ -225,7 +278,9 @@ private:
 
   const Graph *StaticG = nullptr;   ///< fixed-graph mode
   SnapshotStore *Store = nullptr;   ///< live mode
-  Count NumNodes;                   ///< constant across versions
+  /// Vertex universe for request validation; grows on addVertices (fixed
+  /// graphs never grow). Atomic: submit() races engine-routed insertion.
+  std::atomic<Count> NumNodes;
   bool HasCoordinates;              ///< A* feasibility (base coordinates)
   Options Opts;
   std::unique_ptr<Graph> OwnedG;    ///< fixed-graph mode, reordered layout
@@ -245,6 +300,22 @@ private:
   bool LandmarksAdmissible = false;
   uint64_t LandmarkVersion = 0;  ///< version the cache was built on
   uint64_t SeenCompactions = 0;  ///< guarded by LandmarkWriterMu
+
+  /// Hot source states (Options::HotSourceCapacity). One mutex guards the
+  /// map, the repair scratch, and the counters: queries take it for an
+  /// O(touched) copy-out on a hit, `applyUpdates` for the O(affected)
+  /// in-place repairs. Mutable: workers serve hits from const runOne.
+  struct HotEntry {
+    std::unique_ptr<DistanceState> State;
+    uint64_t Version = 0;
+    uint64_t LastUsed = 0;
+  };
+  mutable std::mutex HotMu;
+  mutable std::unordered_map<VertexId, HotEntry> Hot;
+  mutable RepairScratch HotScratch;
+  mutable uint64_t HotTick = 0;
+  mutable uint64_t HotHits_ = 0;
+  mutable uint64_t HotRepairs_ = 0;
 
   mutable std::mutex Mu;
   std::condition_variable WorkCv;

@@ -48,6 +48,11 @@ uint64_t SnapshotStore::compactions() const {
   return Compactions;
 }
 
+Count SnapshotStore::numNodes() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Current->numNodes();
+}
+
 void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
   // Caller holds WriteMu (asserted by the parameter): Writer is stable, so
   // copying it into an immutable snapshot and swapping the publish pointer
@@ -57,37 +62,6 @@ void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
   Current = std::move(Snap);
   ++Version;
 }
-
-namespace {
-
-/// Coalesces the raw per-application transition records of one batch into
-/// at most one record per directed edge: first old weight → last new
-/// weight. Multiple updates of one edge inside a batch would otherwise
-/// hand repair an intermediate "old" weight and break its tightness test.
-std::vector<AppliedUpdate>
-coalesce(std::vector<AppliedUpdate> Raw) {
-  std::unordered_map<uint64_t, size_t> Index;
-  std::vector<AppliedUpdate> Out;
-  Out.reserve(Raw.size());
-  for (const AppliedUpdate &A : Raw) {
-    uint64_t Key = (static_cast<uint64_t>(A.Src) << 32) | A.Dst;
-    auto [It, Fresh] = Index.emplace(Key, Out.size());
-    if (Fresh) {
-      Out.push_back(A);
-      continue;
-    }
-    Out[It->second].NewW = A.NewW; // keep the first OldW, take the last NewW
-  }
-  // Drop net no-ops (e.g. delete then re-insert at the old weight).
-  size_t Keep = 0;
-  for (const AppliedUpdate &A : Out)
-    if (A.OldW != A.NewW)
-      Out[Keep++] = A;
-  Out.resize(Keep);
-  return Out;
-}
-
-} // namespace
 
 SnapshotStore::ApplyResult
 SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
@@ -111,10 +85,10 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     }
     Apply = &Translated;
   }
-  R.Applied = coalesce(Writer.apply(*Apply));
+  R.Applied = coalesceApplied(Writer.apply(*Apply));
 
   if (CompactionRunning)
-    Replay.push_back(*Apply);
+    Replay.push_back(ReplayOp{*Apply, 0, nullptr});
 
   // Compaction bookkeeping before publishing, so a synchronous compaction
   // is part of the same published version.
@@ -160,11 +134,17 @@ void SnapshotStore::compactorBody(Snapshot Pinned) {
 
   std::unique_lock<std::mutex> WriterLock(WriteMu);
   DeltaGraph Rebuilt(std::move(NewBase));
-  // Batches accepted while we were compacting: replay them onto the new
-  // base. Upsert/delete semantics are deterministic, so the result equals
-  // the writer's current adjacency with an (almost) empty overlay.
-  for (const std::vector<EdgeUpdate> &B : Replay)
-    Rebuilt.apply(B);
+  // Writer-side operations accepted while we were compacting: replay them
+  // onto the new base. Upsert/delete/growth semantics are deterministic,
+  // so the result equals the writer's current adjacency with an (almost)
+  // empty overlay. Universe growth replays too — otherwise a later batch
+  // referencing the new ids would be range-rejected.
+  for (const ReplayOp &Op : Replay) {
+    if (Op.GrowTo > 0)
+      Rebuilt.growUniverse(Op.GrowTo, Op.TailCoords.get());
+    else
+      Rebuilt.apply(Op.Batch);
+  }
   Replay.clear();
   Writer = std::move(Rebuilt);
   CompactionRunning = false;
@@ -179,4 +159,274 @@ void SnapshotStore::compactorBody(Snapshot Pinned) {
 void SnapshotStore::waitForCompaction() {
   std::unique_lock<std::mutex> WriterLock(WriteMu);
   CompactionCv.wait(WriterLock, [&] { return !CompactionRunning; });
+}
+
+VertexId SnapshotStore::addVertices(Count HowMany,
+                                    const Coordinates *TailCoords) {
+  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  VertexId First = static_cast<VertexId>(Writer.numNodes());
+  if (HowMany <= 0)
+    return First; // nothing to grow; no version published
+  const Count GrowTo = Writer.numNodes() + HowMany;
+  Writer.growUniverse(GrowTo, TailCoords);
+  if (CompactionRunning)
+    Replay.push_back(ReplayOp{
+        {},
+        GrowTo,
+        TailCoords ? std::make_shared<Coordinates>(*TailCoords) : nullptr});
+  publish(WriterLock);
+  return First;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedSnapshotStore
+//===----------------------------------------------------------------------===//
+
+ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options Opts)
+    : Opts(Opts) {
+  this->Opts.NumShards = std::max(1, Opts.NumShards);
+  auto BasePtr = std::make_shared<const Graph>(
+      reorderLoadedGraph(std::move(Base), Opts.Reorder, &Map,
+                         /*Seed=*/0x0EDE5, Opts.ReorderSourceHint));
+  Shift =
+      ShardedDeltaView::shiftFor(BasePtr->numNodes(), this->Opts.NumShards);
+  Symmetric = BasePtr->isSymmetric();
+  MirrorsIn = !Symmetric && BasePtr->hasInEdges();
+  Shards.reserve(static_cast<size_t>(this->Opts.NumShards));
+  std::vector<std::shared_ptr<const DeltaGraph>> Snaps;
+  for (int S = 0; S < this->Opts.NumShards; ++S) {
+    auto Sh = std::make_unique<Shard>();
+    Sh->Writer = DeltaGraph(BasePtr);
+    Snaps.push_back(std::make_shared<const DeltaGraph>(Sh->Writer));
+    Shards.push_back(std::move(Sh));
+  }
+  ShardVersions.assign(Shards.size(), 0);
+  auto View = std::make_shared<ShardedDeltaView>(std::move(Snaps), Shift);
+  View->setVersions(0, ShardVersions);
+  Cur = std::move(View);
+}
+
+ShardedSnapshotStore::Snapshot ShardedSnapshotStore::current() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Cur;
+}
+
+std::pair<ShardedSnapshotStore::Snapshot, uint64_t>
+ShardedSnapshotStore::currentVersioned() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return {Cur, Version};
+}
+
+uint64_t ShardedSnapshotStore::version() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Version;
+}
+
+Count ShardedSnapshotStore::numNodes() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Cur->numNodes();
+}
+
+uint64_t ShardedSnapshotStore::compactions() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Compactions;
+}
+
+int ShardedSnapshotStore::shardOf(VertexId V) const {
+  Count S = static_cast<Count>(V) >> Shift;
+  return static_cast<int>(
+      std::min<Count>(S, static_cast<Count>(Shards.size()) - 1));
+}
+
+ShardedSnapshotStore::ApplyResult
+ShardedSnapshotStore::publishLocked(const std::vector<int> &Touched,
+                                    std::vector<AppliedUpdate> Applied,
+                                    bool CompactionTriggered) {
+  // Caller holds the writer mutex of every shard in Touched, so copying
+  // those writers into immutable snapshots here is race-free; untouched
+  // shards keep the pointers of the previous composite (read under ReadMu,
+  // which also makes the version vector update atomic with the swap).
+  ApplyResult R;
+  R.Applied = std::move(Applied);
+  R.CompactionTriggered = CompactionTriggered;
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  std::vector<std::shared_ptr<const DeltaGraph>> Snaps = Cur->shards();
+  for (int S : Touched) {
+    Snaps[static_cast<size_t>(S)] =
+        std::make_shared<const DeltaGraph>(Shards[static_cast<size_t>(S)]->Writer);
+    ++ShardVersions[static_cast<size_t>(S)];
+    Shards[static_cast<size_t>(S)]->DirtySince = Version + 1;
+  }
+  ++Version;
+  auto View = std::make_shared<ShardedDeltaView>(std::move(Snaps), Shift);
+  View->setVersions(Version, ShardVersions);
+  Cur = std::move(View);
+  R.Version = Version;
+  R.Snap = Cur;
+  // Only the caller that flips the pending flag runs the compaction; a
+  // trigger firing while one is pending has already been absorbed.
+  R.CompactionTriggered = CompactionTriggered && !CompactionPending;
+  if (R.CompactionTriggered)
+    CompactionPending = true;
+  return R;
+}
+
+ShardedSnapshotStore::ApplyResult
+ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
+  // Reordered stores translate into internal ids, exactly like the
+  // unsharded store (out-of-range endpoints pass through untranslated and
+  // are skipped by the validity test below).
+  const std::vector<EdgeUpdate> *Apply = &Batch;
+  std::vector<EdgeUpdate> Translated;
+  if (!Map.isIdentity()) {
+    Translated = Batch;
+    const Count N = Map.size();
+    for (EdgeUpdate &U : Translated) {
+      if (static_cast<Count>(U.Src) < N)
+        U.Src = Map.toInternal(U.Src);
+      if (static_cast<Count>(U.Dst) < N)
+        U.Dst = Map.toInternal(U.Dst);
+    }
+    Apply = &Translated;
+  }
+
+  // Involved shards: shard(src) always (out-adjacency); shard(dst) when a
+  // mirror or symmetric reverse edge will land there. Computed without any
+  // lock — shardOf clamps arbitrary ids, and the universe size is only
+  // read once a shard lock pins it.
+  const bool NeedDst = Symmetric || MirrorsIn;
+  std::vector<int> Touched;
+  Touched.reserve(Apply->size() * (NeedDst ? 2 : 1));
+  for (const EdgeUpdate &U : *Apply) {
+    Touched.push_back(shardOf(U.Src));
+    if (NeedDst)
+      Touched.push_back(shardOf(U.Dst));
+  }
+  std::sort(Touched.begin(), Touched.end());
+  Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
+
+  // Lock involved shards in ascending order (deadlock-free total order),
+  // held through the publish so versions of one shard can never regress.
+  for (int S : Touched)
+    Shards[static_cast<size_t>(S)]->Mu.lock();
+
+  // Shards whose overlay actually changed: the version-vector contract is
+  // "bump exactly when that shard changed", so a locked shard that only
+  // saw no-ops (same-weight upserts, deletes of missing edges, malformed
+  // writes) is neither re-snapshotted nor bumped.
+  std::vector<int> Dirty;
+  std::vector<AppliedUpdate> Applied;
+  bool Trigger = false;
+  if (!Touched.empty()) {
+    const Count N =
+        Shards[static_cast<size_t>(Touched.front())]->Writer.numNodes();
+    Applied.reserve(Apply->size() * (Symmetric ? 2 : 1));
+    for (const EdgeUpdate &U : *Apply) {
+      if (!DeltaGraph::validUpdate(U, N))
+        continue; // malformed write: skip, don't take the store down
+      DeltaGraph &SrcW = Shards[static_cast<size_t>(shardOf(U.Src))]->Writer;
+      AppliedUpdate A = SrcW.applyShardOut(U.Src, U.Dst, U.W, U.Kind);
+      if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge) {
+        Applied.push_back(A);
+        Dirty.push_back(shardOf(U.Src));
+        if (MirrorsIn) {
+          Shards[static_cast<size_t>(shardOf(U.Dst))]
+              ->Writer.applyShardInMirror(U.Src, U.Dst, U.W, U.Kind);
+          Dirty.push_back(shardOf(U.Dst));
+        }
+      }
+      if (Symmetric) {
+        DeltaGraph &DstW =
+            Shards[static_cast<size_t>(shardOf(U.Dst))]->Writer;
+        AppliedUpdate B = DstW.applyShardOut(U.Dst, U.Src, U.W, U.Kind);
+        if (B.OldW != kAbsentEdge || B.NewW != kAbsentEdge) {
+          Applied.push_back(B);
+          Dirty.push_back(shardOf(U.Dst));
+        }
+      }
+    }
+    std::sort(Dirty.begin(), Dirty.end());
+    Dirty.erase(std::unique(Dirty.begin(), Dirty.end()), Dirty.end());
+    // Per-shard compaction triggers, measured against the shard's slice
+    // of the shared base.
+    const Count BaseSlice =
+        Shards[static_cast<size_t>(Touched.front())]->Writer.base().numEdges() /
+        static_cast<Count>(Shards.size());
+    for (int S : Dirty) {
+      const Count Overlay =
+          Shards[static_cast<size_t>(S)]->Writer.overlayEdges();
+      if (Overlay >= Opts.MinOverlayEdges &&
+          static_cast<double>(Overlay) >
+              Opts.CompactionThreshold * static_cast<double>(BaseSlice))
+        Trigger = true;
+    }
+  }
+
+  ApplyResult R =
+      publishLocked(Dirty, coalesceApplied(std::move(Applied)), Trigger);
+
+  for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
+    Shards[static_cast<size_t>(*It)]->Mu.unlock();
+
+  if (R.CompactionTriggered)
+    compactAll();
+  return R;
+}
+
+VertexId ShardedSnapshotStore::addVertices(Count HowMany,
+                                           const Coordinates *TailCoords) {
+  // Universe growth is store-wide state: every shard's overlay must agree
+  // on the node count (range checks, coordinate extents), so insertion
+  // takes every shard lock. It is the rare, heavyweight operation of the
+  // write path — edge batches on disjoint shards stay concurrent.
+  for (auto &S : Shards)
+    S->Mu.lock();
+  VertexId First = static_cast<VertexId>(Shards.front()->Writer.numNodes());
+  if (HowMany > 0) {
+    const Count GrowTo = static_cast<Count>(First) + HowMany;
+    for (auto &S : Shards)
+      S->Writer.growUniverse(GrowTo, TailCoords);
+    std::vector<int> All(Shards.size());
+    for (size_t I = 0; I < Shards.size(); ++I)
+      All[I] = static_cast<int>(I);
+    publishLocked(All, {}, false);
+  }
+  for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
+    (*It)->Mu.unlock();
+  return First;
+}
+
+void ShardedSnapshotStore::compactAll() {
+  // One global compaction at a time; a trigger that fires while another
+  // compaction is pending was already absorbed by the CompactionPending
+  // flag in publishLocked.
+  std::lock_guard<std::mutex> CompactGuard(CompactMu);
+  for (auto &S : Shards)
+    S->Mu.lock();
+
+  // Fold every shard's overlay into a fresh shared base. The expensive
+  // O(V + E) rebuild runs under the shard locks — the sharded store
+  // trades the unsharded store's background-compaction machinery for
+  // per-shard write concurrency the rest of the time.
+  std::vector<std::shared_ptr<const DeltaGraph>> Raw;
+  Raw.reserve(Shards.size());
+  for (auto &S : Shards)
+    Raw.push_back(std::make_shared<const DeltaGraph>(S->Writer));
+  ShardedDeltaView Whole(std::move(Raw), Shift);
+  auto NewBase = std::make_shared<const Graph>(Whole.compact());
+  for (auto &S : Shards)
+    S->Writer = DeltaGraph(NewBase);
+
+  {
+    std::lock_guard<std::mutex> Lock(ReadMu);
+    ++Compactions;
+    CompactionPending = false;
+  }
+  std::vector<int> All(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I)
+    All[I] = static_cast<int>(I);
+  publishLocked(All, {}, false);
+
+  for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
+    (*It)->Mu.unlock();
 }

@@ -26,8 +26,18 @@
 ///    the intervening batches are replayed onto the new base before it is
 ///    published. Old versions stay alive until their last reader unpins.
 ///
-/// The vertex universe is fixed (pooled query states are sized once);
-/// updates are edge-level.
+/// The vertex universe *grows*: `addVertices` appends fresh ids at the
+/// tail (DeltaGraph's appendable tail region) and publishes the grown
+/// universe as the next version; pooled query states resize lazily
+/// (`DistanceState::resize`). Under a reordered layout, tail ids map to
+/// themselves in both id spaces (VertexMapping's identity tail).
+///
+/// `ShardedSnapshotStore` (below) is the scale-out variant: the update
+/// stream is partitioned by vertex-range shard, each shard with its own
+/// writer mutex, patch overlay, and compaction trigger, so writers on
+/// distinct shards only contend on the final (cheap) composite publish.
+/// Readers pin one `ShardedDeltaView` — a consistent cross-shard version
+/// vector — and run the templated engines directly over it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -119,6 +129,18 @@ public:
   /// callers; concurrent readers keep their pinned versions.
   ApplyResult applyUpdates(const std::vector<EdgeUpdate> &Batch);
 
+  /// Grows the vertex universe by \p HowMany fresh vertices and publishes
+  /// the next version. \returns the first new id — ids are contiguous and
+  /// identical in external and internal space (the tail sits past any
+  /// reorder permutation). New vertices start with empty adjacency; on
+  /// coordinate-bearing graphs \p TailCoords may supply one (X, Y) per
+  /// new vertex (see DeltaGraph::growUniverse for the A* contract).
+  VertexId addVertices(Count HowMany,
+                       const Coordinates *TailCoords = nullptr);
+
+  /// Vertex universe of the latest published version. Thread-safe.
+  Count numNodes() const;
+
   /// Compactions performed so far.
   uint64_t compactions() const;
 
@@ -142,9 +164,127 @@ private:
   uint64_t Compactions = 0;
   bool CompactionRunning = false;
   std::thread Compactor;
-  /// Batches applied while a background compaction runs; replayed onto
-  /// the rebuilt base before it replaces the writer overlay.
-  std::vector<std::vector<EdgeUpdate>> Replay;
+  /// One writer-side operation recorded while a background compaction
+  /// runs, replayed onto the rebuilt base before it replaces the writer
+  /// overlay. Either an edge batch or a universe growth — growth must
+  /// replay too, or batches referencing the new ids would be range-
+  /// rejected against the pre-growth rebuild.
+  struct ReplayOp {
+    std::vector<EdgeUpdate> Batch;
+    Count GrowTo = 0; ///< 0 = edge batch; else grow universe to this size
+    std::shared_ptr<const Coordinates> TailCoords;
+  };
+  std::vector<ReplayOp> Replay;
+};
+
+/// Scale-out snapshot store: the vertex universe is partitioned into
+/// contiguous ranges (one per shard; see ShardedDeltaView::shiftFor), and
+/// each shard owns a private `DeltaGraph` overlay over the shared base
+/// CSR plus its own writer mutex and compaction counter. A batch locks
+/// only the shards its endpoints touch — the directed edge (u, v) patches
+/// shard(u)'s out-adjacency and shard(v)'s in-adjacency (on symmetric
+/// graphs, the reverse edge is shard(v)'s own out-edge) — so writers on
+/// disjoint shard sets apply concurrently and only serialize on the final
+/// composite pointer swap.
+///
+/// Readers pin a `ShardedDeltaView` snapshot carrying the cross-shard
+/// version vector: per-shard versions bump exactly when that shard's
+/// overlay changed, the global version on every publish, and a pinned
+/// composite is immutable — so two pins can be compared component-wise
+/// (monotone, never torn; the concurrency stress test asserts this).
+///
+/// Compaction: each shard trips its own trigger, but folding patches back
+/// into the shared base is a store-wide rebuild (every shard's unpatched
+/// vertices read the base by row offset), so a tripped trigger schedules
+/// one *global* compaction — all shard locks, one O(V + E) rebuild, every
+/// overlay cleared. Batch-level semantics (applied-update coalescing,
+/// malformed-write skipping, vertex insertion) are bit-compatible with
+/// `SnapshotStore`; the stress harness differentially asserts it.
+class ShardedSnapshotStore {
+public:
+  using Snapshot = std::shared_ptr<const ShardedDeltaView>;
+
+  struct Options {
+    Options() {} // usable as a `{}` default argument under GCC 12
+    /// Vertex-range shards (writer concurrency). Clamped to >= 1.
+    int NumShards = 8;
+    /// Per-shard compaction trigger, measured against the shard's slice
+    /// of the base edges (see SnapshotStore::Options).
+    double CompactionThreshold = 0.10;
+    Count MinOverlayEdges = 1 << 12;
+    /// Cache-conscious layout, as in SnapshotStore::Options.
+    ReorderKind Reorder = ReorderKind::None;
+    VertexId ReorderSourceHint = 0;
+  };
+
+  struct ApplyResult {
+    uint64_t Version = 0;
+    /// Batch-coalesced directed transitions, byte-identical to what the
+    /// unsharded store returns for the same batch (internal id space).
+    std::vector<AppliedUpdate> Applied;
+    Snapshot Snap;
+    bool CompactionTriggered = false;
+  };
+
+  explicit ShardedSnapshotStore(Graph Base, Options Opts = {});
+
+  ShardedSnapshotStore(const ShardedSnapshotStore &) = delete;
+  ShardedSnapshotStore &operator=(const ShardedSnapshotStore &) = delete;
+
+  Snapshot current() const;
+  std::pair<Snapshot, uint64_t> currentVersioned() const;
+  uint64_t version() const;
+  Count numNodes() const;
+  const VertexMapping &mapping() const { return Map; }
+
+  /// Applies \p Batch and publishes the next version. Callers whose
+  /// batches touch disjoint shard sets run concurrently.
+  ApplyResult applyUpdates(const std::vector<EdgeUpdate> &Batch);
+
+  /// Grows the universe (all shards in lockstep; tail ids clamp into the
+  /// last shard) and publishes. See SnapshotStore::addVertices.
+  VertexId addVertices(Count HowMany,
+                       const Coordinates *TailCoords = nullptr);
+
+  uint64_t compactions() const;
+  int numShards() const { return static_cast<int>(Shards.size()); }
+  /// The shard owning vertex \p V (internal id space).
+  int shardOf(VertexId V) const;
+  /// Vertices per shard (power-of-two span; the last shard also owns the
+  /// remainder and any inserted tail).
+  Count shardSpan() const { return Count{1} << Shift; }
+
+private:
+  struct Shard {
+    std::mutex Mu;
+    DeltaGraph Writer;
+    uint64_t DirtySince = 0; ///< diagnostic: last version this shard changed
+  };
+
+  /// Publishes a new composite from the current shard writers. Caller
+  /// holds the Mu of every shard in \p Touched (sorted); bumps their
+  /// shard versions and the global version.
+  ApplyResult publishLocked(const std::vector<int> &Touched,
+                            std::vector<AppliedUpdate> Applied,
+                            bool CompactionTriggered);
+  /// Global compaction: folds every overlay into a fresh base. Takes all
+  /// shard locks itself.
+  void compactAll();
+
+  mutable std::mutex ReadMu; ///< guards Cur
+  Snapshot Cur;
+  std::vector<uint64_t> ShardVersions; ///< guarded by ReadMu
+  uint64_t Version = 0;                ///< guarded by ReadMu
+  VertexMapping Map;                   ///< immutable after construction
+
+  Options Opts;
+  int Shift = 0;
+  bool Symmetric = false;
+  bool MirrorsIn = false; ///< directed base carrying incoming adjacency
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::mutex CompactMu;          ///< serializes global compactions
+  bool CompactionPending = false; ///< guarded by ReadMu
+  uint64_t Compactions = 0;       ///< guarded by ReadMu
 };
 
 } // namespace service

@@ -21,6 +21,7 @@
 
 #include "algorithms/QueryState.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -71,20 +72,39 @@ public:
     std::unique_ptr<DistanceState> State;
   };
 
-  /// Leases a state, building one if the free list is empty.
+  /// Leases a state, building one if the free list is empty. Pooled
+  /// states may predate a `grow()` — they are resized on the way out, so
+  /// every lease is sized for the current universe.
   Lease acquire() {
+    Count WantNodes;
+    std::unique_ptr<DistanceState> S;
     {
       std::lock_guard<std::mutex> Guard(Mu);
+      WantNodes = NumNodes;
       if (!Free.empty()) {
-        std::unique_ptr<DistanceState> S = std::move(Free.back());
+        S = std::move(Free.back());
         Free.pop_back();
-        return Lease(this, std::move(S));
+      } else {
+        ++Created;
       }
-      ++Created;
     }
-    // Construction happens outside the lock: the arrays are |V|-sized.
+    // Construction and post-grow resizing happen outside the lock: the
+    // arrays are |V|-sized.
+    if (S) {
+      S->resize(WantNodes);
+      return Lease(this, std::move(S));
+    }
     return Lease(this,
-                 std::make_unique<DistanceState>(NumNodes, TrackParents));
+                 std::make_unique<DistanceState>(WantNodes, TrackParents));
+  }
+
+  /// Live-graph vertex insertion grew the universe: states leased from
+  /// now on cover \p NewNumNodes vertices. Already-leased states are the
+  /// holder's responsibility (`DistanceState::resize` is cheap and
+  /// grow-only). Never shrinks.
+  void grow(Count NewNumNodes) {
+    std::lock_guard<std::mutex> Guard(Mu);
+    NumNodes = std::max(NumNodes, NewNumNodes);
   }
 
   /// States currently sitting in the free list.

@@ -1,0 +1,235 @@
+//===- tests/live_stress_test.cpp - Randomized differential stress -------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The randomized differential harness over the live-serving stack (see
+// tests/stress_harness.h): seeded mixed update streams — edge batches,
+// vertex insertion, malformed writes, duplicate-heavy batches — driven
+// into the unsharded store, the sharded store, and a reference overlay,
+// with bit-identity asserted across {ordering x schedule} points, repair
+// vs recompute, and the QueryEngine's hot-source cache vs a cache-less
+// engine. Deterministic from the printed seed (GRAPHIT_STRESS_SEED /
+// GRAPHIT_STRESS_ROUNDS override; the CI stress job runs these binaries
+// with a random seed and a larger budget).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress_harness.h"
+
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "service/QueryEngine.h"
+#include "service/SnapshotStore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace graphit;
+using namespace graphit::service;
+using namespace graphit::stress;
+
+namespace {
+
+void runConfig(StressConfig C) {
+  std::string Banner = applyStressEnv(C);
+  std::printf("%s\n", Banner.c_str());
+  std::string Failure = runLiveStress(C);
+  ASSERT_TRUE(Failure.empty()) << Failure;
+}
+
+} // namespace
+
+TEST(LiveStress, RoadIdentityLayouts) {
+  StressConfig C;
+  C.Seed = 0x51C4D5;
+  runConfig(C);
+}
+
+TEST(LiveStress, RoadPermutedPlainStore) {
+  StressConfig C;
+  C.Seed = 0xBEEF01;
+  C.PlainReorder = ReorderKind::Bfs;
+  runConfig(C);
+}
+
+TEST(LiveStress, RoadPermutedShardedStore) {
+  StressConfig C;
+  C.Seed = 0xBEEF02;
+  C.ShardedReorder = ReorderKind::Degree;
+  C.NumShards = 7; // non-power-of-two shard count
+  runConfig(C);
+}
+
+TEST(LiveStress, RoadBothPermutedRandomAdversarial) {
+  StressConfig C;
+  C.Seed = 0xBEEF03;
+  C.PlainReorder = ReorderKind::Random;
+  C.ShardedReorder = ReorderKind::Random;
+  C.NumShards = 3;
+  runConfig(C);
+}
+
+TEST(LiveStress, DirectedRmat) {
+  StressConfig C;
+  C.Seed = 0xD17EC7;
+  C.Symmetric = false;
+  runConfig(C);
+}
+
+TEST(LiveStress, DirectedRmatPermutedSharded) {
+  StressConfig C;
+  C.Seed = 0xD17EC8;
+  C.Symmetric = false;
+  C.ShardedReorder = ReorderKind::Push;
+  C.NumShards = 5;
+  runConfig(C);
+}
+
+TEST(LiveStress, SingleShardDegeneratesToUnsharded) {
+  StressConfig C;
+  C.Seed = 0x0E0F11;
+  C.NumShards = 1;
+  runConfig(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Hot-source cache differential: an engine repairing hot states across
+// versions must answer every query bit-identically to a cache-less
+// engine over the same store history.
+//===----------------------------------------------------------------------===//
+
+TEST(LiveStress, HotStateRepairMatchesRecomputeServing) {
+  StressConfig C;
+  C.Seed = 0x407CAFE;
+  std::string Banner = applyStressEnv(C);
+  std::printf("%s\n", Banner.c_str());
+
+  RoadNetwork Net = roadGrid(26, 26, 4242);
+  BuildOptions BO;
+  BO.Symmetrize = true;
+  Graph Base =
+      GraphBuilder(BO).build(Net.NumNodes, Net.Edges, std::move(Net.Coords));
+
+  SnapshotStore HotStore(Base);
+  SnapshotStore ColdStore(Base);
+  DeltaGraph Ref(std::make_shared<const Graph>(Base));
+
+  QueryEngine::Options HotOpts;
+  HotOpts.NumWorkers = 2;
+  HotOpts.DefaultSchedule.configApplyPriorityUpdateDelta(1024);
+  HotOpts.HotSourceCapacity = 3;
+  QueryEngine HotEngine(HotStore, HotOpts);
+
+  QueryEngine::Options ColdOpts = HotOpts;
+  ColdOpts.HotSourceCapacity = 0;
+  QueryEngine ColdEngine(ColdStore, ColdOpts);
+
+  SplitMix64 Rng(C.Seed);
+  // Repeat sources (the serving common case) plus a rotating cold one.
+  const VertexId Depots[2] = {0, 137};
+
+  for (int Round = 0; Round < C.Rounds; ++Round) {
+    std::vector<Query> Batch;
+    for (VertexId Depot : Depots) {
+      Query Q;
+      Q.Kind = QueryKind::SSSP;
+      Q.Source = Depot;
+      Q.CollectReached = true;
+      Batch.push_back(Q);
+      Query P;
+      P.Kind = QueryKind::PPSP;
+      P.Source = Depot;
+      P.Target = static_cast<VertexId>(Rng.nextInt(0, Ref.numNodes()));
+      Batch.push_back(P);
+    }
+    Query Cold;
+    Cold.Kind = QueryKind::SSSP;
+    Cold.Source = static_cast<VertexId>(Rng.nextInt(0, Ref.numNodes()));
+    Cold.CollectReached = true;
+    Batch.push_back(Cold);
+
+    std::vector<QueryResult> Hot = HotEngine.runBatch(Batch);
+    std::vector<QueryResult> Want = ColdEngine.runBatch(Batch);
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      ASSERT_FALSE(Hot[I].Failed) << "round " << Round << " query " << I;
+      ASSERT_EQ(Hot[I].Dist, Want[I].Dist)
+          << "round " << Round << " query " << I << " (seed 0x" << std::hex
+          << C.Seed << ")";
+      ASSERT_EQ(Hot[I].Reached, Want[I].Reached)
+          << "round " << Round << " query " << I << " (seed 0x" << std::hex
+          << C.Seed << ")";
+      // Touched counts are comparable for SSSP only (a hot-served PPSP
+      // reports the full solution's reach, a cold one its early exit).
+      if (Batch[I].Kind == QueryKind::SSSP)
+        ASSERT_EQ(Hot[I].Touched, Want[I].Touched)
+            << "round " << Round << " query " << I;
+    }
+
+    std::vector<EdgeUpdate> Updates = randomBatch(Ref, 32, Rng);
+    Ref.apply(Updates);
+    HotEngine.applyUpdates(Updates);
+    ColdEngine.applyUpdates(Updates);
+  }
+
+  // The depots must actually have been served hot and repaired, or this
+  // test silently degenerated to recompute-vs-recompute.
+  EXPECT_GT(HotEngine.hotHits(), 0u);
+  EXPECT_GT(HotEngine.hotRepairs(), 0u);
+  EXPECT_LE(HotEngine.hotStatesCached(), 3u);
+}
+
+TEST(LiveStress, HotStateAStarOnIncreaseOnlyStream) {
+  // Increase-only updates (deletes + weight doublings) keep the
+  // coordinate heuristic admissible, so A* answers must equal PPSP and
+  // both must match the hot-served distances across versions.
+  RoadNetwork Net = roadGrid(20, 20, 99);
+  BuildOptions BO;
+  BO.Symmetrize = true;
+  Graph Base =
+      GraphBuilder(BO).build(Net.NumNodes, Net.Edges, std::move(Net.Coords));
+  SnapshotStore Store(Base);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  Opts.DefaultSchedule.configApplyPriorityUpdateDelta(1024);
+  Opts.HotSourceCapacity = 2;
+  QueryEngine Engine(Store, Opts);
+
+  SplitMix64 Rng(0xA57A);
+  for (int Round = 0; Round < 5; ++Round) {
+    const VertexId Depot = 7;
+    VertexId Target = static_cast<VertexId>(Rng.nextInt(0, Base.numNodes()));
+    Query A;
+    A.Kind = QueryKind::AStar;
+    A.Source = Depot;
+    A.Target = Target;
+    Query P = A;
+    P.Kind = QueryKind::PPSP;
+    Query S = A;
+    S.Kind = QueryKind::SSSP;
+    std::vector<QueryResult> R = Engine.runBatch({S, A, P});
+    ASSERT_EQ(R[0].Dist, R[2].Dist) << "round " << Round;
+    ASSERT_EQ(R[1].Dist, R[2].Dist) << "round " << Round;
+
+    // Increase-only batch against the current snapshot.
+    std::vector<EdgeUpdate> Batch;
+    SnapshotStore::Snapshot Snap = Store.current();
+    for (int I = 0; I < 16; ++I) {
+      VertexId U = static_cast<VertexId>(Rng.nextInt(0, Base.numNodes()));
+      auto Range = Snap->outNeighbors(U);
+      if (Range.size() == 0)
+        continue;
+      WNode E = *Range.begin();
+      if (I % 4 == 0)
+        Batch.push_back(EdgeUpdate{U, E.V, 0, UpdateKind::Delete});
+      else
+        Batch.push_back(EdgeUpdate{
+            U, E.V, static_cast<Weight>(E.W * 2), UpdateKind::Upsert});
+    }
+    Engine.applyUpdates(Batch);
+  }
+  EXPECT_GT(Engine.hotHits(), 0u);
+}

@@ -7,6 +7,8 @@
 
 #include "service/QueryEngine.h"
 
+#include "stress_harness.h"
+
 #include "algorithms/AStar.h"
 #include "algorithms/Dijkstra.h"
 #include "algorithms/PPSP.h"
@@ -24,6 +26,10 @@
 
 using namespace graphit;
 using namespace graphit::service;
+// Shared fuzz generators (tests/stress_harness.h): every suite draws
+// update batches from the same canonical space.
+using graphit::stress::coordinateSafeInsertBatch;
+using graphit::stress::randomBatch;
 
 namespace {
 
@@ -491,17 +497,11 @@ TEST(QueryEngineLive, PermutedStoreMixedBatchRoundTrips) {
 
   SplitMix64 Rng(4242);
   for (int Round = 0; Round < 4; ++Round) {
-    // External-id update batch applied to both stores.
-    std::vector<EdgeUpdate> Batch;
-    for (int U = 0; U < 20; ++U) {
-      VertexId A = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
-      VertexId B = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
-      if (A == B)
-        continue;
-      Batch.push_back(EdgeUpdate{
-          A, B, static_cast<Weight>(Rng.nextInt(50, 500)),
-          Rng.nextInt(0, 4) == 0 ? UpdateKind::Delete : UpdateKind::Upsert});
-    }
+    // External-id update batch applied to both stores, drawn from the
+    // canonical fuzz space against the identity-layout store's view (the
+    // permuted store's view lives in internal ids).
+    std::vector<EdgeUpdate> Batch =
+        randomBatch(*PlainStore.current(), 20, Rng);
     Reference.applyUpdates(Batch);
     Engine.applyUpdates(Batch);
 
@@ -648,19 +648,11 @@ TEST(QueryEngineLive, LandmarksRebuildOnCompaction) {
   uint64_t Before = Store.compactions();
   for (int Round = 0; Round < 50 && Store.compactions() == Before;
        ++Round) {
-    std::vector<EdgeUpdate> Batch;
-    for (int I = 0; I < 64; ++I) {
-      VertexId A = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
-      VertexId B = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
-      // Inserted weights must respect the generator's w >= 100 x Euclidean
-      // invariant (algorithms/AStar.h) or the coordinate heuristic itself
-      // becomes inadmissible: 100 x the grid diagonal is a safe floor.
-      if (A != B)
-        Batch.push_back(EdgeUpdate{
-            A, B, static_cast<Weight>(Rng.nextInt(4000, 5000)),
-            UpdateKind::Upsert});
-    }
-    Engine.applyUpdates(Batch);
+    // Inserted weights must respect the generator's w >= 100 x Euclidean
+    // invariant (algorithms/AStar.h) or the coordinate heuristic itself
+    // becomes inadmissible; the shared generator floors every weight at
+    // 100 x the coordinate-bounding-box diagonal.
+    Engine.applyUpdates(coordinateSafeInsertBatch(G, 64, Rng));
   }
   ASSERT_GT(Store.compactions(), Before);
   // The engine notices the compaction on the next batch through it.

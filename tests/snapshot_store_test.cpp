@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "stress_harness.h"
+
 #include "algorithms/IncrementalSSSP.h"
 #include "algorithms/SSSP.h"
 #include "graph/Builder.h"
@@ -32,6 +34,7 @@
 
 using namespace graphit;
 using namespace graphit::service;
+using graphit::stress::randomBatch; // the one canonical update space
 
 namespace {
 
@@ -62,48 +65,6 @@ template <typename GraphT> int64_t ssspChecksum(const GraphT &G) {
   Schedule S;
   S.configApplyPriorityUpdateDelta(1024);
   return checksum(deltaSteppingSSSP(G, 0, S).Dist);
-}
-
-/// Random small update batch against the current view: deletes, weight
-/// doublings/halvings of existing edges, and insertions of fresh edges.
-std::vector<EdgeUpdate> randomBatch(const DeltaGraph &G, Count HowMany,
-                                    SplitMix64 &Rng) {
-  std::vector<EdgeUpdate> Batch;
-  const Count N = G.numNodes();
-  while (static_cast<Count>(Batch.size()) < HowMany) {
-    VertexId U = static_cast<VertexId>(Rng.nextInt(0, N));
-    int Action = static_cast<int>(Rng.nextInt(0, 4));
-    if (Action == 3) {
-      VertexId V = static_cast<VertexId>(Rng.nextInt(0, N));
-      if (U == V)
-        continue;
-      Batch.push_back(EdgeUpdate{
-          U, V, static_cast<Weight>(Rng.nextInt(1, 400)),
-          UpdateKind::Upsert});
-      continue;
-    }
-    Count Deg = G.outDegree(U);
-    if (Deg == 0)
-      continue;
-    Count Pick = Rng.nextInt(0, Deg);
-    Count I = 0;
-    for (WNode E : G.outNeighbors(U)) {
-      if (I++ != Pick)
-        continue;
-      if (Action == 0)
-        Batch.push_back(EdgeUpdate{U, E.V, 0, UpdateKind::Delete});
-      else if (Action == 1)
-        Batch.push_back(EdgeUpdate{U, E.V,
-                                   static_cast<Weight>(E.W * 2),
-                                   UpdateKind::Upsert});
-      else
-        Batch.push_back(EdgeUpdate{
-            U, E.V, static_cast<Weight>(std::max<Weight>(1, E.W / 2)),
-            UpdateKind::Upsert});
-      break;
-    }
-  }
-  return Batch;
 }
 
 /// Drives `repairAfterUpdates` against a full recompute over a sequence of

@@ -1,0 +1,291 @@
+//===- tests/stress_harness.cpp - Shared randomized stress harness --------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress_harness.h"
+
+#include "algorithms/IncrementalSSSP.h"
+#include "algorithms/PPSP.h"
+#include "algorithms/SSSP.h"
+#include "graph/Builder.h"
+#include "graph/Generators.h"
+#include "service/SnapshotStore.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace graphit;
+using namespace graphit::service;
+using namespace graphit::stress;
+
+namespace {
+
+Graph makeBase(const StressConfig &C) {
+  if (C.Symmetric) {
+    RoadNetwork Net = roadGrid(C.GridSide, C.GridSide, 4242);
+    BuildOptions O;
+    O.Symmetrize = true;
+    return GraphBuilder(O).build(Net.NumNodes, Net.Edges,
+                                 std::move(Net.Coords));
+  }
+  std::vector<Edge> Edges = rmatEdges(C.RmatScale, 8, 321);
+  assignRandomWeights(Edges, 1, 64, 11);
+  return GraphBuilder().build(Count{1} << C.RmatScale, Edges);
+}
+
+std::vector<AppliedUpdate> toExternal(std::vector<AppliedUpdate> A,
+                                      const VertexMapping &M) {
+  for (AppliedUpdate &U : A) {
+    U.Src = M.toExternal(U.Src);
+    U.Dst = M.toExternal(U.Dst);
+  }
+  return A;
+}
+
+std::string describe(const AppliedUpdate &U) {
+  std::ostringstream Os;
+  Os << U.Src << "->" << U.Dst << " (" << U.OldW << " => " << U.NewW << ")";
+  return Os.str();
+}
+
+} // namespace
+
+std::string graphit::stress::applyStressEnv(StressConfig &C) {
+  if (const char *S = std::getenv("GRAPHIT_STRESS_SEED"))
+    C.Seed = std::strtoull(S, nullptr, 0);
+  if (const char *R = std::getenv("GRAPHIT_STRESS_ROUNDS"))
+    C.Rounds = std::max(1, std::atoi(R));
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "stress config: seed=0x%llx rounds=%d batch=%lld shards=%d "
+                "%s insert=%d",
+                static_cast<unsigned long long>(C.Seed), C.Rounds,
+                static_cast<long long>(C.BatchSize), C.NumShards,
+                C.Symmetric ? "road" : "rmat", C.InsertVertices ? 1 : 0);
+  return Buf;
+}
+
+std::string graphit::stress::runLiveStress(const StressConfig &C) {
+  // Everything below is deterministic in C.Seed; any failure string leads
+  // with the seed so the exact stream replays.
+  std::ostringstream Fail;
+  auto Tag = [&](int Round) -> std::ostringstream & {
+    Fail << "[seed=0x" << std::hex << C.Seed << std::dec << " round="
+         << Round << "] ";
+    return Fail;
+  };
+
+  Graph Base = makeBase(C);
+  const bool HasCoords = Base.hasCoordinates();
+
+  SnapshotStore::Options PO;
+  PO.Reorder = C.PlainReorder;
+  PO.CompactionThreshold = 0.06;
+  PO.MinOverlayEdges = 256;
+  SnapshotStore Plain(Base, PO);
+
+  ShardedSnapshotStore::Options SO;
+  SO.NumShards = C.NumShards;
+  SO.Reorder = C.ShardedReorder;
+  SO.CompactionThreshold = 0.06;
+  SO.MinOverlayEdges = 64;
+  ShardedSnapshotStore Sharded(Base, SO);
+
+  // Identity-layout reference overlay: batches are generated from it (so
+  // they are external-id batches), and it receives every operation the
+  // stores do.
+  DeltaGraph Ref(std::make_shared<const Graph>(Base));
+
+  Schedule Eager;
+  Eager.configApplyPriorityUpdateDelta(1024);
+  Schedule Lazy;
+  Lazy.configApplyPriorityUpdate("lazy").configApplyPriorityUpdateDelta(1024);
+  Schedule Fine;
+  Fine.configApplyPriorityUpdateDelta(4);
+  const Schedule *Schedules[] = {&Eager, &Lazy, &Fine};
+  const char *SchedNames[] = {"eager/1024", "lazy/1024", "eager/4"};
+
+  // Hot dispatcher state repaired across every version (external source
+  // 0), checked bit-for-bit against a fresh recompute each round.
+  const VertexId RepairSrcExt = 0;
+  DistanceState Repaired(Plain.current()->numNodes());
+  deltaSteppingSSSP(*Plain.current(),
+                    Plain.mapping().toInternal(RepairSrcExt), Eager,
+                    Repaired);
+  RepairScratch Scratch;
+
+  SplitMix64 Rng(C.Seed);
+
+  for (int Round = 0; Round < C.Rounds; ++Round) {
+    const bool InsertRound =
+        C.InsertVertices && Round % 3 == 2 && Ref.numNodes() >= 2;
+
+    std::vector<EdgeUpdate> Batch;
+    if (InsertRound) {
+      // Grow the universe by two anchored vertices, then wire each to its
+      // anchor. Anchor-copied coordinates keep the Euclidean bound exact
+      // (distance 0 between the endpoints of every new edge).
+      const Count K = 2;
+      const Count OldN = Ref.numNodes();
+      Coordinates Tail;
+      std::vector<VertexId> Anchors;
+      for (Count I = 0; I < K; ++I) {
+        VertexId A = static_cast<VertexId>(Rng.nextInt(0, OldN));
+        Anchors.push_back(A);
+        if (HasCoords) {
+          Tail.X.push_back(Ref.coordinates().X[A]);
+          Tail.Y.push_back(Ref.coordinates().Y[A]);
+        }
+      }
+      const Coordinates *TailPtr = HasCoords ? &Tail : nullptr;
+      VertexId FirstP = Plain.addVertices(K, TailPtr);
+      VertexId FirstS = Sharded.addVertices(K, TailPtr);
+      Ref.growUniverse(OldN + K, TailPtr);
+      if (FirstP != static_cast<VertexId>(OldN) ||
+          FirstS != static_cast<VertexId>(OldN)) {
+        Tag(Round) << "vertex insertion ids diverge: plain=" << FirstP
+                   << " sharded=" << FirstS << " want=" << OldN;
+        return Fail.str();
+      }
+      Repaired.resize(Ref.numNodes()); // growth alone changes no distance
+      for (Count I = 0; I < K; ++I) {
+        VertexId NewV = static_cast<VertexId>(OldN + I);
+        Weight W =
+            static_cast<Weight>(Rng.nextInt(kMinWeight, kMaxWeight));
+        Batch.push_back(EdgeUpdate{Anchors[static_cast<size_t>(I)], NewV,
+                                   W, UpdateKind::Upsert});
+        Batch.push_back(EdgeUpdate{NewV, Anchors[static_cast<size_t>(I)],
+                                   W, UpdateKind::Upsert});
+      }
+    } else {
+      Batch = randomBatch(Ref, C.BatchSize, Rng);
+      // Coalescing stress: duplicate an entry so one directed edge sees
+      // several transitions inside a single batch.
+      if (!Batch.empty() && Rng.nextInt(0, 2) == 0)
+        Batch.push_back(
+            Batch[static_cast<size_t>(Rng.nextInt(0, Batch.size()))]);
+      // Malformed writes: every store must skip them identically.
+      if (Rng.nextInt(0, 3) == 0) {
+        Batch.push_back(EdgeUpdate{
+            static_cast<VertexId>(Ref.numNodes() + 5), 0, 7,
+            UpdateKind::Upsert});
+        Batch.push_back(EdgeUpdate{1, 1, 3, UpdateKind::Upsert});
+        Batch.push_back(EdgeUpdate{0, 2, -4, UpdateKind::Upsert});
+      }
+    }
+
+    SnapshotStore::ApplyResult PA = Plain.applyUpdates(Batch);
+    ShardedSnapshotStore::ApplyResult SA = Sharded.applyUpdates(Batch);
+    std::vector<AppliedUpdate> RefApplied = coalesceApplied(Ref.apply(Batch));
+
+    // --- Applied-transition differential (external id space) ------------
+    std::vector<AppliedUpdate> PExt =
+        toExternal(PA.Applied, Plain.mapping());
+    std::vector<AppliedUpdate> SExt =
+        toExternal(SA.Applied, Sharded.mapping());
+    if (PExt.size() != SExt.size() || PExt.size() != RefApplied.size()) {
+      Tag(Round) << "applied-stream sizes diverge: plain=" << PExt.size()
+                 << " sharded=" << SExt.size()
+                 << " reference=" << RefApplied.size();
+      return Fail.str();
+    }
+    for (size_t I = 0; I < PExt.size(); ++I) {
+      auto Same = [](const AppliedUpdate &A, const AppliedUpdate &B) {
+        return A.Src == B.Src && A.Dst == B.Dst && A.OldW == B.OldW &&
+               A.NewW == B.NewW;
+      };
+      if (!Same(PExt[I], RefApplied[I]) || !Same(SExt[I], RefApplied[I])) {
+        Tag(Round) << "applied record " << I
+                   << " diverges: plain=" << describe(PExt[I])
+                   << " sharded=" << describe(SExt[I])
+                   << " reference=" << describe(RefApplied[I]);
+        return Fail.str();
+      }
+    }
+
+    // --- Structural invariants ------------------------------------------
+    if (PA.Snap->numNodes() != Ref.numNodes() ||
+        SA.Snap->numNodes() != Ref.numNodes() ||
+        PA.Snap->numEdges() != Ref.numEdges() ||
+        SA.Snap->numEdges() != Ref.numEdges()) {
+      Tag(Round) << "node/edge counts diverge: plain=" << PA.Snap->numNodes()
+                 << "/" << PA.Snap->numEdges()
+                 << " sharded=" << SA.Snap->numNodes() << "/"
+                 << SA.Snap->numEdges() << " reference=" << Ref.numNodes()
+                 << "/" << Ref.numEdges();
+      return Fail.str();
+    }
+
+    // --- {ordering x schedule} SSSP differential ------------------------
+    const Count N = Ref.numNodes();
+    VertexId Sources[2] = {RepairSrcExt,
+                           static_cast<VertexId>(Rng.nextInt(0, N))};
+    for (VertexId SrcExt : Sources) {
+      std::vector<Priority> FirstSchedule;
+      for (int SI = 0; SI < 3; ++SI) {
+        const Schedule &S = *Schedules[SI];
+        SSSPResult DR = deltaSteppingSSSP(Ref, SrcExt, S);
+        // Schedule independence on the reference itself: every
+        // {ordering x schedule} point must agree bit-for-bit.
+        if (SI == 0) {
+          FirstSchedule = DR.Dist;
+        } else if (DR.Dist != FirstSchedule) {
+          Tag(Round) << "schedule point " << SchedNames[SI]
+                     << " diverges from " << SchedNames[0]
+                     << " on the reference overlay (src=" << SrcExt << ")";
+          return Fail.str();
+        }
+        SSSPResult DP = deltaSteppingSSSP(
+            *PA.Snap, Plain.mapping().toInternal(SrcExt), S);
+        SSSPResult DS = deltaSteppingSSSP(
+            *SA.Snap, Sharded.mapping().toInternal(SrcExt), S);
+        for (Count V = 0; V < N; ++V) {
+          VertexId Ext = static_cast<VertexId>(V);
+          Priority Want = DR.Dist[Ext];
+          Priority GotP = DP.Dist[Plain.mapping().toInternal(Ext)];
+          Priority GotS = DS.Dist[Sharded.mapping().toInternal(Ext)];
+          if (GotP != Want || GotS != Want) {
+            Tag(Round) << "SSSP(" << SchedNames[SI] << ", src=" << SrcExt
+                       << ") diverges at vertex " << Ext
+                       << ": plain=" << GotP << " sharded=" << GotS
+                       << " reference=" << Want;
+            return Fail.str();
+          }
+        }
+      }
+    }
+
+    // --- Repaired-vs-recomputed differential ----------------------------
+    repairAfterUpdates(*PA.Snap, PA.Applied, Repaired, Eager, Scratch);
+    SSSPResult FreshP = deltaSteppingSSSP(
+        *PA.Snap, Plain.mapping().toInternal(RepairSrcExt), Eager);
+    for (Count V = 0; V < PA.Snap->numNodes(); ++V)
+      if (Repaired.distances()[V] != FreshP.Dist[V]) {
+        Tag(Round) << "repair diverges from recompute at internal vertex "
+                   << V << ": repaired=" << Repaired.distances()[V]
+                   << " fresh=" << FreshP.Dist[V];
+        return Fail.str();
+      }
+
+    // --- PPSP spot checks (exact early exit vs full distances) ----------
+    for (int Q = 0; Q < 3; ++Q) {
+      VertexId S = static_cast<VertexId>(Rng.nextInt(0, N));
+      VertexId T = static_cast<VertexId>(Rng.nextInt(0, N));
+      SSSPResult DR = deltaSteppingSSSP(Ref, S, Eager);
+      PPSPResult P = pointToPointShortestPath(
+          *PA.Snap, Plain.mapping().toInternal(S),
+          Plain.mapping().toInternal(T), Eager);
+      if (P.Dist != DR.Dist[T]) {
+        Tag(Round) << "PPSP(" << S << " -> " << T
+                   << ") diverges: plain=" << P.Dist
+                   << " reference=" << DR.Dist[T];
+        return Fail.str();
+      }
+    }
+  }
+  return "";
+}

@@ -154,5 +154,44 @@ int main() {
                 NaiveT / PooledT, (long long)PooledCheck);
     std::fflush(stdout);
   }
+
+  // Deadline-overhead guard: queries carrying a deadline that never fires
+  // must cost the same as queries without one — the cancellation hook is
+  // a relaxed per-round flag check, and it is compiled out entirely when
+  // no token is attached. Gated by scripts/check_bench.py against
+  // BENCH_deadline.json at a 2% bound (its own --threshold, far tighter
+  // than the cross-run perf gate, because off and on are measured
+  // back-to-back in the SAME process on the SAME workload).
+  {
+    constexpr Count kGuardBatch = 256;
+    std::vector<Query> On(W.Queries.begin(), W.Queries.begin() + kGuardBatch);
+    for (Query &Q : On)
+      Q.DeadlineMicros = 10LL * 1000 * 1000; // 10 s: can never fire here
+    int64_t OffCheck = 0, OnCheck = 0;
+    double OffT = timeBest([&] { OffCheck = pooledBatch(Engine, W, kGuardBatch); });
+    double OnT = timeBest([&] {
+      int64_t Check = 0;
+      for (const QueryResult &R : Engine.runBatch(On)) {
+        if (R.Status != QueryStatus::Ok) {
+          std::fprintf(stderr, "!! 10s deadline fired on a local query\n");
+          std::exit(1);
+        }
+        if (R.Dist < kInfiniteDistance)
+          Check += R.Dist;
+      }
+      OnCheck = Check;
+    });
+    if (OnCheck != OffCheck) {
+      std::fprintf(stderr, "!! deadline-on check mismatch: %lld vs %lld\n",
+                   (long long)OnCheck, (long long)OffCheck);
+      return 1;
+    }
+    std::printf("{\"bench\": \"deadline_overhead\", \"batch\": %lld, "
+                "\"off_qps\": %.1f, \"on_qps\": %.1f, \"speedup\": %.3f, "
+                "\"check\": %lld}\n",
+                (long long)kGuardBatch, kGuardBatch / OffT,
+                kGuardBatch / OnT, OffT / OnT, (long long)OnCheck);
+    std::fflush(stdout);
+  }
   return 0;
 }

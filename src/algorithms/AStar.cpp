@@ -24,18 +24,30 @@ template <typename GraphT, typename HeurFn, typename TouchFn>
 PPSPResult aStarRun(const GraphT &G, VertexId Source, VertexId Target,
                     const Schedule &S, std::vector<Priority> &Dist,
                     HeurFn &&Heur, TouchFn &&Touch,
-                    std::vector<VertexId> *FrontierScratch = nullptr) {
+                    std::vector<VertexId> *FrontierScratch = nullptr,
+                    const RunLimits &Limits = RunLimits{}) {
   const int64_t Delta = S.Delta;
+  const Priority Budget = Limits.MaxDistance;
+  int64_t BudgetKey = kMaxEagerKey; // see ppspRun: benign same-value writes
   // h(target) = 0, so the PPSP stop condition transfers to f-space
   // unchanged: buckets at key i hold f >= iΔ >= dist(target) = f(target).
+  // The budget bounds f, which lower-bounds the true distance, so a
+  // budget stop still reports a sound settled prefix.
   auto Stop = [&](int64_t CurrKey) {
     Priority Best = atomicLoad(&Dist[Target]);
-    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+    if (Best != kInfiniteDistance && CurrKey * Delta >= Best)
+      return true;
+    if (CurrKey * Delta >= Budget) {
+      atomicStoreRelaxed(&BudgetKey, CurrKey);
+      return true;
+    }
+    return false;
   };
   OrderedStats Stats = detail::distanceOrderedRun(
       G, Source, Dist, S, std::forward<HeurFn>(Heur), Stop,
-      std::forward<TouchFn>(Touch), FrontierScratch);
-  return PPSPResult{Dist[Target], Stats};
+      std::forward<TouchFn>(Touch), FrontierScratch, Limits.Cancel);
+  return detail::interruptiblePointResult(Dist[Target], Stats, Delta,
+                                          atomicLoadRelaxed(&BudgetKey));
 }
 
 /// The one definition of the coordinate bound, shared by every entry
@@ -74,7 +86,7 @@ namespace {
 template <typename GraphT>
 PPSPResult aStarPooled(const GraphT &G, VertexId Source, VertexId Target,
                        const Schedule &S, DistanceState &State,
-                       const AStarHeuristic *Heur) {
+                       const AStarHeuristic *Heur, const RunLimits &Limits) {
   if (!Heur && !G.hasCoordinates())
     fatalError("aStarSearch: graph has no coordinates and no heuristic");
   State.beginQuery(Source);
@@ -85,12 +97,12 @@ PPSPResult aStarPooled(const GraphT &G, VertexId Source, VertexId Target,
     return aStarRun(
         G, Source, Target, S, State.distances(),
         [&](VertexId V) { return Heur->estimate(V, Target); }, Touch,
-        &State.frontierScratch());
+        &State.frontierScratch(), Limits);
   const Coordinates &C = G.coordinates();
   return aStarRun(
       G, Source, Target, S, State.distances(),
       [&](VertexId V) { return coordinateBound(C, V, Target); }, Touch,
-      &State.frontierScratch());
+      &State.frontierScratch(), Limits);
 }
 
 } // namespace
@@ -98,13 +110,15 @@ PPSPResult aStarPooled(const GraphT &G, VertexId Source, VertexId Target,
 PPSPResult graphit::aStarSearch(const Graph &G, VertexId Source,
                                 VertexId Target, const Schedule &S,
                                 DistanceState &State,
-                                const AStarHeuristic *Heur) {
-  return aStarPooled(G, Source, Target, S, State, Heur);
+                                const AStarHeuristic *Heur,
+                                const RunLimits &Limits) {
+  return aStarPooled(G, Source, Target, S, State, Heur, Limits);
 }
 
 PPSPResult graphit::aStarSearch(const DeltaGraph &G, VertexId Source,
                                 VertexId Target, const Schedule &S,
                                 DistanceState &State,
-                                const AStarHeuristic *Heur) {
-  return aStarPooled(G, Source, Target, S, State, Heur);
+                                const AStarHeuristic *Heur,
+                                const RunLimits &Limits) {
+  return aStarPooled(G, Source, Target, S, State, Heur, Limits);
 }

@@ -45,10 +45,13 @@ PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
 /// Pooled-state variant (O(touched) setup; see algorithms/QueryState.h).
 /// Calls `State.beginQuery(Source)` itself. With a null \p Heur the
 /// coordinate heuristic is used (requires `G.hasCoordinates()`); otherwise
-/// \p Heur supplies the bound and coordinates are not required.
+/// \p Heur supplies the bound and coordinates are not required. \p Limits
+/// optionally bounds the run (cooperative cancellation and/or a distance
+/// budget), checked only at bucket-round boundaries.
 PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
                        const Schedule &S, DistanceState &State,
-                       const AStarHeuristic *Heur = nullptr);
+                       const AStarHeuristic *Heur = nullptr,
+                       const RunLimits &Limits = RunLimits{});
 
 /// Live-graph variant over a delta-overlay snapshot view
 /// (graph/DeltaGraph.h). The coordinate heuristic reads the base graph's
@@ -58,7 +61,8 @@ PPSPResult aStarSearch(const Graph &G, VertexId Source, VertexId Target,
 PPSPResult aStarSearch(const DeltaGraph &G, VertexId Source,
                        VertexId Target, const Schedule &S,
                        DistanceState &State,
-                       const AStarHeuristic *Heur = nullptr);
+                       const AStarHeuristic *Heur = nullptr,
+                       const RunLimits &Limits = RunLimits{});
 
 /// The coordinate heuristic used by `aStarSearch`, exposed for tests:
 /// floor(50 x euclidean distance to target).

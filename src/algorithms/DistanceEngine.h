@@ -134,7 +134,8 @@ template <typename GraphT, typename HeurFn, typename StopFn,
 void lazyDistanceLoop(const GraphT &G, LazyBucketQueue &Queue,
                       std::vector<Priority> &Dist, const Schedule &S,
                       HeurFn &Heur, StopFn &Stop, TouchFn &Touch,
-                      OrderedStats &Stats) {
+                      OrderedStats &Stats,
+                      const CancelToken *Cancel = nullptr) {
   const PriorityCoarsener C = PriorityCoarsener::of(S.Delta);
   Timer Clock;
   TraversalBuffers Buffers(G);
@@ -172,6 +173,15 @@ void lazyDistanceLoop(const GraphT &G, LazyBucketQueue &Queue,
 
   while (Queue.nextBucket()) {
     int64_t CurrKey = Queue.currentKey();
+    // The control loop is sequential (parallelism lives inside
+    // edgeApplyOut), so the bucket boundary is a safe cancellation point:
+    // every bucket before CurrKey is fully drained, making CurrKey * Δ
+    // the settled prefix bound.
+    if (Cancel && Cancel->expired()) {
+      Stats.Cancelled = true;
+      Stats.CancelKey = CurrKey;
+      break;
+    }
     if (Stop(CurrKey))
       break;
     ++Stats.Rounds;
@@ -221,7 +231,8 @@ OrderedStats distanceOrderedRun(const GraphT &G, VertexId Source,
                                 const Schedule &S, HeurFn &&Heur,
                                 StopFn &&Stop, TouchFn &&Touch = TouchFn{},
                                 std::vector<VertexId> *FrontierScratch =
-                                    nullptr) {
+                                    nullptr,
+                                const CancelToken *Cancel = nullptr) {
   OrderedStats Stats;
   const int64_t Delta = S.Delta;
   if (Dist[Source] != 0)
@@ -231,10 +242,12 @@ OrderedStats distanceOrderedRun(const GraphT &G, VertexId Source,
     auto Relax = makeEagerRelax(G, Dist, Delta, Heur, Touch);
     eagerOrderedProcess(G.numNodes(), G.numEdges() + 1, Source,
                         Heur(Source) / Delta, S, Relax, Stop, &Stats,
-                        FrontierScratch, [&G, &Dist](VertexId V) {
+                        FrontierScratch,
+                        [&G, &Dist](VertexId V) {
                           prefetchWrite(&Dist[V]);
                           G.prefetchOutRow(V);
-                        });
+                        },
+                        Cancel);
     return Stats;
   }
 
@@ -242,7 +255,7 @@ OrderedStats distanceOrderedRun(const GraphT &G, VertexId Source,
   LazyBucketQueue Queue(G.numNodes(), S.NumOpenBuckets,
                         PriorityOrder::LowerFirst);
   Queue.insert(Source, Heur(Source) / Delta);
-  lazyDistanceLoop(G, Queue, Dist, S, Heur, Stop, Touch, Stats);
+  lazyDistanceLoop(G, Queue, Dist, S, Heur, Stop, Touch, Stats, Cancel);
   return Stats;
 }
 

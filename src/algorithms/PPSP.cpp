@@ -20,18 +20,32 @@ template <typename GraphT, typename TouchFn>
 PPSPResult ppspRun(const GraphT &G, VertexId Source, VertexId Target,
                    const Schedule &S, std::vector<Priority> &Dist,
                    TouchFn &&Touch,
-                   std::vector<VertexId> *FrontierScratch = nullptr) {
+                   std::vector<VertexId> *FrontierScratch = nullptr,
+                   const RunLimits &Limits = RunLimits{}) {
   const int64_t Delta = S.Delta;
+  const Priority Budget = Limits.MaxDistance;
+  // When the distance budget stops the run, every thread observes the same
+  // round-stable CurrKey and stores the same value — the relaxed atomic
+  // keeps the benign multi-writer pattern well-defined.
+  int64_t BudgetKey = kMaxEagerKey;
   // Stop once the current bucket's lower bound iΔ reaches the tentative
-  // distance of the target: no later bucket can improve it.
+  // distance of the target: no later bucket can improve it. The budget
+  // check is second so a settled target always reports as a normal stop.
   auto Stop = [&](int64_t CurrKey) {
     Priority Best = atomicLoad(&Dist[Target]);
-    return Best != kInfiniteDistance && CurrKey * Delta >= Best;
+    if (Best != kInfiniteDistance && CurrKey * Delta >= Best)
+      return true;
+    if (CurrKey * Delta >= Budget) {
+      atomicStoreRelaxed(&BudgetKey, CurrKey);
+      return true;
+    }
+    return false;
   };
   OrderedStats Stats = detail::distanceOrderedRun(
       G, Source, Dist, S, [](VertexId) { return Priority{0}; }, Stop,
-      std::forward<TouchFn>(Touch), FrontierScratch);
-  return PPSPResult{Dist[Target], Stats};
+      std::forward<TouchFn>(Touch), FrontierScratch, Limits.Cancel);
+  return detail::interruptiblePointResult(Dist[Target], Stats, Delta,
+                                          atomicLoadRelaxed(&BudgetKey));
 }
 
 template <typename GraphT>
@@ -45,14 +59,15 @@ PPSPResult ppspFresh(const GraphT &G, VertexId Source, VertexId Target,
 
 template <typename GraphT>
 PPSPResult ppspPooled(const GraphT &G, VertexId Source, VertexId Target,
-                      const Schedule &S, DistanceState &State) {
+                      const Schedule &S, DistanceState &State,
+                      const RunLimits &Limits) {
   State.beginQuery(Source);
   return ppspRun(
       G, Source, Target, S, State.distances(),
       [&State](VertexId V, VertexId From) {
         State.recordImprovement(V, From);
       },
-      &State.frontierScratch());
+      &State.frontierScratch(), Limits);
 }
 
 } // namespace
@@ -68,8 +83,9 @@ PPSPResult graphit::pointToPointShortestPath(const Graph &G,
                                              VertexId Source,
                                              VertexId Target,
                                              const Schedule &S,
-                                             DistanceState &State) {
-  return ppspPooled(G, Source, Target, S, State);
+                                             DistanceState &State,
+                                             const RunLimits &Limits) {
+  return ppspPooled(G, Source, Target, S, State, Limits);
 }
 
 PPSPResult graphit::pointToPointShortestPath(const DeltaGraph &G,
@@ -83,6 +99,7 @@ PPSPResult graphit::pointToPointShortestPath(const DeltaGraph &G,
                                              VertexId Source,
                                              VertexId Target,
                                              const Schedule &S,
-                                             DistanceState &State) {
-  return ppspPooled(G, Source, Target, S, State);
+                                             DistanceState &State,
+                                             const RunLimits &Limits) {
+  return ppspPooled(G, Source, Target, S, State, Limits);
 }

@@ -25,7 +25,8 @@ SSSPResult ssspFresh(const GraphT &G, VertexId Source, const Schedule &S) {
 
 template <typename GraphT>
 OrderedStats ssspPooled(const GraphT &G, VertexId Source, const Schedule &S,
-                        DistanceState &State) {
+                        DistanceState &State,
+                        const CancelToken *Cancel = nullptr) {
   State.beginQuery(Source);
   return detail::distanceOrderedRun(
       G, Source, State.distances(), S, [](VertexId) { return Priority{0}; },
@@ -33,7 +34,7 @@ OrderedStats ssspPooled(const GraphT &G, VertexId Source, const Schedule &S,
       [&State](VertexId V, VertexId From) {
         State.recordImprovement(V, From);
       },
-      &State.frontierScratch());
+      &State.frontierScratch(), Cancel);
 }
 
 } // namespace
@@ -45,8 +46,9 @@ SSSPResult graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
 
 OrderedStats graphit::deltaSteppingSSSP(const Graph &G, VertexId Source,
                                         const Schedule &S,
-                                        DistanceState &State) {
-  return ssspPooled(G, Source, S, State);
+                                        DistanceState &State,
+                                        const CancelToken *Cancel) {
+  return ssspPooled(G, Source, S, State, Cancel);
 }
 
 SSSPResult graphit::deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
@@ -56,8 +58,9 @@ SSSPResult graphit::deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
 
 OrderedStats graphit::deltaSteppingSSSP(const DeltaGraph &G,
                                         VertexId Source, const Schedule &S,
-                                        DistanceState &State) {
-  return ssspPooled(G, Source, S, State);
+                                        DistanceState &State,
+                                        const CancelToken *Cancel) {
+  return ssspPooled(G, Source, S, State, Cancel);
 }
 
 SSSPResult graphit::deltaSteppingSSSP(const ShardedDeltaView &G,
@@ -67,6 +70,7 @@ SSSPResult graphit::deltaSteppingSSSP(const ShardedDeltaView &G,
 
 OrderedStats graphit::deltaSteppingSSSP(const ShardedDeltaView &G,
                                         VertexId Source, const Schedule &S,
-                                        DistanceState &State) {
-  return ssspPooled(G, Source, S, State);
+                                        DistanceState &State,
+                                        const CancelToken *Cancel) {
+  return ssspPooled(G, Source, S, State, Cancel);
 }

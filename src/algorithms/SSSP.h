@@ -19,6 +19,7 @@
 #include "core/OrderedProcess.h"
 #include "core/Schedule.h"
 #include "graph/Graph.h"
+#include "support/Cancellation.h"
 
 #include <vector>
 
@@ -43,8 +44,14 @@ class DeltaGraph;
 /// allocating a fresh distance array (O(touched) setup instead of O(V);
 /// see algorithms/QueryState.h). Calls `State.beginQuery(Source)` itself;
 /// distances live in \p State afterwards.
+///
+/// \p Cancel optionally interrupts the run at a bucket-round boundary;
+/// the returned stats then carry `Cancelled` and `CancelKey`, and every
+/// distance strictly below `CancelKey * S.Delta` in the state is exact
+/// (the settled prefix of the full answer).
 OrderedStats deltaSteppingSSSP(const Graph &G, VertexId Source,
-                               const Schedule &S, DistanceState &State);
+                               const Schedule &S, DistanceState &State,
+                               const CancelToken *Cancel = nullptr);
 
 /// Live-graph variants over a delta-overlay snapshot view
 /// (graph/DeltaGraph.h): identical semantics, unified neighbor iteration
@@ -52,7 +59,8 @@ OrderedStats deltaSteppingSSSP(const Graph &G, VertexId Source,
 SSSPResult deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
                              const Schedule &S);
 OrderedStats deltaSteppingSSSP(const DeltaGraph &G, VertexId Source,
-                               const Schedule &S, DistanceState &State);
+                               const Schedule &S, DistanceState &State,
+                               const CancelToken *Cancel = nullptr);
 
 class ShardedDeltaView;
 
@@ -63,7 +71,8 @@ class ShardedDeltaView;
 SSSPResult deltaSteppingSSSP(const ShardedDeltaView &G, VertexId Source,
                              const Schedule &S);
 OrderedStats deltaSteppingSSSP(const ShardedDeltaView &G, VertexId Source,
-                               const Schedule &S, DistanceState &State);
+                               const Schedule &S, DistanceState &State,
+                               const CancelToken *Cancel = nullptr);
 
 } // namespace graphit
 

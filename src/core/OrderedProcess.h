@@ -43,6 +43,7 @@
 #include "core/Schedule.h"
 #include "support/Abort.h"
 #include "support/Atomics.h"
+#include "support/Cancellation.h"
 #include "support/Prefetch.h"
 #include "support/TSanAnnotate.h"
 #include "support/Timer.h"
@@ -66,6 +67,14 @@ struct OrderedStats {
   int64_t VerticesProcessed = 0;
   int64_t OverflowRebuckets = 0;
   double Seconds = 0.0;
+  /// True when the run was interrupted by a CancelToken at a bucket-round
+  /// boundary instead of running to quiescence.
+  bool Cancelled = false;
+  /// When Cancelled: the coarsened key of the first unprocessed bucket.
+  /// Every priority strictly below `CancelKey * Delta` was settled when
+  /// the run stopped (the classic Δ-stepping invariant), so callers can
+  /// report that exact prefix of the final answer.
+  int64_t CancelKey = 0;
 
   /// Total rounds the algorithm executed, local or global.
   int64_t totalRounds() const { return Rounds + FusedRounds; }
@@ -79,6 +88,7 @@ struct OrderedStats {
     VerticesProcessed += Other.VerticesProcessed;
     OverflowRebuckets += Other.OverflowRebuckets;
     Seconds += Other.Seconds;
+    Cancelled |= Other.Cancelled;
   }
 };
 
@@ -233,6 +243,13 @@ private:
 ///                          once and reused across runs (stale contents are
 ///                          harmless: only indices below the round tails
 ///                          are ever read).
+/// \param Cancel            optional cooperative cancellation token. It is
+///                          polled once per global round by the single
+///                          bookkeeping thread and the verdict latched into
+///                          shared state, so every thread observes the same
+///                          decision at the same barrier (polling the clock
+///                          in the loop condition would let threads disagree
+///                          and deadlock). Zero cost when nullptr.
 template <typename RelaxFn, typename StopFn,
           typename VPrefetchFn = NoVertexPrefetch>
 void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
@@ -242,7 +259,8 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
                               OrderedStats *Stats = nullptr,
                               std::vector<VertexId> *FrontierScratch =
                                   nullptr,
-                              VPrefetchFn &&VPrefetch = VPrefetchFn{}) {
+                              VPrefetchFn &&VPrefetch = VPrefetchFn{},
+                              const CancelToken *Cancel = nullptr) {
   (void)NumNodes;
   if (NumSeeds == 0) {
     if (Stats)
@@ -276,7 +294,25 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
   int64_t SharedKeys[2] = {MinSeedKey, kMaxEagerKey};
   int64_t FrontierTails[2] = {SeedTail, 0};
 
+  // A token that is already expired never enters the region: the run
+  // reports the empty (but still correct) settled prefix below the first
+  // seed key.
+  if (Cancel && Cancel->expired()) {
+    if (Stats) {
+      *Stats = OrderedStats{};
+      Stats->Cancelled = true;
+      Stats->CancelKey = MinSeedKey;
+      Stats->Seconds = Clock.seconds();
+    }
+    return;
+  }
+
   int64_t Rounds = 0, FusedRounds = 0, VerticesProcessed = 0;
+  // Written only inside the `omp single` bookkeeping block (between the
+  // round's two barriers), read by every thread after the second barrier:
+  // the latch that makes cancellation a round-stable, unanimous decision.
+  bool CancelLatched = false;
+  int64_t CancelStopKey = 0;
 
   int SyncTag = 0;
   GRAPHIT_OMP_REGION_ENTER(&SyncTag);
@@ -300,7 +336,7 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
         if (Seeds[I].second != MinSeedKey)
           Bins.push(Seeds[I].first, Seeds[I].second);
 
-    while (SharedKeys[Iter & 1] != kMaxEagerKey &&
+    while (!CancelLatched && SharedKeys[Iter & 1] != kMaxEagerKey &&
            !Stop(SharedKeys[Iter & 1])) {
       int64_t &CurrKey = SharedKeys[Iter & 1];
       int64_t &NextKey = SharedKeys[(Iter + 1) & 1];
@@ -356,6 +392,15 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
         VerticesProcessed += CurrTail;
         CurrKey = kMaxEagerKey;
         CurrTail = 0;
+        // NextKey is final after the barrier above, so one thread can
+        // poll the token here and latch both the verdict and the key it
+        // stopped before; the writes publish to every thread at the
+        // barrier below. A run whose next key is the sentinel finished
+        // on its own — completion beats cancellation.
+        if (Cancel && NextKey != kMaxEagerKey && Cancel->expired()) {
+          CancelLatched = true;
+          CancelStopKey = NextKey;
+        }
       }
 
       if (Bins.nonEmptyAt(NextKey)) {
@@ -384,6 +429,8 @@ void eagerOrderedProcessSeeds(Count NumNodes, Count FrontierCapacity,
     Stats->FusedRounds = FusedRounds;
     Stats->VerticesProcessed = VerticesProcessed;
     Stats->Seconds = Clock.seconds();
+    Stats->Cancelled = CancelLatched;
+    Stats->CancelKey = CancelStopKey;
   }
 }
 
@@ -396,13 +443,14 @@ void eagerOrderedProcess(Count NumNodes, Count FrontierCapacity,
                          const Schedule &S, RelaxFn &&Relax, StopFn &&Stop,
                          OrderedStats *Stats = nullptr,
                          std::vector<VertexId> *FrontierScratch = nullptr,
-                         VPrefetchFn &&VPrefetch = VPrefetchFn{}) {
+                         VPrefetchFn &&VPrefetch = VPrefetchFn{},
+                         const CancelToken *Cancel = nullptr) {
   const std::pair<VertexId, int64_t> Seed{Source, SourceKey};
   eagerOrderedProcessSeeds(NumNodes, FrontierCapacity, &Seed, 1, S,
                            std::forward<RelaxFn>(Relax),
                            std::forward<StopFn>(Stop), Stats,
                            FrontierScratch,
-                           std::forward<VPrefetchFn>(VPrefetch));
+                           std::forward<VPrefetchFn>(VPrefetch), Cancel);
 }
 
 } // namespace graphit

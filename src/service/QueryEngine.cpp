@@ -10,8 +10,10 @@
 #include "algorithms/AStar.h"
 #include "algorithms/SSSP.h"
 #include "support/Abort.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <omp.h>
 
 using namespace graphit;
@@ -138,7 +140,10 @@ QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     R = Store->applyUpdates(Batch);
     noteAppliedBatch(R, WasAdmissible);
   }
-  if (Opts.HotSourceCapacity > 0)
+  // A rejected strict batch published nothing: hot states are still at
+  // the current version and stay serveable — repairing (which expects to
+  // advance exactly one version) would wrongly drop them all.
+  if (Opts.HotSourceCapacity > 0 && R.Status == ApplyStatus::Ok)
     repairHotStates(R);
   return R;
 }
@@ -167,7 +172,19 @@ VertexId QueryEngine::addVertices(Count HowMany,
   }
 
   NumNodes.store(NewNodes, std::memory_order_relaxed);
-  Pool.grow(NewNodes);
+  // Pool growth is a fail-point site (statepool.grow): a transient fault
+  // must not leave the pool sized below the already-published universe,
+  // so retry until it lands — the operation itself is idempotent.
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      Pool.grow(NewNodes);
+      break;
+    } catch (const std::exception &) {
+      if (Attempt >= 256)
+        fatalError("QueryEngine::addVertices: state pool growth kept "
+                   "failing");
+    }
+  }
 
   if (Opts.HotSourceCapacity > 0) {
     // Pure growth publishes a version whose distances are unchanged (new
@@ -314,22 +331,75 @@ uint64_t QueryEngine::submit(Query Q) {
                 HasCoordinates;
   bool Valid =
       static_cast<Count>(Q.Source) < NumNodes && TargetOk && HeurOk;
+  const auto Now = std::chrono::steady_clock::now();
   uint64_t Ticket;
+  bool Enqueued = false;
+  bool Resolved = false; // a ticket (this one or a victim's) was finished
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Ticket = NextTicket++;
     Outstanding.insert(Ticket);
-    if (Valid) {
-      Pending.push_back(Task{Ticket, std::move(Q)});
-    } else {
+    if (!Valid) {
       QueryResult R;
+      R.Status = QueryStatus::Failed;
       R.Failed = true;
       Finished.emplace(Ticket, std::move(R));
+      Resolved = true;
+    } else {
+      // Admission control: past the high-water mark, something must give —
+      // shed the lowest-importance pending query, or the incoming one when
+      // nothing queued is strictly less important (ties shed the incomer:
+      // queued work has already waited). Shedding is typed and immediate,
+      // never a silent drop — the victim's ticket resolves Shed right here.
+      if (Opts.AdmissionHighWater > 0 &&
+          Pending.size() >= Opts.AdmissionHighWater) {
+        auto Victim = Pending.end();
+        int MinImportance = Q.Importance;
+        for (auto It = Pending.begin(); It != Pending.end(); ++It)
+          if (It->Q.Importance < MinImportance) {
+            MinImportance = It->Q.Importance;
+            Victim = It;
+          }
+        QueryResult R;
+        R.Status = QueryStatus::Shed;
+        ++Sheds_;
+        Resolved = true;
+        if (Victim == Pending.end()) {
+          Finished.emplace(Ticket, std::move(R));
+          Valid = false; // incoming query sheds; nothing to enqueue
+        } else {
+          Finished.emplace(Victim->Ticket, std::move(R));
+          Pending.erase(Victim);
+        }
+      }
+
+      if (Valid) {
+        Task T{Ticket, std::move(Q), Now, 0, false};
+        T.DeadlineMicros = T.Q.DeadlineMicros;
+        // Graceful degradation: under moderate pressure, bound PPSP/A*
+        // queries that brought no deadline of their own to a fraction of
+        // the recent same-kind service time. Bounded answers for everyone
+        // beat full answers for some and Shed for the rest.
+        if (Opts.AdmissionSoftWater > 0 &&
+            Pending.size() >= Opts.AdmissionSoftWater &&
+            T.Q.Kind != QueryKind::SSSP && T.DeadlineMicros <= 0) {
+          const double Ewma = EwmaMicros[static_cast<int>(T.Q.Kind)];
+          if (Ewma > 0.0) {
+            T.DeadlineMicros =
+                std::max(Opts.DegradeFloorMicros,
+                         static_cast<int64_t>(Ewma * Opts.DegradeFactor));
+            T.Degraded = true;
+            ++Degraded_;
+          }
+        }
+        Pending.push_back(std::move(T));
+        Enqueued = true;
+      }
     }
   }
-  if (Valid)
+  if (Enqueued)
     WorkCv.notify_one();
-  else
+  if (Resolved)
     DoneCv.notify_all();
   return Ticket;
 }
@@ -342,6 +412,20 @@ QueryResult QueryEngine::collect(uint64_t Ticket) {
   // collect of the same ticket trips this guard instead of deadlocking.
   if (Outstanding.erase(Ticket) == 0)
     fatalError("QueryEngine::collect: unknown or already-collected ticket");
+  DoneCv.wait(Lock, [&] { return Finished.count(Ticket) != 0; });
+  auto It = Finished.find(Ticket);
+  QueryResult R = std::move(It->second);
+  Finished.erase(It);
+  return R;
+}
+
+std::optional<QueryResult> QueryEngine::tryCollect(uint64_t Ticket) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  // Same claim-then-wait protocol as collect(), but an unknown or
+  // already-collected ticket is a recoverable nullopt — a server loop
+  // handling retried or duplicated client requests shouldn't die for it.
+  if (Outstanding.erase(Ticket) == 0)
+    return std::nullopt;
   DoneCv.wait(Lock, [&] { return Finished.count(Ticket) != 0; });
   auto It = Finished.find(Ticket);
   QueryResult R = std::move(It->second);
@@ -372,6 +456,26 @@ uint64_t QueryEngine::queriesServed() const {
   return Served;
 }
 
+uint64_t QueryEngine::queriesShed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sheds_;
+}
+
+uint64_t QueryEngine::deadlinesExceeded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return DeadlineExceeded_;
+}
+
+uint64_t QueryEngine::queriesDegraded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Degraded_;
+}
+
+size_t QueryEngine::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Pending.size();
+}
+
 void QueryEngine::workerLoop() {
   // Per-thread OpenMP ICV: each query's engine run forks this many
   // threads. Serving throughput wants 1 (queries are the parallelism);
@@ -389,11 +493,43 @@ void QueryEngine::workerLoop() {
       T = std::move(Pending.front());
       Pending.pop_front();
     }
-    QueryResult R = runOne(T.Q, State.get());
+
+    CancelToken Token;
+    const CancelToken *Cancel = nullptr;
+    if (T.DeadlineMicros > 0) {
+      Token.setDeadline(T.Enqueued +
+                        std::chrono::microseconds(T.DeadlineMicros));
+      Cancel = &Token;
+    }
+
+    const auto Start = std::chrono::steady_clock::now();
+    QueryResult R;
+    if (Cancel && Token.expired()) {
+      // Expired while queued: resolve deterministically before touching
+      // any snapshot or hot state. Nothing was settled.
+      R.Status = QueryStatus::DeadlineExceeded;
+      R.SettledBound = 0;
+    } else {
+      R = runOne(T.Q, State.get(), Cancel);
+    }
+    R.Degraded = T.Degraded;
+    const double Micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+
     {
       std::lock_guard<std::mutex> Lock(Mu);
       Aggregate.merge(R.Stats);
       ++Served;
+      if (R.Status == QueryStatus::DeadlineExceeded)
+        ++DeadlineExceeded_;
+      // The admission EWMA samples only clean, un-degraded completions:
+      // cut-short runs would drag imposed deadlines toward zero.
+      if (R.Status == QueryStatus::Ok && !T.Degraded) {
+        double &Ewma = EwmaMicros[static_cast<int>(T.Q.Kind)];
+        Ewma = Ewma == 0.0 ? Micros : 0.8 * Ewma + 0.2 * Micros;
+      }
       Finished.emplace(T.Ticket, std::move(R));
     }
     DoneCv.notify_all();
@@ -473,7 +609,8 @@ QueryEngine::landmarksFor(uint64_t SnapVersion) const {
   return nullptr;
 }
 
-QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
+QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State,
+                                const CancelToken *Cancel) const {
   // Translate endpoints into the internal layout; results are translated
   // back below, so callers only ever see original ids.
   Query QI = Q;
@@ -491,14 +628,18 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
     // Path extraction wants a private parent array, so CollectPath
     // queries bypass the shared hot states; a PPSP/A* with
     // CollectReached does too (its fresh-run reach is the early-exited
-    // search, not the full solution a hot state holds).
+    // search, not the full solution a hot state holds). Serving a *hit*
+    // under a deadline is fine (it's an O(touched) copy-out, no engine
+    // run), but a deadline-carrying run must not *warm* the cache — a
+    // cancelled run would install a partial solution that repair would
+    // then propagate as if complete.
     const bool HotEligible =
         Opts.HotSourceCapacity > 0 && !QI.CollectPath &&
         (QI.Kind == QueryKind::SSSP || !QI.CollectReached);
     if (HotEligible && serveFromHot(QI, Ver, R)) {
       // Served from the repaired hot state: bit-identical distances, no
       // engine run.
-    } else if (HotEligible && QI.Kind == QueryKind::SSSP) {
+    } else if (HotEligible && QI.Kind == QueryKind::SSSP && !Cancel) {
       // Cold SSSP source: warm the cache by running into a cache-owned
       // state (full solution, repairable on the next applyUpdates). The
       // state storage is recycled from the LRU victim when the cache is
@@ -509,15 +650,15 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
       else
         HotState = std::make_unique<DistanceState>(Snap->numNodes(),
                                                    Opts.TrackParents);
-      R = runOneOn(*Snap, QI, *HotState, Ver);
+      R = runOneOn(*Snap, QI, *HotState, Ver, nullptr);
       installHot(QI.Source, Ver, std::move(HotState));
     } else {
       // Vertex insertion may have outgrown a pooled worker state.
       State.resize(Snap->numNodes());
-      R = runOneOn(*Snap, QI, State, Ver);
+      R = runOneOn(*Snap, QI, State, Ver, Cancel);
     }
   } else {
-    R = runOneOn(*StaticG, QI, State, 0);
+    R = runOneOn(*StaticG, QI, State, 0, Cancel);
   }
 
   if (!Map->isIdentity()) {
@@ -532,18 +673,34 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State) const {
 template <typename GraphT>
 QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
                                   DistanceState &State,
-                                  uint64_t SnapVersion) const {
+                                  uint64_t SnapVersion,
+                                  const CancelToken *Cancel) const {
   const Schedule &S = Q.Sched ? *Q.Sched : Opts.DefaultSchedule;
+  RunLimits Limits;
+  Limits.Cancel = Cancel;
+  Limits.MaxDistance = Q.MaxDistance;
   QueryResult R;
+  // When the run stops early (deadline or MaxDistance budget), only
+  // distances strictly below this bound are provably exact; everything
+  // reported is filtered to it below.
+  bool Interrupted = false;
+  Priority SettledBound = kInfiniteDistance;
 
   switch (Q.Kind) {
   case QueryKind::SSSP:
-    R.Stats = deltaSteppingSSSP(G, Q.Source, S, State);
+    R.Stats = deltaSteppingSSSP(G, Q.Source, S, State, Cancel);
+    if (R.Stats.Cancelled) {
+      Interrupted = true;
+      SettledBound = R.Stats.CancelKey * S.Delta;
+    }
     break;
   case QueryKind::PPSP: {
-    PPSPResult P = pointToPointShortestPath(G, Q.Source, Q.Target, S, State);
+    PPSPResult P =
+        pointToPointShortestPath(G, Q.Source, Q.Target, S, State, Limits);
     R.Dist = P.Dist;
     R.Stats = P.Stats;
+    Interrupted = P.Interrupted;
+    SettledBound = P.SettledBound;
     break;
   }
   case QueryKind::AStar: {
@@ -552,35 +709,65 @@ QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
       // Snapshot the target-side landmark distances once per query; the
       // per-relaxation estimate then avoids K scattered |V|-vector reads.
       LandmarkCache::TargetBound Bound = L->boundFor(Q.Target);
-      P = aStarSearch(G, Q.Source, Q.Target, S, State, &Bound);
+      P = aStarSearch(G, Q.Source, Q.Target, S, State, &Bound, Limits);
     } else if (HasCoordinates) {
-      P = aStarSearch(G, Q.Source, Q.Target, S, State, nullptr);
+      P = aStarSearch(G, Q.Source, Q.Target, S, State, nullptr, Limits);
     } else {
       // Landmarks lapsed and there is no coordinate bound: degrade to
       // plain PPSP (identical answers, no pruning) rather than fail.
-      P = pointToPointShortestPath(G, Q.Source, Q.Target, S, State);
+      P = pointToPointShortestPath(G, Q.Source, Q.Target, S, State, Limits);
     }
     R.Dist = P.Dist;
     R.Stats = P.Stats;
+    Interrupted = P.Interrupted;
+    SettledBound = P.SettledBound;
     break;
   }
   }
 
+  if (Interrupted) {
+    R.SettledBound = SettledBound;
+    // A deadline stop is the DeadlineExceeded outcome; a MaxDistance
+    // budget stop is a normal completion of the bounded search the
+    // caller asked for.
+    R.Status = R.Stats.Cancelled ? QueryStatus::DeadlineExceeded
+                                 : QueryStatus::Ok;
+  }
+
   R.Touched = State.numTouched();
-  if (Q.Kind == QueryKind::SSSP && Q.Target != kInvalidVertex)
-    R.Dist = State.dist(Q.Target); // submit() range-checked the target
+  if (Q.Kind == QueryKind::SSSP && Q.Target != kInvalidVertex) {
+    // submit() range-checked the target; report it only when provably
+    // settled (always, unless interrupted).
+    Priority D = State.dist(Q.Target);
+    R.Dist = D < SettledBound ? D : kInfiniteDistance;
+  }
+
+  if (Interrupted) {
+    // Report only the settled prefix: vertices at tentative distances at
+    // or above the bound might still improve had the run continued.
+    Count Settled = 0;
+    for (Count I = 0; I < R.Touched; ++I)
+      if (State.dist(State.touched(I)) < SettledBound)
+        ++Settled;
+    R.Touched = Settled;
+  }
 
   if (Q.CollectReached) {
     R.Reached.reserve(static_cast<size_t>(R.Touched));
-    for (Count I = 0; I < R.Touched; ++I) {
+    const Count Logged = State.numTouched();
+    for (Count I = 0; I < Logged; ++I) {
       VertexId V = State.touched(I);
-      R.Reached.emplace_back(V, State.dist(V));
+      Priority D = State.dist(V);
+      if (D < SettledBound)
+        R.Reached.emplace_back(V, D);
     }
     std::sort(R.Reached.begin(), R.Reached.end());
   }
 
+  // Path extraction also requires a settled target (an interrupted run's
+  // tentative parent chain can dead-end or detour).
   if (Q.CollectPath && State.tracksParents() &&
-      Q.Target != kInvalidVertex && State.dist(Q.Target) < kInfiniteDistance)
+      Q.Target != kInvalidVertex && State.dist(Q.Target) < SettledBound)
     R.Path = extractPath(G, State, Q.Source, Q.Target);
 
   return R;

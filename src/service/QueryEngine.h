@@ -44,8 +44,10 @@
 #include "service/LandmarkCache.h"
 #include "service/SnapshotStore.h"
 #include "service/StatePool.h"
+#include "support/Cancellation.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -64,6 +66,16 @@ namespace service {
 /// Which algorithm a query runs.
 enum class QueryKind { SSSP, PPSP, AStar };
 
+/// How a query's lifetime ended. Anything but `Ok` is a *typed, non-fatal*
+/// outcome — overload and expiry are expected operating conditions for a
+/// serving process, never reasons to crash or to block a caller forever.
+enum class QueryStatus : uint8_t {
+  Ok,               ///< ran to completion (possibly budget-bounded)
+  DeadlineExceeded, ///< interrupted at a round boundary; partial results
+  Shed,             ///< rejected by admission control without running
+  Failed,           ///< malformed request (out-of-range source/target)
+};
+
 /// One point(-to-point) query against the engine's graph snapshot.
 struct Query {
   QueryKind Kind = QueryKind::PPSP;
@@ -77,14 +89,41 @@ struct Query {
   bool CollectReached = false;
   /// PPSP/A* with parent tracking enabled: return the shortest path.
   bool CollectPath = false;
+  /// Wall-clock deadline in microseconds, measured from submit() (so time
+  /// spent queued counts). 0 = none. An expired query resolves with
+  /// `QueryStatus::DeadlineExceeded` and only *settled* partial results —
+  /// the engines check the clock once per bucket round, so enforcement
+  /// granularity is one round, not one edge relaxation.
+  int64_t DeadlineMicros = 0;
+  /// PPSP/A* only: stop once every distance below this bound is settled
+  /// (the target, if closer, is still reported exactly). A budget stop is
+  /// a normal `Ok` completion with `SettledBound` set.
+  Priority MaxDistance = kInfiniteDistance;
+  /// Admission priority under overload: past the high-water mark the
+  /// engine sheds the lowest-importance work first (ties shed the
+  /// incoming query). Irrelevant until `Options::AdmissionHighWater`.
+  int Importance = 0;
 };
 
 /// Result of one query.
 struct QueryResult {
+  /// How the query ended; see QueryStatus. `DeadlineExceeded` still
+  /// carries valid partial results (everything below `SettledBound`).
+  QueryStatus Status = QueryStatus::Ok;
   /// True when the query was rejected without running (out-of-range
   /// source/target); every other field is then default-valued. A malformed
-  /// request must not take down a serving process.
+  /// request must not take down a serving process. (Mirrors
+  /// `Status == QueryStatus::Failed`; kept for existing callers.)
   bool Failed = false;
+  /// True when admission control degraded this query (imposed a deadline
+  /// derived from recent service times) because the engine was past the
+  /// soft-water mark. The result may still be complete (`Ok`).
+  bool Degraded = false;
+  /// When the run was interrupted (deadline) or budget-bounded
+  /// (MaxDistance): every true distance strictly below this bound is
+  /// settled and exact; Reached/Touched/Dist are filtered to it.
+  /// kInfiniteDistance for an ordinary complete run.
+  Priority SettledBound = kInfiniteDistance;
   /// PPSP/A*: the target distance (kInfiniteDistance if unreachable).
   /// SSSP: kInfiniteDistance (per-vertex distances via Reached).
   Priority Dist = kInfiniteDistance;
@@ -146,6 +185,26 @@ public:
     /// sources are re-warmed — pair the hot cache with synchronous
     /// compaction (the store default) for uninterrupted repair.
     int HotSourceCapacity = 0;
+    /// Admission control: when the pending queue holds at least this many
+    /// queries, submitting one more sheds the lowest-importance pending
+    /// query (or the incoming one, on ties) as `QueryStatus::Shed` —
+    /// typed, immediate, never silent. 0 disables shedding (unbounded
+    /// queue, the historical behavior).
+    size_t AdmissionHighWater = 0;
+    /// Graceful degradation: when the pending queue holds at least this
+    /// many queries, PPSP/A* queries *without their own deadline* get one
+    /// imposed — `DegradeFactor` × the EWMA of recent same-kind service
+    /// times, floored at `DegradeFloorMicros` — and their results are
+    /// marked `Degraded`. Bounded work under pressure beats shedding;
+    /// SSSP is exempt (its full solution is what warms the hot cache).
+    /// 0 disables degradation.
+    size_t AdmissionSoftWater = 0;
+    /// Fraction of the recent same-kind service time a degraded query is
+    /// allowed (see AdmissionSoftWater).
+    double DegradeFactor = 0.5;
+    /// Lower bound for an imposed degraded deadline, so cold EWMAs never
+    /// degrade queries into zero-work rejections.
+    int64_t DegradeFloorMicros = 500;
   };
 
   QueryEngine(const Graph &G, Options Opts = {});
@@ -179,6 +238,14 @@ public:
   /// unknown or already-collected ticket is a fatal error (it would
   /// otherwise block forever). Thread-safe.
   QueryResult collect(uint64_t Ticket);
+
+  /// Non-fatal sibling of collect(): returns std::nullopt for an unknown
+  /// or already-collected ticket instead of aborting. A valid ticket
+  /// still blocks until its query finishes — under deadlines and
+  /// admission control every submitted query resolves (Ok,
+  /// DeadlineExceeded, Shed, or Failed), so the wait is bounded.
+  /// Thread-safe.
+  std::optional<QueryResult> tryCollect(uint64_t Ticket);
 
   /// Submits the whole batch and collects the results in input order.
   std::vector<QueryResult> runBatch(const std::vector<Query> &Batch);
@@ -227,6 +294,15 @@ public:
   OrderedStats aggregateStats() const;
   /// Queries completed so far.
   uint64_t queriesServed() const;
+  /// Queries rejected by admission control (Status == Shed).
+  uint64_t queriesShed() const;
+  /// Queries that resolved DeadlineExceeded (expired queued or mid-run).
+  uint64_t deadlinesExceeded() const;
+  /// Queries admission control degraded (imposed deadline); counted
+  /// whether or not the imposed deadline ended up firing.
+  uint64_t queriesDegraded() const;
+  /// Pending (not yet running) queries right now.
+  size_t queueDepth() const;
   /// Worker threads in the pool.
   int numWorkers() const { return static_cast<int>(Workers.size()); }
 
@@ -234,14 +310,23 @@ private:
   struct Task {
     uint64_t Ticket;
     Query Q;
+    /// submit() time; deadlines are measured from here so queueing delay
+    /// counts against the budget.
+    std::chrono::steady_clock::time_point Enqueued;
+    /// Effective deadline (the query's own, or one imposed by soft-water
+    /// degradation); 0 = none.
+    int64_t DeadlineMicros = 0;
+    bool Degraded = false;
   };
 
   void startWorkers();
   void workerLoop();
-  QueryResult runOne(const Query &Q, DistanceState &State) const;
+  QueryResult runOne(const Query &Q, DistanceState &State,
+                     const CancelToken *Cancel) const;
   template <typename GraphT>
   QueryResult runOneOn(const GraphT &G, const Query &Q, DistanceState &State,
-                       uint64_t SnapVersion) const;
+                       uint64_t SnapVersion,
+                       const CancelToken *Cancel) const;
 
   /// Serves \p QI from a hot source state if one exists at exactly the
   /// pinned version \p Ver (distances are unique, so a repaired state
@@ -327,6 +412,15 @@ private:
   uint64_t Served = 0;
   OrderedStats Aggregate;
   bool ShuttingDown = false;
+
+  /// Overload-behavior counters and the per-kind EWMA of service times
+  /// (microseconds; 0 until the first completed query of that kind), all
+  /// guarded by Mu. The EWMA only samples un-degraded Ok completions so
+  /// imposed deadlines can't feed back into ever-shrinking budgets.
+  uint64_t Sheds_ = 0;
+  uint64_t DeadlineExceeded_ = 0;
+  uint64_t Degraded_ = 0;
+  double EwmaMicros[3] = {0.0, 0.0, 0.0}; ///< indexed by QueryKind
 
   std::vector<std::thread> Workers;
 };

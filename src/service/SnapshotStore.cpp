@@ -7,11 +7,31 @@
 
 #include "service/SnapshotStore.h"
 
+#include "support/FailPoint.h"
+
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
 using namespace graphit;
 using namespace graphit::service;
+
+namespace {
+
+/// Bounded retries for snapshot publication. Publication allocates (the
+/// overlay copy), so a transient failure — or the `snapshot.publish` fail
+/// point — is retried; read-side state mutates only after the fallible
+/// part succeeded, so a failed attempt changes nothing.
+constexpr int kPublishRetryLimit = 64;
+
+/// Describes the first malformed record of a strict-mode rejected batch.
+std::string describeRejected(const EdgeUpdate &U, size_t Index) {
+  return "rejected batch: malformed update #" + std::to_string(Index) +
+         " (" + std::to_string(U.Src) + " -> " + std::to_string(U.Dst) +
+         ", w=" + std::to_string(U.W) + ")";
+}
+
+} // namespace
 
 SnapshotStore::SnapshotStore(Graph Base, Options Opts) : Opts(Opts) {
   // Reorder-on-load before the base CSR is frozen (no-op move for None).
@@ -57,16 +77,49 @@ void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
   // Caller holds WriteMu (asserted by the parameter): Writer is stable, so
   // copying it into an immutable snapshot and swapping the publish pointer
   // is the entire read-side critical section.
-  auto Snap = std::make_shared<const DeltaGraph>(Writer);
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      GRAPHIT_FAIL_POINT("snapshot.publish");
+      auto Snap = std::make_shared<const DeltaGraph>(Writer);
+      std::lock_guard<std::mutex> Lock(ReadMu);
+      Current = std::move(Snap);
+      ++Version;
+      return;
+    } catch (const std::exception &) {
+      if (Attempt >= kPublishRetryLimit)
+        throw;
+    }
+  }
+}
+
+void SnapshotStore::noteCompactionFailure(const std::string &Message) {
+  PendingError = Message; // WriteMu held by the caller
   std::lock_guard<std::mutex> Lock(ReadMu);
-  Current = std::move(Snap);
-  ++Version;
+  Degraded = true;
+  LastError = Message;
+}
+
+bool SnapshotStore::degraded() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Degraded;
+}
+
+std::string SnapshotStore::lastError() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return LastError;
 }
 
 SnapshotStore::ApplyResult
 SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   std::unique_lock<std::mutex> WriterLock(WriteMu);
   ApplyResult R;
+
+  // Surface a background-compaction failure exactly once, on the first
+  // writer call after it happened (the sticky form stays in lastError()).
+  if (!PendingError.empty()) {
+    R.CompactionError = std::move(PendingError);
+    PendingError.clear();
+  }
 
   // Reordered stores translate the batch into internal (layout) ids; the
   // snapshots, applied transitions, and any repaired distance states all
@@ -85,6 +138,25 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     }
     Apply = &Translated;
   }
+
+  // Strict mode: a poisoned batch is all-or-nothing. Validation runs
+  // before any mutation, so a rejection leaves the writer untouched and
+  // publishes no version — the caller gets a typed error plus the
+  // unchanged current snapshot.
+  if (Opts.StrictBatches) {
+    const Count N = Writer.numNodes();
+    for (size_t I = 0; I < Apply->size(); ++I) {
+      if (!DeltaGraph::validUpdate((*Apply)[I], N)) {
+        R.Status = ApplyStatus::RejectedBatch;
+        R.Error = describeRejected((*Apply)[I], I);
+        std::lock_guard<std::mutex> Lock(ReadMu);
+        R.Version = Version;
+        R.Snap = Current;
+        return R;
+      }
+    }
+  }
+
   R.Applied = coalesceApplied(Writer.apply(*Apply));
 
   if (CompactionRunning)
@@ -101,9 +173,21 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   if (OverThreshold && !CompactionRunning) {
     R.CompactionTriggered = true;
     if (!Opts.BackgroundCompaction) {
-      Writer = DeltaGraph(std::make_shared<const Graph>(Writer.compact()));
-      std::lock_guard<std::mutex> Lock(ReadMu);
-      ++Compactions;
+      try {
+        GRAPHIT_FAIL_POINT("compaction.rebuild");
+        Writer = DeltaGraph(std::make_shared<const Graph>(Writer.compact()));
+        std::lock_guard<std::mutex> Lock(ReadMu);
+        ++Compactions;
+        Degraded = false;
+        LastError.clear();
+      } catch (const std::exception &E) {
+        // Failed fold: the un-compacted overlay keeps serving and the
+        // next threshold trip retries. Surfaced on this very result (the
+        // pending slot is cleared so it is not reported twice).
+        noteCompactionFailure(std::string("compaction failed: ") + E.what());
+        R.CompactionError = std::move(PendingError);
+        PendingError.clear();
+      }
     } else {
       if (Compactor.joinable())
         Compactor.join(); // previous compactor already finished
@@ -128,37 +212,112 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
 }
 
 void SnapshotStore::compactorBody(Snapshot Pinned) {
-  // The expensive O(V + E) rebuild happens with no lock held.
-  auto NewBase = std::make_shared<const Graph>(Pinned->compact());
+  // Nothing may escape this thread (an uncaught exception would
+  // std::terminate the process): every fallible step runs under a catch,
+  // and any terminal failure downgrades to "keep serving the
+  // pre-compaction state, surface the error on the next writer call".
+  using SteadyClock = std::chrono::steady_clock;
+  const bool HasWatchdog = Opts.CompactionWatchdogMillis > 0;
+  const SteadyClock::time_point Watchdog =
+      SteadyClock::now() +
+      std::chrono::milliseconds(HasWatchdog ? Opts.CompactionWatchdogMillis
+                                            : 0);
+  auto watchdogExpired = [&] {
+    return HasWatchdog && SteadyClock::now() >= Watchdog;
+  };
+
+  // Phase 1: the expensive O(V + E) rebuild, with no lock held. Bounded
+  // retries with exponential backoff absorb transient faults (allocation
+  // failure, injected fail points); the watchdog caps the total budget so
+  // a repeatedly failing fold can never wedge writers or shutdown.
+  std::string Err;
+  std::shared_ptr<const Graph> NewBase;
+  int64_t BackoffMillis = std::max<int64_t>(Opts.CompactionBackoffMillis, 1);
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      GRAPHIT_FAIL_POINT("compaction.rebuild");
+      NewBase = std::make_shared<const Graph>(Pinned->compact());
+      break;
+    } catch (const std::exception &E) {
+      Err = E.what();
+    } catch (...) {
+      Err = "unknown compaction error";
+    }
+    if (Attempt >= Opts.CompactionRetryLimit || watchdogExpired())
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMillis));
+    BackoffMillis *= 2;
+  }
   Pinned.reset();
 
   std::unique_lock<std::mutex> WriterLock(WriteMu);
-  DeltaGraph Rebuilt(std::move(NewBase));
-  // Writer-side operations accepted while we were compacting: replay them
-  // onto the new base. Upsert/delete/growth semantics are deterministic,
-  // so the result equals the writer's current adjacency with an (almost)
-  // empty overlay. Universe growth replays too — otherwise a later batch
-  // referencing the new ids would be range-rejected.
-  for (const ReplayOp &Op : Replay) {
-    if (Op.GrowTo > 0)
-      Rebuilt.growUniverse(Op.GrowTo, Op.TailCoords.get());
-    else
-      Rebuilt.apply(Op.Batch);
+  // Phase 2: replay the writer-side operations accepted while we were
+  // compacting onto the new base. Upsert/delete/growth semantics are
+  // deterministic, so the result equals the writer's current adjacency
+  // with an (almost) empty overlay. Universe growth replays too —
+  // otherwise a later batch referencing the new ids would be
+  // range-rejected. Each retry restarts from a fresh overlay over the
+  // rebuilt base, so a half-replayed attempt can never leak; no backoff
+  // here — WriteMu is held and sleeping would block writers.
+  bool Ok = false;
+  if (NewBase) {
+    for (int Attempt = 0; !Ok; ++Attempt) {
+      try {
+        DeltaGraph Rebuilt(NewBase);
+        for (const ReplayOp &Op : Replay) {
+          GRAPHIT_FAIL_POINT("compaction.replay");
+          if (Op.GrowTo > 0)
+            Rebuilt.growUniverse(Op.GrowTo, Op.TailCoords.get());
+          else
+            Rebuilt.apply(Op.Batch);
+        }
+        Writer = std::move(Rebuilt);
+        Ok = true;
+      } catch (const std::exception &E) {
+        Err = E.what();
+      } catch (...) {
+        Err = "unknown compaction error";
+      }
+      if (!Ok && (Attempt >= Opts.CompactionRetryLimit || watchdogExpired()))
+        break;
+    }
   }
+
   Replay.clear();
-  Writer = std::move(Rebuilt);
   CompactionRunning = false;
-  {
-    std::lock_guard<std::mutex> Lock(ReadMu);
-    ++Compactions;
+  if (Ok) {
+    {
+      std::lock_guard<std::mutex> Lock(ReadMu);
+      ++Compactions;
+      Degraded = false;
+      LastError.clear();
+    }
+    try {
+      publish(WriterLock);
+    } catch (...) {
+      // Publication failed terminally: the compacted writer state is
+      // intact and the next writer call publishes it — readers just keep
+      // the previous version a little longer.
+    }
+  } else {
+    // Fallback: the pre-compaction writer (already holding every replayed
+    // batch) stays authoritative and published — serving never stalls on
+    // the wedged fold. The failure is surfaced on the next writer call.
+    noteCompactionFailure("background compaction failed: " + Err);
   }
-  publish(WriterLock);
   CompactionCv.notify_all();
 }
 
 void SnapshotStore::waitForCompaction() {
   std::unique_lock<std::mutex> WriterLock(WriteMu);
   CompactionCv.wait(WriterLock, [&] { return !CompactionRunning; });
+}
+
+bool SnapshotStore::waitForCompactionFor(int64_t TimeoutMillis) {
+  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  return CompactionCv.wait_for(WriterLock,
+                               std::chrono::milliseconds(TimeoutMillis),
+                               [&] { return !CompactionRunning; });
 }
 
 VertexId SnapshotStore::addVertices(Count HowMany,
@@ -181,6 +340,32 @@ VertexId SnapshotStore::addVertices(Count HowMany,
 //===----------------------------------------------------------------------===//
 // ShardedSnapshotStore
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Acquires the writer mutex of every shard in \p Order (already sorted
+/// ascending — the deadlock-free total order). A simulated acquisition
+/// failure (the `shard.lock` fail point) releases every lock already
+/// taken and retries the whole acquisition from scratch: partial lock
+/// sets never leak, and the ascending order is preserved across retries.
+template <typename ShardVec>
+void lockShardSet(ShardVec &Shards, const std::vector<int> &Order) {
+  for (;;) {
+    size_t Taken = 0;
+    try {
+      for (; Taken < Order.size(); ++Taken) {
+        GRAPHIT_FAIL_POINT("shard.lock");
+        Shards[static_cast<size_t>(Order[Taken])]->Mu.lock();
+      }
+      return;
+    } catch (const failpoints::FailPointError &) {
+      while (Taken > 0)
+        Shards[static_cast<size_t>(Order[--Taken])]->Mu.unlock();
+    }
+  }
+}
+
+} // namespace
 
 ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options Opts)
     : Opts(Opts) {
@@ -238,6 +423,16 @@ int ShardedSnapshotStore::shardOf(VertexId V) const {
       std::min<Count>(S, static_cast<Count>(Shards.size()) - 1));
 }
 
+bool ShardedSnapshotStore::degraded() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return Degraded;
+}
+
+std::string ShardedSnapshotStore::lastError() const {
+  std::lock_guard<std::mutex> Lock(ReadMu);
+  return LastError;
+}
+
 ShardedSnapshotStore::ApplyResult
 ShardedSnapshotStore::publishLocked(const std::vector<int> &Touched,
                                     std::vector<AppliedUpdate> Applied,
@@ -250,15 +445,35 @@ ShardedSnapshotStore::publishLocked(const std::vector<int> &Touched,
   R.Applied = std::move(Applied);
   R.CompactionTriggered = CompactionTriggered;
   std::lock_guard<std::mutex> Lock(ReadMu);
-  std::vector<std::shared_ptr<const DeltaGraph>> Snaps = Cur->shards();
+  if (!PendingError.empty()) {
+    R.CompactionError = std::move(PendingError);
+    PendingError.clear();
+  }
+  // Publication is all-or-nothing: every fallible step (the snapshot
+  // copies and the composite view — plus the snapshot.publish fail point)
+  // runs before any version state mutates, with bounded retries, so a
+  // failed attempt leaves versions, the composite, and DirtySince
+  // untouched.
+  std::shared_ptr<ShardedDeltaView> View;
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      GRAPHIT_FAIL_POINT("snapshot.publish");
+      std::vector<std::shared_ptr<const DeltaGraph>> Snaps = Cur->shards();
+      for (int S : Touched)
+        Snaps[static_cast<size_t>(S)] = std::make_shared<const DeltaGraph>(
+            Shards[static_cast<size_t>(S)]->Writer);
+      View = std::make_shared<ShardedDeltaView>(std::move(Snaps), Shift);
+      break;
+    } catch (const std::exception &) {
+      if (Attempt >= kPublishRetryLimit)
+        throw;
+    }
+  }
   for (int S : Touched) {
-    Snaps[static_cast<size_t>(S)] =
-        std::make_shared<const DeltaGraph>(Shards[static_cast<size_t>(S)]->Writer);
     ++ShardVersions[static_cast<size_t>(S)];
     Shards[static_cast<size_t>(S)]->DirtySince = Version + 1;
   }
   ++Version;
-  auto View = std::make_shared<ShardedDeltaView>(std::move(Snaps), Shift);
   View->setVersions(Version, ShardVersions);
   Cur = std::move(View);
   R.Version = Version;
@@ -307,8 +522,31 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
 
   // Lock involved shards in ascending order (deadlock-free total order),
   // held through the publish so versions of one shard can never regress.
-  for (int S : Touched)
-    Shards[static_cast<size_t>(S)]->Mu.lock();
+  lockShardSet(Shards, Touched);
+
+  // Strict mode: validate the whole batch against the pinned universe
+  // size before mutating any shard, so a poisoned batch rejects
+  // atomically — bit-compatible with the unsharded store (same batches
+  // rejected, no version published).
+  if (Opts.StrictBatches && !Touched.empty()) {
+    const Count N =
+        Shards[static_cast<size_t>(Touched.front())]->Writer.numNodes();
+    for (size_t I = 0; I < Apply->size(); ++I) {
+      if (!DeltaGraph::validUpdate((*Apply)[I], N)) {
+        ApplyResult R;
+        R.Status = ApplyStatus::RejectedBatch;
+        R.Error = describeRejected((*Apply)[I], I);
+        {
+          std::lock_guard<std::mutex> Lock(ReadMu);
+          R.Version = Version;
+          R.Snap = Cur;
+        }
+        for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
+          Shards[static_cast<size_t>(*It)]->Mu.unlock();
+        return R;
+      }
+    }
+  }
 
   // Shards whose overlay actually changed: the version-vector contract is
   // "bump exactly when that shard changed", so a locked shard that only
@@ -379,16 +617,15 @@ VertexId ShardedSnapshotStore::addVertices(Count HowMany,
   // on the node count (range checks, coordinate extents), so insertion
   // takes every shard lock. It is the rare, heavyweight operation of the
   // write path — edge batches on disjoint shards stay concurrent.
-  for (auto &S : Shards)
-    S->Mu.lock();
+  std::vector<int> All(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I)
+    All[I] = static_cast<int>(I);
+  lockShardSet(Shards, All);
   VertexId First = static_cast<VertexId>(Shards.front()->Writer.numNodes());
   if (HowMany > 0) {
     const Count GrowTo = static_cast<Count>(First) + HowMany;
     for (auto &S : Shards)
       S->Writer.growUniverse(GrowTo, TailCoords);
-    std::vector<int> All(Shards.size());
-    for (size_t I = 0; I < Shards.size(); ++I)
-      All[I] = static_cast<int>(I);
     publishLocked(All, {}, false);
   }
   for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
@@ -401,31 +638,45 @@ void ShardedSnapshotStore::compactAll() {
   // compaction is pending was already absorbed by the CompactionPending
   // flag in publishLocked.
   std::lock_guard<std::mutex> CompactGuard(CompactMu);
-  for (auto &S : Shards)
-    S->Mu.lock();
+  std::vector<int> All(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I)
+    All[I] = static_cast<int>(I);
+  lockShardSet(Shards, All);
 
   // Fold every shard's overlay into a fresh shared base. The expensive
   // O(V + E) rebuild runs under the shard locks — the sharded store
   // trades the unsharded store's background-compaction machinery for
-  // per-shard write concurrency the rest of the time.
-  std::vector<std::shared_ptr<const DeltaGraph>> Raw;
-  Raw.reserve(Shards.size());
-  for (auto &S : Shards)
-    Raw.push_back(std::make_shared<const DeltaGraph>(S->Writer));
-  ShardedDeltaView Whole(std::move(Raw), Shift);
-  auto NewBase = std::make_shared<const Graph>(Whole.compact());
-  for (auto &S : Shards)
-    S->Writer = DeltaGraph(NewBase);
+  // per-shard write concurrency the rest of the time. A failed fold
+  // (transient allocation fault, injected fail point) downgrades to
+  // "keep serving the overlays": the writers are only replaced after the
+  // rebuild fully succeeded, the next trigger retries, and the error is
+  // surfaced on the next apply.
+  try {
+    GRAPHIT_FAIL_POINT("compaction.rebuild");
+    std::vector<std::shared_ptr<const DeltaGraph>> Raw;
+    Raw.reserve(Shards.size());
+    for (auto &S : Shards)
+      Raw.push_back(std::make_shared<const DeltaGraph>(S->Writer));
+    ShardedDeltaView Whole(std::move(Raw), Shift);
+    auto NewBase = std::make_shared<const Graph>(Whole.compact());
+    for (auto &S : Shards)
+      S->Writer = DeltaGraph(NewBase);
 
-  {
+    {
+      std::lock_guard<std::mutex> Lock(ReadMu);
+      ++Compactions;
+      CompactionPending = false;
+      Degraded = false;
+      LastError.clear();
+    }
+    publishLocked(All, {}, false);
+  } catch (const std::exception &E) {
     std::lock_guard<std::mutex> Lock(ReadMu);
-    ++Compactions;
-    CompactionPending = false;
+    CompactionPending = false; // a later trigger may retry
+    Degraded = true;
+    LastError = std::string("compaction failed: ") + E.what();
+    PendingError = LastError;
   }
-  std::vector<int> All(Shards.size());
-  for (size_t I = 0; I < Shards.size(); ++I)
-    All[I] = static_cast<int>(I);
-  publishLocked(All, {}, false);
 
   for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
     (*It)->Mu.unlock();

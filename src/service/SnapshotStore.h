@@ -50,12 +50,22 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace graphit {
 namespace service {
+
+/// Batch-level outcome of an applyUpdates call (both stores).
+enum class ApplyStatus : uint8_t {
+  Ok,
+  /// Strict mode only: the batch contained a malformed update, nothing
+  /// was applied, and no version was published (`Snap` is the unchanged
+  /// current version). The offending record is described in `Error`.
+  RejectedBatch,
+};
 
 /// Versioned publisher of `DeltaGraph` snapshots over one base graph.
 class SnapshotStore {
@@ -81,9 +91,36 @@ public:
     /// Root hint for the Bfs ordering (see makeOrdering) in *original* id
     /// space — align with the dominant query source when known.
     VertexId ReorderSourceHint = 0;
+    /// All-or-nothing batches: reject a batch containing any malformed
+    /// update with a typed error (`ApplyStatus::RejectedBatch`) instead
+    /// of skipping the bad records and applying the rest.
+    bool StrictBatches = false;
+    /// Bounded retries for a failed compaction rebuild or replay
+    /// (transient faults — allocation failure, injected fail points).
+    int CompactionRetryLimit = 3;
+    /// Backoff before the first background-rebuild retry, doubling per
+    /// retry.
+    int64_t CompactionBackoffMillis = 10;
+    /// Watchdog: total wall-clock budget for one background compaction,
+    /// retries and backoff included; 0 disables. On expiry the fold is
+    /// abandoned and the pre-compaction state keeps serving (degraded,
+    /// error surfaced on the next writer call) — a wedged fold can never
+    /// stall serving or shutdown indefinitely.
+    int64_t CompactionWatchdogMillis = 0;
   };
 
   struct ApplyResult {
+    /// Batch-level outcome; everything below `Applied` is meaningful only
+    /// for Ok.
+    ApplyStatus Status = ApplyStatus::Ok;
+    /// Human-readable description of the rejected record (strict mode).
+    std::string Error;
+    /// Non-empty when a compaction failure is being surfaced: either the
+    /// failure of this call's synchronous compaction, or — exactly once —
+    /// a background-compaction failure that happened since the previous
+    /// writer call. The store keeps serving its un-compacted overlay
+    /// either way (see degraded()).
+    std::string CompactionError;
     /// Version published for this batch.
     uint64_t Version = 0;
     /// Directed, batch-coalesced transitions (at most one per directed
@@ -148,13 +185,34 @@ public:
   /// is published). No-op in synchronous mode.
   void waitForCompaction();
 
+  /// Bounded wait; returns false if a compaction is still in flight after
+  /// \p TimeoutMillis.
+  bool waitForCompactionFor(int64_t TimeoutMillis);
+
+  /// Degraded-but-serving: the last compaction failed (after retries /
+  /// watchdog) and its overlay has not been folded since. Queries keep
+  /// running over the un-compacted snapshots. Cleared by the next
+  /// successful compaction.
+  bool degraded() const;
+
+  /// The last compaction failure message ("" when none). Sticky until the
+  /// next successful compaction; independent of the one-shot
+  /// ApplyResult::CompactionError surfacing.
+  std::string lastError() const;
+
 private:
   void publish(std::unique_lock<std::mutex> &WriterLock);
   void compactorBody(Snapshot Pinned);
+  /// Records a failed compaction: marks the store degraded, keeps the
+  /// sticky LastError, and queues the one-shot PendingError for the next
+  /// writer call (caller holds WriteMu).
+  void noteCompactionFailure(const std::string &Message);
 
-  mutable std::mutex ReadMu; ///< guards Current + Version
+  mutable std::mutex ReadMu; ///< guards Current + Version + health flags
   Snapshot Current;
   uint64_t Version = 0;
+  bool Degraded = false;
+  std::string LastError;
   VertexMapping Map; ///< immutable after construction
 
   std::mutex WriteMu; ///< serializes writers and compaction hand-off
@@ -163,6 +221,7 @@ private:
   Options Opts;
   uint64_t Compactions = 0;
   bool CompactionRunning = false;
+  std::string PendingError; ///< guarded by WriteMu; one-shot surfacing
   std::thread Compactor;
   /// One writer-side operation recorded while a background compaction
   /// runs, replayed onto the rebuilt base before it replaces the writer
@@ -215,9 +274,21 @@ public:
     /// Cache-conscious layout, as in SnapshotStore::Options.
     ReorderKind Reorder = ReorderKind::None;
     VertexId ReorderSourceHint = 0;
+    /// All-or-nothing batches, as in SnapshotStore::Options (semantics
+    /// are bit-compatible: same batches rejected, same versions
+    /// published).
+    bool StrictBatches = false;
   };
 
   struct ApplyResult {
+    /// Batch-level outcome (see SnapshotStore::ApplyResult).
+    ApplyStatus Status = ApplyStatus::Ok;
+    std::string Error;
+    /// One-shot surfacing of a global-compaction failure (the sharded
+    /// store compacts inline, so this reports the failure of a fold
+    /// triggered by this or an earlier batch; serving continues over the
+    /// un-compacted overlays either way).
+    std::string CompactionError;
     uint64_t Version = 0;
     /// Batch-coalesced directed transitions, byte-identical to what the
     /// unsharded store returns for the same batch (internal id space).
@@ -247,6 +318,11 @@ public:
                        const Coordinates *TailCoords = nullptr);
 
   uint64_t compactions() const;
+
+  /// Degraded-but-serving / sticky failure message, as in SnapshotStore.
+  bool degraded() const;
+  std::string lastError() const;
+
   int numShards() const { return static_cast<int>(Shards.size()); }
   /// The shard owning vertex \p V (internal id space).
   int shardOf(VertexId V) const;
@@ -271,10 +347,13 @@ private:
   /// shard locks itself.
   void compactAll();
 
-  mutable std::mutex ReadMu; ///< guards Cur
+  mutable std::mutex ReadMu; ///< guards Cur + versions + health flags
   Snapshot Cur;
   std::vector<uint64_t> ShardVersions; ///< guarded by ReadMu
   uint64_t Version = 0;                ///< guarded by ReadMu
+  bool Degraded = false;               ///< guarded by ReadMu
+  std::string LastError;               ///< guarded by ReadMu
+  std::string PendingError;            ///< guarded by ReadMu; one-shot
   VertexMapping Map;                   ///< immutable after construction
 
   Options Opts;

@@ -20,6 +20,7 @@
 #define GRAPHIT_SERVICE_STATEPOOL_H
 
 #include "algorithms/QueryState.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <memory>
@@ -103,6 +104,7 @@ public:
   /// holder's responsibility (`DistanceState::resize` is cheap and
   /// grow-only). Never shrinks.
   void grow(Count NewNumNodes) {
+    GRAPHIT_FAIL_POINT("statepool.grow");
     std::lock_guard<std::mutex> Guard(Mu);
     NumNodes = std::max(NumNodes, NewNumNodes);
   }

@@ -1,0 +1,91 @@
+//===- support/Cancellation.h - Cooperative cancellation --------*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for the ordered engines.
+///
+/// The bucket-round structure of ordered processing gives a natural
+/// cancellation point: between rounds every priority strictly below the
+/// next bucket key (times Delta) is provably settled, so an interrupted
+/// run can report an exact prefix of the final answer rather than an
+/// arbitrary tentative state. `CancelToken` carries both a manual flag
+/// and an optional wall-clock deadline; the engines poll it once per
+/// round (O(1) amortized — never inside the per-edge hot loop), and the
+/// eager engine latches the decision in its single-thread bookkeeping
+/// block so every OpenMP thread observes the same verdict at the same
+/// barrier (a raw clock read in the loop condition would let threads
+/// disagree and deadlock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_CANCELLATION_H
+#define GRAPHIT_SUPPORT_CANCELLATION_H
+
+#include "support/Types.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace graphit {
+
+/// Shared cancellation token. One writer may `cancel()` at any time (or
+/// arm a deadline up front); the engines poll `expired()` at round
+/// boundaries. Polling is a relaxed atomic load plus, when a deadline is
+/// armed, one steady_clock read — cheap enough for once-per-round use
+/// and exactly zero when no token is passed.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// Arms a wall-clock deadline; the token reports expired once
+  /// steady_clock passes it.
+  void setDeadline(std::chrono::steady_clock::time_point At) {
+    Deadline = At;
+    HasDeadline = true;
+  }
+
+  /// Convenience: deadline \p Micros microseconds from now (<= 0 expires
+  /// immediately).
+  void setDeadlineAfterMicros(int64_t Micros) {
+    setDeadline(std::chrono::steady_clock::now() +
+                std::chrono::microseconds(Micros));
+  }
+
+  /// Requests cancellation manually (thread-safe, idempotent).
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the armed deadline.
+  bool expired() const {
+    if (Cancelled.load(std::memory_order_relaxed))
+      return true;
+    return HasDeadline && std::chrono::steady_clock::now() >= Deadline;
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  bool HasDeadline = false; ///< set-before-share, read-only afterwards
+  std::chrono::steady_clock::time_point Deadline{};
+};
+
+/// Per-run resource limits threaded through the pooled algorithm entry
+/// points. Default-constructed limits are inert and add no cost.
+struct RunLimits {
+  /// Cooperative cancellation token (deadline and/or manual), or nullptr.
+  const CancelToken *Cancel = nullptr;
+  /// Priority-space search budget for point-to-point queries: the run
+  /// stops once the bucket lower bound reaches this value, reporting
+  /// only provably settled results. kInfiniteDistance disables it.
+  Priority MaxDistance = kInfiniteDistance;
+
+  bool active() const {
+    return Cancel != nullptr || MaxDistance != kInfiniteDistance;
+  }
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_CANCELLATION_H

@@ -1,0 +1,177 @@
+//===- support/FailPoint.cpp - Deterministic fault injection --------------===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#if GRAPHIT_FAILPOINTS
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace graphit {
+namespace failpoints {
+namespace {
+
+struct PointConfig {
+  double Probability = 0.0; ///< throw-mode fire probability
+  int64_t SleepMillis = 0;  ///< > 0: sleep instead of throwing
+  uint64_t MaxFires = 0;    ///< 0 = unlimited
+  uint64_t Fires = 0;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::map<std::string, PointConfig> Points;
+  SplitMix64 Rng{0x5EEDF417ULL};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+void evaluate(const char *Name) {
+  Registry &R = registry();
+  int64_t SleepMillis = -1;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    if (R.Points.empty())
+      return;
+    auto It = R.Points.find(Name);
+    if (It == R.Points.end())
+      return;
+    PointConfig &P = It->second;
+    if (P.MaxFires != 0 && P.Fires >= P.MaxFires)
+      return;
+    if (P.SleepMillis <= 0 && R.Rng.nextDouble() >= P.Probability)
+      return;
+    ++P.Fires;
+    SleepMillis = P.SleepMillis;
+  }
+  if (SleepMillis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMillis));
+    return;
+  }
+  throw FailPointError(Name);
+}
+
+void activate(const std::string &Name, double Probability,
+              uint64_t MaxFires) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  PointConfig &P = R.Points[Name];
+  P.Probability = Probability;
+  P.SleepMillis = 0;
+  P.MaxFires = MaxFires;
+  P.Fires = 0;
+}
+
+void activateDelay(const std::string &Name, int64_t Millis) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  PointConfig &P = R.Points[Name];
+  P.Probability = 0.0;
+  P.SleepMillis = Millis;
+  P.MaxFires = 0;
+  P.Fires = 0;
+}
+
+void deactivate(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Points.erase(Name);
+}
+
+void reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Points.clear();
+}
+
+void reseed(uint64_t Seed) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Rng = SplitMix64(Seed);
+  for (auto &Entry : R.Points)
+    Entry.second.Fires = 0;
+}
+
+uint64_t fireCount(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Points.find(Name);
+  return It == R.Points.end() ? 0 : It->second.Fires;
+}
+
+std::string configureFromEnv() {
+  const char *Spec = std::getenv("GRAPHIT_FAILPOINTS");
+  if (!Spec || !*Spec)
+    return std::string();
+  if (const char *SeedStr = std::getenv("GRAPHIT_FAILPOINTS_SEED"))
+    reseed(std::strtoull(SeedStr, nullptr, 10));
+
+  // Grammar: comma-separated `name=P[*N]` or `name=sleep(MS)`; the
+  // pseudo-name `all` targets every registered point.
+  std::string Armed = "failpoints:";
+  std::string Input(Spec);
+  size_t Pos = 0;
+  while (Pos < Input.size()) {
+    size_t End = Input.find(',', Pos);
+    if (End == std::string::npos)
+      End = Input.size();
+    std::string Item = Input.substr(Pos, End - Pos);
+    Pos = End + 1;
+    // Point names and schedule values never contain whitespace, so strip
+    // any the shell preserved (" name = 1.0 * 2 " parses like "name=1.0*2").
+    Item.erase(std::remove_if(
+                   Item.begin(), Item.end(),
+                   [](unsigned char C) { return std::isspace(C) != 0; }),
+               Item.end());
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      continue;
+    std::string Name = Item.substr(0, Eq);
+    std::string Value = Item.substr(Eq + 1);
+    auto armOne = [&](const std::string &Target) {
+      if (Value.rfind("sleep(", 0) == 0) {
+        activateDelay(Target,
+                      std::strtoll(Value.c_str() + 6, nullptr, 10));
+        return;
+      }
+      char *Rest = nullptr;
+      double Prob = std::strtod(Value.c_str(), &Rest);
+      uint64_t MaxFires = 0;
+      if (Rest && *Rest == '*')
+        MaxFires = std::strtoull(Rest + 1, nullptr, 10);
+      activate(Target, Prob, MaxFires);
+    };
+    if (Name == "all") {
+      for (const char *P : kAllPoints)
+        armOne(P);
+    } else {
+      armOne(Name);
+    }
+    Armed += " " + Name + "=" + Value;
+  }
+  return Armed;
+}
+
+} // namespace failpoints
+} // namespace graphit
+
+#endif // GRAPHIT_FAILPOINTS

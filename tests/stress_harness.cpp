@@ -13,6 +13,7 @@
 #include "graph/Builder.h"
 #include "graph/Generators.h"
 #include "service/SnapshotStore.h"
+#include "support/FailPoint.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -59,13 +60,20 @@ std::string graphit::stress::applyStressEnv(StressConfig &C) {
     C.Seed = std::strtoull(S, nullptr, 0);
   if (const char *R = std::getenv("GRAPHIT_STRESS_ROUNDS"))
     C.Rounds = std::max(1, std::atoi(R));
-  char Buf[160];
+  if (const char *F = std::getenv("GRAPHIT_STRESS_FAULTS")) {
+    // Probability per fail-point evaluation; any value > 0 arms injection
+    // (meaningful only in -DGRAPHIT_FAILPOINTS=ON builds).
+    C.FaultProbability = std::atof(F);
+    C.InjectFaults = C.FaultProbability > 0.0;
+  }
+  char Buf[192];
   std::snprintf(Buf, sizeof(Buf),
                 "stress config: seed=0x%llx rounds=%d batch=%lld shards=%d "
-                "%s insert=%d",
+                "%s insert=%d faults=%.3f",
                 static_cast<unsigned long long>(C.Seed), C.Rounds,
                 static_cast<long long>(C.BatchSize), C.NumShards,
-                C.Symmetric ? "road" : "rmat", C.InsertVertices ? 1 : 0);
+                C.Symmetric ? "road" : "rmat", C.InsertVertices ? 1 : 0,
+                C.InjectFaults ? C.FaultProbability : 0.0);
   return Buf;
 }
 
@@ -120,7 +128,29 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
 
   SplitMix64 Rng(C.Seed);
 
+  // Fault injection: arm every registered point for the store-mutation
+  // phase of the round, disarm before the reference apply and the
+  // differential reads. The reference DeltaGraph has no fail-point sites,
+  // so the stores must recover to *its* answers — bit-identically —
+  // whatever the injected publish/lock/compaction faults did. Reseeding
+  // from (Seed, Round) makes any failing schedule replay exactly.
+  const bool Faults = C.InjectFaults && failpoints::kFailPointsEnabled;
+  auto armFaults = [&](int RoundIdx) {
+    if (!Faults)
+      return;
+    failpoints::reseed(C.Seed ^
+                       (0x9E3779B97F4A7C15ULL *
+                        static_cast<uint64_t>(RoundIdx + 1)));
+    for (const char *P : failpoints::kAllPoints)
+      failpoints::activate(P, C.FaultProbability);
+  };
+  auto disarmFaults = [&] {
+    if (Faults)
+      failpoints::reset();
+  };
+
   for (int Round = 0; Round < C.Rounds; ++Round) {
+    armFaults(Round);
     const bool InsertRound =
         C.InsertVertices && Round % 3 == 2 && Ref.numNodes() >= 2;
 
@@ -180,6 +210,7 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
 
     SnapshotStore::ApplyResult PA = Plain.applyUpdates(Batch);
     ShardedSnapshotStore::ApplyResult SA = Sharded.applyUpdates(Batch);
+    disarmFaults();
     std::vector<AppliedUpdate> RefApplied = coalesceApplied(Ref.apply(Batch));
 
     // --- Applied-transition differential (external id space) ------------

@@ -159,6 +159,14 @@ struct StressConfig {
   /// Layout axis of the {ordering x schedule} matrix.
   ReorderKind PlainReorder = ReorderKind::None;
   ReorderKind ShardedReorder = ReorderKind::None;
+  /// Arm every registered fail point (support/FailPoint.h) with
+  /// FaultProbability for the store-mutation phase of each round, reseeded
+  /// deterministically from (Seed, round). The differential checks then
+  /// prove the stores converge bit-identically to the fault-free reference
+  /// *through* injected publish/lock/compaction faults. No-op unless the
+  /// library was built with -DGRAPHIT_FAILPOINTS=ON.
+  bool InjectFaults = false;
+  double FaultProbability = 0.05;
 };
 
 /// Runs the differential harness; returns "" on success or a failure

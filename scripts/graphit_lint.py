@@ -1,0 +1,632 @@
+#!/usr/bin/env python3
+# ===------------------------------------------------------------------------===#
+#
+# Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+# Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+#
+# ===------------------------------------------------------------------------===#
+"""Project-invariant linter for graphit-ordered.
+
+Enforces four concurrency/serving invariants that the compiler cannot see:
+
+  atomic-discipline      Writes to shared distance/key/priority arrays inside
+                         an `#pragma omp parallel` region must go through the
+                         helpers in support/Atomics.h (atomicWriteMin,
+                         atomicCAS, fetchAdd, ...), never raw `Dist[v] = x`.
+  cancel-poll            Every round loop in the ordered engines (src/core,
+                         src/algorithms) -- a `while` whose condition drains
+                         buckets via nextBucket() or the eager-engine
+                         kMaxEagerKey sentinel -- must poll cancellation
+                         (CancelToken::expired / CancelLatched) so serving
+                         deadlines hold bucket-by-bucket.
+  failpoint-registration Every GRAPHIT_FAIL_POINT site must name a string
+                         literal registered in failpoints::kAllPoints
+                         (support/FailPoint.h) and exercised by
+                         tests/failpoint_test.cpp; unregistered or untested
+                         points are dead recovery paths.
+  pin-escape             No raw DeltaGraph reference/pointer may escape a pin
+                         scope: binding `const DeltaGraph &G = *store.current()`
+                         or calling `.get()` on the temporary shared_ptr
+                         dangles as soon as the full expression ends.
+
+Suppression: a finding is waived by a comment on the same line or the line
+above:
+
+    // graphit-lint: allow(<rule>): <non-empty justification>
+
+The justification is mandatory; `allow(<rule>)` without one is itself an
+error. Findings print as `path:line: [rule] message` plus a per-rule summary
+(consumed by the CI job summary).
+
+Engines: `--engine=libclang` locates OpenMP parallel regions precisely from
+the AST using compile_commands.json; `--engine=regex` uses lexical
+brace/paren tracking. The default `auto` tries libclang and silently falls
+back, so the linter runs anywhere Python does.
+
+Fixture mode (`--fixtures DIR`): every .cpp/.h under DIR is checked against
+all rules; the file's first `// lint-expect:` comment declares the expected
+verdict (`pass`, or one or more `fail(<rule>)`), and the linter exits
+non-zero on any mismatch. This is how tests/lint_fixtures proves each rule
+fires, passes, and suppresses.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import Counter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+RULES = (
+    "atomic-discipline",
+    "cancel-poll",
+    "failpoint-registration",
+    "pin-escape",
+)
+
+SUPPRESS_RE = re.compile(
+    r"graphit-lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<colon>\s*:\s*(?P<why>\S.*))?"
+)
+
+# Write through an element of an array whose name suggests shared ordering
+# state (distance / key / priority). Thread-local accumulators are exempted
+# by naming convention (Local*/My*/Thread*/Priv*).
+SHARED_ARRAY = r"(?!Local|My|Thread|Priv)\w*(?:[Dd]ist|[Kk]ey|[Pp]rio)\w*"
+RAW_WRITE_RE = re.compile(
+    r"\b(?P<arr>%s)\s*\[[^\]]+\]\s*(?:(?:[-+*/%%|&^]|<<|>>)?=(?!=)|\+\+|--)"
+    % SHARED_ARRAY
+)
+ATOMIC_HELPERS_RE = re.compile(
+    r"\b(?:atomicCAS|atomicWriteMin|atomicWriteMax|atomicMin|atomicMax|"
+    r"atomicExchange|fetchAdd|atomicLoad|atomicStore)\s*\("
+)
+
+ROUND_LOOP_RE = re.compile(r"\bwhile\s*\(")
+ROUND_LOOP_MARKERS = ("nextBucket()", "kMaxEagerKey")
+CANCEL_POLL_RE = re.compile(
+    r"\b(?:Cancel\s*&&|Cancel\s*->\s*expired|isCancelled|CancelLatched|"
+    r"pollCancel)\b"
+)
+
+FAIL_POINT_RE = re.compile(r"\bGRAPHIT_FAIL_POINT\s*\(\s*(?P<arg>[^)]*)\)")
+STRING_LIT_RE = re.compile(r'^"(?P<name>[^"]*)"$')
+
+PIN_ESCAPE_RES = (
+    # `const DeltaGraph &G = *store.current();` -- the shared_ptr temporary
+    # dies at the end of the declaration and the reference dangles.
+    re.compile(r"&\s*\w+\s*=\s*\*\s*[\w.]*(?:->)?\s*current(?:Versioned)?\s*\(\)"),
+    # `store.current().get()` -- raw pointer outlives the unnamed pin.
+    re.compile(r"\bcurrent(?:Versioned)?\s*\(\)\s*\.\s*get\s*\(\)"),
+)
+
+LINT_EXPECT_RE = re.compile(r"//\s*lint-expect:\s*(?P<spec>.+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.message)
+
+
+# ---------------------------------------------------------------------------
+# Lexical utilities shared by both engines.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving offsets, so
+    brace/paren tracking and pattern matches never fire inside them."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                if i < n and text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def block_end(code, start):
+    """Offset just past the region beginning at `start`: the matching `}` of
+    the first top-level brace block, or the first `;` at depth zero (an
+    unbraced single-statement body)."""
+    depth_brace = 0
+    depth_paren = 0
+    seen_brace = False
+    i = start
+    while i < len(code):
+        c = code[i]
+        if c == "{":
+            depth_brace += 1
+            seen_brace = True
+        elif c == "}":
+            depth_brace -= 1
+            if seen_brace and depth_brace == 0:
+                return i + 1
+        elif c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren -= 1
+        elif c == ";" and not seen_brace and depth_brace == 0 and depth_paren == 0:
+            return i + 1
+        i += 1
+    return len(code)
+
+
+def matching_paren(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+# ---------------------------------------------------------------------------
+# OpenMP parallel-region discovery: libclang engine with regex fallback.
+# ---------------------------------------------------------------------------
+
+
+def load_compile_args(source_path):
+    cc_path = os.path.join(REPO_ROOT, "compile_commands.json")
+    try:
+        with open(cc_path) as f:
+            db = json.load(f)
+    except (OSError, ValueError):
+        return None
+    want = os.path.abspath(source_path)
+    for entry in db:
+        file_abs = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry.get("file", ""))
+        )
+        if file_abs == want:
+            args = entry.get("command", "").split()[1:]
+            # Drop output/input operands; keep flags for the parse.
+            cleaned, skip = [], False
+            for a in args:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-o", "-c"):
+                    skip = a == "-o"
+                    continue
+                if a == entry.get("file") or a.endswith(os.path.basename(want)):
+                    continue
+                cleaned.append(a)
+            return cleaned
+    return None
+
+
+def omp_regions_libclang(path, code):
+    """Return [(start_off, end_off)] of OpenMP parallel constructs, or None
+    if libclang is unavailable or the parse fails (caller falls back)."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        args = load_compile_args(path) or [
+            "-std=c++17",
+            "-fopenmp",
+            "-I%s" % os.path.join(REPO_ROOT, "src"),
+        ]
+        tu = index.parse(path, args=args)
+        regions = []
+
+        def walk(cursor):
+            kind = cursor.kind.name
+            if "OMP" in kind and "PARALLEL" in kind:
+                ext = cursor.extent
+                if ext.start.file and os.path.samefile(ext.start.file.name, path):
+                    start = offset_of(code, ext.start.line, ext.start.column)
+                    end = offset_of(code, ext.end.line, ext.end.column)
+                    regions.append((start, end))
+            for child in cursor.get_children():
+                walk(child)
+
+        walk(tu.cursor)
+        return regions
+    except Exception:
+        return None
+
+
+def offset_of(code, line, col):
+    pos = 0
+    for _ in range(line - 1):
+        nl = code.find("\n", pos)
+        if nl < 0:
+            return len(code)
+        pos = nl + 1
+    return min(pos + col - 1, len(code))
+
+
+OMP_PRAGMA_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b[^\n]*")
+
+
+def omp_regions_regex(code):
+    """Lexical fallback: region = pragma line (plus `\\` continuations)
+    followed by one brace block or one statement."""
+    regions = []
+    for m in OMP_PRAGMA_RE.finditer(code):
+        end_of_pragma = m.end()
+        while end_of_pragma < len(code) and code[end_of_pragma - 1 : end_of_pragma] != "\n":
+            end_of_pragma += 1
+        # Consume backslash continuations of the pragma itself.
+        while code[: end_of_pragma - 1].rstrip().endswith("\\"):
+            nl = code.find("\n", end_of_pragma)
+            end_of_pragma = len(code) if nl < 0 else nl + 1
+        regions.append((m.start(), block_end(code, end_of_pragma)))
+    return regions
+
+
+def omp_regions(path, code, engine):
+    if engine in ("auto", "libclang"):
+        regions = omp_regions_libclang(path, code)
+        if regions is not None:
+            return regions
+        if engine == "libclang":
+            sys.stderr.write(
+                "graphit_lint: libclang unavailable for %s; using regex regions\n"
+                % path
+            )
+    return omp_regions_regex(code)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions.
+# ---------------------------------------------------------------------------
+
+
+class Suppressions:
+    """allow() comments by (rule, line); malformed ones become findings."""
+
+    def __init__(self, path, raw_lines):
+        self.allowed = set()  # (rule, line) pairs, 1-based
+        self.errors = []
+        for idx, line in enumerate(raw_lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rule = m.group("rule")
+            if rule not in RULES:
+                self.errors.append(
+                    Finding(path, idx, "suppression",
+                            "allow(%s) names an unknown rule" % rule)
+                )
+                continue
+            if not m.group("why"):
+                self.errors.append(
+                    Finding(path, idx, "suppression",
+                            "allow(%s) requires a justification after ':'" % rule)
+                )
+                continue
+            # The allow covers its own line and the next code line, skipping
+            # the rest of a multi-line comment, so a wrapped justification
+            # still reaches the statement below it.
+            self.allowed.add((rule, idx))
+            j = idx
+            while j < len(raw_lines):
+                nxt = raw_lines[j].strip()
+                j += 1
+                if nxt and not nxt.startswith("//"):
+                    break
+            self.allowed.add((rule, j))
+
+    def covers(self, rule, line):
+        return (rule, line) in self.allowed or (rule, line - 1) in self.allowed
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each takes (path, raw text, comment-stripped text) -> [Finding].
+# ---------------------------------------------------------------------------
+
+
+def check_atomic_discipline(path, raw, code, engine):
+    findings = []
+    for start, end in omp_regions(path, code, engine):
+        region = code[start:end]
+        for m in RAW_WRITE_RE.finditer(region):
+            # An array declared inside the region is per-thread (each OpenMP
+            # thread runs its own copy of the region body), not shared.
+            decl = re.compile(
+                r"[\w>]\s+[&*]?\s*%s\s*[(\[{=]" % re.escape(m.group("arr"))
+            )
+            if decl.search(region, 0, m.start()):
+                continue
+            line = line_of(code, start + m.start())
+            line_text = raw.splitlines()[line - 1]
+            if ATOMIC_HELPERS_RE.search(line_text):
+                continue
+            findings.append(
+                Finding(
+                    path, line, "atomic-discipline",
+                    "raw write to shared array '%s' inside omp parallel "
+                    "region; use a support/Atomics.h helper" % m.group("arr"),
+                )
+            )
+    return findings
+
+
+def check_cancel_poll(path, raw, code):
+    findings = []
+    for m in ROUND_LOOP_RE.finditer(code):
+        open_paren = code.find("(", m.start())
+        close_paren = matching_paren(code, open_paren)
+        cond = code[open_paren : close_paren + 1]
+        if not any(marker in cond for marker in ROUND_LOOP_MARKERS):
+            continue
+        body = code[close_paren + 1 : block_end(code, close_paren + 1)]
+        if CANCEL_POLL_RE.search(cond) or CANCEL_POLL_RE.search(body):
+            continue
+        findings.append(
+            Finding(
+                path, line_of(code, m.start()), "cancel-poll",
+                "round loop never polls cancellation; check "
+                "CancelToken/CancelLatched once per bucket",
+            )
+        )
+    return findings
+
+
+def registered_fail_points():
+    header = os.path.join(REPO_ROOT, "src", "support", "FailPoint.h")
+    try:
+        with open(header) as f:
+            text = f.read()
+    except OSError:
+        return None, 0
+    m = re.search(r"kAllPoints\[\]\s*=\s*\{(?P<body>[^}]*)\}", text)
+    if not m:
+        return None, 0
+    names = set(re.findall(r'"([^"]+)"', m.group("body")))
+    line = line_of(text, m.start())
+    return names, line
+
+
+def tested_fail_points():
+    test = os.path.join(REPO_ROOT, "tests", "failpoint_test.cpp")
+    try:
+        with open(test) as f:
+            return set(re.findall(r'"([a-z]+\.[a-z]+)"', f.read()))
+    except OSError:
+        return set()
+
+
+def check_failpoint_registration(path, raw, code):
+    findings = []
+    registered, _ = registered_fail_points()
+    tested = tested_fail_points()
+    raw_lines = raw.splitlines()
+    for m in FAIL_POINT_RE.finditer(raw):
+        line = line_of(raw, m.start())
+        # The macro's own definition and doc comments are not call sites.
+        stripped = raw_lines[line - 1].lstrip()
+        if stripped.startswith("#") or stripped.startswith("//"):
+            continue
+        arg = m.group("arg").strip()
+        lit = STRING_LIT_RE.match(arg)
+        if not lit:
+            findings.append(
+                Finding(
+                    path, line, "failpoint-registration",
+                    "fail-point name '%s' is not a string literal; sites "
+                    "must be statically enumerable" % arg,
+                )
+            )
+            continue
+        name = lit.group("name")
+        if registered is not None and name not in registered:
+            findings.append(
+                Finding(
+                    path, line, "failpoint-registration",
+                    "fail point \"%s\" is not registered in "
+                    "failpoints::kAllPoints (support/FailPoint.h)" % name,
+                )
+            )
+        elif name not in tested:
+            findings.append(
+                Finding(
+                    path, line, "failpoint-registration",
+                    "fail point \"%s\" is never exercised by "
+                    "tests/failpoint_test.cpp" % name,
+                )
+            )
+    return findings
+
+
+def check_registry_coverage():
+    """Registry-side check (reported once, against FailPoint.h): every
+    registered point must be exercised by the fail-point test."""
+    registered, line = registered_fail_points()
+    if registered is None:
+        return []
+    tested = tested_fail_points()
+    header = os.path.join(REPO_ROOT, "src", "support", "FailPoint.h")
+    return [
+        Finding(
+            header, line, "failpoint-registration",
+            "registered fail point \"%s\" is never exercised by "
+            "tests/failpoint_test.cpp" % name,
+        )
+        for name in sorted(registered - tested)
+    ]
+
+
+def check_pin_escape(path, raw, code):
+    findings = []
+    for pattern in PIN_ESCAPE_RES:
+        for m in pattern.finditer(code):
+            findings.append(
+                Finding(
+                    path, line_of(code, m.start()), "pin-escape",
+                    "raw DeltaGraph reference/pointer escapes the pin "
+                    "scope; name the Snapshot first so the pin outlives "
+                    "every use",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+CANCEL_SCOPE = (
+    os.path.join("src", "core") + os.sep,
+    os.path.join("src", "algorithms") + os.sep,
+)
+
+
+def lint_file(path, engine, all_rules=False):
+    with open(path) as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    sup = Suppressions(path, raw.splitlines())
+    rel = os.path.relpath(path, REPO_ROOT)
+
+    findings = []
+    findings += check_atomic_discipline(path, raw, code, engine)
+    if all_rules or any(part in rel for part in CANCEL_SCOPE):
+        findings += check_cancel_poll(path, raw, code)
+    findings += check_failpoint_registration(path, raw, code)
+    findings += check_pin_escape(path, raw, code)
+
+    kept = [f for f in findings if not sup.covers(f.rule, f.line)]
+    return kept + sup.errors
+
+
+def iter_sources(paths):
+    exts = (".cpp", ".h", ".hpp", ".cc")
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+            continue
+        for dirpath, _, names in os.walk(p):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def run_tree(paths, engine):
+    findings = []
+    for path in iter_sources(paths):
+        findings.extend(lint_file(path, engine))
+    findings.extend(check_registry_coverage())
+    for f in findings:
+        print(f)
+    counts = Counter(f.rule for f in findings)
+    total = sum(counts.values())
+    summary = ", ".join("%s=%d" % (r, counts.get(r, 0)) for r in RULES)
+    print("graphit_lint: %d finding(s) [%s]" % (total, summary))
+    return 1 if findings else 0
+
+
+def expected_verdict(path):
+    """Parse the fixture's `// lint-expect:` header. Returns a set of rule
+    names expected to fire (empty set means expected clean)."""
+    with open(path) as f:
+        for line in f:
+            m = LINT_EXPECT_RE.search(line)
+            if not m:
+                continue
+            spec = m.group("spec").strip()
+            if spec == "pass":
+                return set()
+            rules = set(re.findall(r"fail\(([a-z-]+)\)", spec))
+            if rules:
+                return rules
+    return None
+
+
+def run_fixtures(fixture_dir, engine):
+    failures = 0
+    checked = 0
+    for path in iter_sources([fixture_dir]):
+        expected = expected_verdict(path)
+        rel = os.path.relpath(path, REPO_ROOT)
+        if expected is None:
+            print("%s: missing '// lint-expect:' header" % rel)
+            failures += 1
+            continue
+        fired = {f.rule for f in lint_file(path, engine, all_rules=True)}
+        checked += 1
+        if fired == expected:
+            continue
+        failures += 1
+        print(
+            "%s: expected %s, got %s"
+            % (
+                rel,
+                "pass" if not expected else "fail(%s)" % ",".join(sorted(expected)),
+                "pass" if not fired else "fail(%s)" % ",".join(sorted(fired)),
+            )
+        )
+        for f in lint_file(path, engine, all_rules=True):
+            print("    %s" % f)
+    print(
+        "graphit_lint: fixtures %d checked, %d mismatch(es)" % (checked, failures)
+    )
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*",
+        default=[os.path.join(REPO_ROOT, "src")],
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--engine", choices=("auto", "libclang", "regex"), default="auto",
+        help="OpenMP region discovery engine (default: auto)",
+    )
+    parser.add_argument(
+        "--fixtures", metavar="DIR",
+        help="run in fixture mode against DIR and verify lint-expect headers",
+    )
+    args = parser.parse_args()
+    if args.fixtures:
+        return run_fixtures(args.fixtures, args.engine)
+    return run_tree(args.paths, args.engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,9 @@ KCoreResult kCoreLazy(const Graph &G, const Schedule &S,
   std::vector<std::vector<VertexId>> PerThread(
       static_cast<size_t>(omp_get_max_threads()));
 
+  // graphit-lint: allow(cancel-poll): k-core is batch analytics, not a
+  // served query; the API takes no CancelToken and rounds are bounded by
+  // the degeneracy, so there is no deadline to honor mid-run.
   while (Queue.nextBucket()) {
     int64_t K = Queue.currentKey();
     R.MaxCore = std::max<Priority>(R.MaxCore, K);

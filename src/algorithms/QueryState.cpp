@@ -13,12 +13,12 @@
 
 using namespace graphit;
 
-DistanceState::DistanceState(Count NumNodes, bool TrackParents)
+DistanceState::DistanceState(Count NumNodes, bool WithParents)
     : Dist(static_cast<size_t>(NumNodes), kInfiniteDistance),
-      Parent(TrackParents ? static_cast<size_t>(NumNodes) : 0,
+      Parent(WithParents ? static_cast<size_t>(NumNodes) : 0,
              kInvalidVertex),
       Stamp(static_cast<size_t>(NumNodes), 0),
-      Touched(static_cast<size_t>(NumNodes)), TrackParents(TrackParents) {}
+      Touched(static_cast<size_t>(NumNodes)), TrackParents(WithParents) {}
 
 void DistanceState::resize(Count NewNumNodes) {
   if (NewNumNodes <= numNodes())

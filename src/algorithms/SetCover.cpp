@@ -109,6 +109,9 @@ SetCoverResult graphit::approxSetCover(const Graph &G, const Schedule &S,
            V; // unique per vertex; re-randomized every round
   };
 
+  // graphit-lint: allow(cancel-poll): set cover is batch analytics, not a
+  // served query; the API takes no CancelToken and the loop terminates
+  // once every element is covered, so there is no deadline to honor.
   while (NumUncovered > 0 && Queue.nextBucket()) {
     ++R.Stats.Rounds;
     ++RoundSalt;

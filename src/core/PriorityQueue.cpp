@@ -15,13 +15,13 @@
 
 using namespace graphit;
 
-PriorityQueue::PriorityQueue(bool AllowCoarsening, PriorityOrder Order,
+PriorityQueue::PriorityQueue(bool AllowCoarsening, PriorityOrder Ord,
                              std::vector<Priority> &PriorityVector,
                              const Schedule &S, VertexId StartVertex)
     : Prio(PriorityVector),
       Queue(static_cast<Count>(PriorityVector.size()), S.NumOpenBuckets,
-            Order),
-      Order(Order), Delta(AllowCoarsening ? S.Delta : 1),
+            Ord),
+      Order(Ord), Delta(AllowCoarsening ? S.Delta : 1),
       ChangedFlags(static_cast<Count>(PriorityVector.size())),
       PendingPerThread(static_cast<size_t>(omp_get_max_threads())) {
   Count N = static_cast<Count>(Prio.size());

@@ -89,7 +89,7 @@ struct TypeRef {
   std::vector<TypeKind> Params; ///< endpoint/value scalar kinds
 
   TypeRef() = default;
-  explicit TypeRef(TypeKind Kind) : Kind(Kind) {}
+  explicit TypeRef(TypeKind K) : Kind(K) {}
 
   bool isNumeric() const {
     return Kind == TypeKind::Int || Kind == TypeKind::Float;
@@ -113,7 +113,7 @@ public:
   SourceLoc loc() const { return Loc; }
 
 protected:
-  ASTNode(NodeKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  ASTNode(NodeKind K, SourceLoc L) : Kind(K), Loc(L) {}
   // Non-virtual and protected: nothing deletes through ASTNode*. The
   // polymorphic owner roots (Expr, Stmt) carry the virtual destructors.
   ~ASTNode() = default;
@@ -143,7 +143,7 @@ public:
   }
 
 protected:
-  Expr(NodeKind Kind, SourceLoc Loc) : ASTNode(Kind, Loc) {}
+  Expr(NodeKind K, SourceLoc L) : ASTNode(K, L) {}
 };
 
 using ExprPtr = std::unique_ptr<Expr>;
@@ -151,8 +151,8 @@ using ExprPtr = std::unique_ptr<Expr>;
 class IntLiteralExpr : public Expr {
 public:
   int64_t Value;
-  IntLiteralExpr(int64_t Value, SourceLoc Loc)
-      : Expr(NodeKind::IntLiteralExpr, Loc), Value(Value) {}
+  IntLiteralExpr(int64_t V, SourceLoc L)
+      : Expr(NodeKind::IntLiteralExpr, L), Value(V) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::IntLiteralExpr;
   }
@@ -161,8 +161,8 @@ public:
 class FloatLiteralExpr : public Expr {
 public:
   double Value;
-  FloatLiteralExpr(double Value, SourceLoc Loc)
-      : Expr(NodeKind::FloatLiteralExpr, Loc), Value(Value) {}
+  FloatLiteralExpr(double V, SourceLoc L)
+      : Expr(NodeKind::FloatLiteralExpr, L), Value(V) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::FloatLiteralExpr;
   }
@@ -171,8 +171,8 @@ public:
 class BoolLiteralExpr : public Expr {
 public:
   bool Value;
-  BoolLiteralExpr(bool Value, SourceLoc Loc)
-      : Expr(NodeKind::BoolLiteralExpr, Loc), Value(Value) {}
+  BoolLiteralExpr(bool V, SourceLoc L)
+      : Expr(NodeKind::BoolLiteralExpr, L), Value(V) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::BoolLiteralExpr;
   }
@@ -181,8 +181,8 @@ public:
 class StringLiteralExpr : public Expr {
 public:
   std::string Value;
-  StringLiteralExpr(std::string Value, SourceLoc Loc)
-      : Expr(NodeKind::StringLiteralExpr, Loc), Value(std::move(Value)) {}
+  StringLiteralExpr(std::string V, SourceLoc L)
+      : Expr(NodeKind::StringLiteralExpr, L), Value(std::move(V)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::StringLiteralExpr;
   }
@@ -191,8 +191,8 @@ public:
 class VarRefExpr : public Expr {
 public:
   std::string Name;
-  VarRefExpr(std::string Name, SourceLoc Loc)
-      : Expr(NodeKind::VarRefExpr, Loc), Name(std::move(Name)) {}
+  VarRefExpr(std::string N, SourceLoc L)
+      : Expr(NodeKind::VarRefExpr, L), Name(std::move(N)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::VarRefExpr;
   }
@@ -203,9 +203,9 @@ public:
   enum class OpKind { Add, Sub, Mul, Div, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
   OpKind Op;
   ExprPtr LHS, RHS;
-  BinaryExpr(OpKind Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
-      : Expr(NodeKind::BinaryExpr, Loc), Op(Op), LHS(std::move(LHS)),
-        RHS(std::move(RHS)) {}
+  BinaryExpr(OpKind O, ExprPtr A, ExprPtr B, SourceLoc L)
+      : Expr(NodeKind::BinaryExpr, L), Op(O), LHS(std::move(A)),
+        RHS(std::move(B)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::BinaryExpr;
   }
@@ -219,9 +219,8 @@ public:
   enum class OpKind { Neg, Not };
   OpKind Op;
   ExprPtr Operand;
-  UnaryExpr(OpKind Op, ExprPtr Operand, SourceLoc Loc)
-      : Expr(NodeKind::UnaryExpr, Loc), Op(Op),
-        Operand(std::move(Operand)) {}
+  UnaryExpr(OpKind O, ExprPtr E, SourceLoc L)
+      : Expr(NodeKind::UnaryExpr, L), Op(O), Operand(std::move(E)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::UnaryExpr;
   }
@@ -232,9 +231,9 @@ class CallExpr : public Expr {
 public:
   std::string Callee;
   std::vector<ExprPtr> Args;
-  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
-      : Expr(NodeKind::CallExpr, Loc), Callee(std::move(Callee)),
-        Args(std::move(Args)) {}
+  CallExpr(std::string C, std::vector<ExprPtr> A, SourceLoc L)
+      : Expr(NodeKind::CallExpr, L), Callee(std::move(C)),
+        Args(std::move(A)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::CallExpr;
   }
@@ -247,10 +246,10 @@ public:
   ExprPtr Base;
   std::string Method;
   std::vector<ExprPtr> Args;
-  MethodCallExpr(ExprPtr Base, std::string Method, std::vector<ExprPtr> Args,
-                 SourceLoc Loc)
-      : Expr(NodeKind::MethodCallExpr, Loc), Base(std::move(Base)),
-        Method(std::move(Method)), Args(std::move(Args)) {}
+  MethodCallExpr(ExprPtr B, std::string M, std::vector<ExprPtr> A,
+                 SourceLoc L)
+      : Expr(NodeKind::MethodCallExpr, L), Base(std::move(B)),
+        Method(std::move(M)), Args(std::move(A)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::MethodCallExpr;
   }
@@ -261,9 +260,9 @@ class IndexExpr : public Expr {
 public:
   ExprPtr Base;
   ExprPtr Index;
-  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
-      : Expr(NodeKind::IndexExpr, Loc), Base(std::move(Base)),
-        Index(std::move(Index)) {}
+  IndexExpr(ExprPtr B, ExprPtr I, SourceLoc L)
+      : Expr(NodeKind::IndexExpr, L), Base(std::move(B)),
+        Index(std::move(I)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::IndexExpr;
   }
@@ -275,10 +274,9 @@ class NewPriorityQueueExpr : public Expr {
 public:
   TypeRef PQType;
   std::vector<ExprPtr> Args;
-  NewPriorityQueueExpr(TypeRef PQType, std::vector<ExprPtr> Args,
-                       SourceLoc Loc)
-      : Expr(NodeKind::NewPriorityQueueExpr, Loc),
-        PQType(std::move(PQType)), Args(std::move(Args)) {}
+  NewPriorityQueueExpr(TypeRef T, std::vector<ExprPtr> A, SourceLoc L)
+      : Expr(NodeKind::NewPriorityQueueExpr, L), PQType(std::move(T)),
+        Args(std::move(A)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::NewPriorityQueueExpr;
   }
@@ -301,7 +299,7 @@ public:
   }
 
 protected:
-  Stmt(NodeKind Kind, SourceLoc Loc) : ASTNode(Kind, Loc) {}
+  Stmt(NodeKind K, SourceLoc L) : ASTNode(K, L) {}
 };
 
 using StmtPtr = std::unique_ptr<Stmt>;
@@ -311,10 +309,9 @@ public:
   std::string Name;
   TypeRef DeclType;
   ExprPtr Init; // may be null
-  VarDeclStmt(std::string Name, TypeRef DeclType, ExprPtr Init,
-              SourceLoc Loc)
-      : Stmt(NodeKind::VarDeclStmt, Loc), Name(std::move(Name)),
-        DeclType(std::move(DeclType)), Init(std::move(Init)) {}
+  VarDeclStmt(std::string N, TypeRef T, ExprPtr I, SourceLoc L)
+      : Stmt(NodeKind::VarDeclStmt, L), Name(std::move(N)),
+        DeclType(std::move(T)), Init(std::move(I)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::VarDeclStmt;
   }
@@ -324,9 +321,9 @@ class AssignStmt : public Stmt {
 public:
   ExprPtr Target; // VarRefExpr or IndexExpr
   ExprPtr Value;
-  AssignStmt(ExprPtr Target, ExprPtr Value, SourceLoc Loc)
-      : Stmt(NodeKind::AssignStmt, Loc), Target(std::move(Target)),
-        Value(std::move(Value)) {}
+  AssignStmt(ExprPtr T, ExprPtr V, SourceLoc L)
+      : Stmt(NodeKind::AssignStmt, L), Target(std::move(T)),
+        Value(std::move(V)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::AssignStmt;
   }
@@ -335,8 +332,8 @@ public:
 class ExprStmt : public Stmt {
 public:
   ExprPtr E;
-  ExprStmt(ExprPtr E, SourceLoc Loc)
-      : Stmt(NodeKind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprStmt(ExprPtr Ex, SourceLoc L)
+      : Stmt(NodeKind::ExprStmt, L), E(std::move(Ex)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::ExprStmt;
   }
@@ -346,9 +343,9 @@ class WhileStmt : public Stmt {
 public:
   ExprPtr Cond;
   std::vector<StmtPtr> Body;
-  WhileStmt(ExprPtr Cond, std::vector<StmtPtr> Body, SourceLoc Loc)
-      : Stmt(NodeKind::WhileStmt, Loc), Cond(std::move(Cond)),
-        Body(std::move(Body)) {}
+  WhileStmt(ExprPtr C, std::vector<StmtPtr> B, SourceLoc L)
+      : Stmt(NodeKind::WhileStmt, L), Cond(std::move(C)),
+        Body(std::move(B)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::WhileStmt;
   }
@@ -359,10 +356,10 @@ public:
   ExprPtr Cond;
   std::vector<StmtPtr> Then;
   std::vector<StmtPtr> Else;
-  IfStmt(ExprPtr Cond, std::vector<StmtPtr> Then, std::vector<StmtPtr> Else,
-         SourceLoc Loc)
-      : Stmt(NodeKind::IfStmt, Loc), Cond(std::move(Cond)),
-        Then(std::move(Then)), Else(std::move(Else)) {}
+  IfStmt(ExprPtr C, std::vector<StmtPtr> T, std::vector<StmtPtr> E,
+         SourceLoc L)
+      : Stmt(NodeKind::IfStmt, L), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::IfStmt;
   }
@@ -371,8 +368,8 @@ public:
 class DeleteStmt : public Stmt {
 public:
   std::string Name;
-  DeleteStmt(std::string Name, SourceLoc Loc)
-      : Stmt(NodeKind::DeleteStmt, Loc), Name(std::move(Name)) {}
+  DeleteStmt(std::string N, SourceLoc L)
+      : Stmt(NodeKind::DeleteStmt, L), Name(std::move(N)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::DeleteStmt;
   }
@@ -381,8 +378,8 @@ public:
 class ReturnStmt : public Stmt {
 public:
   ExprPtr Value; // may be null
-  ReturnStmt(ExprPtr Value, SourceLoc Loc)
-      : Stmt(NodeKind::ReturnStmt, Loc), Value(std::move(Value)) {}
+  ReturnStmt(ExprPtr V, SourceLoc L)
+      : Stmt(NodeKind::ReturnStmt, L), Value(std::move(V)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::ReturnStmt;
   }
@@ -402,14 +399,14 @@ public:
   }
 
 protected:
-  Decl(NodeKind Kind, std::string Name, SourceLoc Loc)
-      : ASTNode(Kind, Loc), Name(std::move(Name)) {}
+  Decl(NodeKind K, std::string N, SourceLoc L)
+      : ASTNode(K, L), Name(std::move(N)) {}
 };
 
 class ElementDecl : public Decl {
 public:
-  ElementDecl(std::string Name, SourceLoc Loc)
-      : Decl(NodeKind::ElementDecl, std::move(Name), Loc) {}
+  ElementDecl(std::string N, SourceLoc L)
+      : Decl(NodeKind::ElementDecl, std::move(N), L) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::ElementDecl;
   }
@@ -419,9 +416,9 @@ class ConstDecl : public Decl {
 public:
   TypeRef DeclType;
   ExprPtr Init; // may be null
-  ConstDecl(std::string Name, TypeRef DeclType, ExprPtr Init, SourceLoc Loc)
-      : Decl(NodeKind::ConstDecl, std::move(Name), Loc),
-        DeclType(std::move(DeclType)), Init(std::move(Init)) {}
+  ConstDecl(std::string N, TypeRef T, ExprPtr I, SourceLoc L)
+      : Decl(NodeKind::ConstDecl, std::move(N), L), DeclType(std::move(T)),
+        Init(std::move(I)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::ConstDecl;
   }
@@ -439,10 +436,10 @@ public:
   TypeRef ReturnType{TypeKind::Void};
   std::vector<StmtPtr> Body;
   bool IsExtern = false;
-  FuncDecl(std::string Name, std::vector<Param> Params,
-           std::vector<StmtPtr> Body, SourceLoc Loc)
-      : Decl(NodeKind::FuncDecl, std::move(Name), Loc),
-        Params(std::move(Params)), Body(std::move(Body)) {}
+  FuncDecl(std::string N, std::vector<Param> P, std::vector<StmtPtr> B,
+           SourceLoc L)
+      : Decl(NodeKind::FuncDecl, std::move(N), L), Params(std::move(P)),
+        Body(std::move(B)) {}
   static bool classof(const ASTNode *N) {
     return N->kind() == NodeKind::FuncDecl;
   }

@@ -60,7 +60,7 @@ struct Value {
 /// Simple lexical environment (one map per scope chain level).
 class Env {
 public:
-  explicit Env(const Env *Parent = nullptr) : Parent(Parent) {}
+  explicit Env(const Env *P = nullptr) : Parent(P) {}
 
   Value *find(const std::string &Name) {
     auto It = Vars.find(Name);
@@ -105,10 +105,10 @@ struct PQSink {
 
 class InterpreterImpl {
 public:
-  InterpreterImpl(const Program &Prog, const SemaResult &Sema,
-                  const ProgramAnalysis &Analysis, const Graph &G,
-                  const InterpOptions &Options)
-      : Prog(Prog), Sema(Sema), Analysis(Analysis), G(G), Options(Options) {}
+  InterpreterImpl(const Program &P, const SemaResult &SR,
+                  const ProgramAnalysis &PA, const Graph &Gr,
+                  const InterpOptions &O)
+      : Prog(P), Sema(SR), Analysis(PA), G(Gr), Options(O) {}
 
   InterpResult run() {
     InterpResult R;

@@ -18,8 +18,8 @@ namespace {
 /// every subsequent step a no-op, unwinding naturally.
 class ParserImpl {
 public:
-  ParserImpl(std::vector<Token> Tokens, std::string LexError)
-      : Tokens(std::move(Tokens)), Error(std::move(LexError)) {}
+  ParserImpl(std::vector<Token> Toks, std::string LexError)
+      : Tokens(std::move(Toks)), Error(std::move(LexError)) {}
 
   ParseResult run() {
     ParseResult Result;

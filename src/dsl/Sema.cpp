@@ -17,7 +17,7 @@ namespace {
 
 class SemaImpl {
 public:
-  explicit SemaImpl(Program &Prog) : Prog(Prog) {}
+  explicit SemaImpl(Program &P) : Prog(P) {}
 
   SemaResult run() {
     collectGlobals();

@@ -40,8 +40,7 @@ struct BuildOptions {
 /// Turns edge lists into `Graph`s.
 class GraphBuilder {
 public:
-  explicit GraphBuilder(BuildOptions Options = BuildOptions())
-      : Options(Options) {}
+  explicit GraphBuilder(BuildOptions O = BuildOptions()) : Options(O) {}
 
   /// Builds a CSR graph over \p NumNodes vertices from \p Edges.
   /// Vertex ids in the list must be < NumNodes.

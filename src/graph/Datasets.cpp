@@ -56,7 +56,8 @@ const char *graphit::datasetName(DatasetId Id) { return recipeFor(Id).Name; }
 bool graphit::isRoadNetwork(DatasetId Id) { return recipeFor(Id).Road; }
 
 double graphit::datasetScaleFromEnv() {
-  const char *Env = std::getenv("GRAPHIT_SCALE");
+  // Read once at startup before any worker thread exists.
+  const char *Env = std::getenv("GRAPHIT_SCALE"); // NOLINT(concurrency-mt-unsafe)
   if (!Env)
     return 1.0;
   double S = std::atof(Env);

@@ -240,7 +240,7 @@ Graph DeltaGraph::compact() const { return compactView(*this); }
 Graph ShardedDeltaView::compact() const { return compactView(*this); }
 
 std::vector<AppliedUpdate>
-graphit::coalesceApplied(std::vector<AppliedUpdate> Raw) {
+graphit::coalesceApplied(const std::vector<AppliedUpdate> &Raw) {
   std::unordered_map<uint64_t, size_t> Index;
   std::vector<AppliedUpdate> Out;
   Out.reserve(Raw.size());

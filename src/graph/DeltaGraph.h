@@ -332,7 +332,8 @@ private:
 /// with net no-ops dropped. Multiple updates of one edge inside a batch
 /// would otherwise hand incremental repair an intermediate "old" weight
 /// and break its tightness test. Shared by the snapshot stores.
-std::vector<AppliedUpdate> coalesceApplied(std::vector<AppliedUpdate> Raw);
+std::vector<AppliedUpdate>
+coalesceApplied(const std::vector<AppliedUpdate> &Raw);
 
 /// A read-only composite over per-shard `DeltaGraph` overlays: vertex V's
 /// adjacency is served by shard `shardOf(V)`, so engines templated over
@@ -347,14 +348,14 @@ std::vector<AppliedUpdate> coalesceApplied(std::vector<AppliedUpdate> Raw);
 class ShardedDeltaView {
 public:
   ShardedDeltaView() = default;
-  ShardedDeltaView(std::vector<std::shared_ptr<const DeltaGraph>> Shards,
-                   int Shift)
-      : Shards(std::move(Shards)), Shift(Shift) {
-    const DeltaGraph &S0 = *this->Shards.front();
+  ShardedDeltaView(std::vector<std::shared_ptr<const DeltaGraph>> Parts,
+                   int ShardShift)
+      : Shards(std::move(Parts)), Shift(ShardShift) {
+    const DeltaGraph &S0 = *Shards.front();
     NumNodes = S0.numNodes();
     const Count BaseEdges = S0.base().numEdges();
     NumEdges = 0;
-    for (const std::shared_ptr<const DeltaGraph> &S : this->Shards)
+    for (const std::shared_ptr<const DeltaGraph> &S : Shards)
       NumEdges += S->numEdges() - BaseEdges;
     NumEdges += BaseEdges;
   }

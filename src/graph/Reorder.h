@@ -70,7 +70,7 @@ std::vector<ReorderKind> allReorderKinds();
 class VertexMapping {
 public:
   /// Identity over \p NumNodes vertices.
-  explicit VertexMapping(Count NumNodes = 0) : NumNodes(NumNodes) {}
+  explicit VertexMapping(Count N = 0) : NumNodes(N) {}
 
   /// Builds from the internal->external table (`NewToOld[n]` = the external
   /// id that becomes internal id n). Aborts unless it is a permutation.

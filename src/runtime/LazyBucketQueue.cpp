@@ -18,10 +18,10 @@
 
 using namespace graphit;
 
-LazyBucketQueue::LazyBucketQueue(Count NumNodes, int NumOpenBuckets,
-                                 PriorityOrder Order)
-    : NumNodes(NumNodes), NumOpen(std::max(1, NumOpenBuckets)), Order(Order),
-      KeyOf_(static_cast<size_t>(NumNodes), kNoBucket),
+LazyBucketQueue::LazyBucketQueue(Count N, int NumOpenBuckets,
+                                 PriorityOrder Ord)
+    : NumNodes(N), NumOpen(std::max(1, NumOpenBuckets)), Order(Ord),
+      KeyOf_(static_cast<size_t>(N), kNoBucket),
       Open(static_cast<size_t>(NumOpen)) {}
 
 int64_t LazyBucketQueue::keyOf(VertexId V) const {

@@ -198,8 +198,8 @@ public:
   using KeyFn = std::function<int64_t(VertexId)>;
 
   LambdaBucketQueue(Count NumNodes, int NumOpenBuckets, PriorityOrder Order,
-                    KeyFn Key)
-      : Queue(NumNodes, NumOpenBuckets, Order), Key(std::move(Key)) {}
+                    KeyFn KeyOf)
+      : Queue(NumNodes, NumOpenBuckets, Order), Key(std::move(KeyOf)) {}
 
   /// Inserts every vertex for which the key function returns a key
   /// (kNoBucket means "absent").

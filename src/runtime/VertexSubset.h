@@ -78,7 +78,7 @@ public:
   }
 
 private:
-  VertexSubset(Count NumNodes, Count Size) : NumNodes(NumNodes), Size(Size) {}
+  VertexSubset(Count N, Count Sz) : NumNodes(N), Size(Sz) {}
 
   Count NumNodes;
   Count Size;

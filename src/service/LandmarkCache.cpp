@@ -23,9 +23,9 @@ LandmarkCache::LandmarkCache(std::shared_ptr<const Graph> GPtr,
   Owned = std::move(GPtr);
 }
 
-LandmarkCache::LandmarkCache(const Graph &G, int NumLandmarks,
+LandmarkCache::LandmarkCache(const Graph &Gr, int NumLandmarks,
                              const Schedule &S, VertexId ProbeStart)
-    : G(G), UseCoordinates(G.hasCoordinates()) {
+    : G(Gr), UseCoordinates(Gr.hasCoordinates()) {
   Count N = G.numNodes();
   if (N == 0 || NumLandmarks <= 0)
     return;
@@ -106,11 +106,11 @@ Priority LandmarkCache::estimate(VertexId V, VertexId Target) const {
   return estimateWith(TargetDist, V, Target);
 }
 
-LandmarkCache::TargetBound::TargetBound(const LandmarkCache &Cache,
+LandmarkCache::TargetBound::TargetBound(const LandmarkCache &C,
                                         VertexId Target)
-    : Cache(Cache) {
-  TargetDist.reserve(Cache.DistFrom.size());
-  for (const std::vector<Priority> &D : Cache.DistFrom)
+    : Cache(C) {
+  TargetDist.reserve(C.DistFrom.size());
+  for (const std::vector<Priority> &D : C.DistFrom)
     TargetDist.push_back(D[Target]);
 }
 

@@ -29,11 +29,10 @@ void QueryEngine::startWorkers() {
     Workers.emplace_back([this] { workerLoop(); });
 }
 
-QueryEngine::QueryEngine(const Graph &G, Options Opts)
+QueryEngine::QueryEngine(const Graph &G, Options O)
     : StaticG(&G), NumNodes(G.numNodes()),
-      HasCoordinates(G.hasCoordinates()), Opts(Opts),
-      OwnMap(G.numNodes()), Map(&OwnMap),
-      Pool(G.numNodes(), Opts.TrackParents) {
+      HasCoordinates(G.hasCoordinates()), Opts(O), OwnMap(G.numNodes()),
+      Map(&OwnMap), Pool(G.numNodes(), O.TrackParents) {
   if (Opts.Reorder != ReorderKind::None) {
     // Serve a cache-conscious layout internally; the boundary translation
     // in runOne keeps callers in original-id space.
@@ -49,22 +48,22 @@ QueryEngine::QueryEngine(const Graph &G, Options Opts)
   startWorkers();
 }
 
-QueryEngine::QueryEngine(SnapshotStore &Store, Options Opts)
-    : Store(&Store), NumNodes(Store.current()->numNodes()),
-      HasCoordinates(Store.current()->hasCoordinates()), Opts(Opts),
-      Map(&Store.mapping()), Pool(NumNodes, Opts.TrackParents) {
+QueryEngine::QueryEngine(SnapshotStore &S, Options O)
+    : Store(&S), NumNodes(S.current()->numNodes()),
+      HasCoordinates(S.current()->hasCoordinates()), Opts(O),
+      Map(&S.mapping()), Pool(NumNodes, O.TrackParents) {
   if (Opts.NumLandmarks > 0) {
     // Build the ALT cache from a compacted copy of the current version.
     // It keeps serving through increase-only batches (admissibility is
     // preserved when true distances can only grow) and is rebuilt on
     // compaction; see the constructor contract in the header.
-    auto [Snap, Ver] = Store.currentVersioned();
+    auto [Snap, Ver] = S.currentVersioned();
     Landmarks = std::make_shared<LandmarkCache>(
         std::make_shared<const Graph>(Snap->compact()), Opts.NumLandmarks,
         Opts.DefaultSchedule);
     LandmarksAdmissible = true;
     LandmarkVersion = Ver;
-    SeenCompactions = Store.compactions();
+    SeenCompactions = S.compactions();
   }
   startWorkers();
 }
@@ -100,7 +99,7 @@ void QueryEngine::noteAppliedBatch(const SnapshotStore::ApplyResult &R,
     RebuiltVersion = Ver;
   }
 
-  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  MutexLock Guard(LandmarkMu);
   LandmarksAdmissible = WasAdmissible && !Breaking;
   if (Rebuilt) {
     Landmarks = std::move(Rebuilt);
@@ -123,7 +122,7 @@ QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     // the window in which a query could pin the just-published (possibly
     // bound-breaking) version while still reading "admissible" — a batch
     // that proves to be increase-only restores the flag afterwards.
-    std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
+    MutexLock WriterGuard(LandmarkWriterMu);
     bool MaybeBreaking = false;
     for (const EdgeUpdate &U : Batch)
       if (U.Kind == UpdateKind::Upsert) {
@@ -132,7 +131,7 @@ QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
       }
     bool WasAdmissible;
     {
-      std::lock_guard<std::mutex> Guard(LandmarkMu);
+      MutexLock Guard(LandmarkMu);
       WasAdmissible = LandmarksAdmissible;
       if (MaybeBreaking)
         LandmarksAdmissible = false;
@@ -155,7 +154,7 @@ VertexId QueryEngine::addVertices(Count HowMany,
   // Serialize with landmark-tracked update batches so the retirement
   // below observes a consistent order (uncontended when landmarks are
   // off).
-  std::lock_guard<std::mutex> WriterGuard(LandmarkWriterMu);
+  MutexLock WriterGuard(LandmarkWriterMu);
   VertexId First = Store->addVertices(HowMany, TailCoords);
   if (HowMany <= 0)
     return First;
@@ -167,7 +166,7 @@ VertexId QueryEngine::addVertices(Count HowMany,
     // tail vertex would index out of bounds, so retire the cache. The
     // next compaction rebuilds it over the grown universe (the usual
     // rebuild path re-arms serving).
-    std::lock_guard<std::mutex> Guard(LandmarkMu);
+    MutexLock Guard(LandmarkMu);
     LandmarksAdmissible = false;
   }
 
@@ -190,7 +189,7 @@ VertexId QueryEngine::addVertices(Count HowMany,
     // Pure growth publishes a version whose distances are unchanged (new
     // vertices are unreachable until an edge batch seeds them): resize
     // and re-tag in place instead of repairing.
-    std::lock_guard<std::mutex> Guard(HotMu);
+    MutexLock Guard(HotMu);
     for (auto It = Hot.begin(); It != Hot.end();) {
       HotEntry &E = It->second;
       if (E.Version + 1 != NewVersion) {
@@ -207,7 +206,7 @@ VertexId QueryEngine::addVertices(Count HowMany,
 
 bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
                                QueryResult &R) const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   auto It = Hot.find(QI.Source);
   if (It == Hot.end() || !It->second.State || It->second.Version != Ver)
     return false;
@@ -240,7 +239,7 @@ bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
 }
 
 std::unique_ptr<DistanceState> QueryEngine::takeHotSlot() const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   if (Hot.size() < static_cast<size_t>(Opts.HotSourceCapacity))
     return nullptr;
   auto Victim = Hot.begin();
@@ -254,7 +253,7 @@ std::unique_ptr<DistanceState> QueryEngine::takeHotSlot() const {
 
 void QueryEngine::installHot(VertexId Source, uint64_t Ver,
                              std::unique_ptr<DistanceState> St) const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   HotEntry &E = Hot[Source];
   if (E.State && E.Version >= Ver)
     return; // a newer state for this source raced in; keep it
@@ -271,7 +270,7 @@ void QueryEngine::installHot(VertexId Source, uint64_t Ver,
 }
 
 void QueryEngine::repairHotStates(const SnapshotStore::ApplyResult &R) {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   const Count N = R.Snap->numNodes();
   for (auto It = Hot.begin(); It != Hot.end();) {
     HotEntry &E = It->second;
@@ -292,23 +291,23 @@ void QueryEngine::repairHotStates(const SnapshotStore::ApplyResult &R) {
 }
 
 uint64_t QueryEngine::hotHits() const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   return HotHits_;
 }
 
 uint64_t QueryEngine::hotRepairs() const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   return HotRepairs_;
 }
 
 size_t QueryEngine::hotStatesCached() const {
-  std::lock_guard<std::mutex> Guard(HotMu);
+  MutexLock Guard(HotMu);
   return Hot.size();
 }
 
 QueryEngine::~QueryEngine() {
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     ShuttingDown = true;
   }
   WorkCv.notify_all();
@@ -336,7 +335,7 @@ uint64_t QueryEngine::submit(Query Q) {
   bool Enqueued = false;
   bool Resolved = false; // a ticket (this one or a victim's) was finished
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     Ticket = NextTicket++;
     Outstanding.insert(Ticket);
     if (!Valid) {
@@ -405,14 +404,15 @@ uint64_t QueryEngine::submit(Query Q) {
 }
 
 QueryResult QueryEngine::collect(uint64_t Ticket) {
-  std::unique_lock<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   // An unknown or already-collected ticket would block forever below —
   // that is a caller bug, so fail fast instead of wedging the thread. The
   // ticket is claimed (erased) before waiting so a concurrent second
   // collect of the same ticket trips this guard instead of deadlocking.
   if (Outstanding.erase(Ticket) == 0)
     fatalError("QueryEngine::collect: unknown or already-collected ticket");
-  DoneCv.wait(Lock, [&] { return Finished.count(Ticket) != 0; });
+  while (Finished.count(Ticket) == 0)
+    DoneCv.wait(Lock.native());
   auto It = Finished.find(Ticket);
   QueryResult R = std::move(It->second);
   Finished.erase(It);
@@ -420,13 +420,14 @@ QueryResult QueryEngine::collect(uint64_t Ticket) {
 }
 
 std::optional<QueryResult> QueryEngine::tryCollect(uint64_t Ticket) {
-  std::unique_lock<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   // Same claim-then-wait protocol as collect(), but an unknown or
   // already-collected ticket is a recoverable nullopt — a server loop
   // handling retried or duplicated client requests shouldn't die for it.
   if (Outstanding.erase(Ticket) == 0)
     return std::nullopt;
-  DoneCv.wait(Lock, [&] { return Finished.count(Ticket) != 0; });
+  while (Finished.count(Ticket) == 0)
+    DoneCv.wait(Lock.native());
   auto It = Finished.find(Ticket);
   QueryResult R = std::move(It->second);
   Finished.erase(It);
@@ -447,32 +448,32 @@ QueryEngine::runBatch(const std::vector<Query> &Batch) {
 }
 
 OrderedStats QueryEngine::aggregateStats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Aggregate;
 }
 
 uint64_t QueryEngine::queriesServed() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Served;
 }
 
 uint64_t QueryEngine::queriesShed() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Sheds_;
 }
 
 uint64_t QueryEngine::deadlinesExceeded() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return DeadlineExceeded_;
 }
 
 uint64_t QueryEngine::queriesDegraded() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Degraded_;
 }
 
 size_t QueryEngine::queueDepth() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Pending.size();
 }
 
@@ -486,8 +487,12 @@ void QueryEngine::workerLoop() {
   while (true) {
     Task T;
     {
-      std::unique_lock<std::mutex> Lock(Mu);
-      WorkCv.wait(Lock, [&] { return ShuttingDown || !Pending.empty(); });
+      MutexLock Lock(Mu);
+      // Explicit wait loop (not the predicate overload): the guarded
+      // fields are read in this function's scope, where the analysis can
+      // see the lock held.
+      while (!ShuttingDown && Pending.empty())
+        WorkCv.wait(Lock.native());
       if (Pending.empty())
         return; // shutting down, queue drained
       T = std::move(Pending.front());
@@ -519,7 +524,7 @@ void QueryEngine::workerLoop() {
             .count();
 
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      MutexLock Lock(Mu);
       Aggregate.merge(R.Stats);
       ++Served;
       if (R.Status == QueryStatus::DeadlineExceeded)
@@ -582,24 +587,28 @@ std::vector<VertexId> extractPath(const GraphT &G, DistanceState &State,
 } // namespace
 
 std::shared_ptr<const LandmarkCache> QueryEngine::landmarks() const {
-  if (!Store)
-    return Landmarks; // immutable after construction
-  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  // Fixed-graph mode never mutates the cache after construction, but the
+  // "immutable, read without the lock" special case was exactly the kind
+  // of tribal-knowledge contract the thread-safety analysis exists to
+  // retire: the lock is uncontended there, so take it unconditionally.
+  MutexLock Guard(LandmarkMu);
   return Landmarks;
 }
 
 bool QueryEngine::landmarksUsable() const {
-  if (!Store)
-    return Landmarks != nullptr;
-  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  // Both modes set LandmarksAdmissible with the cache (fixed-graph caches
+  // are built admissible and never lapse), so one guarded read serves
+  // both.
+  MutexLock Guard(LandmarkMu);
   return Landmarks != nullptr && LandmarksAdmissible;
 }
 
 std::shared_ptr<const LandmarkCache>
 QueryEngine::landmarksFor(uint64_t SnapVersion) const {
-  if (!Store)
-    return Landmarks;
-  std::lock_guard<std::mutex> Guard(LandmarkMu);
+  // Fixed-graph queries pass SnapVersion 0 and the cache is built at
+  // version 0 admissible, so the live-mode predicate below degenerates to
+  // "return the cache" — no special case needed.
+  MutexLock Guard(LandmarkMu);
   // Admissible means "for every version from the cache's build through
   // the latest published". The query's pinned version is at most the
   // latest; requiring it to be at least the build version rules out a

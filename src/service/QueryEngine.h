@@ -45,6 +45,7 @@
 #include "service/SnapshotStore.h"
 #include "service/StatePool.h"
 #include "support/Cancellation.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <chrono>
@@ -354,12 +355,11 @@ private:
   landmarksFor(uint64_t SnapVersion) const;
 
   /// Live mode: refreshes landmark bookkeeping for one applied batch
-  /// (invalidate on insert/decrease, rebuild after compaction). Caller
-  /// holds LandmarkWriterMu; takes LandmarkMu only for the final flag and
-  /// pointer swaps — the expensive cache rebuild runs with no lock that a
-  /// query ever touches.
+  /// (invalidate on insert/decrease, rebuild after compaction). Takes
+  /// LandmarkMu only for the final flag and pointer swaps — the expensive
+  /// cache rebuild runs with no lock that a query ever touches.
   void noteAppliedBatch(const SnapshotStore::ApplyResult &R,
-                        bool WasAdmissible);
+                        bool WasAdmissible) REQUIRES(LandmarkWriterMu);
 
   const Graph *StaticG = nullptr;   ///< fixed-graph mode
   SnapshotStore *Store = nullptr;   ///< live mode
@@ -373,18 +373,22 @@ private:
   const VertexMapping *Map;         ///< mapping in effect (never null)
   StatePool Pool;
 
-  /// Landmark state. Fixed-graph mode: set once at construction, immutable
-  /// (read without locking). Live mode: the cheap flag/pointer fields are
-  /// guarded by LandmarkMu (queries take it for a few loads per A* run);
-  /// LandmarkWriterMu serializes applyUpdates end to end so admissibility
-  /// tracking observes batches in order and cache rebuilds (K full SSSPs)
-  /// never run under a lock a query waits on.
-  mutable std::mutex LandmarkMu;
-  std::mutex LandmarkWriterMu;
-  std::shared_ptr<const LandmarkCache> Landmarks;
-  bool LandmarksAdmissible = false;
-  uint64_t LandmarkVersion = 0;  ///< version the cache was built on
-  uint64_t SeenCompactions = 0;  ///< guarded by LandmarkWriterMu
+  /// Landmark state. The cheap flag/pointer fields are guarded by
+  /// LandmarkMu (queries take it for a few loads per A* run, in fixed and
+  /// live mode alike — uncontended in fixed mode, where nothing mutates
+  /// after construction); LandmarkWriterMu serializes applyUpdates end to
+  /// end so admissibility tracking observes batches in order and cache
+  /// rebuilds (K full SSSPs) never run under a lock a query waits on. The
+  /// writer lock nests strictly outside the flag lock (and outside HotMu,
+  /// via applyUpdates → repairHotStates) — the ACQUIRED_BEFORE edges make
+  /// the analysis, not a comment, own that ordering.
+  mutable Mutex LandmarkMu;
+  Mutex LandmarkWriterMu ACQUIRED_BEFORE(LandmarkMu, HotMu);
+  std::shared_ptr<const LandmarkCache> Landmarks GUARDED_BY(LandmarkMu);
+  bool LandmarksAdmissible GUARDED_BY(LandmarkMu) = false;
+  /// Version the cache was built on.
+  uint64_t LandmarkVersion GUARDED_BY(LandmarkMu) = 0;
+  uint64_t SeenCompactions GUARDED_BY(LandmarkWriterMu) = 0;
 
   /// Hot source states (Options::HotSourceCapacity). One mutex guards the
   /// map, the repair scratch, and the counters: queries take it for an
@@ -395,32 +399,37 @@ private:
     uint64_t Version = 0;
     uint64_t LastUsed = 0;
   };
-  mutable std::mutex HotMu;
-  mutable std::unordered_map<VertexId, HotEntry> Hot;
-  mutable RepairScratch HotScratch;
-  mutable uint64_t HotTick = 0;
-  mutable uint64_t HotHits_ = 0;
-  mutable uint64_t HotRepairs_ = 0;
+  mutable Mutex HotMu;
+  mutable std::unordered_map<VertexId, HotEntry> Hot GUARDED_BY(HotMu);
+  mutable RepairScratch HotScratch GUARDED_BY(HotMu);
+  mutable uint64_t HotTick GUARDED_BY(HotMu) = 0;
+  mutable uint64_t HotHits_ GUARDED_BY(HotMu) = 0;
+  mutable uint64_t HotRepairs_ GUARDED_BY(HotMu) = 0;
 
-  mutable std::mutex Mu;
+  /// The queue mutex. Never nested with the landmark or hot-state locks:
+  /// workers drop it before running a query and re-take it to publish the
+  /// result.
+  mutable Mutex Mu;
   std::condition_variable WorkCv;
   std::condition_variable DoneCv;
-  std::deque<Task> Pending;
-  std::unordered_map<uint64_t, QueryResult> Finished;
-  std::unordered_set<uint64_t> Outstanding; ///< issued, not yet collected
-  uint64_t NextTicket = 1;
-  uint64_t Served = 0;
-  OrderedStats Aggregate;
-  bool ShuttingDown = false;
+  std::deque<Task> Pending GUARDED_BY(Mu);
+  std::unordered_map<uint64_t, QueryResult> Finished GUARDED_BY(Mu);
+  /// Issued, not yet collected.
+  std::unordered_set<uint64_t> Outstanding GUARDED_BY(Mu);
+  uint64_t NextTicket GUARDED_BY(Mu) = 1;
+  uint64_t Served GUARDED_BY(Mu) = 0;
+  OrderedStats Aggregate GUARDED_BY(Mu);
+  bool ShuttingDown GUARDED_BY(Mu) = false;
 
   /// Overload-behavior counters and the per-kind EWMA of service times
-  /// (microseconds; 0 until the first completed query of that kind), all
-  /// guarded by Mu. The EWMA only samples un-degraded Ok completions so
-  /// imposed deadlines can't feed back into ever-shrinking budgets.
-  uint64_t Sheds_ = 0;
-  uint64_t DeadlineExceeded_ = 0;
-  uint64_t Degraded_ = 0;
-  double EwmaMicros[3] = {0.0, 0.0, 0.0}; ///< indexed by QueryKind
+  /// (microseconds; 0 until the first completed query of that kind). The
+  /// EWMA only samples un-degraded Ok completions so imposed deadlines
+  /// can't feed back into ever-shrinking budgets.
+  uint64_t Sheds_ GUARDED_BY(Mu) = 0;
+  uint64_t DeadlineExceeded_ GUARDED_BY(Mu) = 0;
+  uint64_t Degraded_ GUARDED_BY(Mu) = 0;
+  /// Indexed by QueryKind.
+  double EwmaMicros[3] GUARDED_BY(Mu) = {0.0, 0.0, 0.0};
 
   std::vector<std::thread> Workers;
 };

@@ -33,7 +33,7 @@ std::string describeRejected(const EdgeUpdate &U, size_t Index) {
 
 } // namespace
 
-SnapshotStore::SnapshotStore(Graph Base, Options Opts) : Opts(Opts) {
+SnapshotStore::SnapshotStore(Graph Base, Options O) : Opts(O) {
   // Reorder-on-load before the base CSR is frozen (no-op move for None).
   Writer = DeltaGraph(std::make_shared<const Graph>(
       reorderLoadedGraph(std::move(Base), Opts.Reorder, &Map,
@@ -48,40 +48,40 @@ SnapshotStore::~SnapshotStore() {
 }
 
 SnapshotStore::Snapshot SnapshotStore::current() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Current;
 }
 
 std::pair<SnapshotStore::Snapshot, uint64_t>
 SnapshotStore::currentVersioned() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return {Current, Version};
 }
 
 uint64_t SnapshotStore::version() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Version;
 }
 
 uint64_t SnapshotStore::compactions() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Compactions;
 }
 
 Count SnapshotStore::numNodes() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Current->numNodes();
 }
 
-void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
-  // Caller holds WriteMu (asserted by the parameter): Writer is stable, so
-  // copying it into an immutable snapshot and swapping the publish pointer
-  // is the entire read-side critical section.
+void SnapshotStore::publish() {
+  // Caller holds WriteMu (REQUIRES(WriteMu) on the declaration): Writer is
+  // stable, so copying it into an immutable snapshot and swapping the
+  // publish pointer is the entire read-side critical section.
   for (int Attempt = 0;; ++Attempt) {
     try {
       GRAPHIT_FAIL_POINT("snapshot.publish");
       auto Snap = std::make_shared<const DeltaGraph>(Writer);
-      std::lock_guard<std::mutex> Lock(ReadMu);
+      MutexLock Lock(ReadMu);
       Current = std::move(Snap);
       ++Version;
       return;
@@ -94,24 +94,24 @@ void SnapshotStore::publish(std::unique_lock<std::mutex> &) {
 
 void SnapshotStore::noteCompactionFailure(const std::string &Message) {
   PendingError = Message; // WriteMu held by the caller
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   Degraded = true;
   LastError = Message;
 }
 
 bool SnapshotStore::degraded() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Degraded;
 }
 
 std::string SnapshotStore::lastError() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return LastError;
 }
 
 SnapshotStore::ApplyResult
 SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
-  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  MutexLock WriterLock(WriteMu);
   ApplyResult R;
 
   // Surface a background-compaction failure exactly once, on the first
@@ -149,7 +149,7 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
       if (!DeltaGraph::validUpdate((*Apply)[I], N)) {
         R.Status = ApplyStatus::RejectedBatch;
         R.Error = describeRejected((*Apply)[I], I);
-        std::lock_guard<std::mutex> Lock(ReadMu);
+        MutexLock Lock(ReadMu);
         R.Version = Version;
         R.Snap = Current;
         return R;
@@ -176,7 +176,7 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
       try {
         GRAPHIT_FAIL_POINT("compaction.rebuild");
         Writer = DeltaGraph(std::make_shared<const Graph>(Writer.compact()));
-        std::lock_guard<std::mutex> Lock(ReadMu);
+        MutexLock Lock(ReadMu);
         ++Compactions;
         Degraded = false;
         LastError.clear();
@@ -202,9 +202,9 @@ SnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     }
   }
 
-  publish(WriterLock);
+  publish();
   {
-    std::lock_guard<std::mutex> Lock(ReadMu);
+    MutexLock Lock(ReadMu);
     R.Version = Version;
     R.Snap = Current;
   }
@@ -250,7 +250,7 @@ void SnapshotStore::compactorBody(Snapshot Pinned) {
   }
   Pinned.reset();
 
-  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  MutexLock WriterLock(WriteMu);
   // Phase 2: replay the writer-side operations accepted while we were
   // compacting onto the new base. Upsert/delete/growth semantics are
   // deterministic, so the result equals the writer's current adjacency
@@ -287,13 +287,13 @@ void SnapshotStore::compactorBody(Snapshot Pinned) {
   CompactionRunning = false;
   if (Ok) {
     {
-      std::lock_guard<std::mutex> Lock(ReadMu);
+      MutexLock Lock(ReadMu);
       ++Compactions;
       Degraded = false;
       LastError.clear();
     }
     try {
-      publish(WriterLock);
+      publish();
     } catch (...) {
       // Publication failed terminally: the compacted writer state is
       // intact and the next writer call publishes it — readers just keep
@@ -309,20 +309,29 @@ void SnapshotStore::compactorBody(Snapshot Pinned) {
 }
 
 void SnapshotStore::waitForCompaction() {
-  std::unique_lock<std::mutex> WriterLock(WriteMu);
-  CompactionCv.wait(WriterLock, [&] { return !CompactionRunning; });
+  // Explicit wait loop (not the predicate-lambda overload): the analysis
+  // is intra-procedural, so the guarded CompactionRunning read stays in a
+  // scope where WriteMu is visibly held.
+  MutexLock WriterLock(WriteMu);
+  while (CompactionRunning)
+    CompactionCv.wait(WriterLock.native());
 }
 
 bool SnapshotStore::waitForCompactionFor(int64_t TimeoutMillis) {
-  std::unique_lock<std::mutex> WriterLock(WriteMu);
-  return CompactionCv.wait_for(WriterLock,
-                               std::chrono::milliseconds(TimeoutMillis),
-                               [&] { return !CompactionRunning; });
+  MutexLock WriterLock(WriteMu);
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(TimeoutMillis);
+  while (CompactionRunning) {
+    if (CompactionCv.wait_until(WriterLock.native(), Deadline) ==
+        std::cv_status::timeout)
+      return !CompactionRunning;
+  }
+  return true;
 }
 
 VertexId SnapshotStore::addVertices(Count HowMany,
                                     const Coordinates *TailCoords) {
-  std::unique_lock<std::mutex> WriterLock(WriteMu);
+  MutexLock WriterLock(WriteMu);
   VertexId First = static_cast<VertexId>(Writer.numNodes());
   if (HowMany <= 0)
     return First; // nothing to grow; no version published
@@ -333,7 +342,7 @@ VertexId SnapshotStore::addVertices(Count HowMany,
         {},
         GrowTo,
         TailCoords ? std::make_shared<Coordinates>(*TailCoords) : nullptr});
-  publish(WriterLock);
+  publish();
   return First;
 }
 
@@ -341,34 +350,8 @@ VertexId SnapshotStore::addVertices(Count HowMany,
 // ShardedSnapshotStore
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Acquires the writer mutex of every shard in \p Order (already sorted
-/// ascending — the deadlock-free total order). A simulated acquisition
-/// failure (the `shard.lock` fail point) releases every lock already
-/// taken and retries the whole acquisition from scratch: partial lock
-/// sets never leak, and the ascending order is preserved across retries.
-template <typename ShardVec>
-void lockShardSet(ShardVec &Shards, const std::vector<int> &Order) {
-  for (;;) {
-    size_t Taken = 0;
-    try {
-      for (; Taken < Order.size(); ++Taken) {
-        GRAPHIT_FAIL_POINT("shard.lock");
-        Shards[static_cast<size_t>(Order[Taken])]->Mu.lock();
-      }
-      return;
-    } catch (const failpoints::FailPointError &) {
-      while (Taken > 0)
-        Shards[static_cast<size_t>(Order[--Taken])]->Mu.unlock();
-    }
-  }
-}
-
-} // namespace
-
-ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options Opts)
-    : Opts(Opts) {
+ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options O)
+    : Opts(O) {
   this->Opts.NumShards = std::max(1, Opts.NumShards);
   auto BasePtr = std::make_shared<const Graph>(
       reorderLoadedGraph(std::move(Base), Opts.Reorder, &Map,
@@ -392,29 +375,38 @@ ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options Opts)
 }
 
 ShardedSnapshotStore::Snapshot ShardedSnapshotStore::current() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Cur;
 }
 
 std::pair<ShardedSnapshotStore::Snapshot, uint64_t>
 ShardedSnapshotStore::currentVersioned() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return {Cur, Version};
 }
 
 uint64_t ShardedSnapshotStore::version() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Version;
 }
 
 Count ShardedSnapshotStore::numNodes() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Cur->numNodes();
 }
 
 uint64_t ShardedSnapshotStore::compactions() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Compactions;
+}
+
+std::vector<Mutex *>
+ShardedSnapshotStore::shardMutexes(const std::vector<int> &ShardIds) {
+  std::vector<Mutex *> Mus;
+  Mus.reserve(ShardIds.size());
+  for (int S : ShardIds)
+    Mus.push_back(&Shards[static_cast<size_t>(S)]->Mu);
+  return Mus;
 }
 
 int ShardedSnapshotStore::shardOf(VertexId V) const {
@@ -424,12 +416,12 @@ int ShardedSnapshotStore::shardOf(VertexId V) const {
 }
 
 bool ShardedSnapshotStore::degraded() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return Degraded;
 }
 
 std::string ShardedSnapshotStore::lastError() const {
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   return LastError;
 }
 
@@ -444,7 +436,7 @@ ShardedSnapshotStore::publishLocked(const std::vector<int> &Touched,
   ApplyResult R;
   R.Applied = std::move(Applied);
   R.CompactionTriggered = CompactionTriggered;
-  std::lock_guard<std::mutex> Lock(ReadMu);
+  MutexLock Lock(ReadMu);
   if (!PendingError.empty()) {
     R.CompactionError = std::move(PendingError);
     PendingError.clear();
@@ -522,7 +514,9 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
 
   // Lock involved shards in ascending order (deadlock-free total order),
   // held through the publish so versions of one shard can never regress.
-  lockShardSet(Shards, Touched);
+  // A simulated acquisition failure (the `shard.lock` fail point) makes
+  // DynamicLockSet release everything taken and retry the whole set.
+  DynamicLockSet ShardLocks(shardMutexes(Touched), "shard.lock");
 
   // Strict mode: validate the whole batch against the pinned universe
   // size before mutating any shard, so a poisoned batch rejects
@@ -537,13 +531,12 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
         R.Status = ApplyStatus::RejectedBatch;
         R.Error = describeRejected((*Apply)[I], I);
         {
-          std::lock_guard<std::mutex> Lock(ReadMu);
+          MutexLock Lock(ReadMu);
           R.Version = Version;
           R.Snap = Cur;
         }
-        for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
-          Shards[static_cast<size_t>(*It)]->Mu.unlock();
-        return R;
+        return R; // ShardLocks releases on scope exit
+
       }
     }
   }
@@ -601,10 +594,9 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   }
 
   ApplyResult R =
-      publishLocked(Dirty, coalesceApplied(std::move(Applied)), Trigger);
+      publishLocked(Dirty, coalesceApplied(Applied), Trigger);
 
-  for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
-    Shards[static_cast<size_t>(*It)]->Mu.unlock();
+  ShardLocks.release();
 
   if (R.CompactionTriggered)
     compactAll();
@@ -620,7 +612,7 @@ VertexId ShardedSnapshotStore::addVertices(Count HowMany,
   std::vector<int> All(Shards.size());
   for (size_t I = 0; I < Shards.size(); ++I)
     All[I] = static_cast<int>(I);
-  lockShardSet(Shards, All);
+  DynamicLockSet ShardLocks(shardMutexes(All), "shard.lock");
   VertexId First = static_cast<VertexId>(Shards.front()->Writer.numNodes());
   if (HowMany > 0) {
     const Count GrowTo = static_cast<Count>(First) + HowMany;
@@ -628,8 +620,6 @@ VertexId ShardedSnapshotStore::addVertices(Count HowMany,
       S->Writer.growUniverse(GrowTo, TailCoords);
     publishLocked(All, {}, false);
   }
-  for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
-    (*It)->Mu.unlock();
   return First;
 }
 
@@ -637,11 +627,11 @@ void ShardedSnapshotStore::compactAll() {
   // One global compaction at a time; a trigger that fires while another
   // compaction is pending was already absorbed by the CompactionPending
   // flag in publishLocked.
-  std::lock_guard<std::mutex> CompactGuard(CompactMu);
+  MutexLock CompactGuard(CompactMu);
   std::vector<int> All(Shards.size());
   for (size_t I = 0; I < Shards.size(); ++I)
     All[I] = static_cast<int>(I);
-  lockShardSet(Shards, All);
+  DynamicLockSet ShardLocks(shardMutexes(All), "shard.lock");
 
   // Fold every shard's overlay into a fresh shared base. The expensive
   // O(V + E) rebuild runs under the shard locks — the sharded store
@@ -663,7 +653,7 @@ void ShardedSnapshotStore::compactAll() {
       S->Writer = DeltaGraph(NewBase);
 
     {
-      std::lock_guard<std::mutex> Lock(ReadMu);
+      MutexLock Lock(ReadMu);
       ++Compactions;
       CompactionPending = false;
       Degraded = false;
@@ -671,13 +661,10 @@ void ShardedSnapshotStore::compactAll() {
     }
     publishLocked(All, {}, false);
   } catch (const std::exception &E) {
-    std::lock_guard<std::mutex> Lock(ReadMu);
+    MutexLock Lock(ReadMu);
     CompactionPending = false; // a later trigger may retry
     Degraded = true;
     LastError = std::string("compaction failed: ") + E.what();
     PendingError = LastError;
   }
-
-  for (auto It = Shards.rbegin(); It != Shards.rend(); ++It)
-    (*It)->Mu.unlock();
 }

@@ -46,6 +46,7 @@
 
 #include "graph/DeltaGraph.h"
 #include "graph/Reorder.h"
+#include "support/ThreadSafety.h"
 
 #include <condition_variable>
 #include <memory>
@@ -201,28 +202,38 @@ public:
   std::string lastError() const;
 
 private:
-  void publish(std::unique_lock<std::mutex> &WriterLock);
-  void compactorBody(Snapshot Pinned);
+  /// Copies the writer overlay into an immutable snapshot and swaps the
+  /// publish pointer (the entire read-side critical section). The
+  /// REQUIRES contract replaces the old pass-the-unique-lock-as-proof
+  /// parameter: the analysis now verifies every caller actually holds
+  /// WriteMu.
+  void publish() REQUIRES(WriteMu);
+  void compactorBody(Snapshot Pinned) EXCLUDES(WriteMu);
   /// Records a failed compaction: marks the store degraded, keeps the
   /// sticky LastError, and queues the one-shot PendingError for the next
-  /// writer call (caller holds WriteMu).
-  void noteCompactionFailure(const std::string &Message);
+  /// writer call.
+  void noteCompactionFailure(const std::string &Message) REQUIRES(WriteMu);
 
-  mutable std::mutex ReadMu; ///< guards Current + Version + health flags
-  Snapshot Current;
-  uint64_t Version = 0;
-  bool Degraded = false;
-  std::string LastError;
+  /// Writers always nest the read lock inside the write lock (publish,
+  /// failure notes); the analysis owns that ordering.
+  Mutex WriteMu ACQUIRED_BEFORE(ReadMu);
+  /// Guards the publish pointer, version counter, and health flags.
+  mutable Mutex ReadMu;
+
+  Snapshot Current GUARDED_BY(ReadMu);
+  uint64_t Version GUARDED_BY(ReadMu) = 0;
+  bool Degraded GUARDED_BY(ReadMu) = false;
+  std::string LastError GUARDED_BY(ReadMu);
+  uint64_t Compactions GUARDED_BY(ReadMu) = 0;
   VertexMapping Map; ///< immutable after construction
 
-  std::mutex WriteMu; ///< serializes writers and compaction hand-off
   std::condition_variable CompactionCv;
-  DeltaGraph Writer;
-  Options Opts;
-  uint64_t Compactions = 0;
-  bool CompactionRunning = false;
-  std::string PendingError; ///< guarded by WriteMu; one-shot surfacing
-  std::thread Compactor;
+  DeltaGraph Writer GUARDED_BY(WriteMu);
+  Options Opts; ///< immutable after construction
+  bool CompactionRunning GUARDED_BY(WriteMu) = false;
+  /// One-shot surfacing on the next writer call.
+  std::string PendingError GUARDED_BY(WriteMu);
+  std::thread Compactor GUARDED_BY(WriteMu);
   /// One writer-side operation recorded while a background compaction
   /// runs, replayed onto the rebuilt base before it replaces the writer
   /// overlay. Either an edge batch or a universe growth — growth must
@@ -233,7 +244,7 @@ private:
     Count GrowTo = 0; ///< 0 = edge batch; else grow universe to this size
     std::shared_ptr<const Coordinates> TailCoords;
   };
-  std::vector<ReplayOp> Replay;
+  std::vector<ReplayOp> Replay GUARDED_BY(WriteMu);
 };
 
 /// Scale-out snapshot store: the vertex universe is partitioned into
@@ -332,38 +343,51 @@ public:
 
 private:
   struct Shard {
-    std::mutex Mu;
+    /// Writer lock for this shard's overlay. `Writer` and `DirtySince`
+    /// are protected by it, but intentionally carry no GUARDED_BY: shard
+    /// locks are acquired as a *runtime-sized* ascending set (see
+    /// `DynamicLockSet` in support/ThreadSafety.h), which is beyond what
+    /// the static analysis can express — the one audited helper confines
+    /// the unanalyzable part, and everything above it stays annotated.
+    Mutex Mu;
     DeltaGraph Writer;
     uint64_t DirtySince = 0; ///< diagnostic: last version this shard changed
   };
 
+  /// The writer mutexes of \p ShardIds in the same order — \p ShardIds
+  /// must already be the sorted-ascending, deduplicated lock order that
+  /// `DynamicLockSet` requires.
+  std::vector<Mutex *> shardMutexes(const std::vector<int> &ShardIds);
+
   /// Publishes a new composite from the current shard writers. Caller
-  /// holds the Mu of every shard in \p Touched (sorted); bumps their
-  /// shard versions and the global version.
+  /// holds the Mu of every shard in \p Touched (sorted) via a
+  /// DynamicLockSet; bumps their shard versions and the global version.
   ApplyResult publishLocked(const std::vector<int> &Touched,
                             std::vector<AppliedUpdate> Applied,
-                            bool CompactionTriggered);
+                            bool CompactionTriggered) EXCLUDES(ReadMu);
   /// Global compaction: folds every overlay into a fresh base. Takes all
   /// shard locks itself.
-  void compactAll();
+  void compactAll() EXCLUDES(ReadMu);
 
-  mutable std::mutex ReadMu; ///< guards Cur + versions + health flags
-  Snapshot Cur;
-  std::vector<uint64_t> ShardVersions; ///< guarded by ReadMu
-  uint64_t Version = 0;                ///< guarded by ReadMu
-  bool Degraded = false;               ///< guarded by ReadMu
-  std::string LastError;               ///< guarded by ReadMu
-  std::string PendingError;            ///< guarded by ReadMu; one-shot
-  VertexMapping Map;                   ///< immutable after construction
+  /// Guards the composite pointer, version vector, and health flags.
+  mutable Mutex ReadMu;
+  Snapshot Cur GUARDED_BY(ReadMu);
+  std::vector<uint64_t> ShardVersions GUARDED_BY(ReadMu);
+  uint64_t Version GUARDED_BY(ReadMu) = 0;
+  bool Degraded GUARDED_BY(ReadMu) = false;
+  std::string LastError GUARDED_BY(ReadMu);
+  /// One-shot surfacing on the next apply.
+  std::string PendingError GUARDED_BY(ReadMu);
+  VertexMapping Map; ///< immutable after construction
 
-  Options Opts;
-  int Shift = 0;
-  bool Symmetric = false;
+  Options Opts;           ///< immutable after construction
+  int Shift = 0;          ///< immutable after construction
+  bool Symmetric = false; ///< immutable after construction
   bool MirrorsIn = false; ///< directed base carrying incoming adjacency
   std::vector<std::unique_ptr<Shard>> Shards;
-  std::mutex CompactMu;          ///< serializes global compactions
-  bool CompactionPending = false; ///< guarded by ReadMu
-  uint64_t Compactions = 0;       ///< guarded by ReadMu
+  Mutex CompactMu; ///< serializes global compactions
+  bool CompactionPending GUARDED_BY(ReadMu) = false;
+  uint64_t Compactions GUARDED_BY(ReadMu) = 0;
 };
 
 } // namespace service

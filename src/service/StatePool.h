@@ -21,6 +21,7 @@
 
 #include "algorithms/QueryState.h"
 #include "support/FailPoint.h"
+#include "support/ThreadSafety.h"
 
 #include <algorithm>
 #include <memory>
@@ -36,8 +37,8 @@ namespace service {
 /// the next `beginQuery` on them is what pays the O(touched) reset.
 class StatePool {
 public:
-  StatePool(Count NumNodes, bool TrackParents = false)
-      : NumNodes(NumNodes), TrackParents(TrackParents) {}
+  StatePool(Count N, bool WithParents = false)
+      : NumNodes(N), TrackParents(WithParents) {}
 
   StatePool(const StatePool &) = delete;
   StatePool &operator=(const StatePool &) = delete;
@@ -47,8 +48,8 @@ public:
   class Lease {
   public:
     Lease() = default;
-    Lease(StatePool *Owner, std::unique_ptr<DistanceState> State)
-        : Owner(Owner), State(std::move(State)) {}
+    Lease(StatePool *P, std::unique_ptr<DistanceState> S)
+        : Owner(P), State(std::move(S)) {}
     Lease(Lease &&O) noexcept = default;
     Lease &operator=(Lease &&O) noexcept {
       release();
@@ -80,7 +81,7 @@ public:
     Count WantNodes;
     std::unique_ptr<DistanceState> S;
     {
-      std::lock_guard<std::mutex> Guard(Mu);
+      MutexLock Guard(Mu);
       WantNodes = NumNodes;
       if (!Free.empty()) {
         S = std::move(Free.back());
@@ -105,34 +106,34 @@ public:
   /// grow-only). Never shrinks.
   void grow(Count NewNumNodes) {
     GRAPHIT_FAIL_POINT("statepool.grow");
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     NumNodes = std::max(NumNodes, NewNumNodes);
   }
 
   /// States currently sitting in the free list.
   size_t idle() const {
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     return Free.size();
   }
 
   /// Total states ever built (allocation high-water mark).
   size_t created() const {
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     return Created;
   }
 
 private:
   friend class Lease;
   void giveBack(std::unique_ptr<DistanceState> S) {
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     Free.push_back(std::move(S));
   }
 
-  mutable std::mutex Mu;
-  std::vector<std::unique_ptr<DistanceState>> Free;
-  size_t Created = 0;
-  Count NumNodes;
-  bool TrackParents;
+  mutable Mutex Mu;
+  std::vector<std::unique_ptr<DistanceState>> Free GUARDED_BY(Mu);
+  size_t Created GUARDED_BY(Mu) = 0;
+  Count NumNodes GUARDED_BY(Mu);
+  bool TrackParents; ///< immutable after construction
 };
 
 } // namespace service

@@ -26,8 +26,7 @@ namespace graphit {
 /// and safe to race.
 class Bitmap {
 public:
-  explicit Bitmap(Count NumBits)
-      : NumBits(NumBits), Words((NumBits + kBits - 1) / kBits, 0) {}
+  explicit Bitmap(Count N) : NumBits(N), Words((N + kBits - 1) / kBits, 0) {}
 
   /// Number of bits the map holds.
   Count size() const { return NumBits; }

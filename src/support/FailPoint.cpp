@@ -10,6 +10,7 @@
 #if GRAPHIT_FAILPOINTS
 
 #include "support/Random.h"
+#include "support/ThreadSafety.h"
 
 #include <algorithm>
 #include <cctype>
@@ -31,9 +32,9 @@ struct PointConfig {
 };
 
 struct Registry {
-  std::mutex Mu;
-  std::map<std::string, PointConfig> Points;
-  SplitMix64 Rng{0x5EEDF417ULL};
+  Mutex Mu;
+  std::map<std::string, PointConfig> Points GUARDED_BY(Mu);
+  SplitMix64 Rng GUARDED_BY(Mu){0x5EEDF417ULL};
 };
 
 Registry &registry() {
@@ -47,7 +48,7 @@ void evaluate(const char *Name) {
   Registry &R = registry();
   int64_t SleepMillis = -1;
   {
-    std::lock_guard<std::mutex> Lock(R.Mu);
+    MutexLock Lock(R.Mu);
     if (R.Points.empty())
       return;
     auto It = R.Points.find(Name);
@@ -71,7 +72,7 @@ void evaluate(const char *Name) {
 void activate(const std::string &Name, double Probability,
               uint64_t MaxFires) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   PointConfig &P = R.Points[Name];
   P.Probability = Probability;
   P.SleepMillis = 0;
@@ -81,7 +82,7 @@ void activate(const std::string &Name, double Probability,
 
 void activateDelay(const std::string &Name, int64_t Millis) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   PointConfig &P = R.Points[Name];
   P.Probability = 0.0;
   P.SleepMillis = Millis;
@@ -91,19 +92,19 @@ void activateDelay(const std::string &Name, int64_t Millis) {
 
 void deactivate(const std::string &Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   R.Points.erase(Name);
 }
 
 void reset() {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   R.Points.clear();
 }
 
 void reseed(uint64_t Seed) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   R.Rng = SplitMix64(Seed);
   for (auto &Entry : R.Points)
     Entry.second.Fires = 0;
@@ -111,16 +112,17 @@ void reseed(uint64_t Seed) {
 
 uint64_t fireCount(const std::string &Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
+  MutexLock Lock(R.Mu);
   auto It = R.Points.find(Name);
   return It == R.Points.end() ? 0 : It->second.Fires;
 }
 
 std::string configureFromEnv() {
-  const char *Spec = std::getenv("GRAPHIT_FAILPOINTS");
+  // Both reads happen once at startup before any worker thread exists.
+  const char *Spec = std::getenv("GRAPHIT_FAILPOINTS"); // NOLINT(concurrency-mt-unsafe)
   if (!Spec || !*Spec)
     return std::string();
-  if (const char *SeedStr = std::getenv("GRAPHIT_FAILPOINTS_SEED"))
+  if (const char *SeedStr = std::getenv("GRAPHIT_FAILPOINTS_SEED")) // NOLINT(concurrency-mt-unsafe)
     reseed(std::strtoull(SeedStr, nullptr, 10));
 
   // Grammar: comma-separated `name=P[*N]` or `name=sleep(MS)`; the

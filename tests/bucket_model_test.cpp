@@ -28,7 +28,7 @@ namespace {
 /// Reference model: exact key per queued vertex.
 class ModelQueue {
 public:
-  explicit ModelQueue(PriorityOrder Order) : Order(Order) {}
+  explicit ModelQueue(PriorityOrder Ord) : Order(Ord) {}
 
   void update(VertexId V, int64_t Key) { Keys[V] = Key; }
 

@@ -75,12 +75,14 @@ void checkSettledPrefix(const DistanceState &Partial,
   ASSERT_EQ(Partial.numNodes(), static_cast<Count>(Full.size())) << What;
   for (Count V = 0; V < Partial.numNodes(); ++V) {
     VertexId Id = static_cast<VertexId>(V);
-    if (Partial.dist(Id) < Bound)
+    if (Partial.dist(Id) < Bound) {
       EXPECT_EQ(Partial.dist(Id), Full[static_cast<size_t>(V)])
           << What << ": unsettled value reported below bound, vertex " << V;
-    if (Full[static_cast<size_t>(V)] < Bound)
+    }
+    if (Full[static_cast<size_t>(V)] < Bound) {
       EXPECT_EQ(Partial.dist(Id), Full[static_cast<size_t>(V)])
           << What << ": settled vertex missing below bound, vertex " << V;
+    }
   }
 }
 
@@ -323,8 +325,9 @@ TEST(Deadline, QueryEngineLiveAndPpspDeadlines) {
     B.MaxDistance = 1;
   QueryResult RB = Engine.runBatch({B})[0];
   EXPECT_EQ(RB.Status, QueryStatus::Ok);
-  if (RB.Dist != kInfiniteDistance)
+  if (RB.Dist != kInfiniteDistance) {
     EXPECT_EQ(RB.Dist, Full.Dist[B.Target]);
+  }
 }
 
 TEST(Deadline, TryCollectIsNonFatalAndCompatibleWithCollect) {

@@ -289,6 +289,43 @@ TEST(FailPoint, BackgroundCompactionReplayWindowSurvivesDelays) {
   EXPECT_EQ(Got.Dist, Want.Dist);
 }
 
+TEST(FailPoint, ReplayFaultsRetryFromFreshOverlay) {
+  SKIP_WITHOUT_FAILPOINTS();
+  FailPointGuard Guard;
+  Graph Base = makeRoad(16, 9);
+  SnapshotStore::Options Opts;
+  Opts.BackgroundCompaction = true;
+  Opts.CompactionThreshold = 0.01;
+  Opts.MinOverlayEdges = 8;
+  SnapshotStore Store(Base, Opts);
+  DeltaGraph Ref(std::make_shared<const Graph>(Base));
+  SplitMix64 Rng(0xFA4);
+
+  // Widen the rebuild so writer batches land in the replay window, then
+  // make the first two replay attempts throw ("compaction.replay" fires
+  // once per attempt at the first op). Each retry restarts from a fresh
+  // overlay over the rebuilt base, so the third attempt must converge to
+  // the same adjacency a fault-free fold produces.
+  failpoints::reseed(0xFA4);
+  failpoints::activateDelay("compaction.rebuild", 30);
+  failpoints::activate("compaction.replay", 1.0, /*MaxFires=*/2);
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<EdgeUpdate> Batch = randomBatch(Ref, 48, Rng);
+    Ref.apply(Batch);
+    ASSERT_EQ(Store.applyUpdates(Batch).Status, ApplyStatus::Ok);
+  }
+  failpoints::reset();
+  Store.waitForCompaction();
+  EXPECT_FALSE(Store.degraded());
+  EXPECT_GT(Store.compactions(), 0u);
+
+  Schedule S;
+  S.configApplyPriorityUpdateDelta(1024);
+  SSSPResult Got = deltaSteppingSSSP(*Store.current(), 0, S);
+  SSSPResult Want = deltaSteppingSSSP(Ref, 0, S);
+  EXPECT_EQ(Got.Dist, Want.Dist);
+}
+
 //===----------------------------------------------------------------------===//
 // Recovery paths, sharded store + query engine.
 //===----------------------------------------------------------------------===//

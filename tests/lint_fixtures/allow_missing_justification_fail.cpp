@@ -1,0 +1,13 @@
+// lint-expect: fail(atomic-discipline) fail(suppression)
+//
+// An allow() with no justification is itself an error AND does not waive
+// the finding it sits on: suppressions must say why.
+#include <vector>
+
+void relax(std::vector<double> &Dist) {
+#pragma omp parallel
+  {
+    // graphit-lint: allow(atomic-discipline)
+    Dist[0] = 1.0;
+  }
+}

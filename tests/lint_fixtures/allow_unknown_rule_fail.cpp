@@ -1,0 +1,10 @@
+// lint-expect: fail(suppression)
+//
+// allow() naming a rule that does not exist: almost always a typo that
+// would otherwise silently waive nothing forever.
+void noop();
+
+void f() {
+  // graphit-lint: allow(atomic-disciplin): typo'd rule name
+  noop();
+}

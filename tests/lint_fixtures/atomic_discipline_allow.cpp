@@ -1,0 +1,15 @@
+// lint-expect: pass
+//
+// A raw write waived with a justified suppression: every thread writes the
+// same value, so the race is benign (the idiom AStar.cpp uses for its
+// budget latch).
+#include <vector>
+
+void latchBudget(std::vector<long> &BudgetKeys, long Key) {
+#pragma omp parallel
+  {
+    // graphit-lint: allow(atomic-discipline): same-value write from every
+    // thread; any interleaving stores the identical latch key.
+    BudgetKeys[0] = Key;
+  }
+}

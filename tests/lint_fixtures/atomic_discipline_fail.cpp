@@ -1,0 +1,18 @@
+// lint-expect: fail(atomic-discipline)
+//
+// A shared distance array written raw inside an OpenMP parallel region:
+// two threads relaxing the same vertex race, and the losing write can
+// resurrect a longer distance. Must go through support/Atomics.h.
+#include <vector>
+
+void relaxAll(std::vector<double> &Dist, const std::vector<int> &Frontier) {
+#pragma omp parallel
+  {
+#pragma omp for
+    for (int I = 0; I < static_cast<int>(Frontier.size()); ++I) {
+      int V = Frontier[static_cast<unsigned>(I)];
+      if (Dist[V] > 1.0)
+        Dist[V] = 1.0; // raw racy write
+    }
+  }
+}

@@ -1,0 +1,23 @@
+// lint-expect: pass
+//
+// The same relaxation written correctly: the shared array goes through an
+// Atomics.h helper inside the region; per-thread scratch declared inside
+// the region and writes outside any region stay raw legitimately.
+#include <vector>
+
+void atomicWriteMin(double *Slot, double Value);
+
+void relaxAll(std::vector<double> &Dist, const std::vector<int> &Frontier) {
+  Dist[0] = 0.0; // outside any parallel region: single-threaded, fine
+#pragma omp parallel
+  {
+    std::vector<double> LocalKeys(Frontier.size(), 0.0);
+    std::vector<double> ScratchDist(Frontier.size(), 0.0);
+#pragma omp for
+    for (int I = 0; I < static_cast<int>(Frontier.size()); ++I) {
+      LocalKeys[I] = 1.0;      // Local* naming convention: per-thread
+      ScratchDist[I] = 2.0;    // declared inside the region: per-thread
+      atomicWriteMin(&Dist[Frontier[static_cast<unsigned>(I)]], 1.0);
+    }
+  }
+}

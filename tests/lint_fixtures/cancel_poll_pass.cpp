@@ -1,0 +1,23 @@
+// lint-expect: pass
+//
+// The compliant round loop: the bucket boundary is the safe cancellation
+// point (every earlier bucket is fully drained), so polling once per
+// round bounds overshoot to a single bucket.
+struct BucketQueue {
+  bool nextBucket();
+  long currentKey();
+};
+
+struct CancelToken {
+  bool expired() const;
+};
+
+long drain(BucketQueue &Queue, const CancelToken *Cancel) {
+  long Sum = 0;
+  while (Queue.nextBucket()) {
+    if (Cancel && Cancel->expired())
+      break;
+    Sum += Queue.currentKey();
+  }
+  return Sum;
+}

@@ -1,0 +1,10 @@
+// lint-expect: fail(failpoint-registration)
+//
+// A fail-point named by a runtime expression: the site set is no longer
+// statically enumerable, so registration and test coverage cannot be
+// checked. (support/ThreadSafety.h carries the one audited exception.)
+#include "support/FailPoint.h"
+
+void evaluateDynamic(const char *PointName) {
+  GRAPHIT_FAIL_POINT(PointName);
+}

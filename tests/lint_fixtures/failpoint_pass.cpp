@@ -1,0 +1,9 @@
+// lint-expect: pass
+//
+// A compliant site: "snapshot.publish" is registered in
+// failpoints::kAllPoints and exercised by tests/failpoint_test.cpp.
+#include "support/FailPoint.h"
+
+void publish() {
+  GRAPHIT_FAIL_POINT("snapshot.publish");
+}

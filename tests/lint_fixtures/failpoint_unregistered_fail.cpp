@@ -1,0 +1,10 @@
+// lint-expect: fail(failpoint-registration)
+//
+// A fail-point site whose name is not in failpoints::kAllPoints: the
+// harness can never activate it, so the recovery path it guards is dead
+// code under fault injection.
+#include "support/FailPoint.h"
+
+void publishWithGhostPoint() {
+  GRAPHIT_FAIL_POINT("ghost.unregistered");
+}

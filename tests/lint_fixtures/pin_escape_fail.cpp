@@ -1,0 +1,20 @@
+// lint-expect: fail(pin-escape)
+//
+// Two classic dangles: the shared_ptr returned by current() is a
+// temporary, so the reference and the raw pointer both outlive the pin
+// and read freed memory as soon as a compaction retires the snapshot.
+#include <memory>
+
+struct DeltaGraph {
+  int numNodes() const;
+};
+
+struct Store {
+  std::shared_ptr<const DeltaGraph> current() const;
+};
+
+int useAfterPin(const Store &S) {
+  const DeltaGraph &G = *S.current();      // pin dies at end of decl
+  const DeltaGraph *P = S.current().get(); // ditto
+  return G.numNodes() + P->numNodes();
+}

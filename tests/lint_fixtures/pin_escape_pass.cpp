@@ -1,0 +1,22 @@
+// lint-expect: pass
+//
+// The compliant shape: name the Snapshot so the pin outlives every use;
+// passing *S.current() straight into a call is also fine because the
+// temporary lives to the end of the full expression.
+#include <memory>
+
+struct DeltaGraph {
+  int numNodes() const;
+};
+
+struct Store {
+  std::shared_ptr<const DeltaGraph> current() const;
+};
+
+int countNodes(const DeltaGraph &G);
+
+int usePinned(const Store &S) {
+  std::shared_ptr<const DeltaGraph> Snap = S.current();
+  const DeltaGraph &G = *Snap;
+  return G.numNodes() + countNodes(*S.current());
+}

@@ -165,9 +165,10 @@ TEST(LiveStress, HotStateRepairMatchesRecomputeServing) {
           << C.Seed << ")";
       // Touched counts are comparable for SSSP only (a hot-served PPSP
       // reports the full solution's reach, a cold one its early exit).
-      if (Batch[I].Kind == QueryKind::SSSP)
+      if (Batch[I].Kind == QueryKind::SSSP) {
         ASSERT_EQ(Hot[I].Touched, Want[I].Touched)
             << "round " << Round << " query " << I;
+      }
     }
 
     std::vector<EdgeUpdate> Updates = randomBatch(Ref, 32, Rng);

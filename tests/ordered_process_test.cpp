@@ -204,8 +204,9 @@ TEST(EagerEngine, TinyWindowSlidesAcrossWideKeyRange) {
     // round, and the totals add up.
     EXPECT_EQ(Stats.totalRounds(), Stats.Rounds + Stats.FusedRounds);
     EXPECT_GE(Stats.VerticesProcessed, N - 1);
-    if (U == UpdateStrategy::EagerNoFusion)
+    if (U == UpdateStrategy::EagerNoFusion) {
       EXPECT_EQ(Stats.FusedRounds, 0);
+    }
   }
 }
 

@@ -149,8 +149,9 @@ TEST(LandmarkCache, BoundIsAdmissibleAndConsistent) {
   EXPECT_EQ(Cache.estimate(Target, Target), 0);
   for (VertexId V = 0; V < G.numNodes(); V += 7) {
     Priority H = Cache.estimate(V, Target);
-    if (Exact[V] != kInfiniteDistance)
+    if (Exact[V] != kInfiniteDistance) {
       EXPECT_LE(H, Exact[V]) << "inadmissible at " << V;
+    }
     for (WNode E : G.outNeighbors(V))
       EXPECT_LE(H, E.W + Cache.estimate(E.V, Target))
           << "inconsistent edge " << V << " -> " << E.V;

@@ -137,8 +137,9 @@ TEST(PermutedGraphTest, PreservesStructure) {
         VertexId Int = M.toInternal(static_cast<VertexId>(V));
         ASSERT_EQ(P.outDegree(Int),
                   G.outDegree(static_cast<VertexId>(V)));
-        if (G.hasInEdges())
+        if (G.hasInEdges()) {
           ASSERT_EQ(P.inDegree(Int), G.inDegree(static_cast<VertexId>(V)));
+        }
       }
       if (G.hasCoordinates()) {
         for (Count V = 0; V < G.numNodes(); ++V) {

@@ -23,9 +23,9 @@ namespace {
 /// One relaxation round of SSSP over a frontier under the given direction,
 /// checking the returned changed-set against expectations.
 struct RelaxFixture {
-  explicit RelaxFixture(const Graph &G)
-      : G(G), Dist(static_cast<size_t>(G.numNodes()), kInfiniteDistance),
-        Buffers(G) {}
+  explicit RelaxFixture(const Graph &Gr)
+      : G(Gr), Dist(static_cast<size_t>(Gr.numNodes()), kInfiniteDistance),
+        Buffers(Gr) {}
 
   std::vector<VertexId> run(const std::vector<VertexId> &Frontier,
                             Direction Dir) {

@@ -33,8 +33,11 @@
 #include "graph/Generators.h"
 #include "service/QueryEngine.h"
 #include "service/SnapshotStore.h"
+#include "support/LatencyHistogram.h"
 #include "support/Random.h"
 #include "support/Timer.h"
+
+#include <chrono>
 
 #include <atomic>
 #include <cmath>
@@ -144,7 +147,9 @@ int main() {
     // "speculative prefetch" class.
     Timer Clock;
     std::vector<uint64_t> Tickets;
+    std::vector<std::chrono::steady_clock::time_point> Submitted;
     Tickets.reserve(Pairs.size());
+    Submitted.reserve(Pairs.size());
     for (size_t I = 0; I < Pairs.size(); ++I) {
       Query Q;
       Q.Kind = (I & 1) ? QueryKind::AStar : QueryKind::PPSP;
@@ -152,19 +157,31 @@ int main() {
       Q.Target = Pairs[I].second;
       Q.DeadlineMicros = 200 * 1000; // 200 ms per trip
       Q.Importance = (I % 4 == 0) ? 0 : 1; // every 4th is speculative
+      Submitted.push_back(std::chrono::steady_clock::now());
       Tickets.push_back(Engine.submit(Q));
     }
+    // Per-trip end-to-end latency (submit -> collect) for the round,
+    // summarized with the same log-scale histogram the service benchmark
+    // gates on (support/LatencyHistogram.h).
+    LatencyHistogram Lat;
     size_t Ok = 0, Expired = 0, Shed = 0, Reached = 0;
-    for (uint64_t T : Tickets) {
-      // tryCollect never aborts: unknown or double-collected tickets are
-      // a typed nullopt, every real ticket resolves exactly once.
-      std::optional<QueryResult> R = Engine.tryCollect(T);
-      if (!R.has_value())
-        continue;
-      switch (R->Status) {
+    for (size_t I = 0; I < Tickets.size(); ++I) {
+      // Drain with tryCollect (unknown or double-collected tickets are a
+      // typed nullopt, never an abort), falling back to the blocking
+      // collect for tickets still in flight — every submitted query
+      // resolves exactly once with a typed status.
+      std::optional<QueryResult> Maybe = Engine.tryCollect(Tickets[I]);
+      QueryResult R =
+          Maybe.has_value() ? std::move(*Maybe) : Engine.collect(Tickets[I]);
+      if (R.Status == QueryStatus::Ok)
+        Lat.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Submitted[I])
+                .count()));
+      switch (R.Status) {
       case QueryStatus::Ok:
         ++Ok;
-        if (R->Dist < kInfiniteDistance)
+        if (R.Dist < kInfiniteDistance)
           ++Reached;
         break;
       case QueryStatus::DeadlineExceeded:
@@ -186,6 +203,13 @@ int main() {
                 Expired, Shed, (unsigned long long)Store.version(),
                 (long long)Snap->overlayEdges(),
                 (unsigned long long)Store.compactions());
+    std::printf("  latency (us): p50 %llu, p95 %llu, p99 %llu, max %llu "
+                "over %llu completed trips\n",
+                (unsigned long long)Lat.percentile(50),
+                (unsigned long long)Lat.percentile(95),
+                (unsigned long long)Lat.percentile(99),
+                (unsigned long long)Lat.max(),
+                (unsigned long long)Lat.count());
     if (Reached < Ok * 9 / 10)
       std::printf("  (note: %zu/%zu completed trips reachable this round)\n",
                   Reached, Ok);

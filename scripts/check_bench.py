@@ -46,11 +46,16 @@ METRIC_PRIORITY = [
     ("speedup", "higher"),
     ("pooled_qps", "higher"),
     ("naive_qps", "higher"),
+    ("achieved_qps", "higher"),
+    ("p99_us", "lower"),
+    ("hit_rate", "higher"),
 ]
 
 # Fields that identify a workload variant within one bench ("ordering" is
-# the vertex layout of reordered variants).
-KEY_FIELDS = ["bench", "ordering", "batch", "updates", "threads", "scale"]
+# the vertex layout of reordered variants; "window"/"mode" distinguish the
+# service bench's batching sweep points and open-loop operating points).
+KEY_FIELDS = ["bench", "ordering", "batch", "updates", "threads", "scale",
+              "window", "mode"]
 
 
 def parse_lines(path):

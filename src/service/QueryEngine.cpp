@@ -52,6 +52,11 @@ QueryEngine::QueryEngine(SnapshotStore &S, Options O)
     : Store(&S), NumNodes(S.current()->numNodes()),
       HasCoordinates(S.current()->hasCoordinates()), Opts(O),
       Map(&S.mapping()), Pool(NumNodes, O.TrackParents) {
+  if (Opts.SharedHotCache)
+    HotCache = Opts.SharedHotCache;
+  else if (Opts.HotSourceCapacity > 0)
+    HotCache = std::make_shared<HotStateCache>(
+        static_cast<size_t>(Opts.HotSourceCapacity));
   if (Opts.NumLandmarks > 0) {
     // Build the ALT cache from a compacted copy of the current version.
     // It keeps serving through increase-only batches (admissibility is
@@ -142,8 +147,9 @@ QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   // A rejected strict batch published nothing: hot states are still at
   // the current version and stay serveable — repairing (which expects to
   // advance exactly one version) would wrongly drop them all.
-  if (Opts.HotSourceCapacity > 0 && R.Status == ApplyStatus::Ok)
-    repairHotStates(R);
+  if (HotCache && R.Status == ApplyStatus::Ok)
+    HotCache->repairAll(*R.Snap, R.Applied, R.Version,
+                        Opts.DefaultSchedule);
   return R;
 }
 
@@ -185,47 +191,35 @@ VertexId QueryEngine::addVertices(Count HowMany,
     }
   }
 
-  if (Opts.HotSourceCapacity > 0) {
-    // Pure growth publishes a version whose distances are unchanged (new
-    // vertices are unreachable until an edge batch seeds them): resize
-    // and re-tag in place instead of repairing.
-    MutexLock Guard(HotMu);
-    for (auto It = Hot.begin(); It != Hot.end();) {
-      HotEntry &E = It->second;
-      if (E.Version + 1 != NewVersion) {
-        It = Hot.erase(It); // missed a version (direct store writer)
-        continue;
-      }
-      E.State->resize(NewNodes);
-      E.Version = NewVersion;
-      ++It;
-    }
-  }
+  // Pure growth publishes a version whose distances are unchanged (new
+  // vertices are unreachable until an edge batch seeds them): resize and
+  // re-tag cached states instead of repairing.
+  if (HotCache)
+    HotCache->growAll(NewNodes, NewVersion);
   return First;
 }
 
 bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
                                QueryResult &R) const {
-  MutexLock Guard(HotMu);
-  auto It = Hot.find(QI.Source);
-  if (It == Hot.end() || !It->second.State || It->second.Version != Ver)
+  std::shared_ptr<const DistanceState> St = HotCache->lookup(QI.Source, Ver);
+  if (!St)
     return false;
-  DistanceState &St = *It->second.State;
-  It->second.LastUsed = ++HotTick;
-  ++HotHits_;
+  HotHits_.fetch_add(1, std::memory_order_relaxed);
 
+  // The copy-out runs with no lock: the state is an immutable published
+  // snapshot (repair clones instead of mutating anything a reader holds).
   if (QI.Target != kInvalidVertex)
-    R.Dist = St.dist(QI.Target);
+    R.Dist = St->dist(QI.Target);
   // After repairs the touched log is a superset of the finite vertices
   // (a vertex cut off by deletions stays logged): filter on finiteness so
   // Touched/Reached match what a fresh run reports.
   Count Finite = 0;
-  const Count Logged = St.numTouched();
+  const Count Logged = St->numTouched();
   if (QI.CollectReached)
     R.Reached.reserve(static_cast<size_t>(Logged));
   for (Count I = 0; I < Logged; ++I) {
-    VertexId V = St.touched(I);
-    Priority D = St.dist(V);
+    VertexId V = St->touched(I);
+    Priority D = St->dist(V);
     if (D >= kInfiniteDistance)
       continue;
     ++Finite;
@@ -238,71 +232,26 @@ bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
   return true;
 }
 
-std::unique_ptr<DistanceState> QueryEngine::takeHotSlot() const {
-  MutexLock Guard(HotMu);
-  if (Hot.size() < static_cast<size_t>(Opts.HotSourceCapacity))
-    return nullptr;
-  auto Victim = Hot.begin();
-  for (auto Scan = Hot.begin(); Scan != Hot.end(); ++Scan)
-    if (Scan->second.LastUsed < Victim->second.LastUsed)
-      Victim = Scan;
-  std::unique_ptr<DistanceState> Recycled = std::move(Victim->second.State);
-  Hot.erase(Victim);
-  return Recycled;
-}
-
-void QueryEngine::installHot(VertexId Source, uint64_t Ver,
-                             std::unique_ptr<DistanceState> St) const {
-  MutexLock Guard(HotMu);
-  HotEntry &E = Hot[Source];
-  if (E.State && E.Version >= Ver)
-    return; // a newer state for this source raced in; keep it
-  E.State = std::move(St);
-  E.Version = Ver;
-  E.LastUsed = ++HotTick;
-  while (Hot.size() > static_cast<size_t>(Opts.HotSourceCapacity)) {
-    auto Victim = Hot.begin();
-    for (auto Scan = Hot.begin(); Scan != Hot.end(); ++Scan)
-      if (Scan->second.LastUsed < Victim->second.LastUsed)
-        Victim = Scan;
-    Hot.erase(Victim); // O(capacity) scan: capacities are small by design
-  }
-}
-
-void QueryEngine::repairHotStates(const SnapshotStore::ApplyResult &R) {
-  MutexLock Guard(HotMu);
-  const Count N = R.Snap->numNodes();
-  for (auto It = Hot.begin(); It != Hot.end();) {
-    HotEntry &E = It->second;
-    // Exactly one version behind is repairable with this batch's applied
-    // transitions; anything else missed a publish (a writer bypassed the
-    // engine) and must be dropped rather than served or mis-repaired.
-    if (!E.State || E.Version + 1 != R.Version) {
-      It = Hot.erase(It);
-      continue;
-    }
-    E.State->resize(N);
-    repairAfterUpdates(*R.Snap, R.Applied, *E.State, Opts.DefaultSchedule,
-                       HotScratch);
-    E.Version = R.Version;
-    ++HotRepairs_;
-    ++It;
-  }
-}
-
 uint64_t QueryEngine::hotHits() const {
-  MutexLock Guard(HotMu);
-  return HotHits_;
+  return HotHits_.load(std::memory_order_relaxed);
 }
 
 uint64_t QueryEngine::hotRepairs() const {
-  MutexLock Guard(HotMu);
-  return HotRepairs_;
+  return HotCache ? HotCache->repairs() : 0;
 }
 
 size_t QueryEngine::hotStatesCached() const {
-  MutexLock Guard(HotMu);
-  return Hot.size();
+  return HotCache ? HotCache->size() : 0;
+}
+
+int64_t QueryEngine::batchWindowMicros() const {
+  MutexLock Lock(Mu);
+  return BatchWindow_;
+}
+
+int64_t QueryEngine::maxBatchWindowMicros() const {
+  MutexLock Lock(Mu);
+  return BatchWindowMax_;
 }
 
 QueryEngine::~QueryEngine() {
@@ -484,8 +433,23 @@ void QueryEngine::workerLoop() {
   omp_set_num_threads(std::max(1, Opts.OmpThreadsPerQuery));
   StatePool::Lease State = Pool.acquire();
 
+  // Smallest non-zero formation window: far below a query's service time,
+  // so the first adaptation step costs next to nothing.
+  constexpr int64_t kBatchWindowFloorMicros = 50;
+
+  struct Done {
+    uint64_t Ticket;
+    QueryKind Kind;
+    bool Degraded;
+    double Micros;
+    QueryResult R;
+  };
+  std::vector<Task> Batch;
+  std::vector<Done> Results;
+
   while (true) {
-    Task T;
+    Batch.clear();
+    Results.clear();
     {
       MutexLock Lock(Mu);
       // Explicit wait loop (not the predicate overload): the guarded
@@ -495,47 +459,97 @@ void QueryEngine::workerLoop() {
         WorkCv.wait(Lock.native());
       if (Pending.empty())
         return; // shutting down, queue drained
-      T = std::move(Pending.front());
+      Batch.push_back(std::move(Pending.front()));
       Pending.pop_front();
+
+      // Adaptive batch formation: with a non-zero window (the engine saw
+      // backlog recently), greedily drain the queue up to MaxBatchSize,
+      // then hold the window open for stragglers. With the window at 0 —
+      // always, when MaxBatchDelayMicros is off — this worker takes
+      // exactly one task, the historical behavior, and sibling workers
+      // pick up the rest of the queue in parallel.
+      const size_t MaxBatch =
+          static_cast<size_t>(std::max(1, Opts.MaxBatchSize));
+      if (Opts.MaxBatchDelayMicros > 0 && BatchWindow_ > 0) {
+        while (Batch.size() < MaxBatch && !Pending.empty()) {
+          Batch.push_back(std::move(Pending.front()));
+          Pending.pop_front();
+        }
+        const auto Until =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(BatchWindow_);
+        while (Batch.size() < MaxBatch && !ShuttingDown) {
+          if (!Pending.empty()) {
+            Batch.push_back(std::move(Pending.front()));
+            Pending.pop_front();
+            continue;
+          }
+          if (WorkCv.wait_until(Lock.native(), Until) ==
+              std::cv_status::timeout)
+            break;
+        }
+      }
+      if (Opts.MaxBatchDelayMicros > 0) {
+        // Grow the window while backlog persists (each batch still left
+        // the queue non-empty); collapse it the moment the queue drains
+        // so idle-engine latency stays untouched.
+        if (!Pending.empty()) {
+          BatchWindow_ = std::min(
+              Opts.MaxBatchDelayMicros,
+              std::max(int64_t{2} * BatchWindow_, kBatchWindowFloorMicros));
+          BatchWindowMax_ = std::max(BatchWindowMax_, BatchWindow_);
+        } else {
+          BatchWindow_ = 0;
+        }
+      }
     }
 
-    CancelToken Token;
-    const CancelToken *Cancel = nullptr;
-    if (T.DeadlineMicros > 0) {
-      Token.setDeadline(T.Enqueued +
-                        std::chrono::microseconds(T.DeadlineMicros));
-      Cancel = &Token;
-    }
+    // Run every task in the batch outside the lock, then publish all the
+    // results under one acquisition — amortizing the lock and the wakeup
+    // is where batching pays.
+    for (Task &T : Batch) {
+      CancelToken Token;
+      const CancelToken *Cancel = nullptr;
+      if (T.DeadlineMicros > 0) {
+        Token.setDeadline(T.Enqueued +
+                          std::chrono::microseconds(T.DeadlineMicros));
+        Cancel = &Token;
+      }
 
-    const auto Start = std::chrono::steady_clock::now();
-    QueryResult R;
-    if (Cancel && Token.expired()) {
-      // Expired while queued: resolve deterministically before touching
-      // any snapshot or hot state. Nothing was settled.
-      R.Status = QueryStatus::DeadlineExceeded;
-      R.SettledBound = 0;
-    } else {
-      R = runOne(T.Q, State.get(), Cancel);
+      const auto Start = std::chrono::steady_clock::now();
+      QueryResult R;
+      if (Cancel && Token.expired()) {
+        // Expired while queued: resolve deterministically before touching
+        // any snapshot or hot state. Nothing was settled.
+        R.Status = QueryStatus::DeadlineExceeded;
+        R.SettledBound = 0;
+      } else {
+        R = runOne(T.Q, State.get(), Cancel);
+      }
+      R.Degraded = T.Degraded;
+      const double Micros =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - Start)
+              .count();
+      Results.push_back(
+          Done{T.Ticket, T.Q.Kind, T.Degraded, Micros, std::move(R)});
     }
-    R.Degraded = T.Degraded;
-    const double Micros =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - Start)
-            .count();
 
     {
       MutexLock Lock(Mu);
-      Aggregate.merge(R.Stats);
-      ++Served;
-      if (R.Status == QueryStatus::DeadlineExceeded)
-        ++DeadlineExceeded_;
-      // The admission EWMA samples only clean, un-degraded completions:
-      // cut-short runs would drag imposed deadlines toward zero.
-      if (R.Status == QueryStatus::Ok && !T.Degraded) {
-        double &Ewma = EwmaMicros[static_cast<int>(T.Q.Kind)];
-        Ewma = Ewma == 0.0 ? Micros : 0.8 * Ewma + 0.2 * Micros;
+      for (Done &D : Results) {
+        Aggregate.merge(D.R.Stats);
+        ++Served;
+        if (D.R.Status == QueryStatus::DeadlineExceeded)
+          ++DeadlineExceeded_;
+        // The admission EWMA samples only clean, un-degraded completions:
+        // cut-short runs would drag imposed deadlines toward zero.
+        if (D.R.Status == QueryStatus::Ok && !D.Degraded) {
+          double &Ewma = EwmaMicros[static_cast<int>(D.Kind)];
+          Ewma = Ewma == 0.0 ? D.Micros : 0.8 * Ewma + 0.2 * D.Micros;
+        }
+        Finished.emplace(D.Ticket, std::move(D.R));
       }
-      Finished.emplace(T.Ticket, std::move(R));
     }
     DoneCv.notify_all();
   }
@@ -643,7 +657,7 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State,
     // cancelled run would install a partial solution that repair would
     // then propagate as if complete.
     const bool HotEligible =
-        Opts.HotSourceCapacity > 0 && !QI.CollectPath &&
+        HotCache != nullptr && !QI.CollectPath &&
         (QI.Kind == QueryKind::SSSP || !QI.CollectReached);
     if (HotEligible && serveFromHot(QI, Ver, R)) {
       // Served from the repaired hot state: bit-identical distances, no
@@ -652,15 +666,17 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State,
       // Cold SSSP source: warm the cache by running into a cache-owned
       // state (full solution, repairable on the next applyUpdates). The
       // state storage is recycled from the LRU victim when the cache is
-      // full, so steady-state misses allocate nothing.
-      std::unique_ptr<DistanceState> HotState = takeHotSlot();
+      // full and nothing else still references it, so steady-state
+      // misses usually allocate nothing.
+      std::shared_ptr<DistanceState> HotState =
+          HotCache->takeSlot(QI.Source);
       if (HotState)
         HotState->resize(Snap->numNodes());
       else
-        HotState = std::make_unique<DistanceState>(Snap->numNodes(),
+        HotState = std::make_shared<DistanceState>(Snap->numNodes(),
                                                    Opts.TrackParents);
       R = runOneOn(*Snap, QI, *HotState, Ver, nullptr);
-      installHot(QI.Source, Ver, std::move(HotState));
+      HotCache->install(QI.Source, Ver, std::move(HotState));
     } else {
       // Vertex insertion may have outgrown a pooled worker state.
       State.resize(Snap->numNodes());

@@ -31,6 +31,12 @@
 /// results are bit-identical to sequential per-query runs (shortest-path
 /// distances are unique, and the early-exit predicates are exact).
 ///
+/// The operator's guide to the serving tier — every Options knob, the
+/// deadline/settled-prefix contract, admission control, adaptive
+/// batching, and hot-state sharing — is docs/serving.md; the options
+/// tables there are kept in sync with this header by scripts/check_docs.py
+/// (the `docs_check` ctest entry).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRAPHIT_SERVICE_QUERYENGINE_H
@@ -41,6 +47,7 @@
 #include "core/OrderedProcess.h"
 #include "core/Schedule.h"
 #include "graph/Graph.h"
+#include "service/HotStateCache.h"
 #include "service/LandmarkCache.h"
 #include "service/SnapshotStore.h"
 #include "service/StatePool.h"
@@ -174,11 +181,12 @@ public:
     VertexId ReorderSourceHint = 0;
     /// Live mode: keep up to this many *hot source states* — complete
     /// SSSP solutions keyed by (source, version) in an LRU — and, on
-    /// `applyUpdates`, repair them in place via incremental SSSP
-    /// (O(affected)) instead of discarding. Queries from a hot source
-    /// (the serving common case: the same depots asked again every
-    /// version) are answered straight from the repaired state; an SSSP
-    /// query from a cold source warms it. 0 disables the cache.
+    /// `applyUpdates`, repair them via incremental SSSP (O(affected))
+    /// instead of discarding. Queries from a hot source (the serving
+    /// common case: the same depots asked again every version) are
+    /// answered straight from the repaired state; an SSSP query from a
+    /// cold source warms it. 0 disables the cache. Ignored when
+    /// `SharedHotCache` is set.
     ///
     /// The repair protocol tracks versions one publish at a time, so a
     /// *background* compaction (whose rebuilt base publishes its own
@@ -186,6 +194,25 @@ public:
     /// sources are re-warmed — pair the hot cache with synchronous
     /// compaction (the store default) for uninterrupted repair.
     int HotSourceCapacity = 0;
+    /// Live mode: serve hot states out of this *shared* cache instead of
+    /// a private one, so several engines over the same store share warm
+    /// sources — a PPSP warm miss on one engine hits a state another
+    /// engine computed. All sharing engines must route every update batch
+    /// through engine applyUpdates against the same store (the cache
+    /// tracks store versions one publish at a time, exactly like the
+    /// private cache). Overrides `HotSourceCapacity` when set.
+    std::shared_ptr<HotStateCache> SharedHotCache;
+    /// Adaptive batch formation (0 disables, the default): when the
+    /// pending queue stays non-empty, each worker's batch-formation
+    /// window doubles (from a ~50µs floor) up to this many microseconds,
+    /// letting it drain several queued queries and publish their results
+    /// under one lock acquisition; the moment a worker sees the queue
+    /// drained the window collapses back to zero, so an idle engine adds
+    /// no latency. Bounds the extra p99 a queued query can pay to one
+    /// window. See batchWindowMicros()/maxBatchWindowMicros().
+    int64_t MaxBatchDelayMicros = 0;
+    /// Largest number of queries one worker runs per formed batch.
+    int MaxBatchSize = 16;
     /// Admission control: when the pending queue holds at least this many
     /// queries, submitting one more sheds the lowest-importance pending
     /// query (or the incoming one, on ties) as `QueryStatus::Shed` —
@@ -273,9 +300,23 @@ public:
   bool isLive() const { return Store != nullptr; }
 
   /// Hot-source cache counters (live mode; all 0 when disabled).
+  /// hotHits() counts *this engine's* cache hits; hotRepairs() and
+  /// hotStatesCached() report the backing cache, which is shared-wide
+  /// when `Options::SharedHotCache` is set.
   uint64_t hotHits() const;
   uint64_t hotRepairs() const;
   size_t hotStatesCached() const;
+
+  /// The backing hot-state cache (null when disabled) — hand it to other
+  /// engines' `Options::SharedHotCache` to share warm sources.
+  std::shared_ptr<HotStateCache> hotCache() const { return HotCache; }
+
+  /// Current adaptive batch-formation window (µs); 0 whenever the queue
+  /// was last seen drained (see Options::MaxBatchDelayMicros).
+  int64_t batchWindowMicros() const;
+  /// High-water mark of the window over the engine's lifetime — shows
+  /// whether batching ever engaged, without racing its collapse.
+  int64_t maxBatchWindowMicros() const;
 
   /// The ALT cache (null when Options::NumLandmarks == 0). In live mode
   /// the returned snapshot is the *current* cache — it stays valid after a
@@ -334,20 +375,10 @@ private:
   /// answers SSSP/PPSP/A* queries bit-identically to a fresh run; the
   /// `Touched` counter reports the full solution's reach, which for
   /// PPSP/A* differs from an early-exited fresh run's engine counter).
+  /// The copy-out runs lock-free on an immutable shared_ptr snapshot —
+  /// repair never mutates a state a reader still references (it clones).
   /// \returns false on miss; results are in internal id space.
   bool serveFromHot(const Query &QI, uint64_t Ver, QueryResult &R) const;
-  /// Recycles the LRU victim's state storage when the cache is at
-  /// capacity (null when there is still room): cold-miss installs then
-  /// allocate nothing in steady state.
-  std::unique_ptr<DistanceState> takeHotSlot() const;
-  /// Installs a freshly computed full-SSSP state for \p Source at \p Ver
-  /// (LRU-evicting past capacity); keeps a newer entry if one raced in.
-  void installHot(VertexId Source, uint64_t Ver,
-                  std::unique_ptr<DistanceState> St) const;
-  /// Repairs every cached state onto \p R's version (applyUpdates path);
-  /// entries that missed a version (concurrent direct store writers) are
-  /// dropped, never served stale.
-  void repairHotStates(const SnapshotStore::ApplyResult &R);
 
   /// The landmark cache to use for a query pinned at \p SnapVersion, or
   /// null when none is admissible for that version.
@@ -379,32 +410,28 @@ private:
   /// after construction); LandmarkWriterMu serializes applyUpdates end to
   /// end so admissibility tracking observes batches in order and cache
   /// rebuilds (K full SSSPs) never run under a lock a query waits on. The
-  /// writer lock nests strictly outside the flag lock (and outside HotMu,
-  /// via applyUpdates → repairHotStates) — the ACQUIRED_BEFORE edges make
-  /// the analysis, not a comment, own that ordering.
+  /// writer lock nests strictly outside the flag lock — the
+  /// ACQUIRED_BEFORE edge makes the analysis, not a comment, own that
+  /// ordering. (The hot cache's internal locks are leaves reached from
+  /// under LandmarkWriterMu via applyUpdates → repairAll.)
   mutable Mutex LandmarkMu;
-  Mutex LandmarkWriterMu ACQUIRED_BEFORE(LandmarkMu, HotMu);
+  Mutex LandmarkWriterMu ACQUIRED_BEFORE(LandmarkMu);
   std::shared_ptr<const LandmarkCache> Landmarks GUARDED_BY(LandmarkMu);
   bool LandmarksAdmissible GUARDED_BY(LandmarkMu) = false;
   /// Version the cache was built on.
   uint64_t LandmarkVersion GUARDED_BY(LandmarkMu) = 0;
   uint64_t SeenCompactions GUARDED_BY(LandmarkWriterMu) = 0;
 
-  /// Hot source states (Options::HotSourceCapacity). One mutex guards the
-  /// map, the repair scratch, and the counters: queries take it for an
-  /// O(touched) copy-out on a hit, `applyUpdates` for the O(affected)
-  /// in-place repairs. Mutable: workers serve hits from const runOne.
-  struct HotEntry {
-    std::unique_ptr<DistanceState> State;
-    uint64_t Version = 0;
-    uint64_t LastUsed = 0;
-  };
-  mutable Mutex HotMu;
-  mutable std::unordered_map<VertexId, HotEntry> Hot GUARDED_BY(HotMu);
-  mutable RepairScratch HotScratch GUARDED_BY(HotMu);
-  mutable uint64_t HotTick GUARDED_BY(HotMu) = 0;
-  mutable uint64_t HotHits_ GUARDED_BY(HotMu) = 0;
-  mutable uint64_t HotRepairs_ GUARDED_BY(HotMu) = 0;
+  /// Hot source states: a striped (source, version)-keyed cache of warm
+  /// SSSP solutions, private to this engine unless the caller passed
+  /// `Options::SharedHotCache`. All synchronization lives inside the
+  /// cache (brief stripe locks; copy-outs are lock-free on shared_ptr
+  /// snapshots). Null when the hot cache is disabled or in fixed-graph
+  /// mode.
+  std::shared_ptr<HotStateCache> HotCache;
+  /// This engine's own hit count (the cache's hits() aggregates every
+  /// sharing engine). Atomic: workers serve hits from const runOne.
+  mutable std::atomic<uint64_t> HotHits_{0};
 
   /// The queue mutex. Never nested with the landmark or hot-state locks:
   /// workers drop it before running a query and re-take it to publish the
@@ -420,6 +447,16 @@ private:
   uint64_t Served GUARDED_BY(Mu) = 0;
   OrderedStats Aggregate GUARDED_BY(Mu);
   bool ShuttingDown GUARDED_BY(Mu) = false;
+
+  /// Adaptive batch formation (Options::MaxBatchDelayMicros): the
+  /// current per-engine formation window in microseconds. Doubles (from
+  /// a ~50µs floor) whenever a worker finishes forming a batch and the
+  /// queue is still non-empty; collapses to 0 the moment a worker drains
+  /// it, so batching only ever delays queries that would have queued
+  /// anyway. BatchWindowMax_ is the lifetime high-water mark (tests
+  /// observe it without racing the collapse).
+  int64_t BatchWindow_ GUARDED_BY(Mu) = 0;
+  int64_t BatchWindowMax_ GUARDED_BY(Mu) = 0;
 
   /// Overload-behavior counters and the per-kind EWMA of service times
   /// (microseconds; 0 until the first completed query of that kind). The

@@ -39,6 +39,11 @@
 /// Readers pin one `ShardedDeltaView` — a consistent cross-shard version
 /// vector — and run the templated engines directly over it.
 ///
+/// Operator documentation (compaction failure semantics, option tables
+/// for both stores) lives in docs/serving.md; the tables are kept in
+/// sync with this header by scripts/check_docs.py (the `docs_check`
+/// ctest entry).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRAPHIT_SERVICE_SNAPSHOTSTORE_H

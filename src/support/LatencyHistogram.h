@@ -1,0 +1,220 @@
+//===- support/LatencyHistogram.h - Lock-free latency histogram -*- C++ -*-===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free, fixed-bucket, log-scale latency histogram for recording
+/// per-query end-to-end latencies on the serving hot path.
+///
+/// The bucket layout is HDR-style: values below 16 get exact unit buckets
+/// (sub-microsecond precision where it matters for assertions), and every
+/// power-of-two range above that is split into 16 sub-buckets, so the
+/// relative quantization error is bounded by 2^-4 ≈ 6.25% everywhere.
+/// The bucket count is a small compile-time constant (~1 KB of counters),
+/// so instances are cheap enough to keep one per recording thread.
+///
+/// Concurrency model:
+///
+///  * `record` is lock-free and wait-free on the fast path — one relaxed
+///    `fetch_add` per counter. Many threads may record into the same
+///    instance concurrently (the service bench instead keeps one
+///    histogram per collector thread and merges at the end, which is the
+///    cheapest pattern).
+///  * `merge` adds another histogram's counters into this one with
+///    relaxed loads; merging while the source is still being recorded
+///    into yields a *consistent-per-bucket* snapshot (no torn counters,
+///    each bucket is atomically read), which is what a progress report
+///    wants. Merge-after-quiesce is exact.
+///  * `percentile`/`count`/`mean`/`max` take a relaxed snapshot the same
+///    way.
+///
+/// `percentile(P)` returns the *upper bound* of the bucket containing the
+/// P-th percentile observation, so the reported value never understates
+/// the true latency and is exact for values below 16.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPHIT_SUPPORT_LATENCYHISTOGRAM_H
+#define GRAPHIT_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace graphit {
+
+class LatencyHistogram {
+public:
+  /// Sub-bucket resolution: each power-of-two range above `kUnitBuckets`
+  /// is split into 2^kSubBucketBits buckets.
+  static constexpr uint64_t kSubBucketBits = 4;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Values below this get exact unit buckets (index == value).
+  static constexpr uint64_t kUnitBuckets = kSubBuckets;
+  /// Ranges cover bit positions kSubBucketBits .. 62 (values < 2^63).
+  static constexpr size_t kNumRanges = 63 - kSubBucketBits;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kUnitBuckets + kNumRanges * kSubBuckets);
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram &) = delete;
+  LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+  /// Bucket index for \p Value: exact below kUnitBuckets, then 16
+  /// sub-buckets per power of two. Values at or above 2^63 clamp into the
+  /// last bucket.
+  static size_t bucketIndex(uint64_t Value) {
+    if (Value < kUnitBuckets)
+      return static_cast<size_t>(Value);
+    uint64_t K = highestBit(Value); // >= kSubBucketBits
+    if (K >= 63)
+      return kNumBuckets - 1;
+    uint64_t Sub = (Value >> (K - kSubBucketBits)) - kSubBuckets;
+    return static_cast<size_t>(kUnitBuckets +
+                               (K - kSubBucketBits) * kSubBuckets + Sub);
+  }
+
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t bucketLowerBound(size_t Index) {
+    if (Index < kUnitBuckets)
+      return Index;
+    uint64_t Range = (Index - kUnitBuckets) / kSubBuckets;
+    uint64_t Sub = (Index - kUnitBuckets) % kSubBuckets;
+    return (kSubBuckets + Sub) << Range;
+  }
+
+  /// Largest value mapping to bucket \p Index (what percentile reports).
+  static uint64_t bucketUpperBound(size_t Index) {
+    if (Index < kUnitBuckets)
+      return Index;
+    uint64_t Range = (Index - kUnitBuckets) / kSubBuckets;
+    return bucketLowerBound(Index) + ((uint64_t{1} << Range) - 1);
+  }
+
+  /// Records one observation (microseconds by convention, but any
+  /// non-negative integer unit works). Lock-free; safe to call
+  /// concurrently with any other member.
+  void record(uint64_t Value) {
+    Counts[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count_.fetch_add(1, std::memory_order_relaxed);
+    Sum_.fetch_add(Value, std::memory_order_relaxed);
+    uint64_t Prev = Max_.load(std::memory_order_relaxed);
+    while (Prev < Value &&
+           !Max_.compare_exchange_weak(Prev, Value,
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  /// Adds \p Other's counters into this histogram (relaxed per-bucket
+  /// snapshot of the source; exact when the source has quiesced).
+  void merge(const LatencyHistogram &Other) {
+    for (size_t I = 0; I < kNumBuckets; ++I) {
+      uint64_t C = Other.Counts[I].load(std::memory_order_relaxed);
+      if (C)
+        Counts[I].fetch_add(C, std::memory_order_relaxed);
+    }
+    Count_.fetch_add(Other.Count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    Sum_.fetch_add(Other.Sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    uint64_t OtherMax = Other.Max_.load(std::memory_order_relaxed);
+    uint64_t Prev = Max_.load(std::memory_order_relaxed);
+    while (Prev < OtherMax &&
+           !Max_.compare_exchange_weak(Prev, OtherMax,
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  /// Upper bound of the bucket holding the \p P-th percentile observation
+  /// (P in [0, 100]; rank = ceil(P/100 × count), clamped to at least 1).
+  /// 0 when empty. Exact for observations below kUnitBuckets; within
+  /// 2^-kSubBucketBits relative error above.
+  uint64_t percentile(double P) const {
+    uint64_t Total = 0;
+    std::array<uint64_t, kNumBuckets> Snap;
+    for (size_t I = 0; I < kNumBuckets; ++I) {
+      Snap[I] = Counts[I].load(std::memory_order_relaxed);
+      Total += Snap[I];
+    }
+    if (Total == 0)
+      return 0;
+    if (P < 0.0)
+      P = 0.0;
+    if (P > 100.0)
+      P = 100.0;
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 *
+                                          static_cast<double>(Total));
+    if (static_cast<double>(Rank) * 100.0 <
+        P * static_cast<double>(Total))
+      ++Rank; // ceil
+    if (Rank < 1)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < kNumBuckets; ++I) {
+      Seen += Snap[I];
+      if (Seen >= Rank)
+        return bucketUpperBound(I);
+    }
+    return bucketUpperBound(kNumBuckets - 1);
+  }
+
+  /// Observations recorded so far.
+  uint64_t count() const { return Count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded values (mean() = sum / count).
+  uint64_t sum() const { return Sum_.load(std::memory_order_relaxed); }
+
+  double mean() const {
+    uint64_t C = Count_.load(std::memory_order_relaxed);
+    return C == 0 ? 0.0
+                  : static_cast<double>(
+                        Sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(C);
+  }
+
+  /// Largest value recorded (exact, not bucket-quantized). 0 when empty.
+  uint64_t max() const { return Max_.load(std::memory_order_relaxed); }
+
+  /// Count in one bucket (for tests and custom reports).
+  uint64_t bucketCount(size_t Index) const {
+    return Counts[Index].load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every counter. NOT safe against concurrent record/merge —
+  /// quiesce recorders first (per-round reuse in a single-threaded
+  /// reporting loop is the intended use).
+  void reset() {
+    for (size_t I = 0; I < kNumBuckets; ++I)
+      Counts[I].store(0, std::memory_order_relaxed);
+    Count_.store(0, std::memory_order_relaxed);
+    Sum_.store(0, std::memory_order_relaxed);
+    Max_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  /// Position of the highest set bit (undefined for 0; callers guarantee
+  /// Value >= kUnitBuckets here).
+  static uint64_t highestBit(uint64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+    return 63 - static_cast<uint64_t>(__builtin_clzll(V));
+#else
+    uint64_t K = 0;
+    while (V >>= 1)
+      ++K;
+    return K;
+#endif
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> Counts{};
+  std::atomic<uint64_t> Count_{0};
+  std::atomic<uint64_t> Sum_{0};
+  std::atomic<uint64_t> Max_{0};
+};
+
+} // namespace graphit
+
+#endif // GRAPHIT_SUPPORT_LATENCYHISTOGRAM_H

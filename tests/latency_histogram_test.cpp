@@ -1,0 +1,197 @@
+//===- tests/latency_histogram_test.cpp - Latency histogram unit tests ----===//
+//
+// Part of graphit-ordered, an independent C++ reproduction of "Optimizing
+// Ordered Graph Algorithms with GraphIt" (CGO 2020). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks down support/LatencyHistogram.h: the bucket layout (exact unit
+// buckets below 16, 16 sub-buckets per power of two above), the
+// percentile contract (bucket upper bound, never understating), merge
+// associativity, and concurrent record + merge (exercised under the TSan
+// CI job like every other test).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LatencyHistogram.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace graphit;
+
+using H = LatencyHistogram;
+
+TEST(LatencyHistogramBuckets, UnitBucketsAreExact) {
+  for (uint64_t V = 0; V < H::kUnitBuckets; ++V) {
+    EXPECT_EQ(H::bucketIndex(V), V);
+    EXPECT_EQ(H::bucketLowerBound(V), V);
+    EXPECT_EQ(H::bucketUpperBound(V), V);
+  }
+}
+
+TEST(LatencyHistogramBuckets, BoundariesTileTheRange) {
+  // Every bucket's bounds must be consistent with bucketIndex, and
+  // consecutive buckets must tile the value space with no gap or overlap.
+  for (size_t I = 0; I < H::kNumBuckets; ++I) {
+    uint64_t Lo = H::bucketLowerBound(I);
+    uint64_t Hi = H::bucketUpperBound(I);
+    ASSERT_LE(Lo, Hi);
+    EXPECT_EQ(H::bucketIndex(Lo), I);
+    EXPECT_EQ(H::bucketIndex(Hi), I);
+    if (I + 1 < H::kNumBuckets) {
+      EXPECT_EQ(H::bucketLowerBound(I + 1), Hi + 1);
+    }
+  }
+  EXPECT_EQ(H::bucketLowerBound(0), 0u);
+}
+
+TEST(LatencyHistogramBuckets, RelativeErrorBounded) {
+  // Above the unit range, a bucket spans 2^(range) values starting at
+  // (16+sub)<<range, so (upper - v) / v <= 1/16 for every v in the
+  // documented domain (v < 2^63; larger values clamp to the last bucket).
+  SplitMix64 Rng(0xB0CA);
+  for (int T = 0; T < 10000; ++T) {
+    uint64_t V = Rng.next() >> (1 + static_cast<unsigned>(Rng.nextInt(0, 60)));
+    if (V == 0)
+      continue;
+    uint64_t Upper = H::bucketUpperBound(H::bucketIndex(V));
+    ASSERT_GE(Upper, V);
+    EXPECT_LE(Upper - V, V / H::kSubBuckets)
+        << "value " << V << " upper " << Upper;
+  }
+}
+
+TEST(LatencyHistogramPercentile, ExactOnSmallKnownDistribution) {
+  // Ten observations 0..9 (all in exact unit buckets): percentile must be
+  // the exact order statistic at rank ceil(P/100 * 10).
+  H Hist;
+  for (uint64_t V = 0; V < 10; ++V)
+    Hist.record(V);
+  EXPECT_EQ(Hist.count(), 10u);
+  EXPECT_EQ(Hist.percentile(0), 0u);    // rank clamps to 1 -> smallest
+  EXPECT_EQ(Hist.percentile(10), 0u);   // rank 1
+  EXPECT_EQ(Hist.percentile(50), 4u);   // rank 5
+  EXPECT_EQ(Hist.percentile(51), 5u);   // rank 6
+  EXPECT_EQ(Hist.percentile(90), 8u);   // rank 9
+  EXPECT_EQ(Hist.percentile(100), 9u);  // rank 10
+  EXPECT_EQ(Hist.max(), 9u);
+  EXPECT_DOUBLE_EQ(Hist.mean(), 4.5);
+}
+
+TEST(LatencyHistogramPercentile, NeverUnderstatesAndBoundsError) {
+  // A known heavy-tailed distribution: percentile must come back at or
+  // above the true order statistic and within the bucket's 1/16 relative
+  // width of it.
+  std::vector<uint64_t> Values;
+  for (uint64_t I = 1; I <= 1000; ++I)
+    Values.push_back(I * I); // 1 .. 1e6, skewed
+  H Hist;
+  for (uint64_t V : Values)
+    Hist.record(V);
+  for (double P : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    size_t Rank = static_cast<size_t>(P / 100.0 * Values.size() + 0.9999);
+    uint64_t True = Values[Rank - 1]; // Values is sorted
+    uint64_t Got = Hist.percentile(P);
+    EXPECT_GE(Got, True) << "P" << P;
+    EXPECT_LE(Got - True, True / H::kSubBuckets + 1) << "P" << P;
+  }
+}
+
+TEST(LatencyHistogramPercentile, EmptyHistogramIsZero) {
+  H Hist;
+  EXPECT_EQ(Hist.count(), 0u);
+  EXPECT_EQ(Hist.percentile(50), 0u);
+  EXPECT_EQ(Hist.max(), 0u);
+  EXPECT_DOUBLE_EQ(Hist.mean(), 0.0);
+}
+
+namespace {
+
+void recordStream(H &Hist, uint64_t Seed, int N) {
+  SplitMix64 Rng(Seed);
+  for (int I = 0; I < N; ++I)
+    Hist.record(static_cast<uint64_t>(Rng.nextInt(0, 1 << 20)));
+}
+
+} // namespace
+
+TEST(LatencyHistogramMerge, MergeIsAssociativeAndOrderIndependent) {
+  // (A + B) + C and A + (B + C), built from re-recorded identical
+  // streams, must agree bucket-for-bucket.
+  H A1, B1, C1, A2, B2, C2;
+  recordStream(A1, 11, 5000);
+  recordStream(B1, 22, 3000);
+  recordStream(C1, 33, 7000);
+  recordStream(A2, 11, 5000);
+  recordStream(B2, 22, 3000);
+  recordStream(C2, 33, 7000);
+
+  A1.merge(B1); // A1 = A + B
+  A1.merge(C1); // A1 = (A + B) + C
+  B2.merge(C2); // B2 = B + C
+  A2.merge(B2); // A2 = A + (B + C)
+
+  EXPECT_EQ(A1.count(), A2.count());
+  EXPECT_EQ(A1.sum(), A2.sum());
+  EXPECT_EQ(A1.max(), A2.max());
+  for (size_t I = 0; I < H::kNumBuckets; ++I)
+    ASSERT_EQ(A1.bucketCount(I), A2.bucketCount(I)) << "bucket " << I;
+  for (double P : {50.0, 95.0, 99.0})
+    EXPECT_EQ(A1.percentile(P), A2.percentile(P));
+}
+
+TEST(LatencyHistogramConcurrent, SharedRecordThenMergeMatchesPerThread) {
+  // N threads record the same streams twice: once all into one shared
+  // histogram (concurrent fetch_adds), once into per-thread instances
+  // merged afterwards. The two totals must be identical — and TSan must
+  // see no races in either pattern.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  H Shared;
+  std::vector<std::unique_ptr<H>> Private;
+  for (int T = 0; T < kThreads; ++T)
+    Private.push_back(std::make_unique<H>());
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      recordStream(Shared, 100 + static_cast<uint64_t>(T), kPerThread);
+      recordStream(*Private[static_cast<size_t>(T)],
+                   100 + static_cast<uint64_t>(T), kPerThread);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  H Merged;
+  for (int T = 0; T < kThreads; ++T)
+    Merged.merge(*Private[static_cast<size_t>(T)]);
+
+  EXPECT_EQ(Shared.count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(Merged.count(), Shared.count());
+  EXPECT_EQ(Merged.sum(), Shared.sum());
+  EXPECT_EQ(Merged.max(), Shared.max());
+  for (size_t I = 0; I < H::kNumBuckets; ++I)
+    ASSERT_EQ(Merged.bucketCount(I), Shared.bucketCount(I));
+}
+
+TEST(LatencyHistogramConcurrent, MergeWhileRecordingIsConsistent) {
+  // Merging from a histogram still being recorded into must yield a
+  // consistent snapshot: merged count <= final count, and no crash/race.
+  H Source, Sink;
+  std::thread Recorder([&] { recordStream(Source, 7, 200000); });
+  uint64_t MidCount = 0;
+  {
+    H Mid;
+    Mid.merge(Source);
+    MidCount = Mid.count();
+  }
+  Recorder.join();
+  Sink.merge(Source);
+  EXPECT_LE(MidCount, Source.count());
+  EXPECT_EQ(Sink.count(), 200000u);
+}

@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 using namespace graphit;
 using namespace graphit::service;
@@ -672,4 +673,156 @@ TEST(QueryEngineLive, LandmarksRebuildOnCompaction) {
     std::vector<QueryResult> R = Engine.runBatch({A, P});
     ASSERT_EQ(R[0].Dist, R[1].Dist) << "query " << I;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive batching (Options::MaxBatchDelayMicros)
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngineBatching, BatchedResultsBitIdenticalToUnbatched) {
+  // Batching only changes *when* a worker picks tasks up, never what a
+  // task computes: the same randomized mixed workload must produce
+  // bit-identical distances with batching off and fully on.
+  Graph G = roadWithCoords(32, 55);
+  QueryEngine::Options Plain;
+  Plain.NumWorkers = 2;
+  Plain.DefaultSchedule.Delta = 2048;
+  QueryEngine::Options Batched = Plain;
+  Batched.MaxBatchDelayMicros = 1000;
+  Batched.MaxBatchSize = 8;
+  QueryEngine PlainEngine(G, Plain);
+  QueryEngine BatchedEngine(G, Batched);
+
+  constexpr int kNumQueries = 200;
+  SplitMix64 Rng(808);
+  std::vector<Query> Work;
+  for (int I = 0; I < kNumQueries; ++I) {
+    Query Q;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Kind = (I % 3 == 0) ? QueryKind::SSSP
+                          : (I % 3 == 1 ? QueryKind::PPSP : QueryKind::AStar);
+    if (Q.Kind == QueryKind::SSSP)
+      Q.CollectReached = true;
+    Work.push_back(Q);
+  }
+
+  std::vector<QueryResult> A = PlainEngine.runBatch(Work);
+  std::vector<QueryResult> B = BatchedEngine.runBatch(Work);
+  ASSERT_EQ(A.size(), B.size());
+  for (int I = 0; I < kNumQueries; ++I) {
+    ASSERT_EQ(A[I].Dist, B[I].Dist) << "query " << I;
+    ASSERT_EQ(A[I].Reached, B[I].Reached) << "query " << I;
+    ASSERT_EQ(static_cast<int>(A[I].Status), static_cast<int>(B[I].Status))
+        << "query " << I;
+  }
+  // runBatch submits one query at a time while collecting in order, so
+  // whether the window ever engaged is workload-timing dependent — but it
+  // must never exceed the configured bound.
+  EXPECT_LE(BatchedEngine.maxBatchWindowMicros(), 1000);
+  EXPECT_EQ(PlainEngine.maxBatchWindowMicros(), 0);
+}
+
+TEST(QueryEngineBatching, WindowGrowsUnderBacklogAndCollapsesWhenDrained) {
+  // Deterministic recipe: a single worker busy with a slow full-graph
+  // SSSP while a burst of point queries piles up behind it. When the
+  // worker comes back it must see the backlog (window grows), drain it in
+  // batches, and finish with the queue empty (window collapses to 0).
+  Graph G = roadWithCoords(40, 91);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  Opts.DefaultSchedule.Delta = 2048;
+  Opts.MaxBatchDelayMicros = 2000;
+  Opts.MaxBatchSize = 8;
+  QueryEngine Engine(G, Opts);
+
+  Query Slow;
+  Slow.Kind = QueryKind::SSSP;
+  Slow.Source = 0;
+  Slow.CollectReached = true;
+  uint64_t SlowTicket = Engine.submit(Slow);
+  // Wait for the worker to pick it up so the burst below queues *behind*
+  // a busy worker instead of racing it.
+  while (Engine.queueDepth() > 0)
+    std::this_thread::yield();
+
+  SplitMix64 Rng(19);
+  std::vector<uint64_t> Tickets;
+  for (int I = 0; I < 32; ++I) {
+    Query Q;
+    Q.Kind = QueryKind::PPSP;
+    Q.Source = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+    Tickets.push_back(Engine.submit(Q));
+  }
+  (void)Engine.collect(SlowTicket);
+  for (uint64_t T : Tickets)
+    (void)Engine.collect(T);
+
+  // The backlog must have engaged the window at least once (the worker
+  // finished the slow query with 32 queries pending), within its bound...
+  EXPECT_GT(Engine.maxBatchWindowMicros(), 0);
+  EXPECT_LE(Engine.maxBatchWindowMicros(), Opts.MaxBatchDelayMicros);
+  // ...and the final batch (which drained the queue) collapsed it.
+  EXPECT_EQ(Engine.batchWindowMicros(), 0);
+  EXPECT_EQ(Engine.queriesServed(), 33u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-engine hot-state sharing (Options::SharedHotCache)
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngineLive, SharedHotCacheServesCrossEngineHits) {
+  // Two engines over one store share a hot cache: a source warmed by
+  // engine A answers engine B's point queries without an engine run, at
+  // the same bit-exact distances, across repaired versions.
+  Graph G = roadWithCoords(24, 47);
+  SnapshotStore Store(G);
+  QueryEngine::Options OptsA;
+  OptsA.NumWorkers = 2;
+  OptsA.DefaultSchedule.Delta = 2048;
+  OptsA.HotSourceCapacity = 8;
+  QueryEngine A(Store, OptsA);
+  ASSERT_NE(A.hotCache(), nullptr);
+
+  QueryEngine::Options OptsB;
+  OptsB.NumWorkers = 2;
+  OptsB.DefaultSchedule.Delta = 2048;
+  OptsB.SharedHotCache = A.hotCache();
+  QueryEngine B(Store, OptsB);
+
+  const VertexId Depot = 7;
+  Query Warm;
+  Warm.Kind = QueryKind::SSSP;
+  Warm.Source = Depot;
+  (void)A.runBatch({Warm});
+  EXPECT_GE(A.hotCache()->size(), 1u);
+
+  SplitMix64 Rng(3131);
+  for (int Round = 0; Round < 3; ++Round) {
+    // B's point queries from the depot must hit A's warmed state.
+    uint64_t HitsBefore = B.hotHits();
+    Graph Compact = Store.current()->compact();
+    for (int I = 0; I < 6; ++I) {
+      Query Q;
+      Q.Kind = QueryKind::PPSP;
+      Q.Source = Depot;
+      Q.Target = static_cast<VertexId>(Rng.nextInt(0, G.numNodes()));
+      QueryResult R = B.runBatch({Q})[0];
+      PPSPResult Ref = pointToPointShortestPath(
+          Compact, Q.Source, Q.Target, OptsB.DefaultSchedule);
+      ASSERT_EQ(R.Dist, Ref.Dist) << "round " << Round << " query " << I;
+    }
+    EXPECT_GT(B.hotHits(), HitsBefore) << "round " << Round;
+
+    // Advance the store one version *through a single engine* (the cache
+    // is repaired exactly once per publish); the warm state must survive
+    // via incremental repair and keep serving both engines.
+    std::vector<EdgeUpdate> Batch = randomBatch(*Store.current(), 24, Rng);
+    ASSERT_EQ(static_cast<int>(A.applyUpdates(Batch).Status),
+              static_cast<int>(ApplyStatus::Ok));
+  }
+  EXPECT_GT(A.hotCache()->repairs(), 0u);
+  EXPECT_EQ(A.hotRepairs(), B.hotRepairs())
+      << "shared cache: both engines report the cache-wide repair count";
 }

@@ -8,20 +8,25 @@
 // The serving-tier SLO benchmark: measures tail latency, not throughput.
 // Three experiments over a live QueryEngine + SnapshotStore:
 //
-//  1. *Open-loop (Poisson) load* — queries arrive on an exponential
-//     inter-arrival clock at ~60% of measured closed-loop capacity, with
-//     a concurrent writer publishing weight-update batches the whole
-//     time. Per-query end-to-end latency (submit → collect, so queueing
-//     counts) goes into per-collector LatencyHistograms merged at the
-//     end:
+//  1. *Open-loop load* — queries arrive on an open-loop clock with a
+//     concurrent writer publishing weight-update batches the whole time.
+//     Three gated operating points: "steady" and "overload" use Poisson
+//     arrivals (exponential gaps at the offered rate); "burst" drives the
+//     same mean rate through a two-state Markov-modulated Poisson process
+//     (exponentially-held ON bursts at 3x the rate, OFF lulls at a third
+//     of it), so the gated tail reflects genuine arrival bursts rather
+//     than smooth traffic. `--arrivals=poisson|burst|all` selects the
+//     points (default all). Per-query end-to-end latency (submit →
+//     collect, so queueing counts) goes into per-collector
+//     LatencyHistograms merged at the end:
 //
-//       {"bench": "service_open_loop", "mode": "poisson", ...,
-//        "p50_us": ..., "p95_us": ..., "p99_us": ...,
+//       {"bench": "service_open_loop", "mode": "steady"|"overload"|"burst",
+//        ..., "p50_us": ..., "p95_us": ..., "p99_us": ...,
 //        "shed_rate": ..., "degraded_rate": ..., "deadline_rate": ...,
-//        "max_queue_depth": ..., "tolerance": 0.5}
+//        "max_queue_depth": ..., "tolerance": ...}
 //
-//     The perf gate (scripts/check_bench.py) keys on p99_us for this
-//     line; the wide per-line tolerance absorbs CI scheduling noise.
+//     The perf gate (scripts/check_bench.py) keys on p99_us for these
+//     lines; the wide per-line tolerance absorbs CI scheduling noise.
 //     After the run the engine's answers are verified bit-exact against
 //     naive PPSP on the final pinned snapshot.
 //
@@ -55,6 +60,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -133,7 +139,7 @@ struct OpenLoopResult {
 };
 
 void runOpenLoop(QueryEngine &Engine, Count Side, Count NumQueries,
-                 double OfferedQps, OpenLoopResult &Out) {
+                 double OfferedQps, bool Burst, OpenLoopResult &Out) {
   struct InFlight {
     uint64_t Ticket;
     std::chrono::steady_clock::time_point Submitted;
@@ -188,17 +194,33 @@ void runOpenLoop(QueryEngine &Engine, Count Side, Count NumQueries,
       }
     });
 
-  // Poisson arrivals: exponential inter-arrival gaps at the offered rate.
+  // Arrival clock. Poisson: exponential inter-arrival gaps at the offered
+  // rate. Burst: a two-state Markov-modulated Poisson process — ON bursts
+  // at 3x the offered rate, OFF lulls at a third of it, with
+  // exponentially distributed holding times whose means (30ms ON, 90ms
+  // OFF => pi_on = 1/4) keep the long-run mean at exactly OfferedQps:
+  //   1/4 * 3R + 3/4 * R/3 = R.
   std::vector<Query> Queries =
       makeQueries(Side, NumQueries, 99, /*WindowDiv=*/4);
   SplitMix64 Rng(0x0DD5);
   size_t MaxDepth = 0;
+  bool On = false;
+  double PhaseLeftMicros = 0;
   Timer Wall;
   auto Next = std::chrono::steady_clock::now();
   for (Count I = 0; I < NumQueries; ++I) {
+    double Rate = OfferedQps;
+    if (Burst) {
+      if (PhaseLeftMicros <= 0) {
+        On = !On;
+        PhaseLeftMicros = -std::log(1.0 - Rng.nextDouble()) *
+                          (On ? 30'000.0 : 90'000.0);
+      }
+      Rate = On ? 3.0 * OfferedQps : OfferedQps / 3.0;
+    }
     const double U = Rng.nextDouble();
-    const double GapMicros =
-        -std::log(1.0 - U) * (1e6 / OfferedQps); // Exp(rate)
+    const double GapMicros = -std::log(1.0 - U) * (1e6 / Rate); // Exp(rate)
+    PhaseLeftMicros -= GapMicros;
     Next += std::chrono::microseconds(static_cast<int64_t>(GapMicros));
     std::this_thread::sleep_until(Next);
 
@@ -403,11 +425,25 @@ void runHotSharing(const Graph &G) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const char *Arrivals = "all";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--arrivals=", 11) == 0 &&
+        (std::strcmp(argv[I] + 11, "poisson") == 0 ||
+         std::strcmp(argv[I] + 11, "burst") == 0 ||
+         std::strcmp(argv[I] + 11, "all") == 0)) {
+      Arrivals = argv[I] + 11;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--arrivals=poisson|burst|all]\n", argv[0]);
+      return 2;
+    }
+  }
+
   banner("service_bench — open-loop SLO benchmark over the live engine",
-         "tail latency stays bounded under Poisson load with live writes; "
-         "adaptive batching trades p99 for throughput; shared hot cache "
-         "lifts the warm-hit rate");
+         "tail latency stays bounded under Poisson and bursty load with "
+         "live writes; adaptive batching trades p99 for throughput; "
+         "shared hot cache lifts the warm-hit rate");
 
   const Count Side =
       std::max<Count>(static_cast<Count>(150 * datasetScaleFromEnv()), 60);
@@ -441,21 +477,29 @@ int main() {
     CapacityQps = 1024.0 / Clock.seconds();
   }
 
-  // Two operating points, each its own gated line: *steady* (a fixed low
-  // rate well under capacity — the queue stays shallow and the tail is
-  // honest queueing; fixed, not probe-relative, so probe noise does not
-  // leak into the gated p99) and *overload* (far past sustainable — the
-  // tail is whatever deadlines + admission control make of it, which is
-  // exactly what they exist to bound). The steady tail is an order
-  // statistic over few samples, so it gets a wider tolerance.
+  // Three operating points, each its own gated line: *steady* (a fixed
+  // low Poisson rate well under capacity — the queue stays shallow and
+  // the tail is honest queueing; fixed, not probe-relative, so probe
+  // noise does not leak into the gated p99), *overload* (far past
+  // sustainable — the tail is whatever deadlines + admission control make
+  // of it, which is exactly what they exist to bound), and *burst* (the
+  // steady mean rate delivered as Markov-modulated on/off bursts — the
+  // tail now prices transient queue build-up the Poisson points never
+  // form). Steady and burst tails are order statistics over few samples,
+  // so they get the wider tolerance.
   const struct {
     const char *Mode;
     double FixedQps;    // used when > 0
     double Factor;      // of probed capacity, otherwise
     double Tolerance;
-  } Points[] = {{"steady", 2000.0, 0.0, 1.0},
-                {"overload", 0.0, 0.60, 0.5}};
+    bool Burst;
+  } Points[] = {{"steady", 2000.0, 0.0, 1.0, false},
+                {"overload", 0.0, 0.60, 0.5, false},
+                {"burst", 2000.0, 0.0, 1.0, true}};
   for (const auto &Point : Points) {
+    const bool WantBurst = std::strcmp(Arrivals, "burst") == 0;
+    if (std::strcmp(Arrivals, "all") != 0 && Point.Burst != WantBurst)
+      continue;
     const double OfferedQps =
         Point.FixedQps > 0 ? Point.FixedQps : Point.Factor * CapacityQps;
     std::printf("# closed-loop capacity ~%.0f qps; offering %.0f qps "
@@ -477,7 +521,7 @@ int main() {
     });
 
     OpenLoopResult OL;
-    runOpenLoop(Engine, Side, NumQueries, OfferedQps, OL);
+    runOpenLoop(Engine, Side, NumQueries, OfferedQps, Point.Burst, OL);
     StopWriter.store(true);
     Writer.join();
 

@@ -42,6 +42,16 @@
 //     "speedup" of wall-clock apply time; final adjacency checksums must
 //     match exactly.
 //
+//   sharded_compacting — the same multi-writer streams with compaction
+//     thresholds low enough that folds trip throughout the run:
+//     incremental per-shard folds (one shard writer lock each, O(shard))
+//     against Options::LegacyGlobalRebuild (the old all-shards global
+//     rebuild). Two gated lines, "mode": "p99" (per-batch apply latency)
+//     and "mode": "qps" (batch throughput), each with "speedup" =
+//     global / incremental — the binary exits non-zero unless the
+//     incremental path wins both AND the final distance arrays are
+//     bit-identical across the two modes.
+//
 // Knobs: GRAPHIT_SCALE (graph side multiplier), GRAPHIT_BENCH_TRIALS.
 //
 //===----------------------------------------------------------------------===//
@@ -56,6 +66,7 @@
 #include "service/SnapshotStore.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -232,6 +243,81 @@ double runApplyThreads(StoreT &Store,
   return Clock.seconds();
 }
 
+/// Per-writer shard-local streams (writer w owns shard w's vertex range —
+/// the power-of-two span over-covers the universe, so only the low shards
+/// are guaranteed non-empty), generated once and replayed into every
+/// store flavor — disjoint ranges make the final adjacency
+/// interleaving-independent. Returns empty on an empty writer range.
+std::vector<std::vector<std::vector<EdgeUpdate>>>
+makeWriterStreams(const Graph &Base, Count Span, int Writers,
+                  Count UpdatesPerBatch, int BatchesPerWriter,
+                  uint64_t Seed) {
+  std::vector<std::vector<std::vector<EdgeUpdate>>> PerWriter(
+      static_cast<size_t>(Writers));
+  for (int W = 0; W < Writers; ++W) {
+    SplitMix64 Rng(Seed ^ static_cast<uint64_t>(W));
+    Count Lo = static_cast<Count>(W) * Span;
+    Count Hi = std::min<Count>(Base.numNodes(), Lo + Span);
+    if (Hi - Lo < 2) {
+      std::fprintf(stderr, "!! empty writer range %d [%lld, %lld)\n", W,
+                   (long long)Lo, (long long)Hi);
+      return {};
+    }
+    for (int B = 0; B < BatchesPerWriter; ++B) {
+      std::vector<EdgeUpdate> Batch;
+      while (static_cast<Count>(Batch.size()) < UpdatesPerBatch) {
+        VertexId A = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
+        VertexId D = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
+        if (A == D)
+          continue;
+        Batch.push_back(EdgeUpdate{
+            A, D, static_cast<Weight>(Rng.nextInt(100, 400)),
+            Rng.nextInt(0, 6) == 0 ? UpdateKind::Delete
+                                   : UpdateKind::Upsert});
+      }
+      PerWriter[static_cast<size_t>(W)].push_back(std::move(Batch));
+    }
+  }
+  return PerWriter;
+}
+
+struct LatencyRun {
+  double WallSeconds = 0;
+  double P99Micros = 0;
+};
+
+/// Like runApplyThreads, but times every applyUpdates call so the fold
+/// cost lands in the per-batch latency distribution — the number the
+/// incremental-vs-global comparison is actually about.
+template <typename StoreT>
+LatencyRun runCompactingWriters(
+    StoreT &Store,
+    const std::vector<std::vector<std::vector<EdgeUpdate>>> &PerWriter) {
+  std::vector<std::vector<double>> Lat(PerWriter.size());
+  Timer Clock;
+  std::vector<std::thread> Threads;
+  Threads.reserve(PerWriter.size());
+  for (size_t W = 0; W < PerWriter.size(); ++W)
+    Threads.emplace_back([&Store, &Stream = PerWriter[W], &Out = Lat[W]] {
+      Out.reserve(Stream.size());
+      for (const std::vector<EdgeUpdate> &B : Stream) {
+        Timer T;
+        Store.applyUpdates(B);
+        Out.push_back(T.seconds() * 1e6);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  LatencyRun R;
+  R.WallSeconds = Clock.seconds();
+  std::vector<double> All;
+  for (const std::vector<double> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  R.P99Micros = All[All.size() * 99 / 100];
+  return R;
+}
+
 } // namespace
 
 int main() {
@@ -330,42 +416,16 @@ int main() {
     SnapshotStore::Options PlOpts;
     PlOpts.CompactionThreshold = 1e9;
 
-    // Per-writer shard-local streams (writer w owns shard w's vertex
-    // range — the power-of-two span over-covers the universe, so only
-    // the low shards are guaranteed non-empty), generated once and
-    // replayed into both stores — disjoint ranges make the final
-    // adjacency interleaving-independent.
     Count Span;
     {
       ShardedSnapshotStore Probe(Base, ShOpts);
       Span = Probe.shardSpan();
     }
-    std::vector<std::vector<std::vector<EdgeUpdate>>> PerWriter(
-        static_cast<size_t>(Writers));
-    for (int W = 0; W < Writers; ++W) {
-      SplitMix64 Rng(0x5A4D ^ static_cast<uint64_t>(W));
-      Count Lo = static_cast<Count>(W) * Span;
-      Count Hi = std::min<Count>(Base.numNodes(), Lo + Span);
-      if (Hi - Lo < 2) {
-        std::fprintf(stderr, "!! empty writer range %d [%lld, %lld)\n", W,
-                     (long long)Lo, (long long)Hi);
-        return 1;
-      }
-      for (int B = 0; B < BatchesPerWriter; ++B) {
-        std::vector<EdgeUpdate> Batch;
-        while (static_cast<Count>(Batch.size()) < UpdatesPerBatch) {
-          VertexId A = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
-          VertexId D = static_cast<VertexId>(Rng.nextInt(Lo, Hi));
-          if (A == D)
-            continue;
-          Batch.push_back(EdgeUpdate{
-              A, D, static_cast<Weight>(Rng.nextInt(100, 400)),
-              Rng.nextInt(0, 6) == 0 ? UpdateKind::Delete
-                                     : UpdateKind::Upsert});
-        }
-        PerWriter[static_cast<size_t>(W)].push_back(std::move(Batch));
-      }
-    }
+    std::vector<std::vector<std::vector<EdgeUpdate>>> PerWriter =
+        makeWriterStreams(Base, Span, Writers, UpdatesPerBatch,
+                          BatchesPerWriter, 0x5A4D);
+    if (PerWriter.empty())
+      return 1;
 
     double BestSharded = 1e30, BestPlain = 1e30;
     for (int T = 0; T < numTrials(); ++T) {
@@ -391,6 +451,96 @@ int main() {
                 "\"tolerance\": 0.50}\n",
                 (long long)UpdatesPerBatch, Writers, BestSharded, BestPlain,
                 BestPlain / BestSharded);
+    std::fflush(stdout);
+  }
+
+  // --- Per-shard incremental compaction vs the legacy global rebuild:
+  // the same multi-writer streams with thresholds low enough that folds
+  // trip throughout. The incremental path folds one shard under that
+  // shard's writer lock while the other writers keep publishing; the
+  // legacy path rebuilds the whole store per trigger. Gated on both the
+  // per-batch p99 and the batch throughput — and the bench itself fails
+  // unless incremental wins both with bit-identical final distances.
+  {
+    const int Writers = 4;
+    const Count UpdatesPerBatch = 64;
+    const int BatchesPerWriter = 48;
+    ShardedSnapshotStore::Options IncOpts;
+    IncOpts.NumShards = 8;
+    IncOpts.CompactionThreshold = 0.001;
+    IncOpts.MinOverlayEdges = 256;
+    ShardedSnapshotStore::Options GloOpts = IncOpts;
+    GloOpts.LegacyGlobalRebuild = true;
+
+    Count Span;
+    {
+      ShardedSnapshotStore Probe(Base, IncOpts);
+      Span = Probe.shardSpan();
+    }
+    std::vector<std::vector<std::vector<EdgeUpdate>>> PerWriter =
+        makeWriterStreams(Base, Span, Writers, UpdatesPerBatch,
+                          BatchesPerWriter, 0x5A4E);
+    if (PerWriter.empty())
+      return 1;
+
+    const double TotalBatches =
+        static_cast<double>(Writers) * BatchesPerWriter;
+    double IncP99 = 1e30, GloP99 = 1e30, IncWall = 1e30, GloWall = 1e30;
+    uint64_t Folds = 0, Reclaimed = 0, GlobalRebuilds = 0;
+    for (int T = 0; T < numTrials(); ++T) {
+      ShardedSnapshotStore Inc(Base, IncOpts);
+      LatencyRun RI = runCompactingWriters(Inc, PerWriter);
+      ShardedSnapshotStore Glo(Base, GloOpts);
+      LatencyRun RG = runCompactingWriters(Glo, PerWriter);
+
+      std::vector<Priority> DI =
+          deltaSteppingSSSP(*Inc.current(), Depot, S).Dist;
+      std::vector<Priority> DG =
+          deltaSteppingSSSP(*Glo.current(), Depot, S).Dist;
+      if (DI != DG) {
+        std::fprintf(stderr, "!! incremental/global distance mismatch "
+                             "after compacting run\n");
+        return 1;
+      }
+      IncP99 = std::min(IncP99, RI.P99Micros);
+      GloP99 = std::min(GloP99, RG.P99Micros);
+      IncWall = std::min(IncWall, RI.WallSeconds);
+      GloWall = std::min(GloWall, RG.WallSeconds);
+      Folds = 0;
+      for (int Sh = 0; Sh < Inc.numShards(); ++Sh)
+        Folds += Inc.shardFolds(Sh);
+      Reclaimed = Inc.reclaimedTombstones();
+      GlobalRebuilds = Glo.compactions();
+    }
+    if (Folds == 0) {
+      std::fprintf(stderr, "!! compacting run tripped no per-shard fold — "
+                           "thresholds are miscalibrated\n");
+      return 1;
+    }
+    const double IncQps = TotalBatches / IncWall;
+    const double GloQps = TotalBatches / GloWall;
+    if (IncP99 > GloP99 || IncQps < GloQps) {
+      std::fprintf(stderr,
+                   "!! incremental per-shard folds must beat the global "
+                   "rebuild: p99 %.0fus vs %.0fus, qps %.0f vs %.0f\n",
+                   IncP99, GloP99, IncQps, GloQps);
+      return 1;
+    }
+    std::printf("{\"bench\": \"sharded_compacting\", \"mode\": \"p99\", "
+                "\"updates\": %lld, \"threads\": %d, "
+                "\"incremental_p99_us\": %.1f, \"global_p99_us\": %.1f, "
+                "\"speedup\": %.2f, \"folds\": %llu, "
+                "\"reclaimed_tombstones\": %llu, \"tolerance\": 0.50}\n",
+                (long long)UpdatesPerBatch, Writers, IncP99, GloP99,
+                GloP99 / IncP99, (unsigned long long)Folds,
+                (unsigned long long)Reclaimed);
+    std::printf("{\"bench\": \"sharded_compacting\", \"mode\": \"qps\", "
+                "\"updates\": %lld, \"threads\": %d, "
+                "\"incremental_qps\": %.1f, \"global_qps\": %.1f, "
+                "\"speedup\": %.2f, \"global_rebuilds\": %llu, "
+                "\"tolerance\": 0.50}\n",
+                (long long)UpdatesPerBatch, Writers, IncQps, GloQps,
+                IncQps / GloQps, (unsigned long long)GlobalRebuilds);
     std::fflush(stdout);
   }
   return 0;

@@ -8,10 +8,10 @@
 // The live-graph serving demo: a road network that changes while queries
 // are in flight.
 //
-//   * a SnapshotStore publishes refcounted graph versions; a writer thread
+//   * a snapshot store publishes refcounted graph versions; a writer thread
 //     feeds it traffic incidents (closures triple a segment's weight,
 //     reopenings push it back toward free-flow);
-//   * a QueryEngine in live mode serves point-to-point queries, each
+//   * a query engine in live mode serves point-to-point queries, each
 //     pinning the latest version for its lifetime — publishes never block
 //     queries, queries never block publishes;
 //   * a dispatcher keeps a full SSSP tree from a depot current with
@@ -22,6 +22,12 @@
 // least-important work when the queue overfills, and results come back
 // through tickets + tryCollect — nothing in the client path can abort on
 // a bad ticket, and every submitted query resolves with a typed status.
+//
+// Pass `--sharded` to serve the same demo from a ShardedSnapshotStore
+// through the identical engine code (BasicQueryEngine is a template over
+// the Store concept): writers take per-shard locks, compaction folds one
+// shard at a time in the background, and the final report breaks the
+// fold counters out per shard.
 //
 // Build: cmake --build build --target example_live_road_server
 //
@@ -42,8 +48,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 using namespace graphit;
@@ -56,8 +64,10 @@ constexpr Count kSide = 150;
 /// Lowest weight the live A* coordinate heuristic tolerates on (U, V):
 /// the road generator guarantees weight >= 100 x Euclidean length, and
 /// every reopening must respect the same floor or the heuristic loses
-/// admissibility (see algorithms/AStar.h).
-Weight heuristicFloor(const DeltaGraph &G, VertexId U, VertexId V) {
+/// admissibility (see algorithms/AStar.h). Templated so the sharded
+/// composite view (ShardedDeltaView) serves the same helper.
+template <typename GraphT>
+Weight heuristicFloor(const GraphT &G, VertexId U, VertexId V) {
   const Coordinates &C = G.coordinates();
   double DX = C.X[U] - C.X[V];
   double DY = C.Y[U] - C.Y[V];
@@ -66,7 +76,8 @@ Weight heuristicFloor(const DeltaGraph &G, VertexId U, VertexId V) {
 }
 
 /// One round of traffic incidents against the current map version.
-std::vector<EdgeUpdate> incidents(const DeltaGraph &G, Count HowMany,
+template <typename GraphT>
+std::vector<EdgeUpdate> incidents(const GraphT &G, Count HowMany,
                                   SplitMix64 &Rng) {
   std::vector<EdgeUpdate> Batch;
   const Count N = G.numNodes();
@@ -97,29 +108,22 @@ std::vector<EdgeUpdate> incidents(const DeltaGraph &G, Count HowMany,
   return Batch;
 }
 
-} // namespace
+Count overlayEdgesOf(const DeltaGraph &G) { return G.overlayEdges(); }
+Count overlayEdgesOf(const ShardedDeltaView &V) {
+  Count Sum = 0;
+  for (const std::shared_ptr<const DeltaGraph> &S : V.shards())
+    Sum += S->overlayEdges();
+  return Sum;
+}
 
-int main() {
-  RoadNetwork Net = roadGrid(kSide, kSide, 4242);
-  BuildOptions Options;
-  Options.Symmetrize = true;
-  Graph Base = GraphBuilder(Options).build(Net.NumNodes, Net.Edges,
-                                           std::move(Net.Coords));
-  std::printf("== live road server: %lldx%lld grid, %lld nodes, "
-              "%lld directed edges ==\n",
-              (long long)kSide, (long long)kSide,
-              (long long)Base.numNodes(), (long long)Base.numEdges());
-
-  SnapshotStore::Options StoreOpts;
-  StoreOpts.CompactionThreshold = 0.02; // compact early for the demo
-  StoreOpts.MinOverlayEdges = 1 << 10;
-  StoreOpts.BackgroundCompaction = true;
-  SnapshotStore Store(std::move(Base), StoreOpts);
-
+/// The whole demo, generic over the Store concept — the exact code path
+/// the engine runs in production for either store.
+template <typename StoreT>
+int runServer(StoreT &Store) {
   Schedule S;
   S.configApplyPriorityUpdateDelta(1024); // local point-to-point Δ
 
-  QueryEngine::Options Opts;
+  typename BasicQueryEngine<StoreT>::Options Opts;
   Opts.NumWorkers = 4;
   Opts.DefaultSchedule = S;
   // Overload policy: past 512 queued queries shed the least-important
@@ -127,7 +131,7 @@ int main() {
   // impose deadlines on point queries so the queue drains gracefully.
   Opts.AdmissionHighWater = 512;
   Opts.AdmissionSoftWater = 128;
-  QueryEngine Engine(Store, Opts);
+  BasicQueryEngine<StoreT> Engine(Store, Opts);
 
   // Writer: a steady stream of incident batches racing the queries.
   std::atomic<bool> Done{false};
@@ -195,13 +199,13 @@ int main() {
       }
     }
     double Sec = Clock.seconds();
-    SnapshotStore::Snapshot Snap = Store.current();
+    typename StoreT::Snapshot Snap = Store.current();
     std::printf("round %d: %zu queries in %.3fs (%.0f qps) | ok %zu, "
                 "expired %zu, shed %zu | version %llu, overlay %lld edges, "
                 "%llu compactions\n",
                 Round, Tickets.size(), Sec, Tickets.size() / Sec, Ok,
                 Expired, Shed, (unsigned long long)Store.version(),
-                (long long)Snap->overlayEdges(),
+                (long long)overlayEdgesOf(*Snap),
                 (unsigned long long)Store.compactions());
     std::printf("  latency (us): p50 %llu, p95 %llu, p99 %llu, max %llu "
                 "over %llu completed trips\n",
@@ -225,7 +229,7 @@ int main() {
   RepairScratch Scratch;
   SplitMix64 Rng(7);
   for (int B = 0; B < 3; ++B) {
-    SnapshotStore::ApplyResult A =
+    typename StoreT::ApplyResult A =
         Store.applyUpdates(incidents(*Store.current(), 16, Rng));
     Timer RepairClock;
     RepairStats R =
@@ -250,6 +254,59 @@ int main() {
   std::printf("final: version %llu, %llu compactions, overlay %lld edges\n",
               (unsigned long long)Store.version(),
               (unsigned long long)Store.compactions(),
-              (long long)Store.current()->overlayEdges());
+              (long long)overlayEdgesOf(*Store.current()));
+  if constexpr (std::is_same_v<StoreT, ShardedSnapshotStore>) {
+    // Per-shard compaction report: every fold here held exactly one
+    // shard's writer lock while the other shards kept publishing.
+    std::printf("per-shard folds:");
+    for (int Sh = 0; Sh < Store.numShards(); ++Sh)
+      std::printf(" [%d] %llu%s", Sh,
+                  (unsigned long long)Store.shardFolds(Sh),
+                  Store.shardDegraded(Sh) ? " (degraded)" : "");
+    std::printf(" | tombstones reclaimed %llu | degraded: %s\n",
+                (unsigned long long)Store.reclaimedTombstones(),
+                Store.degraded() ? "yes" : "no");
+  }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Sharded = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--sharded") == 0) {
+      Sharded = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--sharded]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  RoadNetwork Net = roadGrid(kSide, kSide, 4242);
+  BuildOptions Options;
+  Options.Symmetrize = true;
+  Graph Base = GraphBuilder(Options).build(Net.NumNodes, Net.Edges,
+                                           std::move(Net.Coords));
+  std::printf("== live road server: %lldx%lld grid, %lld nodes, "
+              "%lld directed edges (%s store) ==\n",
+              (long long)kSide, (long long)kSide,
+              (long long)Base.numNodes(), (long long)Base.numEdges(),
+              Sharded ? "sharded" : "unsharded");
+
+  if (Sharded) {
+    ShardedSnapshotStore::Options StoreOpts;
+    StoreOpts.NumShards = 8;
+    StoreOpts.CompactionThreshold = 0.02; // compact early for the demo
+    StoreOpts.MinOverlayEdges = 1 << 10;
+    StoreOpts.BackgroundCompaction = true;
+    ShardedSnapshotStore Store(std::move(Base), StoreOpts);
+    return runServer(Store);
+  }
+  SnapshotStore::Options StoreOpts;
+  StoreOpts.CompactionThreshold = 0.02; // compact early for the demo
+  StoreOpts.MinOverlayEdges = 1 << 10;
+  StoreOpts.BackgroundCompaction = true;
+  SnapshotStore Store(std::move(Base), StoreOpts);
+  return runServer(Store);
 }

@@ -32,9 +32,9 @@ import re
 import sys
 
 # Struct -> (header path, doc heading fragment). A doc heading matches if
-# it contains the struct name (so "### `QueryEngine::Options`" works).
+# it contains the struct name (so "### `BasicQueryEngine::Options`" works).
 OPTION_STRUCTS = {
-    "QueryEngine::Options": "src/service/QueryEngine.h",
+    "BasicQueryEngine::Options": "src/service/QueryEngine.h",
     "SnapshotStore::Options": "src/service/SnapshotStore.h",
     "ShardedSnapshotStore::Options": "src/service/SnapshotStore.h",
 }

@@ -24,9 +24,11 @@ Enforces four concurrency/serving invariants that the compiler cannot see:
                          (support/FailPoint.h) and exercised by
                          tests/failpoint_test.cpp; unregistered or untested
                          points are dead recovery paths.
-  pin-escape             No raw DeltaGraph reference/pointer may escape a pin
-                         scope: binding `const DeltaGraph &G = *store.current()`
-                         or calling `.get()` on the temporary shared_ptr
+  pin-escape             No raw DeltaGraph or BaseSegment reference/pointer
+                         may escape a pin scope: binding
+                         `const DeltaGraph &G = *store.current()` or
+                         `const BaseSegment &S = *g.foldRange(lo, hi)`, or
+                         calling `.get()` on either temporary shared_ptr,
                          dangles as soon as the full expression ends.
 
 Suppression: a finding is waived by a comment on the same line or the line
@@ -99,6 +101,14 @@ PIN_ESCAPE_RES = (
     re.compile(r"&\s*\w+\s*=\s*\*\s*[\w.]*(?:->)?\s*current(?:Versioned)?\s*\(\)"),
     # `store.current().get()` -- raw pointer outlives the unnamed pin.
     re.compile(r"\bcurrent(?:Versioned)?\s*\(\)\s*\.\s*get\s*\(\)"),
+    # `const BaseSegment &S = *G.foldRange(lo, hi);` -- the shared_ptr
+    # temporary that owns the freshly folded segment dies at the end of
+    # the declaration; segments must stay owned (named shared_ptr or
+    # adopted into a graph) for as long as any row reads through them.
+    re.compile(r"&\s*\w+\s*=\s*\*\s*[\w.]*(?:->)?\s*foldRange\s*\("),
+    # `G.foldRange(lo, hi).get()` -- raw BaseSegment* outlives the
+    # unnamed owner.
+    re.compile(r"\bfoldRange\s*\([^)]*\)\s*\.\s*get\s*\(\)"),
 )
 
 LINT_EXPECT_RE = re.compile(r"//\s*lint-expect:\s*(?P<spec>.+)")
@@ -497,9 +507,9 @@ def check_pin_escape(path, raw, code):
             findings.append(
                 Finding(
                     path, line_of(code, m.start()), "pin-escape",
-                    "raw DeltaGraph reference/pointer escapes the pin "
-                    "scope; name the Snapshot first so the pin outlives "
-                    "every use",
+                    "raw DeltaGraph/segment reference/pointer escapes "
+                    "the pin scope; name the Snapshot (or segment "
+                    "shared_ptr) first so the owner outlives every use",
                 )
             )
     return findings

@@ -122,3 +122,11 @@ PPSPResult graphit::aStarSearch(const DeltaGraph &G, VertexId Source,
                                 const RunLimits &Limits) {
   return aStarPooled(G, Source, Target, S, State, Heur, Limits);
 }
+
+PPSPResult graphit::aStarSearch(const ShardedDeltaView &G, VertexId Source,
+                                VertexId Target, const Schedule &S,
+                                DistanceState &State,
+                                const AStarHeuristic *Heur,
+                                const RunLimits &Limits) {
+  return aStarPooled(G, Source, Target, S, State, Heur, Limits);
+}

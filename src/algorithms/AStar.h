@@ -64,6 +64,14 @@ PPSPResult aStarSearch(const DeltaGraph &G, VertexId Source,
                        const AStarHeuristic *Heur = nullptr,
                        const RunLimits &Limits = RunLimits{});
 
+/// Sharded composite view (graph/DeltaGraph.h ShardedDeltaView); the
+/// coordinate heuristic reads the store-wide coordinate table via shard 0.
+PPSPResult aStarSearch(const ShardedDeltaView &G, VertexId Source,
+                       VertexId Target, const Schedule &S,
+                       DistanceState &State,
+                       const AStarHeuristic *Heur = nullptr,
+                       const RunLimits &Limits = RunLimits{});
+
 /// The coordinate heuristic used by `aStarSearch`, exposed for tests:
 /// floor(50 x euclidean distance to target).
 Priority aStarHeuristic(const Graph &G, VertexId V, VertexId Target);

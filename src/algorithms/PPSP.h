@@ -45,6 +45,7 @@ PPSPResult pointToPointShortestPath(const Graph &G, VertexId Source,
 
 class DistanceState;
 class DeltaGraph;
+class ShardedDeltaView;
 
 /// Pooled-state variant (O(touched) setup; see algorithms/QueryState.h).
 /// Calls `State.beginQuery(Source)` itself. \p Limits optionally bounds
@@ -62,6 +63,16 @@ PPSPResult pointToPointShortestPath(const DeltaGraph &G, VertexId Source,
 PPSPResult pointToPointShortestPath(const DeltaGraph &G, VertexId Source,
                                     VertexId Target, const Schedule &S,
                                     DistanceState &State,
+                                    const RunLimits &Limits = RunLimits{});
+
+/// Sharded composite view (graph/DeltaGraph.h ShardedDeltaView): per-vertex
+/// reads route to the owning shard's overlay; the algorithm core is shared.
+PPSPResult pointToPointShortestPath(const ShardedDeltaView &G,
+                                    VertexId Source, VertexId Target,
+                                    const Schedule &S);
+PPSPResult pointToPointShortestPath(const ShardedDeltaView &G,
+                                    VertexId Source, VertexId Target,
+                                    const Schedule &S, DistanceState &State,
                                     const RunLimits &Limits = RunLimits{});
 
 namespace detail {

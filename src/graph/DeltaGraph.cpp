@@ -22,6 +22,7 @@ DeltaGraph::DeltaGraph(std::shared_ptr<const Graph> Base)
   NumEdges = BasePtr->numEdges();
   BaseNodes = BasePtr->numNodes();
   OutSlot.init(BaseNodes);
+  SegSlot.init(BaseNodes);
   MirrorsIn = !BasePtr->isSymmetric() && BasePtr->hasInEdges();
   if (MirrorsIn)
     InSlot.init(BaseNodes);
@@ -34,6 +35,7 @@ void DeltaGraph::growUniverse(Count NewNumNodes,
     return;
   TailNodes = NewNumNodes - BaseNodes;
   OutSlot.grow(NewNumNodes);
+  SegSlot.grow(NewNumNodes);
   if (MirrorsIn)
     InSlot.grow(NewNumNodes);
   if (hasCoordinates()) {
@@ -80,6 +82,7 @@ int64_t DeltaGraph::outDegreeSum(const VertexId *Vs, Count N) const {
 DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
   PagedSlots &Slots = Out ? OutSlot : InSlot;
   std::vector<std::shared_ptr<Patch>> &Patches = Out ? OutPatches : InPatches;
+  std::vector<uint32_t> &Free = Out ? FreeOutSlots : FreeInSlots;
   uint32_t Slot = Slots.get(V);
   if (Slot != kNoSlot) {
     std::shared_ptr<Patch> &P = Patches[Slot];
@@ -90,13 +93,20 @@ DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
       P = std::make_shared<Patch>(*P);
     return *P;
   }
-  Slots.set(V, static_cast<uint32_t>(Patches.size()));
-  Patches.push_back(std::make_shared<Patch>());
-  Patch &P = *Patches.back();
-  if (V >= static_cast<VertexId>(BaseNodes))
-    return P; // tail vertex: starts with empty adjacency
-  Graph::NeighborRange Range =
-      Out ? BasePtr->outNeighbors(V) : BasePtr->inNeighbors(V);
+  if (!Free.empty()) {
+    Slot = Free.back();
+    Free.pop_back();
+    Patches[Slot] = std::make_shared<Patch>();
+  } else {
+    Slot = static_cast<uint32_t>(Patches.size());
+    Patches.push_back(std::make_shared<Patch>());
+  }
+  Slots.set(V, Slot);
+  Patch &P = *Patches[Slot];
+  // First touch copies the current base-layer row — an installed segment's
+  // row if the vertex was folded, the monolithic base CSR otherwise, empty
+  // for never-folded tail vertices.
+  Graph::NeighborRange Range = Out ? baseOutRow(V) : baseInRow(V);
   P.Ids.reserve(static_cast<size_t>(Range.size()) + 1);
   if (isWeighted())
     P.Ws.reserve(static_cast<size_t>(Range.size()) + 1);
@@ -108,6 +118,90 @@ DeltaGraph::Patch &DeltaGraph::patchFor(VertexId V, bool Out) {
   if (Out)
     OverlayEdges += static_cast<Count>(P.Ids.size());
   return P;
+}
+
+Count DeltaGraph::clearPatchSlot(VertexId V, bool Out) {
+  PagedSlots &Slots = Out ? OutSlot : InSlot;
+  uint32_t Slot = Slots.get(V);
+  if (Slot == kNoSlot)
+    return 0;
+  std::vector<std::shared_ptr<Patch>> &Patches = Out ? OutPatches : InPatches;
+  const Count Len = static_cast<Count>(Patches[Slot]->Ids.size());
+  Patches[Slot].reset(); // snapshots sharing the list keep it alive
+  (Out ? FreeOutSlots : FreeInSlots).push_back(Slot);
+  Slots.set(V, kNoSlot);
+  return Len;
+}
+
+std::shared_ptr<const BaseSegment> DeltaGraph::foldRange(Count First,
+                                                         Count NumVerts)
+    const {
+  auto Seg = std::make_shared<BaseSegment>();
+  Seg->First = First;
+  Seg->NumVerts = NumVerts;
+  Seg->OutOffsets.reserve(static_cast<size_t>(NumVerts) + 1);
+  Seg->OutOffsets.push_back(0);
+  const bool Weighted = isWeighted();
+  for (Count V = First; V < First + NumVerts; ++V) {
+    for (WNode E : outNeighbors(static_cast<VertexId>(V))) {
+      Seg->OutIds.push_back(E.V);
+      if (Weighted)
+        Seg->OutWs.push_back(E.W);
+    }
+    Seg->OutOffsets.push_back(static_cast<uint64_t>(Seg->OutIds.size()));
+  }
+  if (MirrorsIn) {
+    Seg->InOffsets.reserve(static_cast<size_t>(NumVerts) + 1);
+    Seg->InOffsets.push_back(0);
+    for (Count V = First; V < First + NumVerts; ++V) {
+      for (WNode E : inNeighbors(static_cast<VertexId>(V))) {
+        Seg->InIds.push_back(E.V);
+        if (Weighted)
+          Seg->InWs.push_back(E.W);
+      }
+      Seg->InOffsets.push_back(static_cast<uint64_t>(Seg->InIds.size()));
+    }
+  }
+  return Seg;
+}
+
+void DeltaGraph::adoptSegment(std::shared_ptr<const BaseSegment> Seg) {
+  if (!Seg || Seg->NumVerts == 0)
+    return;
+  if (Seg->First + Seg->NumVerts > numNodes())
+    fatalError("adoptSegment: segment range exceeds the vertex universe");
+  // Find-or-append by range start: re-folding a shard replaces its entry.
+  // The Segs vector is per-copy, so published snapshots keep the segment
+  // they were published with.
+  uint32_t Idx = kNoSlot;
+  for (size_t I = 0; I < Segs.size(); ++I)
+    if (Segs[I]->First == Seg->First) {
+      Idx = static_cast<uint32_t>(I);
+      break;
+    }
+  if (Idx == kNoSlot) {
+    Idx = static_cast<uint32_t>(Segs.size());
+    Segs.push_back(std::move(Seg));
+  } else {
+    Segs[Idx] = std::move(Seg);
+  }
+  const BaseSegment &S = *Segs[Idx];
+  // Adoption contract (see the header): the segment equals the current
+  // adjacency over its range, so NumEdges is untouched; only the overlay
+  // shrinks as folded patch rows are dropped.
+  for (Count V = S.First; V < S.First + S.NumVerts; ++V) {
+    const VertexId Id = static_cast<VertexId>(V);
+    if (SegSlot.get(Id) != Idx)
+      SegSlot.set(Id, Idx);
+    const uint32_t OutPatch = OutSlot.get(Id);
+    if (OutPatch != kNoSlot) {
+      if (OutPatches[OutPatch]->Ids.empty())
+        ++ReclaimedTombstones; // an isolated (deleted) vertex's row
+      OverlayEdges -= clearPatchSlot(Id, /*Out=*/true);
+    }
+    if (MirrorsIn)
+      clearPatchSlot(Id, /*Out=*/false);
+  }
 }
 
 AppliedUpdate DeltaGraph::applyDirectedOut(VertexId Src, VertexId Dst,

@@ -71,6 +71,33 @@ struct AppliedUpdate {
   Weight NewW = kAbsentEdge;
 };
 
+/// An immutable, densely-packed CSR segment covering one contiguous vertex
+/// range `[First, First + NumVerts)` — the unit of *incremental* compaction.
+/// `DeltaGraph::foldRange` snapshots a range's current adjacency (patches
+/// included) into a segment; `adoptSegment` then re-points that range's
+/// base-row reads at the segment and drops the folded patch lists. Other
+/// ranges keep reading the original base CSR untouched, which is what lets
+/// a sharded store fold one shard in O(shard) instead of rebuilding the
+/// whole O(V + E) base.
+///
+/// Segments are always held by `shared_ptr` (snapshot copies share them);
+/// never let a raw `BaseSegment*` escape a pinned snapshot — the linter's
+/// pin-escape rule enforces this.
+struct BaseSegment {
+  Count First = 0;    ///< first vertex id the segment covers
+  Count NumVerts = 0; ///< contiguous vertices covered
+  /// Dense out-CSR for the range: row V lives at
+  /// `[OutOffsets[V - First], OutOffsets[V - First + 1])`.
+  std::vector<uint64_t> OutOffsets; ///< NumVerts + 1 entries
+  std::vector<VertexId> OutIds;
+  std::vector<Weight> OutWs; ///< parallel to OutIds; empty when unweighted
+  /// In-adjacency rows, present only when the owning graph mirrors
+  /// incoming edges (directed graphs built with in-edges).
+  std::vector<uint64_t> InOffsets;
+  std::vector<VertexId> InIds;
+  std::vector<Weight> InWs;
+};
+
 /// Base CSR + per-vertex patch lists with unified neighbor iteration.
 ///
 /// Copyable with copy-on-write sharing: a copy shares the (immutable)
@@ -106,8 +133,7 @@ public:
   Count outDegree(VertexId V) const {
     uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
-      return V < static_cast<VertexId>(BaseNodes) ? BasePtr->outDegree(V)
-                                                  : Count{0};
+      return baseOutRow(V).size();
     return static_cast<Count>(OutPatches[Slot]->Ids.size());
   }
 
@@ -116,17 +142,14 @@ public:
       return outDegree(V);
     uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
-      return V < static_cast<VertexId>(BaseNodes) ? BasePtr->inDegree(V)
-                                                  : Count{0};
+      return baseInRow(V).size();
     return static_cast<Count>(InPatches[Slot]->Ids.size());
   }
 
   Graph::NeighborRange outNeighbors(VertexId V) const {
     uint32_t Slot = OutSlot.get(V);
     if (Slot == kNoSlot)
-      return V < static_cast<VertexId>(BaseNodes)
-                 ? BasePtr->outNeighbors(V)
-                 : Graph::NeighborRange{nullptr, nullptr, 0};
+      return baseOutRow(V);
     return rangeOf(*OutPatches[Slot]);
   }
 
@@ -135,9 +158,7 @@ public:
       return outNeighbors(V);
     uint32_t Slot = InSlot.get(V);
     if (Slot == kNoSlot)
-      return V < static_cast<VertexId>(BaseNodes)
-                 ? BasePtr->inNeighbors(V)
-                 : Graph::NeighborRange{nullptr, nullptr, 0};
+      return baseInRow(V);
     return rangeOf(*InPatches[Slot]);
   }
 
@@ -148,7 +169,8 @@ public:
   /// vertices live in small per-vertex lists; only the base-CSR path is
   /// worth hinting.
   void prefetchOutRow(VertexId V) const {
-    if (OutSlot.get(V) == kNoSlot && V < static_cast<VertexId>(BaseNodes))
+    if (OutSlot.get(V) == kNoSlot && SegSlot.get(V) == kNoSlot &&
+        V < static_cast<VertexId>(BaseNodes))
       BasePtr->prefetchOutRow(V);
   }
 
@@ -219,13 +241,41 @@ public:
   /// Edges currently resident in patch lists (the overlay size the
   /// compaction threshold is measured against).
   Count overlayEdges() const { return OverlayEdges; }
-  /// Vertices owning a patch list.
+  /// Vertices owning a live patch list (free-listed slots excluded).
   Count patchedVertices() const {
-    return static_cast<Count>(OutPatches.size());
+    return static_cast<Count>(OutPatches.size() - FreeOutSlots.size());
   }
 
   const Graph &base() const { return *BasePtr; }
   std::shared_ptr<const Graph> basePtr() const { return BasePtr; }
+
+  /// --- Incremental (range) compaction ------------------------------------
+  ///
+  /// `foldRange` snapshots the *current* adjacency of a vertex range into
+  /// a fresh immutable BaseSegment — read-only, so it can run on a pinned
+  /// copy while the writer keeps mutating. `adoptSegment` installs a
+  /// segment: every covered vertex's base-row reads re-route to the
+  /// segment, its patch lists are dropped (their slots recycled), and the
+  /// overlay counter shrinks by the folded patch edges. The caller must
+  /// guarantee the segment equals the adopted-onto graph's current
+  /// adjacency over the range (fold in place under the writer lock, or
+  /// fold a pinned copy and replay the ops that landed since) — adoption
+  /// therefore never changes `numEdges()`. O(range), not O(V + E), and the
+  /// shared monolithic base CSR is never replaced, so sibling shard
+  /// overlays are unaffected.
+  std::shared_ptr<const BaseSegment> foldRange(Count First,
+                                               Count NumVerts) const;
+  void adoptSegment(std::shared_ptr<const BaseSegment> Seg);
+  /// foldRange + adoptSegment in place (the synchronous in-lock fold).
+  void compactRange(Count First, Count NumVerts) {
+    adoptSegment(foldRange(First, NumVerts));
+  }
+
+  /// Base segments currently installed.
+  Count numSegments() const { return static_cast<Count>(Segs.size()); }
+  /// Isolated (fully tombstoned) vertices whose empty patch rows were
+  /// reclaimed by segment adoption — deleted-vertex rows folding away.
+  Count reclaimedTombstones() const { return ReclaimedTombstones; }
 
   /// Merges base + overlay into a fresh immutable CSR (same adjacency,
   /// deterministically sorted like GraphBuilder output). O(V + E).
@@ -299,6 +349,44 @@ private:
   /// list on the first touch after a publish (copy-on-write).
   Patch &patchFor(VertexId V, bool Out);
 
+  /// The base-layer row for \p V with segment indirection: an installed
+  /// segment's row wins, then the monolithic base CSR, then empty (tail
+  /// vertices never folded into a segment).
+  Graph::NeighborRange baseOutRow(VertexId V) const {
+    uint32_t Seg = SegSlot.get(V);
+    if (Seg != kNoSlot)
+      return segRow(*Segs[Seg], V, /*Out=*/true);
+    return V < static_cast<VertexId>(BaseNodes)
+               ? BasePtr->outNeighbors(V)
+               : Graph::NeighborRange{nullptr, nullptr, 0};
+  }
+  Graph::NeighborRange baseInRow(VertexId V) const {
+    uint32_t Seg = SegSlot.get(V);
+    if (Seg != kNoSlot)
+      return segRow(*Segs[Seg], V, /*Out=*/false);
+    return V < static_cast<VertexId>(BaseNodes)
+               ? BasePtr->inNeighbors(V)
+               : Graph::NeighborRange{nullptr, nullptr, 0};
+  }
+  Graph::NeighborRange segRow(const BaseSegment &S, VertexId V,
+                              bool Out) const {
+    const size_t R = static_cast<size_t>(V) - static_cast<size_t>(S.First);
+    const std::vector<uint64_t> &Offs = Out ? S.OutOffsets : S.InOffsets;
+    const std::vector<VertexId> &Ids = Out ? S.OutIds : S.InIds;
+    const std::vector<Weight> &Ws = Out ? S.OutWs : S.InWs;
+    const size_t B = static_cast<size_t>(Offs[R]);
+    const size_t E = static_cast<size_t>(Offs[R + 1]);
+    return Graph::NeighborRange{Ids.data() + B,
+                                isWeighted() ? Ws.data() + B : nullptr,
+                                static_cast<Count>(E - B)};
+  }
+
+  /// Drops the patch slot for \p V in one direction (segment adoption has
+  /// absorbed it). Recycles the slot index and, for the out direction,
+  /// returns the folded patch length so the caller can shrink the overlay
+  /// counter.
+  Count clearPatchSlot(VertexId V, bool Out);
+
   /// Applies one directed mutation to the out-adjacency (bumping NumEdges
   /// and the overlay counter). In-adjacency mirroring is the caller's job:
   /// `applyDirected` pairs it with mirrorIn() on this overlay, sharded
@@ -315,8 +403,16 @@ private:
   std::shared_ptr<const Graph> BasePtr;
   PagedSlots OutSlot; ///< per-vertex patch index or kNoSlot
   PagedSlots InSlot;  ///< directed graphs with in-edges only
+  PagedSlots SegSlot; ///< per-vertex index into Segs, or kNoSlot
   std::vector<std::shared_ptr<Patch>> OutPatches;
   std::vector<std::shared_ptr<Patch>> InPatches;
+  /// Installed base segments. The vector is per-copy (a re-fold replaces
+  /// the writer's entry without perturbing published snapshots, which hold
+  /// their own vector); the segments themselves are shared immutably.
+  std::vector<std::shared_ptr<const BaseSegment>> Segs;
+  std::vector<uint32_t> FreeOutSlots; ///< recycled patch indices
+  std::vector<uint32_t> FreeInSlots;
+  Count ReclaimedTombstones = 0; ///< empty patch rows folded away
   /// Tail coordinates (copy-on-grow): set once a vertex is appended to a
   /// coordinate-bearing graph; shared by snapshot copies.
   std::shared_ptr<const Coordinates> ExtCoords;

@@ -98,10 +98,29 @@ public:
   void mapToInternal(std::vector<VertexId> &Vs) const;
   void mapToExternal(std::vector<VertexId> &Vs) const;
 
+  /// --- Freed-id recycling ------------------------------------------------
+  ///
+  /// A LIFO free list of *external* ids whose vertices were detached
+  /// (service-layer `removeVertex`); `acquireVertex` pops from here before
+  /// growing the universe, so ids recycle instead of leaking tail growth.
+  /// The permutation tables above stay immutable — only this list mutates,
+  /// and callers serialize access (the stores guard it with their read
+  /// mutex).
+  void recordFreed(VertexId External) { FreeIds_.push_back(External); }
+  bool takeFreed(VertexId &Out) {
+    if (FreeIds_.empty())
+      return false;
+    Out = FreeIds_.back();
+    FreeIds_.pop_back();
+    return true;
+  }
+  Count freeCount() const { return static_cast<Count>(FreeIds_.size()); }
+
 private:
   Count NumNodes = 0;
   std::vector<VertexId> ToInternal_; ///< [external] -> internal
   std::vector<VertexId> ToExternal_; ///< [internal] -> external
+  std::vector<VertexId> FreeIds_;    ///< freed external ids awaiting reuse
 };
 
 /// Builds the \p Kind ordering for \p G. \p Seed only affects

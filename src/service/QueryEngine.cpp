@@ -19,7 +19,8 @@
 using namespace graphit;
 using namespace graphit::service;
 
-void QueryEngine::startWorkers() {
+template <class StoreT>
+void BasicQueryEngine<StoreT>::startWorkers() {
   int N = Opts.NumWorkers > 0
               ? Opts.NumWorkers
               : static_cast<int>(std::thread::hardware_concurrency());
@@ -29,7 +30,8 @@ void QueryEngine::startWorkers() {
     Workers.emplace_back([this] { workerLoop(); });
 }
 
-QueryEngine::QueryEngine(const Graph &G, Options O)
+template <class StoreT>
+BasicQueryEngine<StoreT>::BasicQueryEngine(const Graph &G, Options O)
     : StaticG(&G), NumNodes(G.numNodes()),
       HasCoordinates(G.hasCoordinates()), Opts(O), OwnMap(G.numNodes()),
       Map(&OwnMap), Pool(G.numNodes(), O.TrackParents) {
@@ -48,7 +50,8 @@ QueryEngine::QueryEngine(const Graph &G, Options O)
   startWorkers();
 }
 
-QueryEngine::QueryEngine(SnapshotStore &S, Options O)
+template <class StoreT>
+BasicQueryEngine<StoreT>::BasicQueryEngine(StoreT &S, Options O)
     : Store(&S), NumNodes(S.current()->numNodes()),
       HasCoordinates(S.current()->hasCoordinates()), Opts(O),
       Map(&S.mapping()), Pool(NumNodes, O.TrackParents) {
@@ -73,8 +76,9 @@ QueryEngine::QueryEngine(SnapshotStore &S, Options O)
   startWorkers();
 }
 
-void QueryEngine::noteAppliedBatch(const SnapshotStore::ApplyResult &R,
-                                   bool WasAdmissible) {
+template <class StoreT>
+void BasicQueryEngine<StoreT>::noteAppliedBatch(
+    const typename StoreT::ApplyResult &R, bool WasAdmissible) {
   // Exact admissibility test on the coalesced transitions: an insert
   // (OldW absent) or a strict decrease shrinks some true distance, which
   // can push it below a landmark bound. Deletes and increases only grow
@@ -113,11 +117,12 @@ void QueryEngine::noteAppliedBatch(const SnapshotStore::ApplyResult &R,
   }
 }
 
-SnapshotStore::ApplyResult
-QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
+template <class StoreT>
+typename StoreT::ApplyResult
+BasicQueryEngine<StoreT>::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   if (!Store)
     fatalError("QueryEngine::applyUpdates: engine serves a fixed graph");
-  SnapshotStore::ApplyResult R;
+  typename StoreT::ApplyResult R;
   if (Opts.NumLandmarks <= 0) {
     R = Store->applyUpdates(Batch);
   } else {
@@ -153,7 +158,8 @@ QueryEngine::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   return R;
 }
 
-VertexId QueryEngine::addVertices(Count HowMany,
+template <class StoreT>
+VertexId BasicQueryEngine<StoreT>::addVertices(Count HowMany,
                                   const Coordinates *TailCoords) {
   if (!Store)
     fatalError("QueryEngine::addVertices: engine serves a fixed graph");
@@ -199,7 +205,8 @@ VertexId QueryEngine::addVertices(Count HowMany,
   return First;
 }
 
-bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
+template <class StoreT>
+bool BasicQueryEngine<StoreT>::serveFromHot(const Query &QI, uint64_t Ver,
                                QueryResult &R) const {
   std::shared_ptr<const DistanceState> St = HotCache->lookup(QI.Source, Ver);
   if (!St)
@@ -232,29 +239,34 @@ bool QueryEngine::serveFromHot(const Query &QI, uint64_t Ver,
   return true;
 }
 
-uint64_t QueryEngine::hotHits() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::hotHits() const {
   return HotHits_.load(std::memory_order_relaxed);
 }
 
-uint64_t QueryEngine::hotRepairs() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::hotRepairs() const {
   return HotCache ? HotCache->repairs() : 0;
 }
 
-size_t QueryEngine::hotStatesCached() const {
+template <class StoreT>
+size_t BasicQueryEngine<StoreT>::hotStatesCached() const {
   return HotCache ? HotCache->size() : 0;
 }
 
-int64_t QueryEngine::batchWindowMicros() const {
+template <class StoreT>
+int64_t BasicQueryEngine<StoreT>::batchWindowMicros() const {
   MutexLock Lock(Mu);
   return BatchWindow_;
 }
 
-int64_t QueryEngine::maxBatchWindowMicros() const {
+template <class StoreT>
+int64_t BasicQueryEngine<StoreT>::maxBatchWindowMicros() const {
   MutexLock Lock(Mu);
   return BatchWindowMax_;
 }
 
-QueryEngine::~QueryEngine() {
+template <class StoreT> BasicQueryEngine<StoreT>::~BasicQueryEngine() {
   {
     MutexLock Lock(Mu);
     ShuttingDown = true;
@@ -264,7 +276,8 @@ QueryEngine::~QueryEngine() {
     W.join();
 }
 
-uint64_t QueryEngine::submit(Query Q) {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::submit(Query Q) {
   // Malformed requests must not abort a serving process: reject them as
   // an immediately-collectible failed result. SSSP may omit the target
   // (kInvalidVertex); any *present* target must be in range, and A* needs
@@ -352,7 +365,8 @@ uint64_t QueryEngine::submit(Query Q) {
   return Ticket;
 }
 
-QueryResult QueryEngine::collect(uint64_t Ticket) {
+template <class StoreT>
+QueryResult BasicQueryEngine<StoreT>::collect(uint64_t Ticket) {
   MutexLock Lock(Mu);
   // An unknown or already-collected ticket would block forever below —
   // that is a caller bug, so fail fast instead of wedging the thread. The
@@ -368,7 +382,9 @@ QueryResult QueryEngine::collect(uint64_t Ticket) {
   return R;
 }
 
-std::optional<QueryResult> QueryEngine::tryCollect(uint64_t Ticket) {
+template <class StoreT>
+std::optional<QueryResult>
+BasicQueryEngine<StoreT>::tryCollect(uint64_t Ticket) {
   MutexLock Lock(Mu);
   // Same claim-then-wait protocol as collect(), but an unknown or
   // already-collected ticket is a recoverable nullopt — a server loop
@@ -383,8 +399,9 @@ std::optional<QueryResult> QueryEngine::tryCollect(uint64_t Ticket) {
   return R;
 }
 
+template <class StoreT>
 std::vector<QueryResult>
-QueryEngine::runBatch(const std::vector<Query> &Batch) {
+BasicQueryEngine<StoreT>::runBatch(const std::vector<Query> &Batch) {
   std::vector<uint64_t> Tickets;
   Tickets.reserve(Batch.size());
   for (const Query &Q : Batch)
@@ -396,37 +413,44 @@ QueryEngine::runBatch(const std::vector<Query> &Batch) {
   return Results;
 }
 
-OrderedStats QueryEngine::aggregateStats() const {
+template <class StoreT>
+OrderedStats BasicQueryEngine<StoreT>::aggregateStats() const {
   MutexLock Lock(Mu);
   return Aggregate;
 }
 
-uint64_t QueryEngine::queriesServed() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesServed() const {
   MutexLock Lock(Mu);
   return Served;
 }
 
-uint64_t QueryEngine::queriesShed() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesShed() const {
   MutexLock Lock(Mu);
   return Sheds_;
 }
 
-uint64_t QueryEngine::deadlinesExceeded() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::deadlinesExceeded() const {
   MutexLock Lock(Mu);
   return DeadlineExceeded_;
 }
 
-uint64_t QueryEngine::queriesDegraded() const {
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesDegraded() const {
   MutexLock Lock(Mu);
   return Degraded_;
 }
 
-size_t QueryEngine::queueDepth() const {
+template <class StoreT>
+size_t BasicQueryEngine<StoreT>::queueDepth() const {
   MutexLock Lock(Mu);
   return Pending.size();
 }
 
-void QueryEngine::workerLoop() {
+template <class StoreT>
+void BasicQueryEngine<StoreT>::workerLoop() {
   // Per-thread OpenMP ICV: each query's engine run forks this many
   // threads. Serving throughput wants 1 (queries are the parallelism);
   // the knob exists for few-but-huge query mixes.
@@ -600,7 +624,9 @@ std::vector<VertexId> extractPath(const GraphT &G, DistanceState &State,
 
 } // namespace
 
-std::shared_ptr<const LandmarkCache> QueryEngine::landmarks() const {
+template <class StoreT>
+std::shared_ptr<const LandmarkCache>
+BasicQueryEngine<StoreT>::landmarks() const {
   // Fixed-graph mode never mutates the cache after construction, but the
   // "immutable, read without the lock" special case was exactly the kind
   // of tribal-knowledge contract the thread-safety analysis exists to
@@ -609,7 +635,8 @@ std::shared_ptr<const LandmarkCache> QueryEngine::landmarks() const {
   return Landmarks;
 }
 
-bool QueryEngine::landmarksUsable() const {
+template <class StoreT>
+bool BasicQueryEngine<StoreT>::landmarksUsable() const {
   // Both modes set LandmarksAdmissible with the cache (fixed-graph caches
   // are built admissible and never lapse), so one guarded read serves
   // both.
@@ -617,8 +644,9 @@ bool QueryEngine::landmarksUsable() const {
   return Landmarks != nullptr && LandmarksAdmissible;
 }
 
+template <class StoreT>
 std::shared_ptr<const LandmarkCache>
-QueryEngine::landmarksFor(uint64_t SnapVersion) const {
+BasicQueryEngine<StoreT>::landmarksFor(uint64_t SnapVersion) const {
   // Fixed-graph queries pass SnapVersion 0 and the cache is built at
   // version 0 admissible, so the live-mode predicate below degenerates to
   // "return the cache" — no special case needed.
@@ -632,8 +660,10 @@ QueryEngine::landmarksFor(uint64_t SnapVersion) const {
   return nullptr;
 }
 
-QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State,
-                                const CancelToken *Cancel) const {
+template <class StoreT>
+QueryResult BasicQueryEngine<StoreT>::runOne(const Query &Q,
+                                             DistanceState &State,
+                                             const CancelToken *Cancel) const {
   // Translate endpoints into the internal layout; results are translated
   // back below, so callers only ever see original ids.
   Query QI = Q;
@@ -695,11 +725,11 @@ QueryResult QueryEngine::runOne(const Query &Q, DistanceState &State,
   return R;
 }
 
+template <class StoreT>
 template <typename GraphT>
-QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
-                                  DistanceState &State,
-                                  uint64_t SnapVersion,
-                                  const CancelToken *Cancel) const {
+QueryResult BasicQueryEngine<StoreT>::runOneOn(
+    const GraphT &G, const Query &Q, DistanceState &State,
+    uint64_t SnapVersion, const CancelToken *Cancel) const {
   const Schedule &S = Q.Sched ? *Q.Sched : Opts.DefaultSchedule;
   RunLimits Limits;
   Limits.Cancel = Cancel;
@@ -797,3 +827,86 @@ QueryResult QueryEngine::runOneOn(const GraphT &G, const Query &Q,
 
   return R;
 }
+
+template <class StoreT>
+typename StoreT::ApplyResult
+BasicQueryEngine<StoreT>::removeVertex(VertexId External) {
+  if (!Store)
+    fatalError("QueryEngine::removeVertex: engine serves a fixed graph");
+  typename StoreT::ApplyResult R;
+  if (Opts.NumLandmarks <= 0) {
+    R = Store->removeVertex(External);
+  } else {
+    // A detachment batch is pure deletions: true distances only grow, so
+    // every landmark bound stays admissible and no pre-invalidation is
+    // needed. Serialize with the other writers all the same so
+    // admissibility tracking observes batches in order (and a fold the
+    // deletions trigger still rebuilds the cache).
+    MutexLock WriterGuard(LandmarkWriterMu);
+    bool WasAdmissible;
+    {
+      MutexLock Guard(LandmarkMu);
+      WasAdmissible = LandmarksAdmissible;
+    }
+    R = Store->removeVertex(External);
+    noteAppliedBatch(R, WasAdmissible);
+  }
+  // Hot states repair from the Applied transitions exactly like an
+  // ordinary delete batch (an out-of-range no-op published nothing and
+  // repairAll keeps same-version entries untouched).
+  if (HotCache && R.Status == ApplyStatus::Ok)
+    HotCache->repairAll(*R.Snap, R.Applied, R.Version,
+                        Opts.DefaultSchedule);
+  return R;
+}
+
+template <class StoreT>
+VertexId BasicQueryEngine<StoreT>::acquireVertex(const Coordinates *OneCoord) {
+  if (!Store)
+    fatalError("QueryEngine::acquireVertex: engine serves a fixed graph");
+  // Serialize with engine-routed growth so the before/after universe
+  // comparison below cannot interleave with a concurrent addVertices.
+  MutexLock WriterGuard(LandmarkWriterMu);
+  const Count Before = Store->numNodes();
+  VertexId Id = Store->acquireVertex(OneCoord);
+  const Count NewNodes = Store->numNodes();
+  if (NewNodes == Before)
+    return Id; // recycled a freed id: in-universe already, nothing grew
+
+  // The free list was empty and the store grew the universe by one:
+  // mirror addVertices' bookkeeping (it could not run here — it takes
+  // LandmarkWriterMu itself).
+  const uint64_t NewVersion = Store->version();
+  if (Opts.NumLandmarks > 0) {
+    MutexLock Guard(LandmarkMu);
+    LandmarksAdmissible = false; // arrays sized to the old universe
+  }
+  NumNodes.store(NewNodes, std::memory_order_relaxed);
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      Pool.grow(NewNodes);
+      break;
+    } catch (const std::exception &) {
+      if (Attempt >= 256)
+        fatalError("QueryEngine::acquireVertex: state pool growth kept "
+                   "failing");
+    }
+  }
+  if (HotCache)
+    HotCache->growAll(NewNodes, NewVersion);
+  return Id;
+}
+
+template <class StoreT>
+Count BasicQueryEngine<StoreT>::freeVertexCount() const {
+  return Store ? Store->freeVertexCount() : 0;
+}
+
+// The serving tier is compiled here once per supported store; the header
+// declares these as extern (see the Store concept in service/Store.h).
+namespace graphit {
+namespace service {
+template class BasicQueryEngine<SnapshotStore>;
+template class BasicQueryEngine<ShardedSnapshotStore>;
+} // namespace service
+} // namespace graphit

@@ -31,6 +31,13 @@
 /// results are bit-identical to sequential per-query runs (shortest-path
 /// distances are unique, and the early-exit predicates are exact).
 ///
+/// The engine is a template over the *Store* concept (service/Store.h):
+/// `BasicQueryEngine<SnapshotStore>` (aliased `QueryEngine`) serves the
+/// single-writer store, `BasicQueryEngine<ShardedSnapshotStore>` (aliased
+/// `ShardedQueryEngine`) the sharded multi-writer store — one serving
+/// implementation, every feature (pooled states, landmarks, hot-state
+/// repair and sharing, admission control, deadlines) available over both.
+///
 /// The operator's guide to the serving tier — every Options knob, the
 /// deadline/settled-prefix contract, admission control, adaptive
 /// batching, and hot-state sharing — is docs/serving.md; the options
@@ -51,6 +58,7 @@
 #include "service/LandmarkCache.h"
 #include "service/SnapshotStore.h"
 #include "service/StatePool.h"
+#include "service/Store.h"
 #include "support/Cancellation.h"
 #include "support/ThreadSafety.h"
 
@@ -149,12 +157,18 @@ struct QueryResult {
 };
 
 /// Thread-pool query engine over one immutable graph snapshot — or, in
-/// *live mode*, over a `SnapshotStore`: each query pins the latest
-/// published version for its lifetime, and `applyUpdates()` publishes the
-/// next version without blocking in-flight queries (they finish on the
-/// version they pinned). The graph / store (and any landmark cache) must
-/// outlive the engine.
-class QueryEngine {
+/// *live mode*, over any model of the Store concept (service/Store.h;
+/// `SnapshotStore` and `ShardedSnapshotStore` both qualify): each query
+/// pins the latest published version for its lifetime, and
+/// `applyUpdates()` publishes the next version without blocking in-flight
+/// queries (they finish on the version they pinned). The graph / store
+/// (and any landmark cache) must outlive the engine.
+template <class StoreT>
+class BasicQueryEngine {
+  static_assert(is_store_v<StoreT>,
+                "BasicQueryEngine requires a type modeling the Store "
+                "concept (see service/Store.h)");
+
 public:
   struct Options {
     Options() {} // usable as a `{}` default argument under GCC 12
@@ -235,7 +249,7 @@ public:
     int64_t DegradeFloorMicros = 500;
   };
 
-  QueryEngine(const Graph &G, Options Opts = {});
+  BasicQueryEngine(const Graph &G, Options Opts = {});
 
   /// Live mode: queries run against `Store.current()`, pinned per query.
   /// With `Options::NumLandmarks > 0` the engine builds an ALT cache from
@@ -249,12 +263,12 @@ public:
   /// policy tracks batches applied through `applyUpdates` on this engine —
   /// route updates through the engine, not the store, when landmarks are
   /// enabled.
-  QueryEngine(SnapshotStore &Store, Options Opts = {});
+  BasicQueryEngine(StoreT &Store, Options Opts = {});
 
-  ~QueryEngine();
+  ~BasicQueryEngine();
 
-  QueryEngine(const QueryEngine &) = delete;
-  QueryEngine &operator=(const QueryEngine &) = delete;
+  BasicQueryEngine(const BasicQueryEngine &) = delete;
+  BasicQueryEngine &operator=(const BasicQueryEngine &) = delete;
 
   /// Enqueues \p Q; returns a ticket for collect(). Thread-safe. A query
   /// with an out-of-range source/target is not enqueued: its ticket
@@ -284,7 +298,7 @@ public:
   /// hot-source cache (`Options::HotSourceCapacity`), every cached state
   /// is repaired to the new version before this returns — repeat-source
   /// queries pay O(affected) per version instead of a fresh run.
-  SnapshotStore::ApplyResult
+  typename StoreT::ApplyResult
   applyUpdates(const std::vector<EdgeUpdate> &Batch);
 
   /// Live mode only: grows the vertex universe through the store (see
@@ -296,7 +310,25 @@ public:
   VertexId addVertices(Count HowMany,
                        const Coordinates *TailCoords = nullptr);
 
-  /// True when serving a SnapshotStore rather than a fixed graph.
+  /// Live mode only: detaches \p External (deletes every incident edge
+  /// through the store — see Store::removeVertex) and recycles its id.
+  /// Deletions only grow true distances, so the landmark cache stays
+  /// admissible; hot states are repaired from the batch's applied
+  /// transitions exactly like applyUpdates. The vertex stays in-universe
+  /// (isolated), so in-flight and future queries naming it stay valid.
+  typename StoreT::ApplyResult removeVertex(VertexId External);
+
+  /// Live mode only: pops a freed id (zero-growth reuse) or grows the
+  /// universe by one through addVertices — pooled states, hot states and
+  /// submit() validation all track the growth. See Store::acquireVertex
+  /// for the reused-coordinate caveat.
+  VertexId acquireVertex(const Coordinates *OneCoord = nullptr);
+
+  /// Freed ids awaiting reuse in the underlying store (live mode; 0 in
+  /// fixed-graph mode).
+  Count freeVertexCount() const;
+
+  /// True when serving a live store rather than a fixed graph.
   bool isLive() const { return Store != nullptr; }
 
   /// Hot-source cache counters (live mode; all 0 when disabled).
@@ -389,11 +421,11 @@ private:
   /// (invalidate on insert/decrease, rebuild after compaction). Takes
   /// LandmarkMu only for the final flag and pointer swaps — the expensive
   /// cache rebuild runs with no lock that a query ever touches.
-  void noteAppliedBatch(const SnapshotStore::ApplyResult &R,
+  void noteAppliedBatch(const typename StoreT::ApplyResult &R,
                         bool WasAdmissible) REQUIRES(LandmarkWriterMu);
 
   const Graph *StaticG = nullptr;   ///< fixed-graph mode
-  SnapshotStore *Store = nullptr;   ///< live mode
+  StoreT *Store = nullptr;          ///< live mode
   /// Vertex universe for request validation; grows on addVertices (fixed
   /// graphs never grow). Atomic: submit() races engine-routed insertion.
   std::atomic<Count> NumNodes;
@@ -470,6 +502,18 @@ private:
 
   std::vector<std::thread> Workers;
 };
+
+/// The two stores every serving feature is built and tested against. The
+/// engine template is explicitly instantiated for exactly these in
+/// QueryEngine.cpp; a custom store needs its own explicit instantiation
+/// (or the definitions pulled into a header).
+extern template class BasicQueryEngine<SnapshotStore>;
+extern template class BasicQueryEngine<ShardedSnapshotStore>;
+
+/// The historical name: the engine over the single-writer store.
+using QueryEngine = BasicQueryEngine<SnapshotStore>;
+/// The engine over the sharded multi-writer store.
+using ShardedQueryEngine = BasicQueryEngine<ShardedSnapshotStore>;
 
 } // namespace service
 } // namespace graphit

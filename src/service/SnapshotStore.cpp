@@ -346,6 +346,63 @@ VertexId SnapshotStore::addVertices(Count HowMany,
   return First;
 }
 
+SnapshotStore::ApplyResult SnapshotStore::removeVertex(VertexId External) {
+  MutexLock WriterLock(WriteMu);
+  ApplyResult R;
+  if (!PendingError.empty()) {
+    R.CompactionError = std::move(PendingError);
+    PendingError.clear();
+  }
+  VertexId V = External;
+  if (!Map.isIdentity() && static_cast<Count>(V) < Map.size())
+    V = Map.toInternal(V);
+  if (static_cast<Count>(V) >= Writer.numNodes()) {
+    MutexLock Lock(ReadMu);
+    R.Version = Version;
+    R.Snap = Current; // out-of-range id: no-op, nothing published
+    return R;
+  }
+
+  // Materialize the incident edges first (the neighbor ranges point into
+  // the rows being deleted), then push them through the normal batch path
+  // so the Applied transitions, replay recording, and publish are exactly
+  // what the equivalent delete batch would produce. Symmetric graphs
+  // detach both directions from the out-row alone; directed graphs with
+  // incoming adjacency also delete the in-edges. The id stays in the
+  // universe as an isolated vertex.
+  std::vector<EdgeUpdate> Deletes;
+  for (WNode E : Writer.outNeighbors(V))
+    Deletes.push_back(EdgeUpdate{V, E.V, 0, UpdateKind::Delete});
+  if (!Writer.isSymmetric() && Writer.hasInEdges())
+    for (WNode E : Writer.inNeighbors(V))
+      Deletes.push_back(EdgeUpdate{E.V, V, 0, UpdateKind::Delete});
+
+  R.Applied = coalesceApplied(Writer.apply(Deletes));
+  if (CompactionRunning)
+    Replay.push_back(ReplayOp{std::move(Deletes), 0, nullptr});
+  publish();
+  MutexLock Lock(ReadMu);
+  R.Version = Version;
+  R.Snap = Current;
+  Map.recordFreed(External);
+  return R;
+}
+
+VertexId SnapshotStore::acquireVertex(const Coordinates *OneCoord) {
+  {
+    MutexLock Lock(ReadMu);
+    VertexId Freed = 0;
+    if (Map.takeFreed(Freed))
+      return Freed; // already an isolated in-universe vertex; no publish
+  }
+  return addVertices(1, OneCoord);
+}
+
+Count SnapshotStore::freeVertexCount() const {
+  MutexLock Lock(ReadMu);
+  return Map.freeCount();
+}
+
 //===----------------------------------------------------------------------===//
 // ShardedSnapshotStore
 //===----------------------------------------------------------------------===//
@@ -372,6 +429,49 @@ ShardedSnapshotStore::ShardedSnapshotStore(Graph Base, Options O)
   auto View = std::make_shared<ShardedDeltaView>(std::move(Snaps), Shift);
   View->setVersions(0, ShardVersions);
   Cur = std::move(View);
+}
+
+ShardedSnapshotStore::~ShardedSnapshotStore() {
+  waitForCompaction();
+  for (auto &ShPtr : Shards) {
+    std::thread Done;
+    {
+      MutexLock Lock(ShPtr->Mu);
+      Done = std::move(ShPtr->Compactor);
+    }
+    if (Done.joinable())
+      Done.join();
+  }
+}
+
+void ShardedSnapshotStore::waitForCompaction() {
+  // One shard at a time — never two shard locks at once, even here.
+  for (auto &ShPtr : Shards) {
+    MutexLock Lock(ShPtr->Mu);
+    while (ShPtr->Compacting)
+      ShPtr->FoldCv.wait(Lock.native());
+  }
+}
+
+uint64_t ShardedSnapshotStore::shardFolds(int S) const {
+  Shard &Sh = *Shards[static_cast<size_t>(S)];
+  MutexLock Lock(Sh.Mu);
+  return Sh.Folds;
+}
+
+bool ShardedSnapshotStore::shardDegraded(int S) const {
+  Shard &Sh = *Shards[static_cast<size_t>(S)];
+  MutexLock Lock(Sh.Mu);
+  return Sh.Degraded;
+}
+
+uint64_t ShardedSnapshotStore::reclaimedTombstones() const {
+  uint64_t Total = 0;
+  for (auto &ShPtr : Shards) {
+    MutexLock Lock(ShPtr->Mu);
+    Total += ShPtr->Writer.reclaimedTombstones();
+  }
+  return Total;
 }
 
 ShardedSnapshotStore::Snapshot ShardedSnapshotStore::current() const {
@@ -547,7 +647,8 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
   // writes) is neither re-snapshotted nor bumped.
   std::vector<int> Dirty;
   std::vector<AppliedUpdate> Applied;
-  bool Trigger = false;
+  bool LegacyTrigger = false;
+  std::vector<int> TriggeredShards;
   if (!Touched.empty()) {
     const Count N =
         Shards[static_cast<size_t>(Touched.front())]->Writer.numNodes();
@@ -555,52 +656,94 @@ ShardedSnapshotStore::applyUpdates(const std::vector<EdgeUpdate> &Batch) {
     for (const EdgeUpdate &U : *Apply) {
       if (!DeltaGraph::validUpdate(U, N))
         continue; // malformed write: skip, don't take the store down
-      DeltaGraph &SrcW = Shards[static_cast<size_t>(shardOf(U.Src))]->Writer;
-      AppliedUpdate A = SrcW.applyShardOut(U.Src, U.Dst, U.W, U.Kind);
-      if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge) {
-        Applied.push_back(A);
-        Dirty.push_back(shardOf(U.Src));
-        if (MirrorsIn) {
-          Shards[static_cast<size_t>(shardOf(U.Dst))]
-              ->Writer.applyShardInMirror(U.Src, U.Dst, U.W, U.Kind);
-          Dirty.push_back(shardOf(U.Dst));
-        }
-      }
-      if (Symmetric) {
-        DeltaGraph &DstW =
-            Shards[static_cast<size_t>(shardOf(U.Dst))]->Writer;
-        AppliedUpdate B = DstW.applyShardOut(U.Dst, U.Src, U.W, U.Kind);
-        if (B.OldW != kAbsentEdge || B.NewW != kAbsentEdge) {
-          Applied.push_back(B);
-          Dirty.push_back(shardOf(U.Dst));
-        }
-      }
+      applyRowLocked(U, Applied, Dirty);
     }
     std::sort(Dirty.begin(), Dirty.end());
     Dirty.erase(std::unique(Dirty.begin(), Dirty.end()), Dirty.end());
     // Per-shard compaction triggers, measured against the shard's slice
-    // of the shared base.
+    // of the shared base. In incremental mode each tripped shard is
+    // absorbed into at most one queued fold (FoldScheduled); the legacy
+    // mode keeps the one-global-fold absorption in publishLocked.
     const Count BaseSlice =
         Shards[static_cast<size_t>(Touched.front())]->Writer.base().numEdges() /
         static_cast<Count>(Shards.size());
     for (int S : Dirty) {
-      const Count Overlay =
-          Shards[static_cast<size_t>(S)]->Writer.overlayEdges();
+      Shard &Sh = *Shards[static_cast<size_t>(S)];
+      const Count Overlay = Sh.Writer.overlayEdges();
       if (Overlay >= Opts.MinOverlayEdges &&
           static_cast<double>(Overlay) >
-              Opts.CompactionThreshold * static_cast<double>(BaseSlice))
-        Trigger = true;
+              Opts.CompactionThreshold * static_cast<double>(BaseSlice)) {
+        if (Opts.LegacyGlobalRebuild) {
+          LegacyTrigger = true;
+        } else if (!Sh.FoldScheduled && !Sh.Compacting) {
+          Sh.FoldScheduled = true;
+          TriggeredShards.push_back(S);
+        }
+      }
     }
   }
 
   ApplyResult R =
-      publishLocked(Dirty, coalesceApplied(Applied), Trigger);
+      publishLocked(Dirty, coalesceApplied(Applied), LegacyTrigger);
 
   ShardLocks.release();
 
-  if (R.CompactionTriggered)
-    compactAll();
+  if (Opts.LegacyGlobalRebuild) {
+    if (R.CompactionTriggered)
+      compactAllGlobal();
+  } else {
+    // Incremental per-shard folds, each under exactly one shard lock.
+    // Synchronous folds publish their own (later) version; background
+    // folds publish when the fold thread finishes — either way this
+    // batch's snapshot is the pre-fold one, as with the unsharded
+    // store's background compaction.
+    for (int S : TriggeredShards) {
+      if (Opts.BackgroundCompaction)
+        foldShardAsync(S);
+      else
+        compactShard(S);
+    }
+    R.CompactionTriggered = !TriggeredShards.empty();
+  }
   return R;
+}
+
+void ShardedSnapshotStore::applyRowLocked(const EdgeUpdate &U,
+                                          std::vector<AppliedUpdate> &Applied,
+                                          std::vector<int> &Dirty) {
+  // Caller holds the writer lock of every shard U touches. Every
+  // effective row op lands in the replay log of a shard whose background
+  // fold is in flight, so the folded copy converges to the writer.
+  auto Record = [&](int S, ShardOp::Kind K, const EdgeUpdate &Row) {
+    Shard &Sh = *Shards[static_cast<size_t>(S)];
+    if (Sh.Compacting)
+      Sh.Replay.push_back(ShardOp{K, Row, 0, nullptr});
+  };
+  const int SrcS = shardOf(U.Src);
+  DeltaGraph &SrcW = Shards[static_cast<size_t>(SrcS)]->Writer;
+  AppliedUpdate A = SrcW.applyShardOut(U.Src, U.Dst, U.W, U.Kind);
+  if (A.OldW != kAbsentEdge || A.NewW != kAbsentEdge) {
+    Applied.push_back(A);
+    Dirty.push_back(SrcS);
+    Record(SrcS, ShardOp::Kind::Out, U);
+    if (MirrorsIn) {
+      const int DstS = shardOf(U.Dst);
+      Shards[static_cast<size_t>(DstS)]->Writer.applyShardInMirror(
+          U.Src, U.Dst, U.W, U.Kind);
+      Dirty.push_back(DstS);
+      Record(DstS, ShardOp::Kind::InMirror, U);
+    }
+  }
+  if (Symmetric) {
+    const int DstS = shardOf(U.Dst);
+    DeltaGraph &DstW = Shards[static_cast<size_t>(DstS)]->Writer;
+    AppliedUpdate B = DstW.applyShardOut(U.Dst, U.Src, U.W, U.Kind);
+    if (B.OldW != kAbsentEdge || B.NewW != kAbsentEdge) {
+      Applied.push_back(B);
+      Dirty.push_back(DstS);
+      Record(DstS, ShardOp::Kind::Out, EdgeUpdate{U.Dst, U.Src, U.W, U.Kind});
+    }
+  }
 }
 
 VertexId ShardedSnapshotStore::addVertices(Count HowMany,
@@ -616,17 +759,214 @@ VertexId ShardedSnapshotStore::addVertices(Count HowMany,
   VertexId First = static_cast<VertexId>(Shards.front()->Writer.numNodes());
   if (HowMany > 0) {
     const Count GrowTo = static_cast<Count>(First) + HowMany;
-    for (auto &S : Shards)
+    std::shared_ptr<const Coordinates> Tail =
+        TailCoords ? std::make_shared<Coordinates>(*TailCoords) : nullptr;
+    for (auto &S : Shards) {
       S->Writer.growUniverse(GrowTo, TailCoords);
+      // Growth replays onto any in-flight fold copy, or later replayed
+      // batches referencing the new ids would be range-rejected.
+      if (S->Compacting)
+        S->Replay.push_back(
+            ShardOp{ShardOp::Kind::Grow, EdgeUpdate{}, GrowTo, Tail});
+    }
     publishLocked(All, {}, false);
   }
   return First;
 }
 
+std::pair<Count, Count> ShardedSnapshotStore::shardRangeFor(int S,
+                                                            Count N) const {
+  const uint64_t Span = static_cast<uint64_t>(shardSpan());
+  const Count First = static_cast<Count>(
+      std::min<uint64_t>(static_cast<uint64_t>(S) * Span, N));
+  const Count Next =
+      S + 1 == numShards()
+          ? N
+          : static_cast<Count>(
+                std::min<uint64_t>(static_cast<uint64_t>(First) + Span, N));
+  return {First, Next - First};
+}
+
+void ShardedSnapshotStore::noteShardFoldOk(Shard &Sh) {
+  ++Sh.Folds;
+  int Delta = 0;
+  if (Sh.Degraded) {
+    Sh.Degraded = false;
+    Delta = 1;
+  }
+  MutexLock Lock(ReadMu);
+  ++Compactions;
+  DegradedShards -= Delta;
+  if (DegradedShards <= 0) {
+    DegradedShards = 0;
+    Degraded = false;
+    LastError.clear();
+  }
+}
+
+void ShardedSnapshotStore::noteShardFoldFailure(Shard &Sh, int S,
+                                                const std::string &Why) {
+  const std::string Message =
+      "shard " + std::to_string(S) + " compaction failed: " + Why;
+  int Delta = 0;
+  if (!Sh.Degraded) {
+    Sh.Degraded = true;
+    Delta = 1;
+  }
+  MutexLock Lock(ReadMu);
+  DegradedShards += Delta;
+  Degraded = true;
+  LastError = Message;
+  PendingError = Message;
+}
+
+void ShardedSnapshotStore::compactShard(int S) {
+  Shard &Sh = *Shards[static_cast<size_t>(S)];
+  // Exactly one shard writer lock for the whole fold — the incremental
+  // compaction guarantee. Everything below nests only ReadMu inside it,
+  // the same order publishLocked always uses.
+  MutexLock Lock(Sh.Mu);
+  if (Sh.Compacting)
+    return; // the in-flight background fold already covers this shard
+  const std::pair<Count, Count> Range =
+      shardRangeFor(S, Sh.Writer.numNodes());
+  try {
+    GRAPHIT_FAIL_POINT("compaction.rebuild");
+    Sh.Writer.compactRange(Range.first, Range.second);
+  } catch (const std::exception &E) {
+    noteShardFoldFailure(Sh, S, E.what());
+    Sh.FoldScheduled = false;
+    return;
+  }
+  noteShardFoldOk(Sh);
+  try {
+    publishLocked({S}, {}, false);
+  } catch (...) {
+    // Terminal publish failure: the folded writer is intact; the next
+    // publish touching this shard carries it — readers just keep the
+    // previous version a little longer.
+  }
+  Sh.FoldScheduled = false;
+}
+
+void ShardedSnapshotStore::foldShardAsync(int S) {
+  Shard &Sh = *Shards[static_cast<size_t>(S)];
+  MutexLock Lock(Sh.Mu);
+  if (Sh.Compacting) {
+    Sh.FoldScheduled = false; // defensive: the running fold covers it
+    return;
+  }
+  if (Sh.Compactor.joinable())
+    Sh.Compactor.join(); // previous fold thread already finished
+  try {
+    // Pin the writer's exact content for the fold thread; readers are
+    // unaffected (they pin published composites).
+    auto Pinned = std::make_shared<const DeltaGraph>(Sh.Writer);
+    Sh.Replay.clear();
+    Sh.Compacting = true;
+    Sh.Compactor = std::thread([this, S, Pinned = std::move(Pinned)]() mutable {
+      foldShardBody(S, std::move(Pinned));
+    });
+  } catch (const std::exception &E) {
+    Sh.Compacting = false;
+    Sh.FoldScheduled = false;
+    noteShardFoldFailure(Sh, S, E.what());
+  }
+}
+
+void ShardedSnapshotStore::foldShardBody(
+    int S, std::shared_ptr<const DeltaGraph> Pinned) {
+  // Nothing may escape this thread (an uncaught exception would
+  // std::terminate). Phase 1 folds the pinned copy's range into a segment
+  // with *no lock held*; phase 2 re-acquires only this shard's Mu, adopts
+  // the segment onto a copy of the pinned state, replays the row ops
+  // recorded meanwhile, and atomically swaps the result in. A terminal
+  // failure degrades this shard only — every other shard keeps serving
+  // and folding.
+  Shard &Sh = *Shards[static_cast<size_t>(S)];
+  const std::pair<Count, Count> Range = shardRangeFor(S, Pinned->numNodes());
+
+  std::string Err;
+  std::shared_ptr<const BaseSegment> Seg;
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      GRAPHIT_FAIL_POINT("compaction.rebuild");
+      Seg = Pinned->foldRange(Range.first, Range.second);
+      break;
+    } catch (const std::exception &E) {
+      Err = E.what();
+    } catch (...) {
+      Err = "unknown compaction error";
+    }
+    if (Attempt >= Opts.CompactionRetryLimit)
+      break;
+  }
+
+  MutexLock Lock(Sh.Mu);
+  bool Ok = false;
+  if (Seg) {
+    // Copy-adopt-replay-swap: each retry restarts from a fresh copy of
+    // the pinned state, so a half-replayed attempt can never leak into
+    // the serving writer.
+    for (int Attempt = 0; !Ok; ++Attempt) {
+      try {
+        DeltaGraph Folded(*Pinned);
+        Folded.adoptSegment(Seg);
+        for (const ShardOp &Op : Sh.Replay) {
+          GRAPHIT_FAIL_POINT("compaction.replay");
+          switch (Op.Op) {
+          case ShardOp::Kind::Out:
+            Folded.applyShardOut(Op.U.Src, Op.U.Dst, Op.U.W, Op.U.Kind);
+            break;
+          case ShardOp::Kind::InMirror:
+            Folded.applyShardInMirror(Op.U.Src, Op.U.Dst, Op.U.W, Op.U.Kind);
+            break;
+          case ShardOp::Kind::Grow:
+            Folded.growUniverse(Op.GrowTo, Op.TailCoords.get());
+            break;
+          }
+        }
+        Sh.Writer = std::move(Folded);
+        Ok = true;
+      } catch (const std::exception &E) {
+        Err = E.what();
+      } catch (...) {
+        Err = "unknown compaction error";
+      }
+      if (!Ok && Attempt >= Opts.CompactionRetryLimit)
+        break;
+    }
+  }
+  Pinned.reset();
+  Sh.Replay.clear();
+  Sh.Compacting = false;
+  Sh.FoldScheduled = false;
+  if (Ok) {
+    noteShardFoldOk(Sh);
+    try {
+      publishLocked({S}, {}, false);
+    } catch (...) {
+      // As in compactShard: the folded writer is intact either way.
+    }
+  } else {
+    noteShardFoldFailure(Sh, S, Err);
+  }
+  Sh.FoldCv.notify_all();
+}
+
 void ShardedSnapshotStore::compactAll() {
-  // One global compaction at a time; a trigger that fires while another
-  // compaction is pending was already absorbed by the CompactionPending
-  // flag in publishLocked.
+  // Deprecated as a global fold: a tripped trigger now folds only its own
+  // shard, and this entry point just walks the incremental path shard by
+  // shard — never holding more than one shard lock at a time.
+  for (int S = 0; S < numShards(); ++S)
+    compactShard(S);
+}
+
+void ShardedSnapshotStore::compactAllGlobal() {
+  // Legacy store-wide rebuild (Options::LegacyGlobalRebuild): one global
+  // compaction at a time; a trigger that fires while another compaction
+  // is pending was already absorbed by the CompactionPending flag in
+  // publishLocked.
   MutexLock CompactGuard(CompactMu);
   std::vector<int> All(Shards.size());
   for (size_t I = 0; I < Shards.size(); ++I)
@@ -667,4 +1007,66 @@ void ShardedSnapshotStore::compactAll() {
     LastError = std::string("compaction failed: ") + E.what();
     PendingError = LastError;
   }
+}
+
+ShardedSnapshotStore::ApplyResult
+ShardedSnapshotStore::removeVertex(VertexId External) {
+  VertexId V = External;
+  if (!Map.isIdentity() && static_cast<Count>(V) < Map.size())
+    V = Map.toInternal(V);
+
+  // Detaching reaches into the shard of every neighbor, so removal takes
+  // all shard locks — the rare heavyweight write, like addVertices. (The
+  // one-shard-lock guarantee is about compaction, which never detaches.)
+  std::vector<int> All(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I)
+    All[I] = static_cast<int>(I);
+  DynamicLockSet ShardLocks(shardMutexes(All), "shard.lock");
+
+  const Count N = Shards.front()->Writer.numNodes();
+  if (static_cast<Count>(V) >= N) {
+    ApplyResult R;
+    MutexLock Lock(ReadMu);
+    R.Version = Version;
+    R.Snap = Cur;
+    return R; // out-of-range id: no-op, nothing published
+  }
+
+  DeltaGraph &Owner = Shards[static_cast<size_t>(shardOf(V))]->Writer;
+  std::vector<EdgeUpdate> Deletes;
+  for (WNode E : Owner.outNeighbors(V))
+    Deletes.push_back(EdgeUpdate{V, E.V, 0, UpdateKind::Delete});
+  if (MirrorsIn)
+    for (WNode E : Owner.inNeighbors(V))
+      Deletes.push_back(EdgeUpdate{E.V, V, 0, UpdateKind::Delete});
+
+  // Same per-row machinery as the batch path: bit-compatible Applied
+  // coalescing, replay recording for any shard whose fold is in flight.
+  std::vector<int> Dirty;
+  std::vector<AppliedUpdate> Applied;
+  for (const EdgeUpdate &U : Deletes)
+    applyRowLocked(U, Applied, Dirty);
+  std::sort(Dirty.begin(), Dirty.end());
+  Dirty.erase(std::unique(Dirty.begin(), Dirty.end()), Dirty.end());
+
+  ApplyResult R = publishLocked(Dirty, coalesceApplied(Applied), false);
+  ShardLocks.release();
+  MutexLock Lock(ReadMu);
+  Map.recordFreed(External);
+  return R;
+}
+
+VertexId ShardedSnapshotStore::acquireVertex(const Coordinates *OneCoord) {
+  {
+    MutexLock Lock(ReadMu);
+    VertexId Freed = 0;
+    if (Map.takeFreed(Freed))
+      return Freed; // already an isolated in-universe vertex; no publish
+  }
+  return addVertices(1, OneCoord);
+}
+
+Count ShardedSnapshotStore::freeVertexCount() const {
+  MutexLock Lock(ReadMu);
+  return Map.freeCount();
 }

@@ -35,7 +35,9 @@
 /// `ShardedSnapshotStore` (below) is the scale-out variant: the update
 /// stream is partitioned by vertex-range shard, each shard with its own
 /// writer mutex, patch overlay, and compaction trigger, so writers on
-/// distinct shards only contend on the final (cheap) composite publish.
+/// distinct shards only contend on the final (cheap) composite publish —
+/// and compaction is per-shard and *incremental* (DeltaGraph segments),
+/// so a fold costs O(shard) under one shard lock, not O(V + E) under all.
 /// Readers pin one `ShardedDeltaView` — a consistent cross-shard version
 /// vector — and run the templated engines directly over it.
 ///
@@ -181,6 +183,31 @@ public:
   VertexId addVertices(Count HowMany,
                        const Coordinates *TailCoords = nullptr);
 
+  /// --- Vertex deletion and id reuse --------------------------------------
+  ///
+  /// The universe never shrinks (distance states, snapshots and engines
+  /// all index by vertex id), but ids *recycle*: `removeVertex` deletes
+  /// every incident edge of \p External (publishing the batch like any
+  /// other applyUpdates — the Applied records feed incremental repair) and
+  /// pushes the id onto the mapping's free list; `acquireVertex` pops a
+  /// freed id if one exists — handing back an isolated, in-universe vertex
+  /// at zero growth cost — and only grows the universe when the free list
+  /// is empty. A removed vertex keeps serving as an isolated vertex, so
+  /// distances stay bit-identical to a universe that merely deleted the
+  /// same edges; its tombstoned patch row is reclaimed by the next fold
+  /// covering it (`DeltaGraph::reclaimedTombstones`).
+  ///
+  /// On directed graphs without incoming adjacency the store cannot
+  /// enumerate in-edges, so only the out-edges are deleted; symmetric and
+  /// in-edge-carrying graphs detach fully. A reused id keeps its old
+  /// coordinates — callers wiring it back into a coordinate-bearing graph
+  /// must pick weights respecting the A* floor of the *existing*
+  /// coordinates (or route only PPSP/SSSP at it).
+  ApplyResult removeVertex(VertexId External);
+  VertexId acquireVertex(const Coordinates *OneCoord = nullptr);
+  /// Freed ids awaiting reuse.
+  Count freeVertexCount() const;
+
   /// Vertex universe of the latest published version. Thread-safe.
   Count numNodes() const;
 
@@ -230,7 +257,9 @@ private:
   bool Degraded GUARDED_BY(ReadMu) = false;
   std::string LastError GUARDED_BY(ReadMu);
   uint64_t Compactions GUARDED_BY(ReadMu) = 0;
-  VertexMapping Map; ///< immutable after construction
+  /// Permutation tables immutable after construction (read lock-free by
+  /// the translate paths); only the freed-id list mutates, under ReadMu.
+  VertexMapping Map;
 
   std::condition_variable CompactionCv;
   DeltaGraph Writer GUARDED_BY(WriteMu);
@@ -268,13 +297,21 @@ private:
 /// composite is immutable — so two pins can be compared component-wise
 /// (monotone, never torn; the concurrency stress test asserts this).
 ///
-/// Compaction: each shard trips its own trigger, but folding patches back
-/// into the shared base is a store-wide rebuild (every shard's unpatched
-/// vertices read the base by row offset), so a tripped trigger schedules
-/// one *global* compaction — all shard locks, one O(V + E) rebuild, every
-/// overlay cleared. Batch-level semantics (applied-update coalescing,
-/// malformed-write skipping, vertex insertion) are bit-compatible with
-/// `SnapshotStore`; the stress harness differentially asserts it.
+/// Compaction is *per shard and incremental*: a shard that trips its
+/// trigger folds its own vertex range — patches included — into a fresh
+/// `BaseSegment` (DeltaGraph::compactRange) while every other shard keeps
+/// serving its existing rows. The fold costs O(shard), holds exactly one
+/// shard writer lock (never more — asserted by the fault-isolation stress
+/// schedule), and can run on a background thread per shard
+/// (`Options::BackgroundCompaction`): the fold works off a pinned copy,
+/// batches accepted meanwhile are recorded in a shard-local replay log
+/// and re-applied onto the folded copy before it atomically replaces the
+/// writer. A failed fold degrades only that shard; the others keep
+/// folding. The legacy all-locks O(V + E) global rebuild survives behind
+/// `Options::LegacyGlobalRebuild` as the bench baseline. Batch-level
+/// semantics (applied-update coalescing, malformed-write skipping, vertex
+/// insertion) are bit-compatible with `SnapshotStore`; the stress harness
+/// differentially asserts it.
 class ShardedSnapshotStore {
 public:
   using Snapshot = std::shared_ptr<const ShardedDeltaView>;
@@ -294,6 +331,17 @@ public:
     /// are bit-compatible: same batches rejected, same versions
     /// published).
     bool StrictBatches = false;
+    /// Fold a tripped shard on its own background thread (pin + replay,
+    /// as in SnapshotStore) instead of inline in the triggering apply.
+    bool BackgroundCompaction = false;
+    /// Bounded retries for a failed shard fold or replay (transient
+    /// faults — allocation failure, injected fail points).
+    int CompactionRetryLimit = 3;
+    /// Compatibility/baseline mode: a tripped trigger schedules the old
+    /// store-wide rebuild (all shard locks, one O(V + E) fold) instead of
+    /// the per-shard incremental fold. Exists so benches can measure the
+    /// win; leave off in production.
+    bool LegacyGlobalRebuild = false;
   };
 
   struct ApplyResult {
@@ -314,6 +362,7 @@ public:
   };
 
   explicit ShardedSnapshotStore(Graph Base, Options Opts = {});
+  ~ShardedSnapshotStore();
 
   ShardedSnapshotStore(const ShardedSnapshotStore &) = delete;
   ShardedSnapshotStore &operator=(const ShardedSnapshotStore &) = delete;
@@ -333,9 +382,24 @@ public:
   VertexId addVertices(Count HowMany,
                        const Coordinates *TailCoords = nullptr);
 
+  /// Vertex deletion and id reuse — see the SnapshotStore block comment;
+  /// semantics are bit-compatible. Detaching may touch arbitrary neighbor
+  /// shards, so removeVertex takes every shard lock (the rare heavyweight
+  /// write, like addVertices); the one-shard-lock guarantee is about
+  /// *compaction*, which never detaches.
+  ApplyResult removeVertex(VertexId External);
+  VertexId acquireVertex(const Coordinates *OneCoord = nullptr);
+  Count freeVertexCount() const;
+
   uint64_t compactions() const;
 
+  /// Blocks until no background shard fold is in flight. No-op in
+  /// synchronous mode.
+  void waitForCompaction();
+
   /// Degraded-but-serving / sticky failure message, as in SnapshotStore.
+  /// The store is degraded while *any* shard's last fold failed; each
+  /// shard clears its own flag at its next successful fold.
   bool degraded() const;
   std::string lastError() const;
 
@@ -346,10 +410,31 @@ public:
   /// remainder and any inserted tail).
   Count shardSpan() const { return Count{1} << Shift; }
 
+  /// Per-shard observability: successful incremental folds, the shard's
+  /// degraded flag, and (summed across shards) tombstoned patch rows
+  /// reclaimed by folds.
+  uint64_t shardFolds(int S) const;
+  bool shardDegraded(int S) const;
+  uint64_t reclaimedTombstones() const;
+
 private:
+  /// One writer-side mutation recorded while this shard's background fold
+  /// is in flight, replayed onto the folded copy before it replaces the
+  /// writer (the sharded analogue of SnapshotStore::ReplayOp — but
+  /// element-wise: a batch interleaves out-rows, in-mirrors, and
+  /// symmetric reverse rows across shards, so each shard logs exactly the
+  /// per-row calls it received).
+  struct ShardOp {
+    enum class Kind : uint8_t { Out, InMirror, Grow };
+    Kind Op = Kind::Out;
+    EdgeUpdate U; ///< internal-id row op (Out / InMirror)
+    Count GrowTo = 0;
+    std::shared_ptr<const Coordinates> TailCoords;
+  };
+
   struct Shard {
-    /// Writer lock for this shard's overlay. `Writer` and `DirtySince`
-    /// are protected by it, but intentionally carry no GUARDED_BY: shard
+    /// Writer lock for this shard's overlay. The fields below are
+    /// protected by it, but intentionally carry no GUARDED_BY: shard
     /// locks are acquired as a *runtime-sized* ascending set (see
     /// `DynamicLockSet` in support/ThreadSafety.h), which is beyond what
     /// the static analysis can express — the one audited helper confines
@@ -357,6 +442,16 @@ private:
     Mutex Mu;
     DeltaGraph Writer;
     uint64_t DirtySince = 0; ///< diagnostic: last version this shard changed
+    /// Incremental-compaction state (all under Mu). The fold thread takes
+    /// only *this* shard's Mu — cross-shard lock coupling in a fold path
+    /// is a bug (the fault-isolation stress schedule would deadlock).
+    bool Compacting = false;    ///< background fold in flight
+    bool FoldScheduled = false; ///< trigger absorbed, fold queued/running
+    uint64_t Folds = 0;         ///< successful incremental folds
+    bool Degraded = false;      ///< last fold failed, not refolded since
+    std::vector<ShardOp> Replay;
+    std::thread Compactor;
+    std::condition_variable FoldCv;
   };
 
   /// The writer mutexes of \p ShardIds in the same order — \p ShardIds
@@ -370,9 +465,35 @@ private:
   ApplyResult publishLocked(const std::vector<int> &Touched,
                             std::vector<AppliedUpdate> Applied,
                             bool CompactionTriggered) EXCLUDES(ReadMu);
-  /// Global compaction: folds every overlay into a fresh base. Takes all
-  /// shard locks itself.
+  /// Applies one validated update's rows to the owning shard writers
+  /// (out, in-mirror, symmetric reverse), collecting Applied transitions
+  /// and dirty shard ids, and recording replay ops into any shard whose
+  /// background fold is in flight. Caller holds the locks of every shard
+  /// the update touches.
+  void applyRowLocked(const EdgeUpdate &U, std::vector<AppliedUpdate> &Applied,
+                      std::vector<int> &Dirty);
+  /// The vertex range shard \p S owns under a universe of \p N vertices:
+  /// {first, count}. The last shard runs through N (remainder + inserted
+  /// tail); shards past the universe get an empty range.
+  std::pair<Count, Count> shardRangeFor(int S, Count N) const;
+  /// Synchronous incremental fold of shard \p S: takes that one shard
+  /// lock, folds its range into a fresh segment in O(shard), publishes.
+  void compactShard(int S) EXCLUDES(ReadMu);
+  /// Background variant: pins the shard writer, spawns the fold thread.
+  void foldShardAsync(int S) EXCLUDES(ReadMu);
+  void foldShardBody(int S, std::shared_ptr<const DeltaGraph> Pinned)
+      EXCLUDES(ReadMu);
+  /// Fold health bookkeeping; both require the shard's Mu (unannotated —
+  /// see Shard).
+  void noteShardFoldOk(Shard &Sh) EXCLUDES(ReadMu);
+  void noteShardFoldFailure(Shard &Sh, int S, const std::string &Why)
+      EXCLUDES(ReadMu);
+  /// Deprecated: a tripped trigger now folds only its own shard; this
+  /// loops compactShard over all shards (tests / operator-forced fold).
+  /// The old all-locks global rebuild lives in compactAllGlobal, kept
+  /// solely for Options::LegacyGlobalRebuild.
   void compactAll() EXCLUDES(ReadMu);
+  void compactAllGlobal() EXCLUDES(ReadMu);
 
   /// Guards the composite pointer, version vector, and health flags.
   mutable Mutex ReadMu;
@@ -383,14 +504,19 @@ private:
   std::string LastError GUARDED_BY(ReadMu);
   /// One-shot surfacing on the next apply.
   std::string PendingError GUARDED_BY(ReadMu);
-  VertexMapping Map; ///< immutable after construction
+  /// Shards whose last fold failed (keeps `Degraded` exact without
+  /// touching other shards' locks from a fold path).
+  int DegradedShards GUARDED_BY(ReadMu) = 0;
+  /// Permutation tables immutable after construction; only the freed-id
+  /// list mutates, under ReadMu (as in SnapshotStore).
+  VertexMapping Map;
 
   Options Opts;           ///< immutable after construction
   int Shift = 0;          ///< immutable after construction
   bool Symmetric = false; ///< immutable after construction
   bool MirrorsIn = false; ///< directed base carrying incoming adjacency
   std::vector<std::unique_ptr<Shard>> Shards;
-  Mutex CompactMu; ///< serializes global compactions
+  Mutex CompactMu; ///< serializes legacy global compactions
   bool CompactionPending GUARDED_BY(ReadMu) = false;
   uint64_t Compactions GUARDED_BY(ReadMu) = 0;
 };

@@ -1,0 +1,22 @@
+// lint-expect: fail(pin-escape)
+//
+// Segment-pointer variants of the classic pin dangles: foldRange returns
+// the shared_ptr that owns the freshly folded segment, so binding a
+// reference through the temporary (or stripping it with .get()) leaves a
+// raw BaseSegment* alive after its owner is gone — it dangles the moment
+// the next fold or snapshot retirement drops the last real reference.
+#include <memory>
+
+struct BaseSegment {
+  int First = 0;
+};
+
+struct DeltaGraph {
+  std::shared_ptr<const BaseSegment> foldRange(int First, int Last) const;
+};
+
+int useAfterFold(const DeltaGraph &G) {
+  const BaseSegment &S = *G.foldRange(0, 64);      // owner dies at end of decl
+  const BaseSegment *P = G.foldRange(0, 64).get(); // ditto
+  return S.First + P->First;
+}

@@ -1,0 +1,22 @@
+// lint-expect: pass
+//
+// The compliant shapes for segment handling: name the shared_ptr owner
+// before dereferencing, or hand the owning pointer straight to
+// adoptSegment so ownership transfers inside one full expression.
+#include <memory>
+
+struct BaseSegment {
+  int First = 0;
+};
+
+struct DeltaGraph {
+  std::shared_ptr<const BaseSegment> foldRange(int First, int Last) const;
+  void adoptSegment(std::shared_ptr<const BaseSegment> Seg);
+};
+
+int useFolded(DeltaGraph &G) {
+  std::shared_ptr<const BaseSegment> Seg = G.foldRange(0, 64);
+  const BaseSegment &S = *Seg;
+  G.adoptSegment(G.foldRange(64, 128)); // ownership transfers in-expression
+  return S.First;
+}

@@ -74,6 +74,16 @@ TEST(LiveStress, RoadBothPermutedRandomAdversarial) {
   runConfig(C);
 }
 
+TEST(LiveStress, RoadBackgroundShardFolds) {
+  // Per-shard folds on background threads: writer batches race in-flight
+  // folds, so the copy-adopt-replay-swap path sees fuzzed traffic (and
+  // vertex removal/growth land in the replay logs).
+  StressConfig C;
+  C.Seed = 0xBEEF04;
+  C.ShardedBackground = true;
+  runConfig(C);
+}
+
 TEST(LiveStress, DirectedRmat) {
   StressConfig C;
   C.Seed = 0xD17EC7;
@@ -265,6 +275,23 @@ TEST(LiveStressFaults, DirectedRmatPermutedConvergesThroughInjectedFaults) {
   C.Symmetric = false;
   C.ShardedReorder = ReorderKind::Degree;
   C.NumShards = 5;
+  C.InjectFaults = true;
+  C.FaultProbability = 0.08;
+  runConfig(C);
+}
+
+TEST(LiveStressFaults, BackgroundShardFoldsConvergeThroughReplayFaults) {
+  if (!failpoints::kFailPointsEnabled)
+    GTEST_SKIP() << "built without GRAPHIT_FAILPOINTS";
+  // Background per-shard folds under the full armed fail-point set: the
+  // `compaction.replay` point only sees traffic when batches race an
+  // in-flight fold, which this config makes routine. A failed fold may
+  // leave a shard degraded — the differential checks prove serving stays
+  // bit-identical regardless.
+  StressConfig C;
+  C.Seed = 0xFA17D;
+  C.Rounds = 30;
+  C.ShardedBackground = true;
   C.InjectFaults = true;
   C.FaultProbability = 0.08;
   runConfig(C);

@@ -12,12 +12,14 @@
 #include "algorithms/SSSP.h"
 #include "graph/Builder.h"
 #include "graph/Generators.h"
+#include "service/QueryEngine.h"
 #include "service/SnapshotStore.h"
 #include "support/FailPoint.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <tuple>
 
 using namespace graphit;
 using namespace graphit::service;
@@ -101,6 +103,7 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
   SO.Reorder = C.ShardedReorder;
   SO.CompactionThreshold = 0.06;
   SO.MinOverlayEdges = 64;
+  SO.BackgroundCompaction = C.ShardedBackground;
   ShardedSnapshotStore Sharded(Base, SO);
 
   // Identity-layout reference overlay: batches are generated from it (so
@@ -116,6 +119,20 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
   Fine.configApplyPriorityUpdateDelta(4);
   const Schedule *Schedules[] = {&Eager, &Lazy, &Fine};
   const char *SchedNames[] = {"eager/1024", "lazy/1024", "eager/4"};
+
+  // The sharded store is driven end to end through the unified engine:
+  // updates, growth, removal, and queries all take the engine path, with
+  // hot-state repair, adaptive batching, admission control, and the
+  // deadline plumbing engaged (generous budgets — the *paths* run, the
+  // outcomes stay deterministic).
+  ShardedQueryEngine::Options EO;
+  EO.NumWorkers = 2;
+  EO.DefaultSchedule = Eager;
+  EO.HotSourceCapacity = 4;
+  EO.MaxBatchDelayMicros = 200;
+  EO.AdmissionHighWater = 64; // far above the harness's queue depth
+  EO.AdmissionSoftWater = 32;
+  ShardedQueryEngine Engine(Sharded, EO);
 
   // Hot dispatcher state repaired across every version (external source
   // 0), checked bit-for-bit against a fresh recompute each round.
@@ -153,6 +170,21 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
     armFaults(Round);
     const bool InsertRound =
         C.InsertVertices && Round % 3 == 2 && Ref.numNodes() >= 2;
+    bool RemoveRound =
+        C.RemoveVertices && Round % 3 == 1 && Ref.numNodes() >= 2;
+    // Removal rounds need a vertex that still has edges; the applied
+    // streams come out of differently-ordered adjacency walks, so they
+    // compare as sorted multisets instead of record for record.
+    VertexId RemoveV = kInvalidVertex;
+    if (RemoveRound) {
+      for (int Try = 0; Try < 16 && RemoveV == kInvalidVertex; ++Try) {
+        VertexId Cand =
+            static_cast<VertexId>(Rng.nextInt(0, Ref.numNodes()));
+        if (Ref.outDegree(Cand) > 0)
+          RemoveV = Cand;
+      }
+      RemoveRound = RemoveV != kInvalidVertex;
+    }
 
     std::vector<EdgeUpdate> Batch;
     if (InsertRound) {
@@ -173,7 +205,7 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
       }
       const Coordinates *TailPtr = HasCoords ? &Tail : nullptr;
       VertexId FirstP = Plain.addVertices(K, TailPtr);
-      VertexId FirstS = Sharded.addVertices(K, TailPtr);
+      VertexId FirstS = Engine.addVertices(K, TailPtr);
       Ref.growUniverse(OldN + K, TailPtr);
       if (FirstP != static_cast<VertexId>(OldN) ||
           FirstS != static_cast<VertexId>(OldN)) {
@@ -191,7 +223,7 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
         Batch.push_back(EdgeUpdate{NewV, Anchors[static_cast<size_t>(I)],
                                    W, UpdateKind::Upsert});
       }
-    } else {
+    } else if (!RemoveRound) {
       Batch = randomBatch(Ref, C.BatchSize, Rng);
       // Coalescing stress: duplicate an entry so one directed edge sees
       // several transitions inside a single batch.
@@ -208,16 +240,68 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
       }
     }
 
-    SnapshotStore::ApplyResult PA = Plain.applyUpdates(Batch);
-    ShardedSnapshotStore::ApplyResult SA = Sharded.applyUpdates(Batch);
-    disarmFaults();
-    std::vector<AppliedUpdate> RefApplied = coalesceApplied(Ref.apply(Batch));
+    SnapshotStore::ApplyResult PA;
+    ShardedSnapshotStore::ApplyResult SA;
+    std::vector<AppliedUpdate> RefApplied;
+    if (RemoveRound) {
+      // Vertex removal + id reuse, differentially: the stores detach the
+      // vertex through removeVertex; the reference applies the equivalent
+      // delete batch (it never removes anything) — every check below then
+      // proves a removed-and-reacquired universe is bit-identical to one
+      // that only ever deleted edges.
+      PA = Plain.removeVertex(RemoveV);
+      SA = Engine.removeVertex(RemoveV);
+      disarmFaults();
+      std::vector<EdgeUpdate> Deletes;
+      for (WNode E : Ref.outNeighbors(RemoveV))
+        Deletes.push_back(EdgeUpdate{RemoveV, E.V, 0, UpdateKind::Delete});
+      if (!Ref.isSymmetric() && Ref.hasInEdges())
+        for (WNode E : Ref.inNeighbors(RemoveV))
+          Deletes.push_back(EdgeUpdate{E.V, RemoveV, 0, UpdateKind::Delete});
+      RefApplied = coalesceApplied(Ref.apply(Deletes));
+
+      if (Plain.freeVertexCount() != 1 || Engine.freeVertexCount() != 1) {
+        Tag(Round) << "free-list sizes after removeVertex: plain="
+                   << Plain.freeVertexCount()
+                   << " sharded=" << Engine.freeVertexCount() << " want=1";
+        return Fail.str();
+      }
+      VertexId GotP = Plain.acquireVertex();
+      VertexId GotS = Engine.acquireVertex();
+      if (GotP != RemoveV || GotS != RemoveV) {
+        Tag(Round) << "acquireVertex did not recycle the freed id: plain="
+                   << GotP << " sharded=" << GotS << " want=" << RemoveV;
+        return Fail.str();
+      }
+      if (Plain.freeVertexCount() != 0 || Engine.freeVertexCount() != 0 ||
+          PA.Snap->numNodes() != Ref.numNodes()) {
+        Tag(Round) << "id reuse grew the universe or leaked free ids";
+        return Fail.str();
+      }
+    } else {
+      PA = Plain.applyUpdates(Batch);
+      SA = Engine.applyUpdates(Batch);
+      disarmFaults();
+      RefApplied = coalesceApplied(Ref.apply(Batch));
+    }
 
     // --- Applied-transition differential (external id space) ------------
     std::vector<AppliedUpdate> PExt =
         toExternal(PA.Applied, Plain.mapping());
     std::vector<AppliedUpdate> SExt =
         toExternal(SA.Applied, Sharded.mapping());
+    if (RemoveRound) {
+      // A detachment enumerates each store's own (possibly permuted)
+      // adjacency, so record order is layout-dependent; the coalesced
+      // multiset is not.
+      auto ByEdge = [](const AppliedUpdate &A, const AppliedUpdate &B) {
+        return std::tie(A.Src, A.Dst, A.OldW, A.NewW) <
+               std::tie(B.Src, B.Dst, B.OldW, B.NewW);
+      };
+      std::sort(PExt.begin(), PExt.end(), ByEdge);
+      std::sort(SExt.begin(), SExt.end(), ByEdge);
+      std::sort(RefApplied.begin(), RefApplied.end(), ByEdge);
+    }
     if (PExt.size() != SExt.size() || PExt.size() != RefApplied.size()) {
       Tag(Round) << "applied-stream sizes diverge: plain=" << PExt.size()
                  << " sharded=" << SExt.size()
@@ -288,6 +372,39 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
           }
         }
       }
+
+      // Engine-served SSSP over the sharded store: submit/collect with
+      // results in external ids, cross-checked against the reference
+      // distances just computed. Repeating source[0] every round drives
+      // the hot-state warm/repair/hit paths.
+      Query EQ;
+      EQ.Kind = QueryKind::SSSP;
+      EQ.Source = SrcExt;
+      EQ.CollectReached = true;
+      QueryResult ER = Engine.runBatch({EQ})[0];
+      if (ER.Status != QueryStatus::Ok) {
+        Tag(Round) << "engine SSSP (src=" << SrcExt
+                   << ") resolved non-Ok: "
+                   << static_cast<int>(ER.Status);
+        return Fail.str();
+      }
+      Count Finite = 0;
+      for (Count V = 0; V < N; ++V)
+        if (FirstSchedule[V] != kInfiniteDistance)
+          ++Finite;
+      if (static_cast<Count>(ER.Reached.size()) != Finite) {
+        Tag(Round) << "engine SSSP (src=" << SrcExt << ") reached "
+                   << ER.Reached.size() << " vertices, reference reaches "
+                   << Finite;
+        return Fail.str();
+      }
+      for (const std::pair<VertexId, Priority> &P : ER.Reached)
+        if (FirstSchedule[P.first] != P.second) {
+          Tag(Round) << "engine SSSP (src=" << SrcExt
+                     << ") diverges at vertex " << P.first << ": engine="
+                     << P.second << " reference=" << FirstSchedule[P.first];
+          return Fail.str();
+        }
     }
 
     // --- Repaired-vs-recomputed differential ----------------------------
@@ -316,7 +433,60 @@ std::string graphit::stress::runLiveStress(const StressConfig &C) {
                    << " reference=" << DR.Dist[T];
         return Fail.str();
       }
+      // The same point query through the engine, with the deadline
+      // plumbing engaged: a generous budget never fires, so the answer
+      // must come back Ok and exact.
+      Query EP;
+      EP.Kind = QueryKind::PPSP;
+      EP.Source = S;
+      EP.Target = T;
+      EP.DeadlineMicros = 30'000'000;
+      QueryResult QR = Engine.runBatch({EP})[0];
+      if (QR.Status != QueryStatus::Ok || QR.Dist != DR.Dist[T]) {
+        Tag(Round) << "engine PPSP(" << S << " -> " << T
+                   << ") diverges: engine=" << QR.Dist << " (status "
+                   << static_cast<int>(QR.Status)
+                   << ") reference=" << DR.Dist[T];
+        return Fail.str();
+      }
     }
+  }
+
+  // --- Hot-path determinism over the sharded engine ----------------------
+  // Two same-source queries with no write in between: the second must be
+  // served from the (warmed or repaired) hot state, bit-identical to the
+  // first run and to the fault-free reference. Quiesce in-flight
+  // background folds first — a fold publishing between the two queries
+  // would (correctly) invalidate the warmed state.
+  Sharded.waitForCompaction();
+  {
+    Query HQ;
+    HQ.Kind = QueryKind::SSSP;
+    HQ.Source = RepairSrcExt;
+    HQ.CollectReached = true;
+    QueryResult H1 = Engine.runBatch({HQ})[0];
+    const uint64_t HitsBefore = Engine.hotHits();
+    QueryResult H2 = Engine.runBatch({HQ})[0];
+    if (Engine.hotHits() <= HitsBefore) {
+      Tag(C.Rounds) << "second same-source engine SSSP missed the hot "
+                       "cache (hits stayed at "
+                    << HitsBefore << ")";
+      return Fail.str();
+    }
+    SSSPResult DR = deltaSteppingSSSP(Ref, RepairSrcExt, Eager);
+    if (H1.Reached != H2.Reached) {
+      Tag(C.Rounds) << "hot-served SSSP diverges from the fresh run that "
+                       "warmed it (src="
+                    << RepairSrcExt << ")";
+      return Fail.str();
+    }
+    for (const std::pair<VertexId, Priority> &P : H2.Reached)
+      if (DR.Dist[P.first] != P.second) {
+        Tag(C.Rounds) << "hot-served SSSP diverges from reference at "
+                      << P.first << ": hot=" << P.second
+                      << " reference=" << DR.Dist[P.first];
+        return Fail.str();
+      }
   }
   return "";
 }

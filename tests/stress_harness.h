@@ -17,16 +17,21 @@
 /// the others.
 ///
 /// `runLiveStress` is the differential harness proper: a seeded stream of
-/// mixed update batches (optionally including vertex insertion) is fed to
-/// an unsharded `SnapshotStore`, a `ShardedSnapshotStore`, and a plain
-/// reference `DeltaGraph`, and every round cross-checks
+/// mixed update batches (optionally including vertex insertion and
+/// removal/id-reuse) is fed to an unsharded `SnapshotStore`, a
+/// `ShardedSnapshotStore` — the sharded side driven end to end through
+/// the unified `ShardedQueryEngine` (updates, growth, vertex removal, and
+/// queries all routed through the engine, hot-state repair and deadline
+/// plumbing engaged) — and a plain reference `DeltaGraph`, and every
+/// round cross-checks
 ///
 ///   * applied-transition streams (external-id space, record for record),
 ///   * SSSP distance arrays across {ordering x schedule} points
 ///     (eager vs lazy, identity vs permuted, sharded vs unsharded) —
 ///     bit-identical, as PriorityGraph's schedule-independence guarantees,
+///   * engine-served query results (submit/collect) vs those distances,
 ///   * incrementally repaired states vs fresh recomputes,
-///   * PPSP / A* spot answers vs the reference distances.
+///   * PPSP spot answers vs the reference distances.
 ///
 /// Everything is deterministic from `StressConfig::Seed`; a failure
 /// message embeds the seed so the exact stream replays.
@@ -55,10 +60,14 @@ inline constexpr Weight kMinWeight = 1;
 inline constexpr Weight kMaxWeight = 400;
 
 /// Random small update batch against the current view: deletes, weight
-/// doublings/halvings of existing edges, and insertions of fresh edges.
-/// Works over any graph-compatible view (Graph, DeltaGraph,
-/// ShardedDeltaView). Ids are the view's own id space — generate from an
-/// identity-layout view when the batch will be fed to reordered stores.
+/// doublings/halvings of existing edges, insertions of fresh edges, and
+/// occasional whole-vertex detachments (every out-edge of one vertex
+/// deleted at once — the same batch the stores' `removeVertex`
+/// materializes, so tombstoned patch rows and their fold-time reclamation
+/// see fuzzed coverage). Works over any graph-compatible view (Graph,
+/// DeltaGraph, ShardedDeltaView). Ids are the view's own id space —
+/// generate from an identity-layout view when the batch will be fed to
+/// reordered stores.
 template <typename GraphT>
 std::vector<EdgeUpdate> randomBatch(const GraphT &G, Count HowMany,
                                     SplitMix64 &Rng) {
@@ -77,6 +86,12 @@ std::vector<EdgeUpdate> randomBatch(const GraphT &G, Count HowMany,
           U, V,
           static_cast<Weight>(Rng.nextInt(kMinWeight, kMaxWeight)),
           UpdateKind::Upsert});
+      continue;
+    }
+    if (Rng.nextInt(0, 16) == 0) {
+      // Vertex detachment: delete U's whole out-row in one shot.
+      for (WNode E : G.outNeighbors(U))
+        Batch.push_back(EdgeUpdate{U, E.V, 0, UpdateKind::Delete});
       continue;
     }
     Count Deg = G.outDegree(U);
@@ -156,6 +171,17 @@ struct StressConfig {
   int RmatScale = 9;   ///< directed case: 2^Scale vertices
   /// Interleave vertex-insertion batches (every third round).
   bool InsertVertices = true;
+  /// Interleave vertex removal/id-reuse rounds (every third round,
+  /// offset from insertion): `removeVertex` on both stores against the
+  /// equivalent delete batch on the reference, then `acquireVertex` must
+  /// hand the freed id back on both — distances stay bit-identical to
+  /// the never-removed (edge-deletes-only) reference throughout.
+  bool RemoveVertices = true;
+  /// Run the sharded store's per-shard folds on background threads
+  /// (Options::BackgroundCompaction) so writer batches race in-flight
+  /// folds and land in the replay logs — the only way the
+  /// `compaction.replay` fail point sees fuzzed traffic.
+  bool ShardedBackground = false;
   /// Layout axis of the {ordering x schedule} matrix.
   ReorderKind PlainReorder = ReorderKind::None;
   ReorderKind ShardedReorder = ReorderKind::None;

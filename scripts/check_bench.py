@@ -53,9 +53,11 @@ METRIC_PRIORITY = [
 
 # Fields that identify a workload variant within one bench ("ordering" is
 # the vertex layout of reordered variants; "window"/"mode" distinguish the
-# service bench's batching sweep points and open-loop operating points).
+# service bench's batching sweep points and open-loop operating points;
+# "class" splits an operating point into its per-importance-class SLO
+# lines).
 KEY_FIELDS = ["bench", "ordering", "batch", "updates", "threads", "scale",
-              "window", "mode"]
+              "window", "mode", "class"]
 
 
 def parse_lines(path):

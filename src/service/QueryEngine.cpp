@@ -19,8 +19,36 @@
 using namespace graphit;
 using namespace graphit::service;
 
+namespace {
+/// Bounded feedback-controller history kept for controllerTrace().
+constexpr size_t kControllerTraceCap = 256;
+
+/// Clamps a caller-supplied class index into range (the public per-class
+/// getters accept anything).
+int clampClass(int C) {
+  if (C < 0)
+    return 0;
+  if (C >= kNumImportanceClasses)
+    return kNumImportanceClasses - 1;
+  return C;
+}
+} // namespace
+
 template <class StoreT>
 void BasicQueryEngine<StoreT>::startWorkers() {
+  {
+    // The controlled knobs start at (and, with the controller off, stay
+    // at) their configured values; the configured values remain the
+    // ceilings the controller may relax back to.
+    MutexLock Lock(Mu);
+    CurBatchDelay_ = Opts.MaxBatchDelayMicros;
+    CurHighWater_ = Opts.AdmissionHighWater;
+    CurSoftWater_ = Opts.AdmissionSoftWater;
+    if (Opts.ControllerIntervalMicros > 0)
+      CtlNextTick_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(Opts.ControllerIntervalMicros);
+  }
   int N = Opts.NumWorkers > 0
               ? Opts.NumWorkers
               : static_cast<int>(std::thread::hardware_concurrency());
@@ -292,6 +320,7 @@ uint64_t BasicQueryEngine<StoreT>::submit(Query Q) {
                 HasCoordinates;
   bool Valid =
       static_cast<Count>(Q.Source) < NumNodes && TargetOk && HeurOk;
+  const int Class = importanceClass(Q.Importance);
   const auto Now = std::chrono::steady_clock::now();
   uint64_t Ticket;
   bool Enqueued = false;
@@ -310,47 +339,66 @@ uint64_t BasicQueryEngine<StoreT>::submit(Query Q) {
       // Admission control: past the high-water mark, something must give —
       // shed the lowest-importance pending query, or the incoming one when
       // nothing queued is strictly less important (ties shed the incomer:
-      // queued work has already waited). Shedding is typed and immediate,
-      // never a silent drop — the victim's ticket resolves Shed right here.
-      if (Opts.AdmissionHighWater > 0 &&
-          Pending.size() >= Opts.AdmissionHighWater) {
+      // queued work has already waited). Among equally-least-important
+      // *pending* queries the same rationale picks the newest — it has
+      // waited least — so the scan keeps updating on ties. Shedding is
+      // typed and immediate, never a silent drop — the victim's ticket
+      // resolves Shed right here. `runBatch` funnels through this exact
+      // path, so single submits and batches shed identically.
+      if (CurHighWater_ > 0 && Pending.size() >= CurHighWater_) {
         auto Victim = Pending.end();
         int MinImportance = Q.Importance;
         for (auto It = Pending.begin(); It != Pending.end(); ++It)
-          if (It->Q.Importance < MinImportance) {
+          if (It->Q.Importance < MinImportance ||
+              (Victim != Pending.end() &&
+               It->Q.Importance == MinImportance)) {
             MinImportance = It->Q.Importance;
             Victim = It;
           }
         QueryResult R;
         R.Status = QueryStatus::Shed;
-        ++Sheds_;
         Resolved = true;
         if (Victim == Pending.end()) {
+          ++Sheds_[Class];
           Finished.emplace(Ticket, std::move(R));
           Valid = false; // incoming query sheds; nothing to enqueue
         } else {
+          ++Sheds_[Victim->Class];
           Finished.emplace(Victim->Ticket, std::move(R));
           Pending.erase(Victim);
         }
       }
 
       if (Valid) {
-        Task T{Ticket, std::move(Q), Now, 0, false};
+        Task T{Ticket, std::move(Q), Now, 0, false, Class};
         T.DeadlineMicros = T.Q.DeadlineMicros;
         // Graceful degradation: under moderate pressure, bound PPSP/A*
-        // queries that brought no deadline of their own to a fraction of
-        // the recent same-kind service time. Bounded answers for everyone
+        // queries that brought no deadline of their own. A class with a
+        // p99 target gets the target itself as its budget — the SLO is
+        // the class's latency contract, known a priori, so imposition
+        // does not wait for a warm EWMA (and must not hand a premium
+        // class the tiny EWMA-derived budget meant for bulk traffic).
+        // SLO-less classes fall back to a fraction of the recent service
+        // time *of their own (kind, class) cell* — a slow class must not
+        // shrink another class's budget. Bounded answers for everyone
         // beat full answers for some and Shed for the rest.
-        if (Opts.AdmissionSoftWater > 0 &&
-            Pending.size() >= Opts.AdmissionSoftWater &&
+        if (CurSoftWater_ > 0 && Pending.size() >= CurSoftWater_ &&
             T.Q.Kind != QueryKind::SSSP && T.DeadlineMicros <= 0) {
-          const double Ewma = EwmaMicros[static_cast<int>(T.Q.Kind)];
-          if (Ewma > 0.0) {
-            T.DeadlineMicros =
-                std::max(Opts.DegradeFloorMicros,
-                         static_cast<int64_t>(Ewma * Opts.DegradeFactor));
+          const int64_t Slo = Opts.ClassSlo[static_cast<size_t>(T.Class)];
+          if (Slo > 0) {
+            T.DeadlineMicros = std::max(Opts.DegradeFloorMicros, Slo);
             T.Degraded = true;
-            ++Degraded_;
+            ++Degraded_[T.Class];
+          } else {
+            const double Ewma =
+                EwmaMicros[static_cast<int>(T.Q.Kind)][T.Class];
+            if (Ewma > 0.0) {
+              T.DeadlineMicros = std::max(
+                  Opts.DegradeFloorMicros,
+                  static_cast<int64_t>(Ewma * Opts.DegradeFactor));
+              T.Degraded = true;
+              ++Degraded_[T.Class];
+            }
           }
         }
         Pending.push_back(std::move(T));
@@ -428,19 +476,110 @@ uint64_t BasicQueryEngine<StoreT>::queriesServed() const {
 template <class StoreT>
 uint64_t BasicQueryEngine<StoreT>::queriesShed() const {
   MutexLock Lock(Mu);
-  return Sheds_;
+  uint64_t Total = 0;
+  for (uint64_t C : Sheds_)
+    Total += C;
+  return Total;
 }
 
 template <class StoreT>
 uint64_t BasicQueryEngine<StoreT>::deadlinesExceeded() const {
   MutexLock Lock(Mu);
-  return DeadlineExceeded_;
+  uint64_t Total = 0;
+  for (uint64_t C : DeadlineExceeded_)
+    Total += C;
+  return Total;
 }
 
 template <class StoreT>
 uint64_t BasicQueryEngine<StoreT>::queriesDegraded() const {
   MutexLock Lock(Mu);
-  return Degraded_;
+  uint64_t Total = 0;
+  for (uint64_t C : Degraded_)
+    Total += C;
+  return Total;
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesServedInClass(int Class) const {
+  MutexLock Lock(Mu);
+  return ServedClass_[clampClass(Class)];
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesShedInClass(int Class) const {
+  MutexLock Lock(Mu);
+  return Sheds_[clampClass(Class)];
+}
+
+template <class StoreT>
+uint64_t
+BasicQueryEngine<StoreT>::deadlinesExceededInClass(int Class) const {
+  MutexLock Lock(Mu);
+  return DeadlineExceeded_[clampClass(Class)];
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::queriesDegradedInClass(int Class) const {
+  MutexLock Lock(Mu);
+  return Degraded_[clampClass(Class)];
+}
+
+template <class StoreT>
+double BasicQueryEngine<StoreT>::serviceEwmaMicros(QueryKind Kind,
+                                                   int Class) const {
+  MutexLock Lock(Mu);
+  return EwmaMicros[static_cast<int>(Kind)][clampClass(Class)];
+}
+
+template <class StoreT>
+LatencyHistogram::Snapshot
+BasicQueryEngine<StoreT>::classLatencySnapshot(int Class) const {
+  // Lock-free: the histograms are relaxed atomics, no Mu needed.
+  return ClassLatency_[clampClass(Class)].snapshot();
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::controllerTicks() const {
+  MutexLock Lock(Mu);
+  return CtlTicks_;
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::controllerTightens() const {
+  MutexLock Lock(Mu);
+  return CtlTightens_;
+}
+
+template <class StoreT>
+uint64_t BasicQueryEngine<StoreT>::controllerRelaxes() const {
+  MutexLock Lock(Mu);
+  return CtlRelaxes_;
+}
+
+template <class StoreT>
+int64_t BasicQueryEngine<StoreT>::currentBatchDelayMicros() const {
+  MutexLock Lock(Mu);
+  return CurBatchDelay_;
+}
+
+template <class StoreT>
+size_t BasicQueryEngine<StoreT>::currentHighWater() const {
+  MutexLock Lock(Mu);
+  return CurHighWater_;
+}
+
+template <class StoreT>
+size_t BasicQueryEngine<StoreT>::currentSoftWater() const {
+  MutexLock Lock(Mu);
+  return CurSoftWater_;
+}
+
+template <class StoreT>
+std::vector<ControllerEvent>
+BasicQueryEngine<StoreT>::controllerTrace() const {
+  MutexLock Lock(Mu);
+  return std::vector<ControllerEvent>(CtlTrace_.begin(), CtlTrace_.end());
 }
 
 template <class StoreT>
@@ -465,6 +604,8 @@ void BasicQueryEngine<StoreT>::workerLoop() {
     uint64_t Ticket;
     QueryKind Kind;
     bool Degraded;
+    int Class;
+    std::chrono::steady_clock::time_point Enqueued;
     double Micros;
     QueryResult R;
   };
@@ -494,7 +635,7 @@ void BasicQueryEngine<StoreT>::workerLoop() {
       // pick up the rest of the queue in parallel.
       const size_t MaxBatch =
           static_cast<size_t>(std::max(1, Opts.MaxBatchSize));
-      if (Opts.MaxBatchDelayMicros > 0 && BatchWindow_ > 0) {
+      if (CurBatchDelay_ > 0 && BatchWindow_ > 0) {
         while (Batch.size() < MaxBatch && !Pending.empty()) {
           Batch.push_back(std::move(Pending.front()));
           Pending.pop_front();
@@ -513,13 +654,15 @@ void BasicQueryEngine<StoreT>::workerLoop() {
             break;
         }
       }
-      if (Opts.MaxBatchDelayMicros > 0) {
+      if (CurBatchDelay_ > 0) {
         // Grow the window while backlog persists (each batch still left
         // the queue non-empty); collapse it the moment the queue drains
-        // so idle-engine latency stays untouched.
+        // so idle-engine latency stays untouched. The cap is the
+        // *controlled* delay — under controller tightening the window
+        // shrinks with it.
         if (!Pending.empty()) {
           BatchWindow_ = std::min(
-              Opts.MaxBatchDelayMicros,
+              CurBatchDelay_,
               std::max(int64_t{2} * BatchWindow_, kBatchWindowFloorMicros));
           BatchWindowMax_ = std::max(BatchWindowMax_, BatchWindow_);
         } else {
@@ -555,28 +698,181 @@ void BasicQueryEngine<StoreT>::workerLoop() {
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - Start)
               .count();
-      Results.push_back(
-          Done{T.Ticket, T.Q.Kind, T.Degraded, Micros, std::move(R)});
+      Results.push_back(Done{T.Ticket, T.Q.Kind, T.Degraded, T.Class,
+                             T.Enqueued, Micros, std::move(R)});
     }
+
+    // Per-class end-to-end latency (submit → publish, the quantity the
+    // class SLOs target): recorded lock-free before taking Mu.
+    const auto PubTime = std::chrono::steady_clock::now();
+    for (Done &D : Results)
+      if (D.R.Status == QueryStatus::Ok)
+        ClassLatency_[D.Class].record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                PubTime - D.Enqueued)
+                .count()));
 
     {
       MutexLock Lock(Mu);
       for (Done &D : Results) {
         Aggregate.merge(D.R.Stats);
         ++Served;
+        ++ServedClass_[D.Class];
         if (D.R.Status == QueryStatus::DeadlineExceeded)
-          ++DeadlineExceeded_;
-        // The admission EWMA samples only clean, un-degraded completions:
-        // cut-short runs would drag imposed deadlines toward zero.
+          ++DeadlineExceeded_[D.Class];
+        // The admission EWMA samples only clean, un-degraded completions
+        // — cut-short runs would drag imposed deadlines toward zero —
+        // and only its own (kind, class) cell, so a slow class cannot
+        // poison another's imposed deadlines.
         if (D.R.Status == QueryStatus::Ok && !D.Degraded) {
-          double &Ewma = EwmaMicros[static_cast<int>(D.Kind)];
+          double &Ewma = EwmaMicros[static_cast<int>(D.Kind)][D.Class];
           Ewma = Ewma == 0.0 ? D.Micros : 0.8 * Ewma + 0.2 * D.Micros;
         }
         Finished.emplace(D.Ticket, std::move(D.R));
       }
     }
     DoneCv.notify_all();
+    maybeControllerTick();
   }
+}
+
+template <class StoreT>
+void BasicQueryEngine<StoreT>::maybeControllerTick() {
+  if (Opts.ControllerIntervalMicros <= 0)
+    return;
+  const auto Now = std::chrono::steady_clock::now();
+  MutexLock Lock(Mu);
+  if (Now < CtlNextTick_)
+    return;
+  // Exactly one publisher wins each interval: the deadline moved before
+  // any other worker re-checks it under Mu.
+  CtlNextTick_ =
+      Now + std::chrono::microseconds(Opts.ControllerIntervalMicros);
+  ++CtlTicks_;
+
+  // Windowed per-class p99 since the previous tick, via snapshot deltas —
+  // no reset of histograms that workers are concurrently recording into.
+  ControllerEvent E;
+  E.Tick = CtlTicks_;
+  bool AnyMiss = false;
+  bool SawEvidence = false; // ≥1 targeted class with a thick-enough window
+  bool AllSlack = true;     // every such class comfortably under target
+  for (int C = 0; C < kNumImportanceClasses; ++C) {
+    LatencyHistogram::Snapshot Cur = ClassLatency_[C].snapshot();
+    LatencyHistogram::Snapshot Win =
+        LatencyHistogram::windowSince(Cur, CtlPrev_[C]);
+    CtlPrev_[C] = Cur;
+    E.WindowCount[static_cast<size_t>(C)] = Win.count();
+    E.WindowP99Micros[static_cast<size_t>(C)] = Win.percentile(99);
+    const int64_t Slo = Opts.ClassSlo[static_cast<size_t>(C)];
+    if (Slo <= 0)
+      continue;
+    if (Win.count() < Opts.ControllerMinSamples)
+      continue; // thin window: evidence for neither a miss nor slack
+    SawEvidence = true;
+    const uint64_t P99 = E.WindowP99Micros[static_cast<size_t>(C)];
+    if (P99 > static_cast<uint64_t>(Slo))
+      AnyMiss = true;
+    else if (static_cast<double>(P99) >=
+             Opts.ControllerSlackFraction * static_cast<double>(Slo))
+      AllSlack = false; // dead band: under target but not slack
+  }
+
+  // AIMD with hysteresis and a dead band: a miss tightens additively at
+  // once; relaxing needs ControllerHysteresisTicks consecutive all-slack
+  // ticks and then doubles toward the configured ceilings; the dead band
+  // (and hitting a floor/ceiling) holds. Settling is structural — every
+  // trajectory ends pinned in the dead band or at a bound. Knobs whose
+  // configured value is 0 (feature off) are never touched.
+  int Action = 0;
+  if (AnyMiss) {
+    CtlSlackStreak_ = 0;
+    if (Opts.MaxBatchDelayMicros > 0) {
+      const int64_t Step =
+          std::max<int64_t>(Opts.MaxBatchDelayMicros / 8, 1);
+      const int64_t Floor = std::min(Opts.ControllerMinBatchDelayMicros,
+                                     Opts.MaxBatchDelayMicros);
+      const int64_t Next = std::max(Floor, CurBatchDelay_ - Step);
+      if (Next != CurBatchDelay_) {
+        CurBatchDelay_ = Next;
+        Action = -1;
+      }
+      // An already-grown formation window must shrink with its cap.
+      BatchWindow_ = std::min(BatchWindow_, CurBatchDelay_);
+    }
+    if (Opts.AdmissionHighWater > 0) {
+      const size_t Step = std::max<size_t>(Opts.AdmissionHighWater / 8, 1);
+      const size_t Floor =
+          std::min(Opts.ControllerMinHighWater, Opts.AdmissionHighWater);
+      const size_t Next =
+          CurHighWater_ > Floor + Step ? CurHighWater_ - Step : Floor;
+      if (Next != CurHighWater_) {
+        CurHighWater_ = Next;
+        Action = -1;
+      }
+    }
+    if (Opts.AdmissionSoftWater > 0) {
+      const size_t Step = std::max<size_t>(Opts.AdmissionSoftWater / 8, 1);
+      const size_t Floor =
+          std::min(Opts.ControllerMinSoftWater, Opts.AdmissionSoftWater);
+      const size_t Next =
+          CurSoftWater_ > Floor + Step ? CurSoftWater_ - Step : Floor;
+      if (Next != CurSoftWater_) {
+        CurSoftWater_ = Next;
+        Action = -1;
+      }
+    }
+    if (Action == -1)
+      ++CtlTightens_;
+  } else if (SawEvidence && AllSlack) {
+    if (++CtlSlackStreak_ >=
+        std::max(Opts.ControllerHysteresisTicks, 1)) {
+      CtlSlackStreak_ = 0;
+      if (Opts.MaxBatchDelayMicros > 0) {
+        const int64_t Seed =
+            std::max<int64_t>(Opts.MaxBatchDelayMicros / 8, 1);
+        const int64_t Next =
+            std::min(Opts.MaxBatchDelayMicros,
+                     std::max(CurBatchDelay_ * 2, Seed));
+        if (Next != CurBatchDelay_) {
+          CurBatchDelay_ = Next;
+          Action = 1;
+        }
+      }
+      if (Opts.AdmissionHighWater > 0) {
+        const size_t Next =
+            std::min(Opts.AdmissionHighWater,
+                     std::max<size_t>(CurHighWater_ * 2, 1));
+        if (Next != CurHighWater_) {
+          CurHighWater_ = Next;
+          Action = 1;
+        }
+      }
+      if (Opts.AdmissionSoftWater > 0) {
+        const size_t Next =
+            std::min(Opts.AdmissionSoftWater,
+                     std::max<size_t>(CurSoftWater_ * 2, 1));
+        if (Next != CurSoftWater_) {
+          CurSoftWater_ = Next;
+          Action = 1;
+        }
+      }
+      if (Action == 1)
+        ++CtlRelaxes_;
+    }
+  } else {
+    // Dead band or thin windows: hold, and require the slack run to be
+    // consecutive.
+    CtlSlackStreak_ = 0;
+  }
+
+  E.Action = Action;
+  E.BatchDelayMicros = CurBatchDelay_;
+  E.HighWater = CurHighWater_;
+  E.SoftWater = CurSoftWater_;
+  CtlTrace_.push_back(E);
+  if (CtlTrace_.size() > kControllerTraceCap)
+    CtlTrace_.pop_front();
 }
 
 namespace {

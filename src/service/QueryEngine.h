@@ -60,8 +60,10 @@
 #include "service/StatePool.h"
 #include "service/Store.h"
 #include "support/Cancellation.h"
+#include "support/LatencyHistogram.h"
 #include "support/ThreadSafety.h"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -90,6 +92,40 @@ enum class QueryStatus : uint8_t {
   DeadlineExceeded, ///< interrupted at a round boundary; partial results
   Shed,             ///< rejected by admission control without running
   Failed,           ///< malformed request (out-of-range source/target)
+};
+
+/// Importance classes tracked for per-class SLOs, counters, and the
+/// degradation EWMA. Queries map to a class through importanceClass():
+/// class 0 is the *most* important tier (the ops "tier-0" convention),
+/// class kNumImportanceClasses-1 the least. `Query::Importance` keeps its
+/// historical meaning (higher = more important, sheds last).
+inline constexpr int kNumImportanceClasses = 4;
+
+/// Importance → class index. Importance saturates at
+/// kNumImportanceClasses-1, so every importance above that shares class 0
+/// and negatives clamp into the least-important class.
+inline int importanceClass(int Importance) {
+  if (Importance < 0)
+    Importance = 0;
+  if (Importance >= kNumImportanceClasses)
+    Importance = kNumImportanceClasses - 1;
+  return kNumImportanceClasses - 1 - Importance;
+}
+
+/// One feedback-controller tick, exported through controllerTrace() so
+/// benches and tests can print or assert on the trajectory: the windowed
+/// per-class p99s the tick observed, the knob values *after* its action,
+/// and the action itself.
+struct ControllerEvent {
+  uint64_t Tick = 0;            ///< 1-based tick ordinal
+  int Action = 0;               ///< -1 tightened, 0 held, +1 relaxed
+  int64_t BatchDelayMicros = 0; ///< knob values after the action
+  uint64_t HighWater = 0;
+  uint64_t SoftWater = 0;
+  /// Windowed p99 per class since the previous tick (0 = no samples).
+  std::array<uint64_t, kNumImportanceClasses> WindowP99Micros{};
+  /// Windowed Ok completions per class since the previous tick.
+  std::array<uint64_t, kNumImportanceClasses> WindowCount{};
 };
 
 /// One point(-to-point) query against the engine's graph snapshot.
@@ -247,6 +283,41 @@ public:
     /// Lower bound for an imposed degraded deadline, so cold EWMAs never
     /// degrade queries into zero-work rejections.
     int64_t DegradeFloorMicros = 500;
+    /// Per-class p99 latency targets in microseconds, indexed by
+    /// importance class (importanceClass(); class 0 = most important).
+    /// 0 = no target for that class. A target does two things: soft-water
+    /// degradation clamps the imposed deadline to the class target (never
+    /// below DegradeFloorMicros), and the feedback controller treats a
+    /// targeted class's windowed p99 above its target as an SLO miss.
+    std::array<int64_t, kNumImportanceClasses> ClassSlo = {};
+    /// Feedback-controller cadence in microseconds; 0 disables the
+    /// controller (knobs stay at their configured values). Worker-driven:
+    /// ticks piggyback on result publication — no extra thread — so a
+    /// fully idle engine ticks only when traffic resumes. Each tick reads
+    /// per-class windowed p99s (LatencyHistogram snapshot deltas) and
+    /// moves MaxBatchDelayMicros and the admission watermarks AIMD-style:
+    /// additive tighten while any targeted class misses its SLO,
+    /// multiplicative relax toward the configured values when every
+    /// targeted class has slack.
+    int64_t ControllerIntervalMicros = 0;
+    /// Windowed observations a class needs before its p99 counts as
+    /// evidence (for a miss or for slack); thinner windows hold.
+    uint64_t ControllerMinSamples = 16;
+    /// A targeted class has *slack* when its windowed p99 is below this
+    /// fraction of its SLO. Between slack and the SLO is the dead band —
+    /// no action — which is what makes the controller settle instead of
+    /// oscillating around the target.
+    double ControllerSlackFraction = 0.7;
+    /// Consecutive all-slack ticks required before each relax step.
+    int ControllerHysteresisTicks = 2;
+    /// Floor the controller may tighten MaxBatchDelayMicros down to; the
+    /// configured value is the matching ceiling. A knob configured 0
+    /// (feature disabled) is never controller-enabled.
+    int64_t ControllerMinBatchDelayMicros = 0;
+    /// Floor for AdmissionHighWater under controller tightening.
+    size_t ControllerMinHighWater = 16;
+    /// Floor for AdmissionSoftWater under controller tightening.
+    size_t ControllerMinSoftWater = 8;
   };
 
   BasicQueryEngine(const Graph &G, Options Opts = {});
@@ -375,6 +446,41 @@ public:
   /// Queries admission control degraded (imposed deadline); counted
   /// whether or not the imposed deadline ended up firing.
   uint64_t queriesDegraded() const;
+
+  /// Per-importance-class views of the counters above (Class =
+  /// importanceClass(Importance); out-of-range clamps). The class-less
+  /// getters are the sums of these.
+  uint64_t queriesServedInClass(int Class) const;
+  uint64_t queriesShedInClass(int Class) const;
+  uint64_t deadlinesExceededInClass(int Class) const;
+  uint64_t queriesDegradedInClass(int Class) const;
+
+  /// The degradation EWMA for one (kind, class) cell, in microseconds
+  /// (0 until the first un-degraded Ok completion of that cell). Split by
+  /// class so a flood of slow traffic in one class cannot poison the
+  /// imposed deadlines of another — the class-isolation regression test
+  /// reads this directly.
+  double serviceEwmaMicros(QueryKind Kind, int Class) const;
+
+  /// Point-in-time copy of one class's end-to-end latency histogram
+  /// (Ok completions, submit → publish, microseconds). What the
+  /// controller windows; exported for benches and tests.
+  LatencyHistogram::Snapshot classLatencySnapshot(int Class) const;
+
+  /// Feedback-controller observability (all 0 / empty / the configured
+  /// knob values while the controller is disabled).
+  uint64_t controllerTicks() const;
+  uint64_t controllerTightens() const;
+  uint64_t controllerRelaxes() const;
+  /// The knob values currently in force (equal to the configured
+  /// Options while the controller is off or has never acted).
+  int64_t currentBatchDelayMicros() const;
+  size_t currentHighWater() const;
+  size_t currentSoftWater() const;
+  /// The most recent controller ticks, oldest first (bounded history —
+  /// see kControllerTraceCap in QueryEngine.cpp).
+  std::vector<ControllerEvent> controllerTrace() const;
+
   /// Pending (not yet running) queries right now.
   size_t queueDepth() const;
   /// Worker threads in the pool.
@@ -391,10 +497,16 @@ private:
     /// degradation); 0 = none.
     int64_t DeadlineMicros = 0;
     bool Degraded = false;
+    /// importanceClass(Q.Importance), computed once at submit.
+    int Class = 0;
   };
 
   void startWorkers();
   void workerLoop();
+  /// Worker-driven feedback controller: runs at most one tick per
+  /// Options::ControllerIntervalMicros, called from result publication.
+  /// No-op while the controller is disabled.
+  void maybeControllerTick();
   QueryResult runOne(const Query &Q, DistanceState &State,
                      const CancelToken *Cancel) const;
   template <typename GraphT>
@@ -490,15 +602,42 @@ private:
   int64_t BatchWindow_ GUARDED_BY(Mu) = 0;
   int64_t BatchWindowMax_ GUARDED_BY(Mu) = 0;
 
-  /// Overload-behavior counters and the per-kind EWMA of service times
-  /// (microseconds; 0 until the first completed query of that kind). The
-  /// EWMA only samples un-degraded Ok completions so imposed deadlines
-  /// can't feed back into ever-shrinking budgets.
-  uint64_t Sheds_ GUARDED_BY(Mu) = 0;
-  uint64_t DeadlineExceeded_ GUARDED_BY(Mu) = 0;
-  uint64_t Degraded_ GUARDED_BY(Mu) = 0;
-  /// Indexed by QueryKind.
-  double EwmaMicros[3] GUARDED_BY(Mu) = {0.0, 0.0, 0.0};
+  /// Overload-behavior counters, split by importance class (the
+  /// aggregate getters sum them), and the (kind × class) EWMA of service
+  /// times (microseconds; 0 until the first completed query of that
+  /// cell). The EWMA only samples un-degraded Ok completions so imposed
+  /// deadlines can't feed back into ever-shrinking budgets — and it is
+  /// split by class so one slow class can't poison another's imposed
+  /// deadlines.
+  uint64_t Sheds_[kNumImportanceClasses] GUARDED_BY(Mu) = {};
+  uint64_t DeadlineExceeded_[kNumImportanceClasses] GUARDED_BY(Mu) = {};
+  uint64_t Degraded_[kNumImportanceClasses] GUARDED_BY(Mu) = {};
+  uint64_t ServedClass_[kNumImportanceClasses] GUARDED_BY(Mu) = {};
+  /// Indexed [QueryKind][importance class].
+  double EwmaMicros[3][kNumImportanceClasses] GUARDED_BY(Mu) = {};
+
+  /// Per-class end-to-end latency (Ok completions, submit → publish).
+  /// Lock-free histograms: workers record outside Mu; the controller and
+  /// the public snapshot getter read via relaxed snapshots.
+  LatencyHistogram ClassLatency_[kNumImportanceClasses];
+
+  /// Feedback-controller state (Options::ControllerIntervalMicros). The
+  /// Cur* knobs are the values actually enforced by submit() and the
+  /// batch-formation loop; they start at the configured Options values
+  /// and stay there while the controller is off.
+  int64_t CurBatchDelay_ GUARDED_BY(Mu) = 0;
+  size_t CurHighWater_ GUARDED_BY(Mu) = 0;
+  size_t CurSoftWater_ GUARDED_BY(Mu) = 0;
+  std::chrono::steady_clock::time_point CtlNextTick_ GUARDED_BY(Mu);
+  /// Previous tick's per-class snapshots; windowSince() against these
+  /// yields the per-interval view without resetting live histograms.
+  LatencyHistogram::Snapshot CtlPrev_[kNumImportanceClasses]
+      GUARDED_BY(Mu);
+  int CtlSlackStreak_ GUARDED_BY(Mu) = 0;
+  uint64_t CtlTicks_ GUARDED_BY(Mu) = 0;
+  uint64_t CtlTightens_ GUARDED_BY(Mu) = 0;
+  uint64_t CtlRelaxes_ GUARDED_BY(Mu) = 0;
+  std::deque<ControllerEvent> CtlTrace_ GUARDED_BY(Mu);
 
   std::vector<std::thread> Workers;
 };

@@ -129,37 +129,74 @@ public:
       ;
   }
 
+  /// A plain, copyable point-in-time copy of the counters. Two snapshots
+  /// of the same histogram subtract into a *windowed* view through
+  /// `windowSince`, which is how the QueryEngine controller reads
+  /// per-class latency over its last control interval without resetting
+  /// a histogram recorders are still writing into (`reset` is not
+  /// concurrency-safe; snapshot deltas are).
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> Counts{};
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Max = 0;
+
+    /// Same contract as LatencyHistogram::percentile on the snapshot's
+    /// buckets — in particular, **0 when the snapshot (or window) holds
+    /// no observations**, never a bucket upper bound.
+    uint64_t percentile(double P) const {
+      return percentileFromCounts(Counts, P);
+    }
+    uint64_t count() const { return Count; }
+    uint64_t sum() const { return Sum; }
+    uint64_t max() const { return Max; }
+    double mean() const {
+      return Count == 0 ? 0.0
+                        : static_cast<double>(Sum) /
+                              static_cast<double>(Count);
+    }
+  };
+
+  /// Relaxed per-bucket copy of the live counters (same consistency as
+  /// `merge` from a still-recording source: no torn buckets, exact after
+  /// quiesce). Safe to call concurrently with `record`.
+  Snapshot snapshot() const {
+    Snapshot S;
+    for (size_t I = 0; I < kNumBuckets; ++I)
+      S.Counts[I] = Counts[I].load(std::memory_order_relaxed);
+    S.Count = Count_.load(std::memory_order_relaxed);
+    S.Sum = Sum_.load(std::memory_order_relaxed);
+    S.Max = Max_.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  /// Observations recorded between \p Prev and \p Now — two snapshots of
+  /// the *same* histogram with Prev taken earlier. Per-field saturating
+  /// subtraction (a concurrent recorder can make independently-loaded
+  /// counters appear momentarily inconsistent; the window never
+  /// underflows). `Max` carries Now's lifetime max — a per-window max is
+  /// not recoverable from monotone counters.
+  static Snapshot windowSince(const Snapshot &Now, const Snapshot &Prev) {
+    Snapshot W;
+    for (size_t I = 0; I < kNumBuckets; ++I)
+      W.Counts[I] =
+          Now.Counts[I] >= Prev.Counts[I] ? Now.Counts[I] - Prev.Counts[I]
+                                          : 0;
+    W.Count = Now.Count >= Prev.Count ? Now.Count - Prev.Count : 0;
+    W.Sum = Now.Sum >= Prev.Sum ? Now.Sum - Prev.Sum : 0;
+    W.Max = Now.Max;
+    return W;
+  }
+
   /// Upper bound of the bucket holding the \p P-th percentile observation
   /// (P in [0, 100]; rank = ceil(P/100 × count), clamped to at least 1).
   /// 0 when empty. Exact for observations below kUnitBuckets; within
   /// 2^-kSubBucketBits relative error above.
   uint64_t percentile(double P) const {
-    uint64_t Total = 0;
     std::array<uint64_t, kNumBuckets> Snap;
-    for (size_t I = 0; I < kNumBuckets; ++I) {
+    for (size_t I = 0; I < kNumBuckets; ++I)
       Snap[I] = Counts[I].load(std::memory_order_relaxed);
-      Total += Snap[I];
-    }
-    if (Total == 0)
-      return 0;
-    if (P < 0.0)
-      P = 0.0;
-    if (P > 100.0)
-      P = 100.0;
-    uint64_t Rank = static_cast<uint64_t>(P / 100.0 *
-                                          static_cast<double>(Total));
-    if (static_cast<double>(Rank) * 100.0 <
-        P * static_cast<double>(Total))
-      ++Rank; // ceil
-    if (Rank < 1)
-      Rank = 1;
-    uint64_t Seen = 0;
-    for (size_t I = 0; I < kNumBuckets; ++I) {
-      Seen += Snap[I];
-      if (Seen >= Rank)
-        return bucketUpperBound(I);
-    }
-    return bucketUpperBound(kNumBuckets - 1);
+    return percentileFromCounts(Snap, P);
   }
 
   /// Observations recorded so far.
@@ -196,6 +233,37 @@ public:
   }
 
 private:
+  /// Shared ceil-rank percentile over a plain bucket array (the live
+  /// histogram and Snapshot both delegate here). 0 when the buckets hold
+  /// no observations.
+  static uint64_t
+  percentileFromCounts(const std::array<uint64_t, kNumBuckets> &Snap,
+                       double P) {
+    uint64_t Total = 0;
+    for (size_t I = 0; I < kNumBuckets; ++I)
+      Total += Snap[I];
+    if (Total == 0)
+      return 0;
+    if (P < 0.0)
+      P = 0.0;
+    if (P > 100.0)
+      P = 100.0;
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 *
+                                          static_cast<double>(Total));
+    if (static_cast<double>(Rank) * 100.0 <
+        P * static_cast<double>(Total))
+      ++Rank; // ceil
+    if (Rank < 1)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < kNumBuckets; ++I) {
+      Seen += Snap[I];
+      if (Seen >= Rank)
+        return bucketUpperBound(I);
+    }
+    return bucketUpperBound(kNumBuckets - 1);
+  }
+
   /// Position of the highest set bit (undefined for 0; callers guarantee
   /// Value >= kUnitBuckets here).
   static uint64_t highestBit(uint64_t V) {

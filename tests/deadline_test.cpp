@@ -37,6 +37,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 using namespace graphit;
@@ -464,4 +465,172 @@ TEST(Deadline, SoftWaterDegradesPointQueriesInsteadOfShedding) {
   Engine.collect(SlowTicket);
   EXPECT_GT(DegradedSeen, 0);
   EXPECT_EQ(static_cast<uint64_t>(DegradedSeen), Engine.queriesDegraded());
+}
+
+TEST(Deadline, AdmissionShedTieBreakIsDeterministic) {
+  // The tie rule, both halves: an incomer tied with the least-important
+  // pending query sheds *itself* (queued work has waited longer), and a
+  // strictly more important incomer displaces the *newest* of the
+  // equally-least-important pending queries (it has waited least). Both
+  // single submits and runBatch funnel through the same admission path.
+  Graph G = makeRoad(64, 53);
+  QueryEngine::Options Opts;
+  Opts.NumWorkers = 1;
+  Opts.DefaultSchedule.configApplyPriorityUpdateDelta(1024);
+  Opts.AdmissionHighWater = 3;
+  QueryEngine Engine(G, Opts);
+
+  Query Slow;
+  Slow.Kind = QueryKind::SSSP;
+  Slow.Source = 0;
+  Slow.Sched = eager(1);
+  Slow.Importance = 10;
+  uint64_t SlowTicket = Engine.submit(Slow);
+  // Wait until the only worker has dequeued the slow run, so the three
+  // fillers below are exactly the pending queue — deterministic state.
+  while (Engine.queueDepth() > 0)
+    std::this_thread::yield();
+
+  auto mkPoint = [&](int Importance) {
+    Query Q;
+    Q.Kind = QueryKind::PPSP;
+    Q.Source = 0;
+    Q.Target = 1;
+    Q.Importance = Importance;
+    return Q;
+  };
+  uint64_t A = Engine.submit(mkPoint(1)); // oldest pending
+  uint64_t B = Engine.submit(mkPoint(1));
+  uint64_t C = Engine.submit(mkPoint(1)); // newest pending
+
+  // Tied incomer: D itself sheds; A/B/C stay queued.
+  uint64_t D = Engine.submit(mkPoint(1));
+  EXPECT_EQ(Engine.collect(D).Status, QueryStatus::Shed);
+
+  // Strictly more important incomer: the victim is C — the newest of the
+  // equally-least-important pending queries — never A (the oldest).
+  uint64_t E = Engine.submit(mkPoint(2));
+  EXPECT_EQ(Engine.collect(C).Status, QueryStatus::Shed);
+  EXPECT_NE(Engine.collect(A).Status, QueryStatus::Shed);
+  EXPECT_NE(Engine.collect(B).Status, QueryStatus::Shed);
+  EXPECT_NE(Engine.collect(E).Status, QueryStatus::Shed);
+  EXPECT_EQ(Engine.collect(SlowTicket).Status, QueryStatus::Ok);
+
+  // Both sheds were importance-1 queries → class 2; per-class counters
+  // must agree.
+  EXPECT_EQ(Engine.queriesShed(), 2u);
+  EXPECT_EQ(Engine.queriesShedInClass(importanceClass(1)), 2u);
+  EXPECT_EQ(Engine.queriesShedInClass(0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Feedback controller: the deadline/bit-identity contracts hold while the
+// controller is actively moving MaxBatchDelayMicros and the watermarks.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <class StoreT>
+void runControllerOnDifferential(StoreT &Store, const char *What) {
+  using Engine = BasicQueryEngine<StoreT>;
+  typename Engine::Options Opts;
+  Opts.NumWorkers = 4;
+  Opts.DefaultSchedule.configApplyPriorityUpdateDelta(8);
+  Opts.MaxBatchDelayMicros = 2000;
+  Opts.MaxBatchSize = 8;
+  Opts.AdmissionSoftWater = 16;
+  // No high water: every submitted query must resolve Ok or
+  // DeadlineExceeded, so each result is checkable against the reference.
+  Opts.AdmissionHighWater = 0;
+  // An unmeetable class-0 target keeps the controller tightening for the
+  // whole test — knobs are in motion while the contracts are checked.
+  Opts.ClassSlo[0] = 1;
+  Opts.ControllerIntervalMicros = 500;
+  Opts.ControllerMinSamples = 1;
+  Opts.ControllerHysteresisTicks = 1;
+  Opts.ControllerMinBatchDelayMicros = 0;
+  Opts.ControllerMinSoftWater = 4;
+  Engine E(Store, Opts);
+
+  const Schedule S = eager(8);
+  SSSPResult Full = deltaSteppingSSSP(*Store.current(), 0, S);
+
+  SplitMix64 Rng(0xC7A1);
+  int SawDeadline = 0;
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<Query> Batch;
+    // Class-0 point queries (the SLO-missing traffic that drives the
+    // controller) — every Ok answer must be bit-identical to the
+    // reference regardless of the knob trajectory.
+    for (int I = 0; I < 24; ++I) {
+      Query Q;
+      Q.Kind = QueryKind::PPSP;
+      Q.Source = 0;
+      Q.Target = static_cast<VertexId>(
+          Rng.nextInt(1, Store.current()->numNodes()));
+      Q.Sched = S;
+      Q.Importance = 3;
+      Batch.push_back(Q);
+    }
+    // Deadline-carrying SSSPs: the settled-prefix contract under active
+    // knob movement.
+    for (int I = 0; I < 4; ++I) {
+      Query Q;
+      Q.Kind = QueryKind::SSSP;
+      Q.Source = 0;
+      Q.Sched = S;
+      Q.CollectReached = true;
+      Q.DeadlineMicros = I % 2 == 0 ? 1 : 300;
+      Q.Importance = 1;
+      Batch.push_back(Q);
+    }
+    std::vector<QueryResult> Results = E.runBatch(Batch);
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const QueryResult &R = Results[I];
+      const Query &Q = Batch[I];
+      ASSERT_NE(R.Status, QueryStatus::Failed) << What;
+      ASSERT_NE(R.Status, QueryStatus::Shed) << What;
+      if (Q.Kind == QueryKind::PPSP) {
+        if (R.Status == QueryStatus::Ok) {
+          EXPECT_EQ(R.Dist, Full.Dist[Q.Target])
+              << What << ": PPSP answer diverged, target " << Q.Target;
+        }
+      } else if (R.Status == QueryStatus::DeadlineExceeded) {
+        ++SawDeadline;
+        for (const auto &[V, Dist] : R.Reached) {
+          EXPECT_LT(Dist, R.SettledBound) << What;
+          EXPECT_EQ(Dist, Full.Dist[V]) << What << ": vertex " << V;
+        }
+      } else {
+        EXPECT_EQ(static_cast<size_t>(R.Touched), R.Reached.size())
+            << What;
+      }
+    }
+  }
+
+  // The controller genuinely ran and moved knobs...
+  EXPECT_GT(E.controllerTicks(), 0u) << What;
+  EXPECT_GT(E.controllerTightens(), 0u) << What;
+  // ...and every recorded knob value stayed inside its configured bounds.
+  for (const ControllerEvent &Ev : E.controllerTrace()) {
+    EXPECT_GE(Ev.BatchDelayMicros, Opts.ControllerMinBatchDelayMicros)
+        << What;
+    EXPECT_LE(Ev.BatchDelayMicros, Opts.MaxBatchDelayMicros) << What;
+    EXPECT_GE(Ev.SoftWater, Opts.ControllerMinSoftWater) << What;
+    EXPECT_LE(Ev.SoftWater, Opts.AdmissionSoftWater) << What;
+    EXPECT_EQ(Ev.HighWater, 0u) << What; // disabled knob never enabled
+  }
+  EXPECT_GT(SawDeadline, 0) << What << ": no deadline ever fired";
+}
+
+} // namespace
+
+TEST(Deadline, ControllerOnDifferentialAcrossStores) {
+  Graph Base = makeRoad(40, 61);
+  SnapshotStore Plain(Base);
+  runControllerOnDifferential(Plain, "snapshot");
+  ShardedSnapshotStore::Options SO;
+  SO.NumShards = 4;
+  ShardedSnapshotStore Sharded(Base, SO);
+  runControllerOnDifferential(Sharded, "sharded");
 }

@@ -105,6 +105,8 @@ TEST(LatencyHistogramPercentile, EmptyHistogramIsZero) {
   H Hist;
   EXPECT_EQ(Hist.count(), 0u);
   EXPECT_EQ(Hist.percentile(50), 0u);
+  EXPECT_EQ(Hist.percentile(0), 0u);
+  EXPECT_EQ(Hist.percentile(100), 0u);
   EXPECT_EQ(Hist.max(), 0u);
   EXPECT_DOUBLE_EQ(Hist.mean(), 0.0);
 }
@@ -118,6 +120,73 @@ void recordStream(H &Hist, uint64_t Seed, int N) {
 }
 
 } // namespace
+
+TEST(LatencyHistogramSnapshot, EmptySnapshotAndEmptyWindowAreZero) {
+  // A snapshot of an empty histogram — and a window between two
+  // identical snapshots — must report percentile 0, never a bucket
+  // upper bound.
+  H Hist;
+  H::Snapshot Empty = Hist.snapshot();
+  EXPECT_EQ(Empty.count(), 0u);
+  EXPECT_EQ(Empty.percentile(99), 0u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 0.0);
+
+  for (uint64_t V = 0; V < 100; ++V)
+    Hist.record(V);
+  H::Snapshot Now = Hist.snapshot();
+  H::Snapshot Win = H::windowSince(Now, Now);
+  EXPECT_EQ(Win.count(), 0u);
+  EXPECT_EQ(Win.sum(), 0u);
+  EXPECT_EQ(Win.percentile(50), 0u);
+  EXPECT_EQ(Win.percentile(99), 0u);
+  EXPECT_DOUBLE_EQ(Win.mean(), 0.0);
+}
+
+TEST(LatencyHistogramSnapshot, WindowSeesOnlyTheDelta) {
+  // Record two disjoint batches with a snapshot between: the window over
+  // the second batch must reflect *only* those observations, while the
+  // full histogram keeps the lifetime view.
+  H Hist;
+  for (int I = 0; I < 50; ++I)
+    Hist.record(2); // first batch: all fast
+  H::Snapshot Prev = Hist.snapshot();
+  for (int I = 0; I < 50; ++I)
+    Hist.record(10000); // second batch: all slow
+  H::Snapshot Win = H::windowSince(Hist.snapshot(), Prev);
+
+  EXPECT_EQ(Win.count(), 50u);
+  EXPECT_EQ(Win.sum(), 50u * 10000u);
+  // Every windowed observation is 10000, so even p1 is in its bucket.
+  EXPECT_GE(Win.percentile(1), 10000u);
+  EXPECT_LE(Win.percentile(99), 10000u + 10000u / H::kSubBuckets);
+  // The lifetime histogram still sees the fast half at the median.
+  EXPECT_EQ(Hist.percentile(50), 2u);
+  EXPECT_EQ(Hist.count(), 100u);
+}
+
+TEST(LatencyHistogramMerge, MergeWithEmptyOperandIsIdentity) {
+  // merge() with an empty source must leave counts, sum, max, and every
+  // percentile unchanged — and merging *into* an empty histogram must
+  // reproduce the source exactly.
+  H Hist, Empty, Target;
+  recordStream(Hist, 42, 10000);
+  uint64_t Count = Hist.count(), Sum = Hist.sum(), Max = Hist.max();
+  uint64_t P50 = Hist.percentile(50), P99 = Hist.percentile(99);
+
+  Hist.merge(Empty);
+  EXPECT_EQ(Hist.count(), Count);
+  EXPECT_EQ(Hist.sum(), Sum);
+  EXPECT_EQ(Hist.max(), Max);
+  EXPECT_EQ(Hist.percentile(50), P50);
+  EXPECT_EQ(Hist.percentile(99), P99);
+
+  Target.merge(Hist);
+  EXPECT_EQ(Target.count(), Count);
+  EXPECT_EQ(Target.sum(), Sum);
+  EXPECT_EQ(Target.max(), Max);
+  for (size_t I = 0; I < H::kNumBuckets; ++I)
+    ASSERT_EQ(Target.bucketCount(I), Hist.bucketCount(I));
+}
 
 TEST(LatencyHistogramMerge, MergeIsAssociativeAndOrderIndependent) {
   // (A + B) + C and A + (B + C), built from re-recorded identical
